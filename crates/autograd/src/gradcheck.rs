@@ -1,0 +1,319 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer and loss in the NN stack is validated against central
+//! differences; this module provides the shared harness. Checks perturb one
+//! scalar weight at a time, rebuild the forward pass, and compare the
+//! numerical slope with the analytic gradient under a mixed
+//! absolute/relative tolerance (f32 forward passes make a pure relative
+//! tolerance too strict near zero).
+
+use crate::graph::{Graph, Var};
+use crate::param::{ParamId, ParamStore};
+
+/// Outcome of a failed gradient check, with enough context to debug it.
+#[derive(Debug, Clone)]
+pub struct GradCheckError {
+    /// Offending parameter name.
+    pub param: String,
+    /// Flat element index within the parameter.
+    pub element: usize,
+    /// Gradient from the backward pass.
+    pub analytic: f32,
+    /// Central finite-difference estimate.
+    pub numeric: f32,
+}
+
+impl std::fmt::Display for GradCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gradient mismatch in `{}`[{}]: analytic {} vs numeric {}",
+            self.param, self.element, self.analytic, self.numeric
+        )
+    }
+}
+
+impl std::error::Error for GradCheckError {}
+
+/// Check analytic gradients of `build` (which must return a `1 x 1` loss)
+/// against central finite differences for every parameter in the store.
+///
+/// `eps` is the perturbation step (1e-2 works well for f32 forward math),
+/// and the comparison passes when
+/// `|analytic - numeric| <= atol + rtol * max(|analytic|, |numeric|)`.
+pub fn check_gradients(
+    store: &mut ParamStore,
+    mut build: impl FnMut(&mut Graph) -> Var,
+    eps: f32,
+    rtol: f32,
+    atol: f32,
+) -> Result<(), GradCheckError> {
+    // Analytic pass.
+    let analytic = {
+        let mut graph = Graph::new(store);
+        let loss = build(&mut graph);
+        graph.backward(loss)
+    };
+
+    let ids: Vec<ParamId> = store.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        let n = store.value(id).len();
+        for e in 0..n {
+            let orig = store.value(id).as_slice()[e];
+
+            store.value_mut(id).as_mut_slice()[e] = orig + eps;
+            let plus = eval_loss(store, &mut build);
+            store.value_mut(id).as_mut_slice()[e] = orig - eps;
+            let minus = eval_loss(store, &mut build);
+            store.value_mut(id).as_mut_slice()[e] = orig;
+
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic
+                .get(id)
+                .map(|g| g.as_slice()[e])
+                .unwrap_or(0.0);
+            let tol = atol + rtol * a.abs().max(numeric.abs());
+            if (a - numeric).abs() > tol {
+                return Err(GradCheckError {
+                    param: store.param(id).name.clone(),
+                    element: e,
+                    analytic: a,
+                    numeric,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval_loss(store: &ParamStore, build: &mut impl FnMut(&mut Graph) -> Var) -> f32 {
+    let mut graph = Graph::new(store);
+    let loss = build(&mut graph);
+    graph.scalar(loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_tensor::{init, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Standard tolerances for f32 forward passes with eps = 1e-2.
+    const EPS: f32 = 1e-2;
+    const RTOL: f32 = 2e-2;
+    const ATOL: f32 = 2e-3;
+
+    #[test]
+    fn linear_layer_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.register("w", init::xavier_uniform(3, 4, &mut rng));
+        let b = store.register("b", init::uniform(1, 4, -0.1, 0.1, &mut rng));
+        let x = init::normal(2, 3, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let xv = g.constant(x.clone());
+                let y = g.linear(w, Some(b), xv);
+                let t = g.tanh(y);
+                g.mean_all(t)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_plus_cross_entropy_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let emb = store.register("emb", init::normal(5, 3, 0.5, &mut rng));
+        let w = store.register("w", init::xavier_uniform(3, 5, &mut rng));
+        check_gradients(
+            &mut store,
+            |g| {
+                let e = g.gather(emb, &[0, 3, 4, 3]);
+                let logits = g.linear(w, None, e);
+                g.cross_entropy_logits(logits, &[1, 0, 2, 4])
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn softmax_attention_shape_gradcheck() {
+        // Mini attention: scores = Q K^T / sqrt(d); out = softmax(scores) V.
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let wq = store.register("wq", init::xavier_uniform(4, 4, &mut rng));
+        let wk = store.register("wk", init::xavier_uniform(4, 4, &mut rng));
+        let wv = store.register("wv", init::xavier_uniform(4, 4, &mut rng));
+        let q_in = init::normal(2, 4, 1.0, &mut rng);
+        let kv_in = init::normal(3, 4, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let qi = g.constant(q_in.clone());
+                let ki = g.constant(kv_in.clone());
+                let q = g.linear(wq, None, qi);
+                let k = g.linear(wk, None, ki);
+                let v = g.linear(wv, None, ki);
+                let scores = g.matmul_nt(q, k);
+                let scaled = g.scale(scores, 0.5);
+                let attn = g.softmax_rows(scaled);
+                let out = g.matmul(attn, v);
+                let t = g.tanh(out);
+                g.mean_all(t)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn normalize_rows_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.register("w", init::xavier_uniform(3, 3, &mut rng));
+        let x = init::normal(2, 3, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let xv = g.constant(x.clone());
+                let h = g.linear(w, None, xv);
+                let n = g.normalize_rows(h);
+                let s = g.sum_all(n);
+                // Square via mul to exercise non-linear downstream of normalize.
+                let sq = g.mul(s, s);
+                g.mean_all(sq)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn layer_norm_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.register("w", init::xavier_uniform(4, 4, &mut rng));
+        let gain = store.register("gain", init::uniform(1, 4, 0.8, 1.2, &mut rng));
+        let bias = store.register("bias", init::uniform(1, 4, -0.1, 0.1, &mut rng));
+        let x = init::normal(3, 4, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let xv = g.constant(x.clone());
+                let h = g.linear(w, None, xv);
+                let n = g.layer_norm_rows(h, 1e-5);
+                let gv = g.param(gain);
+                let bv = g.param(bias);
+                let scaled = g.mul_row_broadcast(n, gv);
+                let shifted = g.add_row_broadcast(scaled, bv);
+                let t = g.tanh(shifted);
+                g.mean_all(t)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn recurrent_chain_gradcheck() {
+        // Three steps of h' = tanh(x W + h U): checks repeated-use gradients.
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.register("w", init::xavier_uniform(2, 3, &mut rng));
+        let u = store.register("u", init::recurrent(3, 3, &mut rng));
+        let xs: Vec<Matrix> = (0..3).map(|_| init::normal(1, 2, 1.0, &mut rng)).collect();
+        check_gradients(
+            &mut store,
+            |g| {
+                let mut h = g.constant(Matrix::zeros(1, 3));
+                for x in &xs {
+                    let xv = g.constant(x.clone());
+                    let a = g.linear(w, None, xv);
+                    let b = g.linear(u, None, h);
+                    let s = g.add(a, b);
+                    h = g.tanh(s);
+                }
+                g.mean_all(h)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn info_nce_shape_gradcheck() {
+        // InfoNCE = cross-entropy over cosine similarities with target 0.
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.register("w", init::xavier_uniform(3, 4, &mut rng));
+        let anchor_in = init::normal(1, 3, 1.0, &mut rng);
+        let others_in = init::normal(4, 3, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let a_in = g.constant(anchor_in.clone());
+                let o_in = g.constant(others_in.clone());
+                let a = g.linear(w, None, a_in);
+                let o = g.linear(w, None, o_in);
+                let an = g.normalize_rows(a);
+                let on = g.normalize_rows(o);
+                let sims = g.matmul_nt(an, on); // 1 x 4
+                g.cross_entropy_logits(sims, &[0])
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // A parameter used in a non-differentiable-by-our-op way would fail;
+        // simulate by checking against a deliberately perturbed analytic
+        // gradient: perturb the build between analytic and numeric passes.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 1, vec![1.0]));
+        let mut flip = true;
+        let res = check_gradients(
+            &mut store,
+            move |g| {
+                // Alternate between two different functions so the numeric
+                // slope disagrees with the analytic gradient.
+                let p = g.param(w);
+                let out = if flip { g.mul(p, p) } else { p };
+                flip = !flip;
+                g.mean_all(out)
+            },
+            1e-2,
+            1e-3,
+            1e-4,
+        );
+        assert!(res.is_err());
+        let err = res.unwrap_err();
+        assert_eq!(err.param, "w");
+        assert!(err.to_string().contains("gradient mismatch"));
+    }
+}

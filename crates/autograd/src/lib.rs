@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Arena-based reverse-mode automatic differentiation.
+//!
+//! This crate is the training substrate for the AdaMove reproduction: a
+//! minimal tape autodiff over [`adamove_tensor::Matrix`] values, sized for
+//! the ops the paper's models need (embedding gather, affine layers,
+//! recurrent-cell arithmetic, scaled dot-product attention, layer norm,
+//! softmax/cross-entropy, L2-normalised similarity for InfoNCE).
+//!
+//! # Design
+//!
+//! - Parameters live outside the tape in a [`ParamStore`] and are referenced
+//!   by [`ParamId`]. Fused ops ([`Graph::gather`], [`Graph::linear`]) read the
+//!   parameter value in the forward pass and scatter gradients back to it in
+//!   the backward pass — so a `5000 x 48` embedding table or a `64 x 5000`
+//!   output layer is never copied onto the tape.
+//! - Each forward pass builds a fresh [`Graph`] (arena `Vec<Node>`); node
+//!   operands are [`Var`] indices, ops are an enum rather than boxed
+//!   closures, per the perf-book guidance on hot-loop allocation.
+//! - [`Graph::backward`] returns a [`Gradients`] map the caller hands to an
+//!   optimiser; a batch accumulates gradients simply by building one graph
+//!   over all of its samples and averaging the losses.
+//!
+//! Gradient correctness is enforced by finite-difference checks in
+//! [`gradcheck`], used extensively by this crate's tests and downstream.
+
+pub mod gradcheck;
+pub mod graph;
+pub mod param;
+
+pub use graph::{Graph, Var};
+pub use param::{Gradients, Param, ParamId, ParamStore};

@@ -1,0 +1,269 @@
+//! Parameter storage shared by graphs and optimisers.
+
+use adamove_tensor::Matrix;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) u32);
+
+impl ParamId {
+    /// Index into the owning store.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named trainable parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable name, e.g. `"encoder.lstm.w_ih"` — used by the
+    /// serialisation layer and in error messages.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+}
+
+/// Flat store of all trainable parameters of a model.
+///
+/// Graphs read values from the store during the forward pass; the gradients
+/// produced by [`crate::Graph::backward`] are indexed by [`ParamId`] and
+/// applied by an optimiser.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter, returning its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(
+            u32::try_from(self.params.len()).expect("ParamStore: more than u32::MAX parameters"),
+        );
+        self.params.push(Param {
+            name: name.into(),
+            value,
+        });
+        id
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Value of a parameter.
+    #[inline]
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.index()].value
+    }
+
+    /// Mutable value of a parameter (used by optimisers and by PTTA's
+    /// test-time weight update).
+    #[inline]
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.index()].value
+    }
+
+    /// Full parameter record.
+    pub fn param(&self, id: ParamId) -> &Param {
+        &self.params[id.index()]
+    }
+
+    /// Iterate `(id, param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i as u32), p))
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Look a parameter up by name (linear scan; used by serialisation).
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ParamId(i as u32))
+    }
+}
+
+/// Gradients produced by one backward pass, indexed by [`ParamId`].
+///
+/// Entries are `None` for parameters the loss does not depend on, so sparse
+/// updates (e.g. an embedding table where only a few rows were gathered)
+/// still allocate a dense matrix only for the touched parameters.
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// A gradient map with one (empty) slot per parameter in `store`.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        Self {
+            grads: vec![None; store.len()],
+        }
+    }
+
+    /// Gradient for one parameter, if the loss depended on it.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Accumulate `delta` into the slot for `id`.
+    ///
+    /// # Panics
+    /// Panics if an existing gradient has a different shape.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
+        let slot = &mut self.grads[id.index()];
+        match slot {
+            Some(g) => g
+                .add_assign(delta)
+                .expect("Gradients::accumulate: shape mismatch"),
+            None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Accumulate into a single row of the slot for `id` (embedding scatter).
+    pub fn accumulate_row(&mut self, id: ParamId, shape: (usize, usize), row: usize, delta: &[f32]) {
+        let slot = &mut self.grads[id.index()];
+        let g = slot.get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+        debug_assert_eq!(g.shape(), shape);
+        for (o, &d) in g.row_mut(row).iter_mut().zip(delta) {
+            *o += d;
+        }
+    }
+
+    /// Merge another gradient map into this one (used when accumulating
+    /// gradients across several backward passes before an optimiser step).
+    pub fn merge(&mut self, other: &Gradients) {
+        assert_eq!(self.grads.len(), other.grads.len(), "Gradients::merge: store size mismatch");
+        for (i, g) in other.grads.iter().enumerate() {
+            if let Some(g) = g {
+                self.accumulate(ParamId(i as u32), g);
+            }
+        }
+    }
+
+    /// Scale every gradient in place (e.g. `1/num_microbatches`).
+    pub fn scale(&mut self, alpha: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.map_inplace(|v| v * alpha);
+        }
+    }
+
+    /// Global L2 norm over all gradients, for clipping diagnostics.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| {
+                let n = g.frobenius_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clip gradients to a maximum global norm; returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            self.scale(scale);
+        }
+        norm
+    }
+
+    /// Iterate `(id, grad)` pairs for present gradients.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i as u32), g)))
+    }
+
+    /// Number of parameters with a gradient present.
+    pub fn num_present(&self) -> usize {
+        self.grads.iter().filter(|g| g.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let a = store.register("w", Matrix::zeros(2, 3));
+        let b = store.register("b", Matrix::zeros(1, 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 9);
+        assert_eq!(store.value(a).shape(), (2, 3));
+        assert_eq!(store.find("b"), Some(b));
+        assert_eq!(store.find("missing"), None);
+        assert_eq!(store.param(a).name, "w");
+    }
+
+    #[test]
+    fn gradients_accumulate_and_merge() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(1, 2));
+        let b = store.register("b", Matrix::zeros(1, 2));
+
+        let mut g1 = Gradients::zeros_like(&store);
+        g1.accumulate(a, &Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        g1.accumulate(a, &Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(g1.get(a).unwrap().as_slice(), &[2.0, 4.0]);
+        assert!(g1.get(b).is_none());
+        assert_eq!(g1.num_present(), 1);
+
+        let mut g2 = Gradients::zeros_like(&store);
+        g2.accumulate(b, &Matrix::from_vec(1, 2, vec![5.0, 5.0]));
+        g1.merge(&g2);
+        assert_eq!(g1.get(b).unwrap().as_slice(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn accumulate_row_scatters() {
+        let mut store = ParamStore::new();
+        let t = store.register("emb", Matrix::zeros(3, 2));
+        let mut g = Gradients::zeros_like(&store);
+        g.accumulate_row(t, (3, 2), 1, &[1.0, 1.0]);
+        g.accumulate_row(t, (3, 2), 1, &[0.5, 0.5]);
+        let m = g.get(t).unwrap();
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert_eq!(m.row(1), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn clip_global_norm_scales_down_only_when_needed() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(1, 2));
+        let mut g = Gradients::zeros_like(&store);
+        g.accumulate(a, &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let pre = g.clip_global_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+        // Already within the bound: untouched.
+        let pre2 = g.clip_global_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-6);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+    }
+}

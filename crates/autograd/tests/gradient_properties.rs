@@ -1,0 +1,192 @@
+//! Property-based gradient checks: random small graphs over random
+//! parameter values must match central finite differences.
+
+use adamove_autograd::gradcheck::check_gradients;
+use adamove_autograd::{Graph, ParamStore, Var};
+use adamove_tensor::Matrix;
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-2;
+const RTOL: f32 = 4e-2;
+const ATOL: f32 = 4e-3;
+
+/// Random values bounded away from zero: ReLU is non-differentiable at 0
+/// and finite differences straddle the kink, so |v| >= 0.1 keeps every
+/// sampled point (and products of them with the fixed inputs) away from it
+/// at eps = 1e-2.
+fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((0.1f32..1.5, prop::bool::ANY), n).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(v, neg)| if neg { -v } else { v })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn elementwise_chain_gradcheck(
+        w in values(6),
+        x in values(6),
+        which in 0u8..4,
+    ) {
+        let mut store = ParamStore::new();
+        let wid = store.register("w", Matrix::from_vec(2, 3, w));
+        let x_mat = Matrix::from_vec(2, 3, x);
+        check_gradients(
+            &mut store,
+            move |g: &mut Graph| -> Var {
+                let wv = g.param(wid);
+                let xv = g.constant(x_mat.clone());
+                let m = g.mul(wv, xv);
+                let act = match which {
+                    0 => g.tanh(m),
+                    1 => g.sigmoid(m),
+                    2 => g.relu(m),
+                    _ => {
+                        let s = g.scale(m, 0.5);
+                        g.add_scalar(s, 0.1)
+                    }
+                };
+                g.mean_all(act)
+            },
+            EPS, RTOL, ATOL,
+        ).unwrap();
+    }
+
+    #[test]
+    fn matmul_chain_gradcheck(a in values(6), b in values(6)) {
+        let mut store = ParamStore::new();
+        let aid = store.register("a", Matrix::from_vec(2, 3, a));
+        let bid = store.register("b", Matrix::from_vec(3, 2, b));
+        check_gradients(
+            &mut store,
+            move |g: &mut Graph| -> Var {
+                let av = g.param(aid);
+                let bv = g.param(bid);
+                let m = g.matmul(av, bv);
+                let t = g.tanh(m);
+                g.sum_all(t)
+            },
+            EPS, RTOL, ATOL,
+        ).unwrap();
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradcheck(
+        w in values(9),
+        target in 0u32..3,
+    ) {
+        let mut store = ParamStore::new();
+        let wid = store.register("w", Matrix::from_vec(3, 3, w));
+        check_gradients(
+            &mut store,
+            move |g: &mut Graph| -> Var {
+                let x = g.constant(Matrix::from_vec(1, 3, vec![0.5, -0.5, 1.0]));
+                let logits = g.linear(wid, None, x);
+                g.cross_entropy_logits(logits, &[target])
+            },
+            EPS, RTOL, ATOL,
+        ).unwrap();
+    }
+
+    #[test]
+    fn shared_parameter_gradcheck(w in values(4)) {
+        // A parameter used twice must accumulate both contributions.
+        let mut store = ParamStore::new();
+        let wid = store.register("w", Matrix::from_vec(2, 2, w));
+        check_gradients(
+            &mut store,
+            move |g: &mut Graph| -> Var {
+                let wv = g.param(wid);
+                let sq = g.matmul(wv, wv); // W @ W: both uses differentiate
+                let t = g.tanh(sq);
+                g.mean_all(t)
+            },
+            EPS, RTOL, ATOL,
+        ).unwrap();
+    }
+
+    #[test]
+    fn slice_concat_gradcheck(w in values(8)) {
+        let mut store = ParamStore::new();
+        let wid = store.register("w", Matrix::from_vec(2, 4, w));
+        check_gradients(
+            &mut store,
+            move |g: &mut Graph| -> Var {
+                let wv = g.param(wid);
+                let left = g.slice_cols(wv, 0, 2);
+                let right = g.slice_cols(wv, 2, 2);
+                let swapped = g.concat_cols(&[right, left]);
+                let rows = g.slice_rows(swapped, 1, 1);
+                let t = g.sigmoid(rows);
+                g.sum_all(t)
+            },
+            EPS, RTOL, ATOL,
+        ).unwrap();
+    }
+
+    #[test]
+    fn normalize_then_similarity_gradcheck(w in values(6)) {
+        // The InfoNCE building block: normalised dot products.
+        let mut store = ParamStore::new();
+        let wid = store.register("w", Matrix::from_vec(2, 3, w));
+        check_gradients(
+            &mut store,
+            move |g: &mut Graph| -> Var {
+                let wv = g.param(wid);
+                let n = g.normalize_rows(wv);
+                let sims = g.matmul_nt(n, n);
+                let t = g.tanh(sims);
+                g.mean_all(t)
+            },
+            EPS, RTOL, 6e-3,
+        ).unwrap();
+    }
+}
+
+#[test]
+fn gradients_accumulate_linearly_over_batches() {
+    // backward(loss_a + loss_b) == backward(loss_a) + backward(loss_b).
+    let mut store = ParamStore::new();
+    let w = store.register("w", Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.7]));
+    let xa = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+    let xb = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 0.2]);
+
+    let combined = {
+        let mut g = Graph::new(&store);
+        let wv = g.param(w);
+        let a = g.constant(xa.clone());
+        let b = g.constant(xb.clone());
+        let la_m = g.mul(wv, a);
+        let lb_m = g.mul(wv, b);
+        let la = g.sum_all(la_m);
+        let lb = g.sum_all(lb_m);
+        let total = g.add(la, lb);
+        g.backward(total)
+    };
+    let separate = {
+        let mut g1 = Graph::new(&store);
+        let wv = g1.param(w);
+        let a = g1.constant(xa);
+        let m = g1.mul(wv, a);
+        let la = g1.sum_all(m);
+        let mut ga = g1.backward(la);
+
+        let mut g2 = Graph::new(&store);
+        let wv2 = g2.param(w);
+        let b = g2.constant(xb);
+        let m2 = g2.mul(wv2, b);
+        let lb = g2.sum_all(m2);
+        let gb = g2.backward(lb);
+        ga.merge(&gb);
+        ga
+    };
+    let c = combined.get(w).unwrap();
+    let s = separate.get(w).unwrap();
+    for (a, b) in c.as_slice().iter().zip(s.as_slice()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}

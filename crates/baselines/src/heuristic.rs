@@ -1,0 +1,246 @@
+//! HeuristicMob — the LLM-Mob substitute (see DESIGN.md).
+//!
+//! LLM-Mob (Wang et al., 2023) prompts a GPT model with two lists: the
+//! user's *historical stays* (location, day-of-week, time) and *contextual
+//! stays* (the recent trajectory), and asks for a ranked guess. Without an
+//! LLM we score the same evidence directly:
+//!
+//! `score(l) = w_slot * P(l | user, time-slot of target)
+//!           + w_user * P(l | user)
+//!           + w_recent * recency-weighted frequency of l in the context
+//!           + w_global * P(l)`
+//!
+//! Two deliberate blunting choices keep the substitute faithful to an
+//! un-fine-tuned LLM rather than to an exact counter: visit counts are
+//! log-compressed (LLMs reason over coarse frequency impressions, not
+//! exact tallies) and time matching uses 4-hour buckets split by
+//! weekday/weekend (prompts carry coarse time-of-day semantics). This
+//! reproduces LLM-Mob's Table II profile: mediocre Rec@1 (no learned
+//! transition dynamics, not fine-tuned) with competitive Rec@5/10 (it
+//! reliably surfaces the user's frequent places).
+
+use adamove_mobility::{Sample, Timestamp};
+use std::collections::HashMap;
+
+/// Coarse time bucket: 4-hour blocks, weekday vs weekend (12 buckets).
+fn coarse_slot(t: Timestamp) -> u32 {
+    let block = t.hour_of_day() / 4;
+    if t.is_weekend() {
+        6 + block
+    } else {
+        block
+    }
+}
+
+/// Mixing weights for the four evidence sources.
+#[derive(Debug, Clone)]
+pub struct HeuristicWeights {
+    /// Historical stays at the target's time slot.
+    pub slot: f32,
+    /// Historical stays overall.
+    pub user: f32,
+    /// Contextual (recent) stays, recency-discounted.
+    pub recent: f32,
+    /// Global popularity.
+    pub global: f32,
+    /// Per-step recency decay inside the context.
+    pub recency_decay: f32,
+}
+
+impl Default for HeuristicWeights {
+    fn default() -> Self {
+        Self {
+            slot: 1.0,
+            user: 0.5,
+            recent: 0.8,
+            global: 0.05,
+            recency_decay: 0.8,
+        }
+    }
+}
+
+/// The fitted predictor.
+#[derive(Debug, Clone)]
+pub struct HeuristicMob {
+    num_locations: usize,
+    weights: HeuristicWeights,
+    /// `(user, slot) -> loc -> count`.
+    slot_counts: HashMap<(u32, u32), HashMap<u32, f32>>,
+    /// `user -> loc -> count`.
+    user_counts: HashMap<u32, HashMap<u32, f32>>,
+    global: Vec<f32>,
+}
+
+impl HeuristicMob {
+    /// Fit stay statistics from training samples.
+    pub fn fit(num_locations: usize, samples: &[Sample], weights: HeuristicWeights) -> Self {
+        let mut model = Self {
+            num_locations,
+            weights,
+            slot_counts: HashMap::new(),
+            user_counts: HashMap::new(),
+            global: vec![0.0; num_locations],
+        };
+        for s in samples {
+            // Historical stays = history + recent points + the target stay.
+            for p in s.history.iter().chain(&s.recent) {
+                model.observe(s.user.0, coarse_slot(p.time), p.loc.0);
+            }
+            model.observe(s.user.0, coarse_slot(s.target_time), s.target.0);
+        }
+        model
+    }
+
+    fn observe(&mut self, user: u32, slot: u32, loc: u32) {
+        debug_assert!(slot < 12);
+        *self
+            .slot_counts
+            .entry((user, slot))
+            .or_default()
+            .entry(loc)
+            .or_insert(0.0) += 1.0;
+        *self
+            .user_counts
+            .entry(user)
+            .or_default()
+            .entry(loc)
+            .or_insert(0.0) += 1.0;
+        self.global[loc as usize] += 1.0;
+    }
+
+    /// Score all locations for the next stay.
+    pub fn predict(&self, sample: &Sample) -> Vec<f32> {
+        let w = &self.weights;
+        let mut scores = vec![0.0f32; self.num_locations];
+
+        // Global prior.
+        let g_total: f32 = self.global.iter().sum::<f32>().max(1.0);
+        for (s, &g) in scores.iter_mut().zip(&self.global) {
+            *s += w.global * g / g_total;
+        }
+
+        // Historical stays around the *current* time of day. The paper's
+        // setting predicts the next location without knowing its timestamp,
+        // so the query slot is projected one hour past the last observed
+        // point (LLM-Mob's prompt reasons the same way: "given where she is
+        // now, where next?").
+        let now = sample
+            .recent
+            .last()
+            .map(|p| p.time)
+            .unwrap_or(sample.target_time);
+        let slot = coarse_slot(Timestamp(now.0 + 3600));
+        if let Some(counts) = self.slot_counts.get(&(sample.user.0, slot)) {
+            let total: f32 = counts.values().map(|&c| (1.0 + c).ln()).sum::<f32>().max(1e-6);
+            for (&l, &c) in counts {
+                scores[l as usize] += w.slot * (1.0 + c).ln() / total;
+            }
+        }
+
+        // Historical stays overall (log-compressed).
+        if let Some(counts) = self.user_counts.get(&sample.user.0) {
+            let total: f32 = counts.values().map(|&c| (1.0 + c).ln()).sum::<f32>().max(1e-6);
+            for (&l, &c) in counts {
+                scores[l as usize] += w.user * (1.0 + c).ln() / total;
+            }
+        }
+
+        // Contextual stays: geometric recency weights, newest first.
+        let mut weight = w.recent;
+        for p in sample.recent.iter().rev() {
+            scores[p.loc.index()] += weight;
+            weight *= w.recency_decay;
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_mobility::{LocationId, Point, Timestamp, UserId};
+
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    fn sample(user: u32, recent: Vec<Point>, target: u32, target_h: i64) -> Sample {
+        Sample {
+            user: UserId(user),
+            recent,
+            history: vec![],
+            target: LocationId(target),
+            target_time: Timestamp::from_hours(target_h),
+        }
+    }
+
+    #[test]
+    fn slot_evidence_dominates_at_matching_times() {
+        // User 0 is always at location 3 at 9am on workdays; the context
+        // point sits in a different 4-hour bucket (1am) so the slot
+        // evidence for the 8-11am bucket is unambiguous.
+        let train: Vec<Sample> = (0..8)
+            .map(|d| sample(0, vec![pt(1, d * 24 + 1)], 3, d * 24 + 9))
+            .collect();
+        let m = HeuristicMob::fit(6, &train, HeuristicWeights::default());
+        // Query with the last observation at 8am on a workday: the slot
+        // lookup projects to the 8-11am bucket, where 3 dominates.
+        let q = sample(0, vec![pt(5, 14 * 24 + 8)], 0, 14 * 24 + 9);
+        let scores = m.predict(&q);
+        assert_eq!(adamove_tensor::matrix::argmax(&scores), 3);
+    }
+
+    #[test]
+    fn recent_context_boosts_just_visited_places() {
+        let m = HeuristicMob::fit(6, &[], HeuristicWeights::default());
+        // With no training data, only recency evidence remains.
+        let q = sample(1, vec![pt(2, 0), pt(4, 1)], 0, 2);
+        let scores = m.predict(&q);
+        // Location 4 (most recent) beats 2.
+        assert!(scores[4] > scores[2]);
+        assert!(scores[2] > scores[0]);
+    }
+
+    #[test]
+    fn frequent_places_rank_in_top_k_even_when_rec1_misses() {
+        // The LLM-Mob profile: the user splits 9am between 2 and 3, so
+        // Rec@1 may miss but both places must be in the top ranks.
+        let mut train = Vec::new();
+        for d in 0..4 {
+            train.push(sample(0, vec![pt(1, d * 48 + 8)], 2, d * 48 + 9));
+            train.push(sample(0, vec![pt(1, d * 48 + 32)], 3, d * 48 + 33));
+        }
+        let m = HeuristicMob::fit(8, &train, HeuristicWeights::default());
+        let q = sample(0, vec![pt(1, 9 * 24 + 8)], 2, 9 * 24 + 9);
+        let scores = m.predict(&q);
+        let top2 = adamove_tensor::stats::top_k_indices(&scores, 3);
+        assert!(top2.contains(&2));
+        assert!(top2.contains(&3));
+    }
+
+    #[test]
+    fn unknown_user_falls_back_to_global_popularity() {
+        let train = vec![sample(0, vec![pt(5, 0)], 5, 1)];
+        let m = HeuristicMob::fit(6, &train, HeuristicWeights::default());
+        let q = Sample {
+            user: UserId(42),
+            recent: vec![],
+            history: vec![],
+            target: LocationId(0),
+            target_time: Timestamp::from_hours(1),
+        };
+        let scores = m.predict(&q);
+        assert_eq!(adamove_tensor::matrix::argmax(&scores), 5);
+    }
+
+    #[test]
+    fn history_points_count_as_historical_stays() {
+        let mut s = sample(0, vec![pt(1, 100)], 1, 101);
+        s.history = vec![pt(7, 9), pt(7, 33), pt(7, 57)];
+        let m = HeuristicMob::fit(8, &[s], HeuristicWeights::default());
+        let q = sample(0, vec![], 0, 9);
+        let scores = m.predict(&q);
+        // Location 7 dominates user counts.
+        assert_eq!(adamove_tensor::matrix::argmax(&scores), 7);
+    }
+}

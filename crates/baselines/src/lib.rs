@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Baseline next-location predictors for the Table II comparison.
+//!
+//! One faithful implementation per architectural family (see DESIGN.md for
+//! the substitution rationale):
+//!
+//! - [`markov`] — `MarkovBaseline` (per-user first-order Markov with global
+//!   fallback, ≈ NLPMM) and `PopularityBaseline` (frequency prior);
+//! - [`seq`] — `SeqBaseline`: recent-only neural sequence models (the
+//!   paper's LSTM baseline and the RNN/GRU encoder ablations) and the
+//!   MHSA-style Transformer with history access;
+//! - [`deepmove`] — `DeepMove`: the two-branch attentional RNN (Feng et
+//!   al., WWW 2018). Implements [`adamove::TtaModel`], so wrapping it in
+//!   PTTA yields **DeepTTA**, the efficiency comparator of Table III;
+//! - [`heuristic`] — `HeuristicMob`: a frequency/recency scorer standing in
+//!   for the GPT-based LLM-Mob (no LLM access offline; scores the same
+//!   signals LLM-Mob's prompt encodes).
+
+pub mod deepmove;
+pub mod heuristic;
+pub mod markov;
+pub mod seq;
+
+pub use deepmove::DeepMove;
+pub use heuristic::HeuristicMob;
+pub use markov::{MarkovBaseline, PopularityBaseline};
+pub use seq::SeqBaseline;

@@ -1,0 +1,223 @@
+//! Statistical baselines: first-order Markov (≈ NLPMM) and popularity.
+
+use adamove_mobility::{Sample, UserId};
+use std::collections::HashMap;
+
+/// Per-user first-order Markov chain over locations with a global-chain
+/// fallback and a popularity prior — the statistical family of the paper's
+/// related work (PFMC-LR, NLPMM).
+#[derive(Debug, Clone, Default)]
+pub struct MarkovBaseline {
+    num_locations: usize,
+    /// `(user, from) -> to -> count`.
+    user_transitions: HashMap<(u32, u32), HashMap<u32, f32>>,
+    /// `from -> to -> count` pooled over users.
+    global_transitions: HashMap<u32, HashMap<u32, f32>>,
+    /// Global visit counts.
+    popularity: Vec<f32>,
+}
+
+impl MarkovBaseline {
+    /// Fit transition counts from training samples. Each sample contributes
+    /// the consecutive pairs inside `recent` plus `(last, target)`.
+    pub fn fit(num_locations: usize, samples: &[Sample]) -> Self {
+        let mut model = Self {
+            num_locations,
+            popularity: vec![0.0; num_locations],
+            ..Self::default()
+        };
+        for s in samples {
+            let mut seq: Vec<u32> = s.recent.iter().map(|p| p.loc.0).collect();
+            seq.push(s.target.0);
+            for w in seq.windows(2) {
+                model.observe(s.user, w[0], w[1]);
+            }
+            for &l in &seq {
+                model.popularity[l as usize] += 1.0;
+            }
+        }
+        model
+    }
+
+    fn observe(&mut self, user: UserId, from: u32, to: u32) {
+        *self
+            .user_transitions
+            .entry((user.0, from))
+            .or_default()
+            .entry(to)
+            .or_insert(0.0) += 1.0;
+        *self
+            .global_transitions
+            .entry(from)
+            .or_default()
+            .entry(to)
+            .or_insert(0.0) += 1.0;
+    }
+
+    /// Scores for the next location after `sample.recent`.
+    ///
+    /// Blend: user chain (weight 1.0) + global chain (0.3) + popularity
+    /// prior (0.01) — the prior breaks ties and ranks unseen transitions.
+    pub fn predict(&self, sample: &Sample) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.num_locations];
+        let pop_total: f32 = self.popularity.iter().sum::<f32>().max(1.0);
+        for (s, &p) in scores.iter_mut().zip(&self.popularity) {
+            *s += 0.01 * p / pop_total;
+        }
+        let Some(last) = sample.recent.last() else {
+            return scores;
+        };
+        if let Some(global) = self.global_transitions.get(&last.loc.0) {
+            let total: f32 = global.values().sum();
+            for (&to, &c) in global {
+                scores[to as usize] += 0.3 * c / total;
+            }
+        }
+        if let Some(user) = self.user_transitions.get(&(sample.user.0, last.loc.0)) {
+            let total: f32 = user.values().sum();
+            for (&to, &c) in user {
+                scores[to as usize] += 1.0 * c / total;
+            }
+        }
+        scores
+    }
+
+    /// Number of distinct (user, from) transition rows learned.
+    pub fn num_user_rows(&self) -> usize {
+        self.user_transitions.len()
+    }
+}
+
+/// Per-user visit-frequency baseline with a global fallback — the weakest
+/// sensible comparator and a sanity floor for every experiment.
+#[derive(Debug, Clone, Default)]
+pub struct PopularityBaseline {
+    num_locations: usize,
+    user_counts: HashMap<u32, Vec<f32>>,
+    global: Vec<f32>,
+}
+
+impl PopularityBaseline {
+    /// Count visits in the training samples (recent points + targets).
+    pub fn fit(num_locations: usize, samples: &[Sample]) -> Self {
+        let mut model = Self {
+            num_locations,
+            global: vec![0.0; num_locations],
+            ..Self::default()
+        };
+        for s in samples {
+            let counts = model
+                .user_counts
+                .entry(s.user.0)
+                .or_insert_with(|| vec![0.0; num_locations]);
+            for p in &s.recent {
+                counts[p.loc.index()] += 1.0;
+            }
+            counts[s.target.index()] += 1.0;
+        }
+        for counts in model.user_counts.values() {
+            for (g, &c) in model.global.iter_mut().zip(counts) {
+                *g += c;
+            }
+        }
+        model
+    }
+
+    /// Per-user frequency plus a small global prior.
+    pub fn predict(&self, sample: &Sample) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.num_locations];
+        let g_total: f32 = self.global.iter().sum::<f32>().max(1.0);
+        for (s, &g) in scores.iter_mut().zip(&self.global) {
+            *s += 0.05 * g / g_total;
+        }
+        if let Some(counts) = self.user_counts.get(&sample.user.0) {
+            let total: f32 = counts.iter().sum::<f32>().max(1.0);
+            for (s, &c) in scores.iter_mut().zip(counts) {
+                *s += c / total;
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_mobility::{LocationId, Point, Timestamp};
+
+    fn sample(user: u32, locs: &[u32], target: u32) -> Sample {
+        Sample {
+            user: UserId(user),
+            recent: locs
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| Point::new(l, Timestamp::from_hours(i as i64)))
+                .collect(),
+            history: vec![],
+            target: LocationId(target),
+            target_time: Timestamp::from_hours(10),
+        }
+    }
+
+    #[test]
+    fn markov_learns_user_transitions() {
+        // User 0 always goes 1 -> 2; user 1 always goes 1 -> 3.
+        let train = vec![
+            sample(0, &[0, 1], 2),
+            sample(0, &[0, 1], 2),
+            sample(1, &[0, 1], 3),
+            sample(1, &[0, 1], 3),
+        ];
+        let m = MarkovBaseline::fit(5, &train);
+        assert!(m.num_user_rows() >= 2);
+        let s0 = m.predict(&sample(0, &[0, 1], 9));
+        let s1 = m.predict(&sample(1, &[0, 1], 9));
+        assert_eq!(adamove_tensor::matrix::argmax(&s0), 2);
+        assert_eq!(adamove_tensor::matrix::argmax(&s1), 3);
+    }
+
+    #[test]
+    fn markov_falls_back_to_global_chain() {
+        // User 5 never trained; global statistics say 1 -> 2.
+        let train = vec![sample(0, &[1], 2), sample(1, &[1], 2), sample(2, &[1], 2)];
+        let m = MarkovBaseline::fit(5, &train);
+        let s = m.predict(&sample(5, &[0, 1], 9));
+        assert_eq!(adamove_tensor::matrix::argmax(&s), 2);
+    }
+
+    #[test]
+    fn markov_handles_unseen_transition_via_popularity() {
+        let train = vec![sample(0, &[1], 2)];
+        let m = MarkovBaseline::fit(5, &train);
+        // From location 4: never observed; popularity prior decides
+        // (locations 1 and 2 were visited).
+        let s = m.predict(&sample(0, &[4], 9));
+        let best = adamove_tensor::matrix::argmax(&s);
+        assert!(best == 1 || best == 2);
+        // Empty recent trajectory degrades to the prior without panicking.
+        let empty = m.predict(&sample(0, &[], 9));
+        assert_eq!(empty.len(), 5);
+    }
+
+    #[test]
+    fn popularity_ranks_frequent_locations_first() {
+        let train = vec![
+            sample(0, &[3, 3, 3], 3),
+            sample(0, &[3, 1], 3),
+            sample(1, &[2, 2], 2),
+        ];
+        let p = PopularityBaseline::fit(5, &train);
+        let s0 = p.predict(&sample(0, &[0], 9));
+        assert_eq!(adamove_tensor::matrix::argmax(&s0), 3);
+        let s1 = p.predict(&sample(1, &[0], 9));
+        assert_eq!(adamove_tensor::matrix::argmax(&s1), 2);
+    }
+
+    #[test]
+    fn popularity_unknown_user_uses_global() {
+        let train = vec![sample(0, &[4, 4, 4], 4)];
+        let p = PopularityBaseline::fit(6, &train);
+        let s = p.predict(&sample(9, &[0], 1));
+        assert_eq!(adamove_tensor::matrix::argmax(&s), 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion bench for the Fig. 5 encoder families: forward-pass cost of
+//! RNN / GRU / LSTM / Transformer trajectory encoders at typical
+//! evaluation sequence lengths.
+
+use adamove::{AdaMoveConfig, EncoderKind, LightMob};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(kind: EncoderKind) -> (ParamStore, LightMob) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            loc_dim: 32,
+            time_dim: 8,
+            user_dim: 12,
+            hidden: 48,
+            encoder: kind,
+            transformer_heads: 8,
+            ..AdaMoveConfig::default()
+        },
+        300,
+        4,
+        &mut rng,
+    );
+    (store, model)
+}
+
+fn points(n: usize, rng: &mut StdRng) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(rng.gen_range(0..300), Timestamp::from_hours(i as i64 * 2)))
+        .collect()
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    for kind in [
+        EncoderKind::Rnn,
+        EncoderKind::Gru,
+        EncoderKind::Lstm,
+        EncoderKind::Transformer,
+    ] {
+        let (store, model) = build(kind);
+        let mut group = c.benchmark_group(format!("encoder_{}", kind.label()));
+        for &n in &[10usize, 30] {
+            let pts = points(n, &mut rng);
+            group.bench_function(format!("seq{n}"), |b| {
+                b.iter(|| black_box(model.predict_scores(&store, &pts, UserId(0))))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under a few
+    // minutes on a laptop; pass --measurement-time to override.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_encoders
+}
+criterion_main!(benches);

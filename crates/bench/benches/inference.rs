@@ -1,0 +1,77 @@
+//! Criterion bench for the Table III comparison: per-sample inference cost
+//! of AdaMove (LightMob + PTTA, recent-only) vs DeepTTA (DeepMove + PTTA,
+//! history encoded at test time), across history lengths.
+//!
+//! The AdaMove bars should be flat in history length (it never reads the
+//! history at test time); the DeepTTA bars grow with it — that gap is the
+//! paper's 28.5% average speedup, largest on dense-history LYMOB.
+
+use adamove::{AdaMoveConfig, LightMob, Ptta, PttaConfig};
+use adamove_autograd::ParamStore;
+use adamove_baselines::DeepMove;
+use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LOCATIONS: u32 = 300;
+
+fn config() -> AdaMoveConfig {
+    AdaMoveConfig {
+        loc_dim: 32,
+        time_dim: 8,
+        user_dim: 12,
+        hidden: 48,
+        max_history: 200,
+        ..AdaMoveConfig::default()
+    }
+}
+
+fn sample(recent_len: usize, history_len: usize, rng: &mut StdRng) -> Sample {
+    let mk = |i: usize, rng: &mut StdRng| {
+        Point::new(
+            rng.gen_range(0..LOCATIONS),
+            Timestamp::from_hours(i as i64 * 2),
+        )
+    };
+    Sample {
+        user: UserId(0),
+        history: (0..history_len).map(|i| mk(i, rng)).collect(),
+        recent: (0..recent_len).map(|i| mk(history_len + i, rng)).collect(),
+        target: LocationId(rng.gen_range(0..LOCATIONS)),
+        target_time: Timestamp::from_hours((history_len + recent_len) as i64 * 2),
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut light_store = ParamStore::new();
+    let light = LightMob::new(&mut light_store, config(), LOCATIONS, 4, &mut rng);
+    let mut dm_store = ParamStore::new();
+    let deepmove = DeepMove::new(&mut dm_store, config(), LOCATIONS, 4, &mut rng);
+    let ptta = Ptta::new(PttaConfig::default());
+
+    let mut group = c.benchmark_group("tta_inference");
+    for &hist in &[20usize, 60, 120] {
+        let s = sample(25, hist, &mut rng);
+        group.bench_function(format!("adamove_hist{hist}"), |b| {
+            b.iter(|| black_box(ptta.predict_scores(&light, &light_store, &s)))
+        });
+        group.bench_function(format!("deeptta_hist{hist}"), |b| {
+            b.iter(|| black_box(ptta.predict_scores(&deepmove, &dm_store, &s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under a few
+    // minutes on a laptop; pass --measurement-time to override.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_inference
+}
+criterion_main!(benches);

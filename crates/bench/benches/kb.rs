@@ -1,0 +1,60 @@
+//! Ablation bench: the two knowledge-base keepers from `adamove::kb`.
+//!
+//! The paper's complexity analysis argues for a priority queue
+//! (`O(log M)` per overflow update); for the paper's `M = 5` a linear scan
+//! is competitive because the constant dominates. This bench quantifies
+//! the crossover.
+
+use adamove::{HeapTopM, LinearTopM, TopM};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_keepers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 256; // patterns offered per adaptation
+    let dim = 48;
+    let patterns: Vec<(f32, Vec<f32>)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(-1.0f32..1.0),
+                (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            )
+        })
+        .collect();
+
+    for &m in &[5usize, 32, 128] {
+        let mut group = c.benchmark_group(format!("kb_m{m}"));
+        group.bench_function("heap", |b| {
+            b.iter(|| {
+                let mut keeper = HeapTopM::new(m);
+                for (imp, p) in &patterns {
+                    keeper.push(*imp, p);
+                }
+                black_box(keeper.len())
+            })
+        });
+        group.bench_function("linear", |b| {
+            b.iter(|| {
+                let mut keeper = LinearTopM::new(m);
+                for (imp, p) in &patterns {
+                    keeper.push(*imp, p);
+                }
+                black_box(keeper.len())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under a few
+    // minutes on a laptop; pass --measurement-time to override.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_keepers
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion benches for the tensor/autograd substrate: GEMM variants,
+//! softmax, an LSTM step forward+backward, and an embedding gather —
+//! the kernels every experiment spends its time in.
+
+use adamove_autograd::{Graph, ParamStore};
+use adamove_nn::{LstmCell, Recurrent};
+use adamove_tensor::init;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = init::normal(n, n, 1.0, &mut rng);
+        let b = init::normal(n, n, 1.0, &mut rng);
+        group.bench_function(format!("nn_{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+        group.bench_function(format!("nt_{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul_nt(&b).unwrap()))
+        });
+        group.bench_function(format!("tn_{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul_tn(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let m = init::normal(64, 512, 1.0, &mut rng);
+    c.bench_function("softmax_rows_64x512", |b| {
+        b.iter(|| black_box(m.softmax_rows()))
+    });
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let table = store.register("emb", init::normal(5000, 48, 0.1, &mut rng));
+    let indices: Vec<u32> = (0..64).map(|i| (i * 73) % 5000).collect();
+    c.bench_function("gather_64_of_5000x48", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&store);
+            black_box(g.gather(table, &indices))
+        })
+    });
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let cell = LstmCell::new(&mut store, "lstm", 72, 64, &mut rng);
+    let enc = Recurrent::Lstm(cell);
+    let xs = init::normal(20, 72, 1.0, &mut rng);
+
+    c.bench_function("lstm_forward_seq20", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(xs.clone());
+            black_box(enc.encode_last(&mut g, x))
+        })
+    });
+
+    c.bench_function("lstm_forward_backward_seq20", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(xs.clone());
+            let h = enc.encode_last(&mut g, x);
+            let loss = g.mean_all(h);
+            black_box(g.backward(loss))
+        })
+    });
+}
+
+fn bench_backward_overhead(c: &mut Criterion) {
+    // Ratio of backward to forward cost for a classifier-shaped graph.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let w1 = store.register("w1", init::xavier_uniform(72, 128, &mut rng));
+    let w2 = store.register("w2", init::xavier_uniform(128, 300, &mut rng));
+    let x = init::normal(50, 72, 1.0, &mut rng);
+    let targets: Vec<u32> = (0..50).map(|i| (i * 7) % 300).collect();
+
+    c.bench_function("mlp_forward_only", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&store);
+            let xv = g.constant(x.clone());
+            let h = g.linear(w1, None, xv);
+            let t = g.tanh(h);
+            let logits = g.linear(w2, None, t);
+            black_box(g.cross_entropy_logits(logits, &targets))
+        })
+    });
+    c.bench_function("mlp_forward_backward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&store);
+            let xv = g.constant(x.clone());
+            let h = g.linear(w1, None, xv);
+            let t = g.tanh(h);
+            let logits = g.linear(w2, None, t);
+            let loss = g.cross_entropy_logits(logits, &targets);
+            black_box(g.backward(loss))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under a few
+    // minutes on a laptop; pass --measurement-time to override.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_matmul,
+    bench_softmax,
+    bench_gather,
+    bench_lstm_step,
+    bench_backward_overhead
+}
+criterion_main!(benches);

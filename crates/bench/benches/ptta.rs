@@ -1,0 +1,108 @@
+//! Criterion bench for PTTA (Algorithm 1): per-sample adaptation cost as a
+//! function of the recent-trajectory length `N` and the capacity `M`.
+//!
+//! The paper's complexity claim is `O(N log M)` for knowledge-base
+//! construction plus `O(N)` pattern generation (encoder dominated) and
+//! `O(L M)` weight update — overall linear in `N`. The `by_length` group
+//! should therefore scale roughly linearly; the `by_capacity` group should
+//! be nearly flat.
+
+use adamove::{AdaMoveConfig, LightMob, Ptta, PttaConfig};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_sample(n: usize, num_locations: u32, rng: &mut StdRng) -> Sample {
+    Sample {
+        user: UserId(0),
+        recent: (0..n)
+            .map(|i| {
+                Point::new(
+                    rng.gen_range(0..num_locations),
+                    Timestamp::from_hours(i as i64 * 2),
+                )
+            })
+            .collect(),
+        history: vec![],
+        target: LocationId(rng.gen_range(0..num_locations)),
+        target_time: Timestamp::from_hours(n as i64 * 2),
+    }
+}
+
+fn setup(num_locations: u32) -> (ParamStore, LightMob) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            loc_dim: 32,
+            time_dim: 8,
+            user_dim: 12,
+            hidden: 48,
+            ..AdaMoveConfig::default()
+        },
+        num_locations,
+        4,
+        &mut rng,
+    );
+    (store, model)
+}
+
+fn bench_by_length(c: &mut Criterion) {
+    let (store, model) = setup(300);
+    let ptta = Ptta::new(PttaConfig::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("ptta_by_length");
+    for &n in &[5usize, 10, 20, 40] {
+        let sample = make_sample(n, 300, &mut rng);
+        group.bench_function(format!("N{n}"), |b| {
+            b.iter(|| black_box(ptta.predict_scores(&model, &store, &sample)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_capacity(c: &mut Criterion) {
+    let (store, model) = setup(300);
+    let mut rng = StdRng::seed_from_u64(12);
+    let sample = make_sample(30, 300, &mut rng);
+    let mut group = c.benchmark_group("ptta_by_capacity");
+    for &m in &[1usize, 5, 20] {
+        let ptta = Ptta::new(PttaConfig {
+            capacity: m,
+            ..PttaConfig::default()
+        });
+        group.bench_function(format!("M{m}"), |b| {
+            b.iter(|| black_box(ptta.predict_scores(&model, &store, &sample)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_steps(c: &mut Criterion) {
+    // Isolate the adaptation overhead: frozen forward vs PTTA end-to-end.
+    let (store, model) = setup(300);
+    let ptta = Ptta::new(PttaConfig::default());
+    let mut rng = StdRng::seed_from_u64(13);
+    let sample = make_sample(25, 300, &mut rng);
+    c.bench_function("frozen_forward_N25", |b| {
+        b.iter(|| black_box(model.predict_scores(&store, &sample.recent, sample.user)))
+    });
+    c.bench_function("ptta_full_N25", |b| {
+        b.iter(|| black_box(ptta.predict_scores(&model, &store, &sample)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under a few
+    // minutes on a laptop; pass --measurement-time to override.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_by_length, bench_by_capacity, bench_steps
+}
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! E11 (beyond the paper) — where does the adaptation gain come from?
+//!
+//! Splits test users into a *shifted* cohort (large train-vs-test location
+//! divergence) and a *stable* cohort, then reports frozen vs PTTA accuracy
+//! per cohort. The paper's Fig. 10 tells this story for one user; this
+//! binary quantifies it for the population: adaptation gains should
+//! concentrate on the shifted cohort while leaving the stable cohort
+//! intact.
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin ablation_cohorts
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+
+use adamove::{evaluate_by, EncoderKind, Metrics, Ptta, PttaConfig};
+use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
+use adamove_bench::report::{render_table, write_json};
+use adamove_mobility::split::split_sessions;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Serialize)]
+struct CohortRow {
+    cohort: String,
+    users: usize,
+    frozen: Metrics,
+    adapted: Metrics,
+    rec1_gain_pct: f64,
+}
+
+#[derive(Serialize)]
+struct CityResult {
+    city: String,
+    divergence_threshold: f64,
+    cohorts: Vec<CohortRow>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let (max_train, max_test) = sample_caps(args.scale);
+    let threshold = 0.25; // fraction of test check-ins at unseen locations
+    let mut results = Vec::new();
+
+    for preset in args.cities() {
+        let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
+        println!("\n=== {} ===\n", city.stats.name);
+
+        // Per-user divergence: share of test-region check-ins at locations
+        // absent from that user's training region.
+        let mut shifted_users: HashSet<u32> = HashSet::new();
+        let mut cohort_sizes: HashMap<bool, usize> = HashMap::new();
+        for u in &city.processed.users {
+            let (train_r, _, test_r) = split_sessions(u.sessions.len());
+            let train_locs: HashSet<u32> = u.sessions[train_r]
+                .iter()
+                .flatten()
+                .map(|p| p.loc.0)
+                .collect();
+            let test_points: Vec<u32> = u.sessions[test_r]
+                .iter()
+                .flatten()
+                .map(|p| p.loc.0)
+                .collect();
+            if test_points.is_empty() {
+                continue;
+            }
+            let new = test_points
+                .iter()
+                .filter(|l| !train_locs.contains(l))
+                .count();
+            let shifted = new as f64 / test_points.len() as f64 > threshold;
+            if shifted {
+                shifted_users.insert(u.user.0);
+            }
+            *cohort_sizes.entry(shifted).or_insert(0) += 1;
+        }
+
+        eprintln!("training AdaMove...");
+        let trained = train_adamove(&city, EncoderKind::Lstm, &args, None);
+        let ptta = Ptta::new(PttaConfig::default());
+
+        let frozen_by = evaluate_by(
+            &city.test,
+            |s| shifted_users.contains(&s.user.0),
+            |s| trained.model.predict_scores(&trained.store, &s.recent, s.user),
+        );
+        let adapted_by = evaluate_by(
+            &city.test,
+            |s| shifted_users.contains(&s.user.0),
+            |s| ptta.predict_scores(&trained.model, &trained.store, s),
+        );
+
+        let mut cohorts = Vec::new();
+        let mut rows = Vec::new();
+        for (&shifted, label) in [(true, "shifted"), (false, "stable")]
+            .iter()
+            .map(|(s, l)| (s, *l))
+        {
+            let (Some(frozen), Some(adapted)) =
+                (frozen_by.get(&shifted), adapted_by.get(&shifted))
+            else {
+                continue;
+            };
+            let gain =
+                (adapted.rec1 as f64 / (frozen.rec1 as f64).max(1e-9) - 1.0) * 100.0;
+            rows.push(vec![
+                label.to_string(),
+                cohort_sizes.get(&shifted).copied().unwrap_or(0).to_string(),
+                format!("{:.4}", frozen.rec1),
+                format!("{:.4}", adapted.rec1),
+                format!("{gain:+.1}%"),
+            ]);
+            cohorts.push(CohortRow {
+                cohort: label.to_string(),
+                users: cohort_sizes.get(&shifted).copied().unwrap_or(0),
+                frozen: *frozen,
+                adapted: *adapted,
+                rec1_gain_pct: gain,
+            });
+        }
+        println!(
+            "{}",
+            render_table(
+                &["Cohort", "#Users", "frozen Rec@1", "PTTA Rec@1", "gain"],
+                &rows
+            )
+        );
+        println!("Expectation: the shifted cohort gains most from adaptation.\n");
+
+        results.push(CityResult {
+            city: city.stats.name.clone(),
+            divergence_threshold: threshold,
+            cohorts,
+        });
+    }
+
+    write_json("ablation_cohorts", &results);
+}

@@ -1,0 +1,89 @@
+//! E2 — Fig. 1(b)/(c): temporal shift diagnostics.
+//!
+//! (b) one user's visit heatmap over biweekly periods — locations appear
+//! and disappear over time; (c) population-level cosine similarity between
+//! each biweekly visit distribution and the first-three-months historical
+//! distribution — the decay curve motivating test-time adaptation.
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin fig1_shift [--seed N]`
+
+use adamove_bench::harness::ExperimentArgs;
+use adamove_bench::report::write_json;
+use adamove_mobility::analysis::{similarity_decay, user_heatmap, SimilarityPoint};
+use adamove_mobility::synth::{generate, Scale};
+use adamove_mobility::CityPreset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    heatmap_locations: Vec<u32>,
+    heatmap_counts: Vec<Vec<f32>>,
+    decay: Vec<(i64, f32)>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    // Fig. 1 uses Foursquare over ~a year; mirror that horizon.
+    let mut cfg = CityPreset::Nyc.config(Scale::Small);
+    cfg.days = 330;
+    cfg.num_users = 80;
+    cfg.shift_at = 0.45; // shifts land after the 90-day history window
+    cfg.seed = cfg.seed.wrapping_add(args.seed);
+    let ds = generate(&cfg);
+
+    // ---- Fig. 1(b): one user's heatmap -------------------------------
+    // Pick the user with the most check-ins for a readable picture.
+    let user = ds
+        .trajectories
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| t.len())
+        .map(|(i, _)| i)
+        .unwrap();
+    let (locs, heat) = user_heatmap(&ds.trajectories[user].points, ds.num_locations, cfg.days, 16);
+    println!("Fig. 1(b): visit heatmap for user {user} (rows = top locations, cols = biweekly periods)\n");
+    let periods = heat.cols();
+    print!("{:>8} |", "loc");
+    for p in 0..periods {
+        print!("{:>4}", p);
+    }
+    println!();
+    println!("{}", "-".repeat(10 + 4 * periods));
+    for (r, &l) in locs.iter().enumerate() {
+        print!("{l:>8} |");
+        for c in 0..periods {
+            let v = heat.get(r, c);
+            let glyph = match v as u32 {
+                0 => "   .",
+                1..=2 => "   -",
+                3..=6 => "   o",
+                7..=12 => "   O",
+                _ => "   #",
+            };
+            print!("{glyph}");
+        }
+        println!();
+    }
+
+    // ---- Fig. 1(c): similarity decay ----------------------------------
+    let decay: Vec<SimilarityPoint> = similarity_decay(&ds, 90);
+    println!("\nFig. 1(c): mobility similarity vs. historical distribution (first 90 days)\n");
+    println!("{:>6}  {:>10}  curve", "week", "similarity");
+    for p in &decay {
+        let bar = "#".repeat((p.similarity * 40.0).max(0.0) as usize);
+        println!("{:>6}  {:>10.4}  {bar}", p.week, p.similarity);
+    }
+    if let (Some(first), Some(last)) = (decay.first(), decay.last()) {
+        println!(
+            "\nSimilarity decays from {:.3} to {:.3} — the Fig. 1(c) shape (paper: below 0.5 by ~week 12 after history).",
+            first.similarity, last.similarity
+        );
+    }
+
+    let record = Record {
+        heatmap_locations: locs,
+        heatmap_counts: (0..heat.rows()).map(|r| heat.row(r).to_vec()).collect(),
+        decay: decay.iter().map(|p| (p.week, p.similarity)).collect(),
+    };
+    write_json("fig1_shift", &record);
+}

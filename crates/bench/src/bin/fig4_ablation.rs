@@ -1,0 +1,135 @@
+//! E4 — Fig. 4: ablation on model variants.
+//!
+//! Variants (per §IV-C):
+//! - **Base Model** — plain LSTM base model, frozen inference;
+//! - **w/o LightMob** — base model (no contrastive training) + PTTA;
+//! - **w/o PTTA** — LightMob (contrastive training), frozen inference;
+//! - **T3A** — base model + the T3A comparator;
+//! - **w/ ent** — AdaMove with entropy importance instead of similarity;
+//! - **w/ pseudo-label** — AdaMove with predicted instead of real labels;
+//! - **AdaMove** — the full model.
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin fig4_ablation
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+
+use adamove::{
+    evaluate, EncoderKind, ImportanceStrategy, InferenceMode, LabelStrategy, Metrics, PttaConfig,
+    T3aConfig,
+};
+use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
+use adamove_bench::report::{metrics_row, render_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct VariantResult {
+    variant: String,
+    metrics: Metrics,
+}
+
+#[derive(Serialize)]
+struct CityResult {
+    city: String,
+    variants: Vec<VariantResult>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let (max_train, max_test) = sample_caps(args.scale);
+    let mut results = Vec::new();
+
+    for preset in args.cities() {
+        let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
+        println!("\n=== {} ===\n", city.stats.name);
+
+        // Two trained models: the base model (lambda = 0) and LightMob.
+        eprintln!("training base model (lambda = 0)...");
+        let base = train_adamove(&city, EncoderKind::Lstm, &args, Some(0.0));
+        eprintln!("training LightMob (contrastive)...");
+        let light = train_adamove(&city, EncoderKind::Lstm, &args, None);
+
+        let ptta = InferenceMode::Ptta(PttaConfig::default());
+        let with_ent = InferenceMode::Ptta(PttaConfig {
+            importance: ImportanceStrategy::Entropy,
+            ..PttaConfig::default()
+        });
+        let with_pseudo = InferenceMode::Ptta(PttaConfig {
+            labels: LabelStrategy::Pseudo,
+            ..PttaConfig::default()
+        });
+        let t3a = InferenceMode::T3a(T3aConfig::default());
+
+        let variants: Vec<(String, Metrics)> = vec![
+            (
+                "Base Model".into(),
+                evaluate(&base.model, &base.store, &city.test, &InferenceMode::Frozen).metrics,
+            ),
+            (
+                "T3A".into(),
+                evaluate(&base.model, &base.store, &city.test, &t3a).metrics,
+            ),
+            (
+                "w/o LightMob".into(),
+                evaluate(&base.model, &base.store, &city.test, &ptta).metrics,
+            ),
+            (
+                "w/o PTTA".into(),
+                evaluate(&light.model, &light.store, &city.test, &InferenceMode::Frozen).metrics,
+            ),
+            (
+                "w/ ent".into(),
+                evaluate(&light.model, &light.store, &city.test, &with_ent).metrics,
+            ),
+            (
+                "w/ pseudo-label".into(),
+                evaluate(&light.model, &light.store, &city.test, &with_pseudo).metrics,
+            ),
+            (
+                "AdaMove".into(),
+                evaluate(&light.model, &light.store, &city.test, &ptta).metrics,
+            ),
+        ];
+
+        let rows: Vec<Vec<String>> = variants
+            .iter()
+            .map(|(name, m)| metrics_row(name, m))
+            .collect();
+        println!(
+            "{}",
+            render_table(&["Variant", "Rec@1", "Rec@5", "Rec@10", "MRR"], &rows)
+        );
+
+        let get = |name: &str| variants.iter().find(|(n, _)| n == name).unwrap().1;
+        println!("Shape checks (paper Fig. 4):");
+        println!(
+            "  w/o LightMob > Base Model: {:.4} vs {:.4}",
+            get("w/o LightMob").rec1,
+            get("Base Model").rec1
+        );
+        println!(
+            "  w/o PTTA     > Base Model: {:.4} vs {:.4}",
+            get("w/o PTTA").rec1,
+            get("Base Model").rec1
+        );
+        println!(
+            "  AdaMove      > T3A       : {:.4} vs {:.4} (paper: +32% Rec@1 on average)",
+            get("AdaMove").rec1,
+            get("T3A").rec1
+        );
+        println!(
+            "  AdaMove      > w/ ent, w/ pseudo-label: {:.4} vs {:.4} / {:.4}",
+            get("AdaMove").rec1,
+            get("w/ ent").rec1,
+            get("w/ pseudo-label").rec1
+        );
+
+        results.push(CityResult {
+            city: city.stats.name.clone(),
+            variants: variants
+                .into_iter()
+                .map(|(variant, metrics)| VariantResult { variant, metrics })
+                .collect(),
+        });
+    }
+
+    write_json("fig4_ablation", &results);
+}

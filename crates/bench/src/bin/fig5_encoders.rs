@@ -1,0 +1,73 @@
+//! E5 — Fig. 5: impact of different trajectory encoders.
+//!
+//! Trains AdaMove with each of RNN / LSTM / GRU / Transformer encoders and
+//! evaluates with PTTA. The paper finds GRU strongest and the Transformer
+//! weakest (trajectory sparsity starves self-attention).
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin fig5_encoders
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+
+use adamove::{evaluate, EncoderKind, InferenceMode, Metrics, PttaConfig};
+use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
+use adamove_bench::report::{metrics_row, render_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EncoderResult {
+    encoder: String,
+    metrics: Metrics,
+}
+
+#[derive(Serialize)]
+struct CityResult {
+    city: String,
+    encoders: Vec<EncoderResult>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let (max_train, max_test) = sample_caps(args.scale);
+    let mut results = Vec::new();
+
+    for preset in args.cities() {
+        let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
+        println!("\n=== {} ===\n", city.stats.name);
+
+        let mut encoders = Vec::new();
+        for kind in [
+            EncoderKind::Rnn,
+            EncoderKind::Lstm,
+            EncoderKind::Gru,
+            EncoderKind::Transformer,
+        ] {
+            eprintln!("training AdaMove with {} encoder...", kind.label());
+            let trained = train_adamove(&city, kind, &args, None);
+            let out = evaluate(
+                &trained.model,
+                &trained.store,
+                &city.test,
+                &InferenceMode::Ptta(PttaConfig::default()),
+            );
+            encoders.push(EncoderResult {
+                encoder: kind.label().to_string(),
+                metrics: out.metrics,
+            });
+        }
+
+        let rows: Vec<Vec<String>> = encoders
+            .iter()
+            .map(|e| metrics_row(&e.encoder, &e.metrics))
+            .collect();
+        println!(
+            "{}",
+            render_table(&["Encoder", "Rec@1", "Rec@5", "Rec@10", "MRR"], &rows)
+        );
+
+        results.push(CityResult {
+            city: city.stats.name.clone(),
+            encoders,
+        });
+    }
+
+    write_json("fig5_encoders", &results);
+}

@@ -1,0 +1,75 @@
+//! E6 — Fig. 6: impact of the number of sessions `c`.
+//!
+//! One trained AdaMove per city, evaluated with test samples rebuilt for
+//! `c ∈ {1..8}`. The paper finds performance rises with `c` then flattens
+//! (NYC/LYMOB) or declines (TKY, where the shift is strongest and long
+//! contexts mix stale patterns into the knowledge base).
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin fig6_sessions
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+
+use adamove::{evaluate, EncoderKind, InferenceMode, Metrics, PttaConfig};
+use adamove_bench::harness::{
+    prepare_city, resample_test, sample_caps, train_adamove, ExperimentArgs,
+};
+use adamove_bench::report::{render_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CityCurve {
+    city: String,
+    c_values: Vec<usize>,
+    metrics: Vec<Metrics>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let (max_train, max_test) = sample_caps(args.scale);
+    let c_values: Vec<usize> = (1..=8).collect();
+    let mut results = Vec::new();
+
+    for preset in args.cities() {
+        let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
+        println!("\n=== {} ===\n", city.stats.name);
+        eprintln!("training AdaMove...");
+        let trained = train_adamove(&city, EncoderKind::Lstm, &args, None);
+
+        let mut metrics = Vec::new();
+        for &c in &c_values {
+            let test = resample_test(&city, c, max_test, args.seed);
+            let out = evaluate(
+                &trained.model,
+                &trained.store,
+                &test,
+                &InferenceMode::Ptta(PttaConfig::default()),
+            );
+            metrics.push(out.metrics);
+        }
+
+        let rows: Vec<Vec<String>> = c_values
+            .iter()
+            .zip(&metrics)
+            .map(|(&c, m)| {
+                vec![
+                    format!("c = {c}"),
+                    format!("{:.4}", m.rec1),
+                    format!("{:.4}", m.rec5),
+                    format!("{:.4}", m.rec10),
+                    format!("{:.4}", m.mrr),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["Context", "Rec@1", "Rec@5", "Rec@10", "MRR"], &rows)
+        );
+
+        results.push(CityCurve {
+            city: city.stats.name.clone(),
+            c_values: c_values.clone(),
+            metrics,
+        });
+    }
+
+    write_json("fig6_sessions", &results);
+}

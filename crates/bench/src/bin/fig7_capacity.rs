@@ -1,0 +1,75 @@
+//! E7 — Fig. 7: impact of the knowledge-base capacity `M`.
+//!
+//! One trained AdaMove per city, evaluated with PTTA capacities
+//! `M ∈ {1, 3, 5, 8, 12, 15, 20}`. The paper sees gains up to `M ≈ 3-5`,
+//! then gradual degradation on NYC/TKY as low-similarity patterns pollute
+//! the knowledge base; LYMOB is insensitive (short span, stable patterns).
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin fig7_capacity
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+
+use adamove::{evaluate, EncoderKind, InferenceMode, Metrics, PttaConfig};
+use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
+use adamove_bench::report::{render_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CityCurve {
+    city: String,
+    m_values: Vec<usize>,
+    metrics: Vec<Metrics>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let (max_train, max_test) = sample_caps(args.scale);
+    let m_values = vec![1usize, 3, 5, 8, 12, 15, 20];
+    let mut results = Vec::new();
+
+    for preset in args.cities() {
+        let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
+        println!("\n=== {} ===\n", city.stats.name);
+        eprintln!("training AdaMove...");
+        let trained = train_adamove(&city, EncoderKind::Lstm, &args, None);
+
+        let mut metrics = Vec::new();
+        for &m in &m_values {
+            let out = evaluate(
+                &trained.model,
+                &trained.store,
+                &city.test,
+                &InferenceMode::Ptta(PttaConfig {
+                    capacity: m,
+                    ..PttaConfig::default()
+                }),
+            );
+            metrics.push(out.metrics);
+        }
+
+        let rows: Vec<Vec<String>> = m_values
+            .iter()
+            .zip(&metrics)
+            .map(|(&m, met)| {
+                vec![
+                    format!("M = {m}"),
+                    format!("{:.4}", met.rec1),
+                    format!("{:.4}", met.rec5),
+                    format!("{:.4}", met.rec10),
+                    format!("{:.4}", met.mrr),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["Capacity", "Rec@1", "Rec@5", "Rec@10", "MRR"], &rows)
+        );
+
+        results.push(CityCurve {
+            city: city.stats.name.clone(),
+            m_values: m_values.clone(),
+            metrics,
+        });
+    }
+
+    write_json("fig7_capacity", &results);
+}

@@ -1,0 +1,72 @@
+//! E8 — Fig. 8: impact of the contrastive trade-off `lambda`.
+//!
+//! Retrains LightMob for `lambda ∈ {0, 0.2, 0.4, 0.6, 0.8, 1.0}` per city
+//! and evaluates with PTTA. The paper sees an inverted-U: some historical
+//! memorisation helps, too much overfits stale patterns; the optimum is
+//! dataset-dependent (0.8 NYC / 0.2 TKY / 0.6 LYMOB).
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin fig8_lambda
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+
+use adamove::{evaluate, EncoderKind, InferenceMode, Metrics, PttaConfig};
+use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
+use adamove_bench::report::{render_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CityCurve {
+    city: String,
+    lambdas: Vec<f32>,
+    metrics: Vec<Metrics>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let (max_train, max_test) = sample_caps(args.scale);
+    let lambdas = vec![0.0f32, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut results = Vec::new();
+
+    for preset in args.cities() {
+        let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
+        println!("\n=== {} ===\n", city.stats.name);
+
+        let mut metrics = Vec::new();
+        for &lambda in &lambdas {
+            eprintln!("training with lambda = {lambda}...");
+            let trained = train_adamove(&city, EncoderKind::Lstm, &args, Some(lambda));
+            let out = evaluate(
+                &trained.model,
+                &trained.store,
+                &city.test,
+                &InferenceMode::Ptta(PttaConfig::default()),
+            );
+            metrics.push(out.metrics);
+        }
+
+        let rows: Vec<Vec<String>> = lambdas
+            .iter()
+            .zip(&metrics)
+            .map(|(&l, m)| {
+                vec![
+                    format!("lambda = {l:.1}"),
+                    format!("{:.4}", m.rec1),
+                    format!("{:.4}", m.rec5),
+                    format!("{:.4}", m.rec10),
+                    format!("{:.4}", m.mrr),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["Trade-off", "Rec@1", "Rec@5", "Rec@10", "MRR"], &rows)
+        );
+
+        results.push(CityCurve {
+            city: city.stats.name.clone(),
+            lambdas: lambdas.clone(),
+            metrics,
+        });
+    }
+
+    write_json("fig8_lambda", &results);
+}

@@ -1,0 +1,121 @@
+//! E9 — Fig. 9 + Table III: AdaMove vs DeepTTA accuracy and efficiency.
+//!
+//! DeepTTA = DeepMove (two-branch, history encoded at inference) + the same
+//! PTTA module. AdaMove should match or beat DeepTTA's accuracy (Fig. 9)
+//! while being substantially faster per sample because it never encodes
+//! the historical trajectory at test time (Table III: paper improvements
+//! 30.4% NYC / 10.1% TKY / 45.2% LYMOB; biggest where histories are
+//! densest).
+//!
+//! Usage: `cargo run --release -p adamove-bench --bin table3_efficiency
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+
+use adamove::{evaluate, evaluate_fn, EncoderKind, InferenceMode, Metrics, Ptta, PttaConfig};
+use adamove_autograd::ParamStore;
+use adamove_baselines::DeepMove;
+use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
+use adamove_bench::report::{render_table, write_json};
+use adamove_mobility::CityPreset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CityResult {
+    city: String,
+    adamove: Metrics,
+    deeptta: Metrics,
+    adamove_latency_us: f64,
+    deeptta_latency_us: f64,
+    improvement_pct: f64,
+    paper_improvement_pct: f64,
+}
+
+fn paper_improvement(preset: CityPreset) -> f64 {
+    match preset {
+        CityPreset::Nyc => 30.4,
+        CityPreset::Tky => 10.1,
+        CityPreset::Lymob => 45.2,
+    }
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let (max_train, max_test) = sample_caps(args.scale);
+    let mut results = Vec::new();
+
+    for preset in args.cities() {
+        let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
+        println!("\n=== {} ===\n", city.stats.name);
+
+        // AdaMove: LightMob + PTTA (recent-only inference).
+        eprintln!("training AdaMove...");
+        let ada = train_adamove(&city, EncoderKind::Lstm, &args, None);
+        let ada_out = evaluate(
+            &ada.model,
+            &ada.store,
+            &city.test,
+            &InferenceMode::Ptta(PttaConfig::default()),
+        );
+
+        // DeepTTA: DeepMove + PTTA (history encoded per test sample).
+        eprintln!("training DeepMove (for DeepTTA)...");
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let mut dm_store = ParamStore::new();
+        let deepmove = DeepMove::new(
+            &mut dm_store,
+            args.model_config(0.0),
+            city.processed.num_locations,
+            city.processed.num_users() as u32,
+            &mut rng,
+        );
+        deepmove.train(&mut dm_store, &city.train, &city.val, args.training_config());
+        let ptta = Ptta::new(PttaConfig::default());
+        let dt_out = evaluate_fn(&city.test, |s| ptta.predict_scores(&deepmove, &dm_store, s));
+
+        let improvement =
+            (dt_out.avg_latency_us - ada_out.avg_latency_us) / dt_out.avg_latency_us * 100.0;
+
+        let rows = vec![
+            vec![
+                "DeepTTA".to_string(),
+                format!("{:.4}", dt_out.metrics.rec1),
+                format!("{:.4}", dt_out.metrics.rec5),
+                format!("{:.4}", dt_out.metrics.rec10),
+                format!("{:.4}", dt_out.metrics.mrr),
+                format!("{:.1}", dt_out.avg_latency_us / 1000.0),
+            ],
+            vec![
+                "AdaMove".to_string(),
+                format!("{:.4}", ada_out.metrics.rec1),
+                format!("{:.4}", ada_out.metrics.rec5),
+                format!("{:.4}", ada_out.metrics.rec10),
+                format!("{:.4}", ada_out.metrics.mrr),
+                format!("{:.1}", ada_out.avg_latency_us / 1000.0),
+            ],
+        ];
+        println!(
+            "{}",
+            render_table(
+                &["Method", "Rec@1", "Rec@5", "Rec@10", "MRR", "ms/sample"],
+                &rows
+            )
+        );
+        println!(
+            "Inference speedup: {improvement:.1}% (paper: {:.1}%)\n",
+            paper_improvement(preset)
+        );
+
+        results.push(CityResult {
+            city: city.stats.name.clone(),
+            adamove: ada_out.metrics,
+            deeptta: dt_out.metrics,
+            adamove_latency_us: ada_out.avg_latency_us,
+            deeptta_latency_us: dt_out.avg_latency_us,
+            improvement_pct: improvement,
+            paper_improvement_pct: paper_improvement(preset),
+        });
+    }
+
+    write_json("table3_efficiency", &results);
+}

@@ -1,0 +1,315 @@
+//! Shared experiment plumbing: CLI args, data preparation, model training.
+
+use adamove::history::HistoryAttention;
+use adamove::{AdaMoveConfig, EncoderKind, LightMob, TrainReport, Trainer, TrainingConfig};
+use adamove_autograd::ParamStore;
+use adamove_mobility::synth::{self, Scale};
+use adamove_mobility::{
+    make_samples, preprocess, CityPreset, DatasetStats, PreprocessConfig, ProcessedDataset,
+    Sample, SampleConfig, Split,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Parsed command-line arguments shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// `--scale small` (default, laptop) or `--scale paper` (Table I sizes).
+    pub scale: Scale,
+    /// `--seed N` (default 42).
+    pub seed: u64,
+    /// `--city nyc|tky|lymob` restricts multi-city experiments.
+    pub city: Option<CityPreset>,
+    /// `--quick` shrinks training budgets for smoke runs.
+    pub quick: bool,
+}
+
+impl ExperimentArgs {
+    /// Parse `std::env::args()`; panics with usage help on bad input.
+    pub fn parse() -> Self {
+        let mut out = Self {
+            scale: Scale::Small,
+            seed: 42,
+            city: None,
+            quick: false,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    out.scale = match args.get(i).map(String::as_str) {
+                        Some("small") => Scale::Small,
+                        Some("paper") => Scale::Paper,
+                        other => panic!("--scale small|paper (got {other:?})"),
+                    };
+                }
+                "--seed" => {
+                    i += 1;
+                    out.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed takes an integer");
+                }
+                "--city" => {
+                    i += 1;
+                    out.city = Some(match args.get(i).map(String::as_str) {
+                        Some("nyc") => CityPreset::Nyc,
+                        Some("tky") => CityPreset::Tky,
+                        Some("lymob") => CityPreset::Lymob,
+                        other => panic!("--city nyc|tky|lymob (got {other:?})"),
+                    });
+                }
+                "--quick" => out.quick = true,
+                other => panic!("unknown argument {other}; usage: [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick]"),
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The cities this run covers.
+    pub fn cities(&self) -> Vec<CityPreset> {
+        match self.city {
+            Some(c) => vec![c],
+            None => vec![CityPreset::Nyc, CityPreset::Tky, CityPreset::Lymob],
+        }
+    }
+
+    /// Training budget matched to the scale.
+    pub fn training_config(&self) -> TrainingConfig {
+        TrainingConfig {
+            max_epochs: if self.quick { 4 } else { 12 },
+            batch_size: 50,
+            val_subsample: Some(400),
+            seed: self.seed,
+            verbose: false,
+            ..TrainingConfig::default()
+        }
+    }
+
+    /// Model hyperparameters matched to the scale (paper dims at paper
+    /// scale; smaller at laptop scale).
+    pub fn model_config(&self, lambda: f32) -> AdaMoveConfig {
+        match self.scale {
+            Scale::Paper => AdaMoveConfig {
+                lambda,
+                ..AdaMoveConfig::default()
+            },
+            Scale::Small => AdaMoveConfig {
+                loc_dim: 32,
+                time_dim: 8,
+                user_dim: 12,
+                hidden: 48,
+                transformer_heads: 8,
+                lambda,
+                max_history: 40,
+                ..AdaMoveConfig::default()
+            },
+        }
+    }
+}
+
+/// §IV-A per-dataset hyperparameters: eval context length `c` and `lambda`.
+pub fn city_hyperparams(city: CityPreset) -> (usize, f32) {
+    match city {
+        CityPreset::Nyc => (5, 0.8),
+        CityPreset::Tky => (6, 0.2),
+        CityPreset::Lymob => (5, 0.6),
+    }
+}
+
+/// A fully prepared city: processed dataset and train/val/test samples.
+#[derive(Debug, Clone)]
+pub struct PreparedCity {
+    /// Preset this came from.
+    pub preset: CityPreset,
+    /// Post-pipeline dataset.
+    pub processed: ProcessedDataset,
+    /// Table I statistics.
+    pub stats: DatasetStats,
+    /// Training samples (`c = 1`).
+    pub train: Vec<Sample>,
+    /// Validation samples (eval `c`).
+    pub val: Vec<Sample>,
+    /// Test samples (eval `c`).
+    pub test: Vec<Sample>,
+    /// Eval context length used.
+    pub eval_c: usize,
+    /// The §IV-A `lambda` for this city.
+    pub lambda: f32,
+}
+
+/// Generate, preprocess and sample one city. `max_train`/`max_test` bound
+/// the sample counts (deterministic subsample) so experiments stay fast at
+/// laptop scale; pass `usize::MAX` for no cap.
+pub fn prepare_city(
+    preset: CityPreset,
+    scale: Scale,
+    seed: u64,
+    max_train: usize,
+    max_test: usize,
+) -> PreparedCity {
+    let mut cfg = preset.config(scale);
+    cfg.seed = cfg.seed.wrapping_add(seed);
+    let raw = synth::generate(&cfg);
+    let processed = preprocess(&raw, &PreprocessConfig::default());
+    let stats = processed.stats();
+    let (eval_c, lambda) = city_hyperparams(preset);
+
+    let mut train = make_samples(&processed, Split::Train, &SampleConfig::train());
+    let mut val = make_samples(&processed, Split::Val, &SampleConfig::eval(eval_c));
+    let mut test = make_samples(&processed, Split::Test, &SampleConfig::eval(eval_c));
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    subsample(&mut train, max_train, &mut rng);
+    subsample(&mut val, max_test, &mut rng);
+    subsample(&mut test, max_test, &mut rng);
+
+    PreparedCity {
+        preset,
+        processed,
+        stats,
+        train,
+        val,
+        test,
+        eval_c,
+        lambda,
+    }
+}
+
+/// Rebuild this city's test samples with a different context length `c`
+/// (the Fig. 6 sweep).
+pub fn resample_test(city: &PreparedCity, c: usize, max_test: usize, seed: u64) -> Vec<Sample> {
+    let mut test = make_samples(&city.processed, Split::Test, &SampleConfig::eval(c));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    subsample(&mut test, max_test, &mut rng);
+    test
+}
+
+fn subsample(samples: &mut Vec<Sample>, cap: usize, rng: &mut StdRng) {
+    if samples.len() > cap {
+        samples.shuffle(rng);
+        samples.truncate(cap);
+        // Restore chronological order per user for the stateful adapters.
+        samples.sort_by_key(|s| (s.user.0, s.target_time.0));
+    }
+}
+
+/// A trained AdaMove model (LightMob + contrastive branch weights).
+pub struct TrainedAdaMove {
+    /// All weights.
+    pub store: ParamStore,
+    /// The model handle.
+    pub model: LightMob,
+    /// The training-time history attention (unused at inference).
+    pub attention: HistoryAttention,
+    /// Training telemetry.
+    pub report: TrainReport,
+}
+
+/// Train LightMob with the contrastive branch on a prepared city.
+pub fn train_adamove(
+    city: &PreparedCity,
+    encoder: EncoderKind,
+    args: &ExperimentArgs,
+    lambda_override: Option<f32>,
+) -> TrainedAdaMove {
+    let lambda = lambda_override.unwrap_or(city.lambda);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut store = ParamStore::new();
+    let config = AdaMoveConfig {
+        encoder,
+        ..args.model_config(lambda)
+    };
+    let model = LightMob::new(
+        &mut store,
+        config,
+        city.processed.num_locations,
+        city.processed.num_users() as u32,
+        &mut rng,
+    );
+    let attention = HistoryAttention::new(&mut store, model.config.hidden, &mut rng);
+    let trainer = Trainer::new(args.training_config());
+    let report = trainer.fit(
+        &model,
+        if lambda == 0.0 { None } else { Some(&attention) },
+        &mut store,
+        &city.train,
+        &city.val,
+    );
+    TrainedAdaMove {
+        store,
+        model,
+        attention,
+        report,
+    }
+}
+
+/// Default sample caps per scale: keeps laptop runs in seconds-to-minutes.
+pub fn sample_caps(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Small => (4500, 1200),
+        Scale::Paper => (60000, 10000),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_city_produces_consistent_splits() {
+        let city = prepare_city(CityPreset::Nyc, Scale::Small, 1, 500, 200);
+        assert!(city.stats.num_users > 20, "{:?}", city.stats);
+        assert!(!city.train.is_empty());
+        assert!(!city.val.is_empty());
+        assert!(!city.test.is_empty());
+        assert!(city.train.len() <= 500);
+        assert!(city.test.len() <= 200);
+        // Eval samples use the §IV-A context length.
+        assert_eq!(city.eval_c, 5);
+        assert_eq!(city.lambda, 0.8);
+        // Location ids inside samples are within the compact vocabulary.
+        let l = city.processed.num_locations;
+        for s in city.train.iter().chain(&city.test) {
+            assert!(s.target.0 < l);
+            assert!(s.recent.iter().all(|p| p.loc.0 < l));
+        }
+    }
+
+    #[test]
+    fn subsample_preserves_user_chronology() {
+        let city = prepare_city(CityPreset::Lymob, Scale::Small, 2, 300, 100);
+        for pair in city.test.windows(2) {
+            if pair[0].user == pair[1].user {
+                assert!(pair[0].target_time <= pair[1].target_time);
+            }
+        }
+    }
+
+    #[test]
+    fn resample_test_changes_context_length() {
+        let city = prepare_city(CityPreset::Nyc, Scale::Small, 3, 300, 150);
+        let c1 = resample_test(&city, 1, 150, 3);
+        let c6 = resample_test(&city, 6, 150, 3);
+        let avg = |v: &[Sample]| {
+            v.iter().map(|s| s.recent.len()).sum::<usize>() as f64 / v.len() as f64
+        };
+        assert!(
+            avg(&c6) > avg(&c1) * 1.5,
+            "c=6 inputs should be much longer: {} vs {}",
+            avg(&c6),
+            avg(&c1)
+        );
+    }
+
+    #[test]
+    fn city_hyperparams_match_section_iv_a() {
+        assert_eq!(city_hyperparams(CityPreset::Nyc), (5, 0.8));
+        assert_eq!(city_hyperparams(CityPreset::Tky), (6, 0.2));
+        assert_eq!(city_hyperparams(CityPreset::Lymob), (5, 0.6));
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the AdaMove
+//! paper (see DESIGN.md §3 for the experiment index).
+//!
+//! Each binary in `src/bin/` prints the paper's rows/series and writes a
+//! JSON record under `results/`. Shared plumbing lives here:
+//!
+//! - [`harness`] — CLI parsing (`--scale small|paper`, `--seed`, `--city`),
+//!   dataset preparation (synthesis -> preprocessing -> splits -> samples)
+//!   and model training helpers;
+//! - [`report`] — fixed-width table rendering and JSON result output.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{ExperimentArgs, PreparedCity, TrainedAdaMove};

@@ -1,0 +1,118 @@
+//! Table rendering and JSON result output shared by the experiment
+//! binaries. Every binary prints a human-readable table (the paper's rows)
+//! and writes the same data as JSON under `results/` for EXPERIMENTS.md.
+
+use adamove::Metrics;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Render a fixed-width table: header row + body rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A metrics row with a label, for the standard 4-metric tables.
+pub fn metrics_row(label: &str, m: &Metrics) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.4}", m.rec1),
+        format!("{:.4}", m.rec5),
+        format!("{:.4}", m.rec10),
+        format!("{:.4}", m.mrr),
+    ]
+}
+
+/// Directory where experiment JSON lands (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = base
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Write an experiment's JSON record to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["Method", "Rec@1"],
+            &[
+                vec!["LSTM".into(), "0.2156".into()],
+                vec!["AdaMove (Ours)".into(), "0.2707".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Both data rows start their second column at the same offset.
+        let col = lines[2].find("0.2156").unwrap();
+        assert_eq!(lines[3].find("0.2707").unwrap(), col);
+    }
+
+    #[test]
+    fn metrics_row_formats_four_decimals() {
+        let m = Metrics {
+            rec1: 0.5,
+            rec5: 0.25,
+            rec10: 0.125,
+            mrr: 0.3333,
+            count: 10,
+        };
+        let row = metrics_row("X", &m);
+        assert_eq!(row, vec!["X", "0.5000", "0.2500", "0.1250", "0.3333"]);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,130 @@
+//! Model hyperparameters (§IV-A defaults).
+
+use serde::{Deserialize, Serialize};
+
+/// Trajectory-encoder families compared in Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// Elman RNN.
+    Rnn,
+    /// Gated recurrent unit (strongest in Fig. 5).
+    Gru,
+    /// LSTM — the paper's default.
+    Lstm,
+    /// Two-layer, 8-head Transformer encoder.
+    Transformer,
+}
+
+impl EncoderKind {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EncoderKind::Rnn => "RNN",
+            EncoderKind::Gru => "GRU",
+            EncoderKind::Lstm => "LSTM",
+            EncoderKind::Transformer => "Transformer",
+        }
+    }
+}
+
+/// LightMob hyperparameters. Defaults follow §IV-A: embedding dims
+/// `{48, 8, 16}` for location/time/user, an LSTM encoder, and a hidden
+/// width matching the concatenated embedding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaMoveConfig {
+    /// Location-embedding width (paper: 48).
+    pub loc_dim: usize,
+    /// Time-slot-embedding width (paper: 8).
+    pub time_dim: usize,
+    /// User-embedding width (paper: 16).
+    pub user_dim: usize,
+    /// Hidden width of the trajectory encoder.
+    pub hidden: usize,
+    /// Encoder family.
+    pub encoder: EncoderKind,
+    /// Transformer depth (only used by [`EncoderKind::Transformer`]).
+    pub transformer_layers: usize,
+    /// Transformer heads (only used by [`EncoderKind::Transformer`]).
+    pub transformer_heads: usize,
+    /// Contrastive trade-off `lambda` (Eq. 11; per-dataset in §IV-A:
+    /// 0.8 NYC / 0.2 TKY / 0.6 LYMOB).
+    pub lambda: f32,
+    /// Cap on history length consumed by the training-time attention branch
+    /// (cost control; the paper's historical trajectories are unbounded).
+    pub max_history: usize,
+}
+
+impl Default for AdaMoveConfig {
+    fn default() -> Self {
+        Self {
+            loc_dim: 48,
+            time_dim: 8,
+            user_dim: 16,
+            hidden: 64,
+            encoder: EncoderKind::Lstm,
+            transformer_layers: 2,
+            transformer_heads: 8,
+            lambda: 0.6,
+            max_history: 120,
+        }
+    }
+}
+
+impl AdaMoveConfig {
+    /// A small configuration for unit tests and examples: tiny embeddings,
+    /// fast to train, same code paths.
+    pub fn tiny() -> Self {
+        Self {
+            loc_dim: 12,
+            time_dim: 4,
+            user_dim: 4,
+            hidden: 16,
+            transformer_heads: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Input width of the encoder (concatenated embeddings, Eq. 4).
+    pub fn input_dim(&self) -> usize {
+        self.loc_dim + self.time_dim + self.user_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AdaMoveConfig::default();
+        assert_eq!(c.loc_dim, 48);
+        assert_eq!(c.time_dim, 8);
+        assert_eq!(c.user_dim, 16);
+        assert_eq!(c.encoder, EncoderKind::Lstm);
+        assert_eq!(c.input_dim(), 72);
+        assert_eq!(c.transformer_layers, 2);
+        assert_eq!(c.transformer_heads, 8);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = [
+            EncoderKind::Rnn,
+            EncoderKind::Gru,
+            EncoderKind::Lstm,
+            EncoderKind::Transformer,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let c = AdaMoveConfig::tiny();
+        assert_eq!(c.input_dim(), 20);
+        // Transformer head divisibility must hold for the tiny config too.
+        assert_eq!(c.hidden % c.transformer_heads, 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Teacher-student distillation — the extension sketched in the paper's
+//! conclusion ("we aim to extend the base model in AdaMove to a more
+//! powerful lightweight model that can distill knowledge comprehensively,
+//! e.g., teacher-student model").
+//!
+//! A trained two-branch teacher (typically [`adamove_baselines`-style]
+//! DeepMove, or any scorer) produces soft next-location distributions; the
+//! LightMob student is trained on the standard hybrid objective plus a
+//! soft cross-entropy against temperature-softened teacher probabilities
+//! (Hinton et al., 2015):
+//!
+//! `L = (1 - alpha) * CE(student, y) + alpha * T^2 * CE_soft(student/T, teacher/T)`
+//!
+//! Like the contrastive branch, the teacher runs only at training time —
+//! the student stays recent-only and PTTA-compatible at inference.
+
+use crate::lightmob::LightMob;
+use crate::metrics::MetricAccumulator;
+use crate::train::{EpochLog, TrainReport, TrainingConfig};
+use adamove_autograd::{Gradients, Graph, ParamStore, Var};
+use adamove_mobility::Sample;
+use adamove_nn::{Adam, Optimizer, PlateauScheduler};
+use adamove_tensor::matrix::softmax_inplace;
+use adamove_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Distillation hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Softening temperature `T` (> 0); 2-4 is typical.
+    pub temperature: f32,
+    /// Mix between the hard CE (`alpha = 0`) and the soft teacher loss
+    /// (`alpha = 1`).
+    pub alpha: f32,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        Self {
+            temperature: 2.0,
+            alpha: 0.5,
+        }
+    }
+}
+
+/// Soft cross-entropy of a student's logits row against fixed teacher
+/// probabilities (`1 x L` each): `-sum(p_t * log_softmax(z_s / T)) * T^2`.
+pub fn soft_cross_entropy(
+    g: &mut Graph,
+    student_logits: Var,
+    teacher_probs: Matrix,
+    temperature: f32,
+) -> Var {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let scaled = g.scale(student_logits, 1.0 / temperature);
+    let log_probs = g.log_softmax_rows(scaled);
+    let p = g.constant(teacher_probs);
+    let weighted = g.mul(p, log_probs);
+    let total = g.sum_all(weighted);
+    // Negative mean per row, times the standard T^2 gradient rescale.
+    let rows = g.value(log_probs).rows() as f32;
+    g.scale(total, -temperature * temperature / rows)
+}
+
+/// Temperature-softened probabilities from raw teacher scores.
+pub fn soften(scores: &[f32], temperature: f32) -> Vec<f32> {
+    let mut p: Vec<f32> = scores.iter().map(|&s| s / temperature).collect();
+    softmax_inplace(&mut p);
+    p
+}
+
+/// Train a LightMob student against an arbitrary teacher scorer.
+///
+/// `teacher` maps a sample to raw (unsoftened) scores over locations; it is
+/// evaluated outside the graph, so any model — including non-differentiable
+/// ones — can teach.
+pub fn distill(
+    student: &LightMob,
+    store: &mut ParamStore,
+    train: &[Sample],
+    val: &[Sample],
+    config: &DistillConfig,
+    training: &TrainingConfig,
+    mut teacher: impl FnMut(&Sample) -> Vec<f32>,
+) -> TrainReport {
+    assert!(!train.is_empty(), "distill: no training samples");
+    assert!((0.0..=1.0).contains(&config.alpha), "alpha in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(training.seed);
+    let mut optimizer = Adam::new();
+    let mut scheduler = PlateauScheduler::new(
+        training.initial_lr,
+        training.lr_factor,
+        training.lr_patience,
+        training.min_lr,
+    );
+
+    // Teacher outputs are fixed: precompute once.
+    let teacher_probs: Vec<Vec<f32>> = train
+        .iter()
+        .map(|s| soften(&teacher(s), config.temperature))
+        .collect();
+
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut epochs = Vec::new();
+    for epoch in 0..training.max_epochs {
+        order.shuffle(&mut rng);
+        let lr = scheduler.lr();
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(training.batch_size) {
+            let (loss_value, grads): (f32, Gradients) = {
+                let mut g = Graph::new(store);
+                let mut logit_rows = Vec::with_capacity(chunk.len());
+                let mut targets = Vec::with_capacity(chunk.len());
+                let mut soft_terms = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let s = &train[i];
+                    let h = student.encode_last(&mut g, &s.recent, s.user);
+                    let logits = student.logits(&mut g, h);
+                    if config.alpha > 0.0 {
+                        let probs = Matrix::from_vec(
+                            1,
+                            teacher_probs[i].len(),
+                            teacher_probs[i].clone(),
+                        );
+                        soft_terms.push(soft_cross_entropy(
+                            &mut g,
+                            logits,
+                            probs,
+                            config.temperature,
+                        ));
+                    }
+                    logit_rows.push(logits);
+                    targets.push(s.target.0);
+                }
+                let batch_logits = g.concat_rows(&logit_rows);
+                let hard = g.cross_entropy_logits(batch_logits, &targets);
+                let loss = if soft_terms.is_empty() {
+                    hard
+                } else {
+                    let soft_stack = g.concat_rows(&soft_terms);
+                    let soft_mean = g.mean_all(soft_stack);
+                    let a = g.scale(soft_mean, config.alpha);
+                    let b = g.scale(hard, 1.0 - config.alpha);
+                    g.add(a, b)
+                };
+                (g.scalar(loss), g.backward(loss))
+            };
+            let mut grads = grads;
+            grads.clip_global_norm(training.clip_norm);
+            optimizer.step(store, &grads, lr);
+            loss_sum += loss_value as f64;
+            batches += 1;
+        }
+
+        // Validation with the student alone.
+        let mut acc = MetricAccumulator::new();
+        let mut idx: Vec<usize> = (0..val.len()).collect();
+        if let Some(cap) = training.val_subsample {
+            if idx.len() > cap {
+                idx.shuffle(&mut rng);
+                idx.truncate(cap);
+            }
+        }
+        for &i in &idx {
+            let s = &val[i];
+            acc.observe(
+                &student.predict_scores(store, &s.recent, s.user),
+                s.target.index(),
+            );
+        }
+        let val_acc = if idx.is_empty() { 0.0 } else { acc.finish().rec1 };
+        scheduler.observe(val_acc);
+        epochs.push(EpochLog {
+            epoch,
+            train_loss: (loss_sum / batches.max(1) as f64) as f32,
+            val_accuracy: val_acc,
+            lr,
+        });
+        if scheduler.exhausted() {
+            break;
+        }
+    }
+
+    TrainReport {
+        epochs_run: epochs.len(),
+        best_val_accuracy: scheduler.best(),
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaMoveConfig;
+    use adamove_mobility::{LocationId, Point, Timestamp, UserId};
+
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    fn cycle_samples(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample {
+                user: UserId(0),
+                recent: (0..3).map(|k| pt(((i + k) % 4) as u32, (i * 3 + k) as i64)).collect(),
+                history: vec![],
+                target: LocationId(((i + 3) % 4) as u32),
+                target_time: Timestamp::from_hours((i * 3 + 3) as i64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn soften_produces_distribution() {
+        let p = soften(&[1.0, 2.0, 3.0], 2.0);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Higher temperature flattens.
+        let p_hot = soften(&[1.0, 2.0, 3.0], 10.0);
+        assert!(p_hot[0] > p[0]);
+        assert!(p_hot[2] < p[2]);
+    }
+
+    #[test]
+    fn soft_cross_entropy_minimal_when_distributions_match() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let logits = g.constant(Matrix::from_vec(1, 3, vec![2.0, 0.0, -2.0]));
+        let matching = soften(&[2.0, 0.0, -2.0], 2.0);
+        let mismatched = soften(&[-2.0, 0.0, 2.0], 2.0);
+        let good = soft_cross_entropy(&mut g, logits, Matrix::from_vec(1, 3, matching), 2.0);
+        let bad = soft_cross_entropy(&mut g, logits, Matrix::from_vec(1, 3, mismatched), 2.0);
+        assert!(g.scalar(good) < g.scalar(bad));
+    }
+
+    #[test]
+    fn perfect_teacher_accelerates_the_student() {
+        // Teacher = the ground truth distribution: distillation must reach
+        // high accuracy within a tiny epoch budget.
+        let samples = cycle_samples(60);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let student = LightMob::new(&mut store, AdaMoveConfig::tiny(), 4, 1, &mut rng);
+        let report = distill(
+            &student,
+            &mut store,
+            &samples,
+            &samples[..12],
+            &DistillConfig {
+                temperature: 2.0,
+                alpha: 0.5,
+            },
+            &TrainingConfig {
+                max_epochs: 10,
+                batch_size: 16,
+                ..TrainingConfig::default()
+            },
+            |s| {
+                let mut scores = vec![0.0f32; 4];
+                scores[s.target.index()] = 8.0;
+                scores
+            },
+        );
+        assert!(
+            report.best_val_accuracy > 0.8,
+            "accuracy {}",
+            report.best_val_accuracy
+        );
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_hard_training() {
+        let samples = cycle_samples(30);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let student = LightMob::new(&mut store, AdaMoveConfig::tiny(), 4, 1, &mut rng);
+        let report = distill(
+            &student,
+            &mut store,
+            &samples,
+            &samples[..6],
+            &DistillConfig {
+                temperature: 2.0,
+                alpha: 0.0,
+            },
+            &TrainingConfig {
+                max_epochs: 3,
+                batch_size: 16,
+                ..TrainingConfig::default()
+            },
+            |_| vec![0.25; 4], // teacher ignored at alpha = 0
+        );
+        assert_eq!(report.epochs_run, report.epochs.len());
+        assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in [0, 1]")]
+    fn rejects_invalid_alpha() {
+        let samples = cycle_samples(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let student = LightMob::new(&mut store, AdaMoveConfig::tiny(), 4, 1, &mut rng);
+        distill(
+            &student,
+            &mut store,
+            &samples,
+            &samples,
+            &DistillConfig {
+                temperature: 1.0,
+                alpha: 1.5,
+            },
+            &TrainingConfig::default(),
+            |_| vec![0.25; 4],
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Evaluation harness: metrics + per-sample latency for any inference mode.
+//!
+//! Three modes cover the paper's comparisons: `Frozen` (the `w/o PTTA`
+//! ablation and all non-TTA baselines), `Ptta` (AdaMove and its Fig. 4
+//! variants via [`PttaConfig`]), and `T3a` (the comparator). Latency is
+//! wall-clock per sample, feeding the Table III efficiency results.
+
+use crate::lightmob::LightMob;
+use crate::metrics::{MetricAccumulator, Metrics};
+use crate::ptta::{Ptta, PttaConfig};
+use crate::t3a::{T3a, T3aConfig};
+use adamove_autograd::ParamStore;
+use adamove_mobility::Sample;
+use std::time::{Duration, Instant};
+
+/// How scores are produced at test time.
+#[derive(Debug, Clone)]
+pub enum InferenceMode {
+    /// Frozen parameters — plain forward pass.
+    Frozen,
+    /// Preference-aware test-time adaptation (Algorithm 1).
+    Ptta(PttaConfig),
+    /// The T3A comparator (stateful across the test stream).
+    T3a(T3aConfig),
+}
+
+/// Result of an evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Accuracy metrics.
+    pub metrics: Metrics,
+    /// Mean per-sample inference time in microseconds.
+    pub avg_latency_us: f64,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+}
+
+/// Evaluate an arbitrary scoring function over `samples` — the entry point
+/// baselines use (Markov, DeepMove, DeepTTA, ...). The closure may be
+/// stateful (e.g. a T3A-style adapter updating across the stream).
+pub fn evaluate_fn(
+    samples: &[Sample],
+    mut score: impl FnMut(&Sample) -> Vec<f32>,
+) -> EvalOutcome {
+    let mut acc = MetricAccumulator::new();
+    let start = Instant::now();
+    for s in samples {
+        let scores = score(s);
+        acc.observe(&scores, s.target.index());
+    }
+    let total_time = start.elapsed();
+    let avg_latency_us = if samples.is_empty() {
+        0.0
+    } else {
+        total_time.as_micros() as f64 / samples.len() as f64
+    };
+    EvalOutcome {
+        metrics: acc.finish(),
+        avg_latency_us,
+        total_time,
+    }
+}
+
+/// Evaluate a scoring function with per-cohort breakdown: samples are
+/// grouped by `key` (e.g. shifted vs stable users, or per-user ids) and
+/// metrics are reported per group. This is the analysis behind the paper's
+/// case study — adaptation gains concentrate on the shifted cohort.
+pub fn evaluate_by<K: Ord>(
+    samples: &[Sample],
+    mut key: impl FnMut(&Sample) -> K,
+    mut score: impl FnMut(&Sample) -> Vec<f32>,
+) -> std::collections::BTreeMap<K, Metrics> {
+    let mut accs: std::collections::BTreeMap<K, MetricAccumulator> =
+        std::collections::BTreeMap::new();
+    for s in samples {
+        let scores = score(s);
+        accs.entry(key(s))
+            .or_default()
+            .observe(&scores, s.target.index());
+    }
+    accs.into_iter().map(|(k, a)| (k, a.finish())).collect()
+}
+
+/// Evaluate `model` over `samples` under `mode`.
+pub fn evaluate(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    mode: &InferenceMode,
+) -> EvalOutcome {
+    let mut acc = MetricAccumulator::new();
+    let start = Instant::now();
+
+    match mode {
+        InferenceMode::Frozen => {
+            for s in samples {
+                let scores = model.predict_scores(store, &s.recent, s.user);
+                acc.observe(&scores, s.target.index());
+            }
+        }
+        InferenceMode::Ptta(cfg) => {
+            let ptta = Ptta::new(cfg.clone());
+            for s in samples {
+                let scores = ptta.predict_scores(model, store, s);
+                acc.observe(&scores, s.target.index());
+            }
+        }
+        InferenceMode::T3a(cfg) => {
+            let mut t3a = T3a::new(model, store, cfg.clone());
+            for s in samples {
+                let scores = t3a.adapt_and_predict(model, store, s);
+                acc.observe(&scores, s.target.index());
+            }
+        }
+    }
+
+    let total_time = start.elapsed();
+    let avg_latency_us = if samples.is_empty() {
+        0.0
+    } else {
+        total_time.as_micros() as f64 / samples.len() as f64
+    };
+    EvalOutcome {
+        metrics: acc.finish(),
+        avg_latency_us,
+        total_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaMoveConfig;
+    use adamove_mobility::{LocationId, Point, Timestamp, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample {
+                user: UserId(0),
+                recent: (0..3)
+                    .map(|k| Point::new(((i + k) % 5) as u32, Timestamp::from_hours((i * 3 + k) as i64)))
+                    .collect(),
+                history: vec![],
+                target: LocationId(((i + 3) % 5) as u32),
+                target_time: Timestamp::from_hours((i * 3 + 3) as i64),
+            })
+            .collect()
+    }
+
+    fn model() -> (ParamStore, LightMob) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut store = ParamStore::new();
+        let m = LightMob::new(&mut store, AdaMoveConfig::tiny(), 5, 1, &mut rng);
+        (store, m)
+    }
+
+    #[test]
+    fn all_modes_produce_metrics() {
+        let (store, m) = model();
+        let samples = samples(12);
+        for mode in [
+            InferenceMode::Frozen,
+            InferenceMode::Ptta(PttaConfig::default()),
+            InferenceMode::T3a(T3aConfig::default()),
+        ] {
+            let out = evaluate(&m, &store, &samples, &mode);
+            assert_eq!(out.metrics.count, 12);
+            assert!(out.metrics.rec10 >= out.metrics.rec5);
+            assert!(out.metrics.rec5 >= out.metrics.rec1);
+            assert!(out.avg_latency_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn metric_ordering_invariant_holds() {
+        let (store, m) = model();
+        let out = evaluate(&m, &store, &samples(20), &InferenceMode::Frozen);
+        let met = out.metrics;
+        assert!(met.mrr <= met.rec10 + 1e-6, "MRR@10 <= Rec@10");
+        assert!(met.mrr >= met.rec1 / 10.0);
+    }
+
+    #[test]
+    fn empty_sample_set_is_handled() {
+        let (store, m) = model();
+        let out = evaluate(&m, &store, &[], &InferenceMode::Frozen);
+        assert_eq!(out.metrics.count, 0);
+        assert_eq!(out.avg_latency_us, 0.0);
+    }
+
+    #[test]
+    fn ptta_is_slower_than_frozen_but_same_count() {
+        // Adaptation does strictly more work per sample; on identical
+        // inputs its latency must not be lower by a large margin. (Timing
+        // assertions are flaky by nature, so only a weak sanity bound.)
+        let (store, m) = model();
+        let s = samples(30);
+        let frozen = evaluate(&m, &store, &s, &InferenceMode::Frozen);
+        let ptta = evaluate(&m, &store, &s, &InferenceMode::Ptta(PttaConfig::default()));
+        assert_eq!(frozen.metrics.count, ptta.metrics.count);
+        assert!(ptta.total_time.as_nanos() > 0);
+    }
+}
+
+#[cfg(test)]
+mod cohort_tests {
+    use super::*;
+    use adamove_mobility::{LocationId, Point, Timestamp, UserId};
+
+    #[test]
+    fn evaluate_by_groups_metrics_per_key() {
+        // User 0 always predicted correctly, user 1 never.
+        let samples: Vec<Sample> = (0..10)
+            .map(|i| Sample {
+                user: UserId((i % 2) as u32),
+                recent: vec![Point::new(0, Timestamp(i as i64))],
+                history: vec![],
+                target: LocationId(0),
+                target_time: Timestamp(100 + i as i64),
+            })
+            .collect();
+        let by_user = evaluate_by(
+            &samples,
+            |s| s.user.0,
+            |s| {
+                if s.user.0 == 0 {
+                    vec![1.0, 0.0] // correct
+                } else {
+                    vec![0.0, 1.0] // wrong
+                }
+            },
+        );
+        assert_eq!(by_user.len(), 2);
+        assert_eq!(by_user[&0].rec1, 1.0);
+        assert_eq!(by_user[&1].rec1, 0.0);
+        assert_eq!(by_user[&0].count, 5);
+    }
+
+    #[test]
+    fn evaluate_by_handles_empty_input() {
+        let out = evaluate_by(&[], |s: &Sample| s.user.0, |_| vec![1.0]);
+        assert!(out.is_empty());
+    }
+}

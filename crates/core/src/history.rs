@@ -1,0 +1,258 @@
+//! Contrastive historical-knowledge incorporation (§III-C).
+//!
+//! During training only, LightMob's recent-trajectory representations are
+//! pulled toward representations that *explicitly* fuse historical
+//! trajectories through attention:
+//!
+//! - `K`/`V` are linear projections of the history hidden states, `Q` of the
+//!   recent hidden states; attention weights are
+//!   `softmax(Q K^T / sqrt(d_k))` (Eq. 7) and the history-enhanced recent
+//!   representations are `H̃ = A V` (Eq. 8).
+//! - The positive pair is `(h_N, h̃_N)`; negatives are history-enhanced
+//!   prefix representations whose *next location differs from the target*
+//!   (the filter at the end of §III-C avoids teaching the model to push
+//!   away representations that predict the same place).
+//! - The InfoNCE loss over these pairs (Eq. 9) is added to the
+//!   classification loss with weight `lambda` (Eq. 11).
+
+use crate::lightmob::LightMob;
+use adamove_autograd::{Graph, ParamStore, Var};
+use adamove_mobility::{LocationId, Sample};
+use adamove_nn::{info_nce, Linear};
+use rand::Rng;
+
+/// The history-attention projections (Eqs. 7–8). Parameters are trained
+/// jointly with the base model but are *not* used at inference time — that
+/// is the entire point of LightMob.
+#[derive(Debug, Clone)]
+pub struct HistoryAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    hidden: usize,
+}
+
+impl HistoryAttention {
+    /// Register projections of width `hidden`.
+    pub fn new(store: &mut ParamStore, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            wq: Linear::new(store, "history.wq", hidden, hidden, false, rng),
+            wk: Linear::new(store, "history.wk", hidden, hidden, false, rng),
+            wv: Linear::new(store, "history.wv", hidden, hidden, false, rng),
+            hidden,
+        }
+    }
+
+    /// History-enhanced recent representations `H̃_rec = A V`
+    /// (`recent_len x hidden`).
+    pub fn enhance(&self, g: &mut Graph, recent_hidden: Var, history_hidden: Var) -> Var {
+        let q = self.wq.forward(g, recent_hidden);
+        let k = self.wk.forward(g, history_hidden);
+        let v = self.wv.forward(g, history_hidden);
+        let scores = g.matmul_nt(q, k);
+        let scaled = g.scale(scores, 1.0 / (self.hidden as f32).sqrt());
+        let attn = g.softmax_rows(scaled);
+        g.matmul(attn, v)
+    }
+}
+
+/// Indices (into the recent sequence) usable as InfoNCE negatives for a
+/// sample: positions `q` whose next location differs from the target.
+///
+/// Position `q < N-1` has next location `recent[q+1].loc`; the final
+/// position's next location is the target itself, so it is never a negative.
+pub fn negative_positions(sample: &Sample) -> Vec<usize> {
+    let n = sample.recent.len();
+    (0..n.saturating_sub(1))
+        .filter(|&q| sample.recent[q + 1].loc != sample.target)
+        .collect()
+}
+
+/// Build the InfoNCE loss for one sample (Eq. 9), or `None` when the sample
+/// has no history or no valid negatives (the contrastive term is skipped,
+/// matching the degenerate-case handling in `adamove_nn::loss`).
+pub fn contrastive_loss(
+    g: &mut Graph,
+    model: &LightMob,
+    attention: &HistoryAttention,
+    sample: &Sample,
+    max_history: usize,
+) -> Option<Var> {
+    if !has_contrastive_signal(sample) {
+        return None;
+    }
+    let recent_hidden = model.encode_all(g, &sample.recent, sample.user);
+    contrastive_loss_with(g, model, attention, sample, recent_hidden, max_history)
+}
+
+/// Like [`contrastive_loss`] but reuses already-encoded recent hidden
+/// states (`recent_len x hidden`) — the training loop encodes the recent
+/// trajectory once for both the classification and contrastive heads.
+pub fn contrastive_loss_with(
+    g: &mut Graph,
+    model: &LightMob,
+    attention: &HistoryAttention,
+    sample: &Sample,
+    recent_hidden: Var,
+    max_history: usize,
+) -> Option<Var> {
+    if sample.history.is_empty() {
+        return None;
+    }
+    let negatives = negative_positions(sample);
+    if negatives.is_empty() {
+        return None;
+    }
+    let history = if sample.history.len() > max_history {
+        &sample.history[sample.history.len() - max_history..]
+    } else {
+        &sample.history[..]
+    };
+
+    let history_hidden = model.encode_all(g, history, sample.user);
+    let enhanced = attention.enhance(g, recent_hidden, history_hidden);
+
+    let n = sample.recent.len();
+    let anchor = g.row(recent_hidden, n - 1);
+    let positive = g.row(enhanced, n - 1);
+    let neg_rows: Vec<Var> = negatives.iter().map(|&q| g.row(enhanced, q)).collect();
+    let neg = g.concat_rows(&neg_rows);
+    Some(info_nce(g, anchor, positive, Some(neg)))
+}
+
+/// Convenience for tests/diagnostics: does this sample contribute a
+/// contrastive term?
+pub fn has_contrastive_signal(sample: &Sample) -> bool {
+    !sample.history.is_empty() && !negative_positions(sample).is_empty()
+}
+
+/// Count how many recent positions share the target as next location — the
+/// positions the §III-C filter excludes.
+pub fn filtered_positive_like(sample: &Sample) -> usize {
+    let n = sample.recent.len();
+    (0..n.saturating_sub(1))
+        .filter(|&q| sample.recent[q + 1].loc == sample.target)
+        .count()
+}
+
+#[allow(dead_code)]
+fn location(sample: &Sample, q: usize) -> LocationId {
+    sample.recent[q].loc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaMoveConfig;
+    use adamove_mobility::{Point, Timestamp, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    fn sample(recent_locs: &[u32], history_locs: &[u32], target: u32) -> Sample {
+        let history: Vec<Point> = history_locs
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| pt(l, i as i64))
+            .collect();
+        let recent: Vec<Point> = recent_locs
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| pt(l, 100 + i as i64))
+            .collect();
+        Sample {
+            user: UserId(0),
+            recent,
+            history,
+            target: LocationId(target),
+            target_time: Timestamp::from_hours(200),
+        }
+    }
+
+    #[test]
+    fn negative_positions_exclude_target_successors() {
+        // recent = [1, 2, 3, 2], target = 2.
+        // q=0 -> next 2 == target: excluded. q=1 -> next 3: negative.
+        // q=2 -> next 2 == target: excluded. q=3 is the anchor: excluded.
+        let s = sample(&[1, 2, 3, 2], &[0], 2);
+        assert_eq!(negative_positions(&s), vec![1]);
+        assert_eq!(filtered_positive_like(&s), 2);
+    }
+
+    #[test]
+    fn single_point_recent_has_no_negatives() {
+        let s = sample(&[1], &[0, 0], 2);
+        assert!(negative_positions(&s).is_empty());
+        assert!(!has_contrastive_signal(&s));
+    }
+
+    #[test]
+    fn contrastive_loss_present_only_with_history_and_negatives() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 10, 2, &mut rng);
+        let attn = HistoryAttention::new(&mut store, model.config.hidden, &mut rng);
+
+        let with_signal = sample(&[1, 2, 3], &[4, 5, 6], 7);
+        let no_history = sample(&[1, 2, 3], &[], 7);
+        let no_negatives = sample(&[1, 7], &[4, 5], 7);
+
+        let mut g = Graph::new(&store);
+        assert!(contrastive_loss(&mut g, &model, &attn, &with_signal, 100).is_some());
+        assert!(contrastive_loss(&mut g, &model, &attn, &no_history, 100).is_none());
+        assert!(contrastive_loss(&mut g, &model, &attn, &no_negatives, 100).is_none());
+    }
+
+    #[test]
+    fn contrastive_loss_is_finite_and_backpropagates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 10, 2, &mut rng);
+        let attn = HistoryAttention::new(&mut store, model.config.hidden, &mut rng);
+        let s = sample(&[1, 2, 3, 4], &[5, 6, 7, 8, 9], 0);
+
+        let mut g = Graph::new(&store);
+        let loss = contrastive_loss(&mut g, &model, &attn, &s, 100).unwrap();
+        let value = g.scalar(loss);
+        assert!(value.is_finite() && value > 0.0, "loss {value}");
+        let grads = g.backward(loss);
+        // Both the attention projections and the encoder receive gradients.
+        assert!(grads.get(store.find("history.wq.w").unwrap()).is_some());
+        assert!(grads.get(store.find("encoder.lstm.w").unwrap()).is_some());
+        // The predictor head does not participate in the contrastive term.
+        assert!(grads.get(store.find("predictor.w").unwrap()).is_none());
+    }
+
+    #[test]
+    fn history_cap_truncates_oldest_points() {
+        // With max_history = 2, only the last 2 history points feed the
+        // attention. Verify by checking the loss differs from the uncapped
+        // one (the representations change).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 10, 2, &mut rng);
+        let attn = HistoryAttention::new(&mut store, model.config.hidden, &mut rng);
+        let s = sample(&[1, 2, 3], &[4, 5, 6, 7, 8], 9);
+        let mut g = Graph::new(&store);
+        let capped = contrastive_loss(&mut g, &model, &attn, &s, 2).unwrap();
+        let full = contrastive_loss(&mut g, &model, &attn, &s, 100).unwrap();
+        assert_ne!(g.scalar(capped), g.scalar(full));
+    }
+
+    #[test]
+    fn enhanced_representations_have_recent_shape() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 10, 2, &mut rng);
+        let attn = HistoryAttention::new(&mut store, model.config.hidden, &mut rng);
+        let s = sample(&[1, 2, 3], &[4, 5, 6, 7], 0);
+        let mut g = Graph::new(&store);
+        let rec = model.encode_all(&mut g, &s.recent, s.user);
+        let hist = model.encode_all(&mut g, &s.history, s.user);
+        let enhanced = attn.enhance(&mut g, rec, hist);
+        assert_eq!(g.value(enhanced).shape(), (3, 16));
+    }
+}

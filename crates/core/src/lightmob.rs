@@ -1,0 +1,304 @@
+//! LightMob: the lightweight base mobility-prediction model (§III-C).
+//!
+//! The base model is `f_Φ` (trajectory encoder) followed by `g_Θ` (next-
+//! location predictor):
+//!
+//! - each spatio-temporal point is embedded as the concatenation of its
+//!   location, 48-slot time code and user embeddings (Eq. 4);
+//! - an exchangeable sequence encoder produces hidden states (Eq. 5) —
+//!   RNN/GRU/LSTM step over the sequence, the Transformer variant applies
+//!   causally-masked self-attention so every row is a valid prefix
+//!   representation (needed by PTTA's autoregressive pattern generation);
+//! - a fully connected layer + softmax yields next-location scores (Eq. 6).
+//!
+//! At test time LightMob consumes only the recent trajectory; historical
+//! knowledge is baked in during training by [`crate::history`].
+
+use crate::config::{AdaMoveConfig, EncoderKind};
+use adamove_autograd::{Graph, ParamId, ParamStore, Var};
+use adamove_mobility::timecode::{time_code, NUM_TIME_SLOTS};
+use adamove_mobility::{Point, UserId};
+use adamove_nn::layers::{positional_encoding, TransformerEncoderLayer};
+use adamove_nn::{Embedding, GruCell, Linear, LstmCell, Recurrent, RnnCell};
+use adamove_tensor::Matrix;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum EncoderImpl {
+    Recurrent(Recurrent),
+    Transformer {
+        input_proj: Linear,
+        layers: Vec<TransformerEncoderLayer>,
+    },
+}
+
+/// The LightMob model: embeddings + trajectory encoder `f_Φ` + predictor
+/// `g_Θ`. All weights live in the caller's [`ParamStore`].
+#[derive(Debug, Clone)]
+pub struct LightMob {
+    /// Hyperparameters this model was built with.
+    pub config: AdaMoveConfig,
+    /// Location vocabulary size `L`.
+    pub num_locations: u32,
+    /// User vocabulary size.
+    pub num_users: u32,
+    loc_emb: Embedding,
+    time_emb: Embedding,
+    user_emb: Embedding,
+    encoder: EncoderImpl,
+    /// The output layer `g_Θ` (hidden -> L). PTTA reads and adjusts its
+    /// weight columns.
+    pub predictor: Linear,
+}
+
+impl LightMob {
+    /// Register a fresh model in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        config: AdaMoveConfig,
+        num_locations: u32,
+        num_users: u32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let input = config.input_dim();
+        let hidden = config.hidden;
+        let encoder = match config.encoder {
+            EncoderKind::Rnn => EncoderImpl::Recurrent(Recurrent::Rnn(RnnCell::new(
+                store, "encoder.rnn", input, hidden, rng,
+            ))),
+            EncoderKind::Gru => EncoderImpl::Recurrent(Recurrent::Gru(GruCell::new(
+                store, "encoder.gru", input, hidden, rng,
+            ))),
+            EncoderKind::Lstm => EncoderImpl::Recurrent(Recurrent::Lstm(LstmCell::new(
+                store, "encoder.lstm", input, hidden, rng,
+            ))),
+            EncoderKind::Transformer => {
+                let input_proj =
+                    Linear::new(store, "encoder.input_proj", input, hidden, true, rng);
+                let layers = (0..config.transformer_layers)
+                    .map(|i| {
+                        TransformerEncoderLayer::new(
+                            store,
+                            &format!("encoder.layer{i}"),
+                            hidden,
+                            config.transformer_heads,
+                            hidden * 4,
+                            rng,
+                        )
+                    })
+                    .collect();
+                EncoderImpl::Transformer { input_proj, layers }
+            }
+        };
+        Self {
+            loc_emb: Embedding::new(store, "emb.loc", num_locations as usize, config.loc_dim, rng),
+            time_emb: Embedding::new(
+                store,
+                "emb.time",
+                NUM_TIME_SLOTS as usize,
+                config.time_dim,
+                rng,
+            ),
+            user_emb: Embedding::new(store, "emb.user", num_users as usize, config.user_dim, rng),
+            predictor: Linear::new(store, "predictor", hidden, num_locations as usize, true, rng),
+            encoder,
+            config,
+            num_locations,
+            num_users,
+        }
+    }
+
+    /// Embed a point sequence (Eq. 4): `seq_len x input_dim`.
+    pub fn embed(&self, g: &mut Graph, points: &[Point], user: UserId) -> Var {
+        assert!(!points.is_empty(), "LightMob::embed: empty sequence");
+        let locs: Vec<u32> = points.iter().map(|p| p.loc.0).collect();
+        let times: Vec<u32> = points.iter().map(|p| time_code(p.time)).collect();
+        let users: Vec<u32> = vec![user.0; points.len()];
+        let le = self.loc_emb.forward(g, &locs);
+        let te = self.time_emb.forward(g, &times);
+        let ue = self.user_emb.forward(g, &users);
+        g.concat_cols(&[le, te, ue])
+    }
+
+    /// Encode a sequence into per-prefix hidden states (Eq. 5):
+    /// `seq_len x hidden`, where row `k` represents the prefix `[0..=k]`.
+    pub fn encode_all(&self, g: &mut Graph, points: &[Point], user: UserId) -> Var {
+        let x = self.embed(g, points, user);
+        match &self.encoder {
+            EncoderImpl::Recurrent(rec) => rec.encode_all(g, x),
+            EncoderImpl::Transformer { input_proj, layers } => {
+                let projected = input_proj.forward(g, x);
+                let pe = g.constant(positional_encoding(points.len(), self.config.hidden));
+                let mut h = g.add(projected, pe);
+                for layer in layers {
+                    h = layer.forward_causal(g, h);
+                }
+                h
+            }
+        }
+    }
+
+    /// Encode a sequence into its final hidden state `h_N`: `1 x hidden`.
+    pub fn encode_last(&self, g: &mut Graph, points: &[Point], user: UserId) -> Var {
+        let all = self.encode_all(g, points, user);
+        let last = g.value(all).rows() - 1;
+        g.row(all, last)
+    }
+
+    /// Next-location logits (Eq. 6 before the softmax): `rows x L`.
+    pub fn logits(&self, g: &mut Graph, hidden: Var) -> Var {
+        self.predictor.forward(g, hidden)
+    }
+
+    /// The classifier weight `Θ ∈ R^{hidden x L}` PTTA adjusts.
+    pub fn theta(&self) -> ParamId {
+        self.predictor.w
+    }
+
+    /// The classifier bias (kept frozen by PTTA).
+    pub fn bias(&self) -> Option<ParamId> {
+        self.predictor.b
+    }
+
+    /// Inference helper: logits for the next location after `points`,
+    /// without any adaptation. Returns a dense `L`-vector.
+    pub fn predict_scores(&self, store: &ParamStore, points: &[Point], user: UserId) -> Vec<f32> {
+        let mut g = Graph::new(store);
+        let h = self.encode_last(&mut g, points, user);
+        let logits = self.logits(&mut g, h);
+        g.value(logits).row(0).to_vec()
+    }
+
+    /// The final hidden representation `h_N` as a plain vector (the mobility
+    /// pattern PTTA compares against).
+    pub fn hidden_state(&self, store: &ParamStore, points: &[Point], user: UserId) -> Vec<f32> {
+        let mut g = Graph::new(store);
+        let h = self.encode_last(&mut g, points, user);
+        g.value(h).row(0).to_vec()
+    }
+
+    /// Hidden states for every prefix as plain vectors (PTTA's pattern
+    /// generation input). Row `k` encodes `points[0..=k]`.
+    pub fn prefix_hidden_states(
+        &self,
+        store: &ParamStore,
+        points: &[Point],
+        user: UserId,
+    ) -> Matrix {
+        let mut g = Graph::new(store);
+        let h = self.encode_all(&mut g, points, user);
+        g.value(h).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_mobility::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i % 5) as u32, Timestamp::from_hours(i as i64 * 3)))
+            .collect()
+    }
+
+    fn build(kind: EncoderKind) -> (ParamStore, LightMob) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let cfg = AdaMoveConfig {
+            encoder: kind,
+            ..AdaMoveConfig::tiny()
+        };
+        let model = LightMob::new(&mut store, cfg, 10, 4, &mut rng);
+        (store, model)
+    }
+
+    #[test]
+    fn all_encoders_produce_correct_shapes() {
+        for kind in [
+            EncoderKind::Rnn,
+            EncoderKind::Gru,
+            EncoderKind::Lstm,
+            EncoderKind::Transformer,
+        ] {
+            let (store, model) = build(kind);
+            let pts = points(6);
+            let mut g = Graph::new(&store);
+            let all = model.encode_all(&mut g, &pts, UserId(1));
+            assert_eq!(g.value(all).shape(), (6, 16), "{kind:?}");
+            let h = model.encode_last(&mut g, &pts, UserId(1));
+            assert_eq!(g.value(h).shape(), (1, 16), "{kind:?}");
+            let logits = model.logits(&mut g, h);
+            assert_eq!(g.value(logits).shape(), (1, 10), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_rows_match_prefix_encodings() {
+        // Row k of encode_all must equal encode_last of the k+1 prefix —
+        // the invariant PTTA's pattern generation relies on (Algorithm 1,
+        // lines 3-5). Holds for every encoder kind, including the causal
+        // Transformer.
+        for kind in [
+            EncoderKind::Rnn,
+            EncoderKind::Gru,
+            EncoderKind::Lstm,
+            EncoderKind::Transformer,
+        ] {
+            let (store, model) = build(kind);
+            let pts = points(5);
+            let full = model.prefix_hidden_states(&store, &pts, UserId(0));
+            for k in 0..5 {
+                let prefix = model.hidden_state(&store, &pts[..=k], UserId(0));
+                for (a, b) in full.row(k).iter().zip(&prefix) {
+                    assert!((a - b).abs() < 1e-4, "{kind:?} prefix {k}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_users_get_different_representations() {
+        let (store, model) = build(EncoderKind::Lstm);
+        let pts = points(4);
+        let h0 = model.hidden_state(&store, &pts, UserId(0));
+        let h1 = model.hidden_state(&store, &pts, UserId(1));
+        assert_ne!(h0, h1);
+    }
+
+    #[test]
+    fn different_times_get_different_representations() {
+        let (store, model) = build(EncoderKind::Lstm);
+        let weekday = vec![Point::new(1, Timestamp::from_hours(10))];
+        let weekend = vec![Point::new(1, Timestamp::from_hours(5 * 24 + 10))];
+        let hd = model.hidden_state(&store, &weekday, UserId(0));
+        let he = model.hidden_state(&store, &weekend, UserId(0));
+        assert_ne!(hd, he);
+    }
+
+    #[test]
+    fn predict_scores_covers_vocabulary() {
+        let (store, model) = build(EncoderKind::Gru);
+        let scores = model.predict_scores(&store, &points(3), UserId(2));
+        assert_eq!(scores.len(), 10);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn embed_rejects_empty_input() {
+        let (store, model) = build(EncoderKind::Lstm);
+        let mut g = Graph::new(&store);
+        model.embed(&mut g, &[], UserId(0));
+    }
+
+    #[test]
+    fn theta_shape_matches_paper() {
+        // Θ ∈ R^{H x L} (§III-B knowledge-base construction).
+        let (store, model) = build(EncoderKind::Lstm);
+        assert_eq!(store.value(model.theta()).shape(), (16, 10));
+        assert!(model.bias().is_some());
+    }
+}

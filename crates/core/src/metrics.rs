@@ -1,0 +1,181 @@
+//! Evaluation metrics: Rec@{1,5,10} and MRR@10 (§IV-A).
+
+use adamove_tensor::stats::rank_of;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics over an evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Recall@1 (accuracy).
+    pub rec1: f32,
+    /// Recall@5.
+    pub rec5: f32,
+    /// Recall@10.
+    pub rec10: f32,
+    /// Mean reciprocal rank, truncated at rank 10 (MRR@10).
+    pub mrr: f32,
+    /// Number of evaluated samples.
+    pub count: usize,
+}
+
+impl Metrics {
+    /// All-zero metrics (empty evaluation).
+    pub fn zero() -> Self {
+        Self {
+            rec1: 0.0,
+            rec5: 0.0,
+            rec10: 0.0,
+            mrr: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Render as the paper's four-column row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:.4}  {:.4}  {:.4}  {:.4}",
+            self.rec1, self.rec5, self.rec10, self.mrr
+        )
+    }
+}
+
+/// Streaming accumulator: feed `(scores, target)` pairs, then `finish`.
+#[derive(Debug, Default, Clone)]
+pub struct MetricAccumulator {
+    hits1: usize,
+    hits5: usize,
+    hits10: usize,
+    mrr_sum: f64,
+    n: usize,
+}
+
+impl MetricAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one prediction. `scores` are unnormalised per-location scores
+    /// (higher = better); `target` is the true location index.
+    pub fn observe(&mut self, scores: &[f32], target: usize) {
+        assert!(
+            target < scores.len(),
+            "observe: target {target} out of range {}",
+            scores.len()
+        );
+        let rank = rank_of(scores, target);
+        if rank <= 1 {
+            self.hits1 += 1;
+        }
+        if rank <= 5 {
+            self.hits5 += 1;
+        }
+        if rank <= 10 {
+            self.hits10 += 1;
+            self.mrr_sum += 1.0 / rank as f64;
+        }
+        self.n += 1;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Finalise into [`Metrics`].
+    pub fn finish(&self) -> Metrics {
+        if self.n == 0 {
+            return Metrics::zero();
+        }
+        let n = self.n as f32;
+        Metrics {
+            rec1: self.hits1 as f32 / n,
+            rec5: self.hits5 as f32 / n,
+            rec10: self.hits10 as f32 / n,
+            mrr: (self.mrr_sum / self.n as f64) as f32,
+            count: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let mut acc = MetricAccumulator::new();
+        for t in 0..4usize {
+            let mut scores = vec![0.0; 20];
+            scores[t] = 1.0;
+            acc.observe(&scores, t);
+        }
+        let m = acc.finish();
+        assert_eq!(m.rec1, 1.0);
+        assert_eq!(m.rec5, 1.0);
+        assert_eq!(m.rec10, 1.0);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.count, 4);
+    }
+
+    #[test]
+    fn rank_buckets_are_respected() {
+        // Target at rank 3: misses rec@1, hits rec@5/10, MRR contribution 1/3.
+        let mut acc = MetricAccumulator::new();
+        let scores = vec![0.9, 0.8, 0.5, 0.1]; // target idx 2 has rank 3
+        acc.observe(&scores, 2);
+        let m = acc.finish();
+        assert_eq!(m.rec1, 0.0);
+        assert_eq!(m.rec5, 1.0);
+        assert!((m.mrr - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_beyond_ten_contributes_nothing_to_mrr() {
+        let mut acc = MetricAccumulator::new();
+        let mut scores: Vec<f32> = (0..20).map(|i| 20.0 - i as f32).collect();
+        scores[15] = -1.0; // target at rank 20
+        acc.observe(&scores, 15);
+        let m = acc.finish();
+        assert_eq!(m.rec10, 0.0);
+        assert_eq!(m.mrr, 0.0);
+    }
+
+    #[test]
+    fn averages_over_observations() {
+        let mut acc = MetricAccumulator::new();
+        let hit = vec![1.0, 0.0];
+        let miss = vec![0.0, 1.0];
+        acc.observe(&hit, 0);
+        acc.observe(&miss, 0); // rank 2
+        let m = acc.finish();
+        assert_eq!(m.rec1, 0.5);
+        assert_eq!(m.rec5, 1.0);
+        assert!((m.mrr - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let m = MetricAccumulator::new().finish();
+        assert_eq!(m, Metrics::zero());
+        assert_eq!(m.count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn observe_rejects_bad_target() {
+        MetricAccumulator::new().observe(&[0.1, 0.2], 5);
+    }
+
+    #[test]
+    fn row_renders_four_columns() {
+        let m = Metrics {
+            rec1: 0.25,
+            rec5: 0.5,
+            rec10: 0.75,
+            mrr: 0.4,
+            count: 8,
+        };
+        assert_eq!(m.row(), "0.2500  0.5000  0.7500  0.4000");
+    }
+}

@@ -1,0 +1,275 @@
+//! Real-time deployment: the sliding-window strategy of §III-B.
+//!
+//! "We only require a sequence of spatio-temporal points within the past
+//! `cT` hours to construct `tr_rec`, which can be achieved by a sliding
+//! window strategy in the memory for real-time applications."
+//!
+//! [`RecentWindow`] is that buffer (Definition 3 as a data structure);
+//! [`StreamingPredictor`] wires one window per user to a trained model and
+//! the PTTA adapter, exposing a `predict -> observe` loop for online use.
+
+use crate::lightmob::LightMob;
+use crate::ptta::{Ptta, PttaConfig};
+use adamove_autograd::ParamStore;
+use adamove_mobility::types::HOUR;
+use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
+use std::collections::HashMap;
+
+/// A bounded buffer of recent points: retains points within the last
+/// `c * T` seconds of the newest point (paper Definition 3).
+#[derive(Debug, Clone)]
+pub struct RecentWindow {
+    horizon_secs: i64,
+    points: Vec<Point>,
+}
+
+impl RecentWindow {
+    /// Window over the last `c` sessions of `t_hours` each.
+    pub fn new(c: usize, t_hours: i64) -> Self {
+        assert!(c > 0 && t_hours > 0, "RecentWindow: c and T must be positive");
+        Self {
+            horizon_secs: c as i64 * t_hours * HOUR,
+            points: Vec::new(),
+        }
+    }
+
+    /// The paper's defaults: `c` sessions of `T = 72` hours.
+    pub fn paper_default(c: usize) -> Self {
+        Self::new(c, 72)
+    }
+
+    /// Append a point and evict everything older than the horizon.
+    ///
+    /// Out-of-order arrivals older than the newest point are inserted in
+    /// order (mobile uplinks reorder events); arrivals older than the
+    /// horizon are dropped.
+    pub fn push(&mut self, p: Point) {
+        let newest = self.points.last().map_or(p.time, |q| q.time.max(p.time));
+        let cutoff = newest.0 - self.horizon_secs;
+        if p.time.0 < cutoff {
+            return;
+        }
+        let pos = self.points.partition_point(|q| q.time <= p.time);
+        self.points.insert(pos, p);
+        let keep_from = self.points.partition_point(|q| q.time.0 < cutoff);
+        self.points.drain(..keep_from);
+    }
+
+    /// Current window contents, chronological.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of buffered points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Drop all buffered points (e.g. on a known hard reset of the user's
+    /// context).
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+}
+
+/// Outcome of one streaming prediction.
+#[derive(Debug, Clone)]
+pub struct StreamPrediction {
+    /// Dense per-location scores (higher = better).
+    pub scores: Vec<f32>,
+    /// Argmax of `scores`.
+    pub top: LocationId,
+    /// Number of window points the adaptation used.
+    pub window_len: usize,
+}
+
+/// Online next-location predictor: one [`RecentWindow`] per user, PTTA
+/// adaptation on every query.
+pub struct StreamingPredictor<'m> {
+    model: &'m LightMob,
+    store: &'m ParamStore,
+    ptta: Ptta,
+    context_sessions: usize,
+    session_hours: i64,
+    windows: HashMap<UserId, RecentWindow>,
+}
+
+impl<'m> StreamingPredictor<'m> {
+    /// Wrap a trained model. `context_sessions` is the paper's `c`;
+    /// `session_hours` is `T`.
+    pub fn new(
+        model: &'m LightMob,
+        store: &'m ParamStore,
+        config: PttaConfig,
+        context_sessions: usize,
+        session_hours: i64,
+    ) -> Self {
+        Self {
+            model,
+            store,
+            ptta: Ptta::new(config),
+            context_sessions,
+            session_hours,
+            windows: HashMap::new(),
+        }
+    }
+
+    /// Record an observed check-in for `user`.
+    pub fn observe(&mut self, user: UserId, point: Point) {
+        self.window(user).push(point);
+    }
+
+    /// Predict `user`'s next location from their current window, adapting
+    /// the classifier to the window contents (Algorithm 1). Returns `None`
+    /// when the window is empty (no evidence to encode).
+    pub fn predict(&mut self, user: UserId, now: Timestamp) -> Option<StreamPrediction> {
+        let window = self.windows.get(&user)?;
+        if window.is_empty() {
+            return None;
+        }
+        let sample = Sample {
+            user,
+            recent: window.points().to_vec(),
+            history: vec![],
+            // The true next location is unknown at serving time; the
+            // placeholder is never read by PTTA (labels come from within
+            // `recent`).
+            target: LocationId(0),
+            target_time: now,
+        };
+        let scores = self.ptta.predict_scores(self.model, self.store, &sample);
+        let top = LocationId(adamove_tensor::matrix::argmax(&scores) as u32);
+        Some(StreamPrediction {
+            window_len: sample.recent.len(),
+            scores,
+            top,
+        })
+    }
+
+    /// Number of users with active windows.
+    pub fn active_users(&self) -> usize {
+        self.windows.len()
+    }
+
+    fn window(&mut self, user: UserId) -> &mut RecentWindow {
+        let (c, t) = (self.context_sessions, self.session_hours);
+        self.windows
+            .entry(user)
+            .or_insert_with(|| RecentWindow::new(c, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaMoveConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    #[test]
+    fn window_evicts_beyond_horizon() {
+        let mut w = RecentWindow::new(2, 24); // 48h horizon
+        w.push(pt(1, 0));
+        w.push(pt(2, 24));
+        w.push(pt(3, 50)); // evicts the point at hour 0 (50 - 48 = 2)
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.points()[0].loc, LocationId(2));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn window_handles_out_of_order_arrivals() {
+        let mut w = RecentWindow::new(1, 24);
+        w.push(pt(1, 10));
+        w.push(pt(3, 12));
+        w.push(pt(2, 11)); // late arrival, still within horizon
+        let locs: Vec<u32> = w.points().iter().map(|p| p.loc.0).collect();
+        assert_eq!(locs, vec![1, 2, 3]);
+        // A very late arrival beyond the horizon is dropped.
+        w.push(pt(9, 12 - 30));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn window_clear_resets() {
+        let mut w = RecentWindow::paper_default(5);
+        w.push(pt(1, 0));
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn window_rejects_zero_config() {
+        RecentWindow::new(0, 24);
+    }
+
+    #[test]
+    fn streaming_predictor_tracks_users_independently() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 3, &mut rng);
+        let mut sp = StreamingPredictor::new(
+            &model,
+            &store,
+            PttaConfig::default(),
+            2,
+            24,
+        );
+        // No window yet -> no prediction.
+        assert!(sp.predict(UserId(0), Timestamp::from_hours(1)).is_none());
+
+        sp.observe(UserId(0), pt(1, 0));
+        sp.observe(UserId(0), pt(2, 2));
+        sp.observe(UserId(1), pt(3, 1));
+        assert_eq!(sp.active_users(), 2);
+
+        let p0 = sp.predict(UserId(0), Timestamp::from_hours(3)).unwrap();
+        let p1 = sp.predict(UserId(1), Timestamp::from_hours(3)).unwrap();
+        assert_eq!(p0.window_len, 2);
+        assert_eq!(p1.window_len, 1);
+        assert_eq!(p0.scores.len(), 6);
+        assert!(p0.top.0 < 6);
+        // Different users with different windows get different scores.
+        assert_ne!(p0.scores, p1.scores);
+    }
+
+    #[test]
+    fn streaming_prediction_matches_batch_ptta() {
+        // The streaming path must be exactly Algorithm 1 over the window.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 1, &mut rng);
+        let mut sp = StreamingPredictor::new(
+            &model,
+            &store,
+            PttaConfig::default(),
+            3,
+            24,
+        );
+        let stream = [pt(1, 0), pt(2, 3), pt(4, 6), pt(2, 9)];
+        for p in stream {
+            sp.observe(UserId(0), p);
+        }
+        let streamed = sp.predict(UserId(0), Timestamp::from_hours(10)).unwrap();
+
+        let batch_sample = Sample {
+            user: UserId(0),
+            recent: stream.to_vec(),
+            history: vec![],
+            target: LocationId(0),
+            target_time: Timestamp::from_hours(10),
+        };
+        let batch = Ptta::default().predict_scores(&model, &store, &batch_sample);
+        assert_eq!(streamed.scores, batch);
+    }
+}

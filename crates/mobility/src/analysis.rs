@@ -1,0 +1,240 @@
+//! Mobility-shift diagnostics reproducing Fig. 1(b) and Fig. 1(c).
+//!
+//! Fig. 1(b): a per-user heatmap of visit counts (locations x biweekly
+//! periods) revealing locations that appear/disappear over time.
+//!
+//! Fig. 1(c): the population-level decay of cosine similarity between each
+//! biweekly visit distribution and the historical (first three months)
+//! distribution.
+
+use crate::types::{Dataset, Point, DAY};
+use adamove_tensor::stats::cosine_similarity;
+use adamove_tensor::Matrix;
+
+/// Seconds in one biweekly bucket.
+pub const BIWEEK: i64 = 14 * DAY;
+
+/// Visit-count distribution over locations for a slice of points.
+pub fn visit_distribution(points: &[Point], num_locations: u32) -> Vec<f32> {
+    let mut counts = vec![0.0f32; num_locations as usize];
+    for p in points {
+        counts[p.loc.index()] += 1.0;
+    }
+    counts
+}
+
+/// Fig. 1(b): visit counts per (location, biweekly period) for one user.
+///
+/// Rows are locations the user ever visited (returned alongside the matrix,
+/// ordered by total visits, capped at `max_locations`), columns are
+/// consecutive two-week periods from the dataset epoch.
+pub fn user_heatmap(
+    points: &[Point],
+    num_locations: u32,
+    horizon_days: i64,
+    max_locations: usize,
+) -> (Vec<u32>, Matrix) {
+    let periods = ((horizon_days * DAY + BIWEEK - 1) / BIWEEK).max(1) as usize;
+    let mut full = vec![vec![0.0f32; periods]; num_locations as usize];
+    for p in points {
+        let b = (p.time.0.div_euclid(BIWEEK)) as usize;
+        if b < periods {
+            full[p.loc.index()][b] += 1.0;
+        }
+    }
+    let mut order: Vec<(u32, f32)> = full
+        .iter()
+        .enumerate()
+        .map(|(l, row)| (l as u32, row.iter().sum()))
+        .filter(|&(_, total)| total > 0.0)
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    order.truncate(max_locations);
+    let locs: Vec<u32> = order.iter().map(|&(l, _)| l).collect();
+    let mut m = Matrix::zeros(locs.len(), periods);
+    for (r, &l) in locs.iter().enumerate() {
+        m.row_mut(r).copy_from_slice(&full[l as usize]);
+    }
+    (locs, m)
+}
+
+/// One point of the Fig. 1(c) similarity-decay curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityPoint {
+    /// Week index at the end of the biweekly bucket (2, 4, 6, ...).
+    pub week: i64,
+    /// Mean cosine similarity against the historical distribution.
+    pub similarity: f32,
+}
+
+/// Fig. 1(c): for every user, compare each biweekly visit distribution after
+/// `history_days` with that user's historical distribution (their first
+/// `history_days`), then average the cosine similarities over users.
+///
+/// Buckets with no data for a user are skipped for that user; a bucket with
+/// no data from anyone is omitted from the output.
+pub fn similarity_decay(dataset: &Dataset, history_days: i64) -> Vec<SimilarityPoint> {
+    let history_end = history_days * DAY;
+    let Some((_, max_t)) = dataset.time_range() else {
+        return Vec::new();
+    };
+    let num_buckets = ((max_t.0 - history_end) / BIWEEK + 1).max(0) as usize;
+    if num_buckets == 0 {
+        return Vec::new();
+    }
+
+    // Per-user historical distribution.
+    let mut accum = vec![(0.0f32, 0usize); num_buckets];
+    for tr in &dataset.trajectories {
+        let hist_points: Vec<Point> = tr
+            .points
+            .iter()
+            .copied()
+            .filter(|p| p.time.0 < history_end)
+            .collect();
+        if hist_points.is_empty() {
+            continue;
+        }
+        let hist = visit_distribution(&hist_points, dataset.num_locations);
+        for b in 0..num_buckets {
+            let start = history_end + b as i64 * BIWEEK;
+            let end = start + BIWEEK;
+            let bucket: Vec<Point> = tr
+                .points
+                .iter()
+                .copied()
+                .filter(|p| p.time.0 >= start && p.time.0 < end)
+                .collect();
+            if bucket.is_empty() {
+                continue;
+            }
+            let dist = visit_distribution(&bucket, dataset.num_locations);
+            let sim = cosine_similarity(&hist, &dist);
+            accum[b].0 += sim;
+            accum[b].1 += 1;
+        }
+    }
+
+    accum
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(b, (total, n))| SimilarityPoint {
+            week: history_days / 7 + (b as i64 + 1) * 2,
+            similarity: total / n as f32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, CityPreset, Scale};
+    use crate::types::{Timestamp, Trajectory, UserId};
+
+    fn pt(loc: u32, day: i64) -> Point {
+        Point::new(loc, Timestamp(day * DAY + 12 * 3600))
+    }
+
+    #[test]
+    fn visit_distribution_counts() {
+        let pts = vec![pt(0, 0), pt(0, 1), pt(2, 1)];
+        let d = visit_distribution(&pts, 4);
+        assert_eq!(d, vec![2.0, 0.0, 1.0, 0.0]);
+        assert!(visit_distribution(&[], 3).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn heatmap_orders_locations_by_total_visits() {
+        // Location 5 visited 3x in period 0; location 2 visited once in
+        // period 1 (day 15 falls in the second biweek).
+        let pts = vec![pt(5, 0), pt(5, 1), pt(5, 2), pt(2, 15)];
+        let (locs, m) = user_heatmap(&pts, 10, 28, 10);
+        assert_eq!(locs, vec![5, 2]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn heatmap_caps_location_count() {
+        let pts: Vec<Point> = (0..20).map(|l| pt(l, 0)).collect();
+        let (locs, m) = user_heatmap(&pts, 30, 14, 5);
+        assert_eq!(locs.len(), 5);
+        assert_eq!(m.rows(), 5);
+    }
+
+    #[test]
+    fn stable_user_keeps_high_similarity() {
+        // A user visiting the same place forever: similarity stays 1.
+        let points: Vec<Point> = (0..120).map(|d| pt(3, d)).collect();
+        let ds = Dataset {
+            name: "stable".into(),
+            num_locations: 5,
+            trajectories: vec![Trajectory::new(UserId(0), points)],
+        };
+        let decay = similarity_decay(&ds, 90);
+        assert!(!decay.is_empty());
+        for p in &decay {
+            assert!((p.similarity - 1.0).abs() < 1e-6, "week {}: {}", p.week, p.similarity);
+        }
+    }
+
+    #[test]
+    fn shifting_user_similarity_drops() {
+        // Visits location 0 for 90 days, then location 1 only.
+        let mut points: Vec<Point> = (0..90).map(|d| pt(0, d)).collect();
+        points.extend((90..140).map(|d| pt(1, d)));
+        let ds = Dataset {
+            name: "shift".into(),
+            num_locations: 5,
+            trajectories: vec![Trajectory::new(UserId(0), points)],
+        };
+        let decay = similarity_decay(&ds, 90);
+        assert!(!decay.is_empty());
+        for p in &decay {
+            assert!(p.similarity.abs() < 1e-6, "expected orthogonal, got {}", p.similarity);
+        }
+    }
+
+    #[test]
+    fn synthetic_city_similarity_decays_like_fig1c() {
+        // The headline Fig. 1(c) property: similarity decreases over time.
+        let mut cfg = CityPreset::Tky.config(Scale::Small);
+        cfg.num_users = 40;
+        cfg.days = 180;
+        cfg.shift_at = 0.55; // hard shifts land after the history window
+        let ds = generate(&cfg);
+        let decay = similarity_decay(&ds, 90);
+        assert!(decay.len() >= 4, "need several buckets, got {}", decay.len());
+        let first = decay.first().unwrap().similarity;
+        let last = decay.last().unwrap().similarity;
+        assert!(
+            last < first,
+            "similarity should decay: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_produces_empty_curve() {
+        let ds = Dataset {
+            name: "empty".into(),
+            num_locations: 0,
+            trajectories: vec![],
+        };
+        assert!(similarity_decay(&ds, 90).is_empty());
+    }
+
+    #[test]
+    fn weeks_are_labeled_from_history_end() {
+        let points: Vec<Point> = (0..120).map(|d| pt(0, d)).collect();
+        let ds = Dataset {
+            name: "labels".into(),
+            num_locations: 2,
+            trajectories: vec![Trajectory::new(UserId(0), points)],
+        };
+        let decay = similarity_decay(&ds, 90);
+        // History covers ~12.8 weeks; first bucket ends at week 14.857 -> label 14.
+        assert_eq!(decay[0].week, 90 / 7 + 2);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Human-mobility data substrate for the AdaMove reproduction.
+//!
+//! Covers everything the paper's experiments need below the model layer:
+//!
+//! - [`types`] — spatio-temporal points, trajectories, sessions and datasets
+//!   (paper Definitions 1–3);
+//! - [`timecode`] — the 48-slot workday/weekend time encoding of Eq. 4;
+//! - [`preprocess`] — the §IV-A cleaning pipeline (rare-location filter,
+//!   72-hour sessions, minimum session/user activity) with compact id
+//!   remapping and dataset statistics (Table I);
+//! - [`split`] — per-user 70/10/20 session splits and sliding-window sample
+//!   construction with configurable context length `c`;
+//! - [`synth`] — a generative mobility simulator with per-user anchors,
+//!   weekly schedules and distribution-shift events, plus `nyc`/`tky`/`lymob`
+//!   presets calibrated to Table I (substitute for the non-redistributable
+//!   Foursquare and YJMob100K datasets — see DESIGN.md);
+//! - [`analysis`] — the Fig. 1 shift diagnostics (visit heatmaps and the
+//!   biweekly cosine-similarity decay curve);
+//! - [`io`] — check-in CSV import/export and processed-dataset JSON
+//!   caching, the adoption path for real datasets.
+
+pub mod analysis;
+pub mod io;
+pub mod preprocess;
+pub mod split;
+pub mod synth;
+pub mod timecode;
+pub mod types;
+
+pub use preprocess::{preprocess, DatasetStats, PreprocessConfig, ProcessedDataset};
+pub use split::{make_samples, split_sessions, Sample, SampleConfig, Split};
+pub use synth::{CityConfig, CityPreset, ShiftKind};
+pub use types::{Dataset, LocationId, Point, Timestamp, Trajectory, UserId};

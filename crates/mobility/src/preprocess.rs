@@ -1,0 +1,372 @@
+//! The §IV-A pre-processing pipeline.
+//!
+//! 1. Drop locations visited by fewer than `min_users_per_location` users.
+//! 2. Segment each user's remaining points into sessions of
+//!    `session_window_hours` (fixed windows anchored at the dataset epoch).
+//! 3. Drop sessions with fewer than `min_points_per_session` points.
+//! 4. Drop users with fewer than `min_sessions_per_user` sessions.
+//! 5. Remap surviving location and user ids to compact ranges.
+//!
+//! The output [`ProcessedDataset`] is the input to splitting/sampling and
+//! carries the [`DatasetStats`] that regenerate Table I.
+
+use crate::types::{Dataset, LocationId, Point, UserId, HOUR};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Pipeline thresholds; defaults are the paper's.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Locations visited by fewer distinct users than this are noise.
+    pub min_users_per_location: usize,
+    /// Session window `T` in hours.
+    pub session_window_hours: i64,
+    /// Sessions shorter than this are dropped.
+    pub min_points_per_session: usize,
+    /// Users with fewer sessions than this are inactive.
+    pub min_sessions_per_user: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self {
+            min_users_per_location: 10,
+            session_window_hours: 72,
+            min_points_per_session: 5,
+            min_sessions_per_user: 5,
+        }
+    }
+}
+
+/// One user's session-segmented trajectory after cleaning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserSessions {
+    /// Compact post-remap user id.
+    pub user: UserId,
+    /// Sessions in chronological order; each session's points are sorted.
+    pub sessions: Vec<Vec<Point>>,
+}
+
+impl UserSessions {
+    /// Total points across sessions.
+    pub fn num_points(&self) -> usize {
+        self.sessions.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Statistics in the shape of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub name: String,
+    /// Surviving users.
+    pub num_users: usize,
+    /// Surviving distinct locations.
+    pub num_locations: usize,
+    /// Surviving sessions — the paper's "#. of Traj." counts sessions.
+    pub num_trajectories: usize,
+    /// Surviving points.
+    pub num_points: usize,
+    /// Covered time span in days.
+    pub time_span_days: i64,
+}
+
+/// A cleaned, session-segmented, id-compacted dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessedDataset {
+    /// Dataset label.
+    pub name: String,
+    /// Compact location vocabulary size.
+    pub num_locations: u32,
+    /// Session window `T` in seconds (needed by Definition 3 downstream).
+    pub session_window_secs: i64,
+    /// One entry per surviving user, indexed by compact `UserId`.
+    pub users: Vec<UserSessions>,
+}
+
+impl ProcessedDataset {
+    /// Number of surviving users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Table I statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let num_points: usize = self.users.iter().map(|u| u.num_points()).sum();
+        let num_trajectories: usize = self.users.iter().map(|u| u.sessions.len()).sum();
+        let (min, max) = self
+            .users
+            .iter()
+            .flat_map(|u| u.sessions.iter().flatten())
+            .fold((i64::MAX, i64::MIN), |(lo, hi), p| {
+                (lo.min(p.time.0), hi.max(p.time.0))
+            });
+        let time_span_days = if num_points == 0 {
+            0
+        } else {
+            (max - min) / (24 * HOUR) + 1
+        };
+        DatasetStats {
+            name: self.name.clone(),
+            num_users: self.users.len(),
+            num_locations: self.num_locations as usize,
+            num_trajectories,
+            num_points,
+            time_span_days,
+        }
+    }
+
+    /// Check invariants: ids compact, sessions ordered and non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, u) in self.users.iter().enumerate() {
+            if u.user.index() != i {
+                return Err(format!("user {} at index {i}", u.user.0));
+            }
+            let mut last_end = i64::MIN;
+            for (si, s) in u.sessions.iter().enumerate() {
+                if s.is_empty() {
+                    return Err(format!("user {i} session {si} is empty"));
+                }
+                if s.windows(2).any(|w| w[0].time > w[1].time) {
+                    return Err(format!("user {i} session {si} unsorted"));
+                }
+                if s[0].time.0 < last_end {
+                    return Err(format!("user {i} session {si} overlaps previous"));
+                }
+                last_end = s.last().unwrap().time.0;
+                if let Some(p) = s.iter().find(|p| p.loc.0 >= self.num_locations) {
+                    return Err(format!(
+                        "user {i} references location {} >= {}",
+                        p.loc.0, self.num_locations
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the full pipeline over a raw dataset.
+pub fn preprocess(dataset: &Dataset, config: &PreprocessConfig) -> ProcessedDataset {
+    // Step 1: count distinct users per location.
+    let mut users_per_loc: HashMap<LocationId, HashSet<UserId>> = HashMap::new();
+    for tr in &dataset.trajectories {
+        for p in &tr.points {
+            users_per_loc.entry(p.loc).or_default().insert(tr.user);
+        }
+    }
+    let kept_locations: HashSet<LocationId> = users_per_loc
+        .iter()
+        .filter(|(_, users)| users.len() >= config.min_users_per_location)
+        .map(|(&loc, _)| loc)
+        .collect();
+
+    let window = config.session_window_hours * HOUR;
+    let mut survivors: Vec<(UserId, Vec<Vec<Point>>)> = Vec::new();
+
+    for tr in &dataset.trajectories {
+        // Steps 2-3: segment into fixed windows, drop short sessions.
+        let mut sessions: Vec<Vec<Point>> = Vec::new();
+        let mut current: Vec<Point> = Vec::new();
+        let mut current_window = i64::MIN;
+        for p in tr.points.iter().filter(|p| kept_locations.contains(&p.loc)) {
+            let w = p.time.0.div_euclid(window);
+            if w != current_window {
+                if current.len() >= config.min_points_per_session {
+                    sessions.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+                current_window = w;
+            }
+            current.push(*p);
+        }
+        if current.len() >= config.min_points_per_session {
+            sessions.push(current);
+        }
+        // Step 4: drop inactive users.
+        if sessions.len() >= config.min_sessions_per_user {
+            survivors.push((tr.user, sessions));
+        }
+    }
+
+    // Step 5: remap ids. Locations are numbered in first-appearance order
+    // over the surviving data for determinism.
+    let mut loc_map: HashMap<LocationId, u32> = HashMap::new();
+    let mut users = Vec::with_capacity(survivors.len());
+    for (new_uid, (_, sessions)) in survivors.into_iter().enumerate() {
+        let remapped: Vec<Vec<Point>> = sessions
+            .into_iter()
+            .map(|s| {
+                s.into_iter()
+                    .map(|p| {
+                        let next_id = loc_map.len() as u32;
+                        let id = *loc_map.entry(p.loc).or_insert(next_id);
+                        Point {
+                            loc: LocationId(id),
+                            time: p.time,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        users.push(UserSessions {
+            user: UserId(new_uid as u32),
+            sessions: remapped,
+        });
+    }
+
+    ProcessedDataset {
+        name: dataset.name.clone(),
+        num_locations: loc_map.len() as u32,
+        session_window_secs: window,
+        users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Timestamp, Trajectory};
+
+    /// A point at hour `h` visiting location `loc`.
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    /// Build a raw dataset where every location is visited by enough users.
+    fn dense_dataset(num_users: u32) -> Dataset {
+        let trajectories = (0..num_users)
+            .map(|u| {
+                // Two 72h windows with 5 points each: hours 0..40 step 10
+                // (window 0) and 80..120 step 10 (window 1).
+                let mut points: Vec<Point> =
+                    (0..5).map(|i| pt(i % 3, i as i64 * 10)).collect();
+                points.extend((0..5).map(|i| pt(i % 3, 80 + i as i64 * 10)));
+                Trajectory::new(UserId(u), points)
+            })
+            .collect();
+        Dataset {
+            name: "dense".into(),
+            num_locations: 3,
+            trajectories,
+        }
+    }
+
+    #[test]
+    fn pipeline_keeps_well_formed_data() {
+        let raw = dense_dataset(12);
+        let cfg = PreprocessConfig {
+            min_sessions_per_user: 2,
+            ..PreprocessConfig::default()
+        };
+        let out = preprocess(&raw, &cfg);
+        out.validate().unwrap();
+        assert_eq!(out.num_users(), 12);
+        assert_eq!(out.num_locations, 3);
+        let stats = out.stats();
+        assert_eq!(stats.num_trajectories, 24); // 2 sessions x 12 users
+        assert_eq!(stats.num_points, 120);
+        assert!(stats.time_span_days >= 5);
+    }
+
+    #[test]
+    fn rare_locations_are_filtered() {
+        let mut raw = dense_dataset(12);
+        // User 0 sneaks in a private location 99 visited by nobody else.
+        raw.num_locations = 100;
+        raw.trajectories[0].points.push(pt(99, 35));
+        raw.trajectories[0].points.sort_by_key(|p| p.time);
+        let cfg = PreprocessConfig {
+            min_sessions_per_user: 2,
+            ..PreprocessConfig::default()
+        };
+        let out = preprocess(&raw, &cfg);
+        // Location 99 must be gone and ids must still be compact.
+        assert_eq!(out.num_locations, 3);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn short_sessions_are_dropped() {
+        // One user with a 5-point session and a 2-point session.
+        let mut points: Vec<Point> = (0..5).map(|i| pt(0, i as i64 * 10)).collect();
+        points.push(pt(0, 80));
+        points.push(pt(0, 90));
+        let raw = Dataset {
+            name: "short".into(),
+            num_locations: 1,
+            trajectories: vec![Trajectory::new(UserId(0), points)],
+        };
+        let cfg = PreprocessConfig {
+            min_users_per_location: 1,
+            min_sessions_per_user: 1,
+            ..PreprocessConfig::default()
+        };
+        let out = preprocess(&raw, &cfg);
+        assert_eq!(out.users[0].sessions.len(), 1);
+        assert_eq!(out.users[0].sessions[0].len(), 5);
+    }
+
+    #[test]
+    fn inactive_users_are_dropped_and_ids_compacted() {
+        let mut raw = dense_dataset(12);
+        // User 3 loses most points, ending with a single session.
+        raw.trajectories[3].points.truncate(5);
+        let cfg = PreprocessConfig {
+            min_sessions_per_user: 2,
+            ..PreprocessConfig::default()
+        };
+        let out = preprocess(&raw, &cfg);
+        assert_eq!(out.num_users(), 11);
+        // Ids must be 0..11 compact.
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn session_windows_are_anchored_at_epoch() {
+        // Points at hours 70 and 74 fall into different 72h windows even
+        // though they are only 4 hours apart.
+        let points: Vec<Point> = vec![
+            pt(0, 60),
+            pt(0, 62),
+            pt(0, 64),
+            pt(0, 66),
+            pt(0, 70),
+            pt(0, 74),
+            pt(0, 76),
+            pt(0, 78),
+            pt(0, 80),
+            pt(0, 82),
+        ];
+        let raw = Dataset {
+            name: "windows".into(),
+            num_locations: 1,
+            trajectories: vec![Trajectory::new(UserId(0), points)],
+        };
+        let cfg = PreprocessConfig {
+            min_users_per_location: 1,
+            min_points_per_session: 5,
+            min_sessions_per_user: 1,
+            session_window_hours: 72,
+        };
+        let out = preprocess(&raw, &cfg);
+        assert_eq!(out.users[0].sessions.len(), 2);
+        assert_eq!(out.users[0].sessions[0].last().unwrap().time.hours(), 70);
+        assert_eq!(out.users[0].sessions[1][0].time.hours(), 74);
+    }
+
+    #[test]
+    fn empty_input_survives() {
+        let raw = Dataset {
+            name: "empty".into(),
+            num_locations: 0,
+            trajectories: vec![],
+        };
+        let out = preprocess(&raw, &PreprocessConfig::default());
+        assert_eq!(out.num_users(), 0);
+        assert_eq!(out.num_locations, 0);
+        assert_eq!(out.stats().time_span_days, 0);
+        out.validate().unwrap();
+    }
+}

@@ -1,0 +1,307 @@
+//! Train/validation/test splitting and sliding-window sample construction.
+//!
+//! Per §IV-A: for each user the earliest 70% of sessions train, the next 10%
+//! validate, the last 20% test; within each region a sliding window turns
+//! every point into a prediction target. The recent trajectory fed to the
+//! model spans the last `c` sessions (context length, Definition 3), and the
+//! history is everything before it.
+
+use crate::preprocess::ProcessedDataset;
+use crate::types::{LocationId, Point, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Which region of each user's session timeline to draw samples from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Split {
+    /// Earliest 70% of sessions.
+    Train,
+    /// Next 10%.
+    Val,
+    /// Final 20%.
+    Test,
+}
+
+/// Session-index ranges `(train, val, test)` for a user with `n` sessions.
+///
+/// Boundaries are `floor(0.7 n)` and `floor(0.8 n)`; with the paper's
+/// minimum of 5 sessions per user every region is non-empty.
+pub fn split_sessions(n: usize) -> (Range<usize>, Range<usize>, Range<usize>) {
+    if n < 3 {
+        // Degenerate users (below the paper's 5-session floor): train only.
+        return (0..n, n..n, n..n);
+    }
+    let t = ((n * 7) / 10).clamp(1, n - 2);
+    let v = ((n * 8) / 10).clamp(t + 1, n - 1);
+    (0..t, t..v, v..n)
+}
+
+/// Sample construction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleConfig {
+    /// Context length `c`: how many sessions back the recent trajectory
+    /// reaches. The paper trains with `c = 1` and tests with `c = 5/6/5`.
+    pub context_sessions: usize,
+    /// Cap on history length (most recent points win); guards DeepMove-style
+    /// encoders against unbounded input.
+    pub max_history: usize,
+    /// Minimum number of recent points required before a target (1 for
+    /// plain prediction; PTTA needs 2 to generate at least one labeled
+    /// pattern).
+    pub min_recent_len: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            context_sessions: 1,
+            max_history: 200,
+            min_recent_len: 1,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// Training configuration (`c = 1`).
+    pub fn train() -> Self {
+        Self::default()
+    }
+
+    /// Evaluation configuration with the dataset-specific `c` from §IV-A.
+    pub fn eval(context_sessions: usize) -> Self {
+        Self {
+            context_sessions,
+            ..Self::default()
+        }
+    }
+}
+
+/// One supervised next-location example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Owning user.
+    pub user: UserId,
+    /// Input sequence: the recent trajectory (non-empty, chronological).
+    pub recent: Vec<Point>,
+    /// Points before the recent window, oldest first (possibly truncated to
+    /// `max_history`, keeping the most recent).
+    pub history: Vec<Point>,
+    /// Ground-truth next location.
+    pub target: LocationId,
+    /// Timestamp of the target visit.
+    pub target_time: Timestamp,
+}
+
+impl Sample {
+    /// Labels for every prefix of `recent`: element `k` is the location of
+    /// `recent[k + 1]`, and the final label is the target. PTTA's
+    /// autoregressive pattern generation consumes exactly this.
+    pub fn prefix_labels(&self) -> Vec<LocationId> {
+        let mut labels: Vec<LocationId> =
+            self.recent.iter().skip(1).map(|p| p.loc).collect();
+        labels.push(self.target);
+        labels
+    }
+}
+
+/// Build sliding-window samples for `split` over every user.
+pub fn make_samples(ds: &ProcessedDataset, split: Split, cfg: &SampleConfig) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for user in &ds.users {
+        let n = user.sessions.len();
+        let (train, val, test) = split_sessions(n);
+        let region = match split {
+            Split::Train => train,
+            Split::Val => val,
+            Split::Test => test,
+        };
+        for si in region {
+            let session = &user.sessions[si];
+            for k in 0..session.len() {
+                // Recent = points in sessions (si - c, si] strictly before
+                // the target point.
+                let ctx_start = si.saturating_sub(cfg.context_sessions - 1);
+                let mut recent: Vec<Point> = Vec::new();
+                for prev in ctx_start..si {
+                    recent.extend_from_slice(&user.sessions[prev]);
+                }
+                recent.extend_from_slice(&session[..k]);
+                if recent.len() < cfg.min_recent_len {
+                    continue;
+                }
+                // History = everything before the context window.
+                let mut history: Vec<Point> = user.sessions[..ctx_start]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                if history.len() > cfg.max_history {
+                    history.drain(..history.len() - cfg.max_history);
+                }
+                let target_point = session[k];
+                samples.push(Sample {
+                    user: user.user,
+                    recent,
+                    history,
+                    target: target_point.loc,
+                    target_time: target_point.time,
+                });
+            }
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::UserSessions;
+
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    /// Ten sessions of three points each; session `s` visits locations
+    /// `s*10 + {0,1,2}` mod 30 at hours spaced far apart.
+    fn dataset() -> ProcessedDataset {
+        let sessions: Vec<Vec<Point>> = (0..10)
+            .map(|s| {
+                (0..3)
+                    .map(|k| pt((s * 3 + k) % 30, (s * 100 + k * 2) as i64))
+                    .collect()
+            })
+            .collect();
+        ProcessedDataset {
+            name: "t".into(),
+            num_locations: 30,
+            session_window_secs: 72 * 3600,
+            users: vec![UserSessions {
+                user: UserId(0),
+                sessions,
+            }],
+        }
+    }
+
+    #[test]
+    fn split_boundaries_are_70_10_20() {
+        let (tr, va, te) = split_sessions(10);
+        assert_eq!(tr, 0..7);
+        assert_eq!(va, 7..8);
+        assert_eq!(te, 8..10);
+        // The paper's minimum of 5 sessions keeps all regions non-empty.
+        let (tr5, va5, te5) = split_sessions(5);
+        assert_eq!(tr5, 0..3);
+        assert_eq!(va5, 3..4);
+        assert_eq!(te5, 4..5);
+    }
+
+    #[test]
+    fn regions_partition_the_timeline() {
+        for n in 5..50 {
+            let (tr, va, te) = split_sessions(n);
+            assert_eq!(tr.end, va.start);
+            assert_eq!(va.end, te.start);
+            assert_eq!(te.end, n);
+            assert!(!tr.is_empty() && !va.is_empty() && !te.is_empty(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn train_samples_use_c1_context() {
+        let ds = dataset();
+        let samples = make_samples(&ds, Split::Train, &SampleConfig::train());
+        // c = 1: only within-session prefixes; first point of each session
+        // has no context so it is skipped -> 2 samples per train session.
+        assert_eq!(samples.len(), 7 * 2);
+        for s in &samples {
+            assert!(!s.recent.is_empty());
+            // All recent points share the target's session (c = 1).
+            let target_session = s.target_time.0 / (100 * 3600);
+            for p in &s.recent {
+                assert_eq!(p.time.0 / (100 * 3600), target_session);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_samples_span_multiple_sessions() {
+        let ds = dataset();
+        let cfg = SampleConfig::eval(3);
+        let samples = make_samples(&ds, Split::Test, &cfg);
+        // Test sessions are 8 and 9, 3 points each -> 6 samples.
+        assert_eq!(samples.len(), 6);
+        // The first test sample (session 8, point 0) draws context from
+        // sessions 6 and 7.
+        let first = &samples[0];
+        assert_eq!(first.recent.len(), 6);
+        assert_eq!(first.target, LocationId(24));
+        // History is everything before session 6: sessions 0..6, 18 points.
+        assert_eq!(first.history.len(), 18);
+        // History is chronological and ends before recent starts.
+        assert!(first.history.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(first.history.last().unwrap().time < first.recent[0].time);
+    }
+
+    #[test]
+    fn history_cap_keeps_most_recent() {
+        let ds = dataset();
+        let cfg = SampleConfig {
+            context_sessions: 1,
+            max_history: 4,
+            min_recent_len: 1,
+        };
+        let samples = make_samples(&ds, Split::Test, &cfg);
+        let s = &samples[0];
+        assert_eq!(s.history.len(), 4);
+        // Kept points are the latest ones before the recent window.
+        assert!(s.history.last().unwrap().time < s.recent[0].time);
+        assert!(s.history[0].time.0 > 0);
+    }
+
+    #[test]
+    fn min_recent_len_filters_short_inputs() {
+        let ds = dataset();
+        let cfg = SampleConfig {
+            context_sessions: 1,
+            max_history: 100,
+            min_recent_len: 2,
+        };
+        let samples = make_samples(&ds, Split::Train, &cfg);
+        // Only the third point of each session has a 2-point prefix.
+        assert_eq!(samples.len(), 7);
+        assert!(samples.iter().all(|s| s.recent.len() >= 2));
+    }
+
+    #[test]
+    fn prefix_labels_follow_the_sequence() {
+        let s = Sample {
+            user: UserId(0),
+            recent: vec![pt(1, 0), pt(2, 1), pt(3, 2)],
+            history: vec![],
+            target: LocationId(9),
+            target_time: Timestamp::from_hours(3),
+        };
+        assert_eq!(
+            s.prefix_labels(),
+            vec![LocationId(2), LocationId(3), LocationId(9)]
+        );
+    }
+
+    #[test]
+    fn splits_are_disjoint_in_targets() {
+        let ds = dataset();
+        let cfg = SampleConfig::train();
+        let train = make_samples(&ds, Split::Train, &cfg);
+        let val = make_samples(&ds, Split::Val, &cfg);
+        let test = make_samples(&ds, Split::Test, &cfg);
+        let t_times: std::collections::HashSet<i64> =
+            train.iter().map(|s| s.target_time.0).collect();
+        for s in val.iter().chain(&test) {
+            assert!(!t_times.contains(&s.target_time.0));
+        }
+        // Chronology: max train target < min test target.
+        let max_train = train.iter().map(|s| s.target_time.0).max().unwrap();
+        let min_test = test.iter().map(|s| s.target_time.0).min().unwrap();
+        assert!(max_train < min_test);
+    }
+}

@@ -1,0 +1,94 @@
+//! The 48-slot time encoding of paper Eq. 4.
+//!
+//! Hours `0..=23` on workdays map to codes `0..=23`; hours on weekends map
+//! to `24..=47`. This lets the embedding layer separate weekday from weekend
+//! routines — the periodicity signal §III-C leans on.
+
+use crate::types::Timestamp;
+
+/// Number of discrete time slots.
+pub const NUM_TIME_SLOTS: u32 = 48;
+
+/// Encode a timestamp into its slot: `[0, 23]` workday hours,
+/// `[24, 47]` weekend hours.
+pub fn time_code(t: Timestamp) -> u32 {
+    let hour = t.hour_of_day();
+    if t.is_weekend() {
+        24 + hour
+    } else {
+        hour
+    }
+}
+
+/// Decode a slot back to `(hour_of_day, is_weekend)` — used by the synthetic
+/// generator's schedules and by diagnostics.
+pub fn decode(code: u32) -> (u32, bool) {
+    assert!(code < NUM_TIME_SLOTS, "time code {code} out of range");
+    if code < 24 {
+        (code, false)
+    } else {
+        (code - 24, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DAY, HOUR};
+
+    #[test]
+    fn workday_hours_map_to_low_slots() {
+        // Monday (epoch) 00:00 through 23:00.
+        for h in 0..24i64 {
+            let t = Timestamp(h * HOUR);
+            assert_eq!(time_code(t), h as u32);
+        }
+    }
+
+    #[test]
+    fn weekend_hours_map_to_high_slots() {
+        for (day, start) in [(5i64, "sat"), (6, "sun")] {
+            for h in 0..24i64 {
+                let t = Timestamp(day * DAY + h * HOUR);
+                assert_eq!(time_code(t), 24 + h as u32, "{start} {h}h");
+            }
+        }
+    }
+
+    #[test]
+    fn friday_night_vs_saturday_night_differ() {
+        let fri_23 = Timestamp(4 * DAY + 23 * HOUR);
+        let sat_23 = Timestamp(5 * DAY + 23 * HOUR);
+        assert_eq!(time_code(fri_23), 23);
+        assert_eq!(time_code(sat_23), 47);
+    }
+
+    #[test]
+    fn codes_cover_exactly_48_slots() {
+        let mut seen = [false; 48];
+        for day in 0..7i64 {
+            for h in 0..24i64 {
+                let code = time_code(Timestamp(day * DAY + h * HOUR));
+                assert!(code < NUM_TIME_SLOTS);
+                seen[code as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all 48 slots reachable");
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        for code in 0..NUM_TIME_SLOTS {
+            let (hour, weekend) = decode(code);
+            let day = if weekend { 5 } else { 0 };
+            let t = Timestamp(day * DAY + hour as i64 * HOUR);
+            assert_eq!(time_code(t), code);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_oversized_code() {
+        decode(48);
+    }
+}

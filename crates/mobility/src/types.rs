@@ -1,0 +1,316 @@
+//! Core data model: spatio-temporal points, trajectories, datasets
+//! (paper Definitions 1–3).
+
+use serde::{Deserialize, Serialize};
+
+/// Compact location identifier (paper: `l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocationId(pub u32);
+
+impl LocationId {
+    /// Index form for embedding lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Compact user identifier (paper: `u`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// Index form for embedding lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Seconds since the dataset epoch. By convention the epoch falls on a
+/// Monday at 00:00, so weekday arithmetic in [`crate::timecode`] is exact.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+/// Seconds per hour.
+pub const HOUR: i64 = 3600;
+/// Seconds per day.
+pub const DAY: i64 = 24 * HOUR;
+/// Seconds per week.
+pub const WEEK: i64 = 7 * DAY;
+
+impl Timestamp {
+    /// Build from whole hours since the epoch.
+    pub fn from_hours(hours: i64) -> Self {
+        Timestamp(hours * HOUR)
+    }
+
+    /// Whole hours since the epoch.
+    pub fn hours(self) -> i64 {
+        self.0.div_euclid(HOUR)
+    }
+
+    /// Whole days since the epoch.
+    pub fn days(self) -> i64 {
+        self.0.div_euclid(DAY)
+    }
+
+    /// Hour of day, `0..=23`.
+    pub fn hour_of_day(self) -> u32 {
+        (self.0.div_euclid(HOUR).rem_euclid(24)) as u32
+    }
+
+    /// Day of week, `0 = Monday .. 6 = Sunday`.
+    pub fn day_of_week(self) -> u32 {
+        (self.0.div_euclid(DAY).rem_euclid(7)) as u32
+    }
+
+    /// True on Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        self.day_of_week() >= 5
+    }
+}
+
+/// A spatio-temporal point `p = (l, t)` (paper Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Point {
+    /// Visited location.
+    pub loc: LocationId,
+    /// Visit time.
+    pub time: Timestamp,
+}
+
+impl Point {
+    /// Shorthand constructor.
+    pub fn new(loc: u32, time: Timestamp) -> Self {
+        Self {
+            loc: LocationId(loc),
+            time,
+        }
+    }
+}
+
+/// The chronologically ordered point sequence of one user
+/// (paper Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Owning user.
+    pub user: UserId,
+    /// Points in non-decreasing time order.
+    pub points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Build a trajectory, sorting points chronologically.
+    pub fn new(user: UserId, mut points: Vec<Point>) -> Self {
+        points.sort_by_key(|p| p.time);
+        Self { user, points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Verify chronological ordering (cheap O(n) invariant check used by
+    /// debug assertions and property tests).
+    pub fn is_sorted(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+
+    /// The recent suffix within the last `c * t_window` seconds of the final
+    /// point (paper Definition 3 with `T = t_window`, `c` sessions).
+    pub fn recent(&self, c: usize, t_window_secs: i64) -> &[Point] {
+        let Some(last) = self.points.last() else {
+            return &[];
+        };
+        let cutoff = last.time.0 - (c as i64) * t_window_secs;
+        let start = self.points.partition_point(|p| p.time.0 < cutoff);
+        &self.points[start..]
+    }
+}
+
+/// A raw mobility dataset: one trajectory per user plus vocab sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset label (e.g. `"NYC-synth"`).
+    pub name: String,
+    /// Number of distinct location ids (ids are `0..num_locations`).
+    pub num_locations: u32,
+    /// One trajectory per user, indexed by `UserId`.
+    pub trajectories: Vec<Trajectory>,
+}
+
+impl Dataset {
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Total number of points across users.
+    pub fn num_points(&self) -> usize {
+        self.trajectories.iter().map(|t| t.len()).sum()
+    }
+
+    /// Time range `(min, max)` across all points, if any exist.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut min = None;
+        let mut max = None;
+        for t in &self.trajectories {
+            for p in &t.points {
+                min = Some(min.map_or(p.time, |m: Timestamp| m.min(p.time)));
+                max = Some(max.map_or(p.time, |m: Timestamp| m.max(p.time)));
+            }
+        }
+        min.zip(max)
+    }
+
+    /// Validate internal invariants: per-user sorted points, location ids in
+    /// range, trajectory user ids matching their index.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, t) in self.trajectories.iter().enumerate() {
+            if t.user.index() != i {
+                return Err(format!(
+                    "trajectory {i} has user id {} (must equal its index)",
+                    t.user.0
+                ));
+            }
+            if !t.is_sorted() {
+                return Err(format!("trajectory {i} is not chronologically sorted"));
+            }
+            if let Some(p) = t.points.iter().find(|p| p.loc.0 >= self.num_locations) {
+                return Err(format!(
+                    "trajectory {i} references location {} >= num_locations {}",
+                    p.loc.0, self.num_locations
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_calendar_arithmetic() {
+        // Epoch is Monday 00:00.
+        let t = Timestamp(0);
+        assert_eq!(t.day_of_week(), 0);
+        assert_eq!(t.hour_of_day(), 0);
+        assert!(!t.is_weekend());
+
+        let sat_noon = Timestamp(5 * DAY + 12 * HOUR);
+        assert_eq!(sat_noon.day_of_week(), 5);
+        assert_eq!(sat_noon.hour_of_day(), 12);
+        assert!(sat_noon.is_weekend());
+
+        let next_week = Timestamp(WEEK + 3 * HOUR);
+        assert_eq!(next_week.day_of_week(), 0);
+        assert_eq!(next_week.hour_of_day(), 3);
+
+        assert_eq!(Timestamp::from_hours(25).hours(), 25);
+        assert_eq!(Timestamp::from_hours(49).days(), 2);
+    }
+
+    #[test]
+    fn timestamp_negative_times_wrap_correctly() {
+        // One hour before the epoch is Sunday 23:00.
+        let t = Timestamp(-HOUR);
+        assert_eq!(t.day_of_week(), 6);
+        assert_eq!(t.hour_of_day(), 23);
+        assert!(t.is_weekend());
+    }
+
+    #[test]
+    fn trajectory_sorts_points() {
+        let tr = Trajectory::new(
+            UserId(0),
+            vec![
+                Point::new(1, Timestamp(100)),
+                Point::new(2, Timestamp(50)),
+                Point::new(3, Timestamp(75)),
+            ],
+        );
+        assert!(tr.is_sorted());
+        assert_eq!(tr.points[0].loc, LocationId(2));
+        assert_eq!(tr.len(), 3);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn recent_respects_definition_3() {
+        // Points at hours 0, 10, 50, 100, 140; window T = 24h, c = 2.
+        let tr = Trajectory::new(
+            UserId(0),
+            [0i64, 10, 50, 100, 140]
+                .iter()
+                .map(|&h| Point::new(0, Timestamp::from_hours(h)))
+                .collect(),
+        );
+        // Cutoff = 140h - 48h = 92h -> points at 100 and 140.
+        let rec = tr.recent(2, 24 * HOUR);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec[0].time.hours(), 100);
+        // A huge window returns everything.
+        assert_eq!(tr.recent(100, 24 * HOUR).len(), 5);
+        // Empty trajectory returns empty.
+        let empty = Trajectory::new(UserId(0), vec![]);
+        assert!(empty.recent(2, 24 * HOUR).is_empty());
+    }
+
+    #[test]
+    fn dataset_stats_and_validation() {
+        let ds = Dataset {
+            name: "test".into(),
+            num_locations: 5,
+            trajectories: vec![
+                Trajectory::new(UserId(0), vec![Point::new(0, Timestamp(10))]),
+                Trajectory::new(
+                    UserId(1),
+                    vec![Point::new(4, Timestamp(5)), Point::new(1, Timestamp(20))],
+                ),
+            ],
+        };
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.num_points(), 3);
+        assert_eq!(ds.time_range(), Some((Timestamp(5), Timestamp(20))));
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_location_and_user_ids() {
+        let mut ds = Dataset {
+            name: "bad".into(),
+            num_locations: 2,
+            trajectories: vec![Trajectory::new(
+                UserId(0),
+                vec![Point::new(7, Timestamp(0))],
+            )],
+        };
+        assert!(ds.validate().unwrap_err().contains("location 7"));
+        ds.trajectories[0].points[0].loc = LocationId(1);
+        ds.trajectories[0].user = UserId(3);
+        assert!(ds.validate().unwrap_err().contains("user id 3"));
+    }
+
+    #[test]
+    fn empty_dataset_has_no_time_range() {
+        let ds = Dataset {
+            name: "empty".into(),
+            num_locations: 0,
+            trajectories: vec![],
+        };
+        assert_eq!(ds.time_range(), None);
+        assert_eq!(ds.num_points(), 0);
+        ds.validate().unwrap();
+    }
+}

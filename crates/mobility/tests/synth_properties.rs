@@ -1,0 +1,185 @@
+//! Property and scenario tests for the synthetic generator: across random
+//! configurations the output must stay structurally valid, periodic and
+//! calibratable — the guarantees the experiment harness relies on.
+
+use adamove_mobility::analysis::{similarity_decay, visit_distribution};
+use adamove_mobility::synth::{generate, CityConfig, CityPreset, Scale};
+use adamove_mobility::timecode::time_code;
+use adamove_mobility::types::DAY;
+use adamove_mobility::{preprocess, PreprocessConfig};
+use proptest::prelude::*;
+
+fn config(users: usize, locations: u32, days: i64, rate: f64, seed: u64) -> CityConfig {
+    CityConfig {
+        num_users: users,
+        num_locations: locations,
+        days,
+        checkin_rate: rate,
+        seed,
+        ..CityPreset::Nyc.config(Scale::Small)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_datasets_are_always_valid(
+        users in 5usize..30,
+        locations in 50u32..200,
+        days in 20i64..60,
+        seed in 0u64..1000,
+    ) {
+        let ds = generate(&config(users, locations, days, 0.15, seed));
+        prop_assert!(ds.validate().is_ok());
+        prop_assert_eq!(ds.num_users(), users);
+        if let Some((lo, hi)) = ds.time_range() {
+            prop_assert!(lo.0 >= 0);
+            prop_assert!(hi.0 < days * DAY);
+        }
+    }
+
+    #[test]
+    fn checkin_rate_controls_density(seed in 0u64..50) {
+        let sparse = generate(&config(10, 100, 30, 0.08, seed));
+        let dense = generate(&config(10, 100, 30, 0.32, seed));
+        prop_assert!(
+            dense.num_points() > sparse.num_points() * 2,
+            "dense {} vs sparse {}",
+            dense.num_points(),
+            sparse.num_points()
+        );
+    }
+
+    #[test]
+    fn time_codes_cover_valid_range(seed in 0u64..50) {
+        let ds = generate(&config(8, 80, 21, 0.2, seed));
+        for tr in &ds.trajectories {
+            for p in &tr.points {
+                prop_assert!(time_code(p.time) < 48);
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_of_generated_data_is_stable(seed in 0u64..20) {
+        let ds = generate(&config(25, 150, 50, 0.2, seed));
+        let out = preprocess(&ds, &PreprocessConfig::default());
+        prop_assert!(out.validate().is_ok());
+        // Some users must survive at these densities.
+        prop_assert!(out.num_users() > 0, "everything filtered away");
+    }
+}
+
+#[test]
+fn night_hours_are_quiet() {
+    let ds = generate(&config(20, 120, 40, 0.3, 5));
+    let total = ds.num_points() as f64;
+    let night = ds
+        .trajectories
+        .iter()
+        .flat_map(|t| &t.points)
+        .filter(|p| p.time.hour_of_day() < 6)
+        .count() as f64;
+    // Personas sleep 0-6; only exploration noise checks in then.
+    assert!(
+        night / total < 0.10,
+        "night share {} too high",
+        night / total
+    );
+}
+
+#[test]
+fn weekday_and_weekend_distributions_differ() {
+    let ds = generate(&config(20, 120, 56, 0.3, 6));
+    let mut weekday = Vec::new();
+    let mut weekend = Vec::new();
+    for tr in &ds.trajectories {
+        for p in &tr.points {
+            if p.time.is_weekend() {
+                weekend.push(*p);
+            } else {
+                weekday.push(*p);
+            }
+        }
+    }
+    let dw = visit_distribution(&weekday, ds.num_locations);
+    let de = visit_distribution(&weekend, ds.num_locations);
+    let sim = adamove_tensor::stats::cosine_similarity(&dw, &de);
+    assert!(
+        sim < 0.95,
+        "weekday/weekend distributions too similar: {sim}"
+    );
+}
+
+#[test]
+fn higher_shift_fraction_decays_similarity_faster() {
+    let mut stable = config(30, 150, 180, 0.2, 7);
+    stable.shift_fraction = 0.0;
+    stable.weekly_drift = 0.0;
+    let mut shifty = stable.clone();
+    shifty.shift_fraction = 0.9;
+    shifty.shift_at = 0.55;
+
+    let d_stable = similarity_decay(&generate(&stable), 90);
+    let d_shifty = similarity_decay(&generate(&shifty), 90);
+    let last = |d: &[adamove_mobility::analysis::SimilarityPoint]| {
+        d.last().map(|p| p.similarity).unwrap_or(0.0)
+    };
+    assert!(
+        last(&d_shifty) < last(&d_stable),
+        "shifted city should end less similar: {} vs {}",
+        last(&d_shifty),
+        last(&d_stable)
+    );
+}
+
+#[test]
+fn leisure_routes_are_sequential() {
+    // The ordered evening routes mean consecutive evening check-ins are a
+    // strong transition signal: P(next | current) in the 18-21h window is
+    // concentrated, unlike a uniform draw over the leisure set.
+    let mut cfg = config(15, 150, 90, 0.9, 8);
+    cfg.exploration = 0.0;
+    cfg.weekly_drift = 0.0;
+    cfg.shift_fraction = 0.0;
+    let ds = generate(&cfg);
+    let mut transitions: std::collections::HashMap<(u32, u32), std::collections::HashMap<u32, u32>> =
+        std::collections::HashMap::new();
+    for tr in &ds.trajectories {
+        for w in tr.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Personas carry a +-1h phase offset, so only wall-clock
+            // 19-20h is guaranteed to be inside everyone's leisure window.
+            let evening = |h: u32| (19..=20).contains(&h);
+            if evening(a.time.hour_of_day())
+                && evening(b.time.hour_of_day())
+                && a.time.days() == b.time.days()
+            {
+                *transitions
+                    .entry((tr.user.0, a.loc.0))
+                    .or_default()
+                    .entry(b.loc.0)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    // For rows with enough mass, the modal successor should dominate.
+    let mut dominated = 0usize;
+    let mut eligible = 0usize;
+    for successors in transitions.values() {
+        let total: u32 = successors.values().sum();
+        if total >= 5 {
+            eligible += 1;
+            let max = *successors.values().max().unwrap();
+            if max as f64 >= 0.8 * total as f64 {
+                dominated += 1;
+            }
+        }
+    }
+    assert!(eligible > 10, "not enough evening transitions to test");
+    assert!(
+        dominated as f64 > 0.7 * eligible as f64,
+        "evening transitions not sequential enough: {dominated}/{eligible}"
+    );
+}

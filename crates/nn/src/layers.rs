@@ -1,0 +1,852 @@
+//! Layers: affine, embedding, recurrent cells, attention, transformer.
+//!
+//! Each layer registers its parameters once (in `new`) and records forward
+//! ops on a per-pass [`Graph`]. Layers are plain data (`ParamId`s + dims),
+//! so a model is `Clone` and can be shared freely; all mutable state lives
+//! in the [`ParamStore`].
+
+use adamove_autograd::{Graph, ParamId, ParamStore, Var};
+use adamove_tensor::{init, Matrix};
+use rand::Rng;
+
+/// Fully connected layer `y = x W (+ b)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight, `in_dim x out_dim`.
+    pub w: ParamId,
+    /// Optional bias, `1 x out_dim`.
+    pub b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Register a linear layer with Xavier-initialised weights.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.register(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let b = bias.then(|| store.register(format!("{name}.b"), Matrix::zeros(1, out_dim)));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Apply to a `batch x in_dim` var.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        g.linear(self.w, self.b, x)
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// Lookup-table embedding.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Table, `vocab x dim`.
+    pub table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Register an embedding table with `N(0, 0.1)` initial weights.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table = store.register(format!("{name}.table"), init::normal(vocab, dim, 0.1, rng));
+        Self { table, vocab, dim }
+    }
+
+    /// Gather rows for `indices`, producing `indices.len() x dim`.
+    pub fn forward(&self, g: &mut Graph, indices: &[u32]) -> Var {
+        g.gather(self.table, indices)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// State threading through an LSTM: `(hidden, cell)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state `1 x hidden`.
+    pub h: Var,
+    /// Cell state `1 x hidden`.
+    pub c: Var,
+}
+
+/// Vanilla (Elman) RNN cell: `h' = tanh(x W + h U + b)`.
+#[derive(Debug, Clone)]
+pub struct RnnCell {
+    w: ParamId,
+    u: ParamId,
+    b: ParamId,
+    hidden: usize,
+}
+
+impl RnnCell {
+    /// Register the cell's parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            w: store.register(format!("{name}.w"), init::xavier_uniform(input, hidden, rng)),
+            u: store.register(format!("{name}.u"), init::recurrent(hidden, hidden, rng)),
+            b: store.register(format!("{name}.b"), Matrix::zeros(1, hidden)),
+            hidden,
+        }
+    }
+
+    /// One step; `x` is `1 x input`, `h` is `1 x hidden`.
+    pub fn step(&self, g: &mut Graph, x: Var, h: Var) -> Var {
+        let xw = g.linear(self.w, Some(self.b), x);
+        let hu = g.linear(self.u, None, h);
+        let s = g.add(xw, hu);
+        g.tanh(s)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+/// GRU cell (Cho et al., 2014), the encoder the paper finds strongest in
+/// Fig. 5.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    // Fused gates: [r | z] over inputs and hidden.
+    w_rz: ParamId,
+    u_rz: ParamId,
+    b_rz: ParamId,
+    w_n: ParamId,
+    u_n: ParamId,
+    b_n: ParamId,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Register the cell's parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            w_rz: store.register(
+                format!("{name}.w_rz"),
+                init::xavier_uniform(input, 2 * hidden, rng),
+            ),
+            u_rz: store.register(
+                format!("{name}.u_rz"),
+                init::recurrent(hidden, 2 * hidden, rng),
+            ),
+            b_rz: store.register(format!("{name}.b_rz"), Matrix::zeros(1, 2 * hidden)),
+            w_n: store.register(format!("{name}.w_n"), init::xavier_uniform(input, hidden, rng)),
+            u_n: store.register(format!("{name}.u_n"), init::recurrent(hidden, hidden, rng)),
+            b_n: store.register(format!("{name}.b_n"), Matrix::zeros(1, hidden)),
+            hidden,
+        }
+    }
+
+    /// One step; `x` is `1 x input`, `h` is `1 x hidden`.
+    pub fn step(&self, g: &mut Graph, x: Var, h: Var) -> Var {
+        let gates_x = g.linear(self.w_rz, Some(self.b_rz), x);
+        let gates_h = g.linear(self.u_rz, None, h);
+        let gates_pre = g.add(gates_x, gates_h);
+        let gates = g.sigmoid(gates_pre);
+        let r = g.slice_cols(gates, 0, self.hidden);
+        let z = g.slice_cols(gates, self.hidden, self.hidden);
+
+        let n_x = g.linear(self.w_n, Some(self.b_n), x);
+        let h_u = g.linear(self.u_n, None, h);
+        let rh = g.mul(r, h_u);
+        let n_pre = g.add(n_x, rh);
+        let n = g.tanh(n_pre);
+
+        // h' = (1 - z) * n + z * h
+        let zn = g.mul(z, n);
+        let zh = g.mul(z, h);
+        let n_minus_zn = g.sub(n, zn);
+        g.add(n_minus_zn, zh)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+/// LSTM cell (Hochreiter & Schmidhuber, 1997) — the paper's default
+/// trajectory encoder.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    // Fused gate order: [i | f | g | o].
+    w: ParamId,
+    u: ParamId,
+    b: ParamId,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Register the cell's parameters. The forget-gate bias chunk is
+    /// initialised to 1.0 — the standard trick for stable early training.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            bias.set(0, c, 1.0);
+        }
+        Self {
+            w: store.register(format!("{name}.w"), init::xavier_uniform(input, 4 * hidden, rng)),
+            u: store.register(format!("{name}.u"), init::recurrent(hidden, 4 * hidden, rng)),
+            b: store.register(format!("{name}.b"), bias),
+            hidden,
+        }
+    }
+
+    /// Zero initial state.
+    pub fn zero_state(&self, g: &mut Graph) -> LstmState {
+        LstmState {
+            h: g.constant(Matrix::zeros(1, self.hidden)),
+            c: g.constant(Matrix::zeros(1, self.hidden)),
+        }
+    }
+
+    /// One step; `x` is `1 x input`.
+    pub fn step(&self, g: &mut Graph, x: Var, state: LstmState) -> LstmState {
+        let gx = g.linear(self.w, Some(self.b), x);
+        let gh = g.linear(self.u, None, state.h);
+        let pre = g.add(gx, gh);
+        let h = self.hidden;
+        let i_pre = g.slice_cols(pre, 0, h);
+        let f_pre = g.slice_cols(pre, h, h);
+        let g_pre = g.slice_cols(pre, 2 * h, h);
+        let o_pre = g.slice_cols(pre, 3 * h, h);
+        let i = g.sigmoid(i_pre);
+        let f = g.sigmoid(f_pre);
+        let cand = g.tanh(g_pre);
+        let o = g.sigmoid(o_pre);
+
+        let fc = g.mul(f, state.c);
+        let ig = g.mul(i, cand);
+        let c = g.add(fc, ig);
+        let ct = g.tanh(c);
+        let hh = g.mul(o, ct);
+        LstmState { h: hh, c }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+/// A recurrent cell run over a whole sequence.
+///
+/// This is the `SeqEncoder` of paper Eq. 5 for the RNN-family choices.
+#[derive(Debug, Clone)]
+pub enum Recurrent {
+    /// Elman RNN.
+    Rnn(RnnCell),
+    /// Gated recurrent unit.
+    Gru(GruCell),
+    /// Long short-term memory.
+    Lstm(LstmCell),
+}
+
+impl Recurrent {
+    /// Hidden width of the wrapped cell.
+    pub fn hidden(&self) -> usize {
+        match self {
+            Recurrent::Rnn(c) => c.hidden(),
+            Recurrent::Gru(c) => c.hidden(),
+            Recurrent::Lstm(c) => c.hidden(),
+        }
+    }
+
+    /// Encode a `seq_len x input` var, returning all hidden states as a
+    /// `seq_len x hidden` var.
+    pub fn encode_all(&self, g: &mut Graph, xs: Var) -> Var {
+        let seq_len = g.value(xs).rows();
+        assert!(seq_len > 0, "Recurrent::encode_all: empty sequence");
+        let mut outputs = Vec::with_capacity(seq_len);
+        match self {
+            Recurrent::Rnn(cell) => {
+                let mut h = g.constant(Matrix::zeros(1, cell.hidden()));
+                for t in 0..seq_len {
+                    let x = g.row(xs, t);
+                    h = cell.step(g, x, h);
+                    outputs.push(h);
+                }
+            }
+            Recurrent::Gru(cell) => {
+                let mut h = g.constant(Matrix::zeros(1, cell.hidden()));
+                for t in 0..seq_len {
+                    let x = g.row(xs, t);
+                    h = cell.step(g, x, h);
+                    outputs.push(h);
+                }
+            }
+            Recurrent::Lstm(cell) => {
+                let mut state = cell.zero_state(g);
+                for t in 0..seq_len {
+                    let x = g.row(xs, t);
+                    state = cell.step(g, x, state);
+                    outputs.push(state.h);
+                }
+            }
+        }
+        g.concat_rows(&outputs)
+    }
+
+    /// Encode a sequence and return only the final hidden state (`1 x hidden`).
+    pub fn encode_last(&self, g: &mut Graph, xs: Var) -> Var {
+        let all = self.encode_all(g, xs);
+        let last = g.value(all).rows() - 1;
+        g.row(all, last)
+    }
+}
+
+/// Scaled dot-product multi-head attention.
+///
+/// With `heads == 1` and no output projection bias this reduces to the
+/// history-fusion attention of paper Eqs. 7–8.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Register projections; `dim` must be divisible by `heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "attention: dim {dim} not divisible by heads {heads}");
+        Self {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, false, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, false, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, false, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Attend `query` (`q_len x dim`) over `context` (`kv_len x dim`),
+    /// returning `q_len x dim`.
+    pub fn forward(&self, g: &mut Graph, query: Var, context: Var) -> Var {
+        self.forward_masked(g, query, context, None)
+    }
+
+    /// Attention with an optional additive score mask (`q_len x kv_len`,
+    /// typically `0` for allowed and `-1e9` for blocked positions). Use
+    /// [`causal_mask`] for autoregressive self-attention.
+    pub fn forward_masked(
+        &self,
+        g: &mut Graph,
+        query: Var,
+        context: Var,
+        mask: Option<&Matrix>,
+    ) -> Var {
+        let q = self.wq.forward(g, query);
+        let k = self.wk.forward(g, context);
+        let v = self.wv.forward(g, context);
+        let dk = self.dim / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mask_var = mask.map(|m| g.constant(m.clone()));
+
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = g.slice_cols(q, h * dk, dk);
+            let kh = g.slice_cols(k, h * dk, dk);
+            let vh = g.slice_cols(v, h * dk, dk);
+            let scores = g.matmul_nt(qh, kh);
+            let mut scaled = g.scale(scores, scale);
+            if let Some(m) = mask_var {
+                scaled = g.add(scaled, m);
+            }
+            let attn = g.softmax_rows(scaled);
+            head_outs.push(g.matmul(attn, vh));
+        }
+        let concat = if head_outs.len() == 1 {
+            head_outs[0]
+        } else {
+            g.concat_cols(&head_outs)
+        };
+        self.wo.forward(g, concat)
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+/// Affine layer normalisation (gain/bias over the feature axis).
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gain: ParamId,
+    bias: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Register gain (ones) and bias (zeros).
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        Self {
+            gain: store.register(format!("{name}.gain"), Matrix::full(1, dim, 1.0)),
+            bias: store.register(format!("{name}.bias"), Matrix::zeros(1, dim)),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalise each row, then apply the affine transform.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let n = g.layer_norm_rows(x, self.eps);
+        let gv = g.param(self.gain);
+        let bv = g.param(self.bias);
+        let scaled = g.mul_row_broadcast(n, gv);
+        g.add_row_broadcast(scaled, bv)
+    }
+}
+
+/// Pre-norm Transformer encoder layer: MHA + FFN, residual connections.
+///
+/// Matches the paper's Fig. 5 configuration ("two-layer architecture with
+/// 8 attention heads") when stacked twice.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoderLayer {
+    attn: MultiHeadAttention,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+impl TransformerEncoderLayer {
+    /// Register the layer's parameters; `ff_dim` is the FFN inner width.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            norm1: LayerNorm::new(store, &format!("{name}.norm1"), dim),
+            norm2: LayerNorm::new(store, &format!("{name}.norm2"), dim),
+            ff1: Linear::new(store, &format!("{name}.ff1"), dim, ff_dim, true, rng),
+            ff2: Linear::new(store, &format!("{name}.ff2"), ff_dim, dim, true, rng),
+        }
+    }
+
+    /// Self-attention over a `seq_len x dim` var.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        self.forward_masked(g, x, None)
+    }
+
+    /// Causal self-attention: position `t` only attends to positions `<= t`,
+    /// so row `t` of the output is a valid prefix representation.
+    pub fn forward_causal(&self, g: &mut Graph, x: Var) -> Var {
+        let n = g.value(x).rows();
+        let mask = causal_mask(n);
+        self.forward_masked(g, x, Some(&mask))
+    }
+
+    fn forward_masked(&self, g: &mut Graph, x: Var, mask: Option<&Matrix>) -> Var {
+        // Pre-norm self-attention with residual.
+        let n1 = self.norm1.forward(g, x);
+        let a = self.attn.forward_masked(g, n1, n1, mask);
+        let x2 = g.add(x, a);
+        // Pre-norm FFN with residual.
+        let n2 = self.norm2.forward(g, x2);
+        let f1 = self.ff1.forward(g, n2);
+        let r = g.relu(f1);
+        let f2 = self.ff2.forward(g, r);
+        g.add(x2, f2)
+    }
+}
+
+/// Additive causal mask: `0` on and below the diagonal, `-1e9` above.
+pub fn causal_mask(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| if c <= r { 0.0 } else { -1e9 })
+}
+
+/// Fixed sinusoidal positional encodings (Vaswani et al., 2017), added to
+/// the inputs of the Transformer encoder since self-attention is otherwise
+/// order-invariant.
+pub fn positional_encoding(seq_len: usize, dim: usize) -> Matrix {
+    Matrix::from_fn(seq_len, dim, |pos, i| {
+        let exponent = (2 * (i / 2)) as f32 / dim as f32;
+        let freq = 1.0 / 10000f32.powf(exponent);
+        let angle = pos as f32 * freq;
+        if i % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_autograd::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f32 = 1e-2;
+    const RTOL: f32 = 3e-2;
+    const ATOL: f32 = 3e-3;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 5, true, &mut rng);
+        assert_eq!(lin.in_dim(), 3);
+        assert_eq!(lin.out_dim(), 5);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Matrix::zeros(2, 3));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (2, 5));
+        // Bias initialised to zero: zero input -> zero output.
+        assert!(g.value(y).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn embedding_lookup_returns_table_rows() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        assert_eq!(emb.vocab(), 10);
+        assert_eq!(emb.dim(), 4);
+        let expected = store.value(emb.table).row(3).to_vec();
+        let mut g = Graph::new(&store);
+        let e = emb.forward(&mut g, &[3, 3]);
+        assert_eq!(g.value(e).row(0), &expected[..]);
+        assert_eq!(g.value(e).row(1), &expected[..]);
+    }
+
+    #[test]
+    fn rnn_cell_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let cell = RnnCell::new(&mut store, "rnn", 3, 4, &mut rng);
+        let xs = init::normal(4, 3, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let x = g.constant(xs.clone());
+                let h = Recurrent::Rnn(cell.clone()).encode_last(g, x);
+                g.mean_all(h)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gru_cell_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+        let xs = init::normal(3, 3, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let x = g.constant(xs.clone());
+                let h = Recurrent::Gru(cell.clone()).encode_last(g, x);
+                g.mean_all(h)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn lstm_cell_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 3, 4, &mut rng);
+        let xs = init::normal(3, 3, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let x = g.constant(xs.clone());
+                let h = Recurrent::Lstm(cell.clone()).encode_last(g, x);
+                g.mean_all(h)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn lstm_forget_bias_is_one() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let _ = cell;
+        let b = store.find("lstm.b").unwrap();
+        let bias = store.value(b);
+        // Gate order [i | f | g | o]: forget chunk is columns 3..6.
+        assert_eq!(&bias.as_slice()[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&bias.as_slice()[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn recurrent_encode_all_shapes() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        for enc in [
+            Recurrent::Rnn(RnnCell::new(&mut store, "r", 3, 5, &mut rng)),
+            Recurrent::Gru(GruCell::new(&mut store, "g", 3, 5, &mut rng)),
+            Recurrent::Lstm(LstmCell::new(&mut store, "l", 3, 5, &mut rng)),
+        ] {
+            assert_eq!(enc.hidden(), 5);
+            let mut g = Graph::new(&store);
+            let x = g.constant(init::normal(4, 3, 1.0, &mut rng));
+            let all = enc.encode_all(&mut g, x);
+            assert_eq!(g.value(all).shape(), (4, 5));
+            let x2 = g.constant(init::normal(4, 3, 1.0, &mut rng));
+            let last = enc.encode_last(&mut g, x2);
+            assert_eq!(g.value(last).shape(), (1, 5));
+        }
+    }
+
+    #[test]
+    fn recurrent_state_depends_on_history() {
+        // Same final input, different prefixes -> different final state.
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let enc = Recurrent::Lstm(LstmCell::new(&mut store, "l", 2, 4, &mut rng));
+        let mut g = Graph::new(&store);
+        let a = g.constant(Matrix::from_vec(2, 2, vec![1., 0., 0.5, 0.5]));
+        let b = g.constant(Matrix::from_vec(2, 2, vec![-1., 2., 0.5, 0.5]));
+        let ha = enc.encode_last(&mut g, a);
+        let hb = enc.encode_last(&mut g, b);
+        assert_ne!(g.value(ha), g.value(hb));
+    }
+
+    #[test]
+    fn attention_gradcheck_single_head() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 4, 1, &mut rng);
+        let q = init::normal(2, 4, 1.0, &mut rng);
+        let kv = init::normal(3, 4, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let qv = g.constant(q.clone());
+                let kvv = g.constant(kv.clone());
+                let out = attn.forward(g, qv, kvv);
+                let t = g.tanh(out);
+                g.mean_all(t)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn attention_multi_head_shapes() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 8, 4, &mut rng);
+        assert_eq!(attn.dim(), 8);
+        assert_eq!(attn.heads(), 4);
+        let mut g = Graph::new(&store);
+        let q = g.constant(init::normal(5, 8, 1.0, &mut rng));
+        let kv = g.constant(init::normal(7, 8, 1.0, &mut rng));
+        let out = attn.forward(&mut g, q, kv);
+        assert_eq!(g.value(out).shape(), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn attention_rejects_indivisible_heads() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        MultiHeadAttention::new(&mut store, "a", 6, 4, &mut rng);
+    }
+
+    #[test]
+    fn layer_norm_affine_gradcheck() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let lin = Linear::new(&mut store, "l", 4, 4, true, &mut rng);
+        let x = init::normal(2, 4, 1.0, &mut rng);
+        check_gradients(
+            &mut store,
+            |g| {
+                let xv = g.constant(x.clone());
+                let h = lin.forward(g, xv);
+                let n = ln.forward(g, h);
+                let t = g.tanh(n);
+                g.mean_all(t)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn transformer_layer_preserves_shape_and_gradchecks() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let layer = TransformerEncoderLayer::new(&mut store, "t", 4, 2, 8, &mut rng);
+        let x = init::normal(3, 4, 1.0, &mut rng);
+        {
+            let mut g = Graph::new(&store);
+            let xv = g.constant(x.clone());
+            let out = layer.forward(&mut g, xv);
+            assert_eq!(g.value(out).shape(), (3, 4));
+        }
+        check_gradients(
+            &mut store,
+            |g| {
+                let xv = g.constant(x.clone());
+                let out = layer.forward(g, xv);
+                let t = g.tanh(out);
+                g.mean_all(t)
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn positional_encoding_properties() {
+        let pe = positional_encoding(10, 6);
+        assert_eq!(pe.shape(), (10, 6));
+        // Position 0: sin(0)=0 for even dims, cos(0)=1 for odd dims.
+        assert_eq!(pe.get(0, 0), 0.0);
+        assert_eq!(pe.get(0, 1), 1.0);
+        // Values bounded in [-1, 1]; distinct positions get distinct codes.
+        assert!(pe.as_slice().iter().all(|v| v.abs() <= 1.0));
+        assert_ne!(pe.row(1), pe.row(2));
+    }
+}
+
+#[cfg(test)]
+mod causal_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn causal_mask_blocks_future_positions() {
+        let m = causal_mask(3);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 2), -1e9);
+        assert_eq!(m.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn causal_prefix_representations_ignore_the_future() {
+        // Row t of a causal forward over the full sequence must equal row t
+        // of a forward over just the first t+1 rows.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let layer = TransformerEncoderLayer::new(&mut store, "t", 4, 2, 8, &mut rng);
+        let x_full = init::normal(4, 4, 1.0, &mut rng);
+        let mut x_prefix = Matrix::zeros(2, 4);
+        for r in 0..2 {
+            x_prefix.row_mut(r).copy_from_slice(x_full.row(r));
+        }
+        let mut g = Graph::new(&store);
+        let xf = g.constant(x_full);
+        let of = layer.forward_causal(&mut g, xf);
+        let xp = g.constant(x_prefix);
+        let op = layer.forward_causal(&mut g, xp);
+        for c in 0..4 {
+            let a = g.value(of).get(1, c);
+            let b = g.value(op).get(1, c);
+            assert!((a - b).abs() < 1e-5, "col {c}: {a} vs {b}");
+        }
+        // Unmasked attention does NOT have this property.
+        let mut g2 = Graph::new(&store);
+        let xf2 = g2.constant(g.value(xf).clone());
+        let of2 = layer.forward(&mut g2, xf2);
+        let row_full = g2.value(of2).row(1).to_vec();
+        let xp2 = g2.constant(g.value(xp).clone());
+        let op2 = layer.forward(&mut g2, xp2);
+        let row_prefix = g2.value(op2).row(1).to_vec();
+        assert_ne!(row_full, row_prefix);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Neural-network building blocks for the AdaMove reproduction.
+//!
+//! Layers hold [`adamove_autograd::ParamId`]s into a shared
+//! [`adamove_autograd::ParamStore`] and expose `forward`/`step` methods that
+//! record ops on a [`adamove_autograd::Graph`]. The crate covers exactly the
+//! architecture space of the paper:
+//!
+//! - [`layers::Linear`], [`layers::Embedding`] — the base model's embedding
+//!   concat and FC predictor (paper Eqs. 4, 6);
+//! - [`layers::RnnCell`], [`layers::GruCell`], [`layers::LstmCell`] and the
+//!   [`layers::Recurrent`] sequence wrapper — the trajectory-encoder choices
+//!   of Fig. 5;
+//! - [`layers::MultiHeadAttention`], [`layers::TransformerEncoderLayer`] —
+//!   the Transformer encoder variant and the history-attention module
+//!   (paper Eqs. 7–8);
+//! - [`loss`] — cross-entropy (Eq. 10), InfoNCE (Eq. 9) and the hybrid
+//!   objective (Eq. 11);
+//! - [`optim`] — Adam, SGD, the accuracy-plateau LR schedule and early
+//!   stopping described in §IV-A;
+//! - [`serialize`] — JSON checkpointing of a parameter store.
+
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod serialize;
+
+pub use layers::{
+    Embedding, GruCell, Linear, LstmCell, LstmState, MultiHeadAttention, Recurrent, RnnCell,
+    TransformerEncoderLayer,
+};
+pub use loss::{hybrid_loss, info_nce};
+pub use optim::{Adam, EarlyStopper, Optimizer, PlateauScheduler, Sgd};

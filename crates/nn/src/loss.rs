@@ -1,0 +1,108 @@
+//! Loss functions: cross-entropy (paper Eq. 10), InfoNCE (Eq. 9) and the
+//! hybrid training objective (Eq. 11).
+
+use adamove_autograd::{Graph, Var};
+
+/// InfoNCE contrastive loss (paper Eq. 9).
+///
+/// `anchor` is `1 x d` (the recent-only representation `h_N`), `positive` is
+/// `1 x d` (the history-enhanced representation `h̃_N`), `negatives` is
+/// `k x d` (history-enhanced representations of prefixes whose next location
+/// differs from the target). Similarities are cosine (rows are L2-normalised
+/// before the dot product) and the loss is the cross-entropy of picking the
+/// positive among `[positive; negatives]`.
+///
+/// With no negatives the loss degenerates to `-sim(anchor, positive)` scaled
+/// into a softmax of one element (zero loss) — callers should skip the
+/// contrastive term in that case; we still return a well-defined value.
+pub fn info_nce(g: &mut Graph, anchor: Var, positive: Var, negatives: Option<Var>) -> Var {
+    let a = g.normalize_rows(anchor);
+    let candidates = match negatives {
+        Some(neg) => {
+            let stacked = g.concat_rows(&[positive, neg]);
+            g.normalize_rows(stacked)
+        }
+        None => g.normalize_rows(positive),
+    };
+    // 1 x (1 + k) cosine similarities; target index 0 is the positive.
+    let sims = g.matmul_nt(a, candidates);
+    g.cross_entropy_logits(sims, &[0])
+}
+
+/// Hybrid objective `L = L_cls + lambda * L_con` (paper Eq. 11).
+pub fn hybrid_loss(g: &mut Graph, cls: Var, con: Option<Var>, lambda: f32) -> Var {
+    match con {
+        Some(con) if lambda != 0.0 => {
+            let scaled = g.scale(con, lambda);
+            g.add(cls, scaled)
+        }
+        _ => cls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_autograd::ParamStore;
+    use adamove_tensor::Matrix;
+
+    #[test]
+    fn info_nce_prefers_aligned_positive() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let anchor = g.constant(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        let pos_aligned = g.constant(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        let pos_orthogonal = g.constant(Matrix::from_vec(1, 2, vec![0.0, 1.0]));
+        let negs = g.constant(Matrix::from_vec(2, 2, vec![0.0, 1.0, -1.0, 0.0]));
+
+        let aligned = info_nce(&mut g, anchor, pos_aligned, Some(negs));
+        let misaligned = info_nce(&mut g, anchor, pos_orthogonal, Some(negs));
+        assert!(
+            g.scalar(aligned) < g.scalar(misaligned),
+            "aligned positive must give lower loss: {} vs {}",
+            g.scalar(aligned),
+            g.scalar(misaligned)
+        );
+    }
+
+    #[test]
+    fn info_nce_without_negatives_is_zero() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let anchor = g.constant(Matrix::from_vec(1, 2, vec![0.3, 0.7]));
+        let positive = g.constant(Matrix::from_vec(1, 2, vec![0.3, 0.7]));
+        let loss = info_nce(&mut g, anchor, positive, None);
+        // Softmax over one candidate is 1 -> NLL is 0.
+        assert!(g.scalar(loss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn info_nce_is_scale_invariant_in_inputs() {
+        // Cosine similarity ignores magnitudes, so scaling any input must
+        // not change the loss.
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let anchor1 = g.constant(Matrix::from_vec(1, 2, vec![1.0, 0.2]));
+        let anchor2 = g.constant(Matrix::from_vec(1, 2, vec![10.0, 2.0]));
+        let pos = g.constant(Matrix::from_vec(1, 2, vec![0.9, 0.1]));
+        let negs = g.constant(Matrix::from_vec(1, 2, vec![-0.5, 0.8]));
+        let l1 = info_nce(&mut g, anchor1, pos, Some(negs));
+        let l2 = info_nce(&mut g, anchor2, pos, Some(negs));
+        assert!((g.scalar(l1) - g.scalar(l2)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hybrid_loss_weights_contrastive_term() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let cls = g.constant(Matrix::from_vec(1, 1, vec![2.0]));
+        let con = g.constant(Matrix::from_vec(1, 1, vec![1.0]));
+        let l = hybrid_loss(&mut g, cls, Some(con), 0.5);
+        assert!((g.scalar(l) - 2.5).abs() < 1e-6);
+        // lambda = 0 or no contrastive term: classification only.
+        let l0 = hybrid_loss(&mut g, cls, Some(con), 0.0);
+        assert_eq!(g.scalar(l0), 2.0);
+        let ln = hybrid_loss(&mut g, cls, None, 0.8);
+        assert_eq!(g.scalar(ln), 2.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Optimisers and the paper's learning-rate schedule.
+//!
+//! §IV-A: Adam, initial LR `1e-2`, decayed "proportionally with improvements
+//! in accuracy" (a reduce-on-plateau schedule keyed on validation accuracy),
+//! early stop when the LR reaches `1e-4`, at most 30 epochs, batch size 50.
+
+use adamove_autograd::{Gradients, ParamStore};
+use adamove_tensor::Matrix;
+
+/// A first-order optimiser stepping a [`ParamStore`] with [`Gradients`].
+pub trait Optimizer {
+    /// Apply one update; `lr` is supplied per step so schedulers compose.
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    momentum: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Plain SGD (`momentum = 0`) or classical momentum.
+    pub fn new(momentum: f32) -> Self {
+        Self {
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients, lr: f32) {
+        if self.velocity.len() < store.len() {
+            self.velocity.resize(store.len(), None);
+        }
+        for (id, grad) in grads.iter() {
+            if self.momentum == 0.0 {
+                store
+                    .value_mut(id)
+                    .axpy(-lr, grad)
+                    .expect("sgd: param/grad shape mismatch");
+                continue;
+            }
+            let v = self.velocity[id.index()].get_or_insert_with(|| {
+                Matrix::zeros(grad.rows(), grad.cols())
+            });
+            // v = momentum * v + grad ; w -= lr * v
+            v.map_inplace(|x| x * self.momentum);
+            v.add_assign(grad).expect("sgd velocity shape");
+            store
+                .value_mut(id)
+                .axpy(-lr, v)
+                .expect("sgd: param/grad shape mismatch");
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) — the paper's optimiser.
+#[derive(Debug)]
+pub struct Adam {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<Option<(Matrix, Matrix)>>,
+}
+
+impl Adam {
+    /// Standard hyperparameters `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
+    pub fn new() -> Self {
+        Self::with_betas(0.9, 0.999, 1e-8)
+    }
+
+    /// Custom moment decay rates.
+    pub fn with_betas(beta1: f32, beta2: f32, eps: f32) -> Self {
+        Self {
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients, lr: f32) {
+        if self.moments.len() < store.len() {
+            self.moments.resize(store.len(), None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, grad) in grads.iter() {
+            let (m, v) = self.moments[id.index()].get_or_insert_with(|| {
+                (
+                    Matrix::zeros(grad.rows(), grad.cols()),
+                    Matrix::zeros(grad.rows(), grad.cols()),
+                )
+            });
+            let w = store.value_mut(id);
+            let ws = w.as_mut_slice();
+            for (((wv, &gv), mv), vv) in ws
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *wv -= lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Reduce-on-plateau learning-rate schedule keyed on validation accuracy,
+/// with the early-stop rule from §IV-A: stop when the LR falls to `min_lr`.
+#[derive(Debug, Clone)]
+pub struct PlateauScheduler {
+    lr: f32,
+    factor: f32,
+    patience: usize,
+    min_lr: f32,
+    best: f32,
+    stale: usize,
+}
+
+impl PlateauScheduler {
+    /// `initial_lr = 1e-2`, `factor` multiplies the LR on a plateau,
+    /// `patience` is the number of non-improving epochs tolerated, and the
+    /// schedule reports exhaustion once the LR reaches `min_lr = 1e-4`.
+    pub fn new(initial_lr: f32, factor: f32, patience: usize, min_lr: f32) -> Self {
+        assert!(factor > 0.0 && factor < 1.0, "factor must be in (0, 1)");
+        Self {
+            lr: initial_lr,
+            factor,
+            patience,
+            min_lr,
+            best: f32::NEG_INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// The paper's configuration: `1e-2 -> 1e-4`, halving with patience 2.
+    pub fn paper_default() -> Self {
+        Self::new(1e-2, 0.5, 2, 1e-4)
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Record an epoch's validation accuracy. Returns `true` when the metric
+    /// improved.
+    pub fn observe(&mut self, accuracy: f32) -> bool {
+        if accuracy > self.best {
+            self.best = accuracy;
+            self.stale = 0;
+            true
+        } else {
+            self.stale += 1;
+            if self.stale > self.patience {
+                self.lr = (self.lr * self.factor).max(self.min_lr);
+                self.stale = 0;
+            }
+            false
+        }
+    }
+
+    /// True once the LR has decayed to the floor — the paper's early-stop
+    /// criterion.
+    pub fn exhausted(&self) -> bool {
+        // Tolerant comparison: repeated f32 multiplication can land a hair
+        // above the floor (e.g. 1e-3 * 0.1 = 1.0000001e-4).
+        self.lr <= self.min_lr * (1.0 + 1e-4)
+    }
+
+    /// Best accuracy seen so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+/// Patience-based early stopping on a validation metric (kept separate from
+/// the LR schedule so ablations can use either alone).
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    patience: usize,
+    best: f32,
+    stale: usize,
+}
+
+impl EarlyStopper {
+    /// Stop after `patience` consecutive non-improving observations.
+    pub fn new(patience: usize) -> Self {
+        Self {
+            patience,
+            best: f32::NEG_INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Record a metric; returns `true` when training should stop.
+    pub fn observe(&mut self, metric: f32) -> bool {
+        if metric > self.best {
+            self.best = metric;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale >= self.patience
+    }
+
+    /// Best metric seen so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_autograd::Graph;
+
+    /// Minimise `mean((w - target)^2)` and assert convergence.
+    fn quadratic_descent(opt: &mut dyn Optimizer, lr: f32, iters: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 2, vec![5.0, -3.0]));
+        let target = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        for _ in 0..iters {
+            let grads = {
+                let mut g = Graph::new(&store);
+                let wv = g.param(w);
+                let t = g.constant(target.clone());
+                let d = g.sub(wv, t);
+                let sq = g.mul(d, d);
+                let loss = g.mean_all(sq);
+                g.backward(loss)
+            };
+            opt.step(&mut store, &grads, lr);
+        }
+        let v = store.value(w);
+        (v.get(0, 0) - 1.0).abs() + (v.get(0, 1) - 2.0).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.0);
+        assert!(quadratic_descent(&mut opt, 0.5, 100) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.9);
+        assert!(quadratic_descent(&mut opt, 0.05, 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new();
+        let err = quadratic_descent(&mut opt, 0.1, 300);
+        assert!(err < 1e-2, "residual {err}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_handles_sparse_gradients() {
+        // Only one of two params receives gradients; the other must be
+        // untouched and the step must not panic.
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::from_vec(1, 1, vec![1.0]));
+        let b = store.register("b", Matrix::from_vec(1, 1, vec![1.0]));
+        let mut grads = Gradients::zeros_like(&store);
+        grads.accumulate(a, &Matrix::from_vec(1, 1, vec![1.0]));
+        let mut opt = Adam::new();
+        opt.step(&mut store, &grads, 0.1);
+        assert!(store.value(a).get(0, 0) < 1.0);
+        assert_eq!(store.value(b).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn plateau_scheduler_decays_and_exhausts() {
+        let mut s = PlateauScheduler::new(1e-2, 0.1, 1, 1e-4);
+        assert!(s.observe(0.5)); // improvement
+        assert_eq!(s.lr(), 1e-2);
+        assert!(!s.observe(0.4)); // stale 1 (== patience, not over)
+        assert_eq!(s.lr(), 1e-2);
+        assert!(!s.observe(0.4)); // stale 2 > patience -> decay
+        assert!((s.lr() - 1e-3).abs() < 1e-9);
+        assert!(!s.exhausted());
+        s.observe(0.3);
+        s.observe(0.3); // decay to 1e-4
+        assert!(s.exhausted());
+        // Floor holds.
+        s.observe(0.2);
+        s.observe(0.2);
+        assert!(s.lr() >= 1e-4 - f32::EPSILON);
+        assert_eq!(s.best(), 0.5);
+    }
+
+    #[test]
+    fn plateau_scheduler_resets_on_improvement() {
+        let mut s = PlateauScheduler::new(1e-2, 0.5, 2, 1e-4);
+        s.observe(0.5);
+        s.observe(0.4);
+        s.observe(0.4);
+        assert_eq!(s.lr(), 1e-2); // patience not yet exceeded
+        s.observe(0.6); // improvement resets staleness
+        s.observe(0.5);
+        s.observe(0.5);
+        assert_eq!(s.lr(), 1e-2);
+    }
+
+    #[test]
+    fn early_stopper_fires_after_patience() {
+        let mut e = EarlyStopper::new(3);
+        assert!(!e.observe(0.5));
+        assert!(!e.observe(0.4));
+        assert!(!e.observe(0.4));
+        assert!(e.observe(0.4));
+        assert_eq!(e.best(), 0.5);
+    }
+}

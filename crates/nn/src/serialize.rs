@@ -1,0 +1,201 @@
+//! Checkpointing: save/load a [`ParamStore`] as JSON.
+//!
+//! The format is a flat list of `(name, rows, cols, data)` records. Loading
+//! matches by name, so a checkpoint survives reordering of parameter
+//! registration but not renaming — intentional: names are the stable
+//! identity of a parameter across code versions.
+
+use adamove_autograd::ParamStore;
+use adamove_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ParamRecord {
+    name: String,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Errors from checkpoint load/save.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// The checkpoint does not cover a parameter in the store, or shapes
+    /// disagree.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint parse error: {e}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// Serialise every parameter to a JSON string.
+pub fn to_json(store: &ParamStore) -> String {
+    let records: Vec<ParamRecord> = store
+        .iter()
+        .map(|(_, p)| ParamRecord {
+            name: p.name.clone(),
+            rows: p.value.rows(),
+            cols: p.value.cols(),
+            data: p.value.as_slice().to_vec(),
+        })
+        .collect();
+    serde_json::to_string(&records).expect("param serialisation cannot fail")
+}
+
+/// Load parameter values from a JSON string into an already-constructed
+/// store (the model must be built first so ids exist). Every parameter in
+/// the store must be present in the checkpoint with a matching shape.
+pub fn from_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointError> {
+    let records: Vec<ParamRecord> = serde_json::from_str(json)?;
+    for record in records {
+        let Some(id) = store.find(&record.name) else {
+            // Extra parameters in the checkpoint are tolerated (forward
+            // compatibility); missing ones are checked below.
+            continue;
+        };
+        let current = store.value(id);
+        if current.shape() != (record.rows, record.cols) {
+            return Err(CheckpointError::Mismatch(format!(
+                "`{}` is {:?} in the store but {}x{} in the checkpoint",
+                record.name,
+                current.shape(),
+                record.rows,
+                record.cols
+            )));
+        }
+        *store.value_mut(id) = Matrix::from_vec(record.rows, record.cols, record.data);
+    }
+    // Verify coverage.
+    let parsed: Vec<ParamRecord> = serde_json::from_str(json)?;
+    let names: std::collections::HashSet<&str> =
+        parsed.iter().map(|r| r.name.as_str()).collect();
+    for (_, p) in store.iter() {
+        if !names.contains(p.name.as_str()) {
+            return Err(CheckpointError::Mismatch(format!(
+                "store parameter `{}` missing from checkpoint",
+                p.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Save a store to a file.
+pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    std::fs::write(path, to_json(store))?;
+    Ok(())
+}
+
+/// Load a store from a file.
+pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(store, &json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.register("a", Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        s.register("b", Matrix::from_vec(1, 3, vec![5., 6., 7.]));
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let original = store();
+        let json = to_json(&original);
+        let mut fresh = ParamStore::new();
+        fresh.register("a", Matrix::zeros(2, 2));
+        fresh.register("b", Matrix::zeros(1, 3));
+        from_json(&mut fresh, &json).unwrap();
+        let a = fresh.find("a").unwrap();
+        let b = fresh.find("b").unwrap();
+        assert_eq!(fresh.value(a).as_slice(), &[1., 2., 3., 4.]);
+        assert_eq!(fresh.value(b).as_slice(), &[5., 6., 7.]);
+    }
+
+    #[test]
+    fn load_survives_registration_reorder() {
+        let json = to_json(&store());
+        let mut reordered = ParamStore::new();
+        reordered.register("b", Matrix::zeros(1, 3));
+        reordered.register("a", Matrix::zeros(2, 2));
+        from_json(&mut reordered, &json).unwrap();
+        let a = reordered.find("a").unwrap();
+        assert_eq!(reordered.value(a).as_slice(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let json = to_json(&store());
+        let mut wrong = ParamStore::new();
+        wrong.register("a", Matrix::zeros(3, 3));
+        let err = from_json(&mut wrong, &json).unwrap_err();
+        assert!(err.to_string().contains("`a`"), "{err}");
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error() {
+        let json = to_json(&store());
+        let mut extra = ParamStore::new();
+        extra.register("a", Matrix::zeros(2, 2));
+        extra.register("new_param", Matrix::zeros(1, 1));
+        let err = from_json(&mut extra, &json).unwrap_err();
+        assert!(err.to_string().contains("new_param"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let mut s = store();
+        assert!(matches!(
+            from_json(&mut s, "not json"),
+            Err(CheckpointError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("adamove_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let original = store();
+        save(&original, &path).unwrap();
+        let mut fresh = ParamStore::new();
+        fresh.register("a", Matrix::zeros(2, 2));
+        fresh.register("b", Matrix::zeros(1, 3));
+        load(&mut fresh, &path).unwrap();
+        let a = fresh.find("a").unwrap();
+        assert_eq!(fresh.value(a).as_slice(), &[1., 2., 3., 4.]);
+        std::fs::remove_file(&path).ok();
+    }
+}

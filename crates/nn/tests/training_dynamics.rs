@@ -1,0 +1,198 @@
+//! Integration tests of the optimiser + layers + losses as a system:
+//! small learning problems with known solutions must be solved.
+
+use adamove_autograd::{Graph, ParamStore};
+use adamove_nn::{info_nce, Adam, Embedding, Linear, LstmCell, Optimizer, Recurrent};
+use adamove_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Accuracy of a 2-layer MLP on a linearly separable 2-class task.
+#[test]
+fn mlp_solves_separable_classification() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let l1 = Linear::new(&mut store, "l1", 2, 8, true, &mut rng);
+    let l2 = Linear::new(&mut store, "l2", 8, 2, true, &mut rng);
+
+    // Classes separated by the line y = x.
+    let make_batch = |rng: &mut StdRng| {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..32 {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            xs.push([a, b]);
+            ys.push(u32::from(a > b));
+        }
+        (xs, ys)
+    };
+
+    let mut adam = Adam::new();
+    for _ in 0..150 {
+        let (xs, ys) = make_batch(&mut rng);
+        let grads = {
+            let mut g = Graph::new(&store);
+            let x = g.constant(Matrix::from_vec(
+                32,
+                2,
+                xs.iter().flatten().copied().collect(),
+            ));
+            let h = l1.forward(&mut g, x);
+            let t = g.tanh(h);
+            let logits = l2.forward(&mut g, t);
+            let loss = g.cross_entropy_logits(logits, &ys);
+            g.backward(loss)
+        };
+        adam.step(&mut store, &grads, 0.01);
+    }
+
+    // Evaluate.
+    let (xs, ys) = make_batch(&mut rng);
+    let mut correct = 0;
+    let mut g = Graph::new(&store);
+    let x = g.constant(Matrix::from_vec(
+        32,
+        2,
+        xs.iter().flatten().copied().collect(),
+    ));
+    let h = l1.forward(&mut g, x);
+    let t = g.tanh(h);
+    let logits = l2.forward(&mut g, t);
+    for (r, &y) in ys.iter().enumerate() {
+        if adamove_tensor::matrix::argmax(g.value(logits).row(r)) == y as usize {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 29, "only {correct}/32 correct");
+}
+
+/// An LSTM must learn to remember the FIRST token of a sequence — a task
+/// impossible without functioning memory gates.
+#[test]
+fn lstm_learns_to_remember_first_token() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let emb = Embedding::new(&mut store, "emb", 4, 8, &mut rng);
+    let enc = Recurrent::Lstm(LstmCell::new(&mut store, "lstm", 8, 16, &mut rng));
+    let head = Linear::new(&mut store, "head", 16, 4, true, &mut rng);
+
+    let mut adam = Adam::new();
+    for step in 0..900 {
+        let first: u32 = rng.gen_range(0..4);
+        let mut seq = vec![first];
+        for _ in 0..3 {
+            seq.push(rng.gen_range(0..4));
+        }
+        let grads = {
+            let mut g = Graph::new(&store);
+            let e = emb.forward(&mut g, &seq);
+            let h = enc.encode_last(&mut g, e);
+            let logits = head.forward(&mut g, h);
+            let loss = g.cross_entropy_logits(logits, &[first]);
+            g.backward(loss)
+        };
+        adam.step(&mut store, &grads, if step < 600 { 0.01 } else { 0.003 });
+    }
+
+    let mut correct = 0;
+    for _ in 0..40 {
+        let first: u32 = rng.gen_range(0..4);
+        let mut seq = vec![first];
+        for _ in 0..3 {
+            seq.push(rng.gen_range(0..4));
+        }
+        let mut g = Graph::new(&store);
+        let e = emb.forward(&mut g, &seq);
+        let h = enc.encode_last(&mut g, e);
+        let logits = head.forward(&mut g, h);
+        if adamove_tensor::matrix::argmax(g.value(logits).row(0)) == first as usize {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 34, "LSTM failed memory task: {correct}/40");
+}
+
+/// InfoNCE training must pull positive pairs together in cosine space.
+#[test]
+fn info_nce_aligns_positive_pairs() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    // Two encoders of a shared latent: anchor = A z, positive = B z.
+    let enc_a = Linear::new(&mut store, "a", 4, 6, false, &mut rng);
+    let enc_b = Linear::new(&mut store, "b", 4, 6, false, &mut rng);
+
+    let latents: Vec<Matrix> = (0..8).map(|_| init::normal(1, 4, 1.0, &mut rng)).collect();
+
+    let alignment = |store: &ParamStore| -> f32 {
+        let mut total = 0.0;
+        for z in &latents {
+            let mut g = Graph::new(store);
+            let zv = g.constant(z.clone());
+            let a = enc_a.forward(&mut g, zv);
+            let b = enc_b.forward(&mut g, zv);
+            total += adamove_tensor::stats::cosine_similarity(
+                g.value(a).row(0),
+                g.value(b).row(0),
+            );
+        }
+        total / latents.len() as f32
+    };
+
+    let before = alignment(&store);
+    let mut adam = Adam::new();
+    for _ in 0..200 {
+        let i = rng.gen_range(0..latents.len());
+        let grads = {
+            let mut g = Graph::new(&store);
+            let anchor_in = g.constant(latents[i].clone());
+            let anchor = enc_a.forward(&mut g, anchor_in);
+            let pos_in = g.constant(latents[i].clone());
+            let positive = enc_b.forward(&mut g, pos_in);
+            // Negatives: the other latents through encoder B.
+            let neg_rows: Vec<_> = (0..latents.len())
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let n_in = g.constant(latents[j].clone());
+                    enc_b.forward(&mut g, n_in)
+                })
+                .collect();
+            let negs = g.concat_rows(&neg_rows);
+            let loss = info_nce(&mut g, anchor, positive, Some(negs));
+            g.backward(loss)
+        };
+        adam.step(&mut store, &grads, 0.01);
+    }
+    let after = alignment(&store);
+    assert!(
+        after > before + 0.1,
+        "alignment did not improve: {before} -> {after}"
+    );
+    assert!(after > 0.8, "final alignment too weak: {after}");
+}
+
+/// Gradient clipping must keep training stable with an absurd LR spike.
+#[test]
+fn clipping_prevents_divergence() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let l = Linear::new(&mut store, "l", 3, 3, true, &mut rng);
+    let mut adam = Adam::new();
+    for _ in 0..50 {
+        let grads = {
+            let mut g = Graph::new(&store);
+            let x = g.constant(init::normal(8, 3, 10.0, &mut rng)); // huge inputs
+            let logits = l.forward(&mut g, x);
+            let loss = g.cross_entropy_logits(logits, &[0, 1, 2, 0, 1, 2, 0, 1]);
+            g.backward(loss)
+        };
+        let mut grads = grads;
+        grads.clip_global_norm(1.0);
+        assert!(grads.global_norm() <= 1.0 + 1e-4);
+        adam.step(&mut store, &grads, 0.05);
+    }
+    // Weights stayed finite.
+    for (_, p) in store.iter() {
+        assert!(p.value.all_finite(), "parameter {} diverged", p.name);
+    }
+}

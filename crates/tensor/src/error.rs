@@ -1,0 +1,47 @@
+//! Error types for shape mismatches.
+
+use std::fmt;
+
+/// Error produced when matrix operands have incompatible shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Name of the operation that failed, e.g. `"matmul"`.
+    pub op: &'static str,
+    /// Shape of the left-hand operand as `(rows, cols)`.
+    pub lhs: (usize, usize),
+    /// Shape of the right-hand operand as `(rows, cols)`.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in `{}`: lhs is {}x{}, rhs is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Convenience alias used throughout the tensor crate.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_op_and_shapes() {
+        let e = ShapeError {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Weight initialisers.
+//!
+//! The paper's models are small, so initialisation matters for reproducing
+//! training dynamics: we provide Xavier/Glorot uniform (used for linear and
+//! recurrent weights, matching PyTorch's `nn.Linear`/`nn.LSTM` defaults in
+//! spirit) and scaled normal (used for embeddings).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform `U(lo, hi)` initialisation.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+    assert!(lo <= hi, "uniform: lo must be <= hi");
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..=hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Gaussian `N(0, std^2)` initialisation via Box–Muller.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        // Box–Muller transform: two uniforms -> two independent normals.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Per-row-orthogonal-ish recurrent init: Xavier scaled by `1/sqrt(cols)`,
+/// a cheap stand-in for orthogonal init that keeps recurrent dynamics stable.
+pub fn recurrent(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let scale = 1.0 / (cols as f32).sqrt();
+    uniform(rows, cols, -scale, scale, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(20, 30, &mut rng);
+        let a = (6.0f32 / 50.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a + 1e-6));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = normal(100, 100, 0.5, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
+            / (m.len() - 1) as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recurrent_scale_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = recurrent(8, 16, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= 0.25 + 1e-6));
+    }
+
+    #[test]
+    fn normal_odd_element_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = normal(3, 3, 1.0, &mut rng);
+        assert_eq!(m.len(), 9);
+        assert!(m.all_finite());
+    }
+}

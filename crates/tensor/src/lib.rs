@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Dense `f32` matrix kernels for the AdaMove reproduction.
+//!
+//! This crate is the lowest layer of the from-scratch neural-network stack:
+//! a row-major dense [`Matrix`], the handful of kernels the models need
+//! (GEMM, transposed GEMM variants, row softmax, reductions), weight
+//! initialisers, and the vector statistics the PTTA module is built on
+//! (cosine similarity, entropy, top-k selection).
+//!
+//! Everything is plain safe Rust. The GEMM uses an `i-k-j` loop order so the
+//! inner loop streams both operands contiguously, which is the standard
+//! cache-friendly formulation for row-major data.
+
+pub mod error;
+pub mod init;
+pub mod matrix;
+pub mod stats;
+
+pub use error::{ShapeError, TensorResult};
+pub use matrix::Matrix;

@@ -1,0 +1,648 @@
+//! Row-major dense `f32` matrix and the kernels the NN stack is built on.
+
+use crate::error::{ShapeError, TensorResult};
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f32`.
+///
+/// Vectors are represented as `1 x n` (row vector) or `n x 1` matrices,
+/// whichever is natural at the call site; most NN code here uses
+/// `batch x features` layouts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from an explicit row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build a `rows x cols` matrix by evaluating `f(r, c)` for each cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A `1 x n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self { rows: 1, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        debug_assert!(c < self.cols);
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    fn shape_err(&self, op: &'static str, other: &Matrix) -> ShapeError {
+        ShapeError {
+            op,
+            lhs: self.shape(),
+            rhs: other.shape(),
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses the cache-friendly `i-k-j` loop order: the inner loop walks one
+    /// row of `rhs` and one row of the output contiguously.
+    pub fn matmul(&self, rhs: &Matrix) -> TensorResult<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(self.shape_err("matmul", rhs));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self^T * rhs` without materialising the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> TensorResult<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(self.shape_err("matmul_tn", rhs));
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        // out[i][j] = sum_k self[k][i] * rhs[k][j]
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ki * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * rhs^T` without materialising the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> TensorResult<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(self.shape_err("matmul_nt", rhs));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = rhs.row(j);
+                *o = dot(a_row, b_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum; errors on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> TensorResult<Matrix> {
+        self.zip_map(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Matrix) -> TensorResult<Matrix> {
+        self.zip_map(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> TensorResult<Matrix> {
+        self.zip_map(rhs, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_map(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> TensorResult<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(self.shape_err(op, rhs));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// In-place element-wise accumulate: `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> TensorResult<()> {
+        if self.shape() != rhs.shape() {
+            return Err(self.shape_err("add_assign", rhs));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaled accumulate: `self += alpha * rhs` (the BLAS `axpy`).
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) -> TensorResult<()> {
+        if self.shape() != rhs.shape() {
+            return Err(self.shape_err("axpy", rhs));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scaled copy: `alpha * self`.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Add a `1 x cols` row vector to every row (broadcast), e.g. a bias.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> TensorResult<Matrix> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(self.shape_err("add_row_broadcast", row));
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a `1 x cols` row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Row-wise softmax (numerically stable: subtracts the row max).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            softmax_inplace(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            for v in row.iter_mut() {
+                *v = *v - max - log_sum;
+            }
+        }
+        out
+    }
+
+    /// Index of the maximum element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.iter_rows().map(|row| argmax(row)).collect()
+    }
+
+    /// Stack row vectors (each `1 x cols` or plain slices) into one matrix.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths or the input is empty.
+    pub fn stack_rows(rows: &[&[f32]]) -> Matrix {
+        assert!(!rows.is_empty(), "stack_rows: empty input");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "stack_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    pub fn hcat(&self, rhs: &Matrix) -> TensorResult<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(self.shape_err("hcat", rhs));
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        Ok(out)
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Numerically stable in-place softmax over a slice.
+pub fn softmax_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties); 0 for an empty slice.
+pub fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        })
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec())
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a.len(), 6);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+
+        let b = Matrix::full(2, 2, 7.0);
+        assert_eq!(b.get(1, 1), 7.0);
+
+        let c = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(c.get(1, 0), 10.0);
+        assert_eq!(c.row(1), &[10.0, 11.0]);
+
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_wrong_len_panics() {
+        Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.matmul(&b).unwrap_err();
+        assert_eq!(err.op, "matmul");
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
+        let expected = a.transpose().matmul(&b).unwrap();
+        assert_eq!(a.matmul_tn(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
+        let expected = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(a.matmul_nt(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[4., 5., 6.]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3., 3., 3.]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = m(1, 2, &[1., 2.]);
+        let b = m(1, 2, &[10., 20.]);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[11., 22.]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[16., 32.]);
+        let c = m(2, 1, &[0., 0.]);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let bias = Matrix::row_vector(vec![10., 20.]);
+        let out = a.add_row_broadcast(&bias).unwrap();
+        assert_eq!(out.as_slice(), &[11., 22., 13., 24.]);
+        let bad = Matrix::row_vector(vec![1.0; 3]);
+        assert!(a.add_row_broadcast(&bad).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sum_rows().as_slice(), &[4., 6.]);
+        assert!((a.frobenius_norm() - 30f32.sqrt()).abs() < 1e-6);
+        assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_stable() {
+        let a = m(2, 3, &[1., 2., 3., 1000., 1000., 1000.]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        // Large logits must not overflow into NaN.
+        assert!(s.all_finite());
+        // Uniform logits give a uniform distribution.
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = m(1, 4, &[0.5, -1.0, 2.0, 0.0]);
+        let ls = a.log_softmax_rows();
+        let s = a.softmax_rows();
+        for c in 0..4 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_ties() {
+        let a = m(2, 3, &[1., 5., 5., -1., -2., -3.]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn stack_and_hcat() {
+        let a = Matrix::stack_rows(&[&[1., 2.], &[3., 4.]]);
+        assert_eq!(a.shape(), (2, 2));
+        let b = m(2, 1, &[9., 9.]);
+        let c = a.hcat(&b).unwrap();
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1., 2., 9.]);
+        let bad = Matrix::zeros(3, 1);
+        assert!(a.hcat(&bad).is_err());
+    }
+
+    #[test]
+    fn dot_and_finiteness() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        let mut a = m(1, 2, &[1.0, 2.0]);
+        assert!(a.all_finite());
+        a.set(0, 0, f32::NAN);
+        assert!(!a.all_finite());
+    }
+}

@@ -1,0 +1,189 @@
+//! Vector statistics used by PTTA, T3A and the shift analysis.
+//!
+//! Cosine similarity (paper Eq. 1) drives PTTA's sample-importance filter;
+//! Shannon entropy drives the T3A comparator's filter; the distribution
+//! helpers back the Fig. 1 mobility-shift analysis.
+
+/// Cosine similarity between two equal-length vectors (paper Eq. 1).
+///
+/// Returns 0 when either vector has zero norm, which matches the convention
+/// that an all-zero mobility pattern is "similar to nothing".
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Shannon entropy of a probability distribution, in nats.
+///
+/// Zero-probability entries contribute zero (the `p log p -> 0` limit).
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Normalise non-negative counts into a probability distribution.
+///
+/// Returns a uniform distribution when the total mass is zero, so callers
+/// never divide by zero downstream.
+pub fn normalize(counts: &[f32]) -> Vec<f32> {
+    let total: f32 = counts.iter().sum();
+    if total <= 0.0 {
+        if counts.is_empty() {
+            return Vec::new();
+        }
+        return vec![1.0 / counts.len() as f32; counts.len()];
+    }
+    counts.iter().map(|&c| c / total).collect()
+}
+
+/// Indices of the `k` largest values, descending (first index wins ties).
+///
+/// Runs in `O(n log k)` using a bounded selection, mirroring the priority
+/// queue argument in the paper's complexity analysis.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    if k == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(values.len());
+    // (value, index) pairs; sort by value desc, index asc for determinism.
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Rank (1-based) of `target` within `scores` under descending order.
+///
+/// Ties are broken pessimistically: equal scores ahead of the target count
+/// against it only when their index is smaller, matching a stable sort.
+pub fn rank_of(scores: &[f32], target: usize) -> usize {
+    let t = scores[target];
+    let mut rank = 1;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > t || (s == t && i < target) {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Arithmetic mean of a set of equal-length vectors (used by PTTA's
+/// centroid weight update, Eq. 2).
+///
+/// # Panics
+/// Panics when `vectors` is empty or ragged.
+pub fn mean_vector(vectors: &[&[f32]]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "mean_vector: empty input");
+    let dim = vectors[0].len();
+    let mut out = vec![0.0f32; dim];
+    for v in vectors {
+        assert_eq!(v.len(), dim, "mean_vector: ragged input");
+        for (o, &x) in out.iter_mut().zip(*v) {
+            *o += x;
+        }
+    }
+    let n = vectors.len() as f32;
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+/// L2 norm.
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basic_cases() {
+        assert!((cosine_similarity(&[1., 0.], &[1., 0.]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1., 0.], &[0., 1.])).abs() < 1e-6);
+        assert!((cosine_similarity(&[1., 0.], &[-1., 0.]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0., 0.], &[1., 2.]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [0.3, -1.2, 4.5];
+        let b = [2.0, 0.1, -0.7];
+        let s1 = cosine_similarity(&a, &b);
+        let scaled: Vec<f32> = a.iter().map(|v| v * 17.0).collect();
+        let s2 = cosine_similarity(&scaled, &b);
+        assert!((s1 - s2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_n() {
+        let p = [0.25; 4];
+        assert!((entropy(&p) - 4f32.ln()).abs() < 1e-6);
+        // Deterministic distribution has zero entropy.
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_handles_zero_mass() {
+        assert_eq!(normalize(&[2.0, 2.0]), vec![0.5, 0.5]);
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.5, 0.5]);
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let v = [0.1, 0.9, 0.5, 0.9, 0.2];
+        assert_eq!(top_k_indices(&v, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&v, 10).len(), 5);
+    }
+
+    #[test]
+    fn rank_of_counts_ties_stably() {
+        let scores = [0.5, 0.9, 0.5, 0.1];
+        assert_eq!(rank_of(&scores, 1), 1);
+        assert_eq!(rank_of(&scores, 0), 2);
+        assert_eq!(rank_of(&scores, 2), 3); // tied with index 0, which wins
+        assert_eq!(rank_of(&scores, 3), 4);
+    }
+
+    #[test]
+    fn mean_vector_is_centroid() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        assert_eq!(mean_vector(&[&a, &b]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn mean_vector_rejects_empty() {
+        mean_vector(&[]);
+    }
+
+    #[test]
+    fn l2_norm_basics() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+}

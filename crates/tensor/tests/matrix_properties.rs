@@ -1,0 +1,120 @@
+//! Property-based tests for the matrix kernels: the algebraic identities
+//! GEMM, transpose, softmax and the reductions must satisfy.
+
+use adamove_tensor::{matrix::dot, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with the given shape and bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: dimensions in a small range plus matching matrices for a chain
+/// `A (m x k) * B (k x n)`.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair()) {
+        // (A B)^T = B^T A^T
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    #[test]
+    fn fused_transpose_variants_agree((a, b) in matmul_pair()) {
+        // matmul_nt(A, B^T-shaped) == A * (B^T)^T ... check against explicit forms.
+        let nt = a.matmul_nt(&b.transpose()).unwrap();
+        let explicit = a.matmul(&b).unwrap();
+        prop_assert!(approx_eq(&nt, &explicit, 1e-4));
+
+        let tn = a.transpose().matmul_tn(&b.transpose().transpose()).unwrap();
+        let explicit2 = a.matmul(&b).unwrap();
+        prop_assert!(approx_eq(&tn, &explicit2, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (a1, a2, b) in (1usize..5, 1usize..5, 1usize..5).prop_flat_map(|(m, k, n)| {
+            (matrix(m, k), matrix(m, k), matrix(k, n))
+        })
+    ) {
+        // (A1 + A2) B = A1 B + A2 B
+        let left = a1.add(&a2).unwrap().matmul(&b).unwrap();
+        let right = a1.matmul(&b).unwrap().add(&a2.matmul(&b).unwrap()).unwrap();
+        prop_assert!(approx_eq(&left, &right, 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(5, 9)) {
+        let s = m.softmax_rows();
+        for r in 0..5 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(m in matrix(3, 6), shift in -10.0f32..10.0) {
+        let shifted = m.map(|v| v + shift);
+        prop_assert!(approx_eq(&m.softmax_rows(), &shifted.softmax_rows(), 1e-3));
+    }
+
+    #[test]
+    fn sum_rows_matches_total(m in matrix(4, 6)) {
+        let by_cols: f32 = m.sum_rows().as_slice().iter().sum();
+        prop_assert!((by_cols - m.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hadamard_is_commutative(a in matrix(3, 4), b in matrix(3, 4)) {
+        prop_assert_eq!(
+            a.hadamard(&b).unwrap(),
+            b.hadamard(&a).unwrap()
+        );
+    }
+
+    #[test]
+    fn scale_then_norm_scales_norm(m in matrix(3, 3), alpha in 0.0f32..4.0) {
+        let n1 = m.scale(alpha).frobenius_norm();
+        let n2 = alpha * m.frobenius_norm();
+        prop_assert!((n1 - n2).abs() < 1e-2 * (1.0 + n2));
+    }
+
+    #[test]
+    fn dot_matches_matmul_1x1(v in prop::collection::vec(-3.0f32..3.0, 1..10)) {
+        let row = Matrix::row_vector(v.clone());
+        let out = row.matmul_nt(&row).unwrap();
+        prop_assert!((out.get(0, 0) - dot(&v, &v)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hcat_preserves_content(a in matrix(3, 2), b in matrix(3, 4)) {
+        let c = a.hcat(&b).unwrap();
+        prop_assert_eq!(c.shape(), (3, 6));
+        for r in 0..3 {
+            prop_assert_eq!(&c.row(r)[..2], a.row(r));
+            prop_assert_eq!(&c.row(r)[2..], b.row(r));
+        }
+    }
+}

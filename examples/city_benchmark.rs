@@ -1,0 +1,114 @@
+//! A compact Table II-style benchmark on one synthetic city: statistical
+//! baselines, an LSTM, DeepMove and AdaMove, all on the same splits.
+//!
+//! Run with: `cargo run --release --example city_benchmark [-- tky|lymob]`
+
+use adamove::history::HistoryAttention;
+use adamove::{
+    evaluate, evaluate_fn, AdaMoveConfig, InferenceMode, LightMob, PttaConfig, Trainer,
+    TrainingConfig,
+};
+use adamove_autograd::ParamStore;
+use adamove_baselines::heuristic::HeuristicWeights;
+use adamove_baselines::{DeepMove, HeuristicMob, MarkovBaseline, PopularityBaseline};
+use adamove_mobility::synth::{generate, Scale};
+use adamove_mobility::{
+    make_samples, preprocess, CityPreset, PreprocessConfig, SampleConfig, Split,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let preset = match std::env::args().nth(1).as_deref() {
+        Some("tky") => CityPreset::Tky,
+        Some("lymob") => CityPreset::Lymob,
+        _ => CityPreset::Nyc,
+    };
+    let mut cfg = preset.config(Scale::Small);
+    cfg.num_users = 40;
+    let raw = generate(&cfg);
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    let stats = data.stats();
+    println!(
+        "{}: {} users, {} locations, {} sessions\n",
+        stats.name, stats.num_users, stats.num_locations, stats.num_trajectories
+    );
+
+    let train = make_samples(&data, Split::Train, &SampleConfig::train());
+    let val = make_samples(&data, Split::Val, &SampleConfig::eval(5));
+    let test = make_samples(&data, Split::Test, &SampleConfig::eval(5));
+    let num_locations = data.num_locations as usize;
+
+    let model_cfg = AdaMoveConfig {
+        loc_dim: 32,
+        time_dim: 8,
+        user_dim: 12,
+        hidden: 48,
+        lambda: 0.6,
+        max_history: 40,
+        ..AdaMoveConfig::default()
+    };
+    let train_cfg = TrainingConfig {
+        max_epochs: 10,
+        ..TrainingConfig::default()
+    };
+
+    println!("{:<22} {:>7} {:>7} {:>7} {:>7}", "method", "Rec@1", "Rec@5", "Rec@10", "MRR");
+
+    // Statistical baselines.
+    let markov = MarkovBaseline::fit(num_locations, &train);
+    let m = evaluate_fn(&test, |s| markov.predict(s)).metrics;
+    println!("{:<22} {}", "Markov", m.row());
+
+    let pop = PopularityBaseline::fit(num_locations, &train);
+    let m = evaluate_fn(&test, |s| pop.predict(s)).metrics;
+    println!("{:<22} {}", "Popularity", m.row());
+
+    let heuristic = HeuristicMob::fit(num_locations, &train, HeuristicWeights::default());
+    let m = evaluate_fn(&test, |s| heuristic.predict(s)).metrics;
+    println!("{:<22} {}", "HeuristicMob", m.row());
+
+    // LSTM base model (no contrastive branch, frozen inference).
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut base_store = ParamStore::new();
+    let base = LightMob::new(
+        &mut base_store,
+        AdaMoveConfig {
+            lambda: 0.0,
+            ..model_cfg.clone()
+        },
+        data.num_locations,
+        data.num_users() as u32,
+        &mut rng,
+    );
+    Trainer::new(train_cfg.clone()).fit(&base, None, &mut base_store, &train, &val);
+    let m = evaluate(&base, &base_store, &test, &InferenceMode::Frozen).metrics;
+    println!("{:<22} {}", "LSTM", m.row());
+
+    // DeepMove (two-branch).
+    let mut dm_store = ParamStore::new();
+    let deepmove = DeepMove::new(
+        &mut dm_store,
+        model_cfg.clone(),
+        data.num_locations,
+        data.num_users() as u32,
+        &mut rng,
+    );
+    deepmove.train(&mut dm_store, &train, &val, train_cfg.clone());
+    let m = evaluate_fn(&test, |s| deepmove.predict(&dm_store, s)).metrics;
+    println!("{:<22} {}", "DeepMove", m.row());
+
+    // AdaMove = LightMob (contrastive) + PTTA.
+    let mut store = ParamStore::new();
+    let light = LightMob::new(
+        &mut store,
+        model_cfg,
+        data.num_locations,
+        data.num_users() as u32,
+        &mut rng,
+    );
+    let attention = HistoryAttention::new(&mut store, light.config.hidden, &mut rng);
+    Trainer::new(train_cfg).fit(&light, Some(&attention), &mut store, &train, &val);
+    let m = evaluate(&light, &store, &test, &InferenceMode::Ptta(PttaConfig::default())).metrics;
+    println!("{:<22} {}", "AdaMove (ours)", m.row());
+}

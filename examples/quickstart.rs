@@ -1,0 +1,90 @@
+//! Quickstart: generate a synthetic city, train LightMob with contrastive
+//! history incorporation, and compare frozen inference against PTTA
+//! test-time adaptation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use adamove::history::HistoryAttention;
+use adamove::{
+    evaluate, AdaMoveConfig, InferenceMode, LightMob, PttaConfig, Trainer, TrainingConfig,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::synth::{generate, Scale};
+use adamove_mobility::{
+    make_samples, preprocess, CityPreset, PreprocessConfig, SampleConfig, Split,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Data: a small synthetic NYC-like city with distribution shift.
+    let mut city_cfg = CityPreset::Nyc.config(Scale::Small);
+    city_cfg.num_users = 40;
+    city_cfg.days = 100;
+    let raw = generate(&city_cfg);
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    let stats = data.stats();
+    println!(
+        "dataset: {} users, {} locations, {} sessions, {} points",
+        stats.num_users, stats.num_locations, stats.num_trajectories, stats.num_points
+    );
+
+    // 2. Samples: train with context c = 1, evaluate with c = 5 (§IV-A).
+    let train = make_samples(&data, Split::Train, &SampleConfig::train());
+    let val = make_samples(&data, Split::Val, &SampleConfig::eval(5));
+    let test = make_samples(&data, Split::Test, &SampleConfig::eval(5));
+    println!(
+        "samples: {} train / {} val / {} test",
+        train.len(),
+        val.len(),
+        test.len()
+    );
+
+    // 3. Model: LightMob with an LSTM encoder plus the training-time
+    //    history-attention branch (lambda = 0.8 for NYC).
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut store = ParamStore::new();
+    let config = AdaMoveConfig {
+        loc_dim: 32,
+        time_dim: 8,
+        user_dim: 12,
+        hidden: 48,
+        lambda: 0.8,
+        max_history: 40,
+        ..AdaMoveConfig::default()
+    };
+    let model = LightMob::new(
+        &mut store,
+        config,
+        data.num_locations,
+        data.num_users() as u32,
+        &mut rng,
+    );
+    let attention = HistoryAttention::new(&mut store, model.config.hidden, &mut rng);
+    println!("model: {} parameters", store.num_scalars());
+
+    // 4. Train with the paper's schedule (Adam, plateau decay, early stop).
+    let trainer = Trainer::new(TrainingConfig {
+        max_epochs: 10,
+        verbose: true,
+        ..TrainingConfig::default()
+    });
+    let report = trainer.fit(&model, Some(&attention), &mut store, &train, &val);
+    println!(
+        "trained {} epochs, best val Rec@1 = {:.4}",
+        report.epochs_run, report.best_val_accuracy
+    );
+
+    // 5. Evaluate: frozen vs preference-aware test-time adaptation.
+    let frozen = evaluate(&model, &store, &test, &InferenceMode::Frozen);
+    let adapted = evaluate(&model, &store, &test, &InferenceMode::Ptta(PttaConfig::default()));
+    println!("\n           Rec@1   Rec@5   Rec@10  MRR");
+    println!("frozen     {}", frozen.metrics.row());
+    println!("AdaMove    {}", adapted.metrics.row());
+    println!(
+        "\nPTTA adaptation changed Rec@1 by {:+.1}% at {:.0} us/sample (frozen: {:.0} us).",
+        (adapted.metrics.rec1 / frozen.metrics.rec1.max(1e-9) - 1.0) * 100.0,
+        adapted.avg_latency_us,
+        frozen.avg_latency_us
+    );
+}

@@ -1,0 +1,127 @@
+//! Streaming adaptation: the real-time deployment mode §III-B sketches —
+//! a sliding window over incoming check-ins keeps the recent trajectory
+//! (Definition 3) in memory, and every prediction adapts the classifier to
+//! the window's contents.
+//!
+//! The demo streams a user whose routine shifts mid-stream and plots
+//! rolling Rec@1 for the frozen model vs PTTA before and after the shift.
+//!
+//! Run with: `cargo run --release --example streaming_adaptation`
+
+use adamove::streaming::RecentWindow;
+use adamove::{AdaMoveConfig, LightMob, Ptta, PttaConfig, Trainer, TrainingConfig};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
+use adamove_tensor::matrix::argmax;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A routine: cycle of (hour, location) visits per day.
+fn routine_day(day: i64, stops: &[(i64, u32)], rng: &mut StdRng) -> Vec<Point> {
+    stops
+        .iter()
+        .filter(|_| rng.gen::<f64>() > 0.1) // occasional skipped check-in
+        .map(|&(h, l)| Point::new(l, Timestamp::from_hours(day * 24 + h)))
+        .collect()
+}
+
+fn main() {
+    let old_routine = [(8i64, 0u32), (9, 1), (13, 2), (19, 3), (22, 0)];
+    let new_routine = [(8i64, 0u32), (9, 5), (13, 6), (19, 7), (22, 0)];
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Train on 80 days of the old routine, with the SAME sliding-window
+    // sample construction the deployment loop uses — train/test input
+    // lengths must match for the encoder to generalise.
+    let mut train = Vec::new();
+    let mut train_window = RecentWindow::new(2, 72);
+    for d in 0..80 {
+        for p in routine_day(d, &old_routine, &mut rng) {
+            if !train_window.is_empty() {
+                train.push(Sample {
+                    user: UserId(0),
+                    recent: train_window.points().to_vec(),
+                    history: vec![],
+                    target: p.loc,
+                    target_time: p.time,
+                });
+            }
+            train_window.push(p);
+        }
+    }
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            loc_dim: 16,
+            time_dim: 8,
+            user_dim: 4,
+            hidden: 24,
+            lambda: 0.0,
+            ..AdaMoveConfig::default()
+        },
+        9,
+        1,
+        &mut rng,
+    );
+    Trainer::new(TrainingConfig {
+        max_epochs: 10,
+        batch_size: 32,
+        ..TrainingConfig::default()
+    })
+    .fit(&model, None, &mut store, &train, &train[..40]);
+
+    // Stream 30 more days; the routine shifts at day 95.
+    let ptta = Ptta::new(PttaConfig::default());
+    let mut window = RecentWindow::new(2, 72);
+    let mut stats = [[0usize; 2]; 4]; // [pre/post][frozen/adapted] hits
+    let mut totals = [0usize; 2];
+
+    println!("streaming days 80..110 (routine shifts at day 95)\n");
+    for d in 80..110 {
+        let shifted = d >= 95;
+        let routine = if shifted { &new_routine } else { &old_routine };
+        let pts = routine_day(d, routine, &mut rng);
+        for p in pts {
+            if !window.is_empty() {
+                let sample = Sample {
+                    user: UserId(0),
+                    recent: window.points().to_vec(),
+                    history: vec![],
+                    target: p.loc,
+                    target_time: p.time,
+                };
+                let frozen = model.predict_scores(&store, &sample.recent, sample.user);
+                let adapted = ptta.predict_scores(&model, &store, &sample);
+                let idx = usize::from(shifted);
+                totals[idx] += 1;
+                if argmax(&frozen) == p.loc.index() {
+                    stats[idx][0] += 1;
+                }
+                if argmax(&adapted) == p.loc.index() {
+                    stats[idx][1] += 1;
+                }
+            }
+            window.push(p);
+        }
+    }
+
+    let pct = |h: usize, t: usize| 100.0 * h as f64 / t.max(1) as f64;
+    println!("{:<22} {:>10} {:>10}", "phase", "frozen", "PTTA");
+    println!(
+        "{:<22} {:>9.1}% {:>9.1}%",
+        "before shift",
+        pct(stats[0][0], totals[0]),
+        pct(stats[0][1], totals[0])
+    );
+    println!(
+        "{:<22} {:>9.1}% {:>9.1}%",
+        "after shift",
+        pct(stats[1][0], totals[1]),
+        pct(stats[1][1], totals[1])
+    );
+    println!(
+        "\nAfter the shift the frozen model keeps predicting the old routine; PTTA\nrebuilds the classifier from the window and recovers accuracy — the paper's\ncore claim, in streaming form."
+    );
+    let _ = LocationId(0);
+}

@@ -1,0 +1,18 @@
+//! Workspace umbrella crate for the AdaMove reproduction.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The actual library surface
+//! lives in the member crates:
+//!
+//! - [`adamove`] — LightMob + PTTA (the paper's contribution)
+//! - [`adamove_mobility`] — trajectory data model, preprocessing, synthesis
+//! - [`adamove_baselines`] — comparison models (LSTM, DeepMove, MHSA, ...)
+//! - [`adamove_nn`] / [`adamove_autograd`] / [`adamove_tensor`] — the
+//!   from-scratch neural-network substrate
+
+pub use adamove;
+pub use adamove_autograd;
+pub use adamove_baselines;
+pub use adamove_mobility;
+pub use adamove_nn;
+pub use adamove_tensor;

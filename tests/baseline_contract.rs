@@ -1,0 +1,146 @@
+//! Contract tests shared by every predictor: right score-vector length,
+//! finite values, determinism, and graceful handling of degenerate inputs.
+
+use adamove::{AdaMoveConfig, LightMob, Ptta, PttaConfig, T3a, T3aConfig};
+use adamove_autograd::ParamStore;
+use adamove_baselines::heuristic::HeuristicWeights;
+use adamove_baselines::{DeepMove, HeuristicMob, MarkovBaseline, PopularityBaseline, SeqBaseline};
+use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const L: u32 = 14;
+const U: u32 = 3;
+
+fn sample(user: u32, locs: &[u32], hist: &[u32], target: u32) -> Sample {
+    Sample {
+        user: UserId(user),
+        recent: locs
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Point::new(l, Timestamp::from_hours(200 + i as i64)))
+            .collect(),
+        history: hist
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Point::new(l, Timestamp::from_hours(i as i64)))
+            .collect(),
+        target: LocationId(target),
+        target_time: Timestamp::from_hours(300),
+    }
+}
+
+fn train_set() -> Vec<Sample> {
+    (0..40)
+        .map(|i| {
+            sample(
+                i % U,
+                &[(i % L), ((i + 1) % L), ((i + 2) % L)],
+                &[(i + 5) % L],
+                (i + 3) % L,
+            )
+        })
+        .collect()
+}
+
+fn queries() -> Vec<Sample> {
+    vec![
+        sample(0, &[1, 2, 3], &[7, 8], 4),
+        sample(1, &[5], &[], 6),              // single-point recent
+        sample(2, &[0, 0, 0, 0, 0], &[0], 0), // degenerate repetition
+        sample(0, &[13, 12, 11], &[10; 50], 9),
+    ]
+}
+
+/// The contract every predictor must satisfy.
+fn check_contract(name: &str, mut predict: impl FnMut(&Sample) -> Vec<f32>) {
+    for (i, q) in queries().iter().enumerate() {
+        let scores = predict(q);
+        assert_eq!(scores.len(), L as usize, "{name} query {i}: wrong length");
+        assert!(
+            scores.iter().all(|v| v.is_finite()),
+            "{name} query {i}: non-finite scores"
+        );
+        let again = predict(q);
+        // Stateless predictors must be deterministic per query; stateful
+        // ones (T3A) are exercised separately.
+        if name != "t3a" {
+            assert_eq!(scores, again, "{name} query {i}: nondeterministic");
+        }
+    }
+}
+
+#[test]
+fn markov_satisfies_contract() {
+    let m = MarkovBaseline::fit(L as usize, &train_set());
+    check_contract("markov", |s| m.predict(s));
+}
+
+#[test]
+fn popularity_satisfies_contract() {
+    let m = PopularityBaseline::fit(L as usize, &train_set());
+    check_contract("popularity", |s| m.predict(s));
+}
+
+#[test]
+fn heuristic_satisfies_contract() {
+    let m = HeuristicMob::fit(L as usize, &train_set(), HeuristicWeights::default());
+    check_contract("heuristic", |s| m.predict(s));
+}
+
+#[test]
+fn lightmob_frozen_and_ptta_satisfy_contract() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), L, U, &mut rng);
+    check_contract("lightmob", |s| {
+        model.predict_scores(&store, &s.recent, s.user)
+    });
+    let ptta = Ptta::new(PttaConfig::default());
+    check_contract("ptta", |s| ptta.predict_scores(&model, &store, s));
+}
+
+#[test]
+fn deepmove_and_deeptta_satisfy_contract() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let model = DeepMove::new(&mut store, AdaMoveConfig::tiny(), L, U, &mut rng);
+    check_contract("deepmove", |s| model.predict(&store, s));
+    let ptta = Ptta::new(PttaConfig::default());
+    check_contract("deeptta", |s| ptta.predict_scores(&model, &store, s));
+}
+
+#[test]
+fn seq_baselines_satisfy_contract() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for (name, kind, tail) in [
+        ("lstm", adamove::EncoderKind::Lstm, None),
+        ("gru", adamove::EncoderKind::Gru, None),
+        ("rnn", adamove::EncoderKind::Rnn, None),
+        ("mhsa", adamove::EncoderKind::Transformer, Some(10)),
+    ] {
+        let mut store = ParamStore::new();
+        let b = SeqBaseline::new(
+            &mut store,
+            name,
+            kind,
+            AdaMoveConfig::tiny(),
+            L,
+            U,
+            tail,
+            &mut rng,
+        );
+        check_contract(name, |s| b.predict(&store, s));
+    }
+}
+
+#[test]
+fn t3a_satisfies_contract_and_is_stateful() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), L, U, &mut rng);
+    let mut t3a = T3a::new(&model, &store, T3aConfig::default());
+    check_contract("t3a", |s| t3a.adapt_and_predict(&model, &store, s));
+    // State accumulated across the contract queries.
+    assert!(t3a.num_supports() > 0);
+}

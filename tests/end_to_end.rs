@@ -1,0 +1,163 @@
+//! Cross-crate integration: synthesis -> preprocessing -> training ->
+//! test-time adaptation, end to end on a small shifted city.
+
+use adamove::history::HistoryAttention;
+use adamove::{
+    evaluate, AdaMoveConfig, InferenceMode, LightMob, PttaConfig, T3aConfig, Trainer,
+    TrainingConfig,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::synth::{generate, Scale};
+use adamove_mobility::{
+    make_samples, preprocess, CityPreset, PreprocessConfig, SampleConfig, Split,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct World {
+    store: ParamStore,
+    model: LightMob,
+    test: Vec<adamove_mobility::Sample>,
+}
+
+/// Keep at most `cap` samples, taking every k-th so all users stay covered.
+fn stride_cap(
+    samples: Vec<adamove_mobility::Sample>,
+    cap: usize,
+) -> Vec<adamove_mobility::Sample> {
+    if samples.len() <= cap {
+        return samples;
+    }
+    let stride = samples.len().div_ceil(cap);
+    samples.into_iter().step_by(stride).collect()
+}
+
+/// Train a small model on a strongly-shifted synthetic city.
+fn build_world(seed: u64) -> World {
+    let mut cfg = CityPreset::Nyc.config(Scale::Small);
+    cfg.num_users = 25;
+    cfg.days = 70;
+    cfg.shift_fraction = 0.8;
+    cfg.seed = seed;
+    let raw = generate(&cfg);
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    assert!(data.num_users() >= 18, "too few users survived");
+
+    let mut train = make_samples(&data, Split::Train, &SampleConfig::train());
+    let val = make_samples(&data, Split::Val, &SampleConfig::eval(5));
+    let mut test = make_samples(&data, Split::Test, &SampleConfig::eval(5));
+    assert!(train.len() > 400 && test.len() > 80);
+    // Deterministic strided subsampling keeps this test fast in debug
+    // builds while still covering every user.
+    train = stride_cap(train, 900);
+    test = stride_cap(test, 300);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            loc_dim: 12,
+            time_dim: 6,
+            user_dim: 6,
+            hidden: 24,
+            lambda: 0.6,
+            max_history: 20,
+            ..AdaMoveConfig::default()
+        },
+        data.num_locations,
+        data.num_users() as u32,
+        &mut rng,
+    );
+    let attention = HistoryAttention::new(&mut store, model.config.hidden, &mut rng);
+    let trainer = Trainer::new(TrainingConfig {
+        max_epochs: 4,
+        batch_size: 50,
+        val_subsample: Some(120),
+        ..TrainingConfig::default()
+    });
+    let report = trainer.fit(&model, Some(&attention), &mut store, &train, &val);
+    assert!(
+        report.best_val_accuracy > 0.15,
+        "training failed to learn anything: {}",
+        report.best_val_accuracy
+    );
+    World { store, model, test }
+}
+
+#[test]
+fn adamove_beats_frozen_on_shifted_test_data() {
+    let w = build_world(1234);
+    let frozen = evaluate(&w.model, &w.store, &w.test, &InferenceMode::Frozen);
+    let adapted = evaluate(
+        &w.model,
+        &w.store,
+        &w.test,
+        &InferenceMode::Ptta(PttaConfig::default()),
+    );
+    // The headline claim: under distribution shift, PTTA improves accuracy.
+    assert!(
+        adapted.metrics.rec1 > frozen.metrics.rec1,
+        "PTTA should beat frozen under shift: {} vs {}",
+        adapted.metrics.rec1,
+        frozen.metrics.rec1
+    );
+    assert!(adapted.metrics.rec5 >= frozen.metrics.rec5 * 0.95);
+}
+
+#[test]
+fn adamove_beats_t3a_under_shift() {
+    let w = build_world(99);
+    let t3a = evaluate(
+        &w.model,
+        &w.store,
+        &w.test,
+        &InferenceMode::T3a(T3aConfig::default()),
+    );
+    let ptta = evaluate(
+        &w.model,
+        &w.store,
+        &w.test,
+        &InferenceMode::Ptta(PttaConfig::default()),
+    );
+    // Fig. 4: real labels + similarity beat pseudo-labels + entropy.
+    assert!(
+        ptta.metrics.rec1 >= t3a.metrics.rec1,
+        "PTTA {} should be >= T3A {}",
+        ptta.metrics.rec1,
+        t3a.metrics.rec1
+    );
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_predictions() {
+    let w = build_world(7);
+    let sample = &w.test[0];
+    let before = w.model.predict_scores(&w.store, &sample.recent, sample.user);
+
+    // Serialise, rebuild the same architecture fresh, load, and compare.
+    let json = adamove_nn::serialize::to_json(&w.store);
+    let mut rng = StdRng::seed_from_u64(999); // different init, then overwritten
+    let mut store2 = ParamStore::new();
+    let model2 = LightMob::new(
+        &mut store2,
+        w.model.config.clone(),
+        w.model.num_locations,
+        w.model.num_users,
+        &mut rng,
+    );
+    let _attention2 = HistoryAttention::new(&mut store2, model2.config.hidden, &mut rng);
+    adamove_nn::serialize::from_json(&mut store2, &json).unwrap();
+    let after = model2.predict_scores(&store2, &sample.recent, sample.user);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn training_is_deterministic_in_seed() {
+    let a = build_world(55);
+    let b = build_world(55);
+    let s = &a.test[3];
+    let sa = a.model.predict_scores(&a.store, &s.recent, s.user);
+    let sb = b.model.predict_scores(&b.store, &s.recent, s.user);
+    assert_eq!(sa, sb, "same seed must give identical weights");
+}

@@ -1,0 +1,155 @@
+//! Property-based invariants across the data pipeline: arbitrary raw
+//! datasets in, structural guarantees out.
+
+use adamove_mobility::{
+    make_samples, preprocess, split_sessions, Dataset, Point, PreprocessConfig, SampleConfig,
+    Split, Timestamp, Trajectory, UserId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random raw dataset with up to 20 users, 15 locations and
+/// points across up to 40 days.
+fn raw_dataset() -> impl Strategy<Value = Dataset> {
+    let point = (0u32..15, 0i64..40 * 24).prop_map(|(loc, h)| Point::new(loc, Timestamp::from_hours(h)));
+    let user_points = prop::collection::vec(point, 0..120);
+    prop::collection::vec(user_points, 1..20).prop_map(|users| Dataset {
+        name: "prop".into(),
+        num_locations: 15,
+        trajectories: users
+            .into_iter()
+            .enumerate()
+            .map(|(i, pts)| Trajectory::new(UserId(i as u32), pts))
+            .collect(),
+    })
+}
+
+/// A permissive pipeline config so that random data sometimes survives.
+fn lenient_config() -> PreprocessConfig {
+    PreprocessConfig {
+        min_users_per_location: 2,
+        session_window_hours: 24,
+        min_points_per_session: 2,
+        min_sessions_per_user: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn preprocessing_output_always_validates(raw in raw_dataset()) {
+        let out = preprocess(&raw, &lenient_config());
+        prop_assert!(out.validate().is_ok(), "{:?}", out.validate());
+        // Every surviving session meets the minimum length.
+        for u in &out.users {
+            for s in &u.sessions {
+                prop_assert!(s.len() >= 2);
+            }
+            prop_assert!(u.sessions.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn preprocessing_never_invents_points(raw in raw_dataset()) {
+        let out = preprocess(&raw, &lenient_config());
+        let raw_points = raw.num_points();
+        let kept: usize = out.users.iter().map(|u| u.num_points()).sum();
+        prop_assert!(kept <= raw_points);
+    }
+
+    #[test]
+    fn preprocessing_is_deterministic(raw in raw_dataset()) {
+        let a = preprocess(&raw, &lenient_config());
+        let b = preprocess(&raw, &lenient_config());
+        prop_assert_eq!(a.users.len(), b.users.len());
+        for (ua, ub) in a.users.iter().zip(&b.users) {
+            prop_assert_eq!(&ua.sessions, &ub.sessions);
+        }
+    }
+
+    #[test]
+    fn split_regions_partition_and_order(n in 0usize..200) {
+        let (tr, va, te) = split_sessions(n);
+        prop_assert_eq!(tr.start, 0);
+        prop_assert_eq!(tr.end, va.start);
+        prop_assert_eq!(va.end, te.start);
+        prop_assert_eq!(te.end, n);
+        if n >= 5 {
+            prop_assert!(!tr.is_empty());
+            prop_assert!(!va.is_empty());
+            prop_assert!(!te.is_empty());
+            // The paper's proportions, within the integer rounding the
+            // val/test non-emptiness clamps introduce at small n.
+            prop_assert!(tr.len() * 2 >= n, "train {} of {}", tr.len(), n);
+            prop_assert!(te.len() * 10 >= n, "test {} of {}", te.len(), n);
+            if n >= 10 {
+                prop_assert!(tr.len() * 10 >= n * 6, "train {} of {}", tr.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn samples_have_consistent_structure(
+        raw in raw_dataset(),
+        c in 1usize..5,
+    ) {
+        let out = preprocess(&raw, &lenient_config());
+        for split in [Split::Train, Split::Val, Split::Test] {
+            let samples = make_samples(&out, split, &SampleConfig::eval(c));
+            for s in &samples {
+                // Recent is non-empty, chronological, and precedes the target.
+                prop_assert!(!s.recent.is_empty());
+                prop_assert!(s.recent.windows(2).all(|w| w[0].time <= w[1].time));
+                prop_assert!(s.recent.last().unwrap().time <= s.target_time);
+                // History precedes recent.
+                if let (Some(h), Some(r)) = (s.history.last(), s.recent.first()) {
+                    prop_assert!(h.time <= r.time);
+                }
+                // Labels exist for every prefix.
+                prop_assert_eq!(s.prefix_labels().len(), s.recent.len());
+            }
+        }
+    }
+
+    #[test]
+    fn train_and_test_targets_never_overlap(raw in raw_dataset()) {
+        let out = preprocess(&raw, &lenient_config());
+        let train = make_samples(&out, Split::Train, &SampleConfig::train());
+        let test = make_samples(&out, Split::Test, &SampleConfig::train());
+        // Per user, all train targets are strictly before all test targets.
+        for u in out.users.iter().map(|u| u.user) {
+            let max_train = train
+                .iter()
+                .filter(|s| s.user == u)
+                .map(|s| s.target_time)
+                .max();
+            let min_test = test
+                .iter()
+                .filter(|s| s.user == u)
+                .map(|s| s.target_time)
+                .min();
+            if let (Some(a), Some(b)) = (max_train, min_test) {
+                prop_assert!(a < b, "user {:?}: train target at {:?} >= test {:?}", u, a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_monotonicity_property() {
+    // Rec@1 <= Rec@5 <= Rec@10 and MRR <= Rec@10, for random score vectors.
+    use adamove::MetricAccumulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut acc = MetricAccumulator::new();
+    for _ in 0..500 {
+        let scores: Vec<f32> = (0..30).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let target = rng.gen_range(0..30);
+        acc.observe(&scores, target);
+    }
+    let m = acc.finish();
+    assert!(m.rec1 <= m.rec5 && m.rec5 <= m.rec10);
+    assert!(m.mrr <= m.rec10 + 1e-6);
+    assert!(m.mrr >= m.rec1 - 1e-6);
+}

@@ -1,0 +1,163 @@
+//! Differential test: the optimised PTTA implementation against a naive,
+//! straight-from-Algorithm-1 reference built independently with plain
+//! vector math (full sort instead of a bounded queue, materialised Θ'
+//! instead of score fix-ups).
+
+use adamove::{AdaMoveConfig, LightMob, Ptta, PttaConfig, TtaModel};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
+use adamove_tensor::stats::cosine_similarity;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Naive Algorithm 1: materialise Θ', score with a plain loop.
+fn reference_ptta(
+    model: &LightMob,
+    store: &ParamStore,
+    sample: &Sample,
+    capacity: usize,
+) -> Vec<f32> {
+    let hiddens = model.patterns(store, sample);
+    let n = hiddens.rows();
+    let h_test: Vec<f32> = hiddens.row(n - 1).to_vec();
+    let theta = store.value(model.theta_param()).clone();
+    let bias = model
+        .bias_param()
+        .map(|b| store.value(b).as_slice().to_vec())
+        .unwrap_or_else(|| vec![0.0; theta.cols()]);
+
+    // Step 1+2: labelled patterns, full-sort top-M per location.
+    let mut per_loc: HashMap<usize, Vec<(f32, Vec<f32>)>> = HashMap::new();
+    for k in 0..n.saturating_sub(1) {
+        let label = sample.recent[k + 1].loc.index();
+        let pattern = hiddens.row(k).to_vec();
+        let sim = cosine_similarity(&h_test, &pattern);
+        per_loc.entry(label).or_default().push((sim, pattern));
+    }
+    // Step 3: materialise adjusted columns.
+    let mut theta_adj = theta.clone();
+    for (loc, mut patterns) in per_loc {
+        patterns.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        patterns.truncate(capacity);
+        let mut centroid = theta.col(loc);
+        for (_, p) in &patterns {
+            for (c, v) in centroid.iter_mut().zip(p) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= (patterns.len() + 1) as f32;
+        }
+        for (r, &v) in centroid.iter().enumerate() {
+            theta_adj.set(r, loc, v);
+        }
+    }
+    // Inference: h_test Θ' + b.
+    (0..theta_adj.cols())
+        .map(|l| {
+            h_test
+                .iter()
+                .zip(theta_adj.col(l).iter())
+                .map(|(&h, &t)| h * t)
+                .sum::<f32>()
+                + bias[l]
+        })
+        .collect()
+}
+
+fn build_model(num_locations: u32) -> (ParamStore, LightMob) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        num_locations,
+        3,
+        &mut rng,
+    );
+    (store, model)
+}
+
+fn make_sample(locs: &[u32], target: u32) -> Sample {
+    Sample {
+        user: UserId(1),
+        recent: locs
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Point::new(l, Timestamp::from_hours(i as i64 * 3)))
+            .collect(),
+        history: vec![],
+        target: LocationId(target),
+        target_time: Timestamp::from_hours(100),
+    }
+}
+
+#[test]
+fn optimized_matches_reference_on_fixed_cases() {
+    let (store, model) = build_model(12);
+    for (locs, m) in [
+        (vec![1u32, 2, 3, 4, 5], 5usize),
+        (vec![1, 1, 1, 1], 1),
+        (vec![3, 7, 3, 7, 3, 7, 3], 2),
+        (vec![0, 11], 5),
+        (vec![4], 5), // single point: no patterns
+    ] {
+        let sample = make_sample(&locs, 0);
+        let fast = Ptta::new(PttaConfig {
+            capacity: m,
+            ..PttaConfig::default()
+        })
+        .predict_scores(&model, &store, &sample);
+        let slow = reference_ptta(&model, &store, &sample, m);
+        for (l, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "capacity {m}, locs {locs:?}, column {l}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Randomised differential check over trajectory contents and capacity.
+    #[test]
+    fn optimized_matches_reference_randomised(
+        locs in prop::collection::vec(0u32..12, 1..15),
+        capacity in 1usize..8,
+    ) {
+        let (store, model) = build_model(12);
+        let sample = make_sample(&locs, 0);
+        let fast = Ptta::new(PttaConfig { capacity, ..PttaConfig::default() })
+            .predict_scores(&model, &store, &sample);
+        let slow = reference_ptta(&model, &store, &sample, capacity);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Adaptation never changes columns for locations absent from the
+    /// observed labels.
+    #[test]
+    fn untouched_columns_keep_frozen_scores(
+        locs in prop::collection::vec(0u32..6, 2..10),
+    ) {
+        let (store, model) = build_model(12);
+        let sample = make_sample(&locs, 0);
+        let fast = Ptta::default().predict_scores(&model, &store, &sample);
+        let frozen = model.predict_scores(&store, &sample.recent, sample.user);
+        let labels: std::collections::HashSet<usize> =
+            locs[1..].iter().map(|&l| l as usize).collect();
+        for l in 0..12usize {
+            if !labels.contains(&l) {
+                prop_assert!(
+                    (fast[l] - frozen[l]).abs() < 1e-5,
+                    "column {l} changed without evidence"
+                );
+            }
+        }
+    }
+}
