@@ -1,0 +1,139 @@
+//! Offline API stub of `criterion 0.5`: runs each benchmark body a handful
+//! of times and prints a rough per-iteration time. No statistics, plots or
+//! CLI — just enough to compile and smoke-run `cargo bench` offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iterations: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted and ignored (the stub has no warm-up phase).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted and ignored (the stub runs a fixed iteration count).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Sets how many times each body runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.iterations = n.max(1) as u64;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.iterations,
+            elapsed: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.timed_iters > 0 {
+            b.elapsed / b.timed_iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!("bench {id}: ~{per_iter:?}/iter (offline stub)");
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {} (offline stub)", name.into());
+        BenchmarkGroup { parent: self }
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.parent.bench_function(id, f);
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::Bencher`.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` over the configured iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.timed_iters += self.iterations;
+    }
+}
+
+/// Stand-in for `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

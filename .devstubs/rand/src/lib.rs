@@ -1,0 +1,204 @@
+//! Offline API stub of `rand 0.8`: same surface, different stream.
+//!
+//! The generator is SplitMix64, not ChaCha12, so seed-derived values do
+//! not match the real crate — fine for compilation and invariance-style
+//! tests, wrong for golden-value tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// SplitMix64 step.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Generable {
+    /// Draw one value.
+    fn generate(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Generable for u64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+impl Generable for u32 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Generable for bool {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Generable for f64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Generable for f32 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        ((rng.next_u64() >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+/// Types drawable from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw from `[lo, hi)` (`hi` included when `inclusive`).
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128 + if inclusive { 1 } else { 0 };
+                assert!(lo_w < hi_w, "gen_range: empty range");
+                let span = (hi_w - lo_w) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo_w + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, _inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + (u as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The user-facing RNG trait (subset of real `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Random value of an inferred type.
+    fn gen<T: Generable>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+
+    /// Random value in `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Generable>::generate(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface (subset of real `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Derive a full state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::*;
+
+    /// Stand-in for `rand::rngs::StdRng` (SplitMix64 inside).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice helpers.
+    use super::*;
+
+    /// Subset of `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        /// Uniformly random element.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}

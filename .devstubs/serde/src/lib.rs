@@ -1,0 +1,21 @@
+//! Offline API stub of `serde`: blanket-implemented marker traits plus the
+//! no-op derives. Enough for `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize` bounds to compile; no actual (de)serialisation happens.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub mod de {
+    //! Deserialisation markers.
+
+    /// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+    pub trait Deserialize<'de> {}
+    impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,88 @@
+//! Stub derive macros: the stub `serde` traits have blanket impls, so the
+//! derives mostly need to swallow the attribute syntax. They additionally
+//! emit an inert method that reads every named field, mirroring the fact
+//! that real serde codegen uses the fields — otherwise `Serialize`-only
+//! structs would trip the `dead_code` lint under the stubs but not under
+//! the real dependencies.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    field_use_impl(input, "__serde_stub_ser")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    field_use_impl(input, "__serde_stub_de")
+}
+
+/// For `struct Name { a: T, ... }` (non-generic, named fields) produce
+/// `impl Name { #[allow(dead_code)] fn <method>(&self) { let _ = &self.a; ... } }`.
+/// Anything else (enums, tuple/unit structs, generics) degrades to a no-op.
+fn field_use_impl(input: TokenStream, method: &str) -> TokenStream {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "struct" => {
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+                "enum" | "union" => return TokenStream::new(),
+                _ => {}
+            }
+        }
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+    // A brace group right after the name means named fields, no generics.
+    let Some(TokenTree::Group(group)) = iter.next() else {
+        return TokenStream::new();
+    };
+    if group.delimiter() != Delimiter::Brace {
+        return TokenStream::new();
+    }
+
+    // A field name is the ident right before a lone ':' at angle depth 0
+    // (the ':' of '::' path separators is either Joint or preceded /
+    // followed by another ':').
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle = 0i32;
+    for i in 0..toks.len() {
+        let TokenTree::Punct(p) = &toks[i] else {
+            continue;
+        };
+        match p.as_char() {
+            '<' => angle += 1,
+            '>' => angle -= 1,
+            ':' if angle == 0 && p.spacing() == Spacing::Alone && i > 0 => {
+                let part_of_path = matches!(&toks[i - 1], TokenTree::Punct(q) if q.as_char() == ':')
+                    || matches!(toks.get(i + 1), Some(TokenTree::Punct(q)) if q.as_char() == ':');
+                if !part_of_path {
+                    if let TokenTree::Ident(id) = &toks[i - 1] {
+                        fields.push(id.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let body: String = fields
+        .iter()
+        .map(|f| format!("let _ = &self.{f};"))
+        .collect();
+    format!(
+        "#[automatically_derived] impl {name} {{ \
+           #[allow(dead_code)] fn {method}(&self) {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("stub derive generated invalid tokens")
+}

@@ -1,0 +1,34 @@
+//! Offline API stub of `serde_json`: compiles everywhere, parses nothing.
+
+use std::fmt;
+
+/// Stand-in for `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise to JSON — the stub emits a placeholder document.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Ok("{\"offline-stub\":true}".to_string())
+}
+
+/// Pretty-serialise to JSON — the stub emits a placeholder document.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    to_string(_value)
+}
+
+/// Parse JSON — the stub has no parser and always errors.
+pub fn from_str<T>(_s: &str) -> Result<T, Error> {
+    Err(Error {
+        msg: "serde_json offline stub cannot parse".to_string(),
+    })
+}

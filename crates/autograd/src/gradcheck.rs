@@ -6,6 +6,14 @@
 //! numerical slope with the analytic gradient under a mixed
 //! absolute/relative tolerance (f32 forward passes make a pure relative
 //! tolerance too strict near zero).
+//!
+//! Piecewise-linear ops need one extra rule: at a ReLU kink the central
+//! difference straddles both linear pieces and averages their slopes, which
+//! matches *neither* valid subgradient. When the central comparison fails,
+//! the check falls back to the two one-sided differences and accepts if the
+//! analytic gradient agrees with either side — so both subgradient
+//! conventions at the kink (0 and 1) pass, while genuinely wrong gradients
+//! still fail (they match no side).
 
 use crate::graph::{Graph, Var};
 use crate::param::{ParamId, ParamStore};
@@ -41,6 +49,11 @@ impl std::error::Error for GradCheckError {}
 /// `eps` is the perturbation step (1e-2 works well for f32 forward math),
 /// and the comparison passes when
 /// `|analytic - numeric| <= atol + rtol * max(|analytic|, |numeric|)`.
+///
+/// If the central difference fails, the element is re-checked against both
+/// one-sided differences and passes when the analytic gradient matches
+/// either — this keeps non-differentiable points of piecewise-linear ops
+/// (e.g. ReLU evaluated exactly at 0) from producing spurious failures.
 pub fn check_gradients(
     store: &mut ParamStore,
     mut build: impl FnMut(&mut Graph) -> Var,
@@ -68,18 +81,25 @@ pub fn check_gradients(
             store.value_mut(id).as_mut_slice()[e] = orig;
 
             let numeric = (plus - minus) / (2.0 * eps);
-            let a = analytic
-                .get(id)
-                .map(|g| g.as_slice()[e])
-                .unwrap_or(0.0);
+            let a = analytic.get(id).map(|g| g.as_slice()[e]).unwrap_or(0.0);
             let tol = atol + rtol * a.abs().max(numeric.abs());
             if (a - numeric).abs() > tol {
-                return Err(GradCheckError {
-                    param: store.param(id).name.clone(),
-                    element: e,
-                    analytic: a,
-                    numeric,
-                });
+                // Possible kink between `orig - eps` and `orig + eps`: the
+                // central slope averages the two linear pieces. Accept the
+                // analytic gradient if it matches either one-sided slope
+                // (covers both subgradient conventions at the kink).
+                let base = eval_loss(store, &mut build);
+                let one_sided_ok = [(plus - base) / eps, (base - minus) / eps]
+                    .into_iter()
+                    .any(|s| (a - s).abs() <= atol + rtol * a.abs().max(s.abs()));
+                if !one_sided_ok {
+                    return Err(GradCheckError {
+                        param: store.param(id).name.clone(),
+                        element: e,
+                        analytic: a,
+                        numeric,
+                    });
+                }
             }
         }
     }
@@ -281,6 +301,30 @@ mod tests {
                 let on = g.normalize_rows(o);
                 let sims = g.matmul_nt(an, on); // 1 x 4
                 g.cross_entropy_logits(sims, &[0])
+            },
+            EPS,
+            RTOL,
+            ATOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn relu_exactly_at_kink_passes() {
+        // w = 0 puts ReLU's input exactly on its non-differentiable point,
+        // so the central difference straddles the kink and disagrees with
+        // every valid subgradient. The one-sided fallback must accept it.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        let x = Matrix::from_vec(1, 2, vec![-0.75, 1.25]);
+        check_gradients(
+            &mut store,
+            move |g| {
+                let wv = g.param(w);
+                let xv = g.constant(x.clone());
+                let m = g.mul(wv, xv);
+                let r = g.relu(m);
+                g.mean_all(r)
             },
             EPS,
             RTOL,

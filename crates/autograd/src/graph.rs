@@ -24,7 +24,10 @@ enum Op {
     /// Materialise a parameter's value on the tape.
     ParamRead(ParamId),
     /// Row gather from an embedding table: output is `indices.len() x dim`.
-    Gather { table: ParamId, indices: Vec<u32> },
+    Gather {
+        table: ParamId,
+        indices: Vec<u32>,
+    },
     /// Affine map `x @ W (+ b)` with `W: in x out`, `b: 1 x out`.
     Linear {
         w: ParamId,
@@ -56,17 +59,34 @@ enum Op {
     MulRowBroadcast(Var, Var),
     ConcatCols(Vec<Var>),
     ConcatRows(Vec<Var>),
-    SliceCols { x: Var, start: usize, len: usize },
-    SliceRows { x: Var, start: usize, len: usize },
+    SliceCols {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    SliceRows {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
     /// Per-row layer normalisation (no affine; compose with broadcasts).
-    LayerNormRows { x: Var, eps: f32 },
+    LayerNormRows {
+        x: Var,
+        eps: f32,
+    },
     /// Mean negative log-likelihood of `targets` under `softmax(x)` rows.
-    CrossEntropyLogits { x: Var, targets: Vec<u32> },
+    CrossEntropyLogits {
+        x: Var,
+        targets: Vec<u32>,
+    },
     MeanAll(Var),
     SumAll(Var),
     /// Element-wise multiply by a fixed 0/1 mask (inverted dropout: the mask
     /// is pre-scaled by `1/keep_prob`).
-    Dropout { x: Var, mask: Matrix },
+    Dropout {
+        x: Var,
+        mask: Matrix,
+    },
 }
 
 #[derive(Debug)]
@@ -295,7 +315,11 @@ impl<'p> Graph<'p> {
     pub fn mul_row_broadcast(&mut self, x: Var, row: Var) -> Var {
         let xv = self.value(x);
         let rv = self.value(row);
-        assert_eq!(rv.rows(), 1, "mul_row_broadcast: row operand must be 1 x cols");
+        assert_eq!(
+            rv.rows(),
+            1,
+            "mul_row_broadcast: row operand must be 1 x cols"
+        );
         assert_eq!(rv.cols(), xv.cols(), "mul_row_broadcast: width mismatch");
         let mut out = xv.clone();
         for r in 0..out.rows() {
@@ -342,7 +366,8 @@ impl<'p> Graph<'p> {
         assert!(start + len <= xv.cols(), "slice_cols: out of range");
         let mut out = Matrix::zeros(xv.rows(), len);
         for r in 0..xv.rows() {
-            out.row_mut(r).copy_from_slice(&xv.row(r)[start..start + len]);
+            out.row_mut(r)
+                .copy_from_slice(&xv.row(r)[start..start + len]);
         }
         self.push(out, Op::SliceCols { x, start, len })
     }
@@ -695,12 +720,20 @@ impl<'p> Graph<'p> {
                 Op::MeanAll(a) => {
                     let av = self.value(*a);
                     let scale = g.as_slice()[0] / av.len() as f32;
-                    accumulate(&mut node_grads, *a, Matrix::full(av.rows(), av.cols(), scale));
+                    accumulate(
+                        &mut node_grads,
+                        *a,
+                        Matrix::full(av.rows(), av.cols(), scale),
+                    );
                 }
                 Op::SumAll(a) => {
                     let av = self.value(*a);
                     let scale = g.as_slice()[0];
-                    accumulate(&mut node_grads, *a, Matrix::full(av.rows(), av.cols(), scale));
+                    accumulate(
+                        &mut node_grads,
+                        *a,
+                        Matrix::full(av.rows(), av.cols(), scale),
+                    );
                 }
                 Op::Dropout { x, mask } => {
                     let dx = g.hadamard(mask).expect("dropout backward");
@@ -793,19 +826,14 @@ mod tests {
         let loss = g.mean_all(y);
         assert!((g.scalar(loss) - 8.5).abs() < 1e-6);
         let grads = g.backward(loss);
-        assert_eq!(
-            grads.get(ids[0]).unwrap().as_slice(),
-            &[0.5, 0.5, 1.0, 1.0]
-        );
+        assert_eq!(grads.get(ids[0]).unwrap().as_slice(), &[0.5, 0.5, 1.0, 1.0]);
         assert_eq!(grads.get(ids[1]).unwrap().as_slice(), &[0.5, 0.5]);
     }
 
     #[test]
     fn gather_scatters_gradients_to_rows() {
-        let (store, ids) = store_with(&[(
-            "emb",
-            Matrix::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]),
-        )]);
+        let (store, ids) =
+            store_with(&[("emb", Matrix::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]))]);
         let mut g = Graph::new(&store);
         let e = g.gather(ids[0], &[2, 0, 2]);
         assert_eq!(g.value(e).row(0), &[3., 3.]);

@@ -140,7 +140,13 @@ impl Gradients {
     }
 
     /// Accumulate into a single row of the slot for `id` (embedding scatter).
-    pub fn accumulate_row(&mut self, id: ParamId, shape: (usize, usize), row: usize, delta: &[f32]) {
+    pub fn accumulate_row(
+        &mut self,
+        id: ParamId,
+        shape: (usize, usize),
+        row: usize,
+        delta: &[f32],
+    ) {
         let slot = &mut self.grads[id.index()];
         let g = slot.get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
         debug_assert_eq!(g.shape(), shape);
@@ -152,7 +158,11 @@ impl Gradients {
     /// Merge another gradient map into this one (used when accumulating
     /// gradients across several backward passes before an optimiser step).
     pub fn merge(&mut self, other: &Gradients) {
-        assert_eq!(self.grads.len(), other.grads.len(), "Gradients::merge: store size mismatch");
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "Gradients::merge: store size mismatch"
+        );
         for (i, g) in other.grads.iter().enumerate() {
             if let Some(g) = g {
                 self.accumulate(ParamId(i as u32), g);

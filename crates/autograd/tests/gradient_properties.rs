@@ -147,6 +147,34 @@ proptest! {
     }
 }
 
+/// Regression for the checked-in proptest shrink of
+/// `elementwise_chain_gradcheck`: `w = [0; 6]`, `x = [0, 0, 0, 0, 0,
+/// -0.64169353]`, `which = 2` (ReLU). Every product w*x sits exactly on the
+/// ReLU kink, where the central difference matches neither subgradient; the
+/// one-sided fallback in `check_gradients` must accept the analytic answer.
+#[test]
+fn relu_kink_regression_from_proptest_shrink() {
+    let w = vec![0.0f32; 6];
+    let x = vec![0.0, 0.0, 0.0, 0.0, 0.0, -0.641_693_53];
+    let mut store = ParamStore::new();
+    let wid = store.register("w", Matrix::from_vec(2, 3, w));
+    let x_mat = Matrix::from_vec(2, 3, x);
+    check_gradients(
+        &mut store,
+        move |g: &mut Graph| -> Var {
+            let wv = g.param(wid);
+            let xv = g.constant(x_mat.clone());
+            let m = g.mul(wv, xv);
+            let act = g.relu(m);
+            g.mean_all(act)
+        },
+        EPS,
+        RTOL,
+        ATOL,
+    )
+    .unwrap();
+}
+
 #[test]
 fn gradients_accumulate_linearly_over_batches() {
     // backward(loss_a + loss_b) == backward(loss_a) + backward(loss_b).

@@ -47,12 +47,37 @@ impl DeepMove {
         let input = config.input_dim();
         let hidden = config.hidden;
         Self {
-            loc_emb: Embedding::new(store, "dm.emb.loc", num_locations as usize, config.loc_dim, rng),
-            time_emb: Embedding::new(store, "dm.emb.time", NUM_TIME_SLOTS as usize, config.time_dim, rng),
-            user_emb: Embedding::new(store, "dm.emb.user", num_users as usize, config.user_dim, rng),
+            loc_emb: Embedding::new(
+                store,
+                "dm.emb.loc",
+                num_locations as usize,
+                config.loc_dim,
+                rng,
+            ),
+            time_emb: Embedding::new(
+                store,
+                "dm.emb.time",
+                NUM_TIME_SLOTS as usize,
+                config.time_dim,
+                rng,
+            ),
+            user_emb: Embedding::new(
+                store,
+                "dm.emb.user",
+                num_users as usize,
+                config.user_dim,
+                rng,
+            ),
             encoder: Recurrent::Lstm(LstmCell::new(store, "dm.encoder", input, hidden, rng)),
             attn: HistoryAttention::new(store, hidden, rng),
-            predictor: Linear::new(store, "dm.predictor", 2 * hidden, num_locations as usize, true, rng),
+            predictor: Linear::new(
+                store,
+                "dm.predictor",
+                2 * hidden,
+                num_locations as usize,
+                true,
+                rng,
+            ),
             config,
             num_locations,
         }
@@ -221,7 +246,9 @@ mod tests {
         // Build histories longer and shorter than the cap; truncation keeps
         // the most recent points, so adding *old* points beyond the cap
         // must not change the output.
-        let long: Vec<u32> = (0..(m.config.max_history + 30) as u32).map(|i| i % 9).collect();
+        let long: Vec<u32> = (0..(m.config.max_history + 30) as u32)
+            .map(|i| i % 9)
+            .collect();
         let capped: Vec<u32> = long[long.len() - m.config.max_history..].to_vec();
         let a = m.predict(&store, &sample(&[1, 2], &long, 0));
         // The capped history must produce identical scores only if

@@ -131,7 +131,11 @@ impl HeuristicMob {
             .unwrap_or(sample.target_time);
         let slot = coarse_slot(Timestamp(now.0 + 3600));
         if let Some(counts) = self.slot_counts.get(&(sample.user.0, slot)) {
-            let total: f32 = counts.values().map(|&c| (1.0 + c).ln()).sum::<f32>().max(1e-6);
+            let total: f32 = counts
+                .values()
+                .map(|&c| (1.0 + c).ln())
+                .sum::<f32>()
+                .max(1e-6);
             for (&l, &c) in counts {
                 scores[l as usize] += w.slot * (1.0 + c).ln() / total;
             }
@@ -139,7 +143,11 @@ impl HeuristicMob {
 
         // Historical stays overall (log-compressed).
         if let Some(counts) = self.user_counts.get(&sample.user.0) {
-            let total: f32 = counts.values().map(|&c| (1.0 + c).ln()).sum::<f32>().max(1e-6);
+            let total: f32 = counts
+                .values()
+                .map(|&c| (1.0 + c).ln())
+                .sum::<f32>()
+                .max(1e-6);
             for (&l, &c) in counts {
                 scores[l as usize] += w.user * (1.0 + c).ln() / total;
             }

@@ -27,6 +27,7 @@ pub struct SeqBaseline {
 
 impl SeqBaseline {
     /// Build a baseline with the given encoder family.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         name: impl Into<String>,
@@ -144,7 +145,7 @@ mod tests {
         let pts = b.input_points(s);
         assert_eq!(pts.len(), 4); // 1 history tail + 3 recent
         assert_eq!(pts[0].loc, LocationId(6)); // the *last* history point
-        // Without a tail the input is just the recent trajectory.
+                                               // Without a tail the input is just the recent trajectory.
         let b2 = SeqBaseline::new(
             &mut store,
             "LSTM",

@@ -1,0 +1,91 @@
+//! Criterion bench for the sharded serving runtime: end-to-end throughput
+//! of observe/predict traffic through [`ShardedEngine`] at 1, 2 and 4
+//! shards.
+//!
+//! Each iteration replays the same deterministic multi-user workload
+//! (interleaved observes with a predict every few steps), so the numbers
+//! isolate the engine's dispatch + per-shard serving cost. On a
+//! multi-core box throughput should scale with shard count until the
+//! per-predict compute stops dominating channel overhead.
+
+use adamove::{AdaMoveConfig, EngineConfig, LightMob, PttaConfig, ShardedEngine};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const LOCATIONS: u32 = 200;
+const USERS: u32 = 32;
+const STEPS: usize = 120;
+
+/// One deterministic traffic trace: (user, point, predict-after?).
+fn workload() -> Vec<(UserId, Point, bool)> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..STEPS)
+        .map(|i| {
+            let user = UserId(rng.gen_range(0..USERS));
+            let point = Point::new(rng.gen_range(0..LOCATIONS), Timestamp::from_hours(i as i64));
+            (user, point, i % 4 == 3)
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            loc_dim: 32,
+            time_dim: 8,
+            user_dim: 12,
+            hidden: 48,
+            ..AdaMoveConfig::default()
+        },
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    let (model, store) = (Arc::new(model), Arc::new(store));
+    let trace = workload();
+
+    let mut group = c.benchmark_group("sharded_engine");
+    for &shards in &[1usize, 2, 4] {
+        group.bench_function(format!("serve_{shards}shards"), |b| {
+            b.iter(|| {
+                let engine = ShardedEngine::new(
+                    Arc::clone(&model),
+                    Arc::clone(&store),
+                    EngineConfig {
+                        shards,
+                        context_sessions: 5,
+                        session_hours: 72,
+                        ptta: PttaConfig::default(),
+                    },
+                );
+                for &(user, point, predict) in &trace {
+                    engine.observe(user, point);
+                    if predict {
+                        black_box(engine.predict(user, point.time));
+                    }
+                }
+                black_box(engine.shutdown())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full suite under a few
+    // minutes on a laptop; pass --measurement-time to override.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -8,9 +8,12 @@
 //! intact.
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin ablation_cohorts
-//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick] [--threads N]`
+//!
+//! Cohort metrics are accumulated per worker chunk and merged exactly, so
+//! every cohort's numbers are bit-identical at any `--threads` value.
 
-use adamove::{evaluate_by, EncoderKind, Metrics, Ptta, PttaConfig};
+use adamove::{evaluate_by_par, EncoderKind, Metrics, Ptta, PttaConfig};
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
 use adamove_bench::report::{render_table, write_json};
 use adamove_mobility::split::split_sessions;
@@ -77,13 +80,19 @@ fn main() {
         let trained = train_adamove(&city, EncoderKind::Lstm, &args, None);
         let ptta = Ptta::new(PttaConfig::default());
 
-        let frozen_by = evaluate_by(
+        let frozen_by = evaluate_by_par(
             &city.test,
+            args.threads,
             |s| shifted_users.contains(&s.user.0),
-            |s| trained.model.predict_scores(&trained.store, &s.recent, s.user),
+            |s| {
+                trained
+                    .model
+                    .predict_scores(&trained.store, &s.recent, s.user)
+            },
         );
-        let adapted_by = evaluate_by(
+        let adapted_by = evaluate_by_par(
             &city.test,
+            args.threads,
             |s| shifted_users.contains(&s.user.0),
             |s| ptta.predict_scores(&trained.model, &trained.store, s),
         );
@@ -94,13 +103,11 @@ fn main() {
             .iter()
             .map(|(s, l)| (s, *l))
         {
-            let (Some(frozen), Some(adapted)) =
-                (frozen_by.get(&shifted), adapted_by.get(&shifted))
+            let (Some(frozen), Some(adapted)) = (frozen_by.get(&shifted), adapted_by.get(&shifted))
             else {
                 continue;
             };
-            let gain =
-                (adapted.rec1 as f64 / (frozen.rec1 as f64).max(1e-9) - 1.0) * 100.0;
+            let gain = (adapted.rec1 as f64 / (frozen.rec1 as f64).max(1e-9) - 1.0) * 100.0;
             rows.push(vec![
                 label.to_string(),
                 cohort_sizes.get(&shifted).copied().unwrap_or(0).to_string(),

@@ -70,7 +70,7 @@ fn main() {
             .filter(|l| !train_locs.contains(l))
             .count();
         let ratio = new as f64 / test_points.len() as f64;
-        if best.map_or(true, |(_, r)| ratio > r) {
+        if best.is_none_or(|(_, r)| ratio > r) {
             best = Some((u.user.0, ratio));
         }
     }
@@ -93,7 +93,12 @@ fn main() {
         city.processed.num_users() as u32,
         &mut rng,
     );
-    deepmove.train(&mut dm_store, &city.train, &city.val, args.training_config());
+    deepmove.train(
+        &mut dm_store,
+        &city.train,
+        &city.val,
+        args.training_config(),
+    );
 
     // The user's train-region location set, for "new location" labelling.
     let u = &city.processed.users[user as usize];
@@ -119,7 +124,10 @@ fn main() {
 
     let ptta = Ptta::new(PttaConfig::default());
     let mut cases = Vec::new();
-    println!("{:<8} {:<6} {:<14} {:<14} {:<10} {:<10}", "target", "new?", "AdaMove rank", "DeepMove rank", "AdaMove", "DeepMove");
+    println!(
+        "{:<8} {:<6} {:<14} {:<14} {:<10} {:<10}",
+        "target", "new?", "AdaMove rank", "DeepMove rank", "AdaMove", "DeepMove"
+    );
     for s in picked {
         let ada_scores = ptta.predict_scores(&ada.model, &ada.store, s);
         let dm_scores = deepmove.predict(&dm_store, s);
@@ -136,7 +144,11 @@ fn main() {
         println!(
             "{:<8} {:<6} {:<14} {:<14} {:<10} {:<10}",
             case.target,
-            if case.target_is_new_location { "yes" } else { "no" },
+            if case.target_is_new_location {
+                "yes"
+            } else {
+                "no"
+            },
             case.adamove_rank,
             case.deepmove_rank,
             if case.adamove_hit { "HIT" } else { "miss" },

@@ -40,7 +40,12 @@ fn main() {
         .max_by_key(|(_, t)| t.len())
         .map(|(i, _)| i)
         .unwrap();
-    let (locs, heat) = user_heatmap(&ds.trajectories[user].points, ds.num_locations, cfg.days, 16);
+    let (locs, heat) = user_heatmap(
+        &ds.trajectories[user].points,
+        ds.num_locations,
+        cfg.days,
+        16,
+    );
     println!("Fig. 1(b): visit heatmap for user {user} (rows = top locations, cols = biweekly periods)\n");
     let periods = heat.cols();
     print!("{:>8} |", "loc");

@@ -10,11 +10,15 @@
 //! - **AdaMove** — the full model.
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin fig4_ablation
-//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick] [--threads N]`
+//!
+//! All frozen/PTTA variants fan out over `--threads` workers with
+//! bit-identical metrics; the T3A comparator is stateful across the test
+//! stream and always runs sequentially.
 
 use adamove::{
-    evaluate, EncoderKind, ImportanceStrategy, InferenceMode, LabelStrategy, Metrics, PttaConfig,
-    T3aConfig,
+    evaluate_par, EncoderKind, ImportanceStrategy, InferenceMode, LabelStrategy, Metrics,
+    PttaConfig, T3aConfig,
 };
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
 use adamove_bench::report::{metrics_row, render_table, write_json};
@@ -61,31 +65,59 @@ fn main() {
         let variants: Vec<(String, Metrics)> = vec![
             (
                 "Base Model".into(),
-                evaluate(&base.model, &base.store, &city.test, &InferenceMode::Frozen).metrics,
+                evaluate_par(
+                    &base.model,
+                    &base.store,
+                    &city.test,
+                    &InferenceMode::Frozen,
+                    args.threads,
+                )
+                .metrics,
             ),
             (
                 "T3A".into(),
-                evaluate(&base.model, &base.store, &city.test, &t3a).metrics,
+                evaluate_par(&base.model, &base.store, &city.test, &t3a, args.threads).metrics,
             ),
             (
                 "w/o LightMob".into(),
-                evaluate(&base.model, &base.store, &city.test, &ptta).metrics,
+                evaluate_par(&base.model, &base.store, &city.test, &ptta, args.threads).metrics,
             ),
             (
                 "w/o PTTA".into(),
-                evaluate(&light.model, &light.store, &city.test, &InferenceMode::Frozen).metrics,
+                evaluate_par(
+                    &light.model,
+                    &light.store,
+                    &city.test,
+                    &InferenceMode::Frozen,
+                    args.threads,
+                )
+                .metrics,
             ),
             (
                 "w/ ent".into(),
-                evaluate(&light.model, &light.store, &city.test, &with_ent).metrics,
+                evaluate_par(
+                    &light.model,
+                    &light.store,
+                    &city.test,
+                    &with_ent,
+                    args.threads,
+                )
+                .metrics,
             ),
             (
                 "w/ pseudo-label".into(),
-                evaluate(&light.model, &light.store, &city.test, &with_pseudo).metrics,
+                evaluate_par(
+                    &light.model,
+                    &light.store,
+                    &city.test,
+                    &with_pseudo,
+                    args.threads,
+                )
+                .metrics,
             ),
             (
                 "AdaMove".into(),
-                evaluate(&light.model, &light.store, &city.test, &ptta).metrics,
+                evaluate_par(&light.model, &light.store, &city.test, &ptta, args.threads).metrics,
             ),
         ];
 

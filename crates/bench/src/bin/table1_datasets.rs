@@ -33,7 +33,10 @@ fn main() {
     let args = ExperimentArgs::parse();
     let (max_train, max_test) = sample_caps(args.scale);
 
-    println!("Table I: Data Statistics after Pre-processing ({:?} scale)\n", args.scale);
+    println!(
+        "Table I: Data Statistics after Pre-processing ({:?} scale)\n",
+        args.scale
+    );
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for preset in args.cities() {
@@ -59,7 +62,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Dataset", "#Users", "#Loc.", "#Traj.(sessions)", "#Points", "Span"],
+            &[
+                "Dataset",
+                "#Users",
+                "#Loc.",
+                "#Traj.(sessions)",
+                "#Points",
+                "Span"
+            ],
             &rows
         )
     );

@@ -7,9 +7,15 @@
 //! comparison.
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin table2_comparison
-//!         [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick]`
+//!         [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick]
+//!         [--threads N]`
+//!
+//! Evaluation fans out over `--threads` workers (default: available
+//! parallelism). Metrics are bit-identical at any thread count; when
+//! `--threads > 1` this binary re-runs the AdaMove evaluation sequentially
+//! and asserts exact metric equality as a self-check.
 
-use adamove::{evaluate, evaluate_fn, EncoderKind, InferenceMode, Metrics, PttaConfig};
+use adamove::{evaluate_fn_par, evaluate_par, EncoderKind, InferenceMode, Metrics, PttaConfig};
 use adamove_autograd::ParamStore;
 use adamove_baselines::heuristic::HeuristicWeights;
 use adamove_baselines::{DeepMove, HeuristicMob, MarkovBaseline, PopularityBaseline, SeqBaseline};
@@ -77,7 +83,7 @@ fn main() {
 
         // ---- statistical baselines ------------------------------------
         let markov = MarkovBaseline::fit(num_locations as usize, &city.train);
-        let markov_out = evaluate_fn(&city.test, |s| markov.predict(s));
+        let markov_out = evaluate_fn_par(&city.test, args.threads, |s| markov.predict(s));
         methods.push(MethodResult {
             method: "Markov (≈NLPMM)".into(),
             paper_rec1: None,
@@ -85,7 +91,7 @@ fn main() {
         });
 
         let pop = PopularityBaseline::fit(num_locations as usize, &city.train);
-        let pop_out = evaluate_fn(&city.test, |s| pop.predict(s));
+        let pop_out = evaluate_fn_par(&city.test, args.threads, |s| pop.predict(s));
         methods.push(MethodResult {
             method: "Popularity".into(),
             paper_rec1: None,
@@ -93,9 +99,12 @@ fn main() {
         });
 
         // ---- LLM-Mob substitute ----------------------------------------
-        let heuristic =
-            HeuristicMob::fit(num_locations as usize, &city.train, HeuristicWeights::default());
-        let h_out = evaluate_fn(&city.test, |s| heuristic.predict(s));
+        let heuristic = HeuristicMob::fit(
+            num_locations as usize,
+            &city.train,
+            HeuristicWeights::default(),
+        );
+        let h_out = evaluate_fn_par(&city.test, args.threads, |s| heuristic.predict(s));
         methods.push(MethodResult {
             method: "LLM-Mob*".into(),
             paper_rec1: paper_rec1(preset, "LLM-Mob*"),
@@ -116,8 +125,13 @@ fn main() {
             &mut rng,
         );
         eprintln!("training LSTM...");
-        lstm.train(&mut lstm_store, &city.train, &city.val, args.training_config());
-        let lstm_out = evaluate_fn(&city.test, |s| lstm.predict(&lstm_store, s));
+        lstm.train(
+            &mut lstm_store,
+            &city.train,
+            &city.val,
+            args.training_config(),
+        );
+        let lstm_out = evaluate_fn_par(&city.test, args.threads, |s| lstm.predict(&lstm_store, s));
         methods.push(MethodResult {
             method: "LSTM".into(),
             paper_rec1: paper_rec1(preset, "LSTM"),
@@ -137,8 +151,13 @@ fn main() {
             &mut rng,
         );
         eprintln!("training MHSA...");
-        mhsa.train(&mut mhsa_store, &city.train, &city.val, args.training_config());
-        let mhsa_out = evaluate_fn(&city.test, |s| mhsa.predict(&mhsa_store, s));
+        mhsa.train(
+            &mut mhsa_store,
+            &city.train,
+            &city.val,
+            args.training_config(),
+        );
+        let mhsa_out = evaluate_fn_par(&city.test, args.threads, |s| mhsa.predict(&mhsa_store, s));
         methods.push(MethodResult {
             method: "MHSA".into(),
             paper_rec1: paper_rec1(preset, "MHSA"),
@@ -155,8 +174,13 @@ fn main() {
             &mut rng,
         );
         eprintln!("training DeepMove...");
-        deepmove.train(&mut dm_store, &city.train, &city.val, args.training_config());
-        let dm_out = evaluate_fn(&city.test, |s| deepmove.predict(&dm_store, s));
+        deepmove.train(
+            &mut dm_store,
+            &city.train,
+            &city.val,
+            args.training_config(),
+        );
+        let dm_out = evaluate_fn_par(&city.test, args.threads, |s| deepmove.predict(&dm_store, s));
         methods.push(MethodResult {
             method: "DeepMove".into(),
             paper_rec1: paper_rec1(preset, "DeepMove"),
@@ -166,12 +190,29 @@ fn main() {
         // ---- AdaMove = LightMob (contrastive) + PTTA --------------------
         eprintln!("training AdaMove (LightMob + contrastive)...");
         let adamove = train_adamove(&city, EncoderKind::Lstm, &args, None);
-        let ada_out = evaluate(
+        let ptta_mode = InferenceMode::Ptta(PttaConfig::default());
+        let ada_out = evaluate_par(
             &adamove.model,
             &adamove.store,
             &city.test,
-            &InferenceMode::Ptta(PttaConfig::default()),
+            &ptta_mode,
+            args.threads,
         );
+        if args.threads > 1 {
+            // Self-check: the parallel fan-out must reproduce the
+            // sequential metrics bit for bit (contiguous chunks + exact
+            // accumulator merge).
+            let seq = evaluate_par(&adamove.model, &adamove.store, &city.test, &ptta_mode, 1);
+            assert_eq!(
+                ada_out.metrics, seq.metrics,
+                "parallel metrics diverged from sequential (threads={})",
+                args.threads
+            );
+            eprintln!(
+                "threads={}: metrics bit-identical to sequential run",
+                args.threads
+            );
+        }
         methods.push(MethodResult {
             method: "AdaMove (Ours)".into(),
             paper_rec1: paper_rec1(preset, "AdaMove (Ours)"),
@@ -208,8 +249,14 @@ fn main() {
             .fold(0.0f32, f32::max);
         let ours = methods.last().unwrap().metrics.rec1;
         println!(
-            "AdaMove vs best baseline Rec@1: {ours:.4} vs {best_baseline:.4} ({:+.1}%)\n",
+            "AdaMove vs best baseline Rec@1: {ours:.4} vs {best_baseline:.4} ({:+.1}%)",
             (ours / best_baseline.max(1e-9) - 1.0) * 100.0
+        );
+        println!(
+            "AdaMove eval ({} thread{}): {}\n",
+            args.threads,
+            if args.threads == 1 { "" } else { "s" },
+            ada_out.latency.row()
         );
 
         results.push(CityResult {

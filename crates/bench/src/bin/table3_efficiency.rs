@@ -8,9 +8,14 @@
 //! densest).
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin table3_efficiency
-//!         [--scale small|paper] [--seed N] [--city ...] [--quick]`
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick] [--threads N]`
+//!
+//! Per-sample latencies measure compute cost and are thread-independent;
+//! the throughput / p50 / p99 lines reflect the `--threads` fan-out.
 
-use adamove::{evaluate, evaluate_fn, EncoderKind, InferenceMode, Metrics, Ptta, PttaConfig};
+use adamove::{
+    evaluate_fn_par, evaluate_par, EncoderKind, InferenceMode, Metrics, Ptta, PttaConfig,
+};
 use adamove_autograd::ParamStore;
 use adamove_baselines::DeepMove;
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
@@ -51,11 +56,12 @@ fn main() {
         // AdaMove: LightMob + PTTA (recent-only inference).
         eprintln!("training AdaMove...");
         let ada = train_adamove(&city, EncoderKind::Lstm, &args, None);
-        let ada_out = evaluate(
+        let ada_out = evaluate_par(
             &ada.model,
             &ada.store,
             &city.test,
             &InferenceMode::Ptta(PttaConfig::default()),
+            args.threads,
         );
 
         // DeepTTA: DeepMove + PTTA (history encoded per test sample).
@@ -69,9 +75,16 @@ fn main() {
             city.processed.num_users() as u32,
             &mut rng,
         );
-        deepmove.train(&mut dm_store, &city.train, &city.val, args.training_config());
+        deepmove.train(
+            &mut dm_store,
+            &city.train,
+            &city.val,
+            args.training_config(),
+        );
         let ptta = Ptta::new(PttaConfig::default());
-        let dt_out = evaluate_fn(&city.test, |s| ptta.predict_scores(&deepmove, &dm_store, s));
+        let dt_out = evaluate_fn_par(&city.test, args.threads, |s| {
+            ptta.predict_scores(&deepmove, &dm_store, s)
+        });
 
         let improvement =
             (dt_out.avg_latency_us - ada_out.avg_latency_us) / dt_out.avg_latency_us * 100.0;
@@ -102,8 +115,18 @@ fn main() {
             )
         );
         println!(
-            "Inference speedup: {improvement:.1}% (paper: {:.1}%)\n",
+            "Inference speedup: {improvement:.1}% (paper: {:.1}%)",
             paper_improvement(preset)
+        );
+        println!(
+            "DeepTTA serving ({} threads): {}",
+            args.threads,
+            dt_out.latency.row()
+        );
+        println!(
+            "AdaMove serving ({} threads): {}\n",
+            args.threads,
+            ada_out.latency.row()
         );
 
         results.push(CityResult {

@@ -5,8 +5,8 @@ use adamove::{AdaMoveConfig, EncoderKind, LightMob, TrainReport, Trainer, Traini
 use adamove_autograd::ParamStore;
 use adamove_mobility::synth::{self, Scale};
 use adamove_mobility::{
-    make_samples, preprocess, CityPreset, DatasetStats, PreprocessConfig, ProcessedDataset,
-    Sample, SampleConfig, Split,
+    make_samples, preprocess, CityPreset, DatasetStats, PreprocessConfig, ProcessedDataset, Sample,
+    SampleConfig, Split,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -23,6 +23,10 @@ pub struct ExperimentArgs {
     pub city: Option<CityPreset>,
     /// `--quick` shrinks training budgets for smoke runs.
     pub quick: bool,
+    /// `--threads N` caps evaluation worker threads (default: available
+    /// parallelism). Metrics are bit-identical at any value; only
+    /// wall-clock changes.
+    pub threads: usize,
 }
 
 impl ExperimentArgs {
@@ -33,6 +37,7 @@ impl ExperimentArgs {
             seed: 42,
             city: None,
             quick: false,
+            threads: adamove::available_threads(),
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -63,7 +68,15 @@ impl ExperimentArgs {
                     });
                 }
                 "--quick" => out.quick = true,
-                other => panic!("unknown argument {other}; usage: [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick]"),
+                "--threads" => {
+                    i += 1;
+                    out.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .expect("--threads takes a positive integer");
+                }
+                other => panic!("unknown argument {other}; usage: [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick] [--threads N]"),
             }
             i += 1;
         }
@@ -235,7 +248,11 @@ pub fn train_adamove(
     let trainer = Trainer::new(args.training_config());
     let report = trainer.fit(
         &model,
-        if lambda == 0.0 { None } else { Some(&attention) },
+        if lambda == 0.0 {
+            None
+        } else {
+            Some(&attention)
+        },
         &mut store,
         &city.train,
         &city.val,
@@ -295,9 +312,8 @@ mod tests {
         let city = prepare_city(CityPreset::Nyc, Scale::Small, 3, 300, 150);
         let c1 = resample_test(&city, 1, 150, 3);
         let c6 = resample_test(&city, 6, 150, 3);
-        let avg = |v: &[Sample]| {
-            v.iter().map(|s| s.recent.len()).sum::<usize>() as f64 / v.len() as f64
-        };
+        let avg =
+            |v: &[Sample]| v.iter().map(|s| s.recent.len()).sum::<usize>() as f64 / v.len() as f64;
         assert!(
             avg(&c6) > avg(&c1) * 1.5,
             "c=6 inputs should be much longer: {} vs {}",

@@ -121,11 +121,8 @@ pub fn distill(
                     let h = student.encode_last(&mut g, &s.recent, s.user);
                     let logits = student.logits(&mut g, h);
                     if config.alpha > 0.0 {
-                        let probs = Matrix::from_vec(
-                            1,
-                            teacher_probs[i].len(),
-                            teacher_probs[i].clone(),
-                        );
+                        let probs =
+                            Matrix::from_vec(1, teacher_probs[i].len(), teacher_probs[i].clone());
                         soft_terms.push(soft_cross_entropy(
                             &mut g,
                             logits,
@@ -172,7 +169,11 @@ pub fn distill(
                 s.target.index(),
             );
         }
-        let val_acc = if idx.is_empty() { 0.0 } else { acc.finish().rec1 };
+        let val_acc = if idx.is_empty() {
+            0.0
+        } else {
+            acc.finish().rec1
+        };
         scheduler.observe(val_acc);
         epochs.push(EpochLog {
             epoch,
@@ -206,7 +207,9 @@ mod tests {
         (0..n)
             .map(|i| Sample {
                 user: UserId(0),
-                recent: (0..3).map(|k| pt(((i + k) % 4) as u32, (i * 3 + k) as i64)).collect(),
+                recent: (0..3)
+                    .map(|k| pt(((i + k) % 4) as u32, (i * 3 + k) as i64))
+                    .collect(),
                 history: vec![],
                 target: LocationId(((i + 3) % 4) as u32),
                 target_time: Timestamp::from_hours((i * 3 + 3) as i64),

@@ -1,0 +1,418 @@
+//! Sharded serving runtime: parallel online prediction at scale.
+//!
+//! [`StreamingPredictor`] serves one request at a time; production
+//! deployments (ROADMAP: millions of users) need concurrency. The
+//! [`ShardedEngine`] partitions users across `N` worker shards by a
+//! deterministic hash of the user id. Each shard is one OS thread owning
+//! its users' [`RecentWindow`]s and a PTTA adapter, draining a channel of
+//! observe/predict requests; the model and parameter store are shared
+//! read-only behind [`Arc`]s (PTTA never mutates them — adaptation happens
+//! per request on the classifier copy inside the scoring call).
+//!
+//! Correctness guarantees:
+//!
+//! - **Per-user ordering.** A user's requests all land on one shard over
+//!   one FIFO channel, so observes and predicts interleave exactly as
+//!   submitted — no lost updates, no reordering.
+//! - **Sequential equivalence.** Prediction depends only on the user's own
+//!   window, so any interleaving across *different* users yields the same
+//!   per-user results as a single [`StreamingPredictor`] fed the same
+//!   per-user sequences.
+
+use crate::eval::LatencyProfile;
+use crate::lightmob::LightMob;
+use crate::parallel::available_threads;
+use crate::ptta::PttaConfig;
+use crate::streaming::{StreamPrediction, StreamingPredictor};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker shards (threads). Zero is rounded up to one.
+    pub shards: usize,
+    /// Sliding-window context length `c` (paper Definition 3).
+    pub context_sessions: usize,
+    /// Session length `T` in hours.
+    pub session_hours: i64,
+    /// PTTA adaptation settings used on every predict.
+    pub ptta: PttaConfig,
+}
+
+impl Default for EngineConfig {
+    /// One shard per available core, paper-default window (`c = 5`,
+    /// `T = 72h`) and PTTA settings.
+    fn default() -> Self {
+        Self {
+            shards: available_threads(),
+            context_sessions: 5,
+            session_hours: 72,
+            ptta: PttaConfig::default(),
+        }
+    }
+}
+
+/// Final statistics from a shut-down engine.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Number of worker shards that ran.
+    pub shards: usize,
+    /// Total observe requests processed.
+    pub observed: usize,
+    /// Total predict requests processed.
+    pub predictions: usize,
+    /// Users with a live window at shutdown, per shard (shard order).
+    pub per_shard_users: Vec<usize>,
+    /// Wall-clock lifetime of the engine.
+    pub elapsed: Duration,
+    /// Predict-handling latency percentiles (in-shard compute, queueing
+    /// excluded) and predictions per wall-clock second.
+    pub latency: LatencyProfile,
+}
+
+impl EngineReport {
+    /// Total users with live windows across all shards.
+    pub fn users(&self) -> usize {
+        self.per_shard_users.iter().sum()
+    }
+
+    /// All requests (observe + predict) per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            (self.observed + self.predictions) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human-readable rendering.
+    pub fn row(&self) -> String {
+        format!(
+            "{} shards  {} users  {} obs + {} pred  {}",
+            self.shards,
+            self.users(),
+            self.observed,
+            self.predictions,
+            self.latency.row()
+        )
+    }
+}
+
+enum Request {
+    Observe(UserId, Point),
+    Predict {
+        user: UserId,
+        now: Timestamp,
+        reply: mpsc::Sender<Option<StreamPrediction>>,
+    },
+    Flush(mpsc::Sender<()>),
+}
+
+struct ShardStats {
+    observed: usize,
+    predictions: usize,
+    latencies_ns: Vec<u64>,
+    users: usize,
+}
+
+/// SplitMix64 finalizer: cheap, well-mixed, and stable across runs — the
+/// shard assignment is part of the engine's deterministic behaviour.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shard index for `user` under a `shards`-way partition.
+pub fn shard_of(user: UserId, shards: usize) -> usize {
+    (mix64(user.0 as u64) % shards.max(1) as u64) as usize
+}
+
+/// Multi-threaded sharded serving runtime. See the [module docs](self).
+pub struct ShardedEngine {
+    senders: Vec<mpsc::Sender<Request>>,
+    handles: Vec<JoinHandle<ShardStats>>,
+    started: Instant,
+}
+
+impl ShardedEngine {
+    /// Spawn `config.shards` worker threads sharing `model` and `store`.
+    pub fn new(model: Arc<LightMob>, store: Arc<ParamStore>, config: EngineConfig) -> Self {
+        let shards = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<Request>();
+            let model = Arc::clone(&model);
+            let store = Arc::clone(&store);
+            let ptta = config.ptta.clone();
+            let (c, t) = (config.context_sessions, config.session_hours);
+            let handle = std::thread::Builder::new()
+                .name(format!("adamove-shard-{shard}"))
+                .spawn(move || {
+                    let mut sp = StreamingPredictor::new(&model, &store, ptta, c, t);
+                    let mut stats = ShardStats {
+                        observed: 0,
+                        predictions: 0,
+                        latencies_ns: Vec::new(),
+                        users: 0,
+                    };
+                    // Ends when every sender is dropped (engine shutdown).
+                    while let Ok(req) = rx.recv() {
+                        match req {
+                            Request::Observe(user, point) => {
+                                sp.observe(user, point);
+                                stats.observed += 1;
+                            }
+                            Request::Predict { user, now, reply } => {
+                                let t0 = Instant::now();
+                                let prediction = sp.predict(user, now);
+                                stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                                stats.predictions += 1;
+                                // A dropped reply receiver only means the
+                                // caller gave up waiting; not fatal.
+                                let _ = reply.send(prediction);
+                            }
+                            Request::Flush(done) => {
+                                let _ = done.send(());
+                            }
+                        }
+                    }
+                    stats.users = sp.active_users();
+                    stats
+                })
+                .expect("failed to spawn engine shard");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            senders,
+            handles,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard that owns `user`.
+    pub fn shard_of(&self, user: UserId) -> usize {
+        shard_of(user, self.senders.len())
+    }
+
+    fn send(&self, user: UserId, req: Request) {
+        self.senders[self.shard_of(user)]
+            .send(req)
+            .expect("engine shard died");
+    }
+
+    /// Record an observed check-in for `user` (asynchronous: returns once
+    /// the request is enqueued on the owning shard).
+    pub fn observe(&self, user: UserId, point: Point) {
+        self.send(user, Request::Observe(user, point));
+    }
+
+    /// Predict `user`'s next location, blocking until the owning shard has
+    /// drained every earlier request for that user and computed the
+    /// answer. `None` when the user has no live window at `now`.
+    pub fn predict(&self, user: UserId, now: Timestamp) -> Option<StreamPrediction> {
+        let (reply, rx) = mpsc::channel();
+        self.send(user, Request::Predict { user, now, reply });
+        rx.recv().expect("engine shard died")
+    }
+
+    /// Barrier: returns once every shard has drained all requests enqueued
+    /// before this call.
+    pub fn flush(&self) {
+        let receivers: Vec<mpsc::Receiver<()>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (done, rx) = mpsc::channel();
+                tx.send(Request::Flush(done)).expect("engine shard died");
+                rx
+            })
+            .collect();
+        for rx in receivers {
+            rx.recv().expect("engine shard died");
+        }
+    }
+
+    /// Stop all shards and collect their statistics. Pending requests are
+    /// drained before each shard exits.
+    pub fn shutdown(self) -> EngineReport {
+        let ShardedEngine {
+            senders,
+            handles,
+            started,
+        } = self;
+        // Workers exit once the channel disconnects.
+        drop(senders);
+        let mut observed = 0;
+        let mut predictions = 0;
+        let mut latencies = Vec::new();
+        let mut per_shard_users = Vec::with_capacity(handles.len());
+        let shards = handles.len();
+        for handle in handles {
+            let stats = handle.join().expect("engine shard panicked");
+            observed += stats.observed;
+            predictions += stats.predictions;
+            latencies.extend(stats.latencies_ns);
+            per_shard_users.push(stats.users);
+        }
+        let elapsed = started.elapsed();
+        EngineReport {
+            shards,
+            observed,
+            predictions,
+            per_shard_users,
+            elapsed,
+            latency: LatencyProfile::from_nanos(latencies, elapsed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaMoveConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    fn model(locations: u32, users: u32) -> (Arc<ParamStore>, Arc<LightMob>) {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut store = ParamStore::new();
+        let m = LightMob::new(
+            &mut store,
+            AdaMoveConfig::tiny(),
+            locations,
+            users,
+            &mut rng,
+        );
+        (Arc::new(store), Arc::new(m))
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_total() {
+        for shards in [1, 2, 7] {
+            for u in 0..100 {
+                let s = shard_of(UserId(u), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(UserId(u), shards));
+            }
+        }
+        // Hashing spreads users over shards (not all in one bucket).
+        let buckets: std::collections::HashSet<usize> =
+            (0..100).map(|u| shard_of(UserId(u), 4)).collect();
+        assert!(buckets.len() > 1);
+    }
+
+    #[test]
+    fn engine_matches_streaming_predictor_per_user() {
+        let (store, m) = model(8, 6);
+        let config = EngineConfig {
+            shards: 3,
+            context_sessions: 2,
+            session_hours: 24,
+            ptta: PttaConfig::default(),
+        };
+        let engine = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config.clone());
+        let mut reference = StreamingPredictor::new(&m, &store, config.ptta.clone(), 2, 24);
+
+        // Interleaved traffic for six users across three shards.
+        for step in 0..12i64 {
+            for u in 0..6u32 {
+                let p = pt((u + step as u32) % 8, step);
+                engine.observe(UserId(u), p);
+                reference.observe(UserId(u), p);
+            }
+        }
+        let now = Timestamp::from_hours(13);
+        for u in 0..6u32 {
+            let from_engine = engine.predict(UserId(u), now);
+            let from_reference = reference.predict(UserId(u), now);
+            match (from_engine, from_reference) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.scores, b.scores, "user {u}");
+                    assert_eq!(a.top, b.top);
+                    assert_eq!(a.window_len, b.window_len);
+                }
+                (a, b) => panic!(
+                    "user {u}: engine {:?} vs reference {:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.observed, 72);
+        assert_eq!(report.predictions, 6);
+        assert_eq!(report.users(), 6);
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.latency.samples, 6);
+        assert!(report.requests_per_sec() > 0.0);
+        assert!(!report.row().is_empty());
+    }
+
+    #[test]
+    fn predict_observes_all_earlier_requests_for_the_user() {
+        // No lost updates: a predict enqueued after N observes must see all
+        // N points in the window.
+        let (store, m) = model(6, 2);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 2,
+                context_sessions: 3,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+            },
+        );
+        for i in 0..5i64 {
+            engine.observe(UserId(1), pt(i as u32 % 6, i));
+        }
+        let p = engine.predict(UserId(1), Timestamp::from_hours(6)).unwrap();
+        assert_eq!(p.window_len, 5);
+        // Unknown user: None, not a panic.
+        assert!(engine
+            .predict(UserId(0), Timestamp::from_hours(6))
+            .is_none());
+        engine.flush();
+        let report = engine.shutdown();
+        assert_eq!(report.observed, 5);
+        assert_eq!(report.predictions, 2);
+    }
+
+    #[test]
+    fn zero_shards_rounds_up_to_one() {
+        let (store, m) = model(4, 1);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 0,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.shards(), 1);
+        engine.observe(UserId(0), pt(1, 0));
+        assert!(engine
+            .predict(UserId(0), Timestamp::from_hours(1))
+            .is_some());
+        engine.shutdown();
+    }
+}

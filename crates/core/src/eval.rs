@@ -4,14 +4,77 @@
 //! ablation and all non-TTA baselines), `Ptta` (AdaMove and its Fig. 4
 //! variants via [`PttaConfig`]), and `T3a` (the comparator). Latency is
 //! wall-clock per sample, feeding the Table III efficiency results.
+//!
+//! The `_par` variants fan samples out over worker threads (see
+//! [`parallel`](crate::parallel)). PTTA adapts per sample with no state
+//! carried across the stream, so chunked evaluation is legal; with the
+//! exact accumulator merge the parallel metrics are bit-identical to the
+//! sequential ones. T3A is stateful across the stream and always runs
+//! sequentially.
 
 use crate::lightmob::LightMob;
 use crate::metrics::{MetricAccumulator, Metrics};
+use crate::parallel::par_map_chunks;
 use crate::ptta::{Ptta, PttaConfig};
 use crate::t3a::{T3a, T3aConfig};
 use adamove_autograd::ParamStore;
 use adamove_mobility::Sample;
 use std::time::{Duration, Instant};
+
+/// Latency distribution of an evaluation or serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyProfile {
+    /// Median per-sample latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-sample latency in microseconds.
+    pub p99_us: f64,
+    /// Completed samples per wall-clock second (reflects parallel speedup,
+    /// unlike the per-sample percentiles which measure compute cost).
+    pub throughput: f64,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+impl LatencyProfile {
+    /// All-zero profile (empty run).
+    pub fn empty() -> Self {
+        Self {
+            p50_us: 0.0,
+            p99_us: 0.0,
+            throughput: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Build from raw per-sample latencies (nanoseconds) and the run's
+    /// total wall-clock time. Percentiles use the nearest-rank method.
+    pub fn from_nanos(mut latencies: Vec<u64>, total: Duration) -> Self {
+        if latencies.is_empty() {
+            return Self::empty();
+        }
+        latencies.sort_unstable();
+        let n = latencies.len();
+        let pick = |q: f64| -> f64 {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            latencies[idx] as f64 / 1_000.0
+        };
+        let secs = total.as_secs_f64();
+        Self {
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            throughput: if secs > 0.0 { n as f64 / secs } else { 0.0 },
+            samples: n,
+        }
+    }
+
+    /// One-line human-readable rendering.
+    pub fn row(&self) -> String {
+        format!(
+            "{:.0} samples/s  p50 {:.1} us  p99 {:.1} us",
+            self.throughput, self.p50_us, self.p99_us
+        )
+    }
+}
 
 /// How scores are produced at test time.
 #[derive(Debug, Clone)]
@@ -29,36 +92,77 @@ pub enum InferenceMode {
 pub struct EvalOutcome {
     /// Accuracy metrics.
     pub metrics: Metrics,
-    /// Mean per-sample inference time in microseconds.
+    /// Mean per-sample inference time in microseconds (compute cost per
+    /// sample, independent of how many workers ran).
     pub avg_latency_us: f64,
     /// Total wall-clock time.
     pub total_time: Duration,
+    /// Per-sample latency percentiles and wall-clock throughput.
+    pub latency: LatencyProfile,
 }
 
-/// Evaluate an arbitrary scoring function over `samples` — the entry point
-/// baselines use (Markov, DeepMove, DeepTTA, ...). The closure may be
-/// stateful (e.g. a T3A-style adapter updating across the stream).
-pub fn evaluate_fn(
-    samples: &[Sample],
+/// Score one chunk of samples, timing each, into a fresh accumulator.
+fn score_chunk(
+    chunk: &[Sample],
     mut score: impl FnMut(&Sample) -> Vec<f32>,
-) -> EvalOutcome {
+) -> (MetricAccumulator, Vec<u64>) {
     let mut acc = MetricAccumulator::new();
-    let start = Instant::now();
-    for s in samples {
+    let mut latencies = Vec::with_capacity(chunk.len());
+    for s in chunk {
+        let t0 = Instant::now();
         let scores = score(s);
+        latencies.push(t0.elapsed().as_nanos() as u64);
         acc.observe(&scores, s.target.index());
     }
-    let total_time = start.elapsed();
-    let avg_latency_us = if samples.is_empty() {
+    (acc, latencies)
+}
+
+/// Assemble an outcome from an accumulator and its per-sample timings.
+fn outcome(acc: &MetricAccumulator, latencies: Vec<u64>, total_time: Duration) -> EvalOutcome {
+    let avg_latency_us = if latencies.is_empty() {
         0.0
     } else {
-        total_time.as_micros() as f64 / samples.len() as f64
+        latencies.iter().sum::<u64>() as f64 / 1_000.0 / latencies.len() as f64
     };
     EvalOutcome {
         metrics: acc.finish(),
         avg_latency_us,
         total_time,
+        latency: LatencyProfile::from_nanos(latencies, total_time),
     }
+}
+
+/// Evaluate an arbitrary scoring function over `samples` — the entry point
+/// baselines use (Markov, DeepMove, DeepTTA, ...). The closure may be
+/// stateful (e.g. a T3A-style adapter updating across the stream).
+pub fn evaluate_fn(samples: &[Sample], score: impl FnMut(&Sample) -> Vec<f32>) -> EvalOutcome {
+    let start = Instant::now();
+    let (acc, latencies) = score_chunk(samples, score);
+    outcome(&acc, latencies, start.elapsed())
+}
+
+/// Parallel [`evaluate_fn`]: samples are split into contiguous chunks, one
+/// worker per chunk, and the per-chunk accumulators are merged exactly —
+/// metrics are bit-identical to the sequential run for any `threads`.
+///
+/// The scoring function must be stateless across samples (`Fn`, not
+/// `FnMut`): per-sample adaptation like PTTA qualifies, stream-stateful
+/// adapters like T3A do not.
+pub fn evaluate_fn_par(
+    samples: &[Sample],
+    threads: usize,
+    score: impl Fn(&Sample) -> Vec<f32> + Sync,
+) -> EvalOutcome {
+    let start = Instant::now();
+    let parts = par_map_chunks(samples, threads, |chunk| score_chunk(chunk, &score));
+    let total_time = start.elapsed();
+    let mut acc = MetricAccumulator::new();
+    let mut latencies = Vec::with_capacity(samples.len());
+    for (part, lat) in parts {
+        acc.merge(&part);
+        latencies.extend(lat);
+    }
+    outcome(&acc, latencies, total_time)
 }
 
 /// Evaluate a scoring function with per-cohort breakdown: samples are
@@ -81,6 +185,37 @@ pub fn evaluate_by<K: Ord>(
     accs.into_iter().map(|(k, a)| (k, a.finish())).collect()
 }
 
+/// Parallel [`evaluate_by`]: each worker builds per-key accumulators for
+/// its chunk; the per-chunk maps are folded together with the exact
+/// accumulator merge, so every cohort's metrics are bit-identical to the
+/// sequential run.
+pub fn evaluate_by_par<K: Ord + Send>(
+    samples: &[Sample],
+    threads: usize,
+    key: impl Fn(&Sample) -> K + Sync,
+    score: impl Fn(&Sample) -> Vec<f32> + Sync,
+) -> std::collections::BTreeMap<K, Metrics> {
+    let parts = par_map_chunks(samples, threads, |chunk| {
+        let mut accs: std::collections::BTreeMap<K, MetricAccumulator> =
+            std::collections::BTreeMap::new();
+        for s in chunk {
+            let scores = score(s);
+            accs.entry(key(s))
+                .or_default()
+                .observe(&scores, s.target.index());
+        }
+        accs
+    });
+    let mut merged: std::collections::BTreeMap<K, MetricAccumulator> =
+        std::collections::BTreeMap::new();
+    for part in parts {
+        for (k, a) in part {
+            merged.entry(k).or_default().merge(&a);
+        }
+    }
+    merged.into_iter().map(|(k, a)| (k, a.finish())).collect()
+}
+
 /// Evaluate `model` over `samples` under `mode`.
 pub fn evaluate(
     model: &LightMob,
@@ -88,42 +223,36 @@ pub fn evaluate(
     samples: &[Sample],
     mode: &InferenceMode,
 ) -> EvalOutcome {
-    let mut acc = MetricAccumulator::new();
-    let start = Instant::now();
+    evaluate_par(model, store, samples, mode, 1)
+}
 
+/// Evaluate `model` over `samples` under `mode` with up to `threads`
+/// workers.
+///
+/// `Frozen` and `Ptta` score each sample independently, so they fan out
+/// and still produce metrics bit-identical to `threads = 1` (contiguous
+/// chunks + exact accumulator merge). `T3a` carries adapter state across
+/// the stream — sample order *is* the algorithm — so it always runs
+/// sequentially regardless of `threads`.
+pub fn evaluate_par(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    mode: &InferenceMode,
+    threads: usize,
+) -> EvalOutcome {
     match mode {
-        InferenceMode::Frozen => {
-            for s in samples {
-                let scores = model.predict_scores(store, &s.recent, s.user);
-                acc.observe(&scores, s.target.index());
-            }
-        }
+        InferenceMode::Frozen => evaluate_fn_par(samples, threads, |s| {
+            model.predict_scores(store, &s.recent, s.user)
+        }),
         InferenceMode::Ptta(cfg) => {
             let ptta = Ptta::new(cfg.clone());
-            for s in samples {
-                let scores = ptta.predict_scores(model, store, s);
-                acc.observe(&scores, s.target.index());
-            }
+            evaluate_fn_par(samples, threads, |s| ptta.predict_scores(model, store, s))
         }
         InferenceMode::T3a(cfg) => {
             let mut t3a = T3a::new(model, store, cfg.clone());
-            for s in samples {
-                let scores = t3a.adapt_and_predict(model, store, s);
-                acc.observe(&scores, s.target.index());
-            }
+            evaluate_fn(samples, |s| t3a.adapt_and_predict(model, store, s))
         }
-    }
-
-    let total_time = start.elapsed();
-    let avg_latency_us = if samples.is_empty() {
-        0.0
-    } else {
-        total_time.as_micros() as f64 / samples.len() as f64
-    };
-    EvalOutcome {
-        metrics: acc.finish(),
-        avg_latency_us,
-        total_time,
     }
 }
 
@@ -140,7 +269,12 @@ mod tests {
             .map(|i| Sample {
                 user: UserId(0),
                 recent: (0..3)
-                    .map(|k| Point::new(((i + k) % 5) as u32, Timestamp::from_hours((i * 3 + k) as i64)))
+                    .map(|k| {
+                        Point::new(
+                            ((i + k) % 5) as u32,
+                            Timestamp::from_hours((i * 3 + k) as i64),
+                        )
+                    })
                     .collect(),
                 history: vec![],
                 target: LocationId(((i + 3) % 5) as u32),
@@ -188,6 +322,76 @@ mod tests {
         let out = evaluate(&m, &store, &[], &InferenceMode::Frozen);
         assert_eq!(out.metrics.count, 0);
         assert_eq!(out.avg_latency_us, 0.0);
+    }
+
+    #[test]
+    fn parallel_metrics_are_bit_identical_to_sequential() {
+        let (store, m) = model();
+        let s = samples(37); // deliberately not a multiple of any thread count
+        for mode in [
+            InferenceMode::Frozen,
+            InferenceMode::Ptta(PttaConfig::default()),
+        ] {
+            let seq = evaluate(&m, &store, &s, &mode);
+            for threads in [2, 3, 4, 8] {
+                let par = evaluate_par(&m, &store, &s, &mode, threads);
+                // Exact equality — not approximate.
+                assert_eq!(par.metrics, seq.metrics, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn t3a_ignores_thread_count_and_stays_sequential() {
+        // T3A's adapter state depends on stream order; the parallel entry
+        // point must produce the same (sequential) result for any budget.
+        let (store, m) = model();
+        let s = samples(16);
+        let mode = InferenceMode::T3a(T3aConfig::default());
+        let one = evaluate_par(&m, &store, &s, &mode, 1);
+        let many = evaluate_par(&m, &store, &s, &mode, 8);
+        assert_eq!(one.metrics, many.metrics);
+    }
+
+    #[test]
+    fn latency_profile_reports_percentiles_and_throughput() {
+        let (store, m) = model();
+        let out = evaluate(&m, &store, &samples(25), &InferenceMode::Frozen);
+        let lat = out.latency;
+        assert_eq!(lat.samples, 25);
+        assert!(lat.p50_us > 0.0);
+        assert!(lat.p99_us >= lat.p50_us);
+        assert!(lat.throughput > 0.0);
+        assert!(!lat.row().is_empty());
+
+        // Known distribution: 1..=100 us.
+        let nanos: Vec<u64> = (1..=100u64).map(|v| v * 1_000).collect();
+        let p = LatencyProfile::from_nanos(nanos, Duration::from_secs(1));
+        assert_eq!(p.p50_us, 50.0);
+        assert_eq!(p.p99_us, 99.0);
+        assert_eq!(p.samples, 100);
+        assert!((p.throughput - 100.0).abs() < 1e-9);
+
+        let e = LatencyProfile::from_nanos(vec![], Duration::from_secs(1));
+        assert_eq!(e.samples, 0);
+        assert_eq!(e.p50_us, 0.0);
+    }
+
+    #[test]
+    fn evaluate_by_par_matches_sequential_cohorts() {
+        let (store, m) = model();
+        let s = samples(31);
+        let ptta = Ptta::default();
+        let seq = evaluate_by(&s, |x| x.target.0, |x| ptta.predict_scores(&m, &store, x));
+        for threads in [2, 5] {
+            let par = evaluate_by_par(
+                &s,
+                threads,
+                |x| x.target.0,
+                |x| ptta.predict_scores(&m, &store, x),
+            );
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

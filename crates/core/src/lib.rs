@@ -18,10 +18,15 @@
 //!   plus the `w/ ent` and `w/ pseudo-label` ablation variants of Fig. 4;
 //! - [`t3a`] — the T3A comparator (Iwasawa & Matsuo, 2021) with its
 //!   entropy filter and pseudo-labels;
-//! - [`metrics`] — Rec@{1,5,10} and MRR@10;
+//! - [`metrics`] — Rec@{1,5,10} and MRR@10, accumulated as an exact rank
+//!   histogram so partial results merge without floating-point drift;
 //! - [`eval`] — the evaluation harness tying a trained model, an inference
 //!   mode (frozen / PTTA / T3A) and a sample set together, with per-sample
-//!   timing for the Table III efficiency comparison.
+//!   timing for the Table III efficiency comparison;
+//! - [`parallel`] — deterministic scoped-thread fan-out used by the `_par`
+//!   evaluation entry points (bit-identical metrics at any thread count);
+//! - [`engine`] — the sharded serving runtime: users hash-partitioned
+//!   across worker shards, each owning its sliding windows and PTTA state.
 
 //! # Example
 //!
@@ -56,11 +61,13 @@
 
 pub mod config;
 pub mod distill;
+pub mod engine;
 pub mod eval;
 pub mod history;
 pub mod kb;
 pub mod lightmob;
 pub mod metrics;
+pub mod parallel;
 pub mod ptta;
 pub mod streaming;
 pub mod t3a;
@@ -68,10 +75,15 @@ pub mod train;
 
 pub use config::{AdaMoveConfig, EncoderKind};
 pub use distill::{distill, DistillConfig};
-pub use eval::{evaluate, evaluate_by, evaluate_fn, EvalOutcome, InferenceMode};
-pub use lightmob::LightMob;
+pub use engine::{EngineConfig, EngineReport, ShardedEngine};
+pub use eval::{
+    evaluate, evaluate_by, evaluate_by_par, evaluate_fn, evaluate_fn_par, evaluate_par,
+    EvalOutcome, InferenceMode, LatencyProfile,
+};
 pub use kb::{HeapTopM, LinearTopM, TopM};
+pub use lightmob::LightMob;
 pub use metrics::{MetricAccumulator, Metrics};
+pub use parallel::{available_threads, par_map, par_map_chunks};
 pub use ptta::{ImportanceStrategy, LabelStrategy, Ptta, PttaConfig, TtaModel};
 pub use streaming::{RecentWindow, StreamingPredictor};
 pub use t3a::{T3a, T3aConfig};

@@ -64,17 +64,28 @@ impl LightMob {
         let hidden = config.hidden;
         let encoder = match config.encoder {
             EncoderKind::Rnn => EncoderImpl::Recurrent(Recurrent::Rnn(RnnCell::new(
-                store, "encoder.rnn", input, hidden, rng,
+                store,
+                "encoder.rnn",
+                input,
+                hidden,
+                rng,
             ))),
             EncoderKind::Gru => EncoderImpl::Recurrent(Recurrent::Gru(GruCell::new(
-                store, "encoder.gru", input, hidden, rng,
+                store,
+                "encoder.gru",
+                input,
+                hidden,
+                rng,
             ))),
             EncoderKind::Lstm => EncoderImpl::Recurrent(Recurrent::Lstm(LstmCell::new(
-                store, "encoder.lstm", input, hidden, rng,
+                store,
+                "encoder.lstm",
+                input,
+                hidden,
+                rng,
             ))),
             EncoderKind::Transformer => {
-                let input_proj =
-                    Linear::new(store, "encoder.input_proj", input, hidden, true, rng);
+                let input_proj = Linear::new(store, "encoder.input_proj", input, hidden, true, rng);
                 let layers = (0..config.transformer_layers)
                     .map(|i| {
                         TransformerEncoderLayer::new(
@@ -91,7 +102,13 @@ impl LightMob {
             }
         };
         Self {
-            loc_emb: Embedding::new(store, "emb.loc", num_locations as usize, config.loc_dim, rng),
+            loc_emb: Embedding::new(
+                store,
+                "emb.loc",
+                num_locations as usize,
+                config.loc_dim,
+                rng,
+            ),
             time_emb: Embedding::new(
                 store,
                 "emb.time",
@@ -100,7 +117,14 @@ impl LightMob {
                 rng,
             ),
             user_emb: Embedding::new(store, "emb.user", num_users as usize, config.user_dim, rng),
-            predictor: Linear::new(store, "predictor", hidden, num_locations as usize, true, rng),
+            predictor: Linear::new(
+                store,
+                "predictor",
+                hidden,
+                num_locations as usize,
+                true,
+                rng,
+            ),
             encoder,
             config,
             num_locations,

@@ -40,12 +40,20 @@ impl Metrics {
 }
 
 /// Streaming accumulator: feed `(scores, target)` pairs, then `finish`.
+///
+/// State is an exact integer histogram of target ranks, so accumulators are
+/// mergeable without any floating-point drift: splitting a sample stream
+/// into chunks, accumulating each chunk independently, and [`merge`]-ing
+/// yields *bit-identical* metrics to one sequential pass, regardless of how
+/// the stream was partitioned. All floating-point arithmetic (the MRR
+/// reciprocal sum, in a fixed rank order) happens once, in [`finish`].
+///
+/// [`merge`]: MetricAccumulator::merge
 #[derive(Debug, Default, Clone)]
 pub struct MetricAccumulator {
-    hits1: usize,
-    hits5: usize,
-    hits10: usize,
-    mrr_sum: f64,
+    /// `rank_hits[r - 1]` counts observations whose target landed at
+    /// (1-based) rank `r`; ranks beyond 10 only contribute to `n`.
+    rank_hits: [usize; 10],
     n: usize,
 }
 
@@ -64,17 +72,20 @@ impl MetricAccumulator {
             scores.len()
         );
         let rank = rank_of(scores, target);
-        if rank <= 1 {
-            self.hits1 += 1;
-        }
-        if rank <= 5 {
-            self.hits5 += 1;
-        }
-        if rank <= 10 {
-            self.hits10 += 1;
-            self.mrr_sum += 1.0 / rank as f64;
+        if (1..=10).contains(&rank) {
+            self.rank_hits[rank - 1] += 1;
         }
         self.n += 1;
+    }
+
+    /// Fold another accumulator's observations into this one. Integer
+    /// histogram addition: exact, order-independent, and associative, so
+    /// parallel chunk evaluation reproduces sequential metrics bit for bit.
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        for (mine, theirs) in self.rank_hits.iter_mut().zip(&other.rank_hits) {
+            *mine += theirs;
+        }
+        self.n += other.n;
     }
 
     /// Number of observations so far.
@@ -87,12 +98,21 @@ impl MetricAccumulator {
         if self.n == 0 {
             return Metrics::zero();
         }
+        let hits = |upto: usize| -> usize { self.rank_hits[..upto].iter().sum() };
+        // Fixed summation order (rank 1 to 10) keeps the f64 result a pure
+        // function of the histogram.
+        let mrr_sum: f64 = self
+            .rank_hits
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 / (i + 1) as f64)
+            .sum();
         let n = self.n as f32;
         Metrics {
-            rec1: self.hits1 as f32 / n,
-            rec5: self.hits5 as f32 / n,
-            rec10: self.hits10 as f32 / n,
-            mrr: (self.mrr_sum / self.n as f64) as f32,
+            rec1: hits(1) as f32 / n,
+            rec5: hits(5) as f32 / n,
+            rec10: hits(10) as f32 / n,
+            mrr: (mrr_sum / self.n as f64) as f32,
             count: self.n,
         }
     }
@@ -152,6 +172,61 @@ mod tests {
         assert_eq!(m.rec1, 0.5);
         assert_eq!(m.rec5, 1.0);
         assert!((m.mrr - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_matches_sequential_accumulation_exactly() {
+        // Deterministic pseudo-random observations split across 3 chunks.
+        let obs: Vec<(Vec<f32>, usize)> = (0..97u64)
+            .map(|i| {
+                let scores: Vec<f32> = (0..20)
+                    .map(|c| {
+                        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(c as u64);
+                        z ^= z >> 29;
+                        (z % 1000) as f32 / 1000.0
+                    })
+                    .collect();
+                (scores, (i % 20) as usize)
+            })
+            .collect();
+
+        let mut sequential = MetricAccumulator::new();
+        for (scores, t) in &obs {
+            sequential.observe(scores, *t);
+        }
+
+        let mut merged = MetricAccumulator::new();
+        for chunk in obs.chunks(obs.len() / 3) {
+            let mut part = MetricAccumulator::new();
+            for (scores, t) in chunk {
+                part.observe(scores, *t);
+            }
+            merged.merge(&part);
+        }
+
+        // Bit-identical, not approximately equal.
+        assert_eq!(sequential.finish(), merged.finish());
+        assert_eq!(merged.count(), 97);
+
+        // Merging in a different chunk order is also exact.
+        let mut reversed = MetricAccumulator::new();
+        for chunk in obs.chunks(obs.len() / 3).rev() {
+            let mut part = MetricAccumulator::new();
+            for (scores, t) in chunk {
+                part.observe(scores, *t);
+            }
+            reversed.merge(&part);
+        }
+        assert_eq!(sequential.finish(), reversed.finish());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc = MetricAccumulator::new();
+        acc.observe(&[1.0, 0.0], 0);
+        let before = acc.finish();
+        acc.merge(&MetricAccumulator::new());
+        assert_eq!(acc.finish(), before);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Scoped-thread fan-out primitives for parallel evaluation.
+//!
+//! Everything here is deterministic by construction: inputs are split into
+//! *contiguous* chunks, each worker owns exactly one chunk, and results are
+//! reassembled in chunk order. Combined with the exact merge of
+//! [`MetricAccumulator`](crate::metrics::MetricAccumulator), a parallel
+//! evaluation reproduces the sequential one bit for bit — thread count and
+//! scheduling only affect wall-clock time, never results.
+//!
+//! Built on `std::thread::scope` only; no extra dependencies, no work
+//! stealing. Chunks are equal-sized, which is the right trade for
+//! evaluation workloads where per-sample cost is roughly uniform.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 when that cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `len` items into at most `threads` contiguous chunks of
+/// near-equal size. Returns the chunk length (at least 1 for non-empty
+/// input).
+fn chunk_len(len: usize, threads: usize) -> usize {
+    let threads = threads.max(1);
+    len.div_ceil(threads).max(1)
+}
+
+/// Apply `f` to every contiguous chunk of `items`, one worker thread per
+/// chunk, and return the per-chunk results in chunk order.
+///
+/// With `threads <= 1` (or a single chunk) everything runs on the calling
+/// thread — no spawn overhead on the sequential path. Results are
+/// positionally identical to `items.chunks(l).map(f).collect()` for the
+/// same chunking, whatever the thread timing.
+pub fn par_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let l = chunk_len(items.len(), threads);
+    if threads <= 1 || l >= items.len() {
+        return items.chunks(l).map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(l)
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        // Joining in spawn order reassembles chunk order.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Apply `f` to every element of `items` across `threads` workers and
+/// return the results in input order.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in par_map_chunks(items, threads, |chunk| {
+        chunk.iter().map(&f).collect::<Vec<R>>()
+    }) {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 3, 4, 7, 16, 200] {
+            let out = par_map(&items, threads, |&x| x * 2);
+            assert_eq!(
+                out,
+                items.iter().map(|&x| x * 2).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_matches_sequential_chunking() {
+        let items: Vec<u32> = (0..50).collect();
+        for threads in [1, 3, 8] {
+            let sums = par_map_chunks(&items, threads, |c| c.iter().sum::<u32>());
+            let total: u32 = sums.iter().sum();
+            assert_eq!(total, items.iter().sum::<u32>());
+            // Chunk count never exceeds the thread budget.
+            assert!(sums.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert!(par_map_chunks(&empty, 8, |c| c.len()).is_empty());
+        assert_eq!(par_map(&[42], 8, |&x| x + 1), vec![43]);
+        assert_eq!(par_map(&[1, 2], 0, |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -380,7 +380,10 @@ mod tests {
             .collect();
         for l in 0..12 {
             if (scores[l] - frozen[l]).abs() > 1e-7 {
-                assert!(predicted.contains(&l), "column {l} changed without a pseudo label");
+                assert!(
+                    predicted.contains(&l),
+                    "column {l} changed without a pseudo label"
+                );
             }
         }
     }

@@ -26,7 +26,10 @@ pub struct RecentWindow {
 impl RecentWindow {
     /// Window over the last `c` sessions of `t_hours` each.
     pub fn new(c: usize, t_hours: i64) -> Self {
-        assert!(c > 0 && t_hours > 0, "RecentWindow: c and T must be positive");
+        assert!(
+            c > 0 && t_hours > 0,
+            "RecentWindow: c and T must be positive"
+        );
         Self {
             horizon_secs: c as i64 * t_hours * HOUR,
             points: Vec::new(),
@@ -51,6 +54,19 @@ impl RecentWindow {
         }
         let pos = self.points.partition_point(|q| q.time <= p.time);
         self.points.insert(pos, p);
+        let keep_from = self.points.partition_point(|q| q.time.0 < cutoff);
+        self.points.drain(..keep_from);
+    }
+
+    /// Evict every point older than the horizon measured back from `now`.
+    ///
+    /// `push` can only evict relative to the newest *buffered* point, so an
+    /// idle user's stale points would otherwise survive forever; callers
+    /// that query at a wall-clock time use this to age the window first.
+    /// `now` earlier than the buffered points is a no-op (the `push` rule
+    /// already bounds the window relative to its newest point).
+    pub fn evict_before(&mut self, now: Timestamp) {
+        let cutoff = now.0 - self.horizon_secs;
         let keep_from = self.points.partition_point(|q| q.time.0 < cutoff);
         self.points.drain(..keep_from);
     }
@@ -127,8 +143,15 @@ impl<'m> StreamingPredictor<'m> {
     /// Predict `user`'s next location from their current window, adapting
     /// the classifier to the window contents (Algorithm 1). Returns `None`
     /// when the window is empty (no evidence to encode).
+    ///
+    /// The window is aged relative to `now` before encoding: an idle user
+    /// whose last check-in fell out of the `c * T` horizon gets `None`
+    /// rather than a prediction from stale context (push-time eviction only
+    /// ages relative to the newest point, which never advances while the
+    /// user is silent).
     pub fn predict(&mut self, user: UserId, now: Timestamp) -> Option<StreamPrediction> {
-        let window = self.windows.get(&user)?;
+        let window = self.windows.get_mut(&user)?;
+        window.evict_before(now);
         if window.is_empty() {
             return None;
         }
@@ -200,6 +223,25 @@ mod tests {
     }
 
     #[test]
+    fn window_evicts_relative_to_query_time() {
+        let mut w = RecentWindow::new(2, 24); // 48h horizon
+        w.push(pt(1, 0));
+        w.push(pt(2, 10));
+        // Aging to a query time inside the horizon keeps everything.
+        w.evict_before(Timestamp::from_hours(40));
+        assert_eq!(w.len(), 2);
+        // Aging past the first point drops it, past both empties the window.
+        w.evict_before(Timestamp::from_hours(49));
+        assert_eq!(w.points()[0].loc, LocationId(2));
+        w.evict_before(Timestamp::from_hours(600));
+        assert!(w.is_empty());
+        // A query time before the buffered points must not evict anything.
+        w.push(pt(3, 700));
+        w.evict_before(Timestamp::from_hours(0));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
     fn window_clear_resets() {
         let mut w = RecentWindow::paper_default(5);
         w.push(pt(1, 0));
@@ -218,13 +260,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut store = ParamStore::new();
         let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 3, &mut rng);
-        let mut sp = StreamingPredictor::new(
-            &model,
-            &store,
-            PttaConfig::default(),
-            2,
-            24,
-        );
+        let mut sp = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
         // No window yet -> no prediction.
         assert!(sp.predict(UserId(0), Timestamp::from_hours(1)).is_none());
 
@@ -244,18 +280,46 @@ mod tests {
     }
 
     #[test]
+    fn idle_user_does_not_serve_stale_points() {
+        // Regression: push-time eviction only ages the window relative to
+        // its newest point, so a user who went silent kept serving
+        // predictions from arbitrarily old context.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 1, &mut rng);
+        let mut sp = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        sp.observe(UserId(0), pt(1, 0));
+        sp.observe(UserId(0), pt(2, 5));
+
+        // Within the 48h horizon: both points are live.
+        let fresh = sp.predict(UserId(0), Timestamp::from_hours(6)).unwrap();
+        assert_eq!(fresh.window_len, 2);
+
+        // 50h later the first point (hour 0) has aged out but the second
+        // (hour 5) is still inside `now - 48`.
+        let partial = sp.predict(UserId(0), Timestamp::from_hours(50)).unwrap();
+        assert_eq!(partial.window_len, 1);
+
+        // A week later everything is stale: no prediction at all.
+        assert!(sp
+            .predict(UserId(0), Timestamp::from_hours(24 * 7))
+            .is_none());
+
+        // The user comes back: the window restarts from the new point.
+        sp.observe(UserId(0), pt(4, 24 * 7 + 1));
+        let back = sp
+            .predict(UserId(0), Timestamp::from_hours(24 * 7 + 2))
+            .unwrap();
+        assert_eq!(back.window_len, 1);
+    }
+
+    #[test]
     fn streaming_prediction_matches_batch_ptta() {
         // The streaming path must be exactly Algorithm 1 over the window.
         let mut rng = StdRng::seed_from_u64(9);
         let mut store = ParamStore::new();
         let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 1, &mut rng);
-        let mut sp = StreamingPredictor::new(
-            &model,
-            &store,
-            PttaConfig::default(),
-            3,
-            24,
-        );
+        let mut sp = StreamingPredictor::new(&model, &store, PttaConfig::default(), 3, 24);
         let stream = [pt(1, 0), pt(2, 3), pt(4, 6), pt(2, 9)];
         for p in stream {
             sp.observe(UserId(0), p);

@@ -218,11 +218,7 @@ mod tests {
     #[test]
     fn capacity_bounds_supports_per_class() {
         let (store, m) = model();
-        let mut t3a = T3a::new(
-            &m,
-            &store,
-            T3aConfig { capacity: 2 },
-        );
+        let mut t3a = T3a::new(&m, &store, T3aConfig { capacity: 2 });
         // Same input repeatedly lands in the same pseudo-class.
         for _ in 0..10 {
             let s = sample(&[1, 1, 1]);

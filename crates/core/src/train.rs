@@ -202,7 +202,10 @@ impl Trainer {
         mut forward: impl FnMut(&mut Graph, &Sample) -> (Var, Option<Var>),
         mut score: impl FnMut(&ParamStore, &Sample) -> Vec<f32>,
     ) -> TrainReport {
-        assert!(!train.is_empty(), "Trainer::fit_generic: no training samples");
+        assert!(
+            !train.is_empty(),
+            "Trainer::fit_generic: no training samples"
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut optimizer = Adam::new();
         let mut scheduler = PlateauScheduler::new(

@@ -96,7 +96,7 @@ pub fn similarity_decay(dataset: &Dataset, history_days: i64) -> Vec<SimilarityP
             continue;
         }
         let hist = visit_distribution(&hist_points, dataset.num_locations);
-        for b in 0..num_buckets {
+        for (b, slot) in accum.iter_mut().enumerate() {
             let start = history_end + b as i64 * BIWEEK;
             let end = start + BIWEEK;
             let bucket: Vec<Point> = tr
@@ -110,8 +110,8 @@ pub fn similarity_decay(dataset: &Dataset, history_days: i64) -> Vec<SimilarityP
             }
             let dist = visit_distribution(&bucket, dataset.num_locations);
             let sim = cosine_similarity(&hist, &dist);
-            accum[b].0 += sim;
-            accum[b].1 += 1;
+            slot.0 += sim;
+            slot.1 += 1;
         }
     }
 
@@ -176,7 +176,12 @@ mod tests {
         let decay = similarity_decay(&ds, 90);
         assert!(!decay.is_empty());
         for p in &decay {
-            assert!((p.similarity - 1.0).abs() < 1e-6, "week {}: {}", p.week, p.similarity);
+            assert!(
+                (p.similarity - 1.0).abs() < 1e-6,
+                "week {}: {}",
+                p.week,
+                p.similarity
+            );
         }
     }
 
@@ -193,7 +198,11 @@ mod tests {
         let decay = similarity_decay(&ds, 90);
         assert!(!decay.is_empty());
         for p in &decay {
-            assert!(p.similarity.abs() < 1e-6, "expected orthogonal, got {}", p.similarity);
+            assert!(
+                p.similarity.abs() < 1e-6,
+                "expected orthogonal, got {}",
+                p.similarity
+            );
         }
     }
 
@@ -206,7 +215,11 @@ mod tests {
         cfg.shift_at = 0.55; // hard shifts land after the history window
         let ds = generate(&cfg);
         let decay = similarity_decay(&ds, 90);
-        assert!(decay.len() >= 4, "need several buckets, got {}", decay.len());
+        assert!(
+            decay.len() >= 4,
+            "need several buckets, got {}",
+            decay.len()
+        );
         let first = decay.first().unwrap().similarity;
         let last = decay.last().unwrap().similarity;
         assert!(

@@ -240,8 +240,7 @@ mod tests {
             .map(|u| {
                 // Two 72h windows with 5 points each: hours 0..40 step 10
                 // (window 0) and 80..120 step 10 (window 1).
-                let mut points: Vec<Point> =
-                    (0..5).map(|i| pt(i % 3, i as i64 * 10)).collect();
+                let mut points: Vec<Point> = (0..5).map(|i| pt(i % 3, i as i64 * 10)).collect();
                 points.extend((0..5).map(|i| pt(i % 3, 80 + i as i64 * 10)));
                 Trajectory::new(UserId(u), points)
             })

@@ -479,9 +479,7 @@ mod tests {
         let daytime: Vec<_> = tr
             .points
             .iter()
-            .filter(|p| {
-                !p.time.is_weekend() && (9..=17).contains(&p.time.hour_of_day())
-            })
+            .filter(|p| !p.time.is_weekend() && (9..=17).contains(&p.time.hour_of_day()))
             .collect();
         assert!(daytime.len() > 20);
         let mut counts = std::collections::HashMap::new();
@@ -546,11 +544,7 @@ mod tests {
         assert_ne!(work_before, work_after);
     }
 
-    fn modal_work_location(
-        tr: &Trajectory,
-        from_day: i64,
-        to_day: i64,
-    ) -> Option<LocationId> {
+    fn modal_work_location(tr: &Trajectory, from_day: i64, to_day: i64) -> Option<LocationId> {
         let mut counts = std::collections::HashMap::new();
         for p in &tr.points {
             let d = p.time.days();

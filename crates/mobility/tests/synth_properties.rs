@@ -144,8 +144,10 @@ fn leisure_routes_are_sequential() {
     cfg.weekly_drift = 0.0;
     cfg.shift_fraction = 0.0;
     let ds = generate(&cfg);
-    let mut transitions: std::collections::HashMap<(u32, u32), std::collections::HashMap<u32, u32>> =
-        std::collections::HashMap::new();
+    let mut transitions: std::collections::HashMap<
+        (u32, u32),
+        std::collections::HashMap<u32, u32>,
+    > = std::collections::HashMap::new();
     for tr in &ds.trajectories {
         for w in tr.points.windows(2) {
             let (a, b) = (w[0], w[1]);

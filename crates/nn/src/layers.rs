@@ -30,7 +30,10 @@ impl Linear {
         bias: bool,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.register(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let w = store.register(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = bias.then(|| store.register(format!("{name}.b"), Matrix::zeros(1, out_dim)));
         Self {
             w,
@@ -122,7 +125,10 @@ impl RnnCell {
         rng: &mut impl Rng,
     ) -> Self {
         Self {
-            w: store.register(format!("{name}.w"), init::xavier_uniform(input, hidden, rng)),
+            w: store.register(
+                format!("{name}.w"),
+                init::xavier_uniform(input, hidden, rng),
+            ),
             u: store.register(format!("{name}.u"), init::recurrent(hidden, hidden, rng)),
             b: store.register(format!("{name}.b"), Matrix::zeros(1, hidden)),
             hidden,
@@ -176,7 +182,10 @@ impl GruCell {
                 init::recurrent(hidden, 2 * hidden, rng),
             ),
             b_rz: store.register(format!("{name}.b_rz"), Matrix::zeros(1, 2 * hidden)),
-            w_n: store.register(format!("{name}.w_n"), init::xavier_uniform(input, hidden, rng)),
+            w_n: store.register(
+                format!("{name}.w_n"),
+                init::xavier_uniform(input, hidden, rng),
+            ),
             u_n: store.register(format!("{name}.u_n"), init::recurrent(hidden, hidden, rng)),
             b_n: store.register(format!("{name}.b_n"), Matrix::zeros(1, hidden)),
             hidden,
@@ -237,8 +246,14 @@ impl LstmCell {
             bias.set(0, c, 1.0);
         }
         Self {
-            w: store.register(format!("{name}.w"), init::xavier_uniform(input, 4 * hidden, rng)),
-            u: store.register(format!("{name}.u"), init::recurrent(hidden, 4 * hidden, rng)),
+            w: store.register(
+                format!("{name}.w"),
+                init::xavier_uniform(input, 4 * hidden, rng),
+            ),
+            u: store.register(
+                format!("{name}.u"),
+                init::recurrent(hidden, 4 * hidden, rng),
+            ),
             b: store.register(format!("{name}.b"), bias),
             hidden,
         }
@@ -370,7 +385,10 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "attention: dim {dim} not divisible by heads {heads}");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "attention: dim {dim} not divisible by heads {heads}"
+        );
         Self {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
             wk: Linear::new(store, &format!("{name}.wk"), dim, dim, false, rng),

@@ -43,9 +43,8 @@ impl Optimizer for Sgd {
                     .expect("sgd: param/grad shape mismatch");
                 continue;
             }
-            let v = self.velocity[id.index()].get_or_insert_with(|| {
-                Matrix::zeros(grad.rows(), grad.cols())
-            });
+            let v = self.velocity[id.index()]
+                .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             // v = momentum * v + grad ; w -= lr * v
             v.map_inplace(|x| x * self.momentum);
             v.add_assign(grad).expect("sgd velocity shape");

@@ -94,8 +94,7 @@ pub fn from_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointErr
     }
     // Verify coverage.
     let parsed: Vec<ParamRecord> = serde_json::from_str(json)?;
-    let names: std::collections::HashSet<&str> =
-        parsed.iter().map(|r| r.name.as_str()).collect();
+    let names: std::collections::HashSet<&str> = parsed.iter().map(|r| r.name.as_str()).collect();
     for (_, p) in store.iter() {
         if !names.contains(p.name.as_str()) {
             return Err(CheckpointError::Mismatch(format!(

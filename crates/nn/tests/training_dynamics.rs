@@ -131,10 +131,7 @@ fn info_nce_aligns_positive_pairs() {
             let zv = g.constant(z.clone());
             let a = enc_a.forward(&mut g, zv);
             let b = enc_b.forward(&mut g, zv);
-            total += adamove_tensor::stats::cosine_similarity(
-                g.value(a).row(0),
-                g.value(b).row(0),
-            );
+            total += adamove_tensor::stats::cosine_similarity(g.value(a).row(0), g.value(b).row(0));
         }
         total / latents.len() as f32
     };

@@ -67,8 +67,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = normal(100, 100, 0.5, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (m.len() - 1) as f32;
+        let var =
+            m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (m.len() - 1) as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }

@@ -64,7 +64,11 @@ impl Matrix {
     /// A `1 x n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { rows: 1, cols, data }
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -391,7 +395,7 @@ impl Matrix {
 
     /// Index of the maximum element in each row.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        self.iter_rows().map(|row| argmax(row)).collect()
+        self.iter_rows().map(argmax).collect()
     }
 
     /// Stack row vectors (each `1 x cols` or plain slices) into one matrix.
@@ -441,24 +445,43 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Numerically stable in-place softmax over a slice.
+///
+/// Degenerate rows fall back to the uniform distribution `1/n` instead of
+/// being left unnormalised: a row of all `-inf` logits (max is non-finite,
+/// so `exp(-inf - -inf)` would produce NaN), a row containing NaN, or a row
+/// whose shifted exponentials all underflow to zero. The output is therefore
+/// always a probability distribution for non-empty input.
 pub fn softmax_inplace(row: &mut [f32]) {
     if row.is_empty() {
         return;
     }
+    let uniform = 1.0 / row.len() as f32;
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        // All -inf (no finite logit to anchor the shift) or some NaN.
+        row.fill(uniform);
+        return;
+    }
     let mut sum = 0.0;
     for v in row.iter_mut() {
         *v = (*v - max).exp();
         sum += *v;
     }
-    if sum > 0.0 {
+    // With a finite max at least one term is exp(0) = 1, so sum >= 1 unless
+    // a NaN slipped through the fold; guard both that and underflow.
+    if sum.is_finite() && sum > 0.0 {
         for v in row.iter_mut() {
             *v /= sum;
         }
+    } else {
+        row.fill(uniform);
     }
 }
 
-/// Index of the maximum element (first on ties); 0 for an empty slice.
+/// Index of the maximum element; 0 for an empty slice.
+///
+/// Ties resolve to the first (lowest-index) maximum, and NaN entries never
+/// win (`v > best` is false for NaN) — an all-NaN row yields index 0.
 pub fn argmax(row: &[f32]) -> usize {
     row.iter()
         .enumerate()
@@ -623,6 +646,51 @@ mod tests {
         let a = m(2, 3, &[1., 5., 5., -1., -2., -3.]);
         assert_eq!(a.argmax_rows(), vec![1, 0]);
         assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn argmax_ignores_nan_entries() {
+        // NaN never compares greater, so it cannot win over a finite value.
+        assert_eq!(argmax(&[f32::NAN, 2.0, 1.0]), 1);
+        assert_eq!(argmax(&[0.5, f32::NAN, 3.0]), 2);
+        // All-NaN falls through to the initial index.
+        assert_eq!(argmax(&[f32::NAN, f32::NAN]), 0);
+        // -inf loses to any finite value; all -inf picks the first.
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1e30]), 1);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]), 0);
+    }
+
+    #[test]
+    fn softmax_inplace_degenerate_rows_become_uniform() {
+        // All -inf: exp(-inf - -inf) would be NaN without the guard.
+        let mut row = [f32::NEG_INFINITY; 4];
+        softmax_inplace(&mut row);
+        assert!(row.iter().all(|&v| (v - 0.25).abs() < 1e-7), "{row:?}");
+
+        // A NaN logit poisons max; fall back to uniform, not a NaN row.
+        let mut row = [1.0, f32::NAN, 0.0];
+        softmax_inplace(&mut row);
+        assert!(row.iter().all(|&v| (v - 1.0 / 3.0).abs() < 1e-7), "{row:?}");
+
+        // Mixed -inf and finite logits still behave: the -inf column gets
+        // probability zero and the rest normalise.
+        let mut row = [f32::NEG_INFINITY, 0.0, 0.0];
+        softmax_inplace(&mut row);
+        assert_eq!(row[0], 0.0);
+        assert!((row[1] - 0.5).abs() < 1e-6 && (row[2] - 0.5).abs() < 1e-6);
+
+        // Empty rows are untouched.
+        let mut empty: [f32; 0] = [];
+        softmax_inplace(&mut empty);
+
+        // Every non-empty output is a probability distribution.
+        for logits in [[-1e30f32, -1e30, -1e30], [800.0, -800.0, 0.0]] {
+            let mut row = logits;
+            softmax_inplace(&mut row);
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "{logits:?} -> {row:?}");
+            assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
     }
 
     #[test]

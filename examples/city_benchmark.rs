@@ -53,7 +53,10 @@ fn main() {
         ..TrainingConfig::default()
     };
 
-    println!("{:<22} {:>7} {:>7} {:>7} {:>7}", "method", "Rec@1", "Rec@5", "Rec@10", "MRR");
+    println!(
+        "{:<22} {:>7} {:>7} {:>7} {:>7}",
+        "method", "Rec@1", "Rec@5", "Rec@10", "MRR"
+    );
 
     // Statistical baselines.
     let markov = MarkovBaseline::fit(num_locations, &train);
@@ -109,6 +112,12 @@ fn main() {
     );
     let attention = HistoryAttention::new(&mut store, light.config.hidden, &mut rng);
     Trainer::new(train_cfg).fit(&light, Some(&attention), &mut store, &train, &val);
-    let m = evaluate(&light, &store, &test, &InferenceMode::Ptta(PttaConfig::default())).metrics;
+    let m = evaluate(
+        &light,
+        &store,
+        &test,
+        &InferenceMode::Ptta(PttaConfig::default()),
+    )
+    .metrics;
     println!("{:<22} {}", "AdaMove (ours)", m.row());
 }

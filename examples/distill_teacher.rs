@@ -77,7 +77,9 @@ fn main() {
         &mut rng,
     );
     Trainer::new(train_cfg.clone()).fit(&plain, None, &mut plain_store, &train, &val);
-    let plain_out = evaluate_fn(&test, |s| plain.predict_scores(&plain_store, &s.recent, s.user));
+    let plain_out = evaluate_fn(&test, |s| {
+        plain.predict_scores(&plain_store, &s.recent, s.user)
+    });
 
     // 3. Student B: LightMob distilled from the teacher.
     println!("distilling student from teacher...");
@@ -113,9 +115,21 @@ fn main() {
 
     println!("\n{:<28} Rec@1   Rec@5   Rec@10  MRR", "model");
     println!("{:<28} {}", "DeepMove teacher", teacher_out.metrics.row());
-    println!("{:<28} {}", "student (hard labels)", plain_out.metrics.row());
-    println!("{:<28} {}", "student (distilled)", distilled_out.metrics.row());
-    println!("{:<28} {}", "student (distilled) + PTTA", adapted_out.metrics.row());
+    println!(
+        "{:<28} {}",
+        "student (hard labels)",
+        plain_out.metrics.row()
+    );
+    println!(
+        "{:<28} {}",
+        "student (distilled)",
+        distilled_out.metrics.row()
+    );
+    println!(
+        "{:<28} {}",
+        "student (distilled) + PTTA",
+        adapted_out.metrics.row()
+    );
     println!(
         "\nThe distilled student consumes only the recent trajectory at inference;\nsoft teacher targets transfer history knowledge the hard labels cannot."
     );

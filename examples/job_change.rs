@@ -112,7 +112,10 @@ fn main() {
     let ptta = Ptta::new(PttaConfig::default());
     let adapted_scores = ptta.predict_scores(&model, &store, &query);
 
-    println!("Alice is at {} at 19:00 after three days in the new job.", name(OFFICE2));
+    println!(
+        "Alice is at {} at 19:00 after three days in the new job.",
+        name(OFFICE2)
+    );
     println!("ground truth next location: {}\n", name(BAR2));
     println!("{:<12} {:>10} {:>10}", "location", "frozen", "adapted");
     for l in 0..NUM_LOCATIONS {

@@ -77,7 +77,12 @@ fn main() {
 
     // 5. Evaluate: frozen vs preference-aware test-time adaptation.
     let frozen = evaluate(&model, &store, &test, &InferenceMode::Frozen);
-    let adapted = evaluate(&model, &store, &test, &InferenceMode::Ptta(PttaConfig::default()));
+    let adapted = evaluate(
+        &model,
+        &store,
+        &test,
+        &InferenceMode::Ptta(PttaConfig::default()),
+    );
     println!("\n           Rec@1   Rec@5   Rec@10  MRR");
     println!("frozen     {}", frozen.metrics.row());
     println!("AdaMove    {}", adapted.metrics.row());

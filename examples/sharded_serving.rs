@@ -1,0 +1,116 @@
+//! Sharded serving: the deployment shape behind the paper's "real-time
+//! applications" claim (§III-B) at multi-user scale.
+//!
+//! A [`ShardedEngine`] partitions users across worker shards by a stable
+//! hash; each shard owns its users' sliding windows and adapts the
+//! classifier per predict (Algorithm 1). This demo trains a small model on
+//! a synthetic city, replays the test region as live observe/predict
+//! traffic through the engine, and prints the serving report — shard
+//! occupancy, throughput and p50/p99 predict latency.
+//!
+//! Run with: `cargo run --release --example sharded_serving`
+
+use adamove::{
+    AdaMoveConfig, EngineConfig, LightMob, PttaConfig, ShardedEngine, Trainer, TrainingConfig,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::synth::{generate, Scale};
+use adamove_mobility::{
+    make_samples, preprocess, CityPreset, PreprocessConfig, SampleConfig, Split, Timestamp,
+};
+use adamove_tensor::matrix::argmax;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // A small shifted city, trained briefly — enough for the engine to
+    // have plausible scores to serve.
+    let mut cfg = CityPreset::Nyc.config(Scale::Small);
+    cfg.num_users = 30;
+    cfg.days = 50;
+    cfg.seed = 77;
+    let raw = generate(&cfg);
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    let mut train = make_samples(&data, Split::Train, &SampleConfig::train());
+    train.truncate(1500);
+    let val = make_samples(&data, Split::Val, &SampleConfig::eval(5));
+    let test = make_samples(&data, Split::Test, &SampleConfig::eval(5));
+    println!(
+        "city: {} users, {} locations, {} train / {} test samples",
+        data.num_users(),
+        data.num_locations,
+        train.len(),
+        test.len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            loc_dim: 16,
+            time_dim: 8,
+            user_dim: 8,
+            hidden: 24,
+            lambda: 0.0,
+            ..AdaMoveConfig::default()
+        },
+        data.num_locations,
+        data.num_users() as u32,
+        &mut rng,
+    );
+    println!("training...");
+    Trainer::new(TrainingConfig {
+        max_epochs: 4,
+        batch_size: 50,
+        val_subsample: Some(200),
+        verbose: false,
+        ..TrainingConfig::default()
+    })
+    .fit(&model, None, &mut store, &train, &val);
+
+    // Serve: replay each test sample as traffic. The sample's recent
+    // points arrive as observes; the predict then scores the true next
+    // location the same way the offline PTTA evaluation would.
+    let shards = adamove::available_threads();
+    let engine = ShardedEngine::new(
+        Arc::new(model),
+        Arc::new(store),
+        EngineConfig {
+            shards,
+            context_sessions: 5,
+            session_hours: 72,
+            ptta: PttaConfig::default(),
+        },
+    );
+    println!("serving {} requests over {shards} shards...", test.len());
+    let mut hits = 0usize;
+    let mut answered = 0usize;
+    for s in &test {
+        for &p in &s.recent {
+            engine.observe(s.user, p);
+        }
+        let now = Timestamp(s.target_time.0);
+        if let Some(pred) = engine.predict(s.user, now) {
+            answered += 1;
+            if argmax(&pred.scores) == s.target.index() {
+                hits += 1;
+            }
+        }
+    }
+    let report = engine.shutdown();
+
+    println!("\nserving report: {}", report.row());
+    println!(
+        "total requests/s (observe + predict): {:.0}",
+        report.requests_per_sec()
+    );
+    println!(
+        "online Rec@1: {:.4} over {answered} answered predicts",
+        hits as f64 / answered.max(1) as f64
+    );
+    println!(
+        "\nEvery user's requests land on one shard in FIFO order, so this run's\nper-user predictions match a single-threaded StreamingPredictor exactly;\nshard count only moves the throughput line."
+    );
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+# Usage: scripts/check.sh
+#
+# Runs against the real crates-io dependencies and therefore needs network
+# (or a primed cargo cache). For fully-offline development against the
+# API-compatible stubs in .devstubs/, use scripts/offline-check.sh instead.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+echo "check.sh: all gates green"

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run cargo against the offline dependency stubs in .devstubs/.
+#
+# For fully offline development boxes with an empty cargo registry: the
+# stubs are injected with a transient `.cargo/config.toml` holding
+# `[patch.crates-io]` entries (removed on exit), so the committed manifests
+# keep depending on the real crates. A config *file* rather than
+# `--config` CLI flags because subcommands like `cargo clippy` re-invoke
+# cargo internally and would drop CLI-level config. Artifacts go to
+# target-offline/ and the stub-resolved Cargo.lock is kept out of the way
+# so a normal networked `cargo build` is unaffected.
+#
+# Usage: scripts/offline-check.sh <cargo-subcommand> [args...]
+#   e.g. scripts/offline-check.sh check --workspace --all-targets
+#        scripts/offline-check.sh test -q
+#        scripts/offline-check.sh clippy --workspace -- -D warnings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STUBS="$PWD/.devstubs"
+LOCK_KEEP="$STUBS/Cargo.lock.offline"
+CONFIG=.cargo/config.toml
+
+if [ -e "$CONFIG" ]; then
+    echo "offline-check.sh: refusing to overwrite existing $CONFIG" >&2
+    exit 1
+fi
+
+cleanup() {
+    rm -f "$CONFIG"
+    rmdir .cargo 2>/dev/null || true
+    # The stub-resolved lockfile must never shadow a real resolution.
+    if [ -f Cargo.lock ]; then
+        mv Cargo.lock "$LOCK_KEEP"
+    fi
+}
+trap cleanup EXIT
+
+# Reuse the previous stub resolution if we have one.
+if [ -f "$LOCK_KEEP" ] && [ ! -f Cargo.lock ]; then
+    cp "$LOCK_KEEP" Cargo.lock
+fi
+
+mkdir -p .cargo
+{
+    echo "[patch.crates-io]"
+    for dep in rand serde serde_json proptest criterion; do
+        echo "${dep} = { path = \"${STUBS}/${dep}\" }"
+    done
+} > "$CONFIG"
+
+CARGO_TARGET_DIR="$PWD/target-offline" CARGO_NET_OFFLINE=true cargo "$@"

@@ -21,10 +21,7 @@ struct World {
 }
 
 /// Keep at most `cap` samples, taking every k-th so all users stay covered.
-fn stride_cap(
-    samples: Vec<adamove_mobility::Sample>,
-    cap: usize,
-) -> Vec<adamove_mobility::Sample> {
+fn stride_cap(samples: Vec<adamove_mobility::Sample>, cap: usize) -> Vec<adamove_mobility::Sample> {
     if samples.len() <= cap {
         return samples;
     }
@@ -133,7 +130,9 @@ fn adamove_beats_t3a_under_shift() {
 fn checkpoint_round_trip_preserves_predictions() {
     let w = build_world(7);
     let sample = &w.test[0];
-    let before = w.model.predict_scores(&w.store, &sample.recent, sample.user);
+    let before = w
+        .model
+        .predict_scores(&w.store, &sample.recent, sample.user);
 
     // Serialise, rebuild the same architecture fresh, load, and compare.
     let json = adamove_nn::serialize::to_json(&w.store);

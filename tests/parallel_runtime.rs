@@ -1,0 +1,182 @@
+//! Cross-crate integration for the parallel runtime: the `_par` evaluation
+//! entry points must be bit-identical to their sequential counterparts on
+//! real pipeline data, and the sharded serving engine must match a single
+//! [`StreamingPredictor`] fed the same per-user traffic — including under
+//! concurrent clients.
+
+use adamove::{
+    evaluate, evaluate_by, evaluate_by_par, evaluate_par, AdaMoveConfig, EngineConfig,
+    InferenceMode, LightMob, PttaConfig, ShardedEngine, StreamingPredictor,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::synth::{generate, Scale};
+use adamove_mobility::{
+    make_samples, preprocess, CityPreset, Point, PreprocessConfig, Sample, SampleConfig, Split,
+    Timestamp, UserId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A small shifted city's test samples plus an (untrained) model sized for
+/// it. Untrained weights are fine here: these tests check numerical
+/// equivalence between execution strategies, not accuracy.
+fn pipeline_world(seed: u64) -> (ParamStore, LightMob, Vec<Sample>) {
+    let mut cfg = CityPreset::Nyc.config(Scale::Small);
+    cfg.num_users = 25;
+    cfg.days = 70;
+    cfg.seed = seed;
+    let raw = generate(&cfg);
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    let mut test = make_samples(&data, Split::Test, &SampleConfig::eval(5));
+    assert!(test.len() > 40, "expected a non-trivial test set");
+    test.truncate(120);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        data.num_locations,
+        data.num_users() as u32,
+        &mut rng,
+    );
+    (store, model, test)
+}
+
+#[test]
+fn parallel_evaluation_is_bit_identical_on_pipeline_data() {
+    let (store, model, test) = pipeline_world(5);
+    for mode in [
+        InferenceMode::Frozen,
+        InferenceMode::Ptta(PttaConfig::default()),
+    ] {
+        let seq = evaluate(&model, &store, &test, &mode);
+        for threads in [2, 4, 9] {
+            let par = evaluate_par(&model, &store, &test, &mode, threads);
+            // Exact equality: rank histograms merge without float drift.
+            assert_eq!(par.metrics, seq.metrics, "threads={threads}");
+            assert_eq!(par.latency.samples, test.len());
+        }
+    }
+}
+
+#[test]
+fn parallel_cohort_evaluation_matches_sequential() {
+    let (store, model, test) = pipeline_world(6);
+    let score = |s: &Sample| model.predict_scores(&store, &s.recent, s.user);
+    let seq = evaluate_by(&test, |s| s.user.0 % 3, score);
+    for threads in [2, 5] {
+        let par = evaluate_by_par(&test, threads, |s| s.user.0 % 3, score);
+        assert_eq!(par, seq, "threads={threads}");
+    }
+}
+
+#[test]
+fn sharded_engine_matches_streaming_predictor_on_pipeline_traffic() {
+    // Replay every test sample's recent points as live traffic, then ask
+    // both the engine and a sequential reference for each user's next
+    // location at the same wall-clock time.
+    let (store, model, test) = pipeline_world(7);
+    let (c, t_hours) = (5usize, 72i64);
+    let (model, store) = (Arc::new(model), Arc::new(store));
+    let mut reference = StreamingPredictor::new(&model, &store, PttaConfig::default(), c, t_hours);
+    let engine = ShardedEngine::new(
+        Arc::clone(&model),
+        Arc::clone(&store),
+        EngineConfig {
+            shards: 4,
+            context_sessions: c,
+            session_hours: t_hours,
+            ptta: PttaConfig::default(),
+        },
+    );
+
+    let mut users: Vec<UserId> = Vec::new();
+    let mut latest = Timestamp(0);
+    for s in test.iter().take(60) {
+        if !users.contains(&s.user) {
+            users.push(s.user);
+        }
+        for &p in &s.recent {
+            engine.observe(s.user, p);
+            reference.observe(s.user, p);
+            latest = latest.max(p.time);
+        }
+    }
+    let now = Timestamp(latest.0 + 1);
+    for &user in &users {
+        let ours = engine.predict(user, now);
+        let theirs = reference.predict(user, now);
+        match (ours, theirs) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.scores, b.scores, "user {user:?}");
+                assert_eq!(a.top, b.top);
+                assert_eq!(a.window_len, b.window_len);
+            }
+            (None, None) => {}
+            (a, b) => panic!(
+                "user {user:?}: engine {:?} vs reference {:?}",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.predictions, users.len());
+    assert_eq!(report.users(), reference.active_users());
+    assert_eq!(report.shards, 4);
+}
+
+#[test]
+fn engine_survives_concurrent_clients_without_losing_updates() {
+    // Four client threads drive disjoint users through the same engine.
+    // Per-user FIFO ordering must hold regardless of cross-client timing:
+    // every user's final window holds exactly their own observations.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 12, 16, &mut rng);
+    let engine = ShardedEngine::new(
+        Arc::new(model),
+        Arc::new(store),
+        EngineConfig {
+            shards: 3,
+            context_sessions: 5,
+            session_hours: 72,
+            ptta: PttaConfig::default(),
+        },
+    );
+
+    const CLIENTS: u32 = 4;
+    const USERS_PER_CLIENT: u32 = 4;
+    const OBSERVES_PER_USER: usize = 6;
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let engine = &engine;
+            scope.spawn(move || {
+                for step in 0..OBSERVES_PER_USER {
+                    for u in 0..USERS_PER_CLIENT {
+                        let user = UserId(client * USERS_PER_CLIENT + u);
+                        let p = Point::new(
+                            (user.0 + step as u32) % 12,
+                            Timestamp::from_hours(step as i64),
+                        );
+                        engine.observe(user, p);
+                        // Interleave predicts with observes: each must see
+                        // every earlier observe for this user.
+                        let got = engine
+                            .predict(user, Timestamp::from_hours(step as i64 + 1))
+                            .expect("window is non-empty");
+                        assert_eq!(got.window_len, step + 1, "user {user:?}");
+                    }
+                }
+            });
+        }
+    });
+    let report = engine.shutdown();
+    let total_users = (CLIENTS * USERS_PER_CLIENT) as usize;
+    assert_eq!(report.observed, total_users * OBSERVES_PER_USER);
+    assert_eq!(report.predictions, total_users * OBSERVES_PER_USER);
+    assert_eq!(report.users(), total_users);
+    assert_eq!(report.latency.samples, report.predictions);
+}

@@ -10,7 +10,8 @@ use proptest::prelude::*;
 /// Strategy: a random raw dataset with up to 20 users, 15 locations and
 /// points across up to 40 days.
 fn raw_dataset() -> impl Strategy<Value = Dataset> {
-    let point = (0u32..15, 0i64..40 * 24).prop_map(|(loc, h)| Point::new(loc, Timestamp::from_hours(h)));
+    let point =
+        (0u32..15, 0i64..40 * 24).prop_map(|(loc, h)| Point::new(loc, Timestamp::from_hours(h)));
     let user_points = prop::collection::vec(point, 0..120);
     prop::collection::vec(user_points, 1..20).prop_map(|users| Dataset {
         name: "prop".into(),
