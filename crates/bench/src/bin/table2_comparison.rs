@@ -12,8 +12,9 @@
 //!
 //! Evaluation fans out over `--threads` workers (default: available
 //! parallelism). Metrics are bit-identical at any thread count; when
-//! `--threads > 1` this binary re-runs the AdaMove evaluation sequentially
-//! and asserts exact metric equality as a self-check.
+//! `--threads > 1` this binary runs `adamove-testkit`'s differential
+//! oracle on the AdaMove evaluation — sequential vs parallel metrics and
+//! per-sample ranks — as a self-check.
 
 use adamove::{evaluate_fn_par, evaluate_par, EncoderKind, InferenceMode, Metrics, PttaConfig};
 use adamove_autograd::ParamStore;
@@ -22,6 +23,7 @@ use adamove_baselines::{DeepMove, HeuristicMob, MarkovBaseline, PopularityBaseli
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
 use adamove_bench::report::{metrics_row, render_table, write_json};
 use adamove_mobility::CityPreset;
+use adamove_testkit::check_parallel_equivalence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -199,17 +201,20 @@ fn main() {
             args.threads,
         );
         if args.threads > 1 {
-            // Self-check: the parallel fan-out must reproduce the
-            // sequential metrics bit for bit (contiguous chunks + exact
+            // Self-check via the shared testkit oracle: full coverage,
+            // metrics bit-identical to a sequential run, and every
+            // per-sample rank equal (contiguous chunks + exact
             // accumulator merge).
-            let seq = evaluate_par(&adamove.model, &adamove.store, &city.test, &ptta_mode, 1);
-            assert_eq!(
-                ada_out.metrics, seq.metrics,
-                "parallel metrics diverged from sequential (threads={})",
-                args.threads
-            );
+            check_parallel_equivalence(
+                &adamove.model,
+                &adamove.store,
+                &city.test,
+                &ptta_mode,
+                args.threads,
+            )
+            .unwrap_or_else(|e| panic!("parallel self-check failed: {e}"));
             eprintln!(
-                "threads={}: metrics bit-identical to sequential run",
+                "threads={}: metrics and per-sample ranks bit-identical to sequential run",
                 args.threads
             );
         }

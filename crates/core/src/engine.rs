@@ -4,10 +4,11 @@
 //! deployments (ROADMAP: millions of users) need concurrency. The
 //! [`ShardedEngine`] partitions users across `N` worker shards by a
 //! deterministic hash of the user id. Each shard is one OS thread owning
-//! its users' [`RecentWindow`]s and a PTTA adapter, draining a channel of
-//! observe/predict requests; the model and parameter store are shared
-//! read-only behind [`Arc`]s (PTTA never mutates them — adaptation happens
-//! per request on the classifier copy inside the scoring call).
+//! its users' [`RecentWindow`](crate::streaming::RecentWindow)s and a PTTA
+//! adapter, draining a channel of observe/predict requests; the model and
+//! parameter store are shared read-only behind [`Arc`]s (PTTA never mutates
+//! them — adaptation happens per request on the classifier copy inside the
+//! scoring call).
 //!
 //! Correctness guarantees:
 //!
@@ -18,6 +19,16 @@
 //!   window, so any interleaving across *different* users yields the same
 //!   per-user results as a single [`StreamingPredictor`] fed the same
 //!   per-user sequences.
+//! - **Bounded failure.** A shard that dies (panic, injected fault) takes
+//!   only its own users with it: requests routed to it surface a typed
+//!   [`EngineError`] instead of hanging, other shards keep serving, and
+//!   [`ShardedEngine::shutdown`] reports the casualty in
+//!   [`EngineReport::failed_shards`].
+//!
+//! The shard loop consults an optional [`Disturbance`] before every
+//! request — a `#[cfg]`-free seam the testkit's fault injection plugs into
+//! (worker panics, delayed replies, dropped observes) without any
+//! test-only code paths in the engine itself.
 
 use crate::eval::LatencyProfile;
 use crate::lightmob::LightMob;
@@ -26,8 +37,10 @@ use crate::ptta::PttaConfig;
 use crate::streaming::{StreamPrediction, StreamingPredictor};
 use adamove_autograd::ParamStore;
 use adamove_mobility::{Point, Timestamp, UserId};
+use adamove_tensor::det::mix64;
+use std::fmt;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,6 +70,98 @@ impl Default for EngineConfig {
     }
 }
 
+/// Typed failure of a single engine request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The shard owning the user has terminated (panic or injected fault)
+    /// and can no longer serve requests.
+    ShardDown {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+    /// The shard did not reply within the caller's bound (slow or stuck).
+    Timeout {
+        /// Index of the unresponsive shard.
+        shard: usize,
+        /// How long the caller waited.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ShardDown { shard } => write!(f, "engine shard {shard} is down"),
+            EngineError::Timeout { shard, waited } => {
+                write!(f, "engine shard {shard} did not reply within {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Typed failure of [`ShardedEngine::shutdown_timeout`]: one or more shards
+/// failed to drain and exit before the deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownError {
+    /// Shards still running at the deadline (panicked shards are *not*
+    /// stuck — they are reported via [`EngineReport::failed_shards`]).
+    pub stuck_shards: Vec<usize>,
+    /// The deadline that elapsed.
+    pub timeout: Duration,
+}
+
+impl fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine shutdown timed out after {:?}; shards still draining: {:?}",
+            self.timeout, self.stuck_shards
+        )
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+/// The kind of request a shard is about to process — the [`Disturbance`]
+/// seam's view of the traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A check-in delivery.
+    Observe,
+    /// A blocking prediction.
+    Predict,
+    /// A flush barrier token.
+    Flush,
+}
+
+/// What an injected disturbance does to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultAction {
+    /// Process normally.
+    #[default]
+    None,
+    /// Unwind the shard thread before processing (a worker crash). The
+    /// unwind bypasses the panic hook, so tests stay quiet.
+    PanicShard,
+    /// Sleep before processing (a slow or delayed reply).
+    Delay(Duration),
+    /// Silently drop the request if it is an observe (delivery loss);
+    /// other request kinds are processed normally.
+    DropObserve,
+}
+
+/// Deterministic runtime-disturbance source, consulted by every shard loop
+/// once per incoming request. `seq` counts requests received by that shard
+/// (starting at 0, flush tokens included), so an implementation that is a
+/// pure function of `(shard, seq, kind)` reproduces the same fault
+/// schedule on every run regardless of thread timing.
+pub trait Disturbance: Send + Sync + 'static {
+    /// Decide what happens to the `seq`-th request on `shard`.
+    fn action(&self, shard: usize, seq: u64, kind: RequestKind) -> FaultAction;
+}
+
 /// Final statistics from a shut-down engine.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
@@ -66,8 +171,13 @@ pub struct EngineReport {
     pub observed: usize,
     /// Total predict requests processed.
     pub predictions: usize,
-    /// Users with a live window at shutdown, per shard (shard order).
+    /// Users with a live window at shutdown, per shard (shard order; zero
+    /// for shards that died before reporting).
     pub per_shard_users: Vec<usize>,
+    /// Shards that terminated abnormally (panicked) instead of draining.
+    pub failed_shards: Vec<usize>,
+    /// Observe requests dropped by an injected disturbance.
+    pub dropped_observes: usize,
     /// Wall-clock lifetime of the engine.
     pub elapsed: Duration,
     /// Predict-handling latency percentiles (in-shard compute, queueing
@@ -79,6 +189,11 @@ impl EngineReport {
     /// Total users with live windows across all shards.
     pub fn users(&self) -> usize {
         self.per_shard_users.iter().sum()
+    }
+
+    /// True when every shard drained and exited cleanly.
+    pub fn healthy(&self) -> bool {
+        self.failed_shards.is_empty()
     }
 
     /// All requests (observe + predict) per wall-clock second.
@@ -93,13 +208,23 @@ impl EngineReport {
 
     /// One-line human-readable rendering.
     pub fn row(&self) -> String {
+        let health = if self.healthy() {
+            String::new()
+        } else {
+            format!(
+                "  {} shard(s) FAILED {:?}",
+                self.failed_shards.len(),
+                self.failed_shards
+            )
+        };
         format!(
-            "{} shards  {} users  {} obs + {} pred  {}",
+            "{} shards  {} users  {} obs + {} pred  {}{}",
             self.shards,
             self.users(),
             self.observed,
             self.predictions,
-            self.latency.row()
+            self.latency.row(),
+            health
         )
     }
 }
@@ -114,23 +239,34 @@ enum Request {
     Flush(mpsc::Sender<()>),
 }
 
+impl Request {
+    fn kind(&self) -> RequestKind {
+        match self {
+            Request::Observe(..) => RequestKind::Observe,
+            Request::Predict { .. } => RequestKind::Predict,
+            Request::Flush(..) => RequestKind::Flush,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
 struct ShardStats {
     observed: usize,
     predictions: usize,
+    dropped_observes: usize,
     latencies_ns: Vec<u64>,
     users: usize,
 }
 
-/// SplitMix64 finalizer: cheap, well-mixed, and stable across runs — the
-/// shard assignment is part of the engine's deterministic behaviour.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Unwind payload of an injected [`FaultAction::PanicShard`].
+struct InjectedShardPanic;
 
 /// Shard index for `user` under a `shards`-way partition.
+///
+/// Defined as `mix64(user) % shards` with the SplitMix64 finalizer from
+/// [`adamove_tensor::det`] — cheap, well-mixed, and stable across runs;
+/// the shard assignment is part of the engine's deterministic behaviour
+/// and is pinned by the testkit's hashing suite.
 pub fn shard_of(user: UserId, shards: usize) -> usize {
     (mix64(user.0 as u64) % shards.max(1) as u64) as usize
 }
@@ -138,14 +274,29 @@ pub fn shard_of(user: UserId, shards: usize) -> usize {
 /// Multi-threaded sharded serving runtime. See the [module docs](self).
 pub struct ShardedEngine {
     senders: Vec<mpsc::Sender<Request>>,
-    handles: Vec<JoinHandle<ShardStats>>,
+    handles: Vec<JoinHandle<()>>,
+    // Mutex only to keep `ShardedEngine: Sync` (Receiver is Send but not
+    // Sync); shutdown is the sole reader and takes `self` by value.
+    stats_rx: Mutex<mpsc::Receiver<(usize, ShardStats)>>,
     started: Instant,
 }
 
 impl ShardedEngine {
     /// Spawn `config.shards` worker threads sharing `model` and `store`.
     pub fn new(model: Arc<LightMob>, store: Arc<ParamStore>, config: EngineConfig) -> Self {
+        Self::with_disturbance(model, store, config, None)
+    }
+
+    /// [`ShardedEngine::new`] with an optional [`Disturbance`] the shard
+    /// loops consult before every request — the fault-injection seam.
+    pub fn with_disturbance(
+        model: Arc<LightMob>,
+        store: Arc<ParamStore>,
+        config: EngineConfig,
+        disturbance: Option<Arc<dyn Disturbance>>,
+    ) -> Self {
         let shards = config.shards.max(1);
+        let (stats_tx, stats_rx) = mpsc::channel::<(usize, ShardStats)>();
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -154,18 +305,37 @@ impl ShardedEngine {
             let store = Arc::clone(&store);
             let ptta = config.ptta.clone();
             let (c, t) = (config.context_sessions, config.session_hours);
+            let disturbance = disturbance.clone();
+            let stats_tx = stats_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("adamove-shard-{shard}"))
                 .spawn(move || {
                     let mut sp = StreamingPredictor::new(&model, &store, ptta, c, t);
-                    let mut stats = ShardStats {
-                        observed: 0,
-                        predictions: 0,
-                        latencies_ns: Vec::new(),
-                        users: 0,
-                    };
+                    let mut stats = ShardStats::default();
+                    let mut seq: u64 = 0;
                     // Ends when every sender is dropped (engine shutdown).
                     while let Ok(req) = rx.recv() {
+                        let kind = req.kind();
+                        let action = disturbance
+                            .as_deref()
+                            .map(|d| d.action(shard, seq, kind))
+                            .unwrap_or(FaultAction::None);
+                        seq += 1;
+                        match action {
+                            FaultAction::None => {}
+                            FaultAction::PanicShard => {
+                                // resume_unwind skips the panic hook: the
+                                // crash is deliberate and tests stay quiet.
+                                std::panic::resume_unwind(Box::new(InjectedShardPanic));
+                            }
+                            FaultAction::Delay(d) => std::thread::sleep(d),
+                            FaultAction::DropObserve => {
+                                if kind == RequestKind::Observe {
+                                    stats.dropped_observes += 1;
+                                    continue;
+                                }
+                            }
+                        }
                         match req {
                             Request::Observe(user, point) => {
                                 sp.observe(user, point);
@@ -186,7 +356,9 @@ impl ShardedEngine {
                         }
                     }
                     stats.users = sp.active_users();
-                    stats
+                    // Receiver gone = the engine was dropped without a
+                    // shutdown; losing the stats is fine then.
+                    let _ = stats_tx.send((shard, stats));
                 })
                 .expect("failed to spawn engine shard");
             senders.push(tx);
@@ -195,6 +367,7 @@ impl ShardedEngine {
         Self {
             senders,
             handles,
+            stats_rx: Mutex::new(stats_rx),
             started: Instant::now(),
         }
     }
@@ -209,75 +382,188 @@ impl ShardedEngine {
         shard_of(user, self.senders.len())
     }
 
-    fn send(&self, user: UserId, req: Request) {
-        self.senders[self.shard_of(user)]
-            .send(req)
-            .expect("engine shard died");
+    /// Record an observed check-in for `user` (asynchronous: returns once
+    /// the request is enqueued on the owning shard). Fails with
+    /// [`EngineError::ShardDown`] when the owning shard has terminated.
+    pub fn try_observe(&self, user: UserId, point: Point) -> Result<(), EngineError> {
+        let shard = self.shard_of(user);
+        self.senders[shard]
+            .send(Request::Observe(user, point))
+            .map_err(|_| EngineError::ShardDown { shard })
     }
 
-    /// Record an observed check-in for `user` (asynchronous: returns once
-    /// the request is enqueued on the owning shard).
+    /// [`ShardedEngine::try_observe`], panicking if the shard died.
     pub fn observe(&self, user: UserId, point: Point) {
-        self.send(user, Request::Observe(user, point));
+        self.try_observe(user, point).expect("engine shard died");
     }
 
     /// Predict `user`'s next location, blocking until the owning shard has
     /// drained every earlier request for that user and computed the
-    /// answer. `None` when the user has no live window at `now`.
-    pub fn predict(&self, user: UserId, now: Timestamp) -> Option<StreamPrediction> {
-        let (reply, rx) = mpsc::channel();
-        self.send(user, Request::Predict { user, now, reply });
-        rx.recv().expect("engine shard died")
+    /// answer. `Ok(None)` when the user has no live window at `now`;
+    /// [`EngineError::ShardDown`] when the shard terminated before
+    /// replying (no hang — the dead shard's dropped channel ends the
+    /// wait immediately).
+    pub fn try_predict(
+        &self,
+        user: UserId,
+        now: Timestamp,
+    ) -> Result<Option<StreamPrediction>, EngineError> {
+        let shard = self.shard_of(user);
+        let rx = self.send_predict(shard, user, now)?;
+        rx.recv().map_err(|_| EngineError::ShardDown { shard })
     }
 
-    /// Barrier: returns once every shard has drained all requests enqueued
-    /// before this call.
+    /// [`ShardedEngine::try_predict`] with a bounded wait: a shard that is
+    /// alive but unresponsive yields [`EngineError::Timeout`] after
+    /// `timeout` instead of blocking the caller forever.
+    pub fn predict_timeout(
+        &self,
+        user: UserId,
+        now: Timestamp,
+        timeout: Duration,
+    ) -> Result<Option<StreamPrediction>, EngineError> {
+        let shard = self.shard_of(user);
+        let rx = self.send_predict(shard, user, now)?;
+        rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => EngineError::Timeout {
+                shard,
+                waited: timeout,
+            },
+            mpsc::RecvTimeoutError::Disconnected => EngineError::ShardDown { shard },
+        })
+    }
+
+    /// [`ShardedEngine::try_predict`], panicking if the shard died.
+    pub fn predict(&self, user: UserId, now: Timestamp) -> Option<StreamPrediction> {
+        self.try_predict(user, now).expect("engine shard died")
+    }
+
+    fn send_predict(
+        &self,
+        shard: usize,
+        user: UserId,
+        now: Timestamp,
+    ) -> Result<mpsc::Receiver<Option<StreamPrediction>>, EngineError> {
+        let (reply, rx) = mpsc::channel();
+        self.senders[shard]
+            .send(Request::Predict { user, now, reply })
+            .map_err(|_| EngineError::ShardDown { shard })?;
+        Ok(rx)
+    }
+
+    /// Barrier: returns once every *live* shard has drained all requests
+    /// enqueued before this call. Dead shards are skipped — a flush never
+    /// hangs on a casualty.
     pub fn flush(&self) {
         let receivers: Vec<mpsc::Receiver<()>> = self
             .senders
             .iter()
-            .map(|tx| {
+            .filter_map(|tx| {
                 let (done, rx) = mpsc::channel();
-                tx.send(Request::Flush(done)).expect("engine shard died");
-                rx
+                tx.send(Request::Flush(done)).ok().map(|_| rx)
             })
             .collect();
         for rx in receivers {
-            rx.recv().expect("engine shard died");
+            // A shard that dies mid-flush drops the token; don't hang.
+            let _ = rx.recv();
         }
     }
 
     /// Stop all shards and collect their statistics. Pending requests are
-    /// drained before each shard exits.
+    /// drained before each shard exits; shards that panicked are reported
+    /// in [`EngineReport::failed_shards`] rather than propagating the
+    /// panic. Waits at most 60 seconds — use
+    /// [`ShardedEngine::shutdown_timeout`] for a caller-chosen bound.
+    ///
+    /// # Panics
+    /// If a shard is still draining after the 60-second default deadline.
     pub fn shutdown(self) -> EngineReport {
+        self.shutdown_timeout(Duration::from_secs(60))
+            .expect("engine shutdown timed out")
+    }
+
+    /// [`ShardedEngine::shutdown`] with an explicit deadline. Returns a
+    /// typed [`ShutdownError`] naming the stuck shards instead of blocking
+    /// forever when a shard cannot drain (the stuck workers are left
+    /// detached; they exit on their own once they finish draining).
+    pub fn shutdown_timeout(self, timeout: Duration) -> Result<EngineReport, ShutdownError> {
         let ShardedEngine {
             senders,
             handles,
+            stats_rx,
             started,
         } = self;
-        // Workers exit once the channel disconnects.
+        let stats_rx = stats_rx.into_inner().unwrap_or_else(|p| p.into_inner());
+        // Workers exit (and report stats) once the channel disconnects.
         drop(senders);
+        let shards = handles.len();
+        let deadline = Instant::now() + timeout;
+        let mut collected: Vec<Option<ShardStats>> = (0..shards).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < shards {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match stats_rx.recv_timeout(remaining) {
+                Ok((shard, stats)) => {
+                    collected[shard] = Some(stats);
+                    received += 1;
+                }
+                // All stat senders dropped: every worker exited cleanly
+                // (stats already queued and drained above) or panicked.
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let stuck_shards: Vec<usize> = collected
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, s)| s.is_none() && !handles[*i].is_finished())
+                        .map(|(i, _)| i)
+                        .collect();
+                    // Spurious wakeup right as the last workers finish:
+                    // nothing is actually stuck, so keep collecting.
+                    if stuck_shards.is_empty() {
+                        continue;
+                    }
+                    return Err(ShutdownError {
+                        stuck_shards,
+                        timeout,
+                    });
+                }
+            }
+        }
+
+        // Every worker has exited by now; joins are immediate. A panicked
+        // worker shows up as a join error (its stats slot stays empty).
+        let mut failed_shards = Vec::new();
+        for (i, handle) in handles.into_iter().enumerate() {
+            if handle.join().is_err() {
+                failed_shards.push(i);
+            }
+        }
+
         let mut observed = 0;
         let mut predictions = 0;
+        let mut dropped_observes = 0;
         let mut latencies = Vec::new();
-        let mut per_shard_users = Vec::with_capacity(handles.len());
-        let shards = handles.len();
-        for handle in handles {
-            let stats = handle.join().expect("engine shard panicked");
-            observed += stats.observed;
-            predictions += stats.predictions;
-            latencies.extend(stats.latencies_ns);
-            per_shard_users.push(stats.users);
+        let mut per_shard_users = vec![0usize; shards];
+        for (i, stats) in collected.into_iter().enumerate() {
+            if let Some(stats) = stats {
+                observed += stats.observed;
+                predictions += stats.predictions;
+                dropped_observes += stats.dropped_observes;
+                latencies.extend(stats.latencies_ns);
+                per_shard_users[i] = stats.users;
+            }
         }
         let elapsed = started.elapsed();
-        EngineReport {
+        Ok(EngineReport {
             shards,
             observed,
             predictions,
             per_shard_users,
+            failed_shards,
+            dropped_observes,
             elapsed,
             latency: LatencyProfile::from_nanos(latencies, elapsed),
-        }
+        })
     }
 }
 
@@ -363,6 +649,8 @@ mod tests {
         assert_eq!(report.users(), 6);
         assert_eq!(report.shards, 3);
         assert_eq!(report.latency.samples, 6);
+        assert!(report.healthy());
+        assert_eq!(report.dropped_observes, 0);
         assert!(report.requests_per_sec() > 0.0);
         assert!(!report.row().is_empty());
     }
@@ -414,5 +702,64 @@ mod tests {
             .predict(UserId(0), Timestamp::from_hours(1))
             .is_some());
         engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_timeout_succeeds_on_a_healthy_engine() {
+        let (store, m) = model(4, 2);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 2,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+            },
+        );
+        engine.observe(UserId(0), pt(1, 0));
+        engine.observe(UserId(1), pt(2, 0));
+        let report = engine
+            .shutdown_timeout(Duration::from_secs(10))
+            .expect("healthy engine must drain in time");
+        assert!(report.healthy());
+        assert_eq!(report.observed, 2);
+    }
+
+    #[test]
+    fn predict_timeout_answers_within_bound_when_healthy() {
+        let (store, m) = model(4, 1);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 1,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+            },
+        );
+        engine.observe(UserId(0), pt(1, 0));
+        let p = engine
+            .predict_timeout(UserId(0), Timestamp::from_hours(1), Duration::from_secs(10))
+            .expect("healthy shard replies in time");
+        assert!(p.is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn engine_error_renders_human_readable() {
+        let down = EngineError::ShardDown { shard: 3 };
+        assert!(down.to_string().contains("shard 3"));
+        let slow = EngineError::Timeout {
+            shard: 1,
+            waited: Duration::from_millis(5),
+        };
+        assert!(slow.to_string().contains("shard 1"));
+        let stuck = ShutdownError {
+            stuck_shards: vec![0, 2],
+            timeout: Duration::from_secs(1),
+        };
+        assert!(stuck.to_string().contains("[0, 2]"));
     }
 }

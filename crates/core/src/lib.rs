@@ -75,7 +75,10 @@ pub mod train;
 
 pub use config::{AdaMoveConfig, EncoderKind};
 pub use distill::{distill, DistillConfig};
-pub use engine::{EngineConfig, EngineReport, ShardedEngine};
+pub use engine::{
+    shard_of, Disturbance, EngineConfig, EngineError, EngineReport, FaultAction, RequestKind,
+    ShardedEngine, ShutdownError,
+};
 pub use eval::{
     evaluate, evaluate_by, evaluate_by_par, evaluate_fn, evaluate_fn_par, evaluate_par,
     EvalOutcome, InferenceMode, LatencyProfile,

@@ -179,6 +179,13 @@ impl<'m> StreamingPredictor<'m> {
         self.windows.len()
     }
 
+    /// Read-only view of `user`'s window, if one exists — an inspection
+    /// seam for correctness tooling (the testkit's eviction-equivalence
+    /// suite asserts on buffered contents without disturbing them).
+    pub fn window_of(&self, user: UserId) -> Option<&RecentWindow> {
+        self.windows.get(&user)
+    }
+
     fn window(&mut self, user: UserId) -> &mut RecentWindow {
         let (c, t) = (self.context_sessions, self.session_hours);
         self.windows

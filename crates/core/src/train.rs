@@ -12,9 +12,7 @@ use crate::metrics::MetricAccumulator;
 use adamove_autograd::{Graph, ParamStore, Var};
 use adamove_mobility::Sample;
 use adamove_nn::{Adam, Optimizer, PlateauScheduler};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use adamove_tensor::det::DetRng;
 use serde::{Deserialize, Serialize};
 
 /// Training hyperparameters (§IV-A defaults).
@@ -120,7 +118,10 @@ impl Trainer {
         val: &[Sample],
     ) -> TrainReport {
         assert!(!train.is_empty(), "Trainer::fit: no training samples");
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Deterministic by construction: DetRng's stream is independent
+        // of the external rand backend, so training order (and therefore
+        // golden-trace snapshots) is a pure function of the seed.
+        let mut rng = DetRng::new(self.config.seed);
         let mut optimizer = Adam::new();
         let mut scheduler = PlateauScheduler::new(
             self.config.initial_lr,
@@ -135,7 +136,7 @@ impl Trainer {
         let mut epochs = Vec::new();
 
         for epoch in 0..self.config.max_epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             let lr = scheduler.lr();
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
@@ -206,7 +207,10 @@ impl Trainer {
             !train.is_empty(),
             "Trainer::fit_generic: no training samples"
         );
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Deterministic by construction: DetRng's stream is independent
+        // of the external rand backend, so training order (and therefore
+        // golden-trace snapshots) is a pure function of the seed.
+        let mut rng = DetRng::new(self.config.seed);
         let mut optimizer = Adam::new();
         let mut scheduler = PlateauScheduler::new(
             self.config.initial_lr,
@@ -218,7 +222,7 @@ impl Trainer {
         let mut epochs = Vec::new();
 
         for epoch in 0..self.config.max_epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             let lr = scheduler.lr();
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
@@ -267,7 +271,7 @@ impl Trainer {
                     let mut indices: Vec<usize> = (0..val.len()).collect();
                     if let Some(cap) = self.config.val_subsample {
                         if val.len() > cap {
-                            indices.shuffle(&mut rng);
+                            rng.shuffle(&mut indices);
                             indices.truncate(cap);
                         }
                     }
@@ -358,7 +362,7 @@ impl Trainer {
         model: &LightMob,
         store: &ParamStore,
         val: &[Sample],
-        rng: &mut StdRng,
+        rng: &mut DetRng,
     ) -> f32 {
         if val.is_empty() {
             return 0.0;
@@ -366,7 +370,7 @@ impl Trainer {
         let mut indices: Vec<usize> = (0..val.len()).collect();
         if let Some(cap) = self.config.val_subsample {
             if val.len() > cap {
-                indices.shuffle(rng);
+                rng.shuffle(&mut indices);
                 indices.truncate(cap);
             }
         }
@@ -385,6 +389,8 @@ mod tests {
     use super::*;
     use crate::config::AdaMoveConfig;
     use adamove_mobility::{LocationId, Point, Timestamp, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     /// A deterministic toy task: each user cycles through a fixed location
     /// loop, so next-location prediction is learnable from short context.

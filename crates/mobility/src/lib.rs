@@ -15,6 +15,9 @@
 //!   weekly schedules and distribution-shift events, plus `nyc`/`tky`/`lymob`
 //!   presets calibrated to Table I (substitute for the non-redistributable
 //!   Foursquare and YJMob100K datasets — see DESIGN.md);
+//! - [`ministream`] — seeded miniature cities whose draws bypass `rand`
+//!   entirely (pure SplitMix64), the substrate for golden-trace snapshots
+//!   and differential oracles in `adamove-testkit`;
 //! - [`analysis`] — the Fig. 1 shift diagnostics (visit heatmaps and the
 //!   biweekly cosine-similarity decay curve);
 //! - [`io`] — check-in CSV import/export and processed-dataset JSON
@@ -22,12 +25,16 @@
 
 pub mod analysis;
 pub mod io;
+pub mod ministream;
 pub mod preprocess;
 pub mod split;
 pub mod synth;
 pub mod timecode;
 pub mod types;
 
+pub use ministream::{
+    generate_mini, lymob_mini, mini_preprocess_config, nyc_mini, tky_mini, MiniCityConfig,
+};
 pub use preprocess::{preprocess, DatasetStats, PreprocessConfig, ProcessedDataset};
 pub use split::{make_samples, split_sessions, Sample, SampleConfig, Split};
 pub use synth::{CityConfig, CityPreset, ShiftKind};

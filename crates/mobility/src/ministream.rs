@@ -1,0 +1,351 @@
+//! Seeded mini-streams: tiny, backend-independent synthetic cities.
+//!
+//! The full generator in [`synth`](crate::synth) draws from the external
+//! `rand` crate, whose stream differs between the real dependency and the
+//! offline dev stub — fine for invariance tests, fatal for *golden-trace
+//! snapshots*, where a checked-in metric baseline must reproduce bit-alike
+//! under every build of the workspace. The builders here produce the same
+//! schedule-structured, shift-bearing check-in data at laptop-test scale,
+//! but every draw goes through [`DetRng`] (an in-repo SplitMix64), so a
+//! mini-stream is a pure function of its config — identical across rand
+//! backends, platforms, and build profiles.
+//!
+//! Three presets mirror the paper's evaluation cities at miniature scale:
+//! [`nyc_mini`], [`tky_mini`], [`lymob_mini`]. `*_mini().stable()` turns
+//! off the distribution shift — the workload for oracles that compare
+//! PTTA-adapted against frozen predictions on non-shifted streams.
+
+use crate::preprocess::PreprocessConfig;
+use crate::types::{Dataset, Point, Timestamp, Trajectory, UserId, DAY, HOUR};
+use adamove_tensor::det::DetRng;
+
+/// Generator parameters for one miniature synthetic city. All fields are
+/// public so suites can derive variants; determinism is total — two equal
+/// configs generate identical datasets on any build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniCityConfig {
+    /// City label, e.g. `"nyc-mini"`.
+    pub name: String,
+    /// Number of users to simulate.
+    pub users: usize,
+    /// Size of the location universe.
+    pub locations: u32,
+    /// Simulated time span in days (timeline starts on a Monday).
+    pub days: i64,
+    /// Per-eligible-hour probability of a check-in.
+    pub checkin_rate: f64,
+    /// Fraction of users that experience a hard behaviour shift.
+    pub shift_fraction: f64,
+    /// Day at which shifted users change behaviour.
+    pub shift_day: i64,
+    /// Probability that a check-in explores a random location.
+    pub exploration: f64,
+    /// RNG seed; the dataset is a pure function of this config.
+    pub seed: u64,
+}
+
+impl MiniCityConfig {
+    /// The same city with the distribution shift switched off — the
+    /// stable-stream workload for PTTA-vs-frozen agreement oracles.
+    pub fn stable(mut self) -> Self {
+        self.shift_fraction = 0.0;
+        self.name.push_str("-stable");
+        self
+    }
+
+    /// Generate the dataset. See [`generate_mini`].
+    pub fn generate(&self) -> Dataset {
+        generate_mini(self)
+    }
+}
+
+/// Foursquare-NYC analogue at miniature scale (~12 users, 4 weeks).
+pub fn nyc_mini() -> MiniCityConfig {
+    MiniCityConfig {
+        name: "nyc-mini".into(),
+        users: 12,
+        locations: 60,
+        days: 28,
+        checkin_rate: 0.30,
+        shift_fraction: 0.5,
+        shift_day: 21,
+        exploration: 0.05,
+        seed: 0xADA_0001,
+    }
+}
+
+/// Foursquare-TKY analogue: slightly larger, shifts hardest (paper §IV-B).
+pub fn tky_mini() -> MiniCityConfig {
+    MiniCityConfig {
+        name: "tky-mini".into(),
+        users: 14,
+        locations: 80,
+        days: 28,
+        checkin_rate: 0.33,
+        shift_fraction: 0.65,
+        shift_day: 21,
+        exploration: 0.05,
+        seed: 0xADA_0002,
+    }
+}
+
+/// YJMob100K analogue: shorter span, denser check-ins, mildest shift.
+pub fn lymob_mini() -> MiniCityConfig {
+    MiniCityConfig {
+        name: "lymob-mini".into(),
+        users: 10,
+        locations: 50,
+        days: 21,
+        checkin_rate: 0.45,
+        shift_fraction: 0.3,
+        shift_day: 16,
+        exploration: 0.04,
+        seed: 0xADA_0003,
+    }
+}
+
+/// Preprocessing thresholds matched to mini-stream scale: the paper's
+/// defaults (10 distinct visitors per location, 5-point sessions) would
+/// erase a 10-user city. Sessions stay at the paper's 72-hour window.
+pub fn mini_preprocess_config() -> PreprocessConfig {
+    PreprocessConfig {
+        min_users_per_location: 2,
+        session_window_hours: 72,
+        min_points_per_session: 3,
+        min_sessions_per_user: 4,
+    }
+}
+
+/// One user's behavioural anchors. Locations are drawn from overlapping
+/// pools (homes in the first 40% of the universe, workplaces in the next
+/// 20%, venues in the rest) so the rare-location filter keeps shared
+/// anchors, mirroring the full generator's partition.
+struct MiniPersona {
+    home: u32,
+    work: u32,
+    leisure: [u32; 3],
+    route_pos: usize,
+}
+
+struct Pools {
+    homes: u32,
+    works: u32,
+    venues: u32,
+}
+
+impl Pools {
+    fn new(locations: u32, users: usize) -> Self {
+        // Small hot pools so anchors overlap across even ~10 users.
+        let homes = (users as u32 / 3).clamp(2, (locations * 2) / 5);
+        let works = (users as u32 / 4).clamp(2, locations / 5);
+        let venues = (users as u32).clamp(4, locations - (locations * 3) / 5);
+        Self {
+            homes,
+            works,
+            venues,
+        }
+    }
+
+    fn home(&self, rng: &mut DetRng) -> u32 {
+        rng.below(self.homes as usize) as u32
+    }
+
+    fn work(&self, locations: u32, rng: &mut DetRng) -> u32 {
+        (locations * 2) / 5 + rng.below(self.works as usize) as u32
+    }
+
+    fn venue(&self, locations: u32, rng: &mut DetRng) -> u32 {
+        (locations * 3) / 5 + rng.below(self.venues as usize) as u32
+    }
+}
+
+impl MiniPersona {
+    fn sample(cfg: &MiniCityConfig, pools: &Pools, rng: &mut DetRng) -> Self {
+        Self {
+            home: pools.home(rng),
+            work: pools.work(cfg.locations, rng),
+            leisure: [
+                pools.venue(cfg.locations, rng),
+                pools.venue(cfg.locations, rng),
+                pools.venue(cfg.locations, rng),
+            ],
+            route_pos: 0,
+        }
+    }
+
+    /// Job-change-style shift: new workplace, new evening venues.
+    fn shift(&mut self, cfg: &MiniCityConfig, pools: &Pools, rng: &mut DetRng) {
+        let old = self.work;
+        for _ in 0..8 {
+            self.work = pools.work(cfg.locations, rng);
+            if self.work != old {
+                break;
+            }
+        }
+        for venue in &mut self.leisure {
+            *venue = pools.venue(cfg.locations, rng);
+        }
+    }
+
+    /// Where this persona checks in at hour-of-day `hour`, or `None` for a
+    /// quiet slot. Same weekday/weekend schedule shape as the full
+    /// generator: home mornings/evenings, work daytimes, a fixed leisure
+    /// route after work (a sequential signal frequency counting misses).
+    fn location_at(&mut self, weekend: bool, hour: u32) -> Option<u32> {
+        let loc = if weekend {
+            match hour {
+                10..=21 => {
+                    let l = self.leisure[self.route_pos % self.leisure.len()];
+                    self.route_pos += 1;
+                    l
+                }
+                7..=9 | 22..=23 => self.home,
+                _ => return None,
+            }
+        } else {
+            match hour {
+                7..=8 => self.home,
+                9..=17 => self.work,
+                18..=21 => {
+                    let l = self.leisure[self.route_pos % self.leisure.len()];
+                    self.route_pos += 1;
+                    l
+                }
+                22..=23 => self.home,
+                _ => return None,
+            }
+        };
+        Some(loc)
+    }
+}
+
+/// Generate a miniature city. Deterministic: a pure function of `cfg`,
+/// independent of the external rand backend (every draw is a [`DetRng`]
+/// SplitMix64 step).
+pub fn generate_mini(cfg: &MiniCityConfig) -> Dataset {
+    let mut seeder = DetRng::new(cfg.seed);
+    let pools = Pools::new(cfg.locations, cfg.users);
+    let mut trajectories = Vec::with_capacity(cfg.users);
+    for uid in 0..cfg.users {
+        // Per-user child stream: trajectory content is independent of how
+        // many draws earlier users consumed.
+        let mut rng = seeder.fork(uid as u64);
+        let mut persona = MiniPersona::sample(cfg, &pools, &mut rng);
+        let shifts = rng.next_f64() < cfg.shift_fraction;
+        let mut shifted = false;
+        let mut points = Vec::new();
+        for day in 0..cfg.days {
+            persona.route_pos = 0;
+            if shifts && !shifted && day >= cfg.shift_day {
+                persona.shift(cfg, &pools, &mut rng);
+                shifted = true;
+            }
+            // Day 0 is a Monday (timeline convention shared with synth).
+            let weekend = day % 7 >= 5;
+            for hour in 0..24u32 {
+                if rng.next_f64() >= cfg.checkin_rate {
+                    continue;
+                }
+                let loc = if rng.next_f64() < cfg.exploration {
+                    rng.below(cfg.locations as usize) as u32
+                } else {
+                    match persona.location_at(weekend, hour) {
+                        Some(l) => l,
+                        None => continue,
+                    }
+                };
+                // Minute jitter keeps timestamps distinct.
+                let jitter = rng.range_i64(0, 3000);
+                points.push(Point::new(
+                    loc,
+                    Timestamp(day * DAY + hour as i64 * HOUR + jitter),
+                ));
+            }
+        }
+        trajectories.push(Trajectory::new(UserId(uid as u32), points));
+    }
+    Dataset {
+        name: cfg.name.clone(),
+        num_locations: cfg.locations,
+        trajectories,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::preprocess;
+    use crate::split::{make_samples, SampleConfig, Split};
+
+    #[test]
+    fn mini_streams_are_deterministic_and_seed_sensitive() {
+        let a = nyc_mini().generate();
+        let b = nyc_mini().generate();
+        assert_eq!(a.trajectories, b.trajectories);
+        let mut other = nyc_mini();
+        other.seed ^= 1;
+        assert_ne!(a.trajectories, other.generate().trajectories);
+    }
+
+    #[test]
+    fn all_presets_survive_mini_preprocessing_with_test_samples() {
+        for cfg in [nyc_mini(), tky_mini(), lymob_mini()] {
+            let ds = cfg.generate();
+            ds.validate().unwrap();
+            let processed = preprocess(&ds, &mini_preprocess_config());
+            processed.validate().unwrap();
+            assert!(
+                processed.num_users() >= cfg.users * 2 / 3,
+                "{}: only {}/{} users survived",
+                cfg.name,
+                processed.num_users(),
+                cfg.users
+            );
+            let test = make_samples(&processed, Split::Test, &SampleConfig::eval(2));
+            assert!(
+                test.len() >= 30,
+                "{}: only {} test samples",
+                cfg.name,
+                test.len()
+            );
+            let train = make_samples(&processed, Split::Train, &SampleConfig::train());
+            assert!(train.len() > test.len());
+        }
+    }
+
+    #[test]
+    fn stable_variant_differs_and_does_not_shift() {
+        let shifted = nyc_mini();
+        let stable = nyc_mini().stable();
+        assert_eq!(stable.shift_fraction, 0.0);
+        assert!(stable.name.ends_with("-stable"));
+        // Same seed, but the shift branch changes post-shift trajectories.
+        let a = shifted.generate();
+        let b = stable.generate();
+        assert_ne!(a.trajectories, b.trajectories);
+        assert_eq!(a.trajectories.len(), b.trajectories.len());
+    }
+
+    #[test]
+    fn personas_have_periodic_daytime_structure() {
+        let ds = nyc_mini().stable().generate();
+        // Workday daytime check-ins concentrate on the user's workplace.
+        let tr = &ds.trajectories[0];
+        let daytime: Vec<_> = tr
+            .points
+            .iter()
+            .filter(|p| p.time.days() % 7 < 5 && (9..=17).contains(&p.time.hour_of_day()))
+            .collect();
+        assert!(daytime.len() > 10);
+        let mut counts = std::collections::HashMap::new();
+        for p in &daytime {
+            *counts.entry(p.loc).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(
+            max as f64 > 0.5 * daytime.len() as f64,
+            "modal daytime location covers {max}/{}",
+            daytime.len()
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Backend-independent deterministic randomness.
+//!
+//! The workspace's external `rand` dependency is pluggable (the offline dev
+//! harness substitutes an API-compatible stub with a *different* stream),
+//! so anything whose output is snapshotted — golden traces, checked-in
+//! metric baselines, shard assignment — must not consume `rand` at all.
+//! [`DetRng`] is a self-contained SplitMix64 generator whose stream is a
+//! pure function of the seed and of this file, identical under every rand
+//! backend, platform, and build profile.
+//!
+//! [`mix64`] exposes the bare SplitMix64 finalizer step; the serving
+//! engine's user→shard hash is defined in terms of it, which pins the
+//! shard assignment to the constants tested below.
+
+/// The SplitMix64 increment (golden-ratio gamma).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One full SplitMix64 step from state `x`: add [`GOLDEN_GAMMA`], then run
+/// the avalanche finalizer. Cheap, well-mixed, and stable across runs —
+/// suitable as a hash for deterministic partitioning (`mix64(key) % n`).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic SplitMix64 generator. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Generator seeded with `seed` (the raw SplitMix64 initial state).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[0, 1)` (24 mantissa bits).
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.next_f32() * (hi - lo)
+    }
+
+    /// Uniform index in `[0, n)`. Panics on `n == 0`. The modulo bias is
+    /// below 2^-32 for any `n` this workspace uses (tiny vs. 2^64).
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "DetRng::below: empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi)` over integers.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "DetRng::range_i64: empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A child generator whose stream is independent of this one's
+    /// continuation (seeded by one draw mixed with a label).
+    pub fn fork(&mut self, label: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ mix64(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical SplitMix64 vectors (reference implementation, seed 0).
+    /// These pin the constants: any change to GOLDEN_GAMMA or the
+    /// finalizer multipliers breaks golden traces and shard assignment.
+    #[test]
+    fn splitmix64_reference_vectors_seed_zero() {
+        let mut r = DetRng::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+        assert_eq!(r.next_u64(), 0xf88b_b8a8_724c_81ec);
+    }
+
+    #[test]
+    fn splitmix64_reference_vectors_nonzero_seed() {
+        let mut r = DetRng::new(12345);
+        assert_eq!(r.next_u64(), 0x2211_8258_a9d1_11a0);
+        assert_eq!(r.next_u64(), 0x346e_dce5_f713_f8ed);
+    }
+
+    #[test]
+    fn mix64_matches_one_splitmix_step() {
+        assert_eq!(mix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(mix64(1), 0x910a_2dec_8902_5cc1);
+        assert_eq!(mix64(42), 0xbdd7_3226_2feb_6e95);
+        assert_eq!(mix64(0xDEAD_BEEF), 0x4adf_b90f_68c9_eb9b);
+        for x in [0u64, 1, 7, 1 << 40] {
+            let mut r = DetRng::new(x);
+            assert_eq!(mix64(x), r.next_u64());
+        }
+    }
+
+    #[test]
+    fn float_draws_are_in_range() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.next_f32();
+            assert!((0.0..1.0).contains(&g));
+            let u = r.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_and_range_cover_their_domains() {
+        let mut r = DetRng::new(4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.below(5)] = true;
+            let v = r.range_i64(-3, 3);
+            assert!((-3..3).contains(&v));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_dependent() {
+        let base: Vec<usize> = (0..50).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        DetRng::new(1).shuffle(&mut a);
+        DetRng::new(1).shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut c = base.clone();
+        DetRng::new(2).shuffle(&mut c);
+        assert_ne!(a, c, "different seed, different permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base);
+    }
+
+    #[test]
+    fn chance_tracks_probability_roughly() {
+        let mut r = DetRng::new(77);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = DetRng::new(5);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

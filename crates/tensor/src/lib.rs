@@ -10,11 +10,17 @@
 //! Everything is plain safe Rust. The GEMM uses an `i-k-j` loop order so the
 //! inner loop streams both operands contiguously, which is the standard
 //! cache-friendly formulation for row-major data.
+//!
+//! [`det`] provides backend-independent deterministic randomness
+//! ([`DetRng`], [`mix64`]) for anything whose output is snapshotted —
+//! golden traces, shard assignment, reproducible shuffles.
 
+pub mod det;
 pub mod error;
 pub mod init;
 pub mod matrix;
 pub mod stats;
 
+pub use det::{mix64, DetRng};
 pub use error::{ShapeError, TensorResult};
 pub use matrix::Matrix;

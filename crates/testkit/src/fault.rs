@@ -1,0 +1,242 @@
+//! Deterministic seed-driven fault plans for the engine's
+//! [`Disturbance`] seam.
+//!
+//! A [`FaultPlan`] is a pure function of `(shard, seq, kind)`: explicit
+//! rules (panic the third request on shard 2) compose with probabilistic
+//! ones (drop 20% of observes) whose coin flips come from SplitMix64 keyed
+//! by the plan seed and the request coordinates — never from wall-clock
+//! time or thread scheduling. Two engines running the same plan over the
+//! same per-shard request sequences are disturbed identically, so fault
+//! tests reproduce under `--test-threads=1` and under the default harness
+//! alike.
+
+use adamove::{Disturbance, FaultAction, RequestKind};
+use adamove_tensor::det::mix64;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct DelayRule {
+    shard: Option<usize>,
+    kind: Option<RequestKind>,
+    duration: Duration,
+    probability: f64,
+}
+
+#[derive(Debug, Clone)]
+struct DropRule {
+    shard: Option<usize>,
+    probability: f64,
+}
+
+/// A composable, deterministic disturbance schedule. Build with the
+/// chainable constructors, wrap in an [`Arc`](std::sync::Arc), and pass to
+/// [`ShardedEngine::with_disturbance`](adamove::ShardedEngine::with_disturbance).
+///
+/// Rule precedence per request: explicit panics, then observe drops, then
+/// delays — a request disturbed by a higher-precedence rule never reaches
+/// the lower ones (mirroring how a crashed worker cannot also be slow).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    panics: Vec<(usize, u64)>,
+    drops: Vec<DropRule>,
+    delays: Vec<DelayRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (disturbs nothing) with the given coin-flip seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Panic `shard` when it receives its `seq`-th request (0-based).
+    pub fn panic_at(mut self, shard: usize, seq: u64) -> Self {
+        self.panics.push((shard, seq));
+        self
+    }
+
+    /// Drop observes with the given probability; `shard = None` applies to
+    /// every shard. Probability `1.0` drops deterministically.
+    pub fn drop_observes(mut self, shard: Option<usize>, probability: f64) -> Self {
+        self.drops.push(DropRule { shard, probability });
+        self
+    }
+
+    /// Delay requests by `duration` with the given probability. `shard`
+    /// and `kind` filter which requests are eligible (`None` = all).
+    pub fn delay(
+        mut self,
+        shard: Option<usize>,
+        kind: Option<RequestKind>,
+        duration: Duration,
+        probability: f64,
+    ) -> Self {
+        self.delays.push(DelayRule {
+            shard,
+            kind,
+            duration,
+            probability,
+        });
+        self
+    }
+
+    /// Deterministic coin flip in `[0, 1)` for one (rule, request) pair.
+    /// Keyed by the plan seed, the request coordinates and a per-rule salt
+    /// so stacked rules flip independent coins.
+    fn coin(&self, shard: usize, seq: u64, salt: u64) -> f64 {
+        let h = mix64(self.seed ^ mix64(shard as u64 ^ (salt << 32)) ^ mix64(seq));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Disturbance for FaultPlan {
+    fn action(&self, shard: usize, seq: u64, kind: RequestKind) -> FaultAction {
+        if self.panics.iter().any(|&(s, q)| s == shard && q == seq) {
+            return FaultAction::PanicShard;
+        }
+        if kind == RequestKind::Observe {
+            for (i, rule) in self.drops.iter().enumerate() {
+                if rule.shard.is_none_or(|s| s == shard)
+                    && self.coin(shard, seq, 0x0D0D + i as u64) < rule.probability
+                {
+                    return FaultAction::DropObserve;
+                }
+            }
+        }
+        for (i, rule) in self.delays.iter().enumerate() {
+            if rule.shard.is_none_or(|s| s == shard)
+                && rule.kind.is_none_or(|k| k == kind)
+                && self.coin(shard, seq, 0xDE1A + i as u64) < rule.probability
+            {
+                return FaultAction::Delay(rule.duration);
+            }
+        }
+        FaultAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(plan: &FaultPlan) -> Vec<FaultAction> {
+        let kinds = [
+            RequestKind::Observe,
+            RequestKind::Predict,
+            RequestKind::Flush,
+        ];
+        let mut out = Vec::new();
+        for shard in 0..4 {
+            for seq in 0..64 {
+                for kind in kinds {
+                    out.push(plan.action(shard, seq, kind));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_request_coordinates() {
+        let plan = FaultPlan::new(99)
+            .panic_at(2, 5)
+            .drop_observes(None, 0.3)
+            .delay(
+                Some(1),
+                Some(RequestKind::Predict),
+                Duration::from_millis(1),
+                0.5,
+            );
+        assert_eq!(grid(&plan), grid(&plan.clone()));
+        // Rebuilt from the same spec: identical schedule.
+        let rebuilt = FaultPlan::new(99)
+            .panic_at(2, 5)
+            .drop_observes(None, 0.3)
+            .delay(
+                Some(1),
+                Some(RequestKind::Predict),
+                Duration::from_millis(1),
+                0.5,
+            );
+        assert_eq!(grid(&plan), grid(&rebuilt));
+        // A different seed reshuffles the probabilistic rules.
+        let reseeded = FaultPlan::new(100)
+            .panic_at(2, 5)
+            .drop_observes(None, 0.3)
+            .delay(
+                Some(1),
+                Some(RequestKind::Predict),
+                Duration::from_millis(1),
+                0.5,
+            );
+        assert_ne!(grid(&plan), grid(&reseeded));
+    }
+
+    #[test]
+    fn empty_plan_disturbs_nothing() {
+        assert!(grid(&FaultPlan::new(7))
+            .iter()
+            .all(|a| *a == FaultAction::None));
+    }
+
+    #[test]
+    fn explicit_panic_beats_probabilistic_rules() {
+        let plan = FaultPlan::new(1)
+            .panic_at(0, 3)
+            .drop_observes(Some(0), 1.0)
+            .delay(Some(0), None, Duration::from_millis(1), 1.0);
+        assert_eq!(
+            plan.action(0, 3, RequestKind::Observe),
+            FaultAction::PanicShard
+        );
+        // Off the panic coordinate the observe drop (next precedence) wins.
+        assert_eq!(
+            plan.action(0, 4, RequestKind::Observe),
+            FaultAction::DropObserve
+        );
+        // Non-observes fall through to the delay.
+        assert_eq!(
+            plan.action(0, 4, RequestKind::Predict),
+            FaultAction::Delay(Duration::from_millis(1))
+        );
+        // Other shards are untouched.
+        assert_eq!(plan.action(1, 3, RequestKind::Observe), FaultAction::None);
+    }
+
+    #[test]
+    fn probabilities_are_respected_roughly() {
+        let plan = FaultPlan::new(5).drop_observes(None, 0.25);
+        let drops = (0..10_000u64)
+            .filter(|&seq| plan.action(0, seq, RequestKind::Observe) == FaultAction::DropObserve)
+            .count();
+        assert!((2000..3000).contains(&drops), "got {drops}");
+        // Predicts never match an observe-drop rule.
+        assert!(
+            (0..1000u64).all(|seq| plan.action(0, seq, RequestKind::Predict) == FaultAction::None)
+        );
+    }
+
+    #[test]
+    fn full_probability_rules_are_deterministic() {
+        let plan = FaultPlan::new(0).drop_observes(Some(1), 1.0).delay(
+            Some(2),
+            None,
+            Duration::from_millis(2),
+            1.0,
+        );
+        for seq in 0..100 {
+            assert_eq!(
+                plan.action(1, seq, RequestKind::Observe),
+                FaultAction::DropObserve
+            );
+            assert_eq!(
+                plan.action(2, seq, RequestKind::Observe),
+                FaultAction::Delay(Duration::from_millis(2))
+            );
+            assert_eq!(plan.action(0, seq, RequestKind::Flush), FaultAction::None);
+        }
+    }
+}

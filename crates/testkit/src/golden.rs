@@ -1,0 +1,343 @@
+//! Golden-trace snapshots: end-to-end pipelines pinned to checked-in
+//! baselines.
+//!
+//! Each snapshot runs one seeded mini-city through the full AdaMove
+//! pipeline — generate, preprocess, split, deterministically re-initialize
+//! a LightMob, train, then evaluate frozen and PTTA-adapted — and records
+//! the accuracy metrics. Every random draw on that path goes through the
+//! in-repo SplitMix64 ([`DetRng`](adamove_tensor::det::DetRng) mini-stream
+//! generation, [`deterministic_reinit`] weights, the trainer's shuffles),
+//! so the numbers are a pure function of the configs below.
+//!
+//! Baselines live in `crates/testkit/tests/golden/*.json` (flat JSON, see
+//! [`crate::json`]). Comparison uses explicit tolerances:
+//! [`METRIC_TOLERANCE`] on the four accuracy metrics absorbs cross-platform
+//! libm/ulp drift (a handful of rank flips at most), while sample counts
+//! must match exactly — a count change means the pipeline itself changed
+//! and the baseline must be regenerated deliberately:
+//!
+//! ```text
+//! cargo test -p adamove-testkit -- --ignored regen
+//! ```
+
+use crate::json::{parse_flat, write_flat, Value};
+use crate::reinit::deterministic_reinit;
+use adamove::{
+    evaluate, AdaMoveConfig, InferenceMode, LightMob, Metrics, PttaConfig, Trainer, TrainingConfig,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::ministream::{
+    lymob_mini, mini_preprocess_config, nyc_mini, tky_mini, MiniCityConfig,
+};
+use adamove_mobility::{make_samples, preprocess, SampleConfig, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Absolute tolerance on each of Acc@1 / Acc@5 / Acc@10 / MRR when
+/// comparing a fresh run against a checked-in baseline. The metrics only
+/// move when an integer rank crosses a top-k boundary, so on identical
+/// code this is slack for floating-point library differences between
+/// platforms — not for behavioural drift.
+pub const METRIC_TOLERANCE: f32 = 0.02;
+
+/// A registered snapshot city: its name and config builder.
+pub type GoldenCity = (&'static str, fn() -> MiniCityConfig);
+
+/// The three snapshot cities (name, config builder).
+pub const GOLDEN_CITIES: [GoldenCity; 3] =
+    [("nyc", nyc_mini), ("tky", tky_mini), ("lymob", lymob_mini)];
+
+/// Everything a golden snapshot records about one end-to-end run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenRecord {
+    /// Mini-city name (e.g. `"nyc-mini"`).
+    pub dataset: String,
+    /// Location universe after preprocessing.
+    pub num_locations: u32,
+    /// Users surviving preprocessing.
+    pub num_users: usize,
+    /// Training samples fed to the trainer.
+    pub train_samples: usize,
+    /// Test samples evaluated.
+    pub test_samples: usize,
+    /// Frozen-model test metrics.
+    pub frozen: Metrics,
+    /// PTTA-adapted test metrics.
+    pub ptta: Metrics,
+}
+
+fn put_metrics(fields: &mut BTreeMap<String, Value>, prefix: &str, m: &Metrics) {
+    fields.insert(format!("{prefix}.rec1"), Value::Num(m.rec1 as f64));
+    fields.insert(format!("{prefix}.rec5"), Value::Num(m.rec5 as f64));
+    fields.insert(format!("{prefix}.rec10"), Value::Num(m.rec10 as f64));
+    fields.insert(format!("{prefix}.mrr"), Value::Num(m.mrr as f64));
+    fields.insert(format!("{prefix}.count"), Value::Num(m.count as f64));
+}
+
+fn get_metrics(fields: &BTreeMap<String, Value>, prefix: &str) -> Result<Metrics, String> {
+    let num = |key: String| -> Result<f64, String> {
+        fields
+            .get(&key)
+            .ok_or_else(|| format!("golden file is missing field {key:?}"))?
+            .as_num(&key)
+    };
+    Ok(Metrics {
+        rec1: num(format!("{prefix}.rec1"))? as f32,
+        rec5: num(format!("{prefix}.rec5"))? as f32,
+        rec10: num(format!("{prefix}.rec10"))? as f32,
+        mrr: num(format!("{prefix}.mrr"))? as f32,
+        count: num(format!("{prefix}.count"))? as usize,
+    })
+}
+
+impl GoldenRecord {
+    /// Serialize as flat JSON (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        let mut fields = BTreeMap::new();
+        fields.insert("dataset".into(), Value::Str(self.dataset.clone()));
+        fields.insert(
+            "num_locations".into(),
+            Value::Num(self.num_locations as f64),
+        );
+        fields.insert("num_users".into(), Value::Num(self.num_users as f64));
+        fields.insert(
+            "train_samples".into(),
+            Value::Num(self.train_samples as f64),
+        );
+        fields.insert("test_samples".into(), Value::Num(self.test_samples as f64));
+        put_metrics(&mut fields, "frozen", &self.frozen);
+        put_metrics(&mut fields, "ptta", &self.ptta);
+        write_flat(&fields)
+    }
+
+    /// Parse the flat JSON produced by [`GoldenRecord::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let fields = parse_flat(text)?;
+        let num = |key: &str| -> Result<f64, String> {
+            fields
+                .get(key)
+                .ok_or_else(|| format!("golden file is missing field {key:?}"))?
+                .as_num(key)
+        };
+        Ok(Self {
+            dataset: fields
+                .get("dataset")
+                .ok_or("golden file is missing field \"dataset\"")?
+                .as_str("dataset")?
+                .to_string(),
+            num_locations: num("num_locations")? as u32,
+            num_users: num("num_users")? as usize,
+            train_samples: num("train_samples")? as usize,
+            test_samples: num("test_samples")? as usize,
+            frozen: get_metrics(&fields, "frozen")?,
+            ptta: get_metrics(&fields, "ptta")?,
+        })
+    }
+}
+
+/// Training schedule for snapshots: short (the point is reproducibility,
+/// not accuracy) but long enough that the model clearly beats chance on
+/// the schedule-structured mini-cities.
+fn golden_training_config() -> TrainingConfig {
+    TrainingConfig {
+        max_epochs: 2,
+        batch_size: 32,
+        val_subsample: Some(80),
+        seed: 11,
+        verbose: false,
+        ..TrainingConfig::default()
+    }
+}
+
+/// Run the full pipeline for one mini-city and record the result. Every
+/// draw is backend-independent, so two runs of this function — on any
+/// platform, under any rand backend — produce rank-identical records.
+pub fn run_golden_pipeline(city: &MiniCityConfig) -> GoldenRecord {
+    let dataset = city.generate();
+    let processed = preprocess(&dataset, &mini_preprocess_config());
+    let train = make_samples(&processed, Split::Train, &SampleConfig::train());
+    let val = make_samples(&processed, Split::Val, &SampleConfig::eval(2));
+    let test = make_samples(&processed, Split::Test, &SampleConfig::eval(2));
+
+    let mut store = ParamStore::new();
+    // The StdRng draws are discarded by the reinit below; the model's
+    // weights come entirely from the DetRng stream.
+    let mut throwaway = StdRng::seed_from_u64(0);
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            lambda: 0.0,
+            ..AdaMoveConfig::tiny()
+        },
+        processed.num_locations,
+        processed.num_users() as u32,
+        &mut throwaway,
+    );
+    deterministic_reinit(&mut store, city.seed ^ 0x60_1DE2);
+
+    Trainer::new(golden_training_config()).fit(&model, None, &mut store, &train, &val);
+
+    let frozen = evaluate(&model, &store, &test, &InferenceMode::Frozen).metrics;
+    let ptta = evaluate(
+        &model,
+        &store,
+        &test,
+        &InferenceMode::Ptta(PttaConfig::default()),
+    )
+    .metrics;
+
+    GoldenRecord {
+        dataset: dataset.name,
+        num_locations: processed.num_locations,
+        num_users: processed.num_users(),
+        train_samples: train.len(),
+        test_samples: test.len(),
+        frozen,
+        ptta,
+    }
+}
+
+/// Path of the checked-in baseline for `city` (`"nyc"`, `"tky"`,
+/// `"lymob"`).
+pub fn golden_path(city: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{city}.json"))
+}
+
+fn check_metrics(label: &str, got: &Metrics, want: &Metrics, errs: &mut Vec<String>) {
+    let mut field = |name: &str, g: f32, w: f32| {
+        if (g - w).abs() > METRIC_TOLERANCE {
+            errs.push(format!(
+                "{label}.{name}: got {g:.4}, baseline {w:.4} (tolerance {METRIC_TOLERANCE})"
+            ));
+        }
+    };
+    field("rec1", got.rec1, want.rec1);
+    field("rec5", got.rec5, want.rec5);
+    field("rec10", got.rec10, want.rec10);
+    field("mrr", got.mrr, want.mrr);
+    if got.count != want.count {
+        errs.push(format!(
+            "{label}.count: got {}, baseline {} (counts must match exactly)",
+            got.count, want.count
+        ));
+    }
+}
+
+/// Compare a fresh record against a baseline: exact on identity and sample
+/// counts, [`METRIC_TOLERANCE`] on the accuracy metrics. `Err` lists every
+/// violated field.
+pub fn compare_against_golden(got: &GoldenRecord, baseline: &GoldenRecord) -> Result<(), String> {
+    let mut errs = Vec::new();
+    if got.dataset != baseline.dataset {
+        errs.push(format!(
+            "dataset: got {:?}, baseline {:?}",
+            got.dataset, baseline.dataset
+        ));
+    }
+    for (name, g, w) in [
+        (
+            "num_locations",
+            got.num_locations as usize,
+            baseline.num_locations as usize,
+        ),
+        ("num_users", got.num_users, baseline.num_users),
+        ("train_samples", got.train_samples, baseline.train_samples),
+        ("test_samples", got.test_samples, baseline.test_samples),
+    ] {
+        if g != w {
+            errs.push(format!("{name}: got {g}, baseline {w}"));
+        }
+    }
+    check_metrics("frozen", &got.frozen, &baseline.frozen, &mut errs);
+    check_metrics("ptta", &got.ptta, &baseline.ptta, &mut errs);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "golden drift for {:?}:\n  {}\n(if intentional, regenerate with \
+             `cargo test -p adamove-testkit -- --ignored regen`)",
+            baseline.dataset,
+            errs.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> GoldenRecord {
+        GoldenRecord {
+            dataset: "toy".into(),
+            num_locations: 9,
+            num_users: 4,
+            train_samples: 100,
+            test_samples: 25,
+            frozen: Metrics {
+                rec1: 0.2,
+                rec5: 0.4,
+                rec10: 0.6,
+                mrr: 0.3,
+                count: 25,
+            },
+            ptta: Metrics {
+                rec1: 0.24,
+                rec5: 0.44,
+                rec10: 0.64,
+                mrr: 0.33,
+                count: 25,
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_flat_json() {
+        let r = record();
+        let parsed = GoldenRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn comparison_accepts_drift_within_tolerance() {
+        let base = record();
+        let mut got = record();
+        got.frozen.rec1 += METRIC_TOLERANCE * 0.9;
+        got.ptta.mrr -= METRIC_TOLERANCE * 0.9;
+        compare_against_golden(&got, &base).unwrap();
+    }
+
+    #[test]
+    fn comparison_rejects_metric_drift_beyond_tolerance() {
+        let base = record();
+        let mut got = record();
+        got.ptta.rec5 += METRIC_TOLERANCE * 2.0;
+        let err = compare_against_golden(&got, &base).unwrap_err();
+        assert!(err.contains("ptta.rec5"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn comparison_rejects_count_and_shape_changes() {
+        let base = record();
+        let mut got = record();
+        got.test_samples = 26;
+        got.frozen.count = 26;
+        let err = compare_against_golden(&got, &base).unwrap_err();
+        assert!(err.contains("test_samples"), "{err}");
+        assert!(err.contains("frozen.count"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_named_in_parse_errors() {
+        let text = record()
+            .to_json()
+            .replace("\"ptta.mrr\"", "\"ptta.mrr_gone\"");
+        let err = GoldenRecord::from_json(&text).unwrap_err();
+        assert!(err.contains("ptta.mrr"), "{err}");
+    }
+}

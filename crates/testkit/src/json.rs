@@ -1,0 +1,245 @@
+//! Dependency-free flat JSON for golden snapshot files.
+//!
+//! Golden baselines must load under every build of the workspace,
+//! including the offline dev harness where `serde_json` is replaced by a
+//! stub whose parser always errors. Snapshots therefore use the simplest
+//! format that is still ordinary JSON: a single flat object whose values
+//! are numbers or strings, written and read by the ~100 lines here.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A value in a flat golden object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON number (integers included; parsed as `f64`).
+    Num(f64),
+    /// A JSON string (no escapes beyond `\"` and `\\` are supported).
+    Str(String),
+}
+
+impl Value {
+    /// The number, or an error naming `key` (for diagnostics).
+    pub fn as_num(&self, key: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            Value::Str(_) => Err(format!("golden field {key:?} is a string, expected number")),
+        }
+    }
+
+    /// The string, or an error naming `key`.
+    pub fn as_str(&self, key: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Num(_) => Err(format!("golden field {key:?} is a number, expected string")),
+        }
+    }
+}
+
+/// Serialize a flat map as pretty-printed JSON with keys in sorted order
+/// (BTreeMap iteration), one field per line — stable output, reviewable
+/// diffs. Floats use Rust's shortest round-trip `Display`.
+pub fn write_flat(fields: &BTreeMap<String, Value>) -> String {
+    let mut out = String::from("{\n");
+    let last = fields.len().saturating_sub(1);
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let _ = match v {
+            Value::Num(n) => write!(out, "  \"{}\": {}", escape(k), fmt_num(*n)),
+            Value::Str(s) => write!(out, "  \"{}\": \"{}\"", escape(k), escape(s)),
+        };
+        out.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_num(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Parse a flat JSON object of string/number fields. Rejects nesting,
+/// arrays, booleans and nulls — golden files are flat by construction, and
+/// a parse error on anything else is a feature (the snapshot was edited
+/// into a shape the tolerance comparison cannot check).
+pub fn parse_flat(text: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.eat('}') {
+        return p.finish(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        if out.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate golden field {key:?}"));
+        }
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        return p.finish(out);
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
+            None => Err(format!("expected {want:?}, found end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(s),
+                Some((i, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => s.push('"'),
+                    Some((_, '\\')) => s.push('\\'),
+                    other => return Err(format!("unsupported escape at byte {i}: {other:?}")),
+                },
+                Some((_, c)) => s.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.chars.peek() {
+            Some((_, '"')) => Ok(Value::Str(self.string()?)),
+            Some((start, c)) if *c == '-' || c.is_ascii_digit() => {
+                let start = *start;
+                let mut end = start;
+                while let Some((i, c)) = self.chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        end = i + c.len_utf8();
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let raw = &self.text[start..end];
+                raw.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|e| format!("bad number {raw:?}: {e}"))
+            }
+            Some((i, c)) => Err(format!("unsupported value at byte {i}: {c:?}")),
+            None => Err("expected value, found end of input".into()),
+        }
+    }
+
+    fn finish(&mut self, out: BTreeMap<String, Value>) -> Result<BTreeMap<String, Value>, String> {
+        self.skip_ws();
+        match self.chars.next() {
+            None => Ok(out),
+            Some((i, c)) => Err(format!("trailing content at byte {i}: {c:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_numbers_and_strings() {
+        let m = map(&[
+            ("dataset", Value::Str("nyc-mini".into())),
+            ("frozen.rec1", Value::Num(0.348_214_3)),
+            ("count", Value::Num(112.0)),
+            ("neg", Value::Num(-1.5e-3)),
+        ]);
+        let text = write_flat(&m);
+        assert_eq!(parse_flat(&text).unwrap(), m);
+        // Integers serialize without a fractional part.
+        assert!(text.contains("\"count\": 112"));
+    }
+
+    #[test]
+    fn empty_object_round_trips() {
+        let m = BTreeMap::new();
+        assert_eq!(parse_flat(&write_flat(&m)).unwrap(), m);
+        assert_eq!(parse_flat("  { }  ").unwrap(), m);
+    }
+
+    #[test]
+    fn escaped_keys_round_trip() {
+        let m = map(&[("we\"ird\\key", Value::Str("a\"b".into()))]);
+        assert_eq!(parse_flat(&write_flat(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "{\"a\": [1]}",
+            "{\"a\": true}",
+            "{\"a\": 1} x",
+            "{\"a\": 1, \"a\": 2}",
+            "{\"a\": 1 \"b\": 2}",
+        ] {
+            assert!(parse_flat(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn typed_accessors_report_the_field_name() {
+        let m = parse_flat("{\"s\": \"x\", \"n\": 3}").unwrap();
+        assert_eq!(m["s"].as_str("s").unwrap(), "x");
+        assert_eq!(m["n"].as_num("n").unwrap(), 3.0);
+        assert!(m["s"].as_num("s").unwrap_err().contains("\"s\""));
+        assert!(m["n"].as_str("n").unwrap_err().contains("\"n\""));
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! Correctness harness for the AdaMove serving runtime.
+//!
+//! The workspace's guarantees — parallel evaluation is bit-identical to
+//! sequential, the sharded engine is observationally equivalent to a
+//! single [`StreamingPredictor`](adamove::StreamingPredictor), training
+//! pipelines reproduce checked-in baselines — are easy to state and easy
+//! to silently lose. This crate turns each of them into an executable
+//! oracle:
+//!
+//! - [`oracle`] — **differential oracles**: run the same workload down two
+//!   implementations that must agree ([`evaluate`](adamove::evaluate) vs
+//!   [`evaluate_par`](adamove::evaluate_par) at several thread counts,
+//!   including per-sample ranks; [`ShardedEngine`](adamove::ShardedEngine)
+//!   vs [`StreamingPredictor`](adamove::StreamingPredictor); PTTA-adapted
+//!   vs frozen scores on stable streams) and diff the results;
+//! - [`golden`] — **golden-trace snapshots**: seeded mini-streams (from
+//!   [`adamove_mobility::ministream`]) run end-to-end — train, adapt,
+//!   predict — with the resulting Acc@1/Acc@5/MRR compared against
+//!   checked-in `tests/golden/*.json` baselines under explicit tolerances;
+//! - [`fault`] — **fault injection**: a deterministic, seed-driven
+//!   [`FaultPlan`] plugged into the engine's [`Disturbance`](adamove::Disturbance)
+//!   seam (worker panics, delayed replies, dropped observes), with suites
+//!   asserting graceful degradation and typed errors, never hangs;
+//! - [`reinit`] — backend-independent weight re-initialization, so model
+//!   parameters (normally drawn from the pluggable external `rand`) become
+//!   a pure function of a seed;
+//! - [`json`] — a dependency-free flat JSON reader/writer for the golden
+//!   files (the offline dev harness stubs `serde_json`, so snapshots must
+//!   not rely on it).
+//!
+//! The integration suites live in `crates/testkit/tests/`. Golden baselines
+//! are regenerated with
+//! `cargo test -p adamove-testkit -- --ignored regen` (see `golden`).
+
+pub mod fault;
+pub mod golden;
+pub mod json;
+pub mod oracle;
+pub mod reinit;
+
+pub use fault::FaultPlan;
+pub use golden::{
+    compare_against_golden, golden_path, run_golden_pipeline, GoldenRecord, GOLDEN_CITIES,
+    METRIC_TOLERANCE,
+};
+pub use oracle::{
+    check_engine_matches_streaming, check_parallel_equivalence, oracle_thread_counts, sample_ranks,
+    top1_agreement, workload_from_dataset, StreamEvent,
+};
+pub use reinit::deterministic_reinit;

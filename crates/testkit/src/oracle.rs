@@ -1,0 +1,278 @@
+//! Differential oracles: two implementations, one workload, zero diffs.
+//!
+//! Each oracle here runs the same inputs down two code paths that must
+//! agree and reports the first divergence as a human-readable `Err` rather
+//! than panicking — so test suites can `assert!(ok)` while tools (e.g. the
+//! bench harness's self-check) print the diagnosis and keep going.
+
+use adamove::{
+    available_threads, evaluate, evaluate_par, par_map, EngineConfig, InferenceMode, LightMob,
+    Ptta, ShardedEngine, StreamingPredictor, T3a,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::types::HOUR;
+use adamove_mobility::{Dataset, Point, Sample, Timestamp, UserId};
+use adamove_tensor::matrix::argmax;
+use adamove_tensor::stats::rank_of;
+use std::sync::Arc;
+
+/// Thread counts the parallel-equivalence oracle sweeps: sequential, the
+/// smallest parallel case, an odd count that never divides the sample set
+/// evenly, and whatever this machine actually has.
+pub fn oracle_thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 7, available_threads()];
+    counts.dedup();
+    counts
+}
+
+/// Per-sample target ranks (1-based) for `samples` under `mode`, computed
+/// with `threads` workers. Frozen and PTTA score samples independently and
+/// fan out; T3A is stateful across the stream and always runs sequentially
+/// (matching [`evaluate_par`]'s contract).
+pub fn sample_ranks(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    mode: &InferenceMode,
+    threads: usize,
+) -> Vec<usize> {
+    match mode {
+        InferenceMode::Frozen => par_map(samples, threads, |s| {
+            rank_of(
+                &model.predict_scores(store, &s.recent, s.user),
+                s.target.index(),
+            )
+        }),
+        InferenceMode::Ptta(cfg) => {
+            let ptta = Ptta::new(cfg.clone());
+            par_map(samples, threads, |s| {
+                rank_of(&ptta.predict_scores(model, store, s), s.target.index())
+            })
+        }
+        InferenceMode::T3a(cfg) => {
+            let mut t3a = T3a::new(model, store, cfg.clone());
+            samples
+                .iter()
+                .map(|s| rank_of(&t3a.adapt_and_predict(model, store, s), s.target.index()))
+                .collect()
+        }
+    }
+}
+
+/// Differential oracle: [`evaluate_par`] at `threads` workers must
+/// reproduce [`evaluate`] exactly — aggregate metrics bit-for-bit *and*
+/// every per-sample rank (aggregates can mask compensating errors; ranks
+/// cannot). `Err` carries the first divergence found.
+///
+/// `evaluate` delegates to `evaluate_par(.., 1)`, so a bug on the shared
+/// path would cancel out of a pure two-sided comparison; the coverage
+/// check against `samples.len()` closes that blind spot for the most
+/// likely shared failure (dropped samples).
+pub fn check_parallel_equivalence(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    mode: &InferenceMode,
+    threads: usize,
+) -> Result<(), String> {
+    let seq = evaluate(model, store, samples, mode);
+    let par = evaluate_par(model, store, samples, mode, threads);
+    if seq.metrics.count != samples.len() {
+        return Err(format!(
+            "sequential evaluation covered {} of {} samples — a shared-path coverage bug the \
+             two-sided comparison below cannot see",
+            seq.metrics.count,
+            samples.len()
+        ));
+    }
+    if par.metrics != seq.metrics {
+        return Err(format!(
+            "metrics diverge at {threads} threads: sequential {} vs parallel {}",
+            seq.metrics.row(),
+            par.metrics.row()
+        ));
+    }
+    let seq_ranks = sample_ranks(model, store, samples, mode, 1);
+    let par_ranks = sample_ranks(model, store, samples, mode, threads);
+    if let Some(i) = (0..samples.len()).find(|&i| seq_ranks[i] != par_ranks[i]) {
+        return Err(format!(
+            "rank diverges at {threads} threads: sample {i} (user {}) sequential rank {} vs \
+             parallel rank {}",
+            samples[i].user.0, seq_ranks[i], par_ranks[i]
+        ));
+    }
+    Ok(())
+}
+
+/// Fraction of samples where two inference modes pick the same top-1
+/// location. The PTTA-vs-frozen agreement oracle runs this on stable
+/// (non-shifted) streams, where adaptation should mostly confirm the
+/// trained model rather than overrule it. Supports the stateless modes
+/// (Frozen, PTTA); returns an error for T3A, whose per-sample scores
+/// depend on stream position.
+pub fn top1_agreement(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    a: &InferenceMode,
+    b: &InferenceMode,
+) -> Result<f64, String> {
+    type Scorer<'m> = Box<dyn Fn(&Sample) -> Vec<f32> + 'm>;
+    fn scorer<'m>(
+        model: &'m LightMob,
+        store: &'m ParamStore,
+        mode: &InferenceMode,
+    ) -> Result<Scorer<'m>, String> {
+        match mode {
+            InferenceMode::Frozen => Ok(Box::new(move |s: &Sample| {
+                model.predict_scores(store, &s.recent, s.user)
+            })),
+            InferenceMode::Ptta(cfg) => {
+                let ptta = Ptta::new(cfg.clone());
+                Ok(Box::new(move |s: &Sample| {
+                    ptta.predict_scores(model, store, s)
+                }))
+            }
+            InferenceMode::T3a(_) => {
+                Err("top1_agreement: T3A is stream-stateful, not per-sample".into())
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err("top1_agreement: empty sample set".into());
+    }
+    let score_a = scorer(model, store, a)?;
+    let score_b = scorer(model, store, b)?;
+    let agree = samples
+        .iter()
+        .filter(|s| argmax(&score_a(s)) == argmax(&score_b(s)))
+        .count();
+    Ok(agree as f64 / samples.len() as f64)
+}
+
+/// One event in a per-user serving stream.
+#[derive(Debug, Clone, Copy)]
+pub enum StreamEvent {
+    /// A check-in delivery.
+    Observe(Point),
+    /// A blocking prediction at the given wall-clock time.
+    Predict(Timestamp),
+}
+
+/// Turn a (mini-stream) dataset into per-user serving workloads: every
+/// point becomes an observe, with a prediction one hour after each
+/// `predict_every`-th point. Each user contributes at most
+/// `max_events_per_user` events (cost control for debug-mode tests).
+pub fn workload_from_dataset(
+    ds: &Dataset,
+    predict_every: usize,
+    max_events_per_user: usize,
+) -> Vec<(UserId, Vec<StreamEvent>)> {
+    assert!(predict_every > 0, "workload_from_dataset: predict_every");
+    ds.trajectories
+        .iter()
+        .map(|tr| {
+            let mut events = Vec::new();
+            for (i, p) in tr.points.iter().enumerate() {
+                if events.len() + 2 > max_events_per_user {
+                    break;
+                }
+                events.push(StreamEvent::Observe(*p));
+                if (i + 1) % predict_every == 0 {
+                    events.push(StreamEvent::Predict(Timestamp(p.time.0 + HOUR)));
+                }
+            }
+            (tr.user, events)
+        })
+        .collect()
+}
+
+/// Differential oracle: a [`ShardedEngine`] must be observationally
+/// equivalent to a single sequential [`StreamingPredictor`] fed the same
+/// per-user event sequences — same `Some`/`None` outcomes, bit-identical
+/// scores, same top-1, same window lengths.
+///
+/// The engine side interleaves users round-robin (event `k` of every user
+/// is submitted before event `k + 1` of any user), so cross-user
+/// concurrency is exercised while each user's own order is preserved — the
+/// engine's per-user FIFO guarantee is exactly what makes the comparison
+/// legal. Returns the number of predictions compared (so callers can
+/// assert the workload was not vacuous).
+pub fn check_engine_matches_streaming(
+    model: &Arc<LightMob>,
+    store: &Arc<ParamStore>,
+    config: EngineConfig,
+    workload: &[(UserId, Vec<StreamEvent>)],
+) -> Result<usize, String> {
+    let context = config.context_sessions;
+    let hours = config.session_hours;
+    let ptta = config.ptta.clone();
+
+    let engine = ShardedEngine::new(Arc::clone(model), Arc::clone(store), config);
+    let mut engine_preds: Vec<Vec<Option<adamove::streaming::StreamPrediction>>> =
+        vec![Vec::new(); workload.len()];
+    let max_len = workload.iter().map(|(_, ev)| ev.len()).max().unwrap_or(0);
+    for step in 0..max_len {
+        for (ui, (user, events)) in workload.iter().enumerate() {
+            match events.get(step) {
+                Some(StreamEvent::Observe(p)) => engine
+                    .try_observe(*user, *p)
+                    .map_err(|e| format!("engine observe failed: {e}"))?,
+                Some(StreamEvent::Predict(now)) => engine_preds[ui].push(
+                    engine
+                        .try_predict(*user, *now)
+                        .map_err(|e| format!("engine predict failed: {e}"))?,
+                ),
+                None => {}
+            }
+        }
+    }
+    let report = engine.shutdown();
+    if !report.healthy() {
+        return Err(format!("engine unhealthy at shutdown: {}", report.row()));
+    }
+
+    let mut reference = StreamingPredictor::new(model, store, ptta, context, hours);
+    let mut compared = 0usize;
+    for (ui, (user, events)) in workload.iter().enumerate() {
+        let mut ref_preds = Vec::new();
+        for ev in events {
+            match ev {
+                StreamEvent::Observe(p) => reference.observe(*user, *p),
+                StreamEvent::Predict(now) => ref_preds.push(reference.predict(*user, *now)),
+            }
+        }
+        if ref_preds.len() != engine_preds[ui].len() {
+            return Err(format!(
+                "user {}: engine answered {} predictions, reference {}",
+                user.0,
+                engine_preds[ui].len(),
+                ref_preds.len()
+            ));
+        }
+        for (k, (e, r)) in engine_preds[ui].iter().zip(&ref_preds).enumerate() {
+            match (e, r) {
+                (None, None) => {}
+                (Some(e), Some(r)) => {
+                    if e.scores != r.scores || e.top != r.top || e.window_len != r.window_len {
+                        return Err(format!(
+                            "user {} prediction {k}: engine (top {}, window {}) != reference \
+                             (top {}, window {})",
+                            user.0, e.top.0, e.window_len, r.top.0, r.window_len
+                        ));
+                    }
+                }
+                (e, r) => {
+                    return Err(format!(
+                        "user {} prediction {k}: engine answered {} but reference {}",
+                        user.0,
+                        if e.is_some() { "Some" } else { "None" },
+                        if r.is_some() { "Some" } else { "None" }
+                    ));
+                }
+            }
+            compared += 1;
+        }
+    }
+    Ok(compared)
+}

@@ -1,0 +1,149 @@
+//! Merge-correctness suite for [`MetricAccumulator`]: the exact integer
+//! rank histogram is what lets sharded and parallel evaluation report
+//! bit-identical metrics. Partials built from any partition of a stream,
+//! merged in any order — including empty partials from idle shards — must
+//! equal one sequential pass.
+
+use adamove::{MetricAccumulator, Metrics};
+use adamove_tensor::det::DetRng;
+use proptest::prelude::*;
+
+/// Deterministic observation stream: `n` score vectors over `locs`
+/// locations with targets cycling through the universe.
+fn observations(n: usize, locs: usize, seed: u64) -> Vec<(Vec<f32>, usize)> {
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let scores: Vec<f32> = (0..locs).map(|_| rng.next_f32()).collect();
+            (scores, i % locs)
+        })
+        .collect()
+}
+
+fn accumulate(obs: &[(Vec<f32>, usize)]) -> MetricAccumulator {
+    let mut acc = MetricAccumulator::new();
+    for (scores, target) in obs {
+        acc.observe(scores, *target);
+    }
+    acc
+}
+
+/// Merge the partials at `order` into one accumulator.
+fn merge_in_order(partials: &[MetricAccumulator], order: &[usize]) -> Metrics {
+    let mut acc = MetricAccumulator::new();
+    for &i in order {
+        acc.merge(&partials[i]);
+    }
+    acc.finish()
+}
+
+#[test]
+fn any_merge_order_matches_sequential_exactly() {
+    let obs = observations(240, 30, 9);
+    let sequential = accumulate(&obs).finish();
+
+    // Six uneven partials, like six shards with skewed load.
+    let bounds = [0usize, 7, 60, 61, 150, 200, 240];
+    let partials: Vec<MetricAccumulator> = bounds
+        .windows(2)
+        .map(|w| accumulate(&obs[w[0]..w[1]]))
+        .collect();
+
+    let forward: Vec<usize> = (0..partials.len()).collect();
+    let reverse: Vec<usize> = forward.iter().rev().copied().collect();
+    assert_eq!(merge_in_order(&partials, &forward), sequential);
+    assert_eq!(merge_in_order(&partials, &reverse), sequential);
+    // A few shuffled orders (deterministic seeds).
+    for seed in 0..5u64 {
+        let mut order = forward.clone();
+        DetRng::new(seed).shuffle(&mut order);
+        assert_eq!(
+            merge_in_order(&partials, &order),
+            sequential,
+            "order {order:?}"
+        );
+    }
+}
+
+#[test]
+fn empty_shards_are_identity_elements() {
+    let obs = observations(50, 12, 4);
+    let sequential = accumulate(&obs).finish();
+
+    // Interleave empty partials (idle shards) everywhere.
+    let mut acc = MetricAccumulator::new();
+    acc.merge(&MetricAccumulator::new());
+    acc.merge(&accumulate(&obs[..20]));
+    acc.merge(&MetricAccumulator::new());
+    acc.merge(&accumulate(&obs[20..]));
+    acc.merge(&MetricAccumulator::new());
+    assert_eq!(acc.finish(), sequential);
+    assert_eq!(acc.count(), 50);
+
+    // All shards idle: still exactly the zero metrics.
+    let mut idle = MetricAccumulator::new();
+    for _ in 0..8 {
+        idle.merge(&MetricAccumulator::new());
+    }
+    assert_eq!(idle.finish(), Metrics::zero());
+}
+
+#[test]
+fn merge_is_associative_across_groupings() {
+    // ((a + b) + c) == (a + (b + c)) on the metric level.
+    let obs = observations(90, 15, 2);
+    let (a, b, c) = (
+        accumulate(&obs[..30]),
+        accumulate(&obs[30..55]),
+        accumulate(&obs[55..]),
+    );
+    let left = {
+        let mut ab = MetricAccumulator::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        ab.merge(&c);
+        ab.finish()
+    };
+    let right = {
+        let mut bc = MetricAccumulator::new();
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut out = MetricAccumulator::new();
+        out.merge(&a);
+        out.merge(&bc);
+        out.finish()
+    };
+    assert_eq!(left, right);
+    assert_eq!(left, accumulate(&obs).finish());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any partition of any stream into up to 8 partials, merged in any
+    /// rotation, equals the sequential pass bit for bit.
+    #[test]
+    fn random_partitions_merge_exactly(
+        n in 1usize..120,
+        locs in 11usize..40,
+        seed in 0u64..1000,
+        cuts in proptest::collection::vec(0usize..120, 0..7),
+        rotate in 0usize..8,
+    ) {
+        let obs = observations(n, locs, seed);
+        let sequential = accumulate(&obs).finish();
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (n + 1)).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        let partials: Vec<MetricAccumulator> = bounds
+            .windows(2)
+            .map(|w| accumulate(&obs[w[0]..w[1]])) // empty when w[0] == w[1]
+            .collect();
+
+        let mut order: Vec<usize> = (0..partials.len()).collect();
+        order.rotate_left(rotate % partials.len().max(1));
+        prop_assert_eq!(merge_in_order(&partials, &order), sequential);
+    }
+}

@@ -1,0 +1,153 @@
+//! Differential oracles: parallel evaluation vs sequential, the sharded
+//! engine vs the streaming predictor, and PTTA vs the frozen model on
+//! stable streams.
+
+use adamove::{
+    AdaMoveConfig, EngineConfig, InferenceMode, LightMob, Ptta, PttaConfig, Trainer, TrainingConfig,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::ministream::{lymob_mini, mini_preprocess_config, nyc_mini};
+use adamove_mobility::{make_samples, preprocess, Sample, SampleConfig, Split};
+use adamove_testkit::{
+    check_engine_matches_streaming, check_parallel_equivalence, deterministic_reinit,
+    oracle_thread_counts, top1_agreement, workload_from_dataset,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A deterministically re-initialized (untrained) LightMob over the given
+/// universe — equivalence oracles compare two code paths on the *same*
+/// model, so training would only add cost, not coverage.
+fn reinit_model(num_locations: u32, num_users: u32, seed: u64) -> (ParamStore, LightMob) {
+    let mut store = ParamStore::new();
+    let mut throwaway = StdRng::seed_from_u64(0);
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        num_locations,
+        num_users,
+        &mut throwaway,
+    );
+    deterministic_reinit(&mut store, seed);
+    (store, model)
+}
+
+fn mini_test_samples(cap: usize) -> (ParamStore, LightMob, Vec<Sample>) {
+    let cfg = nyc_mini();
+    let processed = preprocess(&cfg.generate(), &mini_preprocess_config());
+    let mut samples = make_samples(&processed, Split::Test, &SampleConfig::eval(2));
+    samples.truncate(cap);
+    assert!(samples.len() >= 50, "workload too small: {}", samples.len());
+    let (store, model) = reinit_model(processed.num_locations, processed.num_users() as u32, 3);
+    (store, model, samples)
+}
+
+#[test]
+fn evaluate_par_matches_evaluate_on_metrics_and_ranks() {
+    let (store, model, samples) = mini_test_samples(120);
+    for mode in [
+        InferenceMode::Frozen,
+        InferenceMode::Ptta(PttaConfig::default()),
+    ] {
+        for threads in oracle_thread_counts() {
+            check_parallel_equivalence(&model, &store, &samples, &mode, threads)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_matches_streaming_predictor() {
+    let cfg = lymob_mini();
+    let dataset = cfg.generate();
+    let (store, model) = reinit_model(cfg.locations, cfg.users as u32, 5);
+    let (model, store) = (Arc::new(model), Arc::new(store));
+    let workload = workload_from_dataset(&dataset, 4, 40);
+    assert!(workload.len() >= 8);
+    for shards in [1, 3, 7] {
+        let config = EngineConfig {
+            shards,
+            context_sessions: 2,
+            session_hours: 24,
+            ptta: PttaConfig::default(),
+        };
+        let compared = check_engine_matches_streaming(&model, &store, config, &workload)
+            .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+        assert!(
+            compared >= 50,
+            "shards={shards}: only {compared} predictions"
+        );
+    }
+}
+
+#[test]
+fn ptta_agrees_with_frozen_on_stable_streams() {
+    // A stable (non-shifted) mini-city: train briefly, then check that
+    // test-time adaptation mostly *confirms* the trained model instead of
+    // overruling it — on in-distribution streams PTTA must be close to a
+    // no-op at the decision level.
+    let cfg = lymob_mini().stable();
+    let processed = preprocess(&cfg.generate(), &mini_preprocess_config());
+    let train = make_samples(&processed, Split::Train, &SampleConfig::train());
+    let mut test = make_samples(&processed, Split::Test, &SampleConfig::eval(2));
+    test.truncate(120);
+    assert!(test.len() >= 50);
+
+    let (mut store, model) = {
+        let mut store = ParamStore::new();
+        let mut throwaway = StdRng::seed_from_u64(0);
+        let model = LightMob::new(
+            &mut store,
+            AdaMoveConfig {
+                lambda: 0.0,
+                ..AdaMoveConfig::tiny()
+            },
+            processed.num_locations,
+            processed.num_users() as u32,
+            &mut throwaway,
+        );
+        deterministic_reinit(&mut store, 21);
+        (store, model)
+    };
+    let trainer = Trainer::new(TrainingConfig {
+        max_epochs: 2,
+        batch_size: 32,
+        val_subsample: Some(60),
+        seed: 13,
+        ..TrainingConfig::default()
+    });
+    trainer.fit(&model, None, &mut store, &train, &[]);
+
+    let agreement = top1_agreement(
+        &model,
+        &store,
+        &test,
+        &InferenceMode::Frozen,
+        &InferenceMode::Ptta(PttaConfig::default()),
+    )
+    .unwrap();
+    assert!(
+        agreement >= 0.7,
+        "PTTA overruled the trained model on {:.0}% of stable-stream samples",
+        (1.0 - agreement) * 100.0
+    );
+
+    // The exact half of the agreement contract: adaptation only moves
+    // scores of locations observed in the recent window — every other
+    // column must match the frozen forward pass bit for bit.
+    let ptta = Ptta::new(PttaConfig::default());
+    for s in test.iter().take(20) {
+        let frozen = model.predict_scores(&store, &s.recent, s.user);
+        let adapted = ptta.predict_scores(&model, &store, s);
+        let seen: std::collections::HashSet<u32> = s.recent.iter().map(|p| p.loc.0).collect();
+        for (loc, (f, a)) in frozen.iter().zip(&adapted).enumerate() {
+            if !seen.contains(&(loc as u32)) {
+                assert!(
+                    (f - a).abs() < 1e-5,
+                    "unobserved location {loc} moved: frozen {f} adapted {a}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! PTTA-after-eviction equivalence: a user whose early context aged out of
+//! the sliding window must be served *exactly* like a fresh user who only
+//! ever produced the surviving suffix. Staleness eviction may change
+//! nothing but the window contents — no residual adapter state, no
+//! prediction drift.
+
+use adamove::{AdaMoveConfig, LightMob, PttaConfig, StreamingPredictor};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(seed: u64) -> (ParamStore, LightMob) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 10, 4, &mut rng);
+    (store, model)
+}
+
+fn pt(loc: u32, hour: i64) -> Point {
+    Point::new(loc, Timestamp::from_hours(hour))
+}
+
+#[test]
+fn evicted_user_predicts_like_a_fresh_user_with_the_same_suffix() {
+    let (store, model) = model(31);
+    let user = UserId(2);
+    // Window: 2 sessions x 24h = 48h horizon.
+    let make = || StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+
+    // The veteran lived a long history, went quiet, then produced a fresh
+    // suffix; everything before hour 200 is beyond the horizon of the
+    // queries below.
+    let stale = [pt(1, 0), pt(2, 3), pt(3, 30), pt(1, 55), pt(4, 80)];
+    let suffix = [pt(5, 200), pt(2, 205), pt(7, 210)];
+
+    let mut veteran = make();
+    for p in stale.iter().chain(&suffix) {
+        veteran.observe(user, *p);
+    }
+    let mut fresh = make();
+    for p in &suffix {
+        fresh.observe(user, *p);
+    }
+
+    for query_hour in [211, 220, 240] {
+        let now = Timestamp::from_hours(query_hour);
+        let v = veteran.predict(user, now).expect("suffix is in horizon");
+        let f = fresh.predict(user, now).expect("suffix is in horizon");
+        assert_eq!(
+            v.window_len,
+            suffix.len(),
+            "stale points leaked into the window"
+        );
+        assert_eq!(v.window_len, f.window_len);
+        assert_eq!(
+            v.scores, f.scores,
+            "eviction changed PTTA's output at hour {query_hour}"
+        );
+        assert_eq!(v.top, f.top);
+    }
+
+    // The inspection seam agrees: after aging, the veteran's buffered
+    // window is exactly the suffix.
+    let window: Vec<Point> = veteran.window_of(user).unwrap().points().to_vec();
+    assert_eq!(window, suffix.to_vec());
+}
+
+#[test]
+fn full_eviction_resets_to_a_truly_fresh_user() {
+    let (store, model) = model(33);
+    let user = UserId(0);
+    let make = || StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+
+    let mut veteran = make();
+    for p in [pt(1, 0), pt(2, 5), pt(3, 9)] {
+        veteran.observe(user, p);
+    }
+    // A month of silence: everything is stale, so no prediction at all —
+    // same as a user the predictor has never seen.
+    let much_later = Timestamp::from_hours(24 * 30);
+    assert!(veteran.predict(user, much_later).is_none());
+    assert!(make().predict(user, much_later).is_none());
+
+    // Both come back with the same single check-in: identical service.
+    let back = pt(6, 24 * 30 + 1);
+    let now = Timestamp::from_hours(24 * 30 + 2);
+    veteran.observe(user, back);
+    let mut fresh = make();
+    fresh.observe(user, back);
+    let v = veteran.predict(user, now).unwrap();
+    let f = fresh.predict(user, now).unwrap();
+    assert_eq!(v.window_len, 1);
+    assert_eq!(v.scores, f.scores);
+}
+
+#[test]
+fn partial_eviction_tracks_the_surviving_suffix_continuously() {
+    // As the query time advances, points age out one by one; at every
+    // stage the veteran must equal a fresh user fed only the survivors.
+    let (store, model) = model(35);
+    let user = UserId(1);
+    let points = [pt(1, 0), pt(2, 20), pt(3, 40), pt(4, 60)];
+    let make = || StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+
+    let mut veteran = make();
+    for p in &points {
+        veteran.observe(user, *p);
+    }
+    for (query_hour, expect_survivors) in [(61, 3), (75, 2), (100, 1)] {
+        let now = Timestamp::from_hours(query_hour);
+        let survivors: Vec<Point> = points
+            .iter()
+            .copied()
+            .filter(|p| p.time.0 > now.0 - 48 * 3600)
+            .collect();
+        assert_eq!(survivors.len(), expect_survivors, "scenario setup drifted");
+        let mut fresh = make();
+        for p in &survivors {
+            fresh.observe(user, *p);
+        }
+        let v = veteran.predict(user, now).unwrap();
+        let f = fresh.predict(user, now).unwrap();
+        assert_eq!(v.window_len, expect_survivors, "at hour {query_hour}");
+        assert_eq!(v.scores, f.scores, "at hour {query_hour}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Fault-injected engine tests: panics, losses and delays are contained,
+//! surfaced as typed errors or report fields, and never hang. Every wait
+//! in this suite is bounded (`predict_timeout` / `shutdown_timeout`), so a
+//! regression shows up as a test failure, not a stuck harness; outcomes are
+//! deterministic under `--test-threads=1` and the default harness alike
+//! because every [`FaultPlan`] is a pure function of per-shard sequence
+//! numbers, and each asserted request's position in its shard's queue is
+//! fixed by the submission order.
+
+use adamove::{
+    AdaMoveConfig, EngineConfig, EngineError, LightMob, PttaConfig, RequestKind, ShardedEngine,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use adamove_testkit::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const LOCATIONS: u32 = 8;
+const USERS: u32 = 64;
+
+fn model() -> (Arc<ParamStore>, Arc<LightMob>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    (Arc::new(store), Arc::new(model))
+}
+
+fn engine_with(shards: usize, plan: FaultPlan) -> ShardedEngine {
+    let (store, model) = model();
+    ShardedEngine::with_disturbance(
+        model,
+        store,
+        EngineConfig {
+            shards,
+            context_sessions: 2,
+            session_hours: 24,
+            ptta: PttaConfig::default(),
+        },
+        Some(Arc::new(plan)),
+    )
+}
+
+/// One user per shard, chosen deterministically via the pinned hash.
+fn user_on_shard(engine: &ShardedEngine, shard: usize) -> UserId {
+    (0..USERS)
+        .map(UserId)
+        .find(|u| engine.shard_of(*u) == shard)
+        .expect("64 users cover every shard")
+}
+
+fn pt(loc: u32, hour: i64) -> Point {
+    Point::new(loc, Timestamp::from_hours(hour))
+}
+
+#[test]
+fn panicked_shard_is_contained_and_reported() {
+    const DEAD: usize = 1;
+    let engine = engine_with(4, FaultPlan::new(0).panic_at(DEAD, 0));
+    let victim = user_on_shard(&engine, DEAD);
+
+    // The victim's first request trips the panic; the queued predict's
+    // reply channel is dropped with the worker, so the caller gets a typed
+    // error instead of a hang.
+    let _ = engine.try_observe(victim, pt(1, 0));
+    assert_eq!(
+        engine
+            .try_predict(victim, Timestamp::from_hours(1))
+            .unwrap_err(),
+        EngineError::ShardDown { shard: DEAD }
+    );
+    // Once the worker is gone even enqueueing fails.
+    assert_eq!(
+        engine.try_observe(victim, pt(2, 1)),
+        Err(EngineError::ShardDown { shard: DEAD })
+    );
+
+    // Every other shard keeps serving normally.
+    for shard in [0, 2, 3] {
+        let user = user_on_shard(&engine, shard);
+        engine.observe(user, pt(3, 0));
+        engine.observe(user, pt(4, 2));
+        let pred = engine
+            .predict_timeout(user, Timestamp::from_hours(3), Duration::from_secs(30))
+            .unwrap()
+            .expect("live shard with a fresh window must predict");
+        assert_eq!(pred.window_len, 2);
+    }
+
+    let report = engine
+        .shutdown_timeout(Duration::from_secs(30))
+        .expect("healthy shards drain promptly");
+    assert_eq!(report.failed_shards, vec![DEAD]);
+    assert!(!report.healthy());
+    assert!(report.row().contains("FAILED"));
+    assert_eq!(report.observed, 6);
+    assert_eq!(report.predictions, 3);
+    assert_eq!(report.per_shard_users[DEAD], 0);
+}
+
+#[test]
+fn dropped_observes_degrade_predictions_not_the_engine() {
+    // Shard-wide delivery loss: every observe vanishes, predicts still work.
+    let engine = engine_with(2, FaultPlan::new(7).drop_observes(None, 1.0));
+    let (a, b) = (user_on_shard(&engine, 0), user_on_shard(&engine, 1));
+    for user in [a, b] {
+        engine.observe(user, pt(1, 0));
+        engine.observe(user, pt(2, 1));
+        // All observes were dropped: no window, so a graceful None.
+        let pred = engine
+            .predict_timeout(user, Timestamp::from_hours(2), Duration::from_secs(30))
+            .unwrap();
+        assert!(pred.is_none(), "prediction from dropped observes");
+    }
+    let report = engine
+        .shutdown_timeout(Duration::from_secs(30))
+        .expect("drops must not wedge shutdown");
+    assert!(report.healthy());
+    assert_eq!(report.observed, 0);
+    assert_eq!(report.dropped_observes, 4);
+    assert_eq!(report.predictions, 2);
+    assert_eq!(report.users(), 0);
+}
+
+#[test]
+fn partial_observe_loss_only_affects_the_lossy_shard() {
+    const LOSSY: usize = 0;
+    let engine = engine_with(2, FaultPlan::new(3).drop_observes(Some(LOSSY), 1.0));
+    let lossy_user = user_on_shard(&engine, LOSSY);
+    let clean_user = user_on_shard(&engine, 1);
+    for user in [lossy_user, clean_user] {
+        engine.observe(user, pt(1, 0));
+    }
+    assert!(engine
+        .predict_timeout(
+            lossy_user,
+            Timestamp::from_hours(1),
+            Duration::from_secs(30)
+        )
+        .unwrap()
+        .is_none());
+    assert!(engine
+        .predict_timeout(
+            clean_user,
+            Timestamp::from_hours(1),
+            Duration::from_secs(30)
+        )
+        .unwrap()
+        .is_some());
+    let report = engine.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert!(report.healthy());
+    assert_eq!((report.observed, report.dropped_observes), (1, 1));
+}
+
+#[test]
+fn delayed_reply_surfaces_a_typed_timeout() {
+    const SLOW: usize = 0;
+    // Delay only predicts, only on the slow shard, by more than the
+    // caller's patience but far less than the test's own bounds.
+    let engine = engine_with(
+        2,
+        FaultPlan::new(5).delay(
+            Some(SLOW),
+            Some(RequestKind::Predict),
+            Duration::from_millis(400),
+            1.0,
+        ),
+    );
+    let slow_user = user_on_shard(&engine, SLOW);
+    let fast_user = user_on_shard(&engine, 1);
+    engine.observe(slow_user, pt(1, 0));
+    engine.observe(fast_user, pt(1, 0));
+
+    let err = engine
+        .predict_timeout(
+            slow_user,
+            Timestamp::from_hours(1),
+            Duration::from_millis(40),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::Timeout {
+            shard: SLOW,
+            waited: Duration::from_millis(40)
+        }
+    );
+    assert!(err.to_string().contains("did not reply"));
+
+    // The un-delayed shard answers within the same patience.
+    assert!(engine
+        .predict_timeout(fast_user, Timestamp::from_hours(1), Duration::from_secs(30))
+        .unwrap()
+        .is_some());
+
+    // A patient caller still gets the slow shard's (correct) answer.
+    let pred = engine
+        .predict_timeout(slow_user, Timestamp::from_hours(1), Duration::from_secs(30))
+        .unwrap();
+    assert!(pred.is_some());
+
+    let report = engine.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert!(report.healthy());
+    // The abandoned first predict was still processed by the shard.
+    assert_eq!(report.predictions, 3);
+}
+
+#[test]
+fn stuck_shard_yields_shutdown_error_not_a_hang() {
+    const STUCK: usize = 1;
+    // Every request on the stuck shard sleeps 250ms; queue up ~2s of work
+    // so the drain cannot finish within the shutdown deadline.
+    let engine = engine_with(
+        3,
+        FaultPlan::new(2).delay(Some(STUCK), None, Duration::from_millis(250), 1.0),
+    );
+    let stuck_user = user_on_shard(&engine, STUCK);
+    for i in 0..8 {
+        engine.observe(stuck_user, pt(1 + (i % 3), i as i64));
+    }
+    let err = engine
+        .shutdown_timeout(Duration::from_millis(100))
+        .expect_err("a draining backlog cannot finish in 100ms");
+    assert_eq!(err.stuck_shards, vec![STUCK]);
+    assert_eq!(err.timeout, Duration::from_millis(100));
+    assert!(err.to_string().contains("still draining"));
+    // The detached worker finishes its ~2s backlog on its own; nothing to
+    // join here — the error already proved shutdown cannot hang.
+}
+
+#[test]
+fn fault_free_plan_changes_nothing() {
+    // An engine wired with an all-None plan must behave like a plain one:
+    // same predictions, clean report.
+    let (store, model) = model();
+    let config = EngineConfig {
+        shards: 2,
+        context_sessions: 2,
+        session_hours: 24,
+        ptta: PttaConfig::default(),
+    };
+    let disturbed = ShardedEngine::with_disturbance(
+        Arc::clone(&model),
+        Arc::clone(&store),
+        config.clone(),
+        Some(Arc::new(FaultPlan::new(0))),
+    );
+    let plain = ShardedEngine::new(model, store, config);
+    let user = UserId(4);
+    for engine in [&disturbed, &plain] {
+        engine.observe(user, pt(1, 0));
+        engine.observe(user, pt(2, 2));
+    }
+    let now = Timestamp::from_hours(3);
+    let a = disturbed.predict(user, now).unwrap();
+    let b = plain.predict(user, now).unwrap();
+    assert_eq!(a.scores, b.scores);
+    assert_eq!(a.top, b.top);
+    let ra = disturbed.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    let rb = plain.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert!(ra.healthy() && rb.healthy());
+    assert_eq!(ra.dropped_observes, 0);
+    assert_eq!((ra.observed, ra.predictions), (rb.observed, rb.predictions));
+}

@@ -1,0 +1,81 @@
+//! Golden-trace snapshots: each seeded mini-city runs the full pipeline
+//! (generate → preprocess → train → evaluate frozen + PTTA) and the
+//! resulting metrics are compared against checked-in JSON baselines with
+//! explicit tolerances. A drift here means the numerical behaviour of the
+//! pipeline changed — either fix the regression or, for an intentional
+//! change, regenerate with:
+//!
+//! ```text
+//! cargo test -p adamove-testkit -- --ignored regen
+//! ```
+
+use adamove_testkit::{
+    compare_against_golden, golden_path, run_golden_pipeline, GoldenRecord, GOLDEN_CITIES,
+};
+
+#[test]
+fn golden_baselines_exist_for_every_city() {
+    for (name, _) in GOLDEN_CITIES {
+        let path = golden_path(name);
+        assert!(
+            path.exists(),
+            "missing golden baseline {} — run `cargo test -p adamove-testkit -- --ignored regen`",
+            path.display()
+        );
+    }
+}
+
+fn check_city(name: &str) {
+    let (_, city) = GOLDEN_CITIES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .expect("city is registered");
+    let got = run_golden_pipeline(&city());
+    let path = golden_path(name);
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden baseline {}: {e} — run `cargo test -p adamove-testkit -- --ignored regen`",
+            path.display()
+        )
+    });
+    let baseline = GoldenRecord::from_json(&raw)
+        .unwrap_or_else(|e| panic!("corrupt golden baseline {}: {e}", path.display()));
+    compare_against_golden(&got, &baseline).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn nyc_mini_trace_matches_golden() {
+    check_city("nyc");
+}
+
+#[test]
+fn tky_mini_trace_matches_golden() {
+    check_city("tky");
+}
+
+#[test]
+fn lymob_mini_trace_matches_golden() {
+    check_city("lymob");
+}
+
+/// Regenerates every golden baseline in place. Ignored by default; run
+/// explicitly after an *intentional* numerical change and commit the diff:
+///
+/// ```text
+/// cargo test -p adamove-testkit -- --ignored regen
+/// ```
+#[test]
+#[ignore = "writes tests/golden/*.json; run explicitly to regenerate baselines"]
+fn regen_golden_baselines() {
+    for (name, city) in GOLDEN_CITIES {
+        let record = run_golden_pipeline(&city());
+        let path = golden_path(name);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, record.to_json()).unwrap();
+        // Round-trip through the parser so a regen can never check in a
+        // baseline the comparing tests cannot read.
+        let back = GoldenRecord::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        compare_against_golden(&record, &back).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

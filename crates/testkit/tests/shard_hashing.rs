@@ -1,0 +1,108 @@
+//! The user→shard hash is part of the engine's observable behaviour:
+//! requests for a user must land on the same shard in every process, on
+//! every run, forever — a changed assignment would silently split a user's
+//! window across shards after a rolling restart. This suite pins the hash
+//! three ways: the SplitMix64 constants it is built from, concrete
+//! assignment vectors, and distributional properties over arbitrary ids.
+
+use adamove::shard_of;
+use adamove_mobility::UserId;
+use adamove_tensor::det::{mix64, DetRng, GOLDEN_GAMMA};
+use proptest::prelude::*;
+
+/// The constants behind `shard_of`, pinned bit for bit. If this test fails,
+/// the hash changed — which reshards every deployed user and invalidates
+/// the assignment vectors below; that must never happen by accident.
+#[test]
+fn splitmix64_constants_are_pinned() {
+    assert_eq!(GOLDEN_GAMMA, 0x9E37_79B9_7F4A_7C15);
+    // Canonical SplitMix64 finalizer outputs (reference implementation).
+    assert_eq!(mix64(0), 0xe220_a839_7b1d_cdaf);
+    assert_eq!(mix64(1), 0x910a_2dec_8902_5cc1);
+    assert_eq!(mix64(42), 0xbdd7_3226_2feb_6e95);
+    assert_eq!(mix64(0xDEAD_BEEF), 0x4adf_b90f_68c9_eb9b);
+    // The streaming generator is the same finalizer over a gamma walk.
+    let mut rng = DetRng::new(0);
+    assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+    assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    assert_eq!(rng.next_u64(), 0x06c4_5d18_8009_454f);
+}
+
+/// Concrete shard assignments, checked in as data. These are the values
+/// production windows are partitioned by today.
+#[test]
+fn shard_assignment_vectors_are_pinned() {
+    let at =
+        |shards: usize| -> Vec<usize> { (0..12).map(|u| shard_of(UserId(u), shards)).collect() };
+    assert_eq!(at(2), vec![1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1]);
+    assert_eq!(at(7), vec![2, 2, 4, 2, 6, 3, 3, 2, 4, 2, 1, 1]);
+    // One shard is the degenerate total function.
+    assert!(at(1).iter().all(|&s| s == 0));
+}
+
+#[test]
+fn ten_thousand_sequential_ids_spread_within_twice_ideal() {
+    // Sequential ids are the adversarial-but-realistic workload (compact
+    // remapped user ids count up from zero). For every shard width the
+    // paper's deployments would use, no shard may exceed 2x its ideal
+    // share, and none may starve below half of it.
+    const IDS: u32 = 10_000;
+    for shards in [2usize, 3, 4, 7, 8, 16, 32] {
+        let mut counts = vec![0usize; shards];
+        for u in 0..IDS {
+            counts[shard_of(UserId(u), shards)] += 1;
+        }
+        let ideal = IDS as f64 / shards as f64;
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) <= 2.0 * ideal,
+                "shards={shards}: shard {shard} holds {c} of {IDS} (ideal {ideal:.0})"
+            );
+            assert!(
+                (c as f64) >= ideal / 2.0,
+                "shards={shards}: shard {shard} starves at {c} of {IDS} (ideal {ideal:.0})"
+            );
+        }
+        assert_eq!(counts.iter().sum::<usize>(), IDS as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Stability: the assignment is a pure function of (user, shards) —
+    /// same value on every call, in range, and exactly the documented
+    /// `mix64(user) % shards` formula.
+    #[test]
+    fn assignment_is_stable_and_matches_the_documented_formula(
+        user in 0u32..u32::MAX,
+        shards in 1usize..64,
+    ) {
+        let s = shard_of(UserId(user), shards);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, shard_of(UserId(user), shards));
+        prop_assert_eq!(s, (mix64(user as u64) % shards as u64) as usize);
+    }
+
+    /// Zero shards is rounded up rather than dividing by zero (mirrors the
+    /// engine's `config.shards.max(1)`).
+    #[test]
+    fn zero_shards_degrades_to_one(user in 0u32..u32::MAX) {
+        prop_assert_eq!(shard_of(UserId(user), 0), 0);
+    }
+
+    /// Arbitrary (not just sequential) id windows also spread: over any
+    /// 4096-id contiguous window, no shard of 8 exceeds twice its share.
+    #[test]
+    fn arbitrary_id_windows_balance_across_eight_shards(start in 0u32..u32::MAX - 4096) {
+        const SHARDS: usize = 8;
+        let mut counts = [0usize; SHARDS];
+        for u in start..start + 4096 {
+            counts[shard_of(UserId(u), SHARDS)] += 1;
+        }
+        let ideal = 4096.0 / SHARDS as f64;
+        for &c in &counts {
+            prop_assert!((c as f64) <= 2.0 * ideal, "counts {:?}", counts);
+        }
+    }
+}

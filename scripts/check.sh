@@ -5,13 +5,26 @@
 #
 # Runs against the real crates-io dependencies and therefore needs network
 # (or a primed cargo cache). For fully-offline development against the
-# API-compatible stubs in .devstubs/, use scripts/offline-check.sh instead.
+# API-compatible stubs in .devstubs/, use scripts/offline-check.sh instead
+# (`scripts/offline-check.sh full` mirrors this gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
+# The testkit suites run as part of the workspace pass above; re-run them
+# by name so a failure in the differential oracles, golden traces, or
+# fault-injection suites is unmistakable in CI logs.
+cargo test -q -p adamove-testkit
+# Golden drift: the comparison tests fail on numerical drift; this guard
+# additionally catches a regenerated-but-uncommitted baseline (new,
+# not-yet-tracked baselines are fine mid-PR).
+if ! git diff --quiet HEAD -- crates/testkit/tests/golden 2>/dev/null; then
+    echo "check.sh: golden baselines drifted (uncommitted changes under crates/testkit/tests/golden)" >&2
+    git --no-pager diff --stat HEAD -- crates/testkit/tests/golden >&2
+    exit 1
+fi
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 echo "check.sh: all gates green"
