@@ -8,7 +8,11 @@
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin table2_comparison
 //!         [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick]
-//!         [--threads N]`
+//!         [--threads N] [--metrics path.json]`
+//!
+//! Serving telemetry (per-phase latency percentiles, throughput, thread
+//! count) is exported through the obs registry to `--metrics`, defaulting
+//! to `BENCH_serving.json` at the workspace root.
 //!
 //! Evaluation fans out over `--threads` workers (default: available
 //! parallelism). Metrics are bit-identical at any thread count; when
@@ -16,12 +20,14 @@
 //! oracle on the AdaMove evaluation — sequential vs parallel metrics and
 //! per-sample ranks — as a self-check.
 
-use adamove::{evaluate_fn_par, evaluate_par, EncoderKind, InferenceMode, Metrics, PttaConfig};
+use adamove::{
+    evaluate_fn_par, evaluate_par, EncoderKind, EvalOutcome, InferenceMode, Metrics, PttaConfig,
+};
 use adamove_autograd::ParamStore;
 use adamove_baselines::heuristic::HeuristicWeights;
 use adamove_baselines::{DeepMove, HeuristicMob, MarkovBaseline, PopularityBaseline, SeqBaseline};
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
-use adamove_bench::report::{metrics_row, render_table, write_json};
+use adamove_bench::report::{metrics_row, render_table, write_json, write_serving_metrics};
 use adamove_mobility::CityPreset;
 use adamove_testkit::check_parallel_equivalence;
 use rand::rngs::StdRng;
@@ -68,6 +74,7 @@ fn main() {
     let args = ExperimentArgs::parse();
     let (max_train, max_test) = sample_caps(args.scale);
     let mut results = Vec::new();
+    let mut serving: Vec<(String, EvalOutcome)> = Vec::new();
 
     for preset in args.cities() {
         let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
@@ -264,6 +271,7 @@ fn main() {
             ada_out.latency.row()
         );
 
+        serving.push((format!("adamove:{}", city.stats.name), ada_out));
         results.push(CityResult {
             city: city.stats.name.clone(),
             methods,
@@ -271,4 +279,6 @@ fn main() {
     }
 
     write_json("table2_comparison", &results);
+    let phases: Vec<(String, &EvalOutcome)> = serving.iter().map(|(n, o)| (n.clone(), o)).collect();
+    write_serving_metrics(args.threads, &phases, args.metrics.as_deref());
 }

@@ -8,18 +8,23 @@
 //! densest).
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin table3_efficiency
-//!         [--scale small|paper] [--seed N] [--city ...] [--quick] [--threads N]`
+//!         [--scale small|paper] [--seed N] [--city ...] [--quick] [--threads N]
+//!         [--metrics path.json]`
 //!
 //! Per-sample latencies measure compute cost and are thread-independent;
 //! the throughput / p50 / p99 lines reflect the `--threads` fan-out.
+//! Serving telemetry (per-phase latency percentiles, throughput, thread
+//! count) is exported through the obs registry to `--metrics`, defaulting
+//! to `BENCH_serving.json` at the workspace root.
 
 use adamove::{
-    evaluate_fn_par, evaluate_par, EncoderKind, InferenceMode, Metrics, Ptta, PttaConfig,
+    evaluate_fn_par, evaluate_par, EncoderKind, EvalOutcome, InferenceMode, Metrics, Ptta,
+    PttaConfig,
 };
 use adamove_autograd::ParamStore;
 use adamove_baselines::DeepMove;
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
-use adamove_bench::report::{render_table, write_json};
+use adamove_bench::report::{render_table, write_json, write_serving_metrics};
 use adamove_mobility::CityPreset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,6 +53,7 @@ fn main() {
     let args = ExperimentArgs::parse();
     let (max_train, max_test) = sample_caps(args.scale);
     let mut results = Vec::new();
+    let mut serving: Vec<(String, EvalOutcome)> = Vec::new();
 
     for preset in args.cities() {
         let city = prepare_city(preset, args.scale, args.seed, max_train, max_test);
@@ -138,7 +144,11 @@ fn main() {
             improvement_pct: improvement,
             paper_improvement_pct: paper_improvement(preset),
         });
+        serving.push((format!("adamove:{}", city.stats.name), ada_out));
+        serving.push((format!("deeptta:{}", city.stats.name), dt_out));
     }
 
     write_json("table3_efficiency", &results);
+    let phases: Vec<(String, &EvalOutcome)> = serving.iter().map(|(n, o)| (n.clone(), o)).collect();
+    write_serving_metrics(args.threads, &phases, args.metrics.as_deref());
 }

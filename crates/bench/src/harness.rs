@@ -11,6 +11,7 @@ use adamove_mobility::{
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::path::PathBuf;
 
 /// Parsed command-line arguments shared by every experiment binary.
 #[derive(Debug, Clone)]
@@ -27,6 +28,10 @@ pub struct ExperimentArgs {
     /// parallelism). Metrics are bit-identical at any value; only
     /// wall-clock changes.
     pub threads: usize,
+    /// `--metrics <path.json>`: where serving telemetry (the obs-registry
+    /// flat-JSON exposition) is written. Binaries that emit telemetry
+    /// default to `BENCH_serving.json` at the workspace root.
+    pub metrics: Option<PathBuf>,
 }
 
 impl ExperimentArgs {
@@ -38,6 +43,7 @@ impl ExperimentArgs {
             city: None,
             quick: false,
             threads: adamove::available_threads(),
+            metrics: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -76,7 +82,13 @@ impl ExperimentArgs {
                         .filter(|&n: &usize| n >= 1)
                         .expect("--threads takes a positive integer");
                 }
-                other => panic!("unknown argument {other}; usage: [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick] [--threads N]"),
+                "--metrics" => {
+                    i += 1;
+                    out.metrics = Some(PathBuf::from(
+                        args.get(i).expect("--metrics takes a file path"),
+                    ));
+                }
+                other => panic!("unknown argument {other}; usage: [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick] [--threads N] [--metrics path.json]"),
             }
             i += 1;
         }

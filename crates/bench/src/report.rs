@@ -2,9 +2,10 @@
 //! binaries. Every binary prints a human-readable table (the paper's rows)
 //! and writes the same data as JSON under `results/` for EXPERIMENTS.md.
 
-use adamove::Metrics;
+use adamove::{EvalOutcome, Metrics};
+use adamove_obs::{labeled, to_flat_json, Registry};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Render a fixed-width table: header row + body rows.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -61,6 +62,54 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Workspace root (the parent of [`results_dir`]): default landing spot
+/// for `BENCH_serving.json`.
+pub fn repo_root() -> PathBuf {
+    results_dir()
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Record each evaluation phase's serving telemetry into a fresh
+/// [`adamove_obs::Registry`] and write the flat-JSON exposition.
+///
+/// Per phase: a `bench_eval_latency_ns{phase="..."}` histogram (so the
+/// export carries `_p50`/`_p95`/`_p99`/`_mean`), a
+/// `bench_throughput_sps{phase="..."}` gauge (wall-clock samples/s at the
+/// run's thread count) and a `bench_samples_total{phase="..."}` counter;
+/// plus a single `bench_threads` gauge. `path = None` defaults to
+/// `BENCH_serving.json` at the workspace root.
+pub fn write_serving_metrics(
+    threads: usize,
+    phases: &[(String, &EvalOutcome)],
+    path: Option<&Path>,
+) {
+    let registry = Registry::new();
+    registry.gauge("bench_threads").set(threads as f64);
+    for (phase, out) in phases {
+        let labels = [("phase", phase.as_str())];
+        let hist = registry.histogram(&labeled("bench_eval_latency_ns", &labels));
+        for &ns in &out.latencies_ns {
+            hist.record(ns);
+        }
+        registry
+            .gauge(&labeled("bench_throughput_sps", &labels))
+            .set(out.latency.throughput);
+        registry
+            .counter(&labeled("bench_samples_total", &labels))
+            .add(out.latency.samples as u64);
+    }
+    let json = to_flat_json(&registry.snapshot());
+    let path = path
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| repo_root().join("BENCH_serving.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[serving metrics written to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Write an experiment's JSON record to `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
@@ -114,5 +163,40 @@ mod tests {
         let d = results_dir();
         assert!(d.ends_with("results"));
         assert!(d.exists());
+    }
+
+    #[test]
+    fn serving_metrics_json_has_required_keys() {
+        use adamove::LatencyProfile;
+        use std::time::Duration;
+
+        let outcome = EvalOutcome {
+            metrics: Metrics {
+                rec1: 0.5,
+                rec5: 0.5,
+                rec10: 0.5,
+                mrr: 0.5,
+                count: 3,
+            },
+            avg_latency_us: 2.0,
+            total_time: Duration::from_millis(1),
+            latency: LatencyProfile::from_nanos(
+                vec![1_000, 2_000, 3_000],
+                Duration::from_millis(1),
+            ),
+            latencies_ns: vec![1_000, 2_000, 3_000],
+        };
+        let path = std::env::temp_dir().join("adamove_bench_serving_test.json");
+        write_serving_metrics(4, &[("eval".to_string(), &outcome)], Some(&path));
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for key in [
+            "\"bench_threads\": 4",
+            "\"bench_samples_total{phase=\\\"eval\\\"}\": 3",
+            "\"bench_eval_latency_ns_p99{phase=\\\"eval\\\"}\"",
+            "\"bench_throughput_sps{phase=\\\"eval\\\"}\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

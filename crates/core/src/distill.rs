@@ -106,6 +106,7 @@ pub fn distill(
     let mut order: Vec<usize> = (0..train.len()).collect();
     let mut epochs = Vec::new();
     for epoch in 0..training.max_epochs {
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let lr = scheduler.lr();
         let mut loss_sum = 0.0f64;
@@ -180,6 +181,7 @@ pub fn distill(
             train_loss: (loss_sum / batches.max(1) as f64) as f32,
             val_accuracy: val_acc,
             lr,
+            epoch_secs: epoch_start.elapsed().as_secs_f32(),
         });
         if scheduler.exhausted() {
             break;

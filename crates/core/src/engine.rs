@@ -29,14 +29,29 @@
 //! request — a `#[cfg]`-free seam the testkit's fault injection plugs into
 //! (worker panics, delayed replies, dropped observes) without any
 //! test-only code paths in the engine itself.
+//!
+//! # Observability
+//!
+//! Every engine owns an [`adamove_obs::Registry`]: per-shard counters
+//! (`engine_observes_total{shard="i"}`, predicts, flushes, dropped
+//! observes), a predict-latency histogram, queue-depth and live-user
+//! gauges, plus engine-level fault counters (`engine_shard_down_total`,
+//! `engine_timeout_total`). All hot-path updates are relaxed atomics —
+//! no locks, no allocation. [`ShardedEngine::snapshot`] reads the
+//! registry *mid-run*, so shard health (p99, queue depth, faults) is
+//! visible before shutdown; the final [`EngineReport`] is rebuilt from
+//! the same registry. Pass a sink-equipped [`Tracer`] via
+//! [`ShardedEngine::with_observability`] to also get span events (e.g.
+//! `shard_panic`); the default no-op tracer costs one branch.
 
 use crate::eval::LatencyProfile;
 use crate::lightmob::LightMob;
 use crate::parallel::available_threads;
-use crate::ptta::PttaConfig;
-use crate::streaming::{StreamPrediction, StreamingPredictor};
+use crate::ptta::{PttaConfig, PttaObs};
+use crate::streaming::{StreamObs, StreamPrediction, StreamingPredictor};
 use adamove_autograd::ParamStore;
 use adamove_mobility::{Point, Timestamp, UserId};
+use adamove_obs::{event, labeled, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Tracer};
 use adamove_tensor::det::mix64;
 use std::fmt;
 use std::sync::mpsc;
@@ -249,13 +264,96 @@ impl Request {
     }
 }
 
-#[derive(Debug, Default)]
-struct ShardStats {
-    observed: usize,
-    predictions: usize,
-    dropped_observes: usize,
-    latencies_ns: Vec<u64>,
-    users: usize,
+/// Per-shard metric handles, registered once at spawn and cloned into the
+/// worker thread. Every update is a relaxed atomic operation.
+#[derive(Debug, Clone)]
+struct ShardObs {
+    observes: Counter,
+    predicts: Counter,
+    flushes: Counter,
+    dropped_observes: Counter,
+    predict_latency: Histogram,
+    queue_depth: Gauge,
+    users: Gauge,
+}
+
+impl ShardObs {
+    fn register(registry: &Registry, shard: usize) -> Self {
+        let s = shard.to_string();
+        let l = |name: &str| labeled(name, &[("shard", &s)]);
+        Self {
+            observes: registry.counter(&l("engine_observes_total")),
+            predicts: registry.counter(&l("engine_predicts_total")),
+            flushes: registry.counter(&l("engine_flushes_total")),
+            dropped_observes: registry.counter(&l("engine_dropped_observes_total")),
+            predict_latency: registry.histogram(&l("engine_predict_latency_ns")),
+            queue_depth: registry.gauge(&l("engine_queue_depth")),
+            users: registry.gauge(&l("engine_users")),
+        }
+    }
+}
+
+/// Mid-run view of one shard, read from the live registry.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Observe requests processed so far.
+    pub observed: usize,
+    /// Predict requests processed so far.
+    pub predictions: usize,
+    /// Flush tokens processed so far.
+    pub flushes: usize,
+    /// Observes dropped by an injected disturbance so far.
+    pub dropped_observes: usize,
+    /// Requests enqueued but not yet received by the worker.
+    pub queue_depth: usize,
+    /// Users with a live window on this shard.
+    pub users: usize,
+    /// Predict-handling latency distribution so far (nanoseconds; use
+    /// [`HistogramSnapshot::percentile`] for p50/p95/p99 readout).
+    pub predict_latency: HistogramSnapshot,
+    /// False once the worker thread has terminated (drained or panicked).
+    pub alive: bool,
+}
+
+/// Mid-run view of the whole engine — [`ShardedEngine::snapshot`].
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Per-shard state, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Requests that failed with [`EngineError::ShardDown`] so far.
+    pub shard_down_errors: usize,
+    /// Requests that failed with [`EngineError::Timeout`] so far.
+    pub timeout_errors: usize,
+    /// Engine lifetime so far.
+    pub elapsed: Duration,
+}
+
+impl EngineSnapshot {
+    /// Total observes processed across shards.
+    pub fn observed(&self) -> usize {
+        self.shards.iter().map(|s| s.observed).sum()
+    }
+
+    /// Total predicts processed across shards.
+    pub fn predictions(&self) -> usize {
+        self.shards.iter().map(|s| s.predictions).sum()
+    }
+
+    /// Total observes dropped by disturbances across shards.
+    pub fn dropped_observes(&self) -> usize {
+        self.shards.iter().map(|s| s.dropped_observes).sum()
+    }
+
+    /// Predict-latency distribution merged across all shards.
+    pub fn predict_latency(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for s in &self.shards {
+            merged.merge(&s.predict_latency);
+        }
+        merged
+    }
 }
 
 /// Unwind payload of an injected [`FaultAction::PanicShard`].
@@ -277,8 +375,16 @@ pub struct ShardedEngine {
     handles: Vec<JoinHandle<()>>,
     // Mutex only to keep `ShardedEngine: Sync` (Receiver is Send but not
     // Sync); shutdown is the sole reader and takes `self` by value.
-    stats_rx: Mutex<mpsc::Receiver<(usize, ShardStats)>>,
+    // Payload: (shard, users-with-live-windows-at-exit) — the one datum
+    // a worker can only report once it stops mutating its windows. All
+    // counts and latencies live in the registry instead.
+    stats_rx: Mutex<mpsc::Receiver<(usize, usize)>>,
     started: Instant,
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    shard_obs: Vec<ShardObs>,
+    shard_down_errors: Counter,
+    timeout_errors: Counter,
 }
 
 impl ShardedEngine {
@@ -295,11 +401,38 @@ impl ShardedEngine {
         config: EngineConfig,
         disturbance: Option<Arc<dyn Disturbance>>,
     ) -> Self {
+        Self::with_observability(
+            model,
+            store,
+            config,
+            disturbance,
+            Arc::new(Registry::new()),
+            Tracer::noop(),
+        )
+    }
+
+    /// Full constructor: a caller-supplied metric [`Registry`] (shared
+    /// with other components or scraped externally) and a [`Tracer`]
+    /// cloned into every shard worker. [`ShardedEngine::new`] uses a
+    /// private registry and the no-op tracer.
+    pub fn with_observability(
+        model: Arc<LightMob>,
+        store: Arc<ParamStore>,
+        config: EngineConfig,
+        disturbance: Option<Arc<dyn Disturbance>>,
+        registry: Arc<Registry>,
+        tracer: Tracer,
+    ) -> Self {
         let shards = config.shards.max(1);
-        let (stats_tx, stats_rx) = mpsc::channel::<(usize, ShardStats)>();
+        let shard_obs: Vec<ShardObs> = (0..shards)
+            .map(|s| ShardObs::register(&registry, s))
+            .collect();
+        let shard_down_errors = registry.counter("engine_shard_down_total");
+        let timeout_errors = registry.counter("engine_timeout_total");
+        let (stats_tx, stats_rx) = mpsc::channel::<(usize, usize)>();
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
-        for shard in 0..shards {
+        for (shard, obs) in shard_obs.iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Request>();
             let model = Arc::clone(&model);
             let store = Arc::clone(&store);
@@ -307,14 +440,21 @@ impl ShardedEngine {
             let (c, t) = (config.context_sessions, config.session_hours);
             let disturbance = disturbance.clone();
             let stats_tx = stats_tx.clone();
+            let obs = obs.clone();
+            let tracer = tracer.clone();
+            let shard_label = shard.to_string();
+            let stream_obs = StreamObs::register(&registry, &[("shard", &shard_label)]);
+            let ptta_obs = PttaObs::register(&registry, &[("shard", &shard_label)]);
             let handle = std::thread::Builder::new()
                 .name(format!("adamove-shard-{shard}"))
                 .spawn(move || {
                     let mut sp = StreamingPredictor::new(&model, &store, ptta, c, t);
-                    let mut stats = ShardStats::default();
+                    sp.set_obs(stream_obs);
+                    sp.set_ptta_obs(ptta_obs);
                     let mut seq: u64 = 0;
                     // Ends when every sender is dropped (engine shutdown).
                     while let Ok(req) = rx.recv() {
+                        obs.queue_depth.dec();
                         let kind = req.kind();
                         let action = disturbance
                             .as_deref()
@@ -324,6 +464,7 @@ impl ShardedEngine {
                         match action {
                             FaultAction::None => {}
                             FaultAction::PanicShard => {
+                                event!(tracer, "shard_panic", shard = shard, seq = seq - 1);
                                 // resume_unwind skips the panic hook: the
                                 // crash is deliberate and tests stay quiet.
                                 std::panic::resume_unwind(Box::new(InjectedShardPanic));
@@ -331,7 +472,7 @@ impl ShardedEngine {
                             FaultAction::Delay(d) => std::thread::sleep(d),
                             FaultAction::DropObserve => {
                                 if kind == RequestKind::Observe {
-                                    stats.dropped_observes += 1;
+                                    obs.dropped_observes.inc();
                                     continue;
                                 }
                             }
@@ -339,26 +480,28 @@ impl ShardedEngine {
                         match req {
                             Request::Observe(user, point) => {
                                 sp.observe(user, point);
-                                stats.observed += 1;
+                                obs.observes.inc();
+                                obs.users.set(sp.active_users() as f64);
                             }
                             Request::Predict { user, now, reply } => {
                                 let t0 = Instant::now();
                                 let prediction = sp.predict(user, now);
-                                stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                                stats.predictions += 1;
+                                obs.predict_latency.record(t0.elapsed().as_nanos() as u64);
+                                obs.predicts.inc();
+                                obs.users.set(sp.active_users() as f64);
                                 // A dropped reply receiver only means the
                                 // caller gave up waiting; not fatal.
                                 let _ = reply.send(prediction);
                             }
                             Request::Flush(done) => {
+                                obs.flushes.inc();
                                 let _ = done.send(());
                             }
                         }
                     }
-                    stats.users = sp.active_users();
                     // Receiver gone = the engine was dropped without a
                     // shutdown; losing the stats is fine then.
-                    let _ = stats_tx.send((shard, stats));
+                    let _ = stats_tx.send((shard, sp.active_users()));
                 })
                 .expect("failed to spawn engine shard");
             senders.push(tx);
@@ -369,6 +512,54 @@ impl ShardedEngine {
             handles,
             stats_rx: Mutex::new(stats_rx),
             started: Instant::now(),
+            registry,
+            tracer,
+            shard_obs,
+            shard_down_errors,
+            timeout_errors,
+        }
+    }
+
+    /// The metric registry backing this engine — export it with
+    /// [`adamove_obs::to_flat_json`] / [`adamove_obs::to_prometheus`], or
+    /// share it with other instrumented components.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The tracer shard workers report span events to.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Read the live registry *without* stopping the engine: per-shard
+    /// request counts, queue depths, user counts, predict-latency
+    /// percentiles and fault counters, all as of this instant. Counts may
+    /// trail in-flight requests by a few relaxed-atomic updates; they
+    /// converge as soon as the traffic quiesces (e.g. after
+    /// [`ShardedEngine::flush`]).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let shards = self
+            .shard_obs
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| ShardSnapshot {
+                shard: i,
+                observed: obs.observes.get() as usize,
+                predictions: obs.predicts.get() as usize,
+                flushes: obs.flushes.get() as usize,
+                dropped_observes: obs.dropped_observes.get() as usize,
+                queue_depth: obs.queue_depth.get().max(0.0) as usize,
+                users: obs.users.get() as usize,
+                predict_latency: obs.predict_latency.snapshot(),
+                alive: !self.handles[i].is_finished(),
+            })
+            .collect();
+        EngineSnapshot {
+            shards,
+            shard_down_errors: self.shard_down_errors.get() as usize,
+            timeout_errors: self.timeout_errors.get() as usize,
+            elapsed: self.started.elapsed(),
         }
     }
 
@@ -387,9 +578,14 @@ impl ShardedEngine {
     /// [`EngineError::ShardDown`] when the owning shard has terminated.
     pub fn try_observe(&self, user: UserId, point: Point) -> Result<(), EngineError> {
         let shard = self.shard_of(user);
+        self.shard_obs[shard].queue_depth.inc();
         self.senders[shard]
             .send(Request::Observe(user, point))
-            .map_err(|_| EngineError::ShardDown { shard })
+            .map_err(|_| {
+                self.shard_obs[shard].queue_depth.dec();
+                self.shard_down_errors.inc();
+                EngineError::ShardDown { shard }
+            })
     }
 
     /// [`ShardedEngine::try_observe`], panicking if the shard died.
@@ -410,7 +606,10 @@ impl ShardedEngine {
     ) -> Result<Option<StreamPrediction>, EngineError> {
         let shard = self.shard_of(user);
         let rx = self.send_predict(shard, user, now)?;
-        rx.recv().map_err(|_| EngineError::ShardDown { shard })
+        rx.recv().map_err(|_| {
+            self.shard_down_errors.inc();
+            EngineError::ShardDown { shard }
+        })
     }
 
     /// [`ShardedEngine::try_predict`] with a bounded wait: a shard that is
@@ -425,11 +624,17 @@ impl ShardedEngine {
         let shard = self.shard_of(user);
         let rx = self.send_predict(shard, user, now)?;
         rx.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => EngineError::Timeout {
-                shard,
-                waited: timeout,
-            },
-            mpsc::RecvTimeoutError::Disconnected => EngineError::ShardDown { shard },
+            mpsc::RecvTimeoutError::Timeout => {
+                self.timeout_errors.inc();
+                EngineError::Timeout {
+                    shard,
+                    waited: timeout,
+                }
+            }
+            mpsc::RecvTimeoutError::Disconnected => {
+                self.shard_down_errors.inc();
+                EngineError::ShardDown { shard }
+            }
         })
     }
 
@@ -445,9 +650,14 @@ impl ShardedEngine {
         now: Timestamp,
     ) -> Result<mpsc::Receiver<Option<StreamPrediction>>, EngineError> {
         let (reply, rx) = mpsc::channel();
+        self.shard_obs[shard].queue_depth.inc();
         self.senders[shard]
             .send(Request::Predict { user, now, reply })
-            .map_err(|_| EngineError::ShardDown { shard })?;
+            .map_err(|_| {
+                self.shard_obs[shard].queue_depth.dec();
+                self.shard_down_errors.inc();
+                EngineError::ShardDown { shard }
+            })?;
         Ok(rx)
     }
 
@@ -458,9 +668,17 @@ impl ShardedEngine {
         let receivers: Vec<mpsc::Receiver<()>> = self
             .senders
             .iter()
-            .filter_map(|tx| {
+            .zip(&self.shard_obs)
+            .filter_map(|(tx, obs)| {
                 let (done, rx) = mpsc::channel();
-                tx.send(Request::Flush(done)).ok().map(|_| rx)
+                obs.queue_depth.inc();
+                match tx.send(Request::Flush(done)) {
+                    Ok(()) => Some(rx),
+                    Err(_) => {
+                        obs.queue_depth.dec();
+                        None
+                    }
+                }
             })
             .collect();
         for rx in receivers {
@@ -492,19 +710,24 @@ impl ShardedEngine {
             handles,
             stats_rx,
             started,
+            registry: _,
+            tracer: _,
+            shard_obs,
+            shard_down_errors: _,
+            timeout_errors: _,
         } = self;
         let stats_rx = stats_rx.into_inner().unwrap_or_else(|p| p.into_inner());
         // Workers exit (and report stats) once the channel disconnects.
         drop(senders);
         let shards = handles.len();
         let deadline = Instant::now() + timeout;
-        let mut collected: Vec<Option<ShardStats>> = (0..shards).map(|_| None).collect();
+        let mut collected: Vec<Option<usize>> = (0..shards).map(|_| None).collect();
         let mut received = 0usize;
         while received < shards {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match stats_rx.recv_timeout(remaining) {
-                Ok((shard, stats)) => {
-                    collected[shard] = Some(stats);
+                Ok((shard, users)) => {
+                    collected[shard] = Some(users);
                     received += 1;
                 }
                 // All stat senders dropped: every worker exited cleanly
@@ -530,8 +753,9 @@ impl ShardedEngine {
             }
         }
 
-        // Every worker has exited by now; joins are immediate. A panicked
-        // worker shows up as a join error (its stats slot stays empty).
+        // Every worker has exited by now; joins are immediate (and their
+        // final relaxed-atomic metric updates are visible after the join's
+        // synchronization). A panicked worker shows up as a join error.
         let mut failed_shards = Vec::new();
         for (i, handle) in handles.into_iter().enumerate() {
             if handle.join().is_err() {
@@ -539,18 +763,24 @@ impl ShardedEngine {
             }
         }
 
+        // Rebuild the report from the registry: counts are the work the
+        // shards actually completed (a shard that died mid-stream still
+        // reports its pre-crash work); users come from the exit-time stats
+        // channel (a dead shard never reports, so its slot stays 0).
         let mut observed = 0;
         let mut predictions = 0;
         let mut dropped_observes = 0;
-        let mut latencies = Vec::new();
+        let mut latency_hist = HistogramSnapshot::empty();
+        for obs in &shard_obs {
+            observed += obs.observes.get() as usize;
+            predictions += obs.predicts.get() as usize;
+            dropped_observes += obs.dropped_observes.get() as usize;
+            latency_hist.merge(&obs.predict_latency.snapshot());
+        }
         let mut per_shard_users = vec![0usize; shards];
-        for (i, stats) in collected.into_iter().enumerate() {
-            if let Some(stats) = stats {
-                observed += stats.observed;
-                predictions += stats.predictions;
-                dropped_observes += stats.dropped_observes;
-                latencies.extend(stats.latencies_ns);
-                per_shard_users[i] = stats.users;
+        for (i, users) in collected.into_iter().enumerate() {
+            if let Some(users) = users {
+                per_shard_users[i] = users;
             }
         }
         let elapsed = started.elapsed();
@@ -562,7 +792,7 @@ impl ShardedEngine {
             failed_shards,
             dropped_observes,
             elapsed,
-            latency: LatencyProfile::from_nanos(latencies, elapsed),
+            latency: LatencyProfile::from_histogram(&latency_hist, elapsed),
         })
     }
 }
@@ -744,6 +974,117 @@ mod tests {
             .predict_timeout(UserId(0), Timestamp::from_hours(1), Duration::from_secs(10))
             .expect("healthy shard replies in time");
         assert!(p.is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn snapshot_reads_live_counts_and_percentiles_mid_run() {
+        let (store, m) = model(8, 6);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 2,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+            },
+        );
+        for step in 0..4i64 {
+            for u in 0..6u32 {
+                engine.observe(UserId(u), pt((u + step as u32) % 8, step));
+            }
+        }
+        let now = Timestamp::from_hours(5);
+        for u in 0..6u32 {
+            assert!(engine.predict(UserId(u), now).is_some());
+        }
+        engine.flush();
+
+        // Mid-run: engine still serving, snapshot agrees with the traffic.
+        let snap = engine.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.observed(), 24);
+        assert_eq!(snap.predictions(), 6);
+        assert_eq!(snap.dropped_observes(), 0);
+        assert_eq!(snap.shard_down_errors, 0);
+        assert_eq!(snap.timeout_errors, 0);
+        let lat = snap.predict_latency();
+        assert_eq!(lat.count, 6);
+        assert!(lat.percentile(0.50) > 0.0);
+        assert!(lat.percentile(0.99) >= lat.percentile(0.50));
+        for s in &snap.shards {
+            assert!(s.alive, "shard {} should be serving", s.shard);
+            // Flushed: nothing left in any queue.
+            assert_eq!(s.queue_depth, 0, "shard {}", s.shard);
+            assert_eq!(s.flushes, 1);
+            assert_eq!(s.predict_latency.count as usize, s.predictions);
+        }
+        assert_eq!(snap.shards.iter().map(|s| s.users).sum::<usize>(), 6);
+
+        // The engine still serves after a snapshot, and the final report
+        // agrees with what the snapshot saw.
+        assert!(engine.predict(UserId(0), now).is_some());
+        let report = engine.shutdown();
+        assert_eq!(report.observed, 24);
+        assert_eq!(report.predictions, 7);
+        assert_eq!(report.latency.samples, 7);
+        assert_eq!(report.users(), 6);
+    }
+
+    #[test]
+    fn registry_export_contains_engine_metrics() {
+        let (store, m) = model(4, 2);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 1,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+            },
+        );
+        engine.observe(UserId(0), pt(1, 0));
+        assert!(engine
+            .predict(UserId(0), Timestamp::from_hours(1))
+            .is_some());
+        engine.flush();
+        let json = adamove_obs::to_flat_json(&engine.registry().snapshot());
+        assert!(json.contains("engine_observes_total{shard=\\\"0\\\"}\": 1"));
+        assert!(json.contains("engine_predicts_total{shard=\\\"0\\\"}\": 1"));
+        assert!(json.contains("engine_predict_latency_ns_p99{shard=\\\"0\\\"}"));
+        assert!(json.contains("\"engine_shard_down_total\": 0"));
+        let prom = adamove_obs::to_prometheus(&engine.registry().snapshot());
+        assert!(prom.contains("# TYPE engine_predict_latency_ns histogram"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shared_registry_and_ring_tracer_capture_engine_activity() {
+        use adamove_obs::{RingSink, Tracer};
+        let (store, m) = model(4, 2);
+        let registry = Arc::new(adamove_obs::Registry::new());
+        let ring = Arc::new(RingSink::new(16));
+        let engine = ShardedEngine::with_observability(
+            m,
+            store,
+            EngineConfig {
+                shards: 1,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+            },
+            None,
+            Arc::clone(&registry),
+            Tracer::with_sink(ring.clone()),
+        );
+        assert!(engine.tracer().enabled());
+        engine.observe(UserId(0), pt(1, 0));
+        engine.flush();
+        // The caller's registry handle sees the worker's updates.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["engine_observes_total{shard=\"0\"}"], 1);
         engine.shutdown();
     }
 

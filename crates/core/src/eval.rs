@@ -46,6 +46,28 @@ impl LatencyProfile {
         }
     }
 
+    /// Build from an observability histogram of per-sample latencies in
+    /// nanoseconds (see [`adamove_obs::Histogram`]) and the run's total
+    /// wall-clock time. The sample count is exact; percentiles are the
+    /// histogram's bucket upper bounds (±30% resolution), which keeps the
+    /// hot path free of per-sample `Vec` pushes.
+    pub fn from_histogram(hist: &adamove_obs::HistogramSnapshot, total: Duration) -> Self {
+        if hist.count == 0 {
+            return Self::empty();
+        }
+        let secs = total.as_secs_f64();
+        Self {
+            p50_us: hist.percentile(0.50) / 1_000.0,
+            p99_us: hist.percentile(0.99) / 1_000.0,
+            throughput: if secs > 0.0 {
+                hist.count as f64 / secs
+            } else {
+                0.0
+            },
+            samples: hist.count as usize,
+        }
+    }
+
     /// Build from raw per-sample latencies (nanoseconds) and the run's
     /// total wall-clock time. Percentiles use the nearest-rank method.
     pub fn from_nanos(mut latencies: Vec<u64>, total: Duration) -> Self {
@@ -99,6 +121,10 @@ pub struct EvalOutcome {
     pub total_time: Duration,
     /// Per-sample latency percentiles and wall-clock throughput.
     pub latency: LatencyProfile,
+    /// Raw per-sample latencies in nanoseconds (unsorted, submission
+    /// order per chunk) — lets callers feed an [`adamove_obs::Histogram`]
+    /// or recompute percentiles at other quantiles.
+    pub latencies_ns: Vec<u64>,
 }
 
 /// Score one chunk of samples, timing each, into a fresh accumulator.
@@ -128,7 +154,8 @@ fn outcome(acc: &MetricAccumulator, latencies: Vec<u64>, total_time: Duration) -
         metrics: acc.finish(),
         avg_latency_us,
         total_time,
-        latency: LatencyProfile::from_nanos(latencies, total_time),
+        latency: LatencyProfile::from_nanos(latencies.clone(), total_time),
+        latencies_ns: latencies,
     }
 }
 
@@ -375,6 +402,27 @@ mod tests {
         let e = LatencyProfile::from_nanos(vec![], Duration::from_secs(1));
         assert_eq!(e.samples, 0);
         assert_eq!(e.p50_us, 0.0);
+    }
+
+    #[test]
+    fn latency_profile_from_histogram_keeps_exact_counts() {
+        let h = adamove_obs::Histogram::new();
+        for v in (1..=100u64).map(|v| v * 1_000) {
+            h.record(v);
+        }
+        let p = LatencyProfile::from_histogram(&h.snapshot(), Duration::from_secs(1));
+        assert_eq!(p.samples, 100);
+        // Percentiles are bucket upper bounds: at or above the exact value.
+        assert!(p.p50_us >= 50.0);
+        assert!(p.p99_us >= p.p50_us);
+        assert!((p.throughput - 100.0).abs() < 1e-9);
+
+        let empty = LatencyProfile::from_histogram(
+            &adamove_obs::HistogramSnapshot::empty(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.p50_us, 0.0);
     }
 
     #[test]

@@ -73,11 +73,12 @@ pub mod streaming;
 pub mod t3a;
 pub mod train;
 
+pub use adamove_obs as obs;
 pub use config::{AdaMoveConfig, EncoderKind};
 pub use distill::{distill, DistillConfig};
 pub use engine::{
-    shard_of, Disturbance, EngineConfig, EngineError, EngineReport, FaultAction, RequestKind,
-    ShardedEngine, ShutdownError,
+    shard_of, Disturbance, EngineConfig, EngineError, EngineReport, EngineSnapshot, FaultAction,
+    RequestKind, ShardSnapshot, ShardedEngine, ShutdownError,
 };
 pub use eval::{
     evaluate, evaluate_by, evaluate_by_par, evaluate_fn, evaluate_fn_par, evaluate_par,

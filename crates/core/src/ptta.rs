@@ -25,10 +25,12 @@ use crate::kb::{centroid_with_seed, HeapTopM, TopM as _};
 use crate::lightmob::LightMob;
 use adamove_autograd::{ParamId, ParamStore};
 use adamove_mobility::Sample;
+use adamove_obs::{Counter, Histogram, Registry};
 use adamove_tensor::stats::{cosine_similarity, entropy};
 use adamove_tensor::{matrix::softmax_inplace, Matrix};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A model PTTA (or T3A) can adapt: it must expose per-prefix classifier
 /// inputs ("mobility patterns") and its classification layer.
@@ -102,6 +104,61 @@ impl Default for PttaConfig {
     }
 }
 
+/// Adaptation metric handles for a [`Ptta`] adapter — attach with
+/// [`Ptta::set_obs`]. Entropy and confidence of the *adapted* prediction
+/// are the drift signal streaming TTA needs (RG-TTA): a rising entropy
+/// histogram means adaptation is serving increasingly uncertain answers.
+/// All updates are relaxed atomics; an adapter without obs pays one
+/// `Option` branch per prediction.
+#[derive(Debug, Clone)]
+pub struct PttaObs {
+    /// Predictions where adaptation moved ≥1 classifier column
+    /// (`ptta_updates_applied_total`).
+    pub updates_applied: Counter,
+    /// Predictions served unadapted — too few points for any pattern
+    /// (`ptta_updates_skipped_total`).
+    pub updates_skipped: Counter,
+    /// Total classifier columns adapted (`ptta_adapted_columns_total`).
+    pub adapted_columns: Counter,
+    /// Per-prediction adaptation latency in nanoseconds, full Algorithm 1
+    /// pass (`ptta_adapt_latency_ns`).
+    pub adapt_latency_ns: Histogram,
+    /// Entropy of the adapted prediction's softmax, in millinats
+    /// (`ptta_entropy_millinats`).
+    pub entropy_millinats: Histogram,
+    /// Confidence (max softmax probability) of the adapted prediction, in
+    /// basis points 0–10000 (`ptta_confidence_bp`).
+    pub confidence_bp: Histogram,
+}
+
+impl PttaObs {
+    /// Register the adaptation metrics in `registry`, with `labels` (e.g.
+    /// `[("shard", "3")]`) rendered into every name.
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        let l = |name: &str| adamove_obs::labeled(name, labels);
+        Self {
+            updates_applied: registry.counter(&l("ptta_updates_applied_total")),
+            updates_skipped: registry.counter(&l("ptta_updates_skipped_total")),
+            adapted_columns: registry.counter(&l("ptta_adapted_columns_total")),
+            adapt_latency_ns: registry.histogram(&l("ptta_adapt_latency_ns")),
+            entropy_millinats: registry.histogram(&l("ptta_entropy_millinats")),
+            confidence_bp: registry.histogram(&l("ptta_confidence_bp")),
+        }
+    }
+
+    /// Record the entropy/confidence drift signal of one adapted
+    /// score vector.
+    fn record_scores(&self, scores: &[f32]) {
+        let mut probs = scores.to_vec();
+        softmax_inplace(&mut probs);
+        let ent = entropy(&probs);
+        let conf = probs.iter().copied().fold(0.0f32, f32::max);
+        self.entropy_millinats
+            .record((ent * 1_000.0).max(0.0) as u64);
+        self.confidence_bp.record((conf * 10_000.0).max(0.0) as u64);
+    }
+}
+
 /// The PTTA adapter. Stateless across samples — each test trajectory
 /// carries its own adaptation evidence (its prefixes), unlike T3A's global
 /// support set.
@@ -109,12 +166,19 @@ impl Default for PttaConfig {
 pub struct Ptta {
     /// Configuration used for every prediction.
     pub config: PttaConfig,
+    obs: Option<PttaObs>,
 }
 
 impl Ptta {
     /// Adapter with the given configuration.
     pub fn new(config: PttaConfig) -> Self {
-        Self { config }
+        Self { config, obs: None }
+    }
+
+    /// Attach adaptation metrics (see [`PttaObs::register`]). Without
+    /// this, every prediction pays exactly one `Option` branch.
+    pub fn set_obs(&mut self, obs: PttaObs) {
+        self.obs = Some(obs);
     }
 
     /// Algorithm 1 end to end: adapted next-location scores for `sample`.
@@ -128,6 +192,8 @@ impl Ptta {
         store: &ParamStore,
         sample: &Sample,
     ) -> Vec<f32> {
+        // Zero-overhead-when-off: no timestamp is taken unless obs is on.
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         // Step 1: autoregressive pattern generation. Row k of `hiddens`
         // encodes recent[0..=k]; the pattern for prefix length k+1 is
         // labelled with recent[k+1].loc.
@@ -151,6 +217,12 @@ impl Ptta {
         }
         if n < 2 {
             // No proper prefixes -> no patterns -> unadapted prediction.
+            if let Some(obs) = &self.obs {
+                obs.updates_skipped.inc();
+                if let Some(t0) = t0 {
+                    obs.adapt_latency_ns.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
             return scores;
         }
 
@@ -206,6 +278,14 @@ impl Ptta {
                 old_dot += hv * tv;
             }
             scores[loc] += new_dot - old_dot;
+        }
+        if let Some(obs) = &self.obs {
+            obs.updates_applied.inc();
+            obs.adapted_columns.add(kb.len() as u64);
+            if let Some(t0) = t0 {
+                obs.adapt_latency_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+            obs.record_scores(&scores);
         }
         scores
     }
@@ -386,6 +466,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ptta_obs_counts_updates_and_drift_signal() {
+        let (store, m) = model();
+        let registry = Registry::new();
+        let mut ptta = Ptta::default();
+        ptta.set_obs(PttaObs::register(&registry, &[]));
+
+        // Single point: no patterns, adaptation skipped.
+        let _ = ptta.predict_scores(&m, &store, &sample(&[3], 5));
+        // Labels observed {2, 1, 3}: three columns adapted.
+        let _ = ptta.predict_scores(&m, &store, &sample(&[1, 2, 1, 2, 3], 4));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["ptta_updates_skipped_total"], 1);
+        assert_eq!(snap.counters["ptta_updates_applied_total"], 1);
+        assert_eq!(snap.counters["ptta_adapted_columns_total"], 3);
+        assert_eq!(snap.histograms["ptta_adapt_latency_ns"].count, 2);
+        // Drift signal recorded only for the adapted prediction.
+        assert_eq!(snap.histograms["ptta_entropy_millinats"].count, 1);
+        let conf = &snap.histograms["ptta_confidence_bp"];
+        assert_eq!(conf.count, 1);
+        // Max softmax probability is in (0, 1] -> at most 10000 bp.
+        assert!(conf.sum >= 1 && conf.sum <= 10_000);
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! the PTTA adapter, exposing a `predict -> observe` loop for online use.
 
 use crate::lightmob::LightMob;
-use crate::ptta::{Ptta, PttaConfig};
+use crate::ptta::{Ptta, PttaConfig, PttaObs};
 use adamove_autograd::ParamStore;
 use adamove_mobility::types::HOUR;
 use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
+use adamove_obs::{Counter, Registry};
 use std::collections::HashMap;
 
 /// A bounded buffer of recent points: retains points within the last
@@ -42,33 +43,38 @@ impl RecentWindow {
     }
 
     /// Append a point and evict everything older than the horizon.
+    /// Returns the number of buffered points evicted.
     ///
     /// Out-of-order arrivals older than the newest point are inserted in
     /// order (mobile uplinks reorder events); arrivals older than the
-    /// horizon are dropped.
-    pub fn push(&mut self, p: Point) {
+    /// horizon are dropped (not counted as evictions — they were never
+    /// buffered).
+    pub fn push(&mut self, p: Point) -> usize {
         let newest = self.points.last().map_or(p.time, |q| q.time.max(p.time));
         let cutoff = newest.0 - self.horizon_secs;
         if p.time.0 < cutoff {
-            return;
+            return 0;
         }
         let pos = self.points.partition_point(|q| q.time <= p.time);
         self.points.insert(pos, p);
         let keep_from = self.points.partition_point(|q| q.time.0 < cutoff);
         self.points.drain(..keep_from);
+        keep_from
     }
 
     /// Evict every point older than the horizon measured back from `now`.
+    /// Returns the number of points evicted.
     ///
     /// `push` can only evict relative to the newest *buffered* point, so an
     /// idle user's stale points would otherwise survive forever; callers
     /// that query at a wall-clock time use this to age the window first.
     /// `now` earlier than the buffered points is a no-op (the `push` rule
     /// already bounds the window relative to its newest point).
-    pub fn evict_before(&mut self, now: Timestamp) {
+    pub fn evict_before(&mut self, now: Timestamp) -> usize {
         let cutoff = now.0 - self.horizon_secs;
         let keep_from = self.points.partition_point(|q| q.time.0 < cutoff);
         self.points.drain(..keep_from);
+        keep_from
     }
 
     /// Current window contents, chronological.
@@ -104,6 +110,37 @@ pub struct StreamPrediction {
     pub window_len: usize,
 }
 
+/// Window/cache metric handles for one [`StreamingPredictor`] — attach
+/// with [`StreamingPredictor::set_obs`]. All updates are relaxed atomics;
+/// a predictor without obs pays one `Option` branch per event.
+#[derive(Debug, Clone)]
+pub struct StreamObs {
+    /// Windows created for first-seen users (`stream_windows_created_total`).
+    pub windows_created: Counter,
+    /// Points evicted by horizon ageing, push- and query-time combined
+    /// (`stream_window_evictions_total`).
+    pub window_evictions: Counter,
+    /// Predictions served from a live window (`stream_predict_hits_total`).
+    pub predict_hits: Counter,
+    /// Predictions refused for a missing or fully-aged window
+    /// (`stream_predict_empty_total`).
+    pub predict_empty: Counter,
+}
+
+impl StreamObs {
+    /// Register the stream metrics in `registry`, with `labels` (e.g.
+    /// `[("shard", "3")]`) rendered into every name.
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        let l = |name: &str| adamove_obs::labeled(name, labels);
+        Self {
+            windows_created: registry.counter(&l("stream_windows_created_total")),
+            window_evictions: registry.counter(&l("stream_window_evictions_total")),
+            predict_hits: registry.counter(&l("stream_predict_hits_total")),
+            predict_empty: registry.counter(&l("stream_predict_empty_total")),
+        }
+    }
+}
+
 /// Online next-location predictor: one [`RecentWindow`] per user, PTTA
 /// adaptation on every query.
 pub struct StreamingPredictor<'m> {
@@ -113,6 +150,7 @@ pub struct StreamingPredictor<'m> {
     context_sessions: usize,
     session_hours: i64,
     windows: HashMap<UserId, RecentWindow>,
+    obs: Option<StreamObs>,
 }
 
 impl<'m> StreamingPredictor<'m> {
@@ -132,12 +170,37 @@ impl<'m> StreamingPredictor<'m> {
             context_sessions,
             session_hours,
             windows: HashMap::new(),
+            obs: None,
         }
+    }
+
+    /// Attach window/cache metrics (see [`StreamObs::register`]).
+    pub fn set_obs(&mut self, obs: StreamObs) {
+        self.obs = Some(obs);
+    }
+
+    /// Attach adaptation metrics to the inner PTTA adapter (see
+    /// [`PttaObs::register`]).
+    pub fn set_ptta_obs(&mut self, obs: PttaObs) {
+        self.ptta.set_obs(obs);
     }
 
     /// Record an observed check-in for `user`.
     pub fn observe(&mut self, user: UserId, point: Point) {
-        self.window(user).push(point);
+        let (c, t) = (self.context_sessions, self.session_hours);
+        let obs = &self.obs;
+        let window = self.windows.entry(user).or_insert_with(|| {
+            if let Some(o) = obs {
+                o.windows_created.inc();
+            }
+            RecentWindow::new(c, t)
+        });
+        let evicted = window.push(point);
+        if evicted > 0 {
+            if let Some(o) = obs {
+                o.window_evictions.add(evicted as u64);
+            }
+        }
     }
 
     /// Predict `user`'s next location from their current window, adapting
@@ -150,9 +213,22 @@ impl<'m> StreamingPredictor<'m> {
     /// ages relative to the newest point, which never advances while the
     /// user is silent).
     pub fn predict(&mut self, user: UserId, now: Timestamp) -> Option<StreamPrediction> {
-        let window = self.windows.get_mut(&user)?;
-        window.evict_before(now);
+        let Some(window) = self.windows.get_mut(&user) else {
+            if let Some(o) = &self.obs {
+                o.predict_empty.inc();
+            }
+            return None;
+        };
+        let evicted = window.evict_before(now);
+        if evicted > 0 {
+            if let Some(o) = &self.obs {
+                o.window_evictions.add(evicted as u64);
+            }
+        }
         if window.is_empty() {
+            if let Some(o) = &self.obs {
+                o.predict_empty.inc();
+            }
             return None;
         }
         let sample = Sample {
@@ -167,6 +243,9 @@ impl<'m> StreamingPredictor<'m> {
         };
         let scores = self.ptta.predict_scores(self.model, self.store, &sample);
         let top = LocationId(adamove_tensor::matrix::argmax(&scores) as u32);
+        if let Some(o) = &self.obs {
+            o.predict_hits.inc();
+        }
         Some(StreamPrediction {
             window_len: sample.recent.len(),
             scores,
@@ -184,13 +263,6 @@ impl<'m> StreamingPredictor<'m> {
     /// suite asserts on buffered contents without disturbing them).
     pub fn window_of(&self, user: UserId) -> Option<&RecentWindow> {
         self.windows.get(&user)
-    }
-
-    fn window(&mut self, user: UserId) -> &mut RecentWindow {
-        let (c, t) = (self.context_sessions, self.session_hours);
-        self.windows
-            .entry(user)
-            .or_insert_with(|| RecentWindow::new(c, t))
     }
 }
 
@@ -318,6 +390,34 @@ mod tests {
             .predict(UserId(0), Timestamp::from_hours(24 * 7 + 2))
             .unwrap();
         assert_eq!(back.window_len, 1);
+    }
+
+    #[test]
+    fn stream_obs_counts_windows_evictions_and_outcomes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 2, &mut rng);
+        let registry = Registry::new();
+        let mut sp = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        sp.set_obs(StreamObs::register(&registry, &[]));
+
+        // Unknown user: an empty predict.
+        assert!(sp.predict(UserId(1), Timestamp::from_hours(0)).is_none());
+        // Two users -> two windows created.
+        sp.observe(UserId(0), pt(1, 0));
+        sp.observe(UserId(0), pt(2, 5));
+        sp.observe(UserId(1), pt(3, 1));
+        // Push-time eviction: hour 60 ages out hours 0 and 5 (48h horizon).
+        sp.observe(UserId(0), pt(4, 60));
+        // Hit for user 0; query-time eviction empties user 1's window.
+        assert!(sp.predict(UserId(0), Timestamp::from_hours(61)).is_some());
+        assert!(sp.predict(UserId(1), Timestamp::from_hours(600)).is_none());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["stream_windows_created_total"], 2);
+        assert_eq!(snap.counters["stream_window_evictions_total"], 3);
+        assert_eq!(snap.counters["stream_predict_hits_total"], 1);
+        assert_eq!(snap.counters["stream_predict_empty_total"], 2);
     }
 
     #[test]

@@ -12,8 +12,10 @@ use crate::metrics::MetricAccumulator;
 use adamove_autograd::{Graph, ParamStore, Var};
 use adamove_mobility::Sample;
 use adamove_nn::{Adam, Optimizer, PlateauScheduler};
+use adamove_obs::{event, Tracer};
 use adamove_tensor::det::DetRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Training hyperparameters (§IV-A defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,6 +82,9 @@ pub struct EpochLog {
     pub val_accuracy: f32,
     /// Learning rate used during the epoch.
     pub lr: f32,
+    /// Wall-clock seconds the epoch took (training + validation).
+    #[serde(default)]
+    pub epoch_secs: f32,
 }
 
 /// Outcome of a training run.
@@ -98,12 +103,28 @@ pub struct TrainReport {
 pub struct Trainer {
     /// Hyperparameters.
     pub config: TrainingConfig,
+    tracer: Tracer,
 }
 
 impl Trainer {
-    /// Trainer with the given configuration.
+    /// Trainer with the given configuration. Per-epoch progress goes to
+    /// the tracer as structured `train_epoch` events: human-readable
+    /// stderr lines when `config.verbose` is set (the historical
+    /// behaviour), silence otherwise. Use [`Trainer::with_tracer`] to
+    /// route the events elsewhere (e.g. a ring buffer).
     pub fn new(config: TrainingConfig) -> Self {
-        Self { config }
+        let tracer = if config.verbose {
+            Tracer::stderr()
+        } else {
+            Tracer::noop()
+        };
+        Self { config, tracer }
+    }
+
+    /// [`Trainer::new`] with an explicit event sink, overriding the
+    /// `config.verbose` default.
+    pub fn with_tracer(config: TrainingConfig, tracer: Tracer) -> Self {
+        Self { config, tracer }
     }
 
     /// Run training. `attention = None` disables the contrastive branch
@@ -136,6 +157,7 @@ impl Trainer {
         let mut epochs = Vec::new();
 
         for epoch in 0..self.config.max_epochs {
+            let epoch_start = Instant::now();
             rng.shuffle(&mut order);
             let lr = scheduler.lr();
             let mut loss_sum = 0.0f64;
@@ -169,13 +191,17 @@ impl Trainer {
                 train_loss: (loss_sum / batches.max(1) as f64) as f32,
                 val_accuracy: val_acc,
                 lr,
+                epoch_secs: epoch_start.elapsed().as_secs_f32(),
             };
-            if self.config.verbose {
-                eprintln!(
-                    "epoch {:2}  loss {:.4}  val-acc {:.4}  lr {:.5}",
-                    log.epoch, log.train_loss, log.val_accuracy, log.lr
-                );
-            }
+            event!(
+                self.tracer,
+                "train_epoch",
+                epoch = log.epoch,
+                loss = log.train_loss,
+                val_acc = log.val_accuracy,
+                lr = log.lr,
+                secs = log.epoch_secs,
+            );
             epochs.push(log);
             if scheduler.exhausted() {
                 break;
@@ -222,6 +248,7 @@ impl Trainer {
         let mut epochs = Vec::new();
 
         for epoch in 0..self.config.max_epochs {
+            let epoch_start = Instant::now();
             rng.shuffle(&mut order);
             let lr = scheduler.lr();
             let mut loss_sum = 0.0f64;
@@ -289,13 +316,17 @@ impl Trainer {
                 train_loss: (loss_sum / batches.max(1) as f64) as f32,
                 val_accuracy: val_acc,
                 lr,
+                epoch_secs: epoch_start.elapsed().as_secs_f32(),
             };
-            if self.config.verbose {
-                eprintln!(
-                    "epoch {:2}  loss {:.4}  val-acc {:.4}  lr {:.5}",
-                    log.epoch, log.train_loss, log.val_accuracy, log.lr
-                );
-            }
+            event!(
+                self.tracer,
+                "train_epoch",
+                epoch = log.epoch,
+                loss = log.train_loss,
+                val_acc = log.val_accuracy,
+                lr = log.lr,
+                secs = log.epoch_secs,
+            );
             epochs.push(log);
             if scheduler.exhausted() {
                 break;
@@ -525,5 +556,30 @@ mod tests {
         let mut store = ParamStore::new();
         let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 1, &mut rng);
         Trainer::new(TrainingConfig::fast()).fit(&model, None, &mut store, &[], &[]);
+    }
+
+    #[test]
+    fn tracer_captures_one_event_per_epoch() {
+        use adamove_obs::{RingSink, Tracer};
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 1, &mut rng);
+        let samples = toy_samples(1, 10);
+        let sink = Arc::new(RingSink::new(64));
+        let trainer = Trainer::with_tracer(
+            TrainingConfig {
+                max_epochs: 3,
+                ..TrainingConfig::fast()
+            },
+            Tracer::with_sink(sink.clone()),
+        );
+        let report = trainer.fit(&model, None, &mut store, &samples, &samples);
+        let events = sink.take();
+        assert_eq!(events.len(), report.epochs_run);
+        assert!(events.iter().all(|e| e.name == "train_epoch"));
+        let fields: Vec<&str> = events[0].fields.iter().map(|(k, _)| *k).collect();
+        assert_eq!(fields, ["epoch", "loss", "val_acc", "lr", "secs"]);
     }
 }

@@ -1,0 +1,208 @@
+//! Snapshot exporters: flat JSON (the hand-rolled, serde-free shape the
+//! testkit uses for golden files, so exports parse under the offline
+//! dependency stubs) and Prometheus text exposition.
+//!
+//! Both operate on a [`RegistrySnapshot`], so they can be applied to a
+//! single registry, a merged fleet of them, or a [`filter_prefix`] slice.
+//!
+//! [`filter_prefix`]: crate::registry::RegistrySnapshot::filter_prefix
+
+use std::fmt::Write as _;
+
+use crate::registry::{HistogramSnapshot, RegistrySnapshot, BUCKET_BOUNDS};
+
+/// Split a rendered key (`name{k="v"}` or bare `name`) into the base name
+/// and the label body (without braces).
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) if key.ends_with('}') => (&key[..i], Some(&key[i + 1..key.len() - 1])),
+        _ => (key, None),
+    }
+}
+
+/// Re-attach a label body to a name that may have gained a suffix:
+/// `with_suffix("h{shard=\"1\"}", "_p99")` → `h_p99{shard=\"1\"}`.
+fn with_suffix(key: &str, suffix: &str) -> String {
+    let (base, labels) = split_key(key);
+    match labels {
+        Some(body) => format!("{base}{suffix}{{{body}}}"),
+        None => format!("{base}{suffix}"),
+    }
+}
+
+fn fmt_num(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the snapshot as one flat JSON object, sorted by key, one field
+/// per line. Counters and gauges appear under their rendered key;
+/// each histogram `h{l}` expands to `h_count{l}`, `h_sum{l}`,
+/// `h_mean{l}`, `h_p50{l}`, `h_p95{l}`, `h_p99{l}`.
+///
+/// The output is parseable by `adamove-testkit`'s `parse_flat` and by any
+/// ordinary JSON parser.
+pub fn to_flat_json(snap: &RegistrySnapshot) -> String {
+    let mut fields: Vec<(String, f64)> = Vec::new();
+    for (key, v) in &snap.counters {
+        fields.push((key.clone(), *v as f64));
+    }
+    for (key, v) in &snap.gauges {
+        fields.push((key.clone(), *v));
+    }
+    for (key, h) in &snap.histograms {
+        fields.push((with_suffix(key, "_count"), h.count as f64));
+        fields.push((with_suffix(key, "_sum"), h.sum as f64));
+        fields.push((with_suffix(key, "_mean"), h.mean()));
+        fields.push((with_suffix(key, "_p50"), h.percentile(0.50)));
+        fields.push((with_suffix(key, "_p95"), h.percentile(0.95)));
+        fields.push((with_suffix(key, "_p99"), h.percentile(0.99)));
+    }
+    fields.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::from("{\n");
+    let last = fields.len().saturating_sub(1);
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let _ = write!(out, "  \"{}\": {}", escape(k), fmt_num(*v));
+        out.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn prom_key(key: &str, extra: Option<(&str, &str)>) -> String {
+    let (base, labels) = split_key(key);
+    let mut body = labels.unwrap_or("").to_string();
+    if let Some((k, v)) = extra {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        let _ = write!(body, "{k}=\"{v}\"");
+    }
+    if body.is_empty() {
+        base.to_string()
+    } else {
+        format!("{base}{{{body}}}")
+    }
+}
+
+fn prom_histogram(out: &mut String, key: &str, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+        cumulative += h.counts[i];
+        let le = fmt_num(bound as f64);
+        let _ = writeln!(
+            out,
+            "{} {}",
+            prom_key(&with_suffix(key, "_bucket"), Some(("le", &le))),
+            cumulative
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} {}",
+        prom_key(&with_suffix(key, "_bucket"), Some(("le", "+Inf"))),
+        h.count
+    );
+    let _ = writeln!(out, "{} {}", with_suffix(key, "_sum"), h.sum);
+    let _ = writeln!(out, "{} {}", with_suffix(key, "_count"), h.count);
+}
+
+/// Render the snapshot in Prometheus text exposition format: a `# TYPE`
+/// line per base metric name, counters/gauges as single samples, and
+/// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`.
+pub fn to_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, base: &str, kind: &str| {
+        let line = format!("# TYPE {base} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for (key, v) in &snap.counters {
+        type_line(&mut out, split_key(key).0, "counter");
+        let _ = writeln!(out, "{key} {v}");
+    }
+    for (key, v) in &snap.gauges {
+        type_line(&mut out, split_key(key).0, "gauge");
+        let _ = writeln!(out, "{key} {}", fmt_num(*v));
+    }
+    for (key, h) in &snap.histograms {
+        type_line(&mut out, split_key(key).0, "histogram");
+        prom_histogram(&mut out, key, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{labeled, Registry};
+
+    fn sample() -> RegistrySnapshot {
+        let r = Registry::new();
+        r.counter(&labeled("engine_predicts_total", &[("shard", "0")]))
+            .add(3);
+        r.counter(&labeled("engine_predicts_total", &[("shard", "1")]))
+            .add(4);
+        r.gauge("engine_queue_depth{shard=\"0\"}").set(2.0);
+        let h = r.histogram(&labeled("predict_latency_ns", &[("shard", "0")]));
+        h.record(150);
+        h.record(90_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn flat_json_expands_histograms_and_keeps_labels() {
+        let json = to_flat_json(&sample());
+        assert!(json.contains("\"engine_predicts_total{shard=\\\"0\\\"}\": 3"));
+        assert!(json.contains("\"engine_predicts_total{shard=\\\"1\\\"}\": 4"));
+        assert!(json.contains("\"predict_latency_ns_count{shard=\\\"0\\\"}\": 2"));
+        assert!(json.contains("\"predict_latency_ns_sum{shard=\\\"0\\\"}\": 90150"));
+        assert!(json.contains("predict_latency_ns_p99{shard=\\\"0\\\"}"));
+        // Integral values print with no fraction.
+        assert!(
+            json.contains("\"engine_queue_depth{shard=\\\"0\\\"}\": 2\n")
+                || json.contains("\"engine_queue_depth{shard=\\\"0\\\"}\": 2,")
+        );
+    }
+
+    #[test]
+    fn flat_json_of_empty_snapshot_is_empty_object() {
+        assert_eq!(to_flat_json(&RegistrySnapshot::empty()), "{\n}\n");
+    }
+
+    #[test]
+    fn prometheus_emits_types_and_cumulative_buckets() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE engine_predicts_total counter"));
+        assert!(text.contains("# TYPE engine_queue_depth gauge"));
+        assert!(text.contains("# TYPE predict_latency_ns histogram"));
+        assert!(text.contains("engine_predicts_total{shard=\"0\"} 3"));
+        // Bucket series is cumulative and ends at +Inf with the total count.
+        assert!(text.contains("predict_latency_ns_bucket{shard=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("predict_latency_ns_sum{shard=\"0\"} 90150"));
+        assert!(text.contains("predict_latency_ns_count{shard=\"0\"} 2"));
+        // 150 lands at the le="200" cumulative step.
+        assert!(text.contains("predict_latency_ns_bucket{shard=\"0\",le=\"200\"} 1"));
+        assert!(text.contains("predict_latency_ns_bucket{shard=\"0\",le=\"100000\"} 2"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_base_name() {
+        let text = to_prometheus(&sample());
+        let count = text.matches("# TYPE engine_predicts_total counter").count();
+        assert_eq!(count, 1);
+    }
+}

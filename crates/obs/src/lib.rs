@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Observability for the AdaMove serving + TTA stack: metrics, spans,
+//! exporters — designed to be *effectively free when disabled*.
+//!
+//! Three layers, all dependency-free:
+//!
+//! - [`registry`] — a lock-free metric registry: [`Counter`]s and
+//!   [`Gauge`]s are single relaxed atomics, [`Histogram`]s are fixed
+//!   exponential bucket arrays of atomics with p50/p95/p99 readout.
+//!   Registration (name → handle) takes a mutex once; every increment on
+//!   the returned handle is pure atomic arithmetic. Snapshots
+//!   ([`RegistrySnapshot`]) obey the same merge laws as the core crate's
+//!   `MetricAccumulator`: merging per-shard snapshots in any order or
+//!   grouping equals one combined recording pass, exactly.
+//! - [`span`] — lightweight span tracing ([`span!`], [`event!`]) with a
+//!   pluggable [`TraceSink`]. The default [`Tracer::noop`] has no sink:
+//!   a disabled span takes no timestamp, allocates nothing, and compiles
+//!   down to one branch on an `Option`. [`RingSink`] (bounded in-memory
+//!   buffer) and [`StderrSink`] (human-readable lines) are included.
+//! - [`export`] — Prometheus-style text exposition and flat JSON (the
+//!   same hand-rolled, serde-free format the testkit uses for golden
+//!   files, so exports parse under the offline dependency stubs too).
+//!
+//! # Metric naming
+//!
+//! Names are `snake_case` with a unit suffix (`_total` for counters,
+//! `_ns`/`_us` for latency histograms); per-shard or per-city dimensions
+//! go in Prometheus-style labels rendered into the key by [`labeled`]:
+//! `engine_predicts_total{shard="3"}`. Exporters split the rendered key
+//! back apart, so the registry itself stays a flat string → metric map.
+
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use export::{to_flat_json, to_prometheus};
+pub use registry::{
+    labeled, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
+    BUCKET_BOUNDS, NUM_BUCKETS,
+};
+pub use span::{FieldValue, RingSink, Span, SpanRecord, StderrSink, TraceSink, Tracer};

@@ -1,0 +1,546 @@
+//! Lock-free metric primitives and the name → handle registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of an
+//! `Arc` around atomics: threads share them freely and every update is a
+//! relaxed atomic operation — no locks, no allocation, no syscalls on the
+//! hot path. The [`Registry`] mutex is touched only at registration and
+//! snapshot time, never per increment.
+//!
+//! [`RegistrySnapshot`] is the frozen read side. Its [`merge`] is integer
+//! (counter/bucket) addition plus gauge-sum, so — exactly like the core
+//! crate's `MetricAccumulator` — accumulating a stream shard-by-shard and
+//! merging equals one combined pass, for any partition, order or grouping
+//! of the parts, with empty snapshots as identity elements.
+//!
+//! [`merge`]: RegistrySnapshot::merge
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Upper bounds (inclusive) of the histogram buckets: a 1–2–5 series per
+/// decade from 1 to 5·10¹¹. With nanosecond values that spans 1 ns to
+/// ~8.3 minutes at ~±30% relative resolution; values beyond the last
+/// bound land in one overflow bucket.
+pub const BUCKET_BOUNDS: [u64; 36] = [
+    1,
+    2,
+    5,
+    10,
+    20,
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    20_000_000_000,
+    50_000_000_000,
+    100_000_000_000,
+    200_000_000_000,
+    500_000_000_000,
+];
+
+/// Number of histogram buckets: one per bound plus the overflow bucket.
+pub const NUM_BUCKETS: usize = BUCKET_BOUNDS.len() + 1;
+
+/// A monotonically increasing `u64` counter. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (stored as bits in one atomic). Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) with a CAS loop.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket latency/value histogram (bounds: [`BUCKET_BOUNDS`]).
+/// Recording is two relaxed `fetch_add`s plus a binary search over a
+/// const array; cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value (e.g. a latency in nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = BUCKET_BOUNDS.partition_point(|&b| b < value);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current contents. Concurrent recording is allowed; the
+    /// snapshot is a consistent-enough view for monitoring (bucket totals
+    /// may trail `count` by in-flight records).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: counts.iter().sum(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+}
+
+/// Frozen histogram contents with percentile readout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (last bucket = overflow beyond the largest bound).
+    pub counts: [u64; NUM_BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Total number of recorded values.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: [0; NUM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) by nearest rank, reported as the
+    /// upper bound of the bucket holding that rank — an upper estimate
+    /// with the bucket's ±30% resolution. Overflow values saturate to the
+    /// largest bound; an empty histogram reports 0.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return BUCKET_BOUNDS[i.min(BUCKET_BOUNDS.len() - 1)] as f64;
+            }
+        }
+        *BUCKET_BOUNDS.last().expect("non-empty bounds") as f64
+    }
+
+    /// Mean of the recorded values (exact: `sum / count`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold `other` into `self`: exact bucket-wise integer addition.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Name → metric map. Registration and snapshots lock a mutex; the
+/// returned handles never do — all hot-path updates are lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        metrics.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freeze every registered metric into a [`RegistrySnapshot`].
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A frozen view of a [`Registry`]: plain maps, safe to merge, export and
+/// assert on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram name → frozen buckets.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Fold `other` into `self`. Counters and histogram buckets add as
+    /// exact integers; gauges add as floats (exact whenever the values
+    /// are integers, e.g. queue depths and occupancy counts). The
+    /// operation is associative and commutative with [`empty`] as
+    /// identity — the `MetricAccumulator` merge laws.
+    ///
+    /// [`empty`]: RegistrySnapshot::empty
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0.0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(h);
+        }
+    }
+
+    /// The subset of metrics whose name starts with `prefix`.
+    pub fn filter_prefix(&self, prefix: &str) -> RegistrySnapshot {
+        fn keep<V: Clone>(m: &BTreeMap<String, V>, prefix: &str) -> BTreeMap<String, V> {
+            m.iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        }
+        RegistrySnapshot {
+            counters: keep(&self.counters, prefix),
+            gauges: keep(&self.gauges, prefix),
+            histograms: keep(&self.histograms, prefix),
+        }
+    }
+
+    /// True when no metric is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Render `name{k="v",...}` — the Prometheus-style key convention the
+/// exporters understand. With no labels the bare name is returned.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("x_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same cell.
+        assert_eq!(r.counter("x_total").get(), 5);
+
+        let g = r.gauge("depth");
+        g.set(3.0);
+        g.inc();
+        g.dec();
+        g.add(-1.5);
+        assert_eq!(g.get(), 1.5);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new();
+        for v in [1u64, 3, 3, 90, 700, 2_000_000_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1 + 3 + 3 + 90 + 700 + 2_000_000_000_000);
+        // 3 lands in the (2, 5] bucket; overflow goes to the last bucket.
+        assert_eq!(s.counts[BUCKET_BOUNDS.partition_point(|&b| b < 3)], 2);
+        assert_eq!(s.counts[NUM_BUCKETS - 1], 1);
+        // p50: rank 3 of 6 → the value 3 → bucket bound 5.
+        assert_eq!(s.percentile(0.50), 5.0);
+        // Overflow saturates to the largest bound.
+        assert_eq!(s.percentile(1.0), *BUCKET_BOUNDS.last().unwrap() as f64);
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn snapshot_merge_is_exact() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("c").add(3);
+        b.counter("c").add(4);
+        b.counter("only_b").add(1);
+        a.gauge("g").set(2.0);
+        b.gauge("g").set(5.0);
+        a.histogram("h").record(10);
+        b.histogram("h").record(10_000);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["c"], 7);
+        assert_eq!(merged.counters["only_b"], 1);
+        assert_eq!(merged.gauges["g"], 7.0);
+        assert_eq!(merged.histograms["h"].count, 2);
+
+        // Identity element.
+        let before = merged.clone();
+        merged.merge(&RegistrySnapshot::empty());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn filter_prefix_selects_by_name() {
+        let r = Registry::new();
+        r.counter("engine_observes_total").inc();
+        r.counter("ptta_updates_total").inc();
+        r.gauge("engine_queue_depth").set(1.0);
+        let engine = r.snapshot().filter_prefix("engine_");
+        assert_eq!(engine.counters.len(), 1);
+        assert_eq!(engine.gauges.len(), 1);
+        assert!(engine.histograms.is_empty());
+        assert!(r.snapshot().filter_prefix("nope").is_empty());
+    }
+
+    #[test]
+    fn labeled_renders_prometheus_keys() {
+        assert_eq!(labeled("x_total", &[]), "x_total");
+        assert_eq!(
+            labeled("x_total", &[("shard", "3")]),
+            "x_total{shard=\"3\"}"
+        );
+        assert_eq!(
+            labeled("x", &[("a", "1"), ("b", "2")]),
+            "x{a=\"1\",b=\"2\"}"
+        );
+    }
+}

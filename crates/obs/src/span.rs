@@ -1,0 +1,392 @@
+//! Span tracing with a pluggable sink, built so the *disabled* path is
+//! effectively free: [`Tracer::noop`] holds no sink, and both
+//! [`Tracer::event`] and [`Tracer::start_span`] reduce to a single branch
+//! on an `Option` — no timestamp is taken, no strings are formatted, no
+//! allocation happens. The [`span!`] / [`event!`] macros go one step
+//! further and only *build* the field array when a sink is attached.
+//!
+//! Sinks included: [`StderrSink`] (one human-readable line per record,
+//! the shape the trainer's old `eprintln!` output had) and [`RingSink`]
+//! (bounded in-memory buffer, for tests and mid-run inspection).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A typed field value attached to an event or span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rendered with 4 decimals by [`StderrSink`]).
+    F64(f64),
+    /// Arbitrary string.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.4}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(f64::from(v))
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One record captured by a sink: an instantaneous event
+/// (`elapsed == None`) or a closed span (`elapsed == Some`).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Event or span name (e.g. `"predict"`, `"train_epoch"`).
+    pub name: &'static str,
+    /// Ordered `(key, value)` fields attached at creation.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Wall time the span covered; `None` for instantaneous events.
+    pub elapsed: Option<Duration>,
+}
+
+/// Where trace records go. Implementations must be cheap and non-blocking
+/// relative to the paths they observe.
+pub trait TraceSink: Send + Sync {
+    /// An instantaneous event.
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]);
+    /// A span that just closed, having covered `elapsed` wall time.
+    fn span_close(
+        &self,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+        elapsed: Duration,
+    );
+}
+
+/// Writes one line per record to stderr:
+/// `name  key value  key value [ 12.3ms]`.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+fn render_fields(fields: &[(&'static str, FieldValue)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!("{k} {v}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+impl TraceSink for StderrSink {
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        eprintln!("{name}  {}", render_fields(fields));
+    }
+
+    fn span_close(
+        &self,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+        elapsed: Duration,
+    ) {
+        eprintln!(
+            "{name}  {}  [{:.1}ms]",
+            render_fields(fields),
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Bounded in-memory buffer of the most recent records. Oldest records
+/// are dropped once `capacity` is exceeded. Intended for tests and
+/// mid-run inspection, not production volume.
+#[derive(Debug)]
+pub struct RingSink {
+    records: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Drain and return all buffered records, oldest first.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        let mut records = self.records.lock().unwrap_or_else(|p| p.into_inner());
+        records.drain(..).collect()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut records = self.records.lock().unwrap_or_else(|p| p.into_inner());
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(record);
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        self.push(SpanRecord {
+            name,
+            fields: fields.to_vec(),
+            elapsed: None,
+        });
+    }
+
+    fn span_close(
+        &self,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+        elapsed: Duration,
+    ) {
+        self.push(SpanRecord {
+            name,
+            fields: fields.to_vec(),
+            elapsed: Some(elapsed),
+        });
+    }
+}
+
+/// Entry point for tracing: either a no-op (default) or a handle to a
+/// shared [`TraceSink`]. Cloning is cheap (an `Option<Arc>`), so every
+/// worker thread can own one.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The disabled tracer: no sink, every operation is a single branch.
+    pub fn noop() -> Self {
+        Self { sink: None }
+    }
+
+    /// A tracer writing human-readable lines to stderr.
+    pub fn stderr() -> Self {
+        Self::with_sink(Arc::new(StderrSink))
+    }
+
+    /// A tracer feeding the given sink.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// True when a sink is attached. The [`span!`]/[`event!`] macros use
+    /// this to skip building fields entirely when disabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit an instantaneous event. Free when disabled.
+    #[inline]
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        if let Some(sink) = &self.sink {
+            sink.event(name, fields);
+        }
+    }
+
+    /// Open a timed span; the returned guard reports elapsed wall time to
+    /// the sink when dropped. When disabled, no timestamp is taken and
+    /// the guard is inert.
+    #[inline]
+    pub fn start_span(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span {
+        match &self.sink {
+            Some(sink) => Span {
+                inner: Some(SpanInner {
+                    sink: Arc::clone(sink),
+                    name,
+                    fields,
+                    started: Instant::now(),
+                }),
+            },
+            None => Span { inner: None },
+        }
+    }
+}
+
+struct SpanInner {
+    sink: Arc<dyn TraceSink>,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+    started: Instant,
+}
+
+/// RAII guard returned by [`Tracer::start_span`]: reports the span close
+/// (with elapsed wall time) when dropped. Inert if the tracer was
+/// disabled at creation.
+#[must_use = "a span measures the scope it is held for"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("active", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner
+                .sink
+                .span_close(inner.name, &inner.fields, inner.started.elapsed());
+        }
+    }
+}
+
+/// Open a timed span on a [`Tracer`]:
+/// `let _s = span!(tracer, "predict", shard = 3, user = uid);`
+/// Fields are only built (and the timestamp only taken) when the tracer
+/// has a sink.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $tracer.enabled() {
+            $tracer.start_span(
+                $name,
+                vec![$((stringify!($key), $crate::FieldValue::from($value)),)*],
+            )
+        } else {
+            $tracer.start_span($name, Vec::new())
+        }
+    };
+}
+
+/// Emit an instantaneous event on a [`Tracer`]:
+/// `event!(tracer, "train_epoch", epoch = 3, loss = 0.12);`
+/// Fields are only built when the tracer has a sink.
+#[macro_export]
+macro_rules! event {
+    ($tracer:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $tracer.enabled() {
+            $tracer.event(
+                $name,
+                &[$((stringify!($key), $crate::FieldValue::from($value)),)*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_inert() {
+        let t = Tracer::noop();
+        assert!(!t.enabled());
+        t.event("e", &[("k", FieldValue::U64(1))]);
+        let s = t.start_span("s", vec![]);
+        assert!(s.inner.is_none());
+        drop(s);
+    }
+
+    #[test]
+    fn ring_sink_captures_events_and_spans() {
+        let ring = Arc::new(RingSink::new(8));
+        let t = Tracer::with_sink(ring.clone());
+        assert!(t.enabled());
+
+        crate::event!(t, "obs", user = 7usize, kind = "observe");
+        {
+            let _s = crate::span!(t, "predict", shard = 2u64);
+        }
+
+        let records = ring.take();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "obs");
+        assert_eq!(records[0].elapsed, None);
+        assert_eq!(records[0].fields[0], ("user", FieldValue::U64(7)));
+        assert_eq!(records[1].name, "predict");
+        assert!(records[1].elapsed.is_some());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest_at_capacity() {
+        let ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.event("e", &[("i", FieldValue::U64(i))]);
+        }
+        let records = ring.take();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].fields[0].1, FieldValue::U64(3));
+        assert_eq!(records[1].fields[0].1, FieldValue::U64(4));
+    }
+
+    #[test]
+    fn field_value_display_formats() {
+        assert_eq!(FieldValue::U64(3).to_string(), "3");
+        assert_eq!(FieldValue::I64(-3).to_string(), "-3");
+        assert_eq!(FieldValue::F64(0.5).to_string(), "0.5000");
+        assert_eq!(FieldValue::Str("x".into()).to_string(), "x");
+    }
+}

@@ -1,0 +1,203 @@
+//! Correctness suite for the lock-free metric registry: concurrent
+//! recording must lose nothing (counts are exact integers), histogram
+//! percentiles must bracket the data they summarise, and snapshot
+//! merging must obey the same laws as `MetricAccumulator` merging —
+//! any partition of a stream, merged in any order, equals one
+//! sequential pass bit for bit.
+
+use adamove_obs::{Histogram, HistogramSnapshot, Registry, BUCKET_BOUNDS};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+/// Deterministic value stream without external RNG deps: an LCG over the
+/// histogram's dynamic range (1ns .. ~0.5s).
+fn stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            1 + (state >> 16) % 500_000_000
+        })
+        .collect()
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn eight_threads_of_increments_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                // Every thread hammers the SAME counter, gauge and
+                // histogram handles — contention is the point.
+                let c = registry.counter("laws_counter");
+                let g = registry.gauge("laws_gauge");
+                let h = registry.histogram("laws_hist");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1.0);
+                    h.record(1 + (t as u64 * PER_THREAD + i) % 1000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let total = THREADS as u64 * PER_THREAD;
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["laws_counter"], total);
+    // The gauge's CAS-loop add must also be lossless (each add is +1.0,
+    // exactly representable, so the float sum is exact too).
+    assert_eq!(snap.gauges["laws_gauge"], total as f64);
+    let h = &snap.histograms["laws_hist"];
+    assert_eq!(h.count, total);
+    assert_eq!(
+        h.counts.iter().sum::<u64>(),
+        total,
+        "bucket totals must equal the recorded count"
+    );
+}
+
+#[test]
+fn percentiles_bracket_the_recorded_data() {
+    // Values spanning several decades; exact percentile values are
+    // quantised to bucket upper bounds, but every reported percentile
+    // must (a) be one of the bucket bounds, (b) be >= the true value's
+    // bucket bound at that rank, and (c) never exceed the max value's
+    // bucket bound.
+    let values = stream(10_000, 7);
+    let snap = record_all(&values);
+
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let bound_of = |v: u64| -> u64 {
+        let idx = BUCKET_BOUNDS.partition_point(|&b| b < v);
+        BUCKET_BOUNDS[idx.min(BUCKET_BOUNDS.len() - 1)]
+    };
+    for q in [0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+        let p = snap.percentile(q);
+        assert!(
+            BUCKET_BOUNDS.iter().any(|&b| b as f64 == p),
+            "p{q} = {p} is not a bucket bound"
+        );
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let true_bound = bound_of(sorted[rank]) as f64;
+        assert_eq!(
+            p, true_bound,
+            "p{q}: histogram says {p}, nearest-rank value {} maps to bound {true_bound}",
+            sorted[rank]
+        );
+    }
+    // Monotone in q.
+    assert!(snap.percentile(0.5) <= snap.percentile(0.99));
+    // Mean is exact (integer sum / integer count).
+    let exact_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+    assert!((snap.mean() - exact_mean).abs() < 1e-6);
+}
+
+#[test]
+fn overflow_values_saturate_to_the_last_bucket() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 2);
+    // The overflow percentile reports the largest finite bound rather
+    // than inventing a value beyond the instrument's range.
+    assert_eq!(snap.percentile(1.0), *BUCKET_BOUNDS.last().unwrap() as f64);
+    assert_eq!(snap.percentile(0.0), BUCKET_BOUNDS[0] as f64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram-snapshot merging obeys the accumulator merge laws:
+    /// any partition of any stream into up to 8 partials, merged in any
+    /// rotation, equals recording the whole stream sequentially.
+    #[test]
+    fn random_partitions_merge_exactly(
+        n in 1usize..200,
+        seed in 0u64..1000,
+        cuts in proptest::collection::vec(0usize..200, 0..7),
+        rotate in 0usize..8,
+    ) {
+        let values = stream(n, seed);
+        let sequential = record_all(&values);
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (n + 1)).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        let partials: Vec<HistogramSnapshot> = bounds
+            .windows(2)
+            .map(|w| record_all(&values[w[0]..w[1]])) // empty when w[0] == w[1]
+            .collect();
+
+        let mut order: Vec<usize> = (0..partials.len()).collect();
+        order.rotate_left(rotate % partials.len().max(1));
+        let mut merged = HistogramSnapshot::default();
+        for &i in &order {
+            merged.merge(&partials[i]);
+        }
+        prop_assert_eq!(&merged.counts[..], &sequential.counts[..]);
+        prop_assert_eq!(merged.sum, sequential.sum);
+        prop_assert_eq!(merged.count, sequential.count);
+    }
+
+    /// Registry-level snapshot merge: counters add exactly and
+    /// histograms follow the histogram law, regardless of which
+    /// registry saw which slice.
+    #[test]
+    fn registry_snapshots_merge_like_one_registry(
+        n in 1usize..120,
+        seed in 0u64..1000,
+        cut in 0usize..120,
+    ) {
+        let values = stream(n, seed);
+        let cut = cut % (n + 1);
+
+        let whole = Registry::new();
+        for &v in &values {
+            whole.counter("events_total").inc();
+            whole.histogram("latency_ns").record(v);
+        }
+
+        let (a, b) = (Registry::new(), Registry::new());
+        for &v in &values[..cut] {
+            a.counter("events_total").inc();
+            a.histogram("latency_ns").record(v);
+        }
+        for &v in &values[cut..] {
+            b.counter("events_total").inc();
+            b.histogram("latency_ns").record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        let expect = whole.snapshot();
+        prop_assert_eq!(merged.counters, expect.counters);
+        prop_assert_eq!(
+            merged.histograms["latency_ns"].counts,
+            expect.histograms["latency_ns"].counts
+        );
+        prop_assert_eq!(merged.histograms["latency_ns"].sum, expect.histograms["latency_ns"].sum);
+    }
+}

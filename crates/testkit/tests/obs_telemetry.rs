@@ -1,0 +1,243 @@
+//! Telemetry ground-truth tests: the obs registry wired through the
+//! sharded engine must agree exactly with what the fault-injection seam
+//! provably did — every typed error has a matching fault counter, every
+//! dropped observe is counted, and the mid-run `snapshot()` view matches
+//! the post-shutdown report. The final test is the CI smoke path: engine
+//! under load → registry snapshot → flat-JSON export → parse with the
+//! testkit's serde-free parser → required keys present.
+
+use adamove::{
+    AdaMoveConfig, EngineConfig, EngineError, LightMob, PttaConfig, RequestKind, ShardedEngine,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use adamove_obs::to_flat_json;
+use adamove_testkit::json::parse_flat;
+use adamove_testkit::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const LOCATIONS: u32 = 8;
+const USERS: u32 = 64;
+
+fn model() -> (Arc<ParamStore>, Arc<LightMob>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    (Arc::new(store), Arc::new(model))
+}
+
+fn engine_with(shards: usize, plan: FaultPlan) -> ShardedEngine {
+    let (store, model) = model();
+    ShardedEngine::with_disturbance(
+        model,
+        store,
+        EngineConfig {
+            shards,
+            context_sessions: 2,
+            session_hours: 24,
+            ptta: PttaConfig::default(),
+        },
+        Some(Arc::new(plan)),
+    )
+}
+
+fn user_on_shard(engine: &ShardedEngine, shard: usize) -> UserId {
+    (0..USERS)
+        .map(UserId)
+        .find(|u| engine.shard_of(*u) == shard)
+        .expect("64 users cover every shard")
+}
+
+fn pt(loc: u32, hour: i64) -> Point {
+    Point::new(loc, Timestamp::from_hours(hour))
+}
+
+#[test]
+fn shard_down_counter_matches_typed_errors() {
+    const DEAD: usize = 1;
+    let engine = engine_with(4, FaultPlan::new(0).panic_at(DEAD, 0));
+    let victim = user_on_shard(&engine, DEAD);
+
+    // The observe that trips the injected panic enqueues cleanly (the
+    // worker dies processing it), so it is not an error at the caller.
+    let _ = engine.try_observe(victim, pt(1, 0));
+    // Two ShardDown errors observed by the caller...
+    let mut shard_down_seen = 0;
+    if engine
+        .try_predict(victim, Timestamp::from_hours(1))
+        .is_err()
+    {
+        shard_down_seen += 1;
+    }
+    if engine.try_observe(victim, pt(2, 1)).is_err() {
+        shard_down_seen += 1;
+    }
+    assert_eq!(shard_down_seen, 2);
+
+    // ...must be exactly what the registry counted.
+    let snap = engine.registry().snapshot();
+    assert_eq!(snap.counters["engine_shard_down_total"], 2);
+    assert_eq!(snap.counters["engine_timeout_total"], 0);
+
+    // The engine-level snapshot agrees and marks the shard dead; the
+    // panicked shard died before processing anything.
+    let view = engine.snapshot();
+    assert_eq!(view.shard_down_errors, 2);
+    assert!(!view.shards[DEAD].alive);
+    assert_eq!(view.shards[DEAD].observed, 0);
+
+    let report = engine.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.failed_shards, vec![DEAD]);
+}
+
+#[test]
+fn timeout_counter_matches_typed_errors() {
+    const SLOW: usize = 0;
+    let engine = engine_with(
+        2,
+        FaultPlan::new(5).delay(
+            Some(SLOW),
+            Some(RequestKind::Predict),
+            Duration::from_millis(400),
+            1.0,
+        ),
+    );
+    let slow_user = user_on_shard(&engine, SLOW);
+    engine.observe(slow_user, pt(1, 0));
+
+    let err = engine
+        .predict_timeout(
+            slow_user,
+            Timestamp::from_hours(1),
+            Duration::from_millis(40),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Timeout { .. }));
+
+    // A patient retry succeeds and must NOT bump the timeout counter.
+    assert!(engine
+        .predict_timeout(slow_user, Timestamp::from_hours(1), Duration::from_secs(30))
+        .unwrap()
+        .is_some());
+
+    let snap = engine.registry().snapshot();
+    assert_eq!(snap.counters["engine_timeout_total"], 1);
+    assert_eq!(snap.counters["engine_shard_down_total"], 0);
+    assert_eq!(engine.snapshot().timeout_errors, 1);
+
+    let report = engine.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert!(report.healthy());
+}
+
+#[test]
+fn dropped_observe_counters_match_injected_losses() {
+    // Shard-wide delivery loss: every observe vanishes. Ground truth from
+    // the fault plan: 4 observes dropped, 2 predicts processed.
+    let engine = engine_with(2, FaultPlan::new(7).drop_observes(None, 1.0));
+    let (a, b) = (user_on_shard(&engine, 0), user_on_shard(&engine, 1));
+    for user in [a, b] {
+        engine.observe(user, pt(1, 0));
+        engine.observe(user, pt(2, 1));
+        assert!(engine
+            .predict_timeout(user, Timestamp::from_hours(2), Duration::from_secs(30))
+            .unwrap()
+            .is_none());
+    }
+    engine.flush();
+
+    // Mid-run: the registry has already seen every drop.
+    let view = engine.snapshot();
+    assert_eq!(view.dropped_observes(), 4);
+    assert_eq!(view.observed(), 0);
+    assert_eq!(view.predictions(), 2);
+    assert_eq!(view.predict_latency().count, 2);
+
+    // Post-shutdown report (rebuilt from the same registry) agrees.
+    let report = engine.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(report.dropped_observes, 4);
+    assert_eq!(report.observed, 0);
+    assert_eq!(report.predictions, 2);
+}
+
+#[test]
+fn export_of_loaded_engine_parses_with_required_keys() {
+    // The CI smoke path: fault-free engine under load, snapshot, JSON
+    // export, parse with the testkit's serde-free parser, assert keys.
+    let (store, model) = model();
+    let engine = ShardedEngine::new(
+        model,
+        store,
+        EngineConfig {
+            shards: 2,
+            context_sessions: 2,
+            session_hours: 24,
+            ptta: PttaConfig::default(),
+        },
+    );
+    // Four users per shard so both shards provably see load.
+    let users: Vec<UserId> = (0..2)
+        .flat_map(|shard| {
+            (0..USERS)
+                .map(UserId)
+                .filter(|u| engine.shard_of(*u) == shard)
+                .take(4)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(users.len(), 8);
+    for (i, &user) in users.iter().enumerate() {
+        let u = i as u32;
+        engine.observe(user, pt(1 + u % 3, 0));
+        engine.observe(user, pt(2 + u % 3, 2));
+        engine.predict(user, Timestamp::from_hours(3));
+    }
+    engine.flush();
+
+    let json = to_flat_json(&engine.registry().snapshot());
+    let fields = parse_flat(&json).expect("obs export must parse with the testkit parser");
+    let num = |key: &str| -> f64 {
+        fields
+            .get(key)
+            .unwrap_or_else(|| panic!("missing key {key:?} in export"))
+            .as_num(key)
+            .unwrap()
+    };
+
+    // Totals across both shards match the submitted load exactly.
+    let mut observed = 0.0;
+    let mut predicted = 0.0;
+    let mut latency_count = 0.0;
+    for shard in ["0", "1"] {
+        observed += num(&format!("engine_observes_total{{shard=\"{shard}\"}}"));
+        predicted += num(&format!("engine_predicts_total{{shard=\"{shard}\"}}"));
+        latency_count += num(&format!(
+            "engine_predict_latency_ns_count{{shard=\"{shard}\"}}"
+        ));
+        // Histogram percentile keys are present and positive.
+        assert!(
+            num(&format!(
+                "engine_predict_latency_ns_p99{{shard=\"{shard}\"}}"
+            )) > 0.0
+        );
+        assert!(num(&format!("engine_flushes_total{{shard=\"{shard}\"}}")) >= 1.0);
+    }
+    assert_eq!(observed, 16.0);
+    assert_eq!(predicted, 8.0);
+    assert_eq!(latency_count, 8.0);
+    assert_eq!(num("engine_shard_down_total"), 0.0);
+    assert_eq!(num("engine_timeout_total"), 0.0);
+
+    let report = engine.shutdown_timeout(Duration::from_secs(30)).unwrap();
+    assert!(report.healthy());
+    assert_eq!(report.observed, 16);
+    assert_eq!(report.predictions, 8);
+}

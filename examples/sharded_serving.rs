@@ -6,7 +6,9 @@
 //! classifier per predict (Algorithm 1). This demo trains a small model on
 //! a synthetic city, replays the test region as live observe/predict
 //! traffic through the engine, and prints the serving report — shard
-//! occupancy, throughput and p50/p99 predict latency.
+//! occupancy, throughput and p50/p99 predict latency — plus a metrics
+//! section read straight from the engine's obs registry: a mid-run
+//! `snapshot()`, the flat-JSON export and the Prometheus exposition.
 //!
 //! Run with: `cargo run --release --example sharded_serving`
 
@@ -87,7 +89,7 @@ fn main() {
     println!("serving {} requests over {shards} shards...", test.len());
     let mut hits = 0usize;
     let mut answered = 0usize;
-    for s in &test {
+    for (i, s) in test.iter().enumerate() {
         for &p in &s.recent {
             engine.observe(s.user, p);
         }
@@ -98,6 +100,34 @@ fn main() {
                 hits += 1;
             }
         }
+        // Mid-run visibility: the live registry answers "what is the
+        // engine doing right now" without pausing the workers.
+        if i == test.len() / 2 {
+            let snap = engine.snapshot();
+            println!(
+                "  mid-run snapshot: {} observed, {} predicted, p99 predict {:.1} us, {} faults",
+                snap.observed(),
+                snap.predictions(),
+                snap.predict_latency().percentile(0.99) / 1_000.0,
+                snap.shard_down_errors + snap.timeout_errors,
+            );
+        }
+    }
+
+    // ---- metrics section -------------------------------------------------
+    // The same registry the engine recorded into, exported both ways.
+    // The flat JSON matches the testkit golden format; the Prometheus
+    // text is what a scrape endpoint would serve.
+    engine.flush();
+    let metrics = engine.registry().snapshot();
+    println!("\nper-shard predict telemetry (flat JSON export):");
+    print!(
+        "{}",
+        adamove::obs::to_flat_json(&metrics.filter_prefix("engine_predicts_total"))
+    );
+    println!("prometheus exposition (first lines):");
+    for line in adamove::obs::to_prometheus(&metrics).lines().take(6) {
+        println!("  {line}");
     }
     let report = engine.shutdown();
 

@@ -17,6 +17,11 @@ cargo test -q --workspace
 # by name so a failure in the differential oracles, golden traces, or
 # fault-injection suites is unmistakable in CI logs.
 cargo test -q -p adamove-testkit
+# Observability smoke: registry laws (concurrency, percentile bounds,
+# merge == sequential) plus the end-to-end path — engine under load →
+# snapshot → flat-JSON export → parse → required keys present.
+cargo test -q -p adamove-obs
+cargo test -q -p adamove-testkit --test obs_telemetry
 # Golden drift: the comparison tests fail on numerical drift; this guard
 # additionally catches a regenerated-but-uncommitted baseline (new,
 # not-yet-tracked baselines are fine mid-PR).

@@ -36,6 +36,10 @@ if [ "${1:-}" = "full" ]; then
         --skip ptta::tests::repeated_visits_reinforce_the_revisited_location \
         --skip serialize::tests::
     "$self" test -q -p adamove-testkit
+    # Observability smoke: registry laws plus the end-to-end path —
+    # engine under load → snapshot → flat-JSON export → parse → keys.
+    "$self" test -q -p adamove-obs
+    "$self" test -q -p adamove-testkit --test obs_telemetry
     # Golden drift: regenerated-but-uncommitted changes to checked-in
     # baselines (new, not-yet-tracked baselines are fine mid-PR).
     if ! git diff --quiet HEAD -- crates/testkit/tests/golden 2>/dev/null; then
