@@ -8,7 +8,10 @@
 //! multi-core box throughput should scale with shard count until the
 //! per-predict compute stops dominating channel overhead.
 
-use adamove::{AdaMoveConfig, EngineConfig, LightMob, PttaConfig, ShardedEngine};
+use adamove::{
+    shard_of, AdaMoveConfig, Disturbance, EngineConfig, FaultAction, LightMob, PttaConfig,
+    RecoveryConfig, RequestKind, ShardedEngine,
+};
 use adamove_autograd::ParamStore;
 use adamove_mobility::{Point, Timestamp, UserId};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -63,6 +66,7 @@ fn bench_engine(c: &mut Criterion) {
                         context_sessions: 5,
                         session_hours: 72,
                         ptta: PttaConfig::default(),
+                        ..EngineConfig::default()
                     },
                 );
                 for &(user, point, predict) in &trace {
@@ -78,6 +82,81 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// One-shot kill: panics `shard` at request `seq`; fires once per engine
+/// because the per-slot sequence counter survives respawns.
+struct KillAt {
+    shard: usize,
+    seq: u64,
+}
+
+impl Disturbance for KillAt {
+    fn action(&self, shard: usize, seq: u64, _kind: RequestKind) -> FaultAction {
+        if shard == self.shard && seq == self.seq {
+            FaultAction::PanicShard
+        } else {
+            FaultAction::None
+        }
+    }
+}
+
+/// The same workload, but through a self-healing engine whose first shard
+/// is killed a quarter of the way in: measures checkpoint/journal
+/// overhead plus one respawn-and-replay cycle per iteration. Compare to
+/// `serve_Nshards` for the cost of robustness.
+fn bench_engine_recovery(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig {
+            loc_dim: 32,
+            time_dim: 8,
+            user_dim: 12,
+            hidden: 48,
+            ..AdaMoveConfig::default()
+        },
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    let (model, store) = (Arc::new(model), Arc::new(store));
+    let trace = workload();
+
+    let mut group = c.benchmark_group("sharded_engine_recovery");
+    for &shards in &[1usize, 2, 4] {
+        group.bench_function(format!("recover_{shards}shards"), |b| {
+            b.iter(|| {
+                let engine = ShardedEngine::with_disturbance(
+                    Arc::clone(&model),
+                    Arc::clone(&store),
+                    EngineConfig {
+                        shards,
+                        context_sessions: 5,
+                        session_hours: 72,
+                        ptta: PttaConfig::default(),
+                        recovery: Some(RecoveryConfig::default()),
+                        ..EngineConfig::default()
+                    },
+                    Some(Arc::new(KillAt {
+                        shard: shard_of(UserId(0), shards),
+                        seq: (STEPS / (4 * shards)) as u64,
+                    })),
+                );
+                for &(user, point, predict) in &trace {
+                    engine.observe(user, point);
+                    if predict {
+                        black_box(engine.predict(user, point.time));
+                    }
+                }
+                let report = engine.shutdown();
+                assert!(report.healthy());
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Short measurement windows keep the full suite under a few
@@ -86,6 +165,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_engine
+    targets = bench_engine, bench_engine_recovery
 }
 criterion_main!(benches);

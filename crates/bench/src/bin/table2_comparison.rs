@@ -280,5 +280,5 @@ fn main() {
 
     write_json("table2_comparison", &results);
     let phases: Vec<(String, &EvalOutcome)> = serving.iter().map(|(n, o)| (n.clone(), o)).collect();
-    write_serving_metrics(args.threads, &phases, args.metrics.as_deref());
+    write_serving_metrics(args.threads, &phases, &[], args.metrics.as_deref());
 }

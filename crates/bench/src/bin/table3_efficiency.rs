@@ -18,17 +18,20 @@
 //! to `BENCH_serving.json` at the workspace root.
 
 use adamove::{
-    evaluate_fn_par, evaluate_par, EncoderKind, EvalOutcome, InferenceMode, Metrics, Ptta,
-    PttaConfig,
+    evaluate_fn_par, evaluate_par, shard_of, AdaMoveConfig, Disturbance, EncoderKind, EngineConfig,
+    EvalOutcome, FaultAction, InferenceMode, LightMob, Metrics, Ptta, PttaConfig, RecoveryConfig,
+    RequestKind, ShardedEngine,
 };
 use adamove_autograd::ParamStore;
 use adamove_baselines::DeepMove;
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
 use adamove_bench::report::{render_table, write_json, write_serving_metrics};
-use adamove_mobility::CityPreset;
+use adamove_mobility::{CityPreset, Point, Timestamp, UserId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct CityResult {
@@ -47,6 +50,92 @@ fn paper_improvement(preset: CityPreset) -> f64 {
         CityPreset::Tky => 10.1,
         CityPreset::Lymob => 45.2,
     }
+}
+
+/// One-shot kill for the recovery drill: panics `shard` at request `seq`.
+/// The engine's per-slot sequence counter survives respawns, so the fault
+/// fires exactly once per engine.
+struct KillAt {
+    shard: usize,
+    seq: u64,
+}
+
+impl Disturbance for KillAt {
+    fn action(&self, shard: usize, seq: u64, _kind: RequestKind) -> FaultAction {
+        if shard == self.shard && seq == self.seq {
+            FaultAction::PanicShard
+        } else {
+            FaultAction::None
+        }
+    }
+}
+
+/// Recovery drill: push a deterministic observe/predict workload through a
+/// self-healing [`ShardedEngine`] whose busiest-hash shard is killed
+/// mid-run, and report throughput plus the recovery counters. This is the
+/// robustness-overhead row of `BENCH_serving.json` — the same trajectory
+/// file the accuracy/latency phases land in.
+fn recovery_drill(threads: usize) -> Vec<(&'static str, f64)> {
+    const LOCATIONS: u32 = 200;
+    const USERS: u32 = 64;
+    const STEPS: usize = 2_000;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    let shards = threads.max(1);
+    let engine = ShardedEngine::with_disturbance(
+        Arc::new(model),
+        Arc::new(store),
+        EngineConfig {
+            shards,
+            context_sessions: 5,
+            session_hours: 72,
+            ptta: PttaConfig::default(),
+            recovery: Some(RecoveryConfig::default()),
+            ..EngineConfig::default()
+        },
+        // Kill the shard that owns user 0 a quarter of the way in.
+        Some(Arc::new(KillAt {
+            shard: shard_of(UserId(0), shards),
+            seq: (STEPS / (4 * shards)) as u64,
+        })),
+    );
+    let started = Instant::now();
+    let mut requests = 0u64;
+    for i in 0..STEPS {
+        let user = UserId(rng.gen_range(0..USERS));
+        let point = Point::new(rng.gen_range(0..LOCATIONS), Timestamp::from_hours(i as i64));
+        engine.observe(user, point);
+        requests += 1;
+        if i % 4 == 3 {
+            let _ = engine.predict(user, point.time);
+            requests += 1;
+        }
+    }
+    let rps = requests as f64 / started.elapsed().as_secs_f64();
+    let snap = engine.snapshot();
+    let report = engine.shutdown();
+    println!(
+        "Recovery drill ({shards} shards, {requests} requests): {rps:.0} req/s, \
+         {} respawn(s), {} replayed, {} degraded",
+        snap.respawns, snap.replayed_observes, snap.degraded_predictions
+    );
+    assert!(report.healthy(), "recovery drill must end healthy");
+    vec![
+        ("bench_recovery_rps", rps),
+        ("bench_respawns", snap.respawns as f64),
+        ("bench_replayed_observes", snap.replayed_observes as f64),
+        (
+            "bench_degraded_predictions",
+            snap.degraded_predictions as f64,
+        ),
+    ]
 }
 
 fn main() {
@@ -149,6 +238,7 @@ fn main() {
     }
 
     write_json("table3_efficiency", &results);
+    let extras = recovery_drill(args.threads);
     let phases: Vec<(String, &EvalOutcome)> = serving.iter().map(|(n, o)| (n.clone(), o)).collect();
-    write_serving_metrics(args.threads, &phases, args.metrics.as_deref());
+    write_serving_metrics(args.threads, &phases, &extras, args.metrics.as_deref());
 }

@@ -78,15 +78,21 @@ pub fn repo_root() -> PathBuf {
 /// export carries `_p50`/`_p95`/`_p99`/`_mean`), a
 /// `bench_throughput_sps{phase="..."}` gauge (wall-clock samples/s at the
 /// run's thread count) and a `bench_samples_total{phase="..."}` counter;
-/// plus a single `bench_threads` gauge. `path = None` defaults to
-/// `BENCH_serving.json` at the workspace root.
+/// plus a single `bench_threads` gauge. `extras` are free-form gauges for
+/// scalar telemetry that has no per-phase shape (e.g. the recovery
+/// drill's `bench_respawns` / `bench_degraded_predictions` counts).
+/// `path = None` defaults to `BENCH_serving.json` at the workspace root.
 pub fn write_serving_metrics(
     threads: usize,
     phases: &[(String, &EvalOutcome)],
+    extras: &[(&str, f64)],
     path: Option<&Path>,
 ) {
     let registry = Registry::new();
     registry.gauge("bench_threads").set(threads as f64);
+    for &(name, value) in extras {
+        registry.gauge(name).set(value);
+    }
     for (phase, out) in phases {
         let labels = [("phase", phase.as_str())];
         let hist = registry.histogram(&labeled("bench_eval_latency_ns", &labels));
@@ -187,7 +193,12 @@ mod tests {
             latencies_ns: vec![1_000, 2_000, 3_000],
         };
         let path = std::env::temp_dir().join("adamove_bench_serving_test.json");
-        write_serving_metrics(4, &[("eval".to_string(), &outcome)], Some(&path));
+        write_serving_metrics(
+            4,
+            &[("eval".to_string(), &outcome)],
+            &[("bench_respawns", 1.0), ("bench_degraded_predictions", 0.0)],
+            Some(&path),
+        );
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         for key in [
@@ -195,6 +206,8 @@ mod tests {
             "\"bench_samples_total{phase=\\\"eval\\\"}\": 3",
             "\"bench_eval_latency_ns_p99{phase=\\\"eval\\\"}\"",
             "\"bench_throughput_sps{phase=\\\"eval\\\"}\"",
+            "\"bench_respawns\": 1",
+            "\"bench_degraded_predictions\": 0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

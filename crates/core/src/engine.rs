@@ -30,34 +30,85 @@
 //! (worker panics, delayed replies, dropped observes) without any
 //! test-only code paths in the engine itself.
 //!
+//! # Self-healing
+//!
+//! The guarantees above are *fail-stop* by default: a dead shard stays
+//! dead. Setting [`EngineConfig::recovery`] upgrades the engine to
+//! self-healing (see [`crate::recovery`] for the building blocks):
+//!
+//! - **Checkpoint + journal.** Every accepted observe is appended to a
+//!   bounded per-shard write-ahead [`Journal`] *at enqueue time, under the
+//!   shard's send lock*, so journal-id order equals queue order. Workers
+//!   periodically snapshot their per-user windows into an in-memory
+//!   [`CheckpointStore`] and prune the journal. Recovery restores the
+//!   checkpoint and replays the journal suffix in id order; because window
+//!   eviction is idempotent under monotone query times, the rebuilt shard
+//!   serves predictions **bit-identical** to a run that never crashed.
+//! - **Supervision + retries.** Requests that hit a dead shard heal it
+//!   in-line: the typed `ShardDown`/`Timeout` error is retried under the
+//!   configured jitter-free [`RetryPolicy`](crate::recovery::RetryPolicy), respawning the worker and
+//!   restoring its state between attempts. An optional background
+//!   supervisor thread ([`RecoveryConfig::supervise_interval`]) heals
+//!   shards even when no traffic touches them.
+//! - **Graceful degradation.** When exact recovery is impossible (journal
+//!   overflow past the checkpoint, or checkpointing disabled) the respawned
+//!   shard is marked *degraded*: predictions for users whose windows were
+//!   lost are served from the [`PopulationPrior`] — the globally most
+//!   frequent locations — tagged
+//!   [`PredictionQuality::Degraded`](crate::streaming::PredictionQuality::Degraded)
+//!   instead of erroring. Fresh observes rebuild real windows (and the
+//!   next checkpoint clears the degraded flag), so the shard heals
+//!   naturally under live traffic. A per-user PTTA circuit breaker
+//!   ([`RecoveryConfig::breaker`]) independently rolls predictions back to
+//!   the frozen Θ classifier when the entropy drift signal spikes.
+//!
+//! One documented divergence: an observe dropped by an injected
+//! [`FaultAction::DropObserve`] *after* being journalled is re-delivered
+//! by a later replay. The journal records accepted traffic; delivery loss
+//! downstream of acceptance is exactly the failure replay repairs.
+//!
 //! # Observability
 //!
 //! Every engine owns an [`adamove_obs::Registry`]: per-shard counters
 //! (`engine_observes_total{shard="i"}`, predicts, flushes, dropped
 //! observes), a predict-latency histogram, queue-depth and live-user
 //! gauges, plus engine-level fault counters (`engine_shard_down_total`,
-//! `engine_timeout_total`). All hot-path updates are relaxed atomics —
-//! no locks, no allocation. [`ShardedEngine::snapshot`] reads the
-//! registry *mid-run*, so shard health (p99, queue depth, faults) is
-//! visible before shutdown; the final [`EngineReport`] is rebuilt from
-//! the same registry. Pass a sink-equipped [`Tracer`] via
-//! [`ShardedEngine::with_observability`] to also get span events (e.g.
-//! `shard_panic`); the default no-op tracer costs one branch.
+//! `engine_timeout_total`). With recovery enabled the registry also
+//! carries `engine_respawns_total`, `engine_replayed_observes_total`,
+//! `engine_degraded_predictions_total`, `engine_degraded_recoveries_total`,
+//! `engine_checkpoints_total`, `engine_journal_overflows_total`,
+//! `engine_retries_total` and (with a breaker) the
+//! `ptta_breaker_*_total` family. All hot-path updates are relaxed
+//! atomics — no locks, no allocation. [`ShardedEngine::snapshot`] reads
+//! the registry *mid-run*, so shard health (p99, queue depth, faults,
+//! respawns) is visible before shutdown; the final [`EngineReport`] is
+//! rebuilt from the same registry. Pass a sink-equipped [`Tracer`] via
+//! [`ShardedEngine::with_observability`] to also get span events
+//! (`shard_panic`, `shard_respawn`, `shard_checkpoint`); the default
+//! no-op tracer costs one branch.
 
 use crate::eval::LatencyProfile;
 use crate::lightmob::LightMob;
 use crate::parallel::available_threads;
 use crate::ptta::{PttaConfig, PttaObs};
-use crate::streaming::{StreamObs, StreamPrediction, StreamingPredictor};
+use crate::recovery::{
+    BreakerConfig, BreakerObs, CheckpointStore, Journal, JournalEntry, PopulationPrior,
+    PttaBreaker, RecoveryConfig, ShardCheckpoint,
+};
+use crate::streaming::{PredictionQuality, StreamObs, StreamPrediction, StreamingPredictor};
 use adamove_autograd::ParamStore;
-use adamove_mobility::{Point, Timestamp, UserId};
+use adamove_mobility::{LocationId, Point, Timestamp, UserId};
 use adamove_obs::{event, labeled, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Tracer};
 use adamove_tensor::det::mix64;
 use std::fmt;
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Configuration of a [`ShardedEngine`].
 #[derive(Debug, Clone)]
@@ -70,17 +121,29 @@ pub struct EngineConfig {
     pub session_hours: i64,
     /// PTTA adaptation settings used on every predict.
     pub ptta: PttaConfig,
+    /// How long [`ShardedEngine::shutdown`] waits for shards to drain
+    /// before panicking (default 60 s). Use
+    /// [`ShardedEngine::shutdown_timeout`] for a per-call bound with a
+    /// typed error instead.
+    pub shutdown_deadline: Duration,
+    /// Self-healing settings (checkpoint + journal recovery, retries,
+    /// degradation, PTTA breaker). `None` (the default) keeps the
+    /// original fail-stop semantics: a dead shard stays dead.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for EngineConfig {
     /// One shard per available core, paper-default window (`c = 5`,
-    /// `T = 72h`) and PTTA settings.
+    /// `T = 72h`), PTTA settings, a 60 s shutdown deadline and no
+    /// recovery layer.
     fn default() -> Self {
         Self {
             shards: available_threads(),
             context_sessions: 5,
             session_hours: 72,
             ptta: PttaConfig::default(),
+            shutdown_deadline: Duration::from_secs(60),
+            recovery: None,
         }
     }
 }
@@ -169,9 +232,11 @@ pub enum FaultAction {
 
 /// Deterministic runtime-disturbance source, consulted by every shard loop
 /// once per incoming request. `seq` counts requests received by that shard
-/// (starting at 0, flush tokens included), so an implementation that is a
-/// pure function of `(shard, seq, kind)` reproduces the same fault
-/// schedule on every run regardless of thread timing.
+/// (starting at 0, flush tokens included) and is shared across worker
+/// *incarnations* — a respawned shard continues the count rather than
+/// restarting it, so an implementation that is a pure function of
+/// `(shard, seq, kind)` reproduces the same fault schedule on every run
+/// regardless of thread timing, and a one-shot fault fires exactly once.
 pub trait Disturbance: Send + Sync + 'static {
     /// Decide what happens to the `seq`-th request on `shard`.
     fn action(&self, shard: usize, seq: u64, kind: RequestKind) -> FaultAction;
@@ -190,9 +255,18 @@ pub struct EngineReport {
     /// for shards that died before reporting).
     pub per_shard_users: Vec<usize>,
     /// Shards that terminated abnormally (panicked) instead of draining.
+    /// A shard that crashed but was respawned by the recovery layer and
+    /// drained cleanly is *not* listed — it healed.
     pub failed_shards: Vec<usize>,
     /// Observe requests dropped by an injected disturbance.
     pub dropped_observes: usize,
+    /// Worker respawns performed by the recovery layer (0 without it).
+    pub respawns: usize,
+    /// Journalled observes re-applied during recoveries (0 without it).
+    pub replayed_observes: usize,
+    /// Predictions served from the population prior because the owning
+    /// shard was degraded (0 without the recovery layer).
+    pub degraded_predictions: usize,
     /// Wall-clock lifetime of the engine.
     pub elapsed: Duration,
     /// Predict-handling latency percentiles (in-shard compute, queueing
@@ -232,20 +306,32 @@ impl EngineReport {
                 self.failed_shards
             )
         };
+        let healing = if self.respawns > 0 || self.degraded_predictions > 0 {
+            format!(
+                "  {} respawn(s)  {} replayed  {} degraded",
+                self.respawns, self.replayed_observes, self.degraded_predictions
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} shards  {} users  {} obs + {} pred  {}{}",
+            "{} shards  {} users  {} obs + {} pred  {}{}{}",
             self.shards,
             self.users(),
             self.observed,
             self.predictions,
             self.latency.row(),
+            healing,
             health
         )
     }
 }
 
 enum Request {
-    Observe(UserId, Point),
+    /// An observed check-in. The `u64` is its write-ahead journal id
+    /// (0 when the recovery layer is off), used by the worker to track
+    /// the journal position its state covers.
+    Observe(UserId, Point, u64),
     Predict {
         user: UserId,
         now: Timestamp,
@@ -313,8 +399,13 @@ pub struct ShardSnapshot {
     /// Predict-handling latency distribution so far (nanoseconds; use
     /// [`HistogramSnapshot::percentile`] for p50/p95/p99 readout).
     pub predict_latency: HistogramSnapshot,
-    /// False once the worker thread has terminated (drained or panicked).
+    /// False once the worker thread has terminated (drained or panicked)
+    /// and has not (yet) been respawned by the recovery layer.
     pub alive: bool,
+    /// True while the shard serves population-prior predictions for users
+    /// whose state could not be restored exactly. Cleared by the next
+    /// checkpoint.
+    pub degraded: bool,
 }
 
 /// Mid-run view of the whole engine — [`ShardedEngine::snapshot`].
@@ -326,6 +417,12 @@ pub struct EngineSnapshot {
     pub shard_down_errors: usize,
     /// Requests that failed with [`EngineError::Timeout`] so far.
     pub timeout_errors: usize,
+    /// Worker respawns performed by the recovery layer so far.
+    pub respawns: usize,
+    /// Journalled observes re-applied during recoveries so far.
+    pub replayed_observes: usize,
+    /// Predictions served from the population prior so far.
+    pub degraded_predictions: usize,
     /// Engine lifetime so far.
     pub elapsed: Duration,
 }
@@ -369,22 +466,408 @@ pub fn shard_of(user: UserId, shards: usize) -> usize {
     (mix64(user.0 as u64) % shards.max(1) as u64) as usize
 }
 
-/// Multi-threaded sharded serving runtime. See the [module docs](self).
-pub struct ShardedEngine {
-    senders: Vec<mpsc::Sender<Request>>,
-    handles: Vec<JoinHandle<()>>,
-    // Mutex only to keep `ShardedEngine: Sync` (Receiver is Send but not
-    // Sync); shutdown is the sole reader and takes `self` by value.
-    // Payload: (shard, users-with-live-windows-at-exit) — the one datum
-    // a worker can only report once it stops mutating its windows. All
-    // counts and latencies live in the registry instead.
+/// One live worker incarnation: its request channel and thread handle.
+struct ShardLink {
+    sender: mpsc::Sender<Request>,
+    handle: JoinHandle<()>,
+}
+
+/// Per-shard slot. The `link` mutex doubles as the send lock: journal
+/// appends happen under it, so journal-id order equals queue order. `seq`
+/// and `degraded` are shared across worker incarnations.
+struct ShardSlot {
+    link: Mutex<Option<ShardLink>>,
+    seq: Arc<AtomicU64>,
+    degraded: Arc<AtomicBool>,
+}
+
+/// Engine-wide recovery state (present only when
+/// [`EngineConfig::recovery`] is set).
+struct RecoveryRuntime {
+    config: RecoveryConfig,
+    checkpoints: Arc<CheckpointStore>,
+    journals: Vec<Arc<Mutex<Journal>>>,
+    prior: Arc<PopulationPrior>,
+    breaker_obs: Option<BreakerObs>,
+    respawns: Counter,
+    replayed_observes: Counter,
+    degraded_predictions: Counter,
+    degraded_recoveries: Counter,
+    checkpoints_taken: Counter,
+    journal_overflows: Counter,
+    retries: Counter,
+}
+
+/// Recovery handles a worker needs, cloned per incarnation.
+struct WorkerRecovery {
+    checkpoint_interval: usize,
+    checkpoints: Arc<CheckpointStore>,
+    journal: Arc<Mutex<Journal>>,
+    prior: Arc<PopulationPrior>,
+    breaker: Option<(BreakerConfig, BreakerObs)>,
+    replayed_observes: Counter,
+    degraded_predictions: Counter,
+    checkpoints_taken: Counter,
+}
+
+/// Everything a worker incarnation owns. Deliberately holds no
+/// `Arc<EngineInner>`: the engine owns the workers' join handles, so a
+/// back-reference would leak the whole runtime.
+struct WorkerContext {
+    shard: usize,
+    model: Arc<LightMob>,
+    store: Arc<ParamStore>,
+    ptta: PttaConfig,
+    context_sessions: usize,
+    session_hours: i64,
+    disturbance: Option<Arc<dyn Disturbance>>,
+    seq: Arc<AtomicU64>,
+    degraded: Arc<AtomicBool>,
+    obs: ShardObs,
+    stream_obs: StreamObs,
+    ptta_obs: PttaObs,
+    tracer: Tracer,
+    stats_tx: mpsc::Sender<(usize, usize)>,
+    recovery: Option<WorkerRecovery>,
+}
+
+/// State handed to a respawned worker: checkpointed windows plus the
+/// journal suffix to replay on top of them.
+struct RestorePlan {
+    windows: Vec<(UserId, Vec<Point>)>,
+    journal: Vec<JournalEntry>,
+    last_seen: u64,
+}
+
+/// A [`PredictionQuality::Degraded`] prediction served straight from the
+/// population prior when the user's window was lost with a shard.
+fn prior_prediction(prior: &PopulationPrior) -> StreamPrediction {
+    let scores = prior.scores();
+    let top = prior.top_k(1).first().copied().unwrap_or(LocationId(0));
+    StreamPrediction {
+        scores,
+        top,
+        window_len: 0,
+        quality: PredictionQuality::Degraded,
+    }
+}
+
+fn spawn_worker(ctx: WorkerContext, restore: Option<RestorePlan>) -> ShardLink {
+    let (tx, rx) = mpsc::channel::<Request>();
+    let shard = ctx.shard;
+    let handle = std::thread::Builder::new()
+        .name(format!("adamove-shard-{shard}"))
+        .spawn(move || run_worker(ctx, rx, restore))
+        .expect("failed to spawn engine shard");
+    ShardLink { sender: tx, handle }
+}
+
+fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<RestorePlan>) {
+    let WorkerContext {
+        shard,
+        model,
+        store,
+        ptta,
+        context_sessions,
+        session_hours,
+        disturbance,
+        seq,
+        degraded,
+        obs,
+        stream_obs,
+        ptta_obs,
+        tracer,
+        stats_tx,
+        recovery,
+    } = ctx;
+    let mut sp = StreamingPredictor::new(&model, &store, ptta, context_sessions, session_hours);
+    sp.set_obs(stream_obs);
+    sp.set_ptta_obs(ptta_obs);
+    if let Some(rec) = &recovery {
+        if let Some((config, breaker_obs)) = &rec.breaker {
+            sp.set_breaker(PttaBreaker::new(config.clone()));
+            sp.set_breaker_obs(breaker_obs.clone());
+        }
+    }
+    // Highest journal id this worker's state covers; a checkpoint at this
+    // position lets replay resume with strictly later entries.
+    let mut last_seen: u64 = 0;
+    if let Some(plan) = restore {
+        last_seen = plan.last_seen;
+        for (user, points) in &plan.windows {
+            sp.restore_user(*user, points);
+        }
+        if let Some(rec) = &recovery {
+            for entry in &plan.journal {
+                sp.restore_observe(entry.user, entry.point);
+                rec.replayed_observes.inc();
+                last_seen = last_seen.max(entry.id);
+            }
+        }
+        obs.users.set(sp.active_users() as f64);
+    }
+    let mut since_checkpoint: usize = 0;
+    // Ends when every sender is dropped (engine shutdown).
+    while let Ok(req) = rx.recv() {
+        obs.queue_depth.dec();
+        let kind = req.kind();
+        let s = seq.fetch_add(1, Ordering::Relaxed);
+        let action = disturbance
+            .as_deref()
+            .map(|d| d.action(shard, s, kind))
+            .unwrap_or(FaultAction::None);
+        match action {
+            FaultAction::None => {}
+            FaultAction::PanicShard => {
+                event!(tracer, "shard_panic", shard = shard, seq = s);
+                // resume_unwind skips the panic hook: the crash is
+                // deliberate and tests stay quiet.
+                std::panic::resume_unwind(Box::new(InjectedShardPanic));
+            }
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::DropObserve => {
+                if let Request::Observe(_, _, id) = &req {
+                    // The journal cursor still advances: the observe was
+                    // accepted, so a post-crash replay re-delivers it
+                    // (see the module docs on this divergence).
+                    last_seen = last_seen.max(*id);
+                    obs.dropped_observes.inc();
+                    continue;
+                }
+            }
+        }
+        match req {
+            Request::Observe(user, point, id) => {
+                last_seen = last_seen.max(id);
+                sp.observe(user, point);
+                obs.observes.inc();
+                obs.users.set(sp.active_users() as f64);
+            }
+            Request::Predict { user, now, reply } => {
+                let t0 = Instant::now();
+                let mut prediction = sp.predict(user, now);
+                if prediction.is_none() && degraded.load(Ordering::Relaxed) {
+                    if let Some(rec) = &recovery {
+                        prediction = Some(prior_prediction(&rec.prior));
+                        rec.degraded_predictions.inc();
+                    }
+                }
+                obs.predict_latency.record(t0.elapsed().as_nanos() as u64);
+                obs.predicts.inc();
+                obs.users.set(sp.active_users() as f64);
+                // A dropped reply receiver only means the caller gave up
+                // waiting; not fatal.
+                let _ = reply.send(prediction);
+            }
+            Request::Flush(done) => {
+                obs.flushes.inc();
+                let _ = done.send(());
+            }
+        }
+        if let Some(rec) = &recovery {
+            if rec.checkpoint_interval > 0 {
+                since_checkpoint += 1;
+                if since_checkpoint >= rec.checkpoint_interval {
+                    since_checkpoint = 0;
+                    rec.checkpoints.save(
+                        shard,
+                        ShardCheckpoint {
+                            last_seen,
+                            users: sp.export_windows(),
+                        },
+                    );
+                    lock(&rec.journal).prune_through(last_seen);
+                    rec.checkpoints_taken.inc();
+                    // A fresh checkpoint covers the live state, so future
+                    // recoveries are exact again.
+                    degraded.store(false, Ordering::Relaxed);
+                    event!(
+                        tracer,
+                        "shard_checkpoint",
+                        shard = shard,
+                        journal_pos = last_seen
+                    );
+                }
+            }
+        }
+    }
+    // Receiver gone = the engine was dropped without a shutdown; losing
+    // the stats is fine then.
+    let _ = stats_tx.send((shard, sp.active_users()));
+}
+
+struct EngineInner {
+    model: Arc<LightMob>,
+    store: Arc<ParamStore>,
+    ptta: PttaConfig,
+    context_sessions: usize,
+    session_hours: i64,
+    disturbance: Option<Arc<dyn Disturbance>>,
+    slots: Vec<ShardSlot>,
+    shard_obs: Vec<ShardObs>,
+    stream_obs: Vec<StreamObs>,
+    ptta_obs: Vec<PttaObs>,
+    // The template stats sender, cloned into every worker incarnation.
+    // Shutdown takes it so the channel disconnects once the last worker
+    // exits; a `None` here also tells `spawn_link` to refuse (shutdown
+    // has begun).
+    stats_tx: Mutex<Option<mpsc::Sender<(usize, usize)>>>,
+    // Mutex only to keep the engine `Sync` (Receiver is Send but not
+    // Sync); shutdown is the sole reader. Payload: (shard,
+    // users-with-live-windows-at-exit) — the one datum a worker can only
+    // report once it stops mutating its windows. All counts and
+    // latencies live in the registry instead.
     stats_rx: Mutex<mpsc::Receiver<(usize, usize)>>,
     started: Instant,
     registry: Arc<Registry>,
     tracer: Tracer,
-    shard_obs: Vec<ShardObs>,
     shard_down_errors: Counter,
     timeout_errors: Counter,
+    recovery: Option<RecoveryRuntime>,
+    shutdown_deadline: Duration,
+    stopping: AtomicBool,
+}
+
+impl EngineInner {
+    /// Spawn a worker incarnation for `shard`. `None` when shutdown has
+    /// already taken the stats sender — spawning then would orphan the
+    /// worker.
+    fn spawn_link(&self, shard: usize, restore: Option<RestorePlan>) -> Option<ShardLink> {
+        let stats_tx = lock(&self.stats_tx).clone()?;
+        let recovery = self.recovery.as_ref().map(|r| WorkerRecovery {
+            checkpoint_interval: r.config.checkpoint_interval,
+            checkpoints: Arc::clone(&r.checkpoints),
+            journal: Arc::clone(&r.journals[shard]),
+            prior: Arc::clone(&r.prior),
+            breaker: r.config.breaker.clone().map(|bc| {
+                let obs = r
+                    .breaker_obs
+                    .clone()
+                    .expect("breaker obs registered whenever a breaker is configured");
+                (bc, obs)
+            }),
+            replayed_observes: r.replayed_observes.clone(),
+            degraded_predictions: r.degraded_predictions.clone(),
+            checkpoints_taken: r.checkpoints_taken.clone(),
+        });
+        let ctx = WorkerContext {
+            shard,
+            model: Arc::clone(&self.model),
+            store: Arc::clone(&self.store),
+            ptta: self.ptta.clone(),
+            context_sessions: self.context_sessions,
+            session_hours: self.session_hours,
+            disturbance: self.disturbance.clone(),
+            seq: Arc::clone(&self.slots[shard].seq),
+            degraded: Arc::clone(&self.slots[shard].degraded),
+            obs: self.shard_obs[shard].clone(),
+            stream_obs: self.stream_obs[shard].clone(),
+            ptta_obs: self.ptta_obs[shard].clone(),
+            tracer: self.tracer.clone(),
+            stats_tx,
+            recovery,
+        };
+        Some(spawn_worker(ctx, restore))
+    }
+
+    /// Respawn `shard` if its worker has died. Returns true when a new
+    /// incarnation was spawned. No-op without the recovery layer, while
+    /// shutting down, or when the shard is alive (or its slot was already
+    /// emptied by shutdown).
+    fn heal_shard(&self, shard: usize) -> bool {
+        if self.stopping.load(Ordering::Acquire) {
+            return false;
+        }
+        let Some(recovery) = &self.recovery else {
+            return false;
+        };
+        let mut guard = lock(&self.slots[shard].link);
+        let dead = guard.as_ref().is_some_and(|l| l.handle.is_finished());
+        if !dead {
+            return false;
+        }
+        if let Some(link) = guard.take() {
+            // Collect the corpse; the panic payload is deliberate.
+            let _ = link.handle.join();
+        }
+        let (restore, degraded) = if recovery.config.checkpoint_interval == 0 {
+            // Checkpointing disabled: there is nothing to replay the
+            // journal onto, so the backlog is moot.
+            lock(&recovery.journals[shard]).clear();
+            (None, true)
+        } else {
+            let checkpoint = recovery.checkpoints.load(shard);
+            let base = checkpoint.as_ref().map_or(0, |c| c.last_seen);
+            let journal = lock(&recovery.journals[shard]);
+            let complete = journal.complete_after(base);
+            let entries = journal.entries_after(base);
+            drop(journal);
+            let windows = checkpoint.map(|c| c.users).unwrap_or_default();
+            (
+                Some(RestorePlan {
+                    windows,
+                    journal: entries,
+                    last_seen: base,
+                }),
+                // Overflow ate part of the replay suffix: restore what we
+                // have, but flag the shard so lost users degrade instead
+                // of erroring.
+                !complete,
+            )
+        };
+        self.slots[shard]
+            .degraded
+            .store(degraded, Ordering::Relaxed);
+        if degraded {
+            recovery.degraded_recoveries.inc();
+        }
+        let Some(link) = self.spawn_link(shard, restore) else {
+            // Shutdown raced us and took the stats sender; leave the
+            // slot empty — shutdown will report the shard as failed.
+            return false;
+        };
+        *guard = Some(link);
+        recovery.respawns.inc();
+        event!(
+            self.tracer,
+            "shard_respawn",
+            shard = shard,
+            degraded = degraded as u64
+        );
+        true
+    }
+}
+
+/// Background supervisor loop: heal every shard once per `interval`.
+/// Holds only a weak reference so dropping the engine stops it; sleeps in
+/// short slices so shutdown never waits a full interval.
+fn supervise(inner: Weak<EngineInner>, interval: Duration) {
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            let slice = (interval - slept).min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            slept += slice;
+            let Some(engine) = inner.upgrade() else {
+                return;
+            };
+            if engine.stopping.load(Ordering::Acquire) {
+                return;
+            }
+        }
+        let Some(engine) = inner.upgrade() else {
+            return;
+        };
+        for shard in 0..engine.slots.len() {
+            engine.heal_shard(shard);
+        }
+    }
+}
+
+/// Multi-threaded sharded serving runtime. See the [module docs](self).
+pub struct ShardedEngine {
+    inner: Arc<EngineInner>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ShardedEngine {
@@ -427,109 +910,91 @@ impl ShardedEngine {
         let shard_obs: Vec<ShardObs> = (0..shards)
             .map(|s| ShardObs::register(&registry, s))
             .collect();
+        let mut stream_obs = Vec::with_capacity(shards);
+        let mut ptta_obs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let label = s.to_string();
+            stream_obs.push(StreamObs::register(&registry, &[("shard", &label)]));
+            ptta_obs.push(PttaObs::register(&registry, &[("shard", &label)]));
+        }
         let shard_down_errors = registry.counter("engine_shard_down_total");
         let timeout_errors = registry.counter("engine_timeout_total");
+        let recovery = config.recovery.clone().map(|rc| RecoveryRuntime {
+            checkpoints: Arc::new(CheckpointStore::new(shards)),
+            journals: (0..shards)
+                .map(|_| Arc::new(Mutex::new(Journal::new(rc.journal_capacity))))
+                .collect(),
+            prior: Arc::new(PopulationPrior::new(model.num_locations as usize)),
+            breaker_obs: rc
+                .breaker
+                .as_ref()
+                .map(|_| BreakerObs::register(&registry, &[])),
+            respawns: registry.counter("engine_respawns_total"),
+            replayed_observes: registry.counter("engine_replayed_observes_total"),
+            degraded_predictions: registry.counter("engine_degraded_predictions_total"),
+            degraded_recoveries: registry.counter("engine_degraded_recoveries_total"),
+            checkpoints_taken: registry.counter("engine_checkpoints_total"),
+            journal_overflows: registry.counter("engine_journal_overflows_total"),
+            retries: registry.counter("engine_retries_total"),
+            config: rc,
+        });
+        let supervise_interval = recovery.as_ref().and_then(|r| r.config.supervise_interval);
         let (stats_tx, stats_rx) = mpsc::channel::<(usize, usize)>();
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for (shard, obs) in shard_obs.iter().enumerate() {
-            let (tx, rx) = mpsc::channel::<Request>();
-            let model = Arc::clone(&model);
-            let store = Arc::clone(&store);
-            let ptta = config.ptta.clone();
-            let (c, t) = (config.context_sessions, config.session_hours);
-            let disturbance = disturbance.clone();
-            let stats_tx = stats_tx.clone();
-            let obs = obs.clone();
-            let tracer = tracer.clone();
-            let shard_label = shard.to_string();
-            let stream_obs = StreamObs::register(&registry, &[("shard", &shard_label)]);
-            let ptta_obs = PttaObs::register(&registry, &[("shard", &shard_label)]);
-            let handle = std::thread::Builder::new()
-                .name(format!("adamove-shard-{shard}"))
-                .spawn(move || {
-                    let mut sp = StreamingPredictor::new(&model, &store, ptta, c, t);
-                    sp.set_obs(stream_obs);
-                    sp.set_ptta_obs(ptta_obs);
-                    let mut seq: u64 = 0;
-                    // Ends when every sender is dropped (engine shutdown).
-                    while let Ok(req) = rx.recv() {
-                        obs.queue_depth.dec();
-                        let kind = req.kind();
-                        let action = disturbance
-                            .as_deref()
-                            .map(|d| d.action(shard, seq, kind))
-                            .unwrap_or(FaultAction::None);
-                        seq += 1;
-                        match action {
-                            FaultAction::None => {}
-                            FaultAction::PanicShard => {
-                                event!(tracer, "shard_panic", shard = shard, seq = seq - 1);
-                                // resume_unwind skips the panic hook: the
-                                // crash is deliberate and tests stay quiet.
-                                std::panic::resume_unwind(Box::new(InjectedShardPanic));
-                            }
-                            FaultAction::Delay(d) => std::thread::sleep(d),
-                            FaultAction::DropObserve => {
-                                if kind == RequestKind::Observe {
-                                    obs.dropped_observes.inc();
-                                    continue;
-                                }
-                            }
-                        }
-                        match req {
-                            Request::Observe(user, point) => {
-                                sp.observe(user, point);
-                                obs.observes.inc();
-                                obs.users.set(sp.active_users() as f64);
-                            }
-                            Request::Predict { user, now, reply } => {
-                                let t0 = Instant::now();
-                                let prediction = sp.predict(user, now);
-                                obs.predict_latency.record(t0.elapsed().as_nanos() as u64);
-                                obs.predicts.inc();
-                                obs.users.set(sp.active_users() as f64);
-                                // A dropped reply receiver only means the
-                                // caller gave up waiting; not fatal.
-                                let _ = reply.send(prediction);
-                            }
-                            Request::Flush(done) => {
-                                obs.flushes.inc();
-                                let _ = done.send(());
-                            }
-                        }
-                    }
-                    // Receiver gone = the engine was dropped without a
-                    // shutdown; losing the stats is fine then.
-                    let _ = stats_tx.send((shard, sp.active_users()));
-                })
-                .expect("failed to spawn engine shard");
-            senders.push(tx);
-            handles.push(handle);
-        }
-        Self {
-            senders,
-            handles,
+        let slots: Vec<ShardSlot> = (0..shards)
+            .map(|_| ShardSlot {
+                link: Mutex::new(None),
+                seq: Arc::new(AtomicU64::new(0)),
+                degraded: Arc::new(AtomicBool::new(false)),
+            })
+            .collect();
+        let inner = Arc::new(EngineInner {
+            model,
+            store,
+            ptta: config.ptta.clone(),
+            context_sessions: config.context_sessions,
+            session_hours: config.session_hours,
+            disturbance,
+            slots,
+            shard_obs,
+            stream_obs,
+            ptta_obs,
+            stats_tx: Mutex::new(Some(stats_tx)),
             stats_rx: Mutex::new(stats_rx),
             started: Instant::now(),
             registry,
             tracer,
-            shard_obs,
             shard_down_errors,
             timeout_errors,
+            recovery,
+            shutdown_deadline: config.shutdown_deadline,
+            stopping: AtomicBool::new(false),
+        });
+        for shard in 0..shards {
+            let link = inner
+                .spawn_link(shard, None)
+                .expect("stats sender is live during construction");
+            *lock(&inner.slots[shard].link) = Some(link);
         }
+        let supervisor = supervise_interval.map(|interval| {
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("adamove-supervisor".into())
+                .spawn(move || supervise(weak, interval))
+                .expect("failed to spawn engine supervisor")
+        });
+        Self { inner, supervisor }
     }
 
     /// The metric registry backing this engine — export it with
     /// [`adamove_obs::to_flat_json`] / [`adamove_obs::to_prometheus`], or
     /// share it with other instrumented components.
     pub fn registry(&self) -> &Arc<Registry> {
-        &self.registry
+        &self.inner.registry
     }
 
     /// The tracer shard workers report span events to.
     pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+        &self.inner.tracer
     }
 
     /// Read the live registry *without* stopping the engine: per-shard
@@ -539,7 +1004,8 @@ impl ShardedEngine {
     /// converge as soon as the traffic quiesces (e.g. after
     /// [`ShardedEngine::flush`]).
     pub fn snapshot(&self) -> EngineSnapshot {
-        let shards = self
+        let inner = &self.inner;
+        let shards = inner
             .shard_obs
             .iter()
             .enumerate()
@@ -552,40 +1018,199 @@ impl ShardedEngine {
                 queue_depth: obs.queue_depth.get().max(0.0) as usize,
                 users: obs.users.get() as usize,
                 predict_latency: obs.predict_latency.snapshot(),
-                alive: !self.handles[i].is_finished(),
+                alive: lock(&inner.slots[i].link)
+                    .as_ref()
+                    .is_some_and(|l| !l.handle.is_finished()),
+                degraded: inner.slots[i].degraded.load(Ordering::Relaxed),
             })
             .collect();
+        let (respawns, replayed_observes, degraded_predictions) = match &inner.recovery {
+            Some(r) => (
+                r.respawns.get() as usize,
+                r.replayed_observes.get() as usize,
+                r.degraded_predictions.get() as usize,
+            ),
+            None => (0, 0, 0),
+        };
         EngineSnapshot {
             shards,
-            shard_down_errors: self.shard_down_errors.get() as usize,
-            timeout_errors: self.timeout_errors.get() as usize,
-            elapsed: self.started.elapsed(),
+            shard_down_errors: inner.shard_down_errors.get() as usize,
+            timeout_errors: inner.timeout_errors.get() as usize,
+            respawns,
+            replayed_observes,
+            degraded_predictions,
+            elapsed: inner.started.elapsed(),
         }
     }
 
     /// Number of worker shards.
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.inner.slots.len()
     }
 
     /// The shard that owns `user`.
     pub fn shard_of(&self, user: UserId) -> usize {
-        shard_of(user, self.senders.len())
+        shard_of(user, self.inner.slots.len())
+    }
+
+    /// True while `shard` serves population-prior predictions for users
+    /// whose state was lost (always false without the recovery layer).
+    pub fn is_degraded(&self, shard: usize) -> bool {
+        self.inner.slots[shard].degraded.load(Ordering::Relaxed)
+    }
+
+    /// Respawn `shard` now if its worker has died (recovery layer only).
+    /// Returns true when a respawn happened. Requests heal lazily through
+    /// their retry loop; this is the explicit hook, also used by the
+    /// background supervisor.
+    pub fn heal_shard(&self, shard: usize) -> bool {
+        self.inner.heal_shard(shard)
+    }
+
+    /// [`ShardedEngine::heal_shard`] across every shard; returns how many
+    /// respawned.
+    pub fn heal_all(&self) -> usize {
+        (0..self.inner.slots.len())
+            .filter(|&s| self.inner.heal_shard(s))
+            .count()
+    }
+
+    /// Whether a failed request should be retried (and the shard healed)
+    /// before surfacing the error.
+    fn backoff_and_heal(&self, shard: usize, attempt: u32) -> bool {
+        let inner = &self.inner;
+        if inner.stopping.load(Ordering::Acquire) {
+            return false;
+        }
+        let Some(rec) = &inner.recovery else {
+            return false;
+        };
+        if attempt >= rec.config.retry.max_retries {
+            return false;
+        }
+        rec.retries.inc();
+        let delay = rec.config.retry.delay(attempt);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        inner.heal_shard(shard);
+        true
+    }
+
+    /// One observe attempt: journal (under the send lock, so id order is
+    /// queue order), enqueue, and count the check-in into the population
+    /// prior. A failed send retracts the journal entry — the request
+    /// never reached the queue, so a later retry may journal it afresh
+    /// without duplication.
+    fn observe_once(&self, shard: usize, user: UserId, point: Point) -> Result<(), EngineError> {
+        let inner = &self.inner;
+        let guard = lock(&inner.slots[shard].link);
+        let Some(link) = guard.as_ref() else {
+            inner.shard_down_errors.inc();
+            return Err(EngineError::ShardDown { shard });
+        };
+        let id = match &inner.recovery {
+            Some(rec) => {
+                let (id, overflowed) = lock(&rec.journals[shard]).append(user, point);
+                if overflowed {
+                    rec.journal_overflows.inc();
+                }
+                id
+            }
+            None => 0,
+        };
+        inner.shard_obs[shard].queue_depth.inc();
+        match link.sender.send(Request::Observe(user, point, id)) {
+            Ok(()) => {
+                if let Some(rec) = &inner.recovery {
+                    rec.prior.record(point.loc);
+                }
+                Ok(())
+            }
+            Err(_) => {
+                if let Some(rec) = &inner.recovery {
+                    lock(&rec.journals[shard]).retract(id);
+                }
+                inner.shard_obs[shard].queue_depth.dec();
+                inner.shard_down_errors.inc();
+                Err(EngineError::ShardDown { shard })
+            }
+        }
+    }
+
+    fn send_predict(
+        &self,
+        shard: usize,
+        user: UserId,
+        now: Timestamp,
+    ) -> Result<mpsc::Receiver<Option<StreamPrediction>>, EngineError> {
+        let inner = &self.inner;
+        let guard = lock(&inner.slots[shard].link);
+        let Some(link) = guard.as_ref() else {
+            inner.shard_down_errors.inc();
+            return Err(EngineError::ShardDown { shard });
+        };
+        let (reply, rx) = mpsc::channel();
+        inner.shard_obs[shard].queue_depth.inc();
+        link.sender
+            .send(Request::Predict { user, now, reply })
+            .map_err(|_| {
+                inner.shard_obs[shard].queue_depth.dec();
+                inner.shard_down_errors.inc();
+                EngineError::ShardDown { shard }
+            })?;
+        Ok(rx)
+    }
+
+    /// One predict attempt: enqueue, then wait for the reply (bounded
+    /// when `timeout` is set).
+    fn predict_once(
+        &self,
+        shard: usize,
+        user: UserId,
+        now: Timestamp,
+        timeout: Option<Duration>,
+    ) -> Result<Option<StreamPrediction>, EngineError> {
+        let inner = &self.inner;
+        let rx = self.send_predict(shard, user, now)?;
+        match timeout {
+            None => rx.recv().map_err(|_| {
+                inner.shard_down_errors.inc();
+                EngineError::ShardDown { shard }
+            }),
+            Some(t) => rx.recv_timeout(t).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => {
+                    inner.timeout_errors.inc();
+                    EngineError::Timeout { shard, waited: t }
+                }
+                mpsc::RecvTimeoutError::Disconnected => {
+                    inner.shard_down_errors.inc();
+                    EngineError::ShardDown { shard }
+                }
+            }),
+        }
     }
 
     /// Record an observed check-in for `user` (asynchronous: returns once
     /// the request is enqueued on the owning shard). Fails with
-    /// [`EngineError::ShardDown`] when the owning shard has terminated.
+    /// [`EngineError::ShardDown`] when the owning shard has terminated;
+    /// with the recovery layer enabled the error is first retried under
+    /// the configured [`RetryPolicy`](crate::recovery::RetryPolicy), healing the shard between attempts
+    /// (each failed attempt still increments `engine_shard_down_total`).
     pub fn try_observe(&self, user: UserId, point: Point) -> Result<(), EngineError> {
         let shard = self.shard_of(user);
-        self.shard_obs[shard].queue_depth.inc();
-        self.senders[shard]
-            .send(Request::Observe(user, point))
-            .map_err(|_| {
-                self.shard_obs[shard].queue_depth.dec();
-                self.shard_down_errors.inc();
-                EngineError::ShardDown { shard }
-            })
+        let mut attempt = 0u32;
+        loop {
+            match self.observe_once(shard, user, point) {
+                Ok(()) => return Ok(()),
+                Err(err) => {
+                    if !self.backoff_and_heal(shard, attempt) {
+                        return Err(err);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// [`ShardedEngine::try_observe`], panicking if the shard died.
@@ -598,23 +1223,34 @@ impl ShardedEngine {
     /// answer. `Ok(None)` when the user has no live window at `now`;
     /// [`EngineError::ShardDown`] when the shard terminated before
     /// replying (no hang — the dead shard's dropped channel ends the
-    /// wait immediately).
+    /// wait immediately). With the recovery layer enabled the failure is
+    /// retried under the [`RetryPolicy`](crate::recovery::RetryPolicy), healing the shard between
+    /// attempts; a degraded shard answers `Ok(Some(..))` with
+    /// [`PredictionQuality::Degraded`] instead of losing the user.
     pub fn try_predict(
         &self,
         user: UserId,
         now: Timestamp,
     ) -> Result<Option<StreamPrediction>, EngineError> {
         let shard = self.shard_of(user);
-        let rx = self.send_predict(shard, user, now)?;
-        rx.recv().map_err(|_| {
-            self.shard_down_errors.inc();
-            EngineError::ShardDown { shard }
-        })
+        let mut attempt = 0u32;
+        loop {
+            match self.predict_once(shard, user, now, None) {
+                Ok(p) => return Ok(p),
+                Err(err) => {
+                    if !self.backoff_and_heal(shard, attempt) {
+                        return Err(err);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// [`ShardedEngine::try_predict`] with a bounded wait: a shard that is
     /// alive but unresponsive yields [`EngineError::Timeout`] after
-    /// `timeout` instead of blocking the caller forever.
+    /// `timeout` instead of blocking the caller forever. Retried like
+    /// [`ShardedEngine::try_predict`] when the recovery layer is on.
     pub fn predict_timeout(
         &self,
         user: UserId,
@@ -622,20 +1258,18 @@ impl ShardedEngine {
         timeout: Duration,
     ) -> Result<Option<StreamPrediction>, EngineError> {
         let shard = self.shard_of(user);
-        let rx = self.send_predict(shard, user, now)?;
-        rx.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => {
-                self.timeout_errors.inc();
-                EngineError::Timeout {
-                    shard,
-                    waited: timeout,
+        let mut attempt = 0u32;
+        loop {
+            match self.predict_once(shard, user, now, Some(timeout)) {
+                Ok(p) => return Ok(p),
+                Err(err) => {
+                    if !self.backoff_and_heal(shard, attempt) {
+                        return Err(err);
+                    }
+                    attempt += 1;
                 }
             }
-            mpsc::RecvTimeoutError::Disconnected => {
-                self.shard_down_errors.inc();
-                EngineError::ShardDown { shard }
-            }
-        })
+        }
     }
 
     /// [`ShardedEngine::try_predict`], panicking if the shard died.
@@ -643,36 +1277,21 @@ impl ShardedEngine {
         self.try_predict(user, now).expect("engine shard died")
     }
 
-    fn send_predict(
-        &self,
-        shard: usize,
-        user: UserId,
-        now: Timestamp,
-    ) -> Result<mpsc::Receiver<Option<StreamPrediction>>, EngineError> {
-        let (reply, rx) = mpsc::channel();
-        self.shard_obs[shard].queue_depth.inc();
-        self.senders[shard]
-            .send(Request::Predict { user, now, reply })
-            .map_err(|_| {
-                self.shard_obs[shard].queue_depth.dec();
-                self.shard_down_errors.inc();
-                EngineError::ShardDown { shard }
-            })?;
-        Ok(rx)
-    }
-
     /// Barrier: returns once every *live* shard has drained all requests
     /// enqueued before this call. Dead shards are skipped — a flush never
     /// hangs on a casualty.
     pub fn flush(&self) {
-        let receivers: Vec<mpsc::Receiver<()>> = self
-            .senders
+        let inner = &self.inner;
+        let receivers: Vec<mpsc::Receiver<()>> = inner
+            .slots
             .iter()
-            .zip(&self.shard_obs)
-            .filter_map(|(tx, obs)| {
+            .zip(&inner.shard_obs)
+            .filter_map(|(slot, obs)| {
+                let guard = lock(&slot.link);
+                let link = guard.as_ref()?;
                 let (done, rx) = mpsc::channel();
                 obs.queue_depth.inc();
-                match tx.send(Request::Flush(done)) {
+                match link.sender.send(Request::Flush(done)) {
                     Ok(()) => Some(rx),
                     Err(_) => {
                         obs.queue_depth.dec();
@@ -690,13 +1309,16 @@ impl ShardedEngine {
     /// Stop all shards and collect their statistics. Pending requests are
     /// drained before each shard exits; shards that panicked are reported
     /// in [`EngineReport::failed_shards`] rather than propagating the
-    /// panic. Waits at most 60 seconds — use
-    /// [`ShardedEngine::shutdown_timeout`] for a caller-chosen bound.
+    /// panic. Waits at most [`EngineConfig::shutdown_deadline`] (60 s by
+    /// default) — use [`ShardedEngine::shutdown_timeout`] for a per-call
+    /// bound with a typed error.
     ///
     /// # Panics
-    /// If a shard is still draining after the 60-second default deadline.
+    /// If a shard is still draining after the configured
+    /// [`EngineConfig::shutdown_deadline`].
     pub fn shutdown(self) -> EngineReport {
-        self.shutdown_timeout(Duration::from_secs(60))
+        let deadline = self.inner.shutdown_deadline;
+        self.shutdown_timeout(deadline)
             .expect("engine shutdown timed out")
     }
 
@@ -704,22 +1326,30 @@ impl ShardedEngine {
     /// typed [`ShutdownError`] naming the stuck shards instead of blocking
     /// forever when a shard cannot drain (the stuck workers are left
     /// detached; they exit on their own once they finish draining).
-    pub fn shutdown_timeout(self, timeout: Duration) -> Result<EngineReport, ShutdownError> {
-        let ShardedEngine {
-            senders,
-            handles,
-            stats_rx,
-            started,
-            registry: _,
-            tracer: _,
-            shard_obs,
-            shard_down_errors: _,
-            timeout_errors: _,
-        } = self;
-        let stats_rx = stats_rx.into_inner().unwrap_or_else(|p| p.into_inner());
-        // Workers exit (and report stats) once the channel disconnects.
-        drop(senders);
-        let shards = handles.len();
+    pub fn shutdown_timeout(mut self, timeout: Duration) -> Result<EngineReport, ShutdownError> {
+        let inner = Arc::clone(&self.inner);
+        inner.stopping.store(true, Ordering::Release);
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        // Drop the template sender: the stats channel now disconnects as
+        // soon as the last worker exits, and no new worker can spawn.
+        drop(lock(&inner.stats_tx).take());
+        let shards = inner.slots.len();
+        // Take every link: dropping the senders ends the workers' recv
+        // loops. An empty slot means the shard died and was never
+        // respawned (its corpse was already joined by `heal_shard`).
+        let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(shards);
+        for slot in &inner.slots {
+            match lock(&slot.link).take() {
+                Some(ShardLink { sender, handle }) => {
+                    drop(sender);
+                    handles.push(Some(handle));
+                }
+                None => handles.push(None),
+            }
+        }
+        let stats_rx = lock(&inner.stats_rx);
         let deadline = Instant::now() + timeout;
         let mut collected: Vec<Option<usize>> = (0..shards).map(|_| None).collect();
         let mut received = 0usize;
@@ -737,7 +1367,9 @@ impl ShardedEngine {
                     let stuck_shards: Vec<usize> = collected
                         .iter()
                         .enumerate()
-                        .filter(|(i, s)| s.is_none() && !handles[*i].is_finished())
+                        .filter(|(i, s)| {
+                            s.is_none() && handles[*i].as_ref().is_some_and(|h| !h.is_finished())
+                        })
                         .map(|(i, _)| i)
                         .collect();
                     // Spurious wakeup right as the last workers finish:
@@ -752,14 +1384,21 @@ impl ShardedEngine {
                 }
             }
         }
+        drop(stats_rx);
 
         // Every worker has exited by now; joins are immediate (and their
         // final relaxed-atomic metric updates are visible after the join's
-        // synchronization). A panicked worker shows up as a join error.
+        // synchronization). A panicked worker shows up as a join error; an
+        // empty slot was a casualty heal never replaced.
         let mut failed_shards = Vec::new();
         for (i, handle) in handles.into_iter().enumerate() {
-            if handle.join().is_err() {
-                failed_shards.push(i);
+            match handle {
+                Some(h) => {
+                    if h.join().is_err() {
+                        failed_shards.push(i);
+                    }
+                }
+                None => failed_shards.push(i),
             }
         }
 
@@ -771,19 +1410,27 @@ impl ShardedEngine {
         let mut predictions = 0;
         let mut dropped_observes = 0;
         let mut latency_hist = HistogramSnapshot::empty();
-        for obs in &shard_obs {
+        for obs in &inner.shard_obs {
             observed += obs.observes.get() as usize;
             predictions += obs.predicts.get() as usize;
             dropped_observes += obs.dropped_observes.get() as usize;
             latency_hist.merge(&obs.predict_latency.snapshot());
         }
+        let (respawns, replayed_observes, degraded_predictions) = match &inner.recovery {
+            Some(r) => (
+                r.respawns.get() as usize,
+                r.replayed_observes.get() as usize,
+                r.degraded_predictions.get() as usize,
+            ),
+            None => (0, 0, 0),
+        };
         let mut per_shard_users = vec![0usize; shards];
         for (i, users) in collected.into_iter().enumerate() {
             if let Some(users) = users {
                 per_shard_users[i] = users;
             }
         }
-        let elapsed = started.elapsed();
+        let elapsed = inner.started.elapsed();
         Ok(EngineReport {
             shards,
             observed,
@@ -791,6 +1438,9 @@ impl ShardedEngine {
             per_shard_users,
             failed_shards,
             dropped_observes,
+            respawns,
+            replayed_observes,
+            degraded_predictions,
             elapsed,
             latency: LatencyProfile::from_histogram(&latency_hist, elapsed),
         })
@@ -801,6 +1451,7 @@ impl ShardedEngine {
 mod tests {
     use super::*;
     use crate::config::AdaMoveConfig;
+    use crate::recovery::RetryPolicy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -819,6 +1470,24 @@ mod tests {
             &mut rng,
         );
         (Arc::new(store), Arc::new(m))
+    }
+
+    /// One-shot kill: panics `shard` when it processes request `seq`.
+    /// Because the seq counter is shared across incarnations, the fault
+    /// fires exactly once even after the shard respawns.
+    struct KillAt {
+        shard: usize,
+        seq: u64,
+    }
+
+    impl Disturbance for KillAt {
+        fn action(&self, shard: usize, seq: u64, _kind: RequestKind) -> FaultAction {
+            if shard == self.shard && seq == self.seq {
+                FaultAction::PanicShard
+            } else {
+                FaultAction::None
+            }
+        }
     }
 
     #[test]
@@ -844,6 +1513,7 @@ mod tests {
             context_sessions: 2,
             session_hours: 24,
             ptta: PttaConfig::default(),
+            ..EngineConfig::default()
         };
         let engine = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config.clone());
         let mut reference = StreamingPredictor::new(&m, &store, config.ptta.clone(), 2, 24);
@@ -865,6 +1535,7 @@ mod tests {
                     assert_eq!(a.scores, b.scores, "user {u}");
                     assert_eq!(a.top, b.top);
                     assert_eq!(a.window_len, b.window_len);
+                    assert_eq!(a.quality, PredictionQuality::Adapted);
                 }
                 (a, b) => panic!(
                     "user {u}: engine {:?} vs reference {:?}",
@@ -881,6 +1552,8 @@ mod tests {
         assert_eq!(report.latency.samples, 6);
         assert!(report.healthy());
         assert_eq!(report.dropped_observes, 0);
+        assert_eq!(report.respawns, 0);
+        assert_eq!(report.degraded_predictions, 0);
         assert!(report.requests_per_sec() > 0.0);
         assert!(!report.row().is_empty());
     }
@@ -898,6 +1571,7 @@ mod tests {
                 context_sessions: 3,
                 session_hours: 24,
                 ptta: PttaConfig::default(),
+                ..EngineConfig::default()
             },
         );
         for i in 0..5i64 {
@@ -945,6 +1619,7 @@ mod tests {
                 context_sessions: 2,
                 session_hours: 24,
                 ptta: PttaConfig::default(),
+                ..EngineConfig::default()
             },
         );
         engine.observe(UserId(0), pt(1, 0));
@@ -954,6 +1629,25 @@ mod tests {
             .expect("healthy engine must drain in time");
         assert!(report.healthy());
         assert_eq!(report.observed, 2);
+    }
+
+    #[test]
+    fn shutdown_deadline_is_configurable() {
+        let (store, m) = model(4, 1);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 1,
+                shutdown_deadline: Duration::from_secs(5),
+                ..EngineConfig::default()
+            },
+        );
+        engine.observe(UserId(0), pt(1, 0));
+        // `shutdown` uses the configured deadline instead of the 60 s
+        // default; a healthy engine drains well within it.
+        let report = engine.shutdown();
+        assert!(report.healthy());
     }
 
     #[test]
@@ -967,6 +1661,7 @@ mod tests {
                 context_sessions: 2,
                 session_hours: 24,
                 ptta: PttaConfig::default(),
+                ..EngineConfig::default()
             },
         );
         engine.observe(UserId(0), pt(1, 0));
@@ -988,6 +1683,7 @@ mod tests {
                 context_sessions: 2,
                 session_hours: 24,
                 ptta: PttaConfig::default(),
+                ..EngineConfig::default()
             },
         );
         for step in 0..4i64 {
@@ -1009,12 +1705,15 @@ mod tests {
         assert_eq!(snap.dropped_observes(), 0);
         assert_eq!(snap.shard_down_errors, 0);
         assert_eq!(snap.timeout_errors, 0);
+        assert_eq!(snap.respawns, 0);
+        assert_eq!(snap.degraded_predictions, 0);
         let lat = snap.predict_latency();
         assert_eq!(lat.count, 6);
         assert!(lat.percentile(0.50) > 0.0);
         assert!(lat.percentile(0.99) >= lat.percentile(0.50));
         for s in &snap.shards {
             assert!(s.alive, "shard {} should be serving", s.shard);
+            assert!(!s.degraded, "shard {}", s.shard);
             // Flushed: nothing left in any queue.
             assert_eq!(s.queue_depth, 0, "shard {}", s.shard);
             assert_eq!(s.flushes, 1);
@@ -1043,6 +1742,7 @@ mod tests {
                 context_sessions: 2,
                 session_hours: 24,
                 ptta: PttaConfig::default(),
+                ..EngineConfig::default()
             },
         );
         engine.observe(UserId(0), pt(1, 0));
@@ -1074,6 +1774,7 @@ mod tests {
                 context_sessions: 2,
                 session_hours: 24,
                 ptta: PttaConfig::default(),
+                ..EngineConfig::default()
             },
             None,
             Arc::clone(&registry),
@@ -1102,5 +1803,258 @@ mod tests {
             timeout: Duration::from_secs(1),
         };
         assert!(stuck.to_string().contains("[0, 2]"));
+    }
+
+    #[test]
+    fn recovery_replays_journal_and_matches_no_fault_run() {
+        let (store, m) = model(8, 6);
+        let recovery = RecoveryConfig {
+            checkpoint_interval: 5,
+            journal_capacity: 1024,
+            retry: RetryPolicy::default(),
+            breaker: None,
+            supervise_interval: None,
+        };
+        let config = |recovery| EngineConfig {
+            shards: 2,
+            context_sessions: 2,
+            session_hours: 24,
+            ptta: PttaConfig::default(),
+            recovery: Some(recovery),
+            ..EngineConfig::default()
+        };
+        let victim = shard_of(UserId(0), 2);
+
+        // Golden run: identical traffic, no fault.
+        let golden =
+            ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(recovery.clone()));
+        // Faulted run: the victim shard is killed while observes stream.
+        let engine = ShardedEngine::with_disturbance(
+            Arc::clone(&m),
+            Arc::clone(&store),
+            config(recovery),
+            Some(Arc::new(KillAt {
+                shard: victim,
+                seq: 7,
+            })),
+        );
+        for step in 0..12i64 {
+            for u in 0..6u32 {
+                let p = pt((u + step as u32) % 8, step);
+                golden.observe(UserId(u), p);
+                engine.observe(UserId(u), p);
+            }
+        }
+        // Predicts hit the dead shard, heal it (journal replay) and then
+        // must match the run that never crashed, bit for bit.
+        let now = Timestamp::from_hours(13);
+        for u in 0..6u32 {
+            let reference = golden.predict(UserId(u), now).expect("golden window");
+            let healed = engine.predict(UserId(u), now).expect("healed window");
+            assert_eq!(healed.scores, reference.scores, "user {u}");
+            assert_eq!(healed.top, reference.top, "user {u}");
+            assert_eq!(healed.window_len, reference.window_len, "user {u}");
+            assert_eq!(healed.quality, PredictionQuality::Adapted);
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.respawns, 1);
+        assert!(snap.replayed_observes > 0);
+        assert_eq!(snap.degraded_predictions, 0);
+        assert!(snap.shards.iter().all(|s| s.alive && !s.degraded));
+        golden.shutdown();
+        let report = engine.shutdown();
+        // The crashed incarnation healed, so the shard is not a casualty.
+        assert!(report.healthy());
+        assert_eq!(report.respawns, 1);
+        assert!(report.replayed_observes > 0);
+        assert_eq!(report.degraded_predictions, 0);
+    }
+
+    #[test]
+    fn degraded_serving_when_checkpointing_is_disabled() {
+        let (store, m) = model(8, 6);
+        let recovery = RecoveryConfig {
+            checkpoint_interval: 0, // no checkpoints: only degraded recovery
+            journal_capacity: 64,
+            retry: RetryPolicy::default(),
+            breaker: None,
+            supervise_interval: None,
+        };
+        let victim = shard_of(UserId(0), 2);
+        // Kill the victim while it processes its *last* observe, so no
+        // later observe rebuilds a window before the predicts arrive.
+        let victim_observes = (0..6u32)
+            .filter(|&u| shard_of(UserId(u), 2) == victim)
+            .count()
+            * 10;
+        let engine = ShardedEngine::with_disturbance(
+            Arc::clone(&m),
+            Arc::clone(&store),
+            EngineConfig {
+                shards: 2,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+                recovery: Some(recovery),
+                ..EngineConfig::default()
+            },
+            Some(Arc::new(KillAt {
+                shard: victim,
+                seq: victim_observes as u64 - 1,
+            })),
+        );
+        // Skewed traffic so the population prior has a clear winner.
+        for step in 0..10i64 {
+            for u in 0..6u32 {
+                let loc = if step % 2 == 0 { 7 } else { u % 4 };
+                engine.observe(UserId(u), pt(loc, step));
+            }
+        }
+        let now = Timestamp::from_hours(11);
+        let mut degraded = 0usize;
+        for u in 0..6u32 {
+            let p = engine
+                .predict(UserId(u), now)
+                .expect("never an unhandled error or a lost user");
+            if shard_of(UserId(u), 2) == victim {
+                assert_eq!(p.quality, PredictionQuality::Degraded, "user {u}");
+                assert_eq!(p.top, LocationId(7), "prior winner");
+                assert_eq!(p.window_len, 0);
+                degraded += 1;
+            } else {
+                assert_eq!(p.quality, PredictionQuality::Adapted, "user {u}");
+            }
+        }
+        assert!(degraded > 0);
+        assert!(engine.is_degraded(victim));
+        let snap = engine.snapshot();
+        assert_eq!(snap.degraded_predictions, degraded);
+        assert_eq!(snap.respawns, 1);
+        // Fresh observes rebuild real windows: the shard heals naturally.
+        for step in 11..14i64 {
+            for u in 0..6u32 {
+                engine.observe(UserId(u), pt((u + step as u32) % 8, step));
+            }
+        }
+        let later = Timestamp::from_hours(15);
+        for u in 0..6u32 {
+            let p = engine.predict(UserId(u), later).expect("live window");
+            assert_eq!(p.quality, PredictionQuality::Adapted, "user {u}");
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.degraded_predictions, degraded);
+        assert_eq!(report.respawns, 1);
+        assert!(report.healthy());
+    }
+
+    #[test]
+    fn supervisor_respawns_a_dead_shard_without_traffic() {
+        let (store, m) = model(6, 4);
+        let engine = ShardedEngine::with_disturbance(
+            m,
+            store,
+            EngineConfig {
+                shards: 2,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+                recovery: Some(RecoveryConfig {
+                    checkpoint_interval: 8,
+                    supervise_interval: Some(Duration::from_millis(5)),
+                    ..RecoveryConfig::default()
+                }),
+                ..EngineConfig::default()
+            },
+            // The very first request on shard 0 kills it.
+            Some(Arc::new(KillAt { shard: 0, seq: 0 })),
+        );
+        // Exactly one observe per shard, chosen by ownership upfront so
+        // no later request can heal shard 0 lazily through a retry.
+        let victim_user = (0..8u32)
+            .find(|&u| shard_of(UserId(u), 2) == 0)
+            .expect("some user maps to shard 0");
+        let other_user = (0..8u32)
+            .find(|&u| shard_of(UserId(u), 2) == 1)
+            .expect("some user maps to shard 1");
+        engine.observe(UserId(victim_user), pt(victim_user % 6, 0));
+        engine.observe(UserId(other_user), pt(other_user % 6, 0));
+        // No further traffic: the background supervisor must notice the
+        // corpse and respawn it (replaying the journalled observe).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = engine.snapshot();
+            if snap.respawns >= 1 && snap.shards[0].alive {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "supervisor never respawned shard 0"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The killed observe was journalled and replayed: its user's
+        // window survived the crash.
+        let p = engine
+            .predict(UserId(victim_user), Timestamp::from_hours(1))
+            .expect("replayed window");
+        assert_eq!(p.window_len, 1);
+        assert_eq!(p.quality, PredictionQuality::Adapted);
+        let report = engine.shutdown();
+        assert!(report.healthy());
+        assert!(report.respawns >= 1);
+    }
+
+    #[test]
+    fn retry_none_surfaces_the_error_and_manual_heal_recovers() {
+        let (store, m) = model(6, 4);
+        let engine = ShardedEngine::with_disturbance(
+            m,
+            store,
+            EngineConfig {
+                shards: 1,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+                recovery: Some(RecoveryConfig {
+                    checkpoint_interval: 8,
+                    retry: RetryPolicy::none(),
+                    ..RecoveryConfig::default()
+                }),
+                ..EngineConfig::default()
+            },
+            Some(Arc::new(KillAt { shard: 0, seq: 1 })),
+        );
+        engine.observe(UserId(0), pt(1, 0));
+        engine.observe(UserId(0), pt(2, 1)); // killed processing this one
+                                             // Wait for the corpse, then: no retries means the error surfaces.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match engine.try_predict(UserId(0), Timestamp::from_hours(3)) {
+                Err(EngineError::ShardDown { shard: 0 }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+                Ok(_) => {
+                    assert!(Instant::now() < deadline, "shard 0 never died");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        // Manual healing still works — and replays both journalled
+        // observes (the processed one and the killed one). The reply
+        // channel disconnects while the worker is still unwinding, so
+        // poll until the corpse is joinable.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !engine.heal_shard(0) {
+            assert!(Instant::now() < deadline, "shard 0 never became healable");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!engine.heal_shard(0), "already healed");
+        let p = engine
+            .predict(UserId(0), Timestamp::from_hours(3))
+            .expect("replayed window");
+        assert_eq!(p.window_len, 2);
+        let report = engine.shutdown();
+        assert!(report.healthy());
+        assert_eq!(report.respawns, 1);
+        assert_eq!(report.replayed_observes, 2);
     }
 }

@@ -26,7 +26,11 @@
 //! - [`parallel`] — deterministic scoped-thread fan-out used by the `_par`
 //!   evaluation entry points (bit-identical metrics at any thread count);
 //! - [`engine`] — the sharded serving runtime: users hash-partitioned
-//!   across worker shards, each owning its sliding windows and PTTA state.
+//!   across worker shards, each owning its sliding windows and PTTA state;
+//! - [`recovery`] — the self-healing layer behind
+//!   [`EngineConfig::recovery`](engine::EngineConfig::recovery): checkpoint
+//!   store, write-ahead journal, retry policy, population prior for
+//!   degraded serving, and the per-user PTTA circuit breaker.
 
 //! # Example
 //!
@@ -69,6 +73,7 @@ pub mod lightmob;
 pub mod metrics;
 pub mod parallel;
 pub mod ptta;
+pub mod recovery;
 pub mod streaming;
 pub mod t3a;
 pub mod train;
@@ -89,6 +94,10 @@ pub use lightmob::LightMob;
 pub use metrics::{MetricAccumulator, Metrics};
 pub use parallel::{available_threads, par_map, par_map_chunks};
 pub use ptta::{ImportanceStrategy, LabelStrategy, Ptta, PttaConfig, TtaModel};
-pub use streaming::{RecentWindow, StreamingPredictor};
+pub use recovery::{
+    BreakerConfig, BreakerDecision, CheckpointStore, Journal, JournalEntry, PopulationPrior,
+    PttaBreaker, RecoveryConfig, RetryPolicy, ShardCheckpoint,
+};
+pub use streaming::{PredictionQuality, RecentWindow, StreamPrediction, StreamingPredictor};
 pub use t3a::{T3a, T3aConfig};
 pub use train::{TrainReport, Trainer, TrainingConfig};

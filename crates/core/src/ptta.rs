@@ -149,14 +149,33 @@ impl PttaObs {
     /// Record the entropy/confidence drift signal of one adapted
     /// score vector.
     fn record_scores(&self, scores: &[f32]) {
-        let mut probs = scores.to_vec();
-        softmax_inplace(&mut probs);
-        let ent = entropy(&probs);
-        let conf = probs.iter().copied().fold(0.0f32, f32::max);
-        self.entropy_millinats
-            .record((ent * 1_000.0).max(0.0) as u64);
-        self.confidence_bp.record((conf * 10_000.0).max(0.0) as u64);
+        let (ent, conf) = score_drift_signal(scores);
+        self.entropy_millinats.record(ent);
+        self.confidence_bp.record(conf);
     }
+}
+
+/// The drift signal of one score vector: `(entropy in millinats,
+/// confidence in basis points)` of its softmax — exactly the quantities
+/// [`PttaObs`] records into `ptta_entropy_millinats` /
+/// `ptta_confidence_bp`. Exposed so the recovery layer's circuit breaker
+/// (see [`crate::recovery::PttaBreaker`]) trips on the same numbers the
+/// histograms show.
+pub fn score_drift_signal(scores: &[f32]) -> (u64, u64) {
+    let mut probs = scores.to_vec();
+    softmax_inplace(&mut probs);
+    let ent = entropy(&probs);
+    let conf = probs.iter().copied().fold(0.0f32, f32::max);
+    (
+        (ent * 1_000.0).max(0.0) as u64,
+        (conf * 10_000.0).max(0.0) as u64,
+    )
+}
+
+/// Entropy of a score vector's softmax in millinats — the
+/// `ptta_entropy_millinats` drift signal as a single number.
+pub fn score_entropy_millinats(scores: &[f32]) -> u64 {
+    score_drift_signal(scores).0
 }
 
 /// The PTTA adapter. Stateless across samples — each test trajectory
@@ -491,6 +510,21 @@ mod tests {
         assert_eq!(conf.count, 1);
         // Max softmax probability is in (0, 1] -> at most 10000 bp.
         assert!(conf.sum >= 1 && conf.sum <= 10_000);
+    }
+
+    #[test]
+    fn drift_signal_helper_is_consistent_and_ordered() {
+        let scores = vec![0.1f32, 2.0, -1.0, 0.5];
+        let (ent, conf) = score_drift_signal(&scores);
+        assert_eq!(ent, score_entropy_millinats(&scores));
+        assert!(conf <= 10_000);
+        // Uniform scores: maximum entropy ln(4) ~ 1386 millinats.
+        let (uniform, _) = score_drift_signal(&[0.0; 4]);
+        assert!((uniform as i64 - 1386).abs() <= 1);
+        // A confident spike has much lower entropy and high confidence.
+        let (peaked, peaked_conf) = score_drift_signal(&[10.0, 0.0, 0.0, 0.0]);
+        assert!(peaked < uniform);
+        assert!(peaked_conf > 9_000);
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! Self-healing primitives for the sharded serving runtime: checkpoint
+//! store, write-ahead journal, retry policy, population prior and the
+//! PTTA circuit breaker.
+//!
+//! The [`ShardedEngine`](crate::engine::ShardedEngine) is fail-stop by
+//! default: a shard that panics takes its users' state (sliding windows)
+//! down with it and every later request surfaces a typed
+//! [`EngineError`](crate::engine::EngineError). Enabling
+//! [`RecoveryConfig`] on [`EngineConfig`](crate::engine::EngineConfig)
+//! layers three mechanisms on top, all built here:
+//!
+//! 1. **Checkpoint + journal.** Each shard periodically snapshots its
+//!    per-user windows into an in-memory [`CheckpointStore`] (PTTA is
+//!    stateless per prediction — adapted columns are recomputed from the
+//!    window each time — so the window *is* the whole per-user state; the
+//!    frozen Θ baseline lives in the shared read-only
+//!    [`ParamStore`](adamove_autograd::ParamStore)). Between checkpoints
+//!    a bounded write-ahead [`Journal`] records every accepted observe.
+//!    Recovery = restore the checkpoint, replay the journal suffix, and
+//!    the rebuilt shard is bit-identical by construction: journal ids are
+//!    assigned in queue order, replay preserves that order, and window
+//!    eviction is idempotent under monotone query times.
+//! 2. **Supervision + retries.** A supervisor detects worker death and
+//!    respawns the shard; in-flight `ShardDown`/`Timeout` requests are
+//!    retried under a bounded, jitter-free [`RetryPolicy`] so the fault
+//!    schedule (and hence the test suite) stays deterministic.
+//! 3. **Graceful degradation.** When recovery is impossible (no
+//!    checkpoint, journal overflow) the shard serves population-prior
+//!    predictions from [`PopulationPrior`] — the globally most frequent
+//!    locations — tagged
+//!    [`PredictionQuality::Degraded`](crate::streaming::PredictionQuality)
+//!    instead of erroring. Independently, a per-user [`PttaBreaker`]
+//!    watches the `ptta_entropy_millinats` drift signal: on sustained
+//!    entropy spikes it rolls the served prediction back to the frozen Θ
+//!    classifier and pauses adaptation until a probe shows the signal has
+//!    settled.
+
+use adamove_mobility::{LocationId, Point, UserId};
+use adamove_obs::{Counter, Registry};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Bounded exponential backoff, jitter-free so retry schedules are
+/// deterministic and reproducible in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Multiplier applied per retry (attempt `k` waits
+    /// `base_delay * multiplier^k`, capped at `max_delay`).
+    pub multiplier: u32,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries at 1 ms, 2 ms, 4 ms.
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2,
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: errors surface on the first failure.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Delay before retry number `attempt` (0-based):
+    /// `base_delay * multiplier^attempt`, saturating, capped at
+    /// `max_delay`. No jitter by design.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let mut d = self.base_delay;
+        for _ in 0..attempt {
+            d = d
+                .checked_mul(self.multiplier.max(1))
+                .unwrap_or(self.max_delay);
+            if d >= self.max_delay {
+                return self.max_delay;
+            }
+        }
+        d.min(self.max_delay)
+    }
+}
+
+/// Self-healing settings for a
+/// [`ShardedEngine`](crate::engine::ShardedEngine) — set on
+/// [`EngineConfig::recovery`](crate::engine::EngineConfig). The default
+/// engine (`recovery: None`) keeps the original fail-stop semantics.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Requests between shard checkpoints. `0` disables checkpointing
+    /// entirely: a killed shard can then only recover into degraded
+    /// (population-prior) serving.
+    pub checkpoint_interval: usize,
+    /// Maximum journalled observes per shard. When the journal wraps past
+    /// the last checkpoint, exact replay is impossible and recovery
+    /// degrades gracefully instead.
+    pub journal_capacity: usize,
+    /// Backoff for transparently retried `ShardDown`/`Timeout` requests.
+    pub retry: RetryPolicy,
+    /// Per-user PTTA circuit breaker on the entropy drift signal; `None`
+    /// leaves adaptation always on.
+    pub breaker: Option<BreakerConfig>,
+    /// Poll interval of the background supervisor thread that respawns
+    /// dead shards even without traffic. `None` heals lazily, on the
+    /// first request that finds the shard dead.
+    pub supervise_interval: Option<Duration>,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_interval: 64,
+            journal_capacity: 4096,
+            retry: RetryPolicy::default(),
+            breaker: None,
+            supervise_interval: None,
+        }
+    }
+}
+
+/// One shard's snapshot: the per-user sliding windows as of journal
+/// position `last_seen`.
+#[derive(Debug, Clone)]
+pub struct ShardCheckpoint {
+    /// Highest journal id covered by this checkpoint; replay resumes
+    /// with ids strictly greater.
+    pub last_seen: u64,
+    /// Every user's buffered window points, chronological per user.
+    pub users: Vec<(UserId, Vec<Point>)>,
+}
+
+/// In-memory checkpoint storage, one slot per shard. The last checkpoint
+/// wins; [`CheckpointStore::load`] clones it out for restore.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    slots: Vec<Mutex<Option<ShardCheckpoint>>>,
+}
+
+impl CheckpointStore {
+    /// Empty store with one slot per shard.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            slots: (0..shards.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Replace `shard`'s checkpoint.
+    pub fn save(&self, shard: usize, checkpoint: ShardCheckpoint) {
+        *lock(&self.slots[shard]) = Some(checkpoint);
+    }
+
+    /// Clone out `shard`'s latest checkpoint, if any.
+    pub fn load(&self, shard: usize) -> Option<ShardCheckpoint> {
+        lock(&self.slots[shard]).clone()
+    }
+
+    /// True when `shard` has a checkpoint.
+    pub fn has(&self, shard: usize) -> bool {
+        lock(&self.slots[shard]).is_some()
+    }
+
+    /// Drop `shard`'s checkpoint.
+    pub fn clear(&self, shard: usize) {
+        *lock(&self.slots[shard]) = None;
+    }
+}
+
+/// One journalled observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Monotone per-shard id, assigned in queue order (first id is 1).
+    pub id: u64,
+    /// The observed user.
+    pub user: UserId,
+    /// The observed check-in.
+    pub point: Point,
+}
+
+/// Bounded write-ahead journal of accepted observes for one shard.
+/// Appends happen at enqueue time under the shard's send lock, so id
+/// order equals queue order and a replay reproduces exactly what the
+/// dead worker would have processed.
+#[derive(Debug)]
+pub struct Journal {
+    entries: VecDeque<JournalEntry>,
+    capacity: usize,
+    next_id: u64,
+    /// Highest id evicted by overflow (0 = nothing ever dropped). Replay
+    /// from a base at or past this watermark is complete; below it, some
+    /// observes are unrecoverable.
+    dropped_through: u64,
+}
+
+impl Journal {
+    /// Empty journal holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_id: 1,
+            dropped_through: 0,
+        }
+    }
+
+    /// Append an observe; returns its id and whether the append evicted
+    /// the oldest entry (overflow).
+    pub fn append(&mut self, user: UserId, point: Point) -> (u64, bool) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut overflowed = false;
+        if self.entries.len() == self.capacity {
+            let evicted = self.entries.pop_front().expect("capacity >= 1");
+            self.dropped_through = evicted.id;
+            overflowed = true;
+        }
+        self.entries.push_back(JournalEntry { id, user, point });
+        (id, overflowed)
+    }
+
+    /// Undo an [`Journal::append`] whose request never reached the shard
+    /// queue (send failed). Only the most recent entry can be retracted;
+    /// anything else is a no-op.
+    pub fn retract(&mut self, id: u64) {
+        if self.entries.back().is_some_and(|e| e.id == id) {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Drop every entry with id `<= through` — called after a checkpoint
+    /// covering those observes.
+    pub fn prune_through(&mut self, through: u64) {
+        while self.entries.front().is_some_and(|e| e.id <= through) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Entries with id strictly greater than `after`, in id order — the
+    /// replay suffix for a checkpoint at `after`.
+    pub fn entries_after(&self, after: u64) -> Vec<JournalEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.id > after)
+            .cloned()
+            .collect()
+    }
+
+    /// True when every observe after `after` is still journalled (no
+    /// overflow ate part of the replay suffix).
+    pub fn complete_after(&self, after: u64) -> bool {
+        self.dropped_through <= after
+    }
+
+    /// Drop everything and mark all issued ids unrecoverable (used when a
+    /// shard recovers into degraded mode and the backlog is moot).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped_through = self.next_id.saturating_sub(1);
+    }
+
+    /// Number of journalled entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are journalled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Global location-frequency counts, recorded lock-free at observe
+/// enqueue time. When a shard cannot be restored exactly, its
+/// predictions are served from this prior — the globally most frequent
+/// locations — tagged
+/// [`Degraded`](crate::streaming::PredictionQuality::Degraded).
+#[derive(Debug)]
+pub struct PopulationPrior {
+    counts: Vec<AtomicU64>,
+}
+
+impl PopulationPrior {
+    /// Zeroed prior over `num_locations` locations.
+    pub fn new(num_locations: usize) -> Self {
+        Self {
+            counts: (0..num_locations).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Count one observed check-in at `loc`.
+    pub fn record(&self, loc: LocationId) {
+        if let Some(c) = self.counts.get(loc.index()) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total check-ins recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Dense per-location scores (the raw counts; higher = more popular).
+    pub fn scores(&self) -> Vec<f32> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as f32)
+            .collect()
+    }
+
+    /// The `k` most popular locations, most frequent first; ties broken
+    /// by lower location id for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<LocationId> {
+        let mut by_count: Vec<(u64, usize)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.load(Ordering::Relaxed), i))
+            .collect();
+        by_count.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        by_count
+            .into_iter()
+            .take(k)
+            .map(|(_, i)| LocationId(i as u32))
+            .collect()
+    }
+}
+
+/// Per-user PTTA circuit breaker settings: when the adapted prediction's
+/// entropy (the `ptta_entropy_millinats` drift signal) stays above the
+/// threshold for `trip_after` consecutive predictions, adaptation is
+/// paused for that user and the frozen Θ classifier serves instead.
+/// After `cooldown` frozen serves, one adapted *probe* runs: if its
+/// entropy has settled below the threshold the breaker closes, otherwise
+/// it stays open for another cooldown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Entropy trip threshold in millinats (entropy of the adapted
+    /// softmax × 1000).
+    pub entropy_threshold_millinats: u64,
+    /// Consecutive above-threshold predictions required to trip.
+    pub trip_after: u32,
+    /// Frozen serves between adapted probes while open.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            entropy_threshold_millinats: 2_000,
+            trip_after: 3,
+            cooldown: 8,
+        }
+    }
+}
+
+/// What the breaker decided for one prediction — returned by
+/// [`PttaBreaker::observe_adapted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Entropy acceptable, breaker closed: serve the adapted prediction.
+    Adapt,
+    /// A probe found the signal settled: the breaker just closed; serve
+    /// the adapted prediction.
+    Resumed,
+    /// The entropy streak reached `trip_after`: the breaker just opened;
+    /// roll back to frozen Θ for this prediction.
+    Tripped,
+    /// A probe found the signal still hot: stay open, serve frozen Θ.
+    StillOpen,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct UserBreaker {
+    open: bool,
+    high_streak: u32,
+    served_open: u32,
+}
+
+/// Per-user circuit breaker over the PTTA entropy drift signal. Pure
+/// state machine — deterministic given the entropy sequence; the caller
+/// ([`StreamingPredictor`](crate::streaming::StreamingPredictor)) decides
+/// what "serve frozen" means (scoring with the unadapted classifier).
+#[derive(Debug)]
+pub struct PttaBreaker {
+    config: BreakerConfig,
+    states: HashMap<UserId, UserBreaker>,
+}
+
+impl PttaBreaker {
+    /// Breaker with all users initially closed (adapting).
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            states: HashMap::new(),
+        }
+    }
+
+    /// True when `user`'s breaker is open (adaptation paused).
+    pub fn is_open(&self, user: UserId) -> bool {
+        self.states.get(&user).is_some_and(|s| s.open)
+    }
+
+    /// True when an open breaker has served `cooldown` frozen predictions
+    /// and the next prediction should be an adapted probe.
+    pub fn probe_due(&self, user: UserId) -> bool {
+        self.states
+            .get(&user)
+            .is_some_and(|s| s.open && s.served_open >= self.config.cooldown)
+    }
+
+    /// Count one frozen serve while open (advances the cooldown clock).
+    pub fn note_frozen_served(&mut self, user: UserId) {
+        if let Some(s) = self.states.get_mut(&user) {
+            if s.open {
+                s.served_open += 1;
+            }
+        }
+    }
+
+    /// Feed the adapted prediction's entropy (millinats) through the
+    /// state machine and get the serve decision. Call only when closed or
+    /// when a probe is due ([`PttaBreaker::probe_due`]).
+    pub fn observe_adapted(&mut self, user: UserId, entropy_millinats: u64) -> BreakerDecision {
+        let hot = entropy_millinats > self.config.entropy_threshold_millinats;
+        let s = self.states.entry(user).or_default();
+        if s.open {
+            if hot {
+                // Failed probe: stay open, restart the cooldown clock.
+                s.served_open = 0;
+                BreakerDecision::StillOpen
+            } else {
+                *s = UserBreaker::default();
+                BreakerDecision::Resumed
+            }
+        } else if hot {
+            s.high_streak += 1;
+            if s.high_streak >= self.config.trip_after {
+                *s = UserBreaker {
+                    open: true,
+                    ..UserBreaker::default()
+                };
+                BreakerDecision::Tripped
+            } else {
+                BreakerDecision::Adapt
+            }
+        } else {
+            s.high_streak = 0;
+            BreakerDecision::Adapt
+        }
+    }
+
+    /// Number of users whose breaker is currently open.
+    pub fn open_users(&self) -> usize {
+        self.states.values().filter(|s| s.open).count()
+    }
+}
+
+/// Breaker metric handles — attach with
+/// [`StreamingPredictor::set_breaker_obs`](crate::streaming::StreamingPredictor::set_breaker_obs).
+#[derive(Debug, Clone)]
+pub struct BreakerObs {
+    /// Breakers opened on an entropy streak (`ptta_breaker_trips_total`).
+    pub trips: Counter,
+    /// Breakers closed after a settled probe
+    /// (`ptta_breaker_resets_total`).
+    pub resets: Counter,
+    /// Predictions rolled back to frozen Θ while open
+    /// (`ptta_breaker_rollbacks_total`).
+    pub rollbacks: Counter,
+}
+
+impl BreakerObs {
+    /// Register the breaker metrics in `registry`, with `labels` (e.g.
+    /// `[("shard", "3")]`) rendered into every name.
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        let l = |name: &str| adamove_obs::labeled(name, labels);
+        Self {
+            trips: registry.counter(&l("ptta_breaker_trips_total")),
+            resets: registry.counter(&l("ptta_breaker_resets_total")),
+            rollbacks: registry.counter(&l("ptta_breaker_rollbacks_total")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamove_mobility::Timestamp;
+
+    fn pt(loc: u32, h: i64) -> Point {
+        Point::new(loc, Timestamp::from_hours(h))
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2,
+            max_delay: Duration::from_millis(5),
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(1));
+        assert_eq!(p.delay(1), Duration::from_millis(2));
+        assert_eq!(p.delay(2), Duration::from_millis(4));
+        assert_eq!(p.delay(3), Duration::from_millis(5)); // capped
+        assert_eq!(p.delay(30), Duration::from_millis(5));
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+
+    #[test]
+    fn journal_assigns_monotone_ids_and_replays_suffix() {
+        let mut j = Journal::new(10);
+        let (a, _) = j.append(UserId(1), pt(1, 0));
+        let (b, _) = j.append(UserId(2), pt(2, 1));
+        let (c, _) = j.append(UserId(1), pt(3, 2));
+        assert_eq!((a, b, c), (1, 2, 3));
+        assert_eq!(j.len(), 3);
+        let suffix = j.entries_after(1);
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].id, 2);
+        assert_eq!(suffix[1].id, 3);
+        assert!(j.complete_after(0));
+        j.prune_through(2);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.entries_after(0)[0].id, 3);
+    }
+
+    #[test]
+    fn journal_overflow_marks_replay_incomplete() {
+        let mut j = Journal::new(2);
+        assert_eq!(j.append(UserId(0), pt(1, 0)), (1, false));
+        assert_eq!(j.append(UserId(0), pt(2, 1)), (2, false));
+        // Third append evicts id 1: replay from base 0 is now incomplete.
+        assert_eq!(j.append(UserId(0), pt(3, 2)), (3, true));
+        assert!(!j.complete_after(0));
+        assert!(j.complete_after(1));
+        assert_eq!(j.entries_after(1).len(), 2);
+        j.clear();
+        assert!(j.is_empty());
+        assert!(!j.complete_after(2));
+        assert!(j.complete_after(3));
+    }
+
+    #[test]
+    fn journal_retract_undoes_only_the_latest_append() {
+        let mut j = Journal::new(10);
+        let (a, _) = j.append(UserId(0), pt(1, 0));
+        let (b, _) = j.append(UserId(0), pt(2, 1));
+        j.retract(a); // not the newest: no-op
+        assert_eq!(j.len(), 2);
+        j.retract(b);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.entries_after(0)[0].id, a);
+    }
+
+    #[test]
+    fn checkpoint_store_round_trips_per_shard() {
+        let store = CheckpointStore::new(2);
+        assert!(!store.has(0));
+        assert!(store.load(0).is_none());
+        store.save(
+            0,
+            ShardCheckpoint {
+                last_seen: 7,
+                users: vec![(UserId(3), vec![pt(1, 0), pt(2, 1)])],
+            },
+        );
+        assert!(store.has(0));
+        assert!(!store.has(1));
+        let cp = store.load(0).unwrap();
+        assert_eq!(cp.last_seen, 7);
+        assert_eq!(cp.users[0].0, UserId(3));
+        assert_eq!(cp.users[0].1.len(), 2);
+        store.clear(0);
+        assert!(!store.has(0));
+    }
+
+    #[test]
+    fn population_prior_ranks_most_frequent_first() {
+        let prior = PopulationPrior::new(5);
+        for _ in 0..3 {
+            prior.record(LocationId(2));
+        }
+        prior.record(LocationId(4));
+        prior.record(LocationId(4));
+        prior.record(LocationId(0));
+        prior.record(LocationId(99)); // out of range: ignored
+        assert_eq!(prior.total(), 6);
+        assert_eq!(prior.scores(), vec![1.0, 0.0, 3.0, 0.0, 2.0]);
+        assert_eq!(
+            prior.top_k(3),
+            vec![LocationId(2), LocationId(4), LocationId(0)]
+        );
+        // Ties break toward the lower location id.
+        let tied = PopulationPrior::new(3);
+        tied.record(LocationId(1));
+        tied.record(LocationId(2));
+        assert_eq!(tied.top_k(2), vec![LocationId(1), LocationId(2)]);
+    }
+
+    #[test]
+    fn breaker_trips_after_sustained_spike_and_resumes_after_settle() {
+        let mut br = PttaBreaker::new(BreakerConfig {
+            entropy_threshold_millinats: 1_000,
+            trip_after: 2,
+            cooldown: 2,
+        });
+        let u = UserId(9);
+        // One hot prediction is not sustained.
+        assert_eq!(br.observe_adapted(u, 1_500), BreakerDecision::Adapt);
+        assert!(!br.is_open(u));
+        // A settle resets the streak.
+        assert_eq!(br.observe_adapted(u, 500), BreakerDecision::Adapt);
+        // Two consecutive hot predictions trip.
+        assert_eq!(br.observe_adapted(u, 1_500), BreakerDecision::Adapt);
+        assert_eq!(br.observe_adapted(u, 1_500), BreakerDecision::Tripped);
+        assert!(br.is_open(u));
+        assert_eq!(br.open_users(), 1);
+        // Cooldown: two frozen serves before a probe is due.
+        assert!(!br.probe_due(u));
+        br.note_frozen_served(u);
+        assert!(!br.probe_due(u));
+        br.note_frozen_served(u);
+        assert!(br.probe_due(u));
+        // Failed probe: stay open and restart the cooldown.
+        assert_eq!(br.observe_adapted(u, 2_000), BreakerDecision::StillOpen);
+        assert!(br.is_open(u));
+        assert!(!br.probe_due(u));
+        br.note_frozen_served(u);
+        br.note_frozen_served(u);
+        assert!(br.probe_due(u));
+        // Settled probe closes the breaker.
+        assert_eq!(br.observe_adapted(u, 500), BreakerDecision::Resumed);
+        assert!(!br.is_open(u));
+        assert_eq!(br.open_users(), 0);
+    }
+
+    #[test]
+    fn breaker_tracks_users_independently() {
+        let mut br = PttaBreaker::new(BreakerConfig {
+            entropy_threshold_millinats: 1_000,
+            trip_after: 1,
+            cooldown: 1,
+        });
+        assert_eq!(
+            br.observe_adapted(UserId(0), 2_000),
+            BreakerDecision::Tripped
+        );
+        assert_eq!(br.observe_adapted(UserId(1), 100), BreakerDecision::Adapt);
+        assert!(br.is_open(UserId(0)));
+        assert!(!br.is_open(UserId(1)));
+    }
+}

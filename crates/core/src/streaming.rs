@@ -9,7 +9,8 @@
 //! the PTTA adapter, exposing a `predict -> observe` loop for online use.
 
 use crate::lightmob::LightMob;
-use crate::ptta::{Ptta, PttaConfig, PttaObs};
+use crate::ptta::{score_entropy_millinats, Ptta, PttaConfig, PttaObs};
+use crate::recovery::{BreakerDecision, BreakerObs, PttaBreaker};
 use adamove_autograd::ParamStore;
 use adamove_mobility::types::HOUR;
 use adamove_mobility::{LocationId, Point, Sample, Timestamp, UserId};
@@ -99,6 +100,20 @@ impl RecentWindow {
     }
 }
 
+/// How a [`StreamPrediction`]'s scores were produced — the serving-side
+/// quality tag the recovery layer attaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionQuality {
+    /// Full PTTA adaptation over the user's window (the normal path).
+    Adapted,
+    /// The PTTA circuit breaker is open for this user: scores come from
+    /// the frozen Θ classifier (adaptation rolled back / paused).
+    Frozen,
+    /// The user's state was unrecoverable after a shard failure: scores
+    /// are the global population prior, not a per-user prediction.
+    Degraded,
+}
+
 /// Outcome of one streaming prediction.
 #[derive(Debug, Clone)]
 pub struct StreamPrediction {
@@ -108,6 +123,8 @@ pub struct StreamPrediction {
     pub top: LocationId,
     /// Number of window points the adaptation used.
     pub window_len: usize,
+    /// How the scores were produced (adapted / frozen / degraded).
+    pub quality: PredictionQuality,
 }
 
 /// Window/cache metric handles for one [`StreamingPredictor`] — attach
@@ -151,6 +168,8 @@ pub struct StreamingPredictor<'m> {
     session_hours: i64,
     windows: HashMap<UserId, RecentWindow>,
     obs: Option<StreamObs>,
+    breaker: Option<PttaBreaker>,
+    breaker_obs: Option<BreakerObs>,
 }
 
 impl<'m> StreamingPredictor<'m> {
@@ -171,6 +190,8 @@ impl<'m> StreamingPredictor<'m> {
             session_hours,
             windows: HashMap::new(),
             obs: None,
+            breaker: None,
+            breaker_obs: None,
         }
     }
 
@@ -185,8 +206,24 @@ impl<'m> StreamingPredictor<'m> {
         self.ptta.set_obs(obs);
     }
 
-    /// Record an observed check-in for `user`.
-    pub fn observe(&mut self, user: UserId, point: Point) {
+    /// Attach a per-user PTTA circuit breaker: predictions whose adapted
+    /// entropy spikes past the breaker's threshold for long enough are
+    /// rolled back to the frozen Θ classifier (tagged
+    /// [`PredictionQuality::Frozen`]) until the signal settles.
+    pub fn set_breaker(&mut self, breaker: PttaBreaker) {
+        self.breaker = Some(breaker);
+    }
+
+    /// Attach breaker metrics (see [`BreakerObs::register`]).
+    pub fn set_breaker_obs(&mut self, obs: BreakerObs) {
+        self.breaker_obs = Some(obs);
+    }
+
+    /// Record an observed check-in for `user`. Returns the number of
+    /// buffered points the push evicted from the user's window (see
+    /// [`RecentWindow::push`]) — the same count added to
+    /// `stream_window_evictions_total`.
+    pub fn observe(&mut self, user: UserId, point: Point) -> usize {
         let (c, t) = (self.context_sessions, self.session_hours);
         let obs = &self.obs;
         let window = self.windows.entry(user).or_insert_with(|| {
@@ -201,6 +238,43 @@ impl<'m> StreamingPredictor<'m> {
                 o.window_evictions.add(evicted as u64);
             }
         }
+        evicted
+    }
+
+    /// Re-apply a journalled observe during recovery. Identical window
+    /// mutation to [`StreamingPredictor::observe`] but bypasses the
+    /// stream metrics: the original enqueue was already counted, so a
+    /// replay must not inflate `stream_*` / `engine_observes_total`
+    /// (replays are tallied separately as
+    /// `engine_replayed_observes_total`).
+    pub fn restore_observe(&mut self, user: UserId, point: Point) {
+        let (c, t) = (self.context_sessions, self.session_hours);
+        self.windows
+            .entry(user)
+            .or_insert_with(|| RecentWindow::new(c, t))
+            .push(point);
+    }
+
+    /// Restore one user's window from a checkpoint (points chronological,
+    /// as produced by [`StreamingPredictor::export_windows`]). Metrics
+    /// are bypassed for the same reason as
+    /// [`StreamingPredictor::restore_observe`].
+    pub fn restore_user(&mut self, user: UserId, points: &[Point]) {
+        for &p in points {
+            self.restore_observe(user, p);
+        }
+    }
+
+    /// Snapshot every user's window contents for checkpointing, sorted by
+    /// user id so the export is deterministic regardless of hash order.
+    pub fn export_windows(&self) -> Vec<(UserId, Vec<Point>)> {
+        let mut users: Vec<(UserId, Vec<Point>)> = self
+            .windows
+            .iter()
+            .map(|(u, w)| (*u, w.points().to_vec()))
+            .collect();
+        users.sort_by_key(|(u, _)| u.0);
+        users
     }
 
     /// Predict `user`'s next location from their current window, adapting
@@ -241,7 +315,7 @@ impl<'m> StreamingPredictor<'m> {
             target: LocationId(0),
             target_time: now,
         };
-        let scores = self.ptta.predict_scores(self.model, self.store, &sample);
+        let (scores, quality) = self.score_sample(user, &sample);
         let top = LocationId(adamove_tensor::matrix::argmax(&scores) as u32);
         if let Some(o) = &self.obs {
             o.predict_hits.inc();
@@ -250,7 +324,52 @@ impl<'m> StreamingPredictor<'m> {
             window_len: sample.recent.len(),
             scores,
             top,
+            quality,
         })
+    }
+
+    /// Score one sample, routing through the circuit breaker when one is
+    /// attached. Serving frozen means scoring with the unadapted model —
+    /// exactly the frozen Θ baseline, since PTTA never mutates the store.
+    fn score_sample(&mut self, user: UserId, sample: &Sample) -> (Vec<f32>, PredictionQuality) {
+        let Some(breaker) = self.breaker.as_mut() else {
+            let scores = self.ptta.predict_scores(self.model, self.store, sample);
+            return (scores, PredictionQuality::Adapted);
+        };
+        if breaker.is_open(user) && !breaker.probe_due(user) {
+            breaker.note_frozen_served(user);
+            if let Some(o) = &self.breaker_obs {
+                o.rollbacks.inc();
+            }
+            let frozen = self.model.predict_scores(self.store, &sample.recent, user);
+            return (frozen, PredictionQuality::Frozen);
+        }
+        let adapted = self.ptta.predict_scores(self.model, self.store, sample);
+        let entropy = score_entropy_millinats(&adapted);
+        match breaker.observe_adapted(user, entropy) {
+            BreakerDecision::Adapt => (adapted, PredictionQuality::Adapted),
+            BreakerDecision::Resumed => {
+                if let Some(o) = &self.breaker_obs {
+                    o.resets.inc();
+                }
+                (adapted, PredictionQuality::Adapted)
+            }
+            BreakerDecision::Tripped => {
+                if let Some(o) = &self.breaker_obs {
+                    o.trips.inc();
+                    o.rollbacks.inc();
+                }
+                let frozen = self.model.predict_scores(self.store, &sample.recent, user);
+                (frozen, PredictionQuality::Frozen)
+            }
+            BreakerDecision::StillOpen => {
+                if let Some(o) = &self.breaker_obs {
+                    o.rollbacks.inc();
+                }
+                let frozen = self.model.predict_scores(self.store, &sample.recent, user);
+                (frozen, PredictionQuality::Frozen)
+            }
+        }
     }
 
     /// Number of users with active windows.
@@ -418,6 +537,116 @@ mod tests {
         assert_eq!(snap.counters["stream_window_evictions_total"], 3);
         assert_eq!(snap.counters["stream_predict_hits_total"], 1);
         assert_eq!(snap.counters["stream_predict_empty_total"], 2);
+    }
+
+    #[test]
+    fn observe_returns_push_eviction_counts() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 1, &mut rng);
+        let mut sp = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        assert_eq!(sp.observe(UserId(0), pt(1, 0)), 0);
+        assert_eq!(sp.observe(UserId(0), pt(2, 5)), 0);
+        // Hour 60 ages out hours 0 and 5 (48h horizon): two evictions.
+        assert_eq!(sp.observe(UserId(0), pt(3, 60)), 2);
+        // A stale arrival beyond the horizon is dropped, not an eviction.
+        assert_eq!(sp.observe(UserId(0), pt(4, 1)), 0);
+    }
+
+    #[test]
+    fn export_and_restore_round_trip_preserves_windows_without_metrics() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 3, &mut rng);
+        let registry = Registry::new();
+        let mut sp = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        sp.observe(UserId(2), pt(1, 0));
+        sp.observe(UserId(0), pt(2, 1));
+        sp.observe(UserId(0), pt(3, 2));
+
+        let exported = sp.export_windows();
+        // Deterministic order: sorted by user id.
+        assert_eq!(exported.len(), 2);
+        assert_eq!(exported[0].0, UserId(0));
+        assert_eq!(exported[0].1.len(), 2);
+        assert_eq!(exported[1].0, UserId(2));
+
+        // Restore into a fresh predictor with metrics attached: the
+        // restore path must not count windows/evictions.
+        let mut restored = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        restored.set_obs(StreamObs::register(&registry, &[]));
+        for (user, points) in &exported {
+            restored.restore_user(*user, points);
+        }
+        assert_eq!(restored.active_users(), 2);
+        assert_eq!(restored.export_windows(), {
+            let mut e = exported.clone();
+            e.sort_by_key(|(u, _)| u.0);
+            e
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["stream_windows_created_total"], 0);
+        assert_eq!(snap.counters["stream_window_evictions_total"], 0);
+
+        // And the restored predictor serves the same scores.
+        let now = Timestamp::from_hours(3);
+        let a = sp.predict(UserId(0), now).unwrap();
+        let b = restored.predict(UserId(0), now).unwrap();
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.quality, PredictionQuality::Adapted);
+        assert_eq!(b.quality, PredictionQuality::Adapted);
+    }
+
+    #[test]
+    fn breaker_rolls_back_to_frozen_scores() {
+        use crate::recovery::{BreakerConfig, PttaBreaker};
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 8, 1, &mut rng);
+        let user = UserId(0);
+        let stream = [pt(1, 0), pt(5, 2), pt(2, 4), pt(7, 6), pt(3, 8)];
+
+        // Measure the adapted entropy on this window with a breaker-less
+        // predictor, then pick a threshold just below it so the breaker
+        // provably trips on the same input.
+        let mut probe = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        for p in stream {
+            probe.observe(user, p);
+        }
+        let now = Timestamp::from_hours(9);
+        let adapted = probe.predict(user, now).unwrap();
+        let hot = crate::ptta::score_entropy_millinats(&adapted.scores);
+        assert!(hot > 0, "entropy of a multi-location window is positive");
+
+        let mut sp = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        sp.set_breaker(PttaBreaker::new(BreakerConfig {
+            entropy_threshold_millinats: hot - 1,
+            trip_after: 2,
+            cooldown: 1,
+        }));
+        let registry = Registry::new();
+        sp.set_breaker_obs(crate::recovery::BreakerObs::register(&registry, &[]));
+        for p in stream {
+            sp.observe(user, p);
+        }
+        // First hot prediction: streak 1 of 2, still adapted.
+        let p1 = sp.predict(user, now).unwrap();
+        assert_eq!(p1.quality, PredictionQuality::Adapted);
+        assert_eq!(p1.scores, adapted.scores);
+        // Second: trips and rolls back to the frozen classifier.
+        let p2 = sp.predict(user, now).unwrap();
+        assert_eq!(p2.quality, PredictionQuality::Frozen);
+        let frozen = model.predict_scores(&store, &stream, user);
+        assert_eq!(p2.scores, frozen);
+        // Cooldown serve, still frozen.
+        let p3 = sp.predict(user, now).unwrap();
+        assert_eq!(p3.quality, PredictionQuality::Frozen);
+        assert_eq!(p3.scores, frozen);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["ptta_breaker_trips_total"], 1);
+        assert_eq!(snap.counters["ptta_breaker_rollbacks_total"], 2);
+        assert_eq!(snap.counters["ptta_breaker_resets_total"], 0);
     }
 
     #[test]

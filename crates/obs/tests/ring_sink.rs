@@ -1,0 +1,139 @@
+//! RingSink contract tests: the bounded trace buffer must keep exactly
+//! the newest `capacity` records in arrival order when it wraps, and stay
+//! coherent — no lost, duplicated or reordered per-writer records — when
+//! many threads trace into one shared sink.
+
+use adamove_obs::{FieldValue, RingSink, TraceSink, Tracer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn seq_of(record: &adamove_obs::SpanRecord, key: &str) -> u64 {
+    match record
+        .fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .unwrap_or_else(|| panic!("record has no `{key}` field"))
+    {
+        (_, FieldValue::U64(v)) => *v,
+        (_, other) => panic!("`{key}` is not a U64: {other:?}"),
+    }
+}
+
+#[test]
+fn wraparound_keeps_exactly_the_newest_capacity_records_in_order() {
+    let ring = RingSink::new(4);
+    for i in 0..10u64 {
+        ring.event("e", &[("i", FieldValue::U64(i))]);
+    }
+    assert_eq!(ring.len(), 4, "ring must never exceed its capacity");
+    let records = ring.take();
+    assert_eq!(
+        records.iter().map(|r| seq_of(r, "i")).collect::<Vec<_>>(),
+        vec![6, 7, 8, 9],
+        "wraparound must drop the oldest records, newest-first order intact"
+    );
+    // Draining resets the ring: it keeps working afterwards, and spans
+    // wrap through the same bounded buffer as events.
+    assert!(ring.is_empty());
+    for i in 10..16u64 {
+        ring.span_close("s", &[("i", FieldValue::U64(i))], Duration::from_micros(i));
+    }
+    let records = ring.take();
+    assert_eq!(
+        records.iter().map(|r| seq_of(r, "i")).collect::<Vec<_>>(),
+        vec![12, 13, 14, 15]
+    );
+    assert!(records.iter().all(|r| r.elapsed.is_some()));
+}
+
+#[test]
+fn capacity_is_clamped_to_at_least_one_record() {
+    let ring = RingSink::new(0);
+    ring.event("a", &[]);
+    ring.event("b", &[]);
+    let records = ring.take();
+    assert_eq!(records.len(), 1);
+    assert_eq!(
+        records[0].name, "b",
+        "a zero-cap ring still keeps the newest"
+    );
+}
+
+/// Writers traced concurrently: with ample capacity nothing is lost, and
+/// each thread's records appear in the order that thread emitted them
+/// (the ring serializes arrivals; it must never reorder them).
+#[test]
+fn concurrent_writers_lose_nothing_and_keep_per_thread_order() {
+    const THREADS: u64 = 4;
+    const EVENTS: u64 = 200;
+    let ring = Arc::new(RingSink::new((THREADS * EVENTS) as usize));
+    let tracer = Tracer::with_sink(ring.clone());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tracer = tracer.clone();
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    tracer.event("w", &[("t", FieldValue::U64(t)), ("i", FieldValue::U64(i))]);
+                }
+            });
+        }
+    });
+    let records = ring.take();
+    assert_eq!(records.len(), (THREADS * EVENTS) as usize, "no record lost");
+    for t in 0..THREADS {
+        let seqs: Vec<u64> = records
+            .iter()
+            .filter(|r| seq_of(r, "t") == t)
+            .map(|r| seq_of(r, "i"))
+            .collect();
+        assert_eq!(
+            seqs,
+            (0..EVENTS).collect::<Vec<_>>(),
+            "thread {t}: records lost, duplicated or reordered"
+        );
+    }
+}
+
+/// Same contention but through a ring that cannot hold everything: the
+/// buffer stays at capacity and the survivors are still a clean suffix of
+/// each writer's stream (drops only ever eat the oldest records).
+#[test]
+fn concurrent_writers_over_capacity_keep_ordered_suffixes() {
+    const THREADS: u64 = 4;
+    const EVENTS: u64 = 100;
+    const CAPACITY: usize = 64;
+    let ring = Arc::new(RingSink::new(CAPACITY));
+    let tracer = Tracer::with_sink(ring.clone());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tracer = tracer.clone();
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    tracer.event("w", &[("t", FieldValue::U64(t)), ("i", FieldValue::U64(i))]);
+                }
+            });
+        }
+    });
+    assert_eq!(ring.len(), CAPACITY);
+    let records = ring.take();
+    assert_eq!(records.len(), CAPACITY);
+    let mut survivors = 0usize;
+    for t in 0..THREADS {
+        let seqs: Vec<u64> = records
+            .iter()
+            .filter(|r| seq_of(r, "t") == t)
+            .map(|r| seq_of(r, "i"))
+            .collect();
+        survivors += seqs.len();
+        // A contiguous, strictly increasing tail ending at the thread's
+        // last event — front-drops can never punch holes in the middle.
+        if let Some(&first) = seqs.first() {
+            assert_eq!(
+                seqs,
+                (first..EVENTS).collect::<Vec<_>>(),
+                "thread {t}: survivors are not a contiguous ordered suffix"
+            );
+        }
+    }
+    assert_eq!(survivors, CAPACITY, "every survivor accounted for");
+}

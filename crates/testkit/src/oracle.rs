@@ -238,7 +238,9 @@ pub fn check_engine_matches_streaming(
         let mut ref_preds = Vec::new();
         for ev in events {
             match ev {
-                StreamEvent::Observe(p) => reference.observe(*user, *p),
+                StreamEvent::Observe(p) => {
+                    reference.observe(*user, *p);
+                }
                 StreamEvent::Predict(now) => ref_preds.push(reference.predict(*user, *now)),
             }
         }

@@ -71,6 +71,7 @@ fn sharded_engine_matches_streaming_predictor() {
             context_sessions: 2,
             session_hours: 24,
             ptta: PttaConfig::default(),
+            ..EngineConfig::default()
         };
         let compared = check_engine_matches_streaming(&model, &store, config, &workload)
             .unwrap_or_else(|e| panic!("shards={shards}: {e}"));

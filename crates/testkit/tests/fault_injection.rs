@@ -44,6 +44,7 @@ fn engine_with(shards: usize, plan: FaultPlan) -> ShardedEngine {
             context_sessions: 2,
             session_hours: 24,
             ptta: PttaConfig::default(),
+            ..EngineConfig::default()
         },
         Some(Arc::new(plan)),
     )
@@ -246,6 +247,7 @@ fn fault_free_plan_changes_nothing() {
         context_sessions: 2,
         session_hours: 24,
         ptta: PttaConfig::default(),
+        ..EngineConfig::default()
     };
     let disturbed = ShardedEngine::with_disturbance(
         Arc::clone(&model),

@@ -45,6 +45,7 @@ fn engine_with(shards: usize, plan: FaultPlan) -> ShardedEngine {
             context_sessions: 2,
             session_hours: 24,
             ptta: PttaConfig::default(),
+            ..EngineConfig::default()
         },
         Some(Arc::new(plan)),
     )
@@ -181,6 +182,7 @@ fn export_of_loaded_engine_parses_with_required_keys() {
             context_sessions: 2,
             session_hours: 24,
             ptta: PttaConfig::default(),
+            ..EngineConfig::default()
         },
     );
     // Four users per shard so both shards provably see load.

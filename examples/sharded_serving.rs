@@ -10,20 +10,48 @@
 //! section read straight from the engine's obs registry: a mid-run
 //! `snapshot()`, the flat-JSON export and the Prometheus exposition.
 //!
+//! The run also demonstrates the self-healing layer: recovery is enabled
+//! (checkpoints + write-ahead journal, background supervisor, PTTA
+//! circuit breaker), and an injected fault kills one shard a quarter of
+//! the way through the replay. The engine respawns it, replays its
+//! journal, and the report's respawn/replay/degraded counters show the
+//! incident — while the served predictions stay exactly what a crash-free
+//! run would have produced.
+//!
 //! Run with: `cargo run --release --example sharded_serving`
 
 use adamove::{
-    AdaMoveConfig, EngineConfig, LightMob, PttaConfig, ShardedEngine, Trainer, TrainingConfig,
+    shard_of, AdaMoveConfig, Disturbance, EngineConfig, FaultAction, LightMob, PttaConfig,
+    RecoveryConfig, RequestKind, ShardedEngine, Trainer, TrainingConfig,
 };
 use adamove_autograd::ParamStore;
 use adamove_mobility::synth::{generate, Scale};
 use adamove_mobility::{
-    make_samples, preprocess, CityPreset, PreprocessConfig, SampleConfig, Split, Timestamp,
+    make_samples, preprocess, CityPreset, PreprocessConfig, SampleConfig, Split, Timestamp, UserId,
 };
 use adamove_tensor::matrix::argmax;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// One-shot injected crash: panics `shard` when it processes its `seq`-th
+/// request. The per-slot sequence counter survives respawns, so the fault
+/// fires exactly once — the respawned worker serves on unharmed.
+struct KillAt {
+    shard: usize,
+    seq: u64,
+}
+
+impl Disturbance for KillAt {
+    fn action(&self, shard: usize, seq: u64, _kind: RequestKind) -> FaultAction {
+        if shard == self.shard && seq == self.seq {
+            FaultAction::PanicShard
+        } else {
+            FaultAction::None
+        }
+    }
+}
 
 fn main() {
     // A small shifted city, trained briefly — enough for the engine to
@@ -76,7 +104,12 @@ fn main() {
     // points arrive as observes; the predict then scores the true next
     // location the same way the offline PTTA evaluation would.
     let shards = adamove::available_threads();
-    let engine = ShardedEngine::new(
+    // Self-healing serving: checkpoints + journal make a crashed shard
+    // recoverable, a background supervisor respawns corpses even without
+    // traffic, and the PTTA breaker guards adaptation against entropy
+    // spikes. The injected kill hits one shard a quarter into the replay.
+    let victim = shard_of(test.first().map(|s| s.user).unwrap_or(UserId(0)), shards);
+    let engine = ShardedEngine::with_disturbance(
         Arc::new(model),
         Arc::new(store),
         EngineConfig {
@@ -84,9 +117,22 @@ fn main() {
             context_sessions: 5,
             session_hours: 72,
             ptta: PttaConfig::default(),
+            recovery: Some(RecoveryConfig {
+                breaker: Some(Default::default()),
+                supervise_interval: Some(Duration::from_millis(20)),
+                ..RecoveryConfig::default()
+            }),
+            ..EngineConfig::default()
         },
+        Some(Arc::new(KillAt {
+            shard: victim,
+            seq: (test.len() / (4 * shards)) as u64,
+        })),
     );
-    println!("serving {} requests over {shards} shards...", test.len());
+    println!(
+        "serving {} requests over {shards} shards (shard {victim} will be killed mid-run)...",
+        test.len()
+    );
     let mut hits = 0usize;
     let mut answered = 0usize;
     for (i, s) in test.iter().enumerate() {
@@ -129,6 +175,11 @@ fn main() {
     for line in adamove::obs::to_prometheus(&metrics).lines().take(6) {
         println!("  {line}");
     }
+    let snap = engine.snapshot();
+    println!(
+        "\nself-healing: {} respawn(s), {} journalled observe(s) replayed, {} degraded prediction(s)",
+        snap.respawns, snap.replayed_observes, snap.degraded_predictions
+    );
     let report = engine.shutdown();
 
     println!("\nserving report: {}", report.row());

@@ -89,6 +89,7 @@ fn sharded_engine_matches_streaming_predictor_on_pipeline_traffic() {
             context_sessions: c,
             session_hours: t_hours,
             ptta: PttaConfig::default(),
+            ..EngineConfig::default()
         },
     );
 
@@ -144,6 +145,7 @@ fn engine_survives_concurrent_clients_without_losing_updates() {
             context_sessions: 5,
             session_hours: 72,
             ptta: PttaConfig::default(),
+            ..EngineConfig::default()
         },
     );
 
