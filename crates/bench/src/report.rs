@@ -111,7 +111,9 @@ pub fn write_serving_metrics(
         .map(Path::to_path_buf)
         .unwrap_or_else(|| repo_root().join("BENCH_serving.json"));
     match std::fs::write(&path, json) {
+        // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
         Ok(()) => println!("[serving metrics written to {}]", path.display()),
+        // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
@@ -122,11 +124,14 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     match serde_json::to_string_pretty(value) {
         Ok(json) => {
             if let Err(e) = std::fs::write(&path, json) {
+                // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
                 eprintln!("warning: could not write {}: {e}", path.display());
             } else {
+                // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
                 println!("\n[results written to {}]", path.display());
             }
         }
+        // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
         Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
     }
 }

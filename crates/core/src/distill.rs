@@ -106,7 +106,7 @@ pub fn distill(
     let mut order: Vec<usize> = (0..train.len()).collect();
     let mut epochs = Vec::new();
     for epoch in 0..training.max_epochs {
-        let epoch_start = std::time::Instant::now();
+        let epoch_start = adamove_obs::Stopwatch::start();
         order.shuffle(&mut rng);
         let lr = scheduler.lr();
         let mut loss_sum = 0.0f64;

@@ -98,17 +98,15 @@ use crate::recovery::{
 use crate::streaming::{PredictionQuality, StreamObs, StreamPrediction, StreamingPredictor};
 use adamove_autograd::ParamStore;
 use adamove_mobility::{LocationId, Point, Timestamp, UserId};
-use adamove_obs::{event, labeled, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Tracer};
+use adamove_obs::{
+    event, labeled, lock, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Tracer,
+};
 use adamove_tensor::det::mix64;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard, Weak};
+use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
-}
 
 /// Configuration of a [`ShardedEngine`].
 #[derive(Debug, Clone)]
@@ -558,6 +556,7 @@ fn spawn_worker(ctx: WorkerContext, restore: Option<RestorePlan>) -> ShardLink {
     let handle = std::thread::Builder::new()
         .name(format!("adamove-shard-{shard}"))
         .spawn(move || run_worker(ctx, rx, restore))
+        // lint:allow(panic-path): OS thread-spawn failure is unrecoverable resource exhaustion
         .expect("failed to spawn engine shard");
     ShardLink { sender: tx, handle }
 }
@@ -739,13 +738,15 @@ impl EngineInner {
             checkpoints: Arc::clone(&r.checkpoints),
             journal: Arc::clone(&r.journals[shard]),
             prior: Arc::clone(&r.prior),
-            breaker: r.config.breaker.clone().map(|bc| {
-                let obs = r
-                    .breaker_obs
-                    .clone()
-                    .expect("breaker obs registered whenever a breaker is configured");
-                (bc, obs)
-            }),
+            // `breaker_obs` is registered whenever a breaker is
+            // configured (see `with_observability`), so the `and_then`
+            // never discards a configured breaker — it just keeps this
+            // path total without a panic.
+            breaker: r
+                .config
+                .breaker
+                .clone()
+                .and_then(|bc| r.breaker_obs.clone().map(|obs| (bc, obs))),
             replayed_observes: r.replayed_observes.clone(),
             degraded_predictions: r.degraded_predictions.clone(),
             checkpoints_taken: r.checkpoints_taken.clone(),
@@ -972,6 +973,7 @@ impl ShardedEngine {
         for shard in 0..shards {
             let link = inner
                 .spawn_link(shard, None)
+                // lint:allow(panic-path): stats_tx is Some until shutdown(), which cannot run mid-construction
                 .expect("stats sender is live during construction");
             *lock(&inner.slots[shard].link) = Some(link);
         }
@@ -980,6 +982,7 @@ impl ShardedEngine {
             std::thread::Builder::new()
                 .name("adamove-supervisor".into())
                 .spawn(move || supervise(weak, interval))
+                // lint:allow(panic-path): OS thread-spawn failure is unrecoverable resource exhaustion
                 .expect("failed to spawn engine supervisor")
         });
         Self { inner, supervisor }
@@ -1215,6 +1218,7 @@ impl ShardedEngine {
 
     /// [`ShardedEngine::try_observe`], panicking if the shard died.
     pub fn observe(&self, user: UserId, point: Point) {
+        // lint:allow(panic-path): documented panicking wrapper; try_observe is the typed path
         self.try_observe(user, point).expect("engine shard died");
     }
 
@@ -1274,6 +1278,7 @@ impl ShardedEngine {
 
     /// [`ShardedEngine::try_predict`], panicking if the shard died.
     pub fn predict(&self, user: UserId, now: Timestamp) -> Option<StreamPrediction> {
+        // lint:allow(panic-path): documented panicking wrapper; try_predict is the typed path
         self.try_predict(user, now).expect("engine shard died")
     }
 
@@ -1319,6 +1324,7 @@ impl ShardedEngine {
     pub fn shutdown(self) -> EngineReport {
         let deadline = self.inner.shutdown_deadline;
         self.shutdown_timeout(deadline)
+            // lint:allow(panic-path): documented panic on deadline; shutdown_timeout is the typed path
             .expect("engine shutdown timed out")
     }
 
@@ -1990,6 +1996,7 @@ mod tests {
                 Instant::now() < deadline,
                 "supervisor never respawned shard 0"
             );
+            // lint:allow(sleep-in-test): bounded backoff inside a deadline poll for the background supervisor
             std::thread::sleep(Duration::from_millis(2));
         }
         // The killed observe was journalled and replayed: its user's
@@ -2034,6 +2041,7 @@ mod tests {
                 Err(e) => panic!("unexpected error {e}"),
                 Ok(_) => {
                     assert!(Instant::now() < deadline, "shard 0 never died");
+                    // lint:allow(sleep-in-test): bounded backoff inside a deadline poll for the worker's death
                     std::thread::sleep(Duration::from_millis(1));
                 }
             }
@@ -2045,6 +2053,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         while !engine.heal_shard(0) {
             assert!(Instant::now() < deadline, "shard 0 never became healable");
+            // lint:allow(sleep-in-test): bounded backoff inside a deadline poll for corpse joinability
             std::thread::sleep(Duration::from_millis(1));
         }
         assert!(!engine.heal_shard(0), "already healed");

@@ -19,7 +19,8 @@ use crate::ptta::{Ptta, PttaConfig};
 use crate::t3a::{T3a, T3aConfig};
 use adamove_autograd::ParamStore;
 use adamove_mobility::Sample;
-use std::time::{Duration, Instant};
+use adamove_obs::Stopwatch;
+use std::time::Duration;
 
 /// Latency distribution of an evaluation or serving run.
 #[derive(Debug, Clone, Copy)]
@@ -135,9 +136,9 @@ fn score_chunk(
     let mut acc = MetricAccumulator::new();
     let mut latencies = Vec::with_capacity(chunk.len());
     for s in chunk {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let scores = score(s);
-        latencies.push(t0.elapsed().as_nanos() as u64);
+        latencies.push(t0.elapsed_ns());
         acc.observe(&scores, s.target.index());
     }
     (acc, latencies)
@@ -163,7 +164,7 @@ fn outcome(acc: &MetricAccumulator, latencies: Vec<u64>, total_time: Duration) -
 /// baselines use (Markov, DeepMove, DeepTTA, ...). The closure may be
 /// stateful (e.g. a T3A-style adapter updating across the stream).
 pub fn evaluate_fn(samples: &[Sample], score: impl FnMut(&Sample) -> Vec<f32>) -> EvalOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let (acc, latencies) = score_chunk(samples, score);
     outcome(&acc, latencies, start.elapsed())
 }
@@ -180,7 +181,7 @@ pub fn evaluate_fn_par(
     threads: usize,
     score: impl Fn(&Sample) -> Vec<f32> + Sync,
 ) -> EvalOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let parts = par_map_chunks(samples, threads, |chunk| score_chunk(chunk, &score));
     let total_time = start.elapsed();
     let mut acc = MetricAccumulator::new();

@@ -25,12 +25,11 @@ use crate::kb::{centroid_with_seed, HeapTopM, TopM as _};
 use crate::lightmob::LightMob;
 use adamove_autograd::{ParamId, ParamStore};
 use adamove_mobility::Sample;
-use adamove_obs::{Counter, Histogram, Registry};
+use adamove_obs::{Counter, Histogram, Registry, Stopwatch};
 use adamove_tensor::stats::{cosine_similarity, entropy};
 use adamove_tensor::{matrix::softmax_inplace, Matrix};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// A model PTTA (or T3A) can adapt: it must expose per-prefix classifier
 /// inputs ("mobility patterns") and its classification layer.
@@ -212,7 +211,7 @@ impl Ptta {
         sample: &Sample,
     ) -> Vec<f32> {
         // Zero-overhead-when-off: no timestamp is taken unless obs is on.
-        let t0 = self.obs.as_ref().map(|_| Instant::now());
+        let t0 = self.obs.as_ref().map(|_| Stopwatch::start());
         // Step 1: autoregressive pattern generation. Row k of `hiddens`
         // encodes recent[0..=k]; the pattern for prefix length k+1 is
         // labelled with recent[k+1].loc.
@@ -227,6 +226,7 @@ impl Ptta {
         let h_row = Matrix::stack_rows(&[h_test]);
         let mut scores = h_row
             .matmul(theta)
+            // lint:allow(panic-path): hidden width == Θ rows is a model-construction invariant, not a runtime condition
             .expect("ptta: hidden/theta shape mismatch")
             .into_vec();
         if let Some(bias) = model.bias_param() {
@@ -239,7 +239,7 @@ impl Ptta {
             if let Some(obs) = &self.obs {
                 obs.updates_skipped.inc();
                 if let Some(t0) = t0 {
-                    obs.adapt_latency_ns.record(t0.elapsed().as_nanos() as u64);
+                    obs.adapt_latency_ns.record(t0.elapsed_ns());
                 }
             }
             return scores;
@@ -251,6 +251,7 @@ impl Ptta {
             _ => Some(
                 hiddens
                     .matmul(theta)
+                    // lint:allow(panic-path): pattern width == Θ rows is a model-construction invariant, not a runtime condition
                     .expect("ptta: prefix logits shape mismatch"),
             ),
         };
@@ -260,20 +261,25 @@ impl Ptta {
         let mut kb: HashMap<usize, HeapTopM> = HashMap::new();
         for k in 0..n - 1 {
             let pattern = hiddens.row(k);
-            let label = match self.config.labels {
-                LabelStrategy::Real => sample.recent[k + 1].loc.index(),
-                LabelStrategy::Pseudo => {
-                    let logits = prefix_logits.as_ref().expect("logits computed");
+            // Total matches: when the strategy needs logits they were
+            // computed above, and the `None` arms fall back to the
+            // label/importance that needs no logits — no panic path.
+            let label = match (self.config.labels, prefix_logits.as_ref()) {
+                (LabelStrategy::Pseudo, Some(logits)) => {
                     adamove_tensor::matrix::argmax(logits.row(k))
                 }
+                (LabelStrategy::Real, _) | (LabelStrategy::Pseudo, None) => {
+                    sample.recent[k + 1].loc.index()
+                }
             };
-            let importance = match self.config.importance {
-                ImportanceStrategy::Similarity => cosine_similarity(h_test, pattern),
-                ImportanceStrategy::Entropy => {
-                    let logits = prefix_logits.as_ref().expect("logits computed");
+            let importance = match (self.config.importance, prefix_logits.as_ref()) {
+                (ImportanceStrategy::Entropy, Some(logits)) => {
                     let mut probs = logits.row(k).to_vec();
                     softmax_inplace(&mut probs);
                     -entropy(&probs)
+                }
+                (ImportanceStrategy::Similarity, _) | (ImportanceStrategy::Entropy, None) => {
+                    cosine_similarity(h_test, pattern)
                 }
             };
             kb.entry(label)
@@ -302,7 +308,7 @@ impl Ptta {
             obs.updates_applied.inc();
             obs.adapted_columns.add(kb.len() as u64);
             if let Some(t0) = t0 {
-                obs.adapt_latency_ns.record(t0.elapsed().as_nanos() as u64);
+                obs.adapt_latency_ns.record(t0.elapsed_ns());
             }
             obs.record_scores(&scores);
         }

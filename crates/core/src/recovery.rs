@@ -36,15 +36,11 @@
 //!    settled.
 
 use adamove_mobility::{LocationId, Point, UserId};
-use adamove_obs::{Counter, Registry};
+use adamove_obs::{lock, Counter, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::Mutex;
 use std::time::Duration;
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
-}
 
 /// Bounded exponential backoff, jitter-free so retry schedules are
 /// deterministic and reproducible in tests.
@@ -227,9 +223,12 @@ impl Journal {
         self.next_id += 1;
         let mut overflowed = false;
         if self.entries.len() == self.capacity {
-            let evicted = self.entries.pop_front().expect("capacity >= 1");
-            self.dropped_through = evicted.id;
-            overflowed = true;
+            // `capacity >= 1`, so a full deque always has a front; the
+            // `if let` keeps this total without a panic path.
+            if let Some(evicted) = self.entries.pop_front() {
+                self.dropped_through = evicted.id;
+                overflowed = true;
+            }
         }
         self.entries.push_back(JournalEntry { id, user, point });
         (id, overflowed)

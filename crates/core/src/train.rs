@@ -12,10 +12,9 @@ use crate::metrics::MetricAccumulator;
 use adamove_autograd::{Graph, ParamStore, Var};
 use adamove_mobility::Sample;
 use adamove_nn::{Adam, Optimizer, PlateauScheduler};
-use adamove_obs::{event, Tracer};
+use adamove_obs::{event, Stopwatch, Tracer};
 use adamove_tensor::det::DetRng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Training hyperparameters (§IV-A defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -157,7 +156,7 @@ impl Trainer {
         let mut epochs = Vec::new();
 
         for epoch in 0..self.config.max_epochs {
-            let epoch_start = Instant::now();
+            let epoch_start = Stopwatch::start();
             rng.shuffle(&mut order);
             let lr = scheduler.lr();
             let mut loss_sum = 0.0f64;
@@ -248,7 +247,7 @@ impl Trainer {
         let mut epochs = Vec::new();
 
         for epoch in 0..self.config.max_epochs {
-            let epoch_start = Instant::now();
+            let epoch_start = Stopwatch::start();
             rng.shuffle(&mut order);
             let lr = scheduler.lr();
             let mut loss_sum = 0.0f64;

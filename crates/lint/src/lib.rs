@@ -1,0 +1,40 @@
+//! adamove-lint: tidy-style workspace invariant checker.
+//!
+//! A zero-dependency static analysis pass over the workspace's Rust
+//! sources, in the spirit of rustc's `tidy`: plain line scanning (no
+//! `syn`, no `regex`), so it builds offline and runs in well under a
+//! second. It enforces the serving-stack invariants that `clippy`
+//! cannot see because they are repo policy, not Rust idiom:
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `entropy` | library code | no `thread_rng` / `SystemTime::now` / `rand::random` / `from_entropy` — replay determinism |
+//! | `instant-now` | library code | `Instant::now` only in obs/bench and the engine's timeout plumbing; elsewhere use `adamove_obs::Stopwatch` |
+//! | `panic-path` | engine/streaming/recovery/ptta | no `.unwrap()` / `.expect(` / `panic!` family — a panic poisons a shard |
+//! | `metric-name` | library code | counters end `_total`; histograms carry a unit suffix |
+//! | `print` | library code | no `println!` / `eprintln!` — output goes through the Tracer/sink seam |
+//! | `sleep-in-test` | test code | no `thread::sleep` — poll deadlines instead of breeding flakes |
+//! | `unsorted-export` | export/golden paths | no `HashMap`/`HashSet` where iteration order reaches golden files |
+//! | `tab`, `trailing-ws`, `file-length` | everywhere | hygiene |
+//!
+//! ## Suppressions
+//!
+//! A finding is silenced by a plain line comment carrying a reason:
+//!
+//! ```text
+//! x.expect("invariant"); // lint:allow(panic-path): width == rows is a construction invariant
+//! // lint:allow(print): CLI-facing output   <- standalone form targets the next line
+//! ```
+//!
+//! A suppression without a reason, or naming an unknown rule, is itself
+//! a finding (`bad-suppression`); one that matches nothing is flagged
+//! `unused-suppression`. Doc comments and string literals never declare
+//! suppressions, so this paragraph does not suppress anything.
+
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+pub use rules::{check_file, FileClass, Violation, RULE_IDS};
+pub use scan::ScannedFile;
+pub use walk::{find_workspace_root, lint_workspace, LintReport};

@@ -1,0 +1,80 @@
+//! CLI entry point: lint the workspace, print findings, exit nonzero on
+//! any.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use adamove_lint::{find_workspace_root, lint_workspace, RULE_IDS};
+
+const USAGE: &str = "\
+adamove-lint: tidy-style workspace invariant checker
+
+USAGE:
+    adamove-lint [--root <dir>] [--list-rules]
+
+OPTIONS:
+    --root <dir>   Lint the workspace containing <dir> (default: cwd)
+    --list-rules   Print the rule ids and exit
+    --help         Print this help
+
+Findings print as `path:line: [rule] message`. Suppress a finding with
+`// lint:allow(<rule>): <reason>` on or above the offending line.";
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list-rules" => {
+                for rule in RULE_IDS {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = root_arg.unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_workspace_root(&start) else {
+        eprintln!(
+            "error: no workspace Cargo.toml found above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = lint_workspace(&root);
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    if report.violations.is_empty() {
+        println!(
+            "adamove-lint: {} files clean ({} rules)",
+            report.files,
+            RULE_IDS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "adamove-lint: {} finding(s) across {} files",
+            report.violations.len(),
+            report.files
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,368 @@
+//! The rule set and the per-file checker.
+//!
+//! Each rule has a kebab-case id used both in diagnostics and in
+//! suppression comments (`// lint:allow(<id>): <why>`). Rules fall into
+//! three scopes:
+//!
+//! - **library scope** (`entropy`, `instant-now`, `panic-path`,
+//!   `metric-name`, `print`, `unsorted-export`): non-test library code
+//!   only — integration tests, benches, examples, bin targets, and
+//!   `#[cfg(test)]` regions are exempt.
+//! - **test scope** (`sleep-in-test`): the exact inverse — fires only in
+//!   test code, where wall-clock sleeps breed flakes.
+//! - **everywhere** (`tab`, `trailing-ws`, `file-length`): hygiene.
+//!
+//! Two meta findings keep the suppression mechanism honest:
+//! `bad-suppression` (unknown rule or missing reason) and
+//! `unused-suppression` (nothing on the target line would have fired).
+
+use crate::scan::ScannedFile;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (kebab-case).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Every enforceable rule id, for `--list-rules` and suppression
+/// validation.
+pub const RULE_IDS: &[&str] = &[
+    "entropy",
+    "instant-now",
+    "panic-path",
+    "metric-name",
+    "print",
+    "sleep-in-test",
+    "unsorted-export",
+    "tab",
+    "trailing-ws",
+    "file-length",
+];
+
+/// Ambient-entropy patterns banned from deterministic library code.
+const ENTROPY_PATTERNS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "SystemTime::now",
+    "rand::random",
+];
+
+/// Crates allowed to read the monotonic clock: observability and the
+/// bench harness measure durations by design.
+const INSTANT_ALLOWED_PREFIXES: &[&str] = &["crates/obs/", "crates/bench/"];
+
+/// Files additionally allowed to read the monotonic clock: the engine's
+/// shutdown/timeout plumbing needs real deadlines.
+const INSTANT_ALLOWED_FILES: &[&str] = &["crates/core/src/engine.rs"];
+
+/// Serving-path files that must stay free of panicking calls: a panic
+/// here poisons a shard and degrades the whole engine.
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/core/src/streaming.rs",
+    "crates/core/src/recovery.rs",
+    "crates/core/src/ptta.rs",
+];
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Ordered longest-first: `eprintln!` contains `println!` as a
+/// substring, and the checker reports only the first match per line.
+const PRINT_PATTERNS: &[&str] = &["eprintln!", "println!", "eprint!(", "print!("];
+
+/// Files whose map iteration feeds golden files or exported text, where
+/// HashMap order nondeterminism shows up as spurious diffs.
+const EXPORT_FILES: &[&str] = &[
+    "crates/testkit/src/json.rs",
+    "crates/testkit/src/golden.rs",
+    "crates/obs/src/export.rs",
+    "crates/bench/src/report.rs",
+];
+
+/// Accepted histogram name unit suffixes.
+const HISTOGRAM_UNITS: &[&str] = &["_ns", "_us", "_ms", "_secs", "_millinats", "_bp", "_bytes"];
+
+/// Files longer than this need a `file-length` suppression explaining
+/// why they have not been split.
+const MAX_FILE_LINES: usize = 3000;
+
+/// What kind of compilation target a path belongs to; decides which
+/// rule scopes apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Integration test or bench target (`tests/`, `benches/`).
+    pub is_test_target: bool,
+    /// Example target.
+    pub is_example: bool,
+    /// Binary target or build script.
+    pub is_bin: bool,
+}
+
+impl FileClass {
+    /// Classify a workspace-relative path (forward slashes).
+    pub fn classify(rel: &str) -> FileClass {
+        let is_test_target =
+            rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/");
+        let is_example = rel.starts_with("examples/") || rel.contains("/examples/");
+        let is_bin = rel.contains("/src/bin/")
+            || rel.ends_with("/main.rs")
+            || rel == "build.rs"
+            || rel.ends_with("/build.rs");
+        FileClass {
+            is_test_target,
+            is_example,
+            is_bin,
+        }
+    }
+
+    /// Library-scope rules apply: not a test/bench, example, or bin.
+    fn library_scope(&self) -> bool {
+        !self.is_test_target && !self.is_example && !self.is_bin
+    }
+}
+
+fn path_allowed_instant(rel: &str) -> bool {
+    INSTANT_ALLOWED_PREFIXES.iter().any(|p| rel.starts_with(p))
+        || INSTANT_ALLOWED_FILES.contains(&rel)
+}
+
+/// Check one scanned file; returns findings in line order.
+///
+/// The sanctioned poisoned-lock idiom `.unwrap_or_else(|p| p.into_inner())`
+/// never matches the `.unwrap()` pattern (the parenthesis pair is what
+/// makes the call panicking), so it needs no special case.
+pub fn check_file(rel: &str, content: &str) -> Vec<Violation> {
+    let scanned = ScannedFile::scan(content);
+    let class = FileClass::classify(rel);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    let lib_scope = class.library_scope();
+    let panic_free = PANIC_FREE_FILES.contains(&rel);
+    let instant_ok = path_allowed_instant(rel);
+    let export_file = EXPORT_FILES.contains(&rel);
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        let n = idx + 1;
+        let code = line.code.as_str();
+        let push = |raw: &mut Vec<Violation>, rule: &'static str, message: String| {
+            raw.push(Violation {
+                file: rel.to_string(),
+                line: n,
+                rule,
+                message,
+            });
+        };
+
+        // -- hygiene: everywhere, including tests ----------------------
+        if line.raw.contains('\t') {
+            push(
+                &mut raw,
+                "tab",
+                "hard tab; this repo indents with spaces".to_string(),
+            );
+        }
+        if line.raw.ends_with(' ') || line.raw.ends_with('\t') {
+            push(&mut raw, "trailing-ws", "trailing whitespace".to_string());
+        }
+
+        let in_lib_code = lib_scope && !line.in_test;
+
+        // -- sleep-in-test: test code only -----------------------------
+        let in_test_code = class.is_test_target || line.in_test;
+        if in_test_code && code.contains("thread::sleep") {
+            push(
+                &mut raw,
+                "sleep-in-test",
+                "wall-clock sleep in a test; poll a deadline or use a channel instead".to_string(),
+            );
+        }
+
+        if !in_lib_code {
+            continue;
+        }
+
+        // -- entropy ---------------------------------------------------
+        for pat in ENTROPY_PATTERNS {
+            if code.contains(pat) {
+                push(
+                    &mut raw,
+                    "entropy",
+                    format!("ambient entropy `{pat}` in deterministic library code; thread a seeded Rng or logical clock instead"),
+                );
+            }
+        }
+
+        // -- instant-now -----------------------------------------------
+        if !instant_ok && code.contains("Instant::now") {
+            push(
+                &mut raw,
+                "instant-now",
+                "direct monotonic-clock read outside the obs/bench allowlist; use adamove_obs::Stopwatch".to_string(),
+            );
+        }
+
+        // -- panic-path ------------------------------------------------
+        if panic_free {
+            for pat in PANIC_PATTERNS {
+                if code.contains(pat) {
+                    push(
+                        &mut raw,
+                        "panic-path",
+                        format!("`{}` in a panic-free serving file; return a typed error or document the invariant with a suppression", pat.trim_end_matches('(')),
+                    );
+                }
+            }
+        }
+
+        // -- metric-name -----------------------------------------------
+        for (what, is_counter) in [(".counter(", true), (".histogram(", false)] {
+            if let Some(pos) = code.find(what) {
+                // First string literal at or after the call's open paren
+                // is the metric name; dynamic names are skipped.
+                if let Some(lit) = line.strings.iter().find(|s| s.col >= pos) {
+                    let name = lit.text.as_str();
+                    if is_counter {
+                        if !name.ends_with("_total") {
+                            push(
+                                &mut raw,
+                                "metric-name",
+                                format!("counter `{name}` must end in `_total`"),
+                            );
+                        }
+                    } else if !HISTOGRAM_UNITS.iter().any(|u| name.ends_with(u)) {
+                        push(
+                            &mut raw,
+                            "metric-name",
+                            format!(
+                                "histogram `{name}` must carry a unit suffix ({})",
+                                HISTOGRAM_UNITS.join(", ")
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // -- print -----------------------------------------------------
+        for pat in PRINT_PATTERNS {
+            if code.contains(pat) {
+                push(
+                    &mut raw,
+                    "print",
+                    format!(
+                        "`{}` in library code; route output through the Tracer/sink seam",
+                        pat.trim_end_matches('(')
+                    ),
+                );
+                break; // one finding per line; longest pattern wins
+            }
+        }
+
+        // -- unsorted-export -------------------------------------------
+        if export_file && (code.contains("HashMap") || code.contains("HashSet")) {
+            push(
+                &mut raw,
+                "unsorted-export",
+                "hash-ordered collection in an export/golden path; use BTreeMap/BTreeSet or sort before emitting".to_string(),
+            );
+        }
+    }
+
+    // -- file-length (anchored to line 1 so a suppression there can
+    // -- carry the justification) -------------------------------------
+    if scanned.lines.len() > MAX_FILE_LINES {
+        raw.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            rule: "file-length",
+            message: format!(
+                "{} lines exceeds the {MAX_FILE_LINES}-line budget; split the module or justify with a suppression",
+                scanned.lines.len()
+            ),
+        });
+    }
+
+    apply_suppressions(rel, &scanned, raw)
+}
+
+/// Filter findings through the file's suppressions, emitting
+/// `bad-suppression` / `unused-suppression` meta findings.
+fn apply_suppressions(rel: &str, scanned: &ScannedFile, raw: Vec<Violation>) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    let mut used = vec![false; scanned.suppressions.len()];
+
+    for s in &scanned.suppressions {
+        if !RULE_IDS.contains(&s.rule.as_str()) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: s.line,
+                rule: "bad-suppression",
+                message: format!(
+                    "unknown rule `{}` in lint:allow (known: {})",
+                    s.rule,
+                    RULE_IDS.join(", ")
+                ),
+            });
+        } else if s.reason.is_empty() {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: s.line,
+                rule: "bad-suppression",
+                message: format!(
+                    "suppression of `{}` has no reason; write `// lint:allow({}): <why>`",
+                    s.rule, s.rule
+                ),
+            });
+        }
+    }
+
+    for v in raw {
+        let mut suppressed = false;
+        for (i, s) in scanned.suppressions.iter().enumerate() {
+            // A suppression covers its target line and its own line —
+            // the latter so a standalone comment on line 1 can carry
+            // the `file-length` justification (anchored to line 1) and
+            // so hygiene findings on the comment line itself are
+            // coverable.
+            if s.rule == v.rule && (s.target == v.line || s.line == v.line) && !s.reason.is_empty()
+            {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(v);
+        }
+    }
+
+    for (i, s) in scanned.suppressions.iter().enumerate() {
+        if !used[i] && RULE_IDS.contains(&s.rule.as_str()) && !s.reason.is_empty() {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: s.line,
+                rule: "unused-suppression",
+                message: format!(
+                    "suppression of `{}` matched nothing on line {}; delete it",
+                    s.rule, s.target
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}

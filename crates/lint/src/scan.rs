@@ -1,0 +1,479 @@
+//! Comment/string-aware line scanning.
+//!
+//! Rules must not fire on text inside comments or string literals — a
+//! doc comment *describing* `thread_rng` is not a use of it. Instead of
+//! a full parser (which would drag in `syn` and break the offline
+//! build), [`ScannedFile::scan`] runs a small state machine over the
+//! source that produces, per line:
+//!
+//! - a **code view**: the original line with comment text and string/char
+//!   literal *bodies* blanked out by spaces (quotes kept, so call shapes
+//!   like `.counter("…")` survive). Rules match against this view.
+//! - the **string literals** that started on the line (code-view column
+//!   plus content) — for rules that inspect literal values, like metric
+//!   naming.
+//! - whether the line sits inside a `#[cfg(test)]` item, tracked by
+//!   brace counting on the code view.
+//! - any [`Suppression`] declared by a plain `// lint:allow(rule): why`
+//!   line comment. Doc comments (`///`, `//!`) are deliberately inert so
+//!   documentation can show the syntax without creating suppressions.
+//!
+//! The scanner understands line comments, nested block comments, plain
+//! and raw (`r#"…"#`) string literals, and char literals vs lifetimes
+//! (heuristically: `'a'` is a literal, `'a` is a lifetime).
+
+/// A string literal that started on a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringLit {
+    /// Byte offset of the opening quote in the line's code view.
+    pub col: usize,
+    /// Literal content (escape sequences kept verbatim). For a literal
+    /// spanning multiple lines, each line records its own fragment.
+    pub text: String,
+}
+
+/// One `// lint:allow(rule): reason` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// 1-based line the suppression applies to: its own line when the
+    /// comment trails code, the following line when it stands alone.
+    pub target: usize,
+    /// The rule name between the parentheses.
+    pub rule: String,
+    /// The justification after `): `. Empty when missing — the checker
+    /// rejects that as `bad-suppression`.
+    pub reason: String,
+}
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The original line, newline stripped.
+    pub raw: String,
+    /// Comment/literal-blanked view (see the [module docs](self)).
+    pub code: String,
+    /// String literals that started on this line.
+    pub strings: Vec<StringLit>,
+    /// True inside a `#[cfg(test)]` item (attribute line included).
+    pub in_test: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Scanned lines, in order.
+    pub lines: Vec<Line>,
+    /// Every suppression declared in the file.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// True for characters that may end an identifier — keeps the `r` in
+/// `for`/`attr` from being mistaken for a raw-string prefix.
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// If `chars` starts a raw string literal (`r"`, `r#"`, `br##"`, …),
+/// return `(prefix length including the opening quote, hash count)`.
+fn raw_str_open(chars: &[char]) -> Option<(usize, u32)> {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0u32;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        Some((i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Scan one line, updating the cross-line `mode`; returns the text of a
+/// line comment starting on this line, if any.
+fn scan_line(
+    chars: &[char],
+    mode: &mut Mode,
+    code: &mut String,
+    strings: &mut Vec<StringLit>,
+) -> Option<String> {
+    let mut comment: Option<String> = None;
+    let mut cur: Option<(usize, String)> = match mode {
+        // A literal continuing from the previous line restarts a
+        // fragment at column 0.
+        Mode::Str | Mode::RawStr(_) => Some((0, String::new())),
+        _ => None,
+    };
+    let mut i = 0usize;
+    while i < chars.len() {
+        match mode {
+            Mode::Block(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    *depth -= 1;
+                    code.push_str("  ");
+                    i += 2;
+                    if *depth == 0 {
+                        *mode = Mode::Code;
+                    }
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    *depth += 1;
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if chars[i] == '\\' {
+                    if let Some((_, text)) = &mut cur {
+                        text.push('\\');
+                        if let Some(&next) = chars.get(i + 1) {
+                            text.push(next);
+                        }
+                    }
+                    code.push(' ');
+                    if i + 1 < chars.len() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    code.push('"');
+                    if let Some((col, text)) = cur.take() {
+                        strings.push(StringLit { col, text });
+                    }
+                    *mode = Mode::Code;
+                    i += 1;
+                } else {
+                    if let Some((_, text)) = &mut cur {
+                        text.push(chars[i]);
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                let h = *hashes as usize;
+                let closes = chars[i] == '"'
+                    && chars[i + 1..].len() >= h
+                    && chars[i + 1..i + 1 + h].iter().all(|&c| c == '#');
+                if closes {
+                    code.push('"');
+                    for _ in 0..h {
+                        code.push('#');
+                    }
+                    if let Some((col, text)) = cur.take() {
+                        strings.push(StringLit { col, text });
+                    }
+                    *mode = Mode::Code;
+                    i += 1 + h;
+                } else {
+                    if let Some((_, text)) = &mut cur {
+                        text.push(chars[i]);
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    comment = Some(chars[i..].iter().collect());
+                    // Blank the comment text so rules can't match it.
+                    for _ in i..chars.len() {
+                        code.push(' ');
+                    }
+                    i = chars.len();
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *mode = Mode::Block(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    cur = Some((code.len() - 1, String::new()));
+                    *mode = Mode::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && (i == 0 || !is_ident_char(chars[i - 1])) {
+                    if let Some((prefix_len, hashes)) = raw_str_open(&chars[i..]) {
+                        for &pc in &chars[i..i + prefix_len] {
+                            code.push(pc);
+                        }
+                        cur = Some((code.len() - 1, String::new()));
+                        *mode = Mode::RawStr(hashes);
+                        i += prefix_len;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: blank through the
+                        // closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        code.push('\'');
+                        for _ in i + 1..j.min(chars.len()) {
+                            code.push(' ');
+                        }
+                        if j < chars.len() {
+                            code.push('\'');
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += 3;
+                    } else {
+                        // Lifetime.
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A plain string literal left open at end of line continues on the
+    // next line; flush this line's fragment.
+    if let Some((col, text)) = cur.take() {
+        strings.push(StringLit { col, text });
+    }
+    comment
+}
+
+/// Parse a `// lint:allow(rule): reason` comment. Returns `None` for doc
+/// comments (`///`, `//!`) and comments without the marker.
+fn parse_suppression(comment: &str, line: usize, standalone: bool) -> Option<Suppression> {
+    let after_slashes = comment.strip_prefix("//")?;
+    if after_slashes.starts_with('/') || after_slashes.starts_with('!') {
+        return None; // doc comment: inert, may cite the syntax
+    }
+    let idx = after_slashes.find("lint:allow(")?;
+    let rest = &after_slashes[idx + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = &rest[close + 1..];
+    let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+    Some(Suppression {
+        line,
+        target: if standalone { line + 1 } else { line },
+        rule,
+        reason: reason.to_string(),
+    })
+}
+
+impl ScannedFile {
+    /// Scan `content` into per-line code views, literals, `#[cfg(test)]`
+    /// regions, and suppression declarations.
+    pub fn scan(content: &str) -> ScannedFile {
+        let mut mode = Mode::Code;
+        let mut lines = Vec::new();
+        let mut suppressions = Vec::new();
+        for (idx, raw) in content.lines().enumerate() {
+            let chars: Vec<char> = raw.chars().collect();
+            let mut code = String::with_capacity(raw.len());
+            let mut strings = Vec::new();
+            let comment = scan_line(&chars, &mut mode, &mut code, &mut strings);
+            if let Some(text) = &comment {
+                let standalone = code.trim().is_empty();
+                if let Some(s) = parse_suppression(text, idx + 1, standalone) {
+                    suppressions.push(s);
+                }
+            }
+            lines.push(Line {
+                raw: raw.to_string(),
+                code,
+                strings,
+                in_test: false, // filled by the region pass below
+            });
+        }
+        mark_test_regions(&mut lines);
+        ScannedFile {
+            lines,
+            suppressions,
+        }
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)]` item by counting braces on
+/// the code view, starting at the first `{` after the attribute.
+fn mark_test_regions(lines: &mut [Line]) {
+    enum Region {
+        Outside,
+        Pending,
+        Inside(i64),
+    }
+    let mut region = Region::Outside;
+    for line in lines.iter_mut() {
+        match region {
+            Region::Outside => {
+                if line.code.contains("cfg(test") {
+                    line.in_test = true;
+                    // The opening brace may share the attribute's line.
+                    region = match enter_braces(&line.code) {
+                        Some(depth) if depth > 0 => Region::Inside(depth),
+                        Some(_) => Region::Outside,
+                        None => Region::Pending,
+                    };
+                }
+            }
+            Region::Pending => {
+                line.in_test = true;
+                region = match enter_braces(&line.code) {
+                    Some(depth) if depth > 0 => Region::Inside(depth),
+                    Some(_) => Region::Outside,
+                    None => Region::Pending,
+                };
+            }
+            Region::Inside(depth) => {
+                line.in_test = true;
+                let d = depth + brace_delta(&line.code);
+                region = if d <= 0 {
+                    Region::Outside
+                } else {
+                    Region::Inside(d)
+                };
+            }
+        }
+    }
+}
+
+/// Depth after consuming the line, starting from the first `{`;
+/// `None` when the line has no braces yet.
+fn enter_braces(code: &str) -> Option<i64> {
+    let first = code.find('{')?;
+    Some(brace_delta(&code[first..]))
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked() {
+        let f = ScannedFile::scan("let x = 1; // thread_rng here\n/* SystemTime::now */ let y;\n");
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[1].code.contains("SystemTime"));
+        assert!(f.lines[1].code.contains("let y;"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_but_captured() {
+        let f = ScannedFile::scan(r#"call(".unwrap()", other);"#);
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert_eq!(f.lines[0].strings[0].text, ".unwrap()");
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let src =
+            "let s = r#\"panic!(\"x\")\"#;\n/* a /* nested panic! */ still comment */ let z;\n";
+        let f = ScannedFile::scan(src);
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert_eq!(f.lines[0].strings[0].text, "panic!(\"x\")");
+        assert!(!f.lines[1].code.contains("panic!"));
+        assert!(f.lines[1].code.contains("let z;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let f = ScannedFile::scan("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(f.lines[0].code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let f = ScannedFile::scan("let r#type = 1; for x in r {}\n");
+        assert!(f.lines[0].code.contains("for x in r { }") || f.lines[0].strings.is_empty());
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let f = ScannedFile::scan("let s = \"first panic!\nsecond .unwrap() line\";\nlet t = 1;\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(!f.lines[1].code.contains(".unwrap()"));
+        assert!(f.lines[2].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = ScannedFile::scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn suppression_parsing_trailing_and_standalone() {
+        let src = "x.unwrap(); // lint:allow(panic-path): documented invariant\n// lint:allow(print): demo output\nprintln!(\"hi\");\n";
+        let f = ScannedFile::scan(src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, "panic-path");
+        assert_eq!(f.suppressions[0].target, 1);
+        assert_eq!(f.suppressions[0].reason, "documented invariant");
+        assert_eq!(f.suppressions[1].rule, "print");
+        assert_eq!(f.suppressions[1].target, 3);
+    }
+
+    #[test]
+    fn doc_comments_do_not_declare_suppressions() {
+        let src = "/// Use `// lint:allow(print): why` to suppress.\n//! lint:allow(tab): nope\nfn f() {}\n";
+        let f = ScannedFile::scan(src);
+        assert!(f.suppressions.is_empty());
+    }
+
+    #[test]
+    fn suppression_inside_string_literal_is_inert() {
+        let src = "let s = \"// lint:allow(print): fake\";\n";
+        let f = ScannedFile::scan(src);
+        assert!(f.suppressions.is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_recorded_as_empty() {
+        let f = ScannedFile::scan("x.unwrap(); // lint:allow(panic-path)\n");
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].reason, "");
+    }
+}

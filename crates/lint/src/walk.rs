@@ -1,0 +1,103 @@
+//! Workspace discovery and the whole-tree lint driver.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, Violation};
+
+/// Directories under the workspace root that contain lintable sources.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+
+/// Directory names skipped wherever they appear. `fixtures` holds the
+/// lint crate's own planted-violation corpus, which must not fail the
+/// real workspace scan.
+const SKIP_DIRS: &[&str] = &[
+    ".git",
+    "target",
+    "target-offline",
+    "target-tsan",
+    ".devstubs",
+    "fixtures",
+    "node_modules",
+];
+
+/// Result of linting a tree.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings plus meta findings, in path order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+/// Ascend from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort(); // deterministic scan order
+    for child in children {
+        if child.is_dir() {
+            let name = child
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default();
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs_files(&child, out);
+            }
+        } else if child.extension().is_some_and(|e| e == "rs") {
+            out.push(child);
+        }
+    }
+}
+
+/// Lint every `.rs` file under the workspace's scan roots.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files);
+        }
+    }
+    // Root-level build.rs, if any, is part of the build surface too.
+    let build_rs = root.join("build.rs");
+    if build_rs.is_file() {
+        files.push(build_rs);
+    }
+
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => path.to_string_lossy().to_string(),
+        };
+        let content = match fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(_) => continue, // non-UTF-8 or unreadable: not lintable source
+        };
+        report.files += 1;
+        report.violations.extend(check_file(&rel, &content));
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    report
+}

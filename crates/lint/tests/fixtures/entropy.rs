@@ -1,0 +1,29 @@
+//! Planted `entropy` violations. Mentions of thread_rng in doc comments
+//! must not fire.
+
+pub fn bad_rng() -> u64 {
+    let mut rng = rand::thread_rng(); // line 5: fires
+    rng.gen()
+}
+
+pub fn bad_clock() -> u64 {
+    let now = std::time::SystemTime::now(); // line 10: fires
+    now.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
+pub fn sanctioned() -> u64 {
+    let mut rng = rand::thread_rng(); // lint:allow(entropy): fixture demonstrating a reasoned suppression
+    rng.gen()
+}
+
+pub fn string_mention() -> &'static str {
+    "calling thread_rng here would be bad" // literal: must not fire
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_entropy() {
+        let _ = rand::thread_rng(); // cfg(test): must not fire
+    }
+}

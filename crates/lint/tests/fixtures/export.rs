@@ -1,0 +1,15 @@
+//! Planted `unsorted-export` violations; checked under an export-path
+//! rel path.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; // line 5: fires
+
+pub fn emit(metrics: &HashMap<String, u64>) -> String {
+    let sorted: BTreeMap<_, _> = metrics.iter().collect(); // conformant
+    format!("{sorted:?}")
+}
+
+// lint:allow(unsorted-export): fixture — size query, iteration order never escapes
+pub fn suppressed(set: &std::collections::HashSet<u32>) -> usize {
+    set.len()
+}

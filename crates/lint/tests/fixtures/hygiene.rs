@@ -1,0 +1,9 @@
+//! Planted hygiene violations: a hard tab and trailing whitespace.
+
+pub fn tabbed() -> u32 {
+	42 // line 4: hard tab fires
+}
+
+pub fn trailing() -> u32 { 
+    7
+}

@@ -1,0 +1,12 @@
+//! Planted `instant-now` violations.
+
+use std::time::Instant;
+
+pub fn bad_timer() -> Instant {
+    Instant::now() // line 6: fires outside the allowlist
+}
+
+pub fn suppressed_timer() -> Instant {
+    // lint:allow(instant-now): fixture demonstrating the standalone suppression form
+    Instant::now()
+}

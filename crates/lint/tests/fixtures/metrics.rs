@@ -1,0 +1,12 @@
+//! Planted `metric-name` violations.
+
+pub fn register(reg: &Registry) {
+    let _a = reg.counter("requests"); // line 4: fires — no _total
+    let _b = reg.counter("requests_total"); // conformant
+    let _c = reg.histogram("latency"); // line 6: fires — no unit suffix
+    let _d = reg.histogram("latency_ns"); // conformant
+    let _e = reg.histogram("loss_millinats"); // conformant
+    let name = dynamic_name();
+    let _f = reg.counter(name); // dynamic: skipped
+    let _g = reg.counter("evictions"); // lint:allow(metric-name): fixture demonstrating suppression
+}

@@ -1,0 +1,29 @@
+//! Planted `panic-path` violations; checked under a panic-free rel path.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 4: fires
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") // line 8: fires
+}
+
+pub fn bad_panic() {
+    panic!("boom"); // line 12: fires
+}
+
+pub fn sanctioned_poison(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|p| p.into_inner()) // idiom: must not fire
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    x.expect("invariant") // lint:allow(panic-path): fixture — construction invariant, not a runtime condition
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let _ = Some(1).unwrap(); // cfg(test): must not fire
+    }
+}

@@ -1,0 +1,17 @@
+//! Planted `print` violations.
+
+pub fn bad_stdout() {
+    println!("library code must not print"); // line 4: fires
+}
+
+pub fn bad_stderr() {
+    eprintln!("nor write stderr"); // line 8: fires
+}
+
+pub fn suppressed() {
+    eprintln!("sanctioned sink"); // lint:allow(print): fixture — the one sanctioned emitter
+}
+
+pub fn string_mention() -> &'static str {
+    "println! inside a string must not fire"
+}

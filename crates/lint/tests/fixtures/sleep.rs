@@ -1,0 +1,12 @@
+//! Planted `sleep-in-test` violations; checked under a tests/ rel path.
+
+#[test]
+fn flaky_wait() {
+    std::thread::sleep(std::time::Duration::from_millis(50)); // line 5: fires
+}
+
+#[test]
+fn suppressed_wait() {
+    // lint:allow(sleep-in-test): fixture — exercising a real timer edge
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

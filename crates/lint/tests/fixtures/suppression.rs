@@ -1,0 +1,14 @@
+//! Planted suppression misuse: missing reason, unknown rule, unused.
+
+pub fn missing_reason() {
+    println!("x"); // lint:allow(print)
+}
+
+pub fn unknown_rule() {
+    // lint:allow(made-up-rule): no such rule
+    let _ = 1;
+}
+
+pub fn unused() {
+    let _ = 2; // lint:allow(entropy): nothing here uses entropy
+}

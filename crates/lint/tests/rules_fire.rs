@@ -1,0 +1,132 @@
+//! Each rule must fire on its planted fixture, honor reasoned
+//! suppressions, and stay quiet on the false-positive guards
+//! (comments, string literals, `#[cfg(test)]` regions).
+
+use adamove_lint::{check_file, Violation};
+
+fn fire_lines(violations: &[Violation], rule: &str) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn entropy_fires_and_respects_guards() {
+    let v = check_file(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/entropy.rs"),
+    );
+    assert_eq!(fire_lines(&v, "entropy"), vec![5, 10]);
+    // Suppressed use, doc-comment mention, string mention, cfg(test)
+    // use: none of those lines appear.
+    assert!(v.iter().all(|f| f.rule == "entropy"), "{v:?}");
+}
+
+#[test]
+fn instant_now_fires_outside_allowlist_only() {
+    let src = include_str!("fixtures/instant.rs");
+    let v = check_file("crates/core/src/fixture.rs", src);
+    assert_eq!(fire_lines(&v, "instant-now"), vec![6]);
+    // Same content under an allowlisted crate: clean.
+    let v_obs = check_file("crates/obs/src/fixture.rs", src);
+    assert!(fire_lines(&v_obs, "instant-now").is_empty());
+    // The suppression is unused there, which is itself flagged.
+    assert_eq!(fire_lines(&v_obs, "unused-suppression"), vec![10]);
+}
+
+#[test]
+fn panic_path_fires_only_in_panic_free_files() {
+    let src = include_str!("fixtures/panic.rs");
+    let v = check_file("crates/core/src/streaming.rs", src);
+    assert_eq!(fire_lines(&v, "panic-path"), vec![4, 8, 12]);
+    // The poisoned-lock idiom and the suppressed expect stay quiet.
+    // Outside the panic-free list the rule never applies.
+    let elsewhere = check_file("crates/core/src/model.rs", src);
+    assert!(fire_lines(&elsewhere, "panic-path").is_empty());
+}
+
+#[test]
+fn metric_name_checks_literal_names_only() {
+    let v = check_file(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/metrics.rs"),
+    );
+    assert_eq!(fire_lines(&v, "metric-name"), vec![4, 6]);
+}
+
+#[test]
+fn print_fires_in_lib_code_not_in_bins() {
+    let src = include_str!("fixtures/print.rs");
+    let v = check_file("crates/core/src/fixture.rs", src);
+    assert_eq!(fire_lines(&v, "print"), vec![4, 8]);
+    // Bin targets and examples are CLI surfaces: exempt.
+    let v_bin = check_file("crates/bench/src/bin/fixture.rs", src);
+    assert!(fire_lines(&v_bin, "print").is_empty());
+    let v_ex = check_file("crates/core/examples/fixture.rs", src);
+    assert!(fire_lines(&v_ex, "print").is_empty());
+}
+
+#[test]
+fn sleep_fires_in_test_code_only() {
+    let src = include_str!("fixtures/sleep.rs");
+    let v = check_file("crates/core/tests/fixture.rs", src);
+    assert_eq!(fire_lines(&v, "sleep-in-test"), vec![5]);
+    // In library scope the planted sleeps sit outside cfg(test), so the
+    // test-scope rule stays quiet.
+    let v_lib = check_file("crates/core/src/fixture.rs", src);
+    assert!(fire_lines(&v_lib, "sleep-in-test").is_empty());
+}
+
+#[test]
+fn unsorted_export_fires_on_export_paths_only() {
+    let src = include_str!("fixtures/export.rs");
+    let v = check_file("crates/obs/src/export.rs", src);
+    assert_eq!(fire_lines(&v, "unsorted-export"), vec![5, 7]);
+    let elsewhere = check_file("crates/obs/src/fixture.rs", src);
+    assert!(fire_lines(&elsewhere, "unsorted-export").is_empty());
+}
+
+#[test]
+fn hygiene_fires_everywhere_including_tests() {
+    let src = include_str!("fixtures/hygiene.rs");
+    let v = check_file("crates/core/tests/fixture.rs", src);
+    assert_eq!(fire_lines(&v, "tab"), vec![4]);
+    assert_eq!(fire_lines(&v, "trailing-ws"), vec![7]);
+}
+
+#[test]
+fn file_length_fires_past_the_budget() {
+    let long = "// filler\n".repeat(3001);
+    let v = check_file("crates/core/src/fixture.rs", &long);
+    assert_eq!(fire_lines(&v, "file-length"), vec![1]);
+    // A reasoned suppression on line 1 silences it.
+    let suppressed = format!(
+        "// lint:allow(file-length): fixture justification\n{}",
+        "// filler\n".repeat(3001)
+    );
+    let v2 = check_file("crates/core/src/fixture.rs", &suppressed);
+    assert!(fire_lines(&v2, "file-length").is_empty(), "{v2:?}");
+}
+
+#[test]
+fn suppression_misuse_is_flagged() {
+    let v = check_file(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/suppression.rs"),
+    );
+    // Missing reason and unknown rule are both bad-suppression...
+    assert_eq!(fire_lines(&v, "bad-suppression"), vec![4, 8]);
+    // ...and a reasonless suppression does not actually suppress.
+    assert_eq!(fire_lines(&v, "print"), vec![4]);
+    // A reasoned suppression matching nothing is flagged unused.
+    assert_eq!(fire_lines(&v, "unused-suppression"), vec![13]);
+}
+
+#[test]
+fn doc_comments_may_cite_the_syntax() {
+    let src = "/// Suppress with `// lint:allow(print): why`.\npub fn f() {}\n";
+    let v = check_file("crates/core/src/fixture.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}

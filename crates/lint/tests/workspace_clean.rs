@@ -1,0 +1,36 @@
+//! The real workspace must lint clean — this is the same gate
+//! `scripts/check.sh` runs via the binary, enforced as a test so
+//! `cargo test --workspace` alone catches policy drift.
+
+use std::path::Path;
+
+use adamove_lint::lint_workspace;
+
+#[test]
+fn workspace_has_zero_unsuppressed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels below the workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = lint_workspace(root);
+    assert!(
+        report.files > 20,
+        "scan looks truncated: {} files",
+        report.files
+    );
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

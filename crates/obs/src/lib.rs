@@ -32,6 +32,8 @@
 pub mod export;
 pub mod registry;
 pub mod span;
+pub mod sync;
+pub mod time;
 
 pub use export::{to_flat_json, to_prometheus};
 pub use registry::{
@@ -39,3 +41,5 @@ pub use registry::{
     BUCKET_BOUNDS, NUM_BUCKETS,
 };
 pub use span::{FieldValue, RingSink, Span, SpanRecord, StderrSink, TraceSink, Tracer};
+pub use sync::lock;
+pub use time::Stopwatch;

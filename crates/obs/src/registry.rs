@@ -328,13 +328,13 @@ impl Registry {
     }
 
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
-        let mut metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        let mut metrics = crate::sync::lock(&self.metrics);
         metrics.entry(name.to_string()).or_insert_with(make).clone()
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.metrics.lock().unwrap_or_else(|p| p.into_inner()).len()
+        crate::sync::lock(&self.metrics).len()
     }
 
     /// True when nothing is registered.
@@ -344,7 +344,7 @@ impl Registry {
 
     /// Freeze every registered metric into a [`RegistrySnapshot`].
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        let metrics = crate::sync::lock(&self.metrics);
         let mut snap = RegistrySnapshot::default();
         for (name, metric) in metrics.iter() {
             match metric {

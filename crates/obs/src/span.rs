@@ -120,6 +120,7 @@ fn render_fields(fields: &[(&'static str, FieldValue)]) -> String {
 
 impl TraceSink for StderrSink {
     fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        // lint:allow(print): StderrSink is the one sanctioned stderr emitter — Tracer events route here
         eprintln!("{name}  {}", render_fields(fields));
     }
 
@@ -129,6 +130,7 @@ impl TraceSink for StderrSink {
         fields: &[(&'static str, FieldValue)],
         elapsed: Duration,
     ) {
+        // lint:allow(print): StderrSink is the one sanctioned stderr emitter — Tracer spans route here
         eprintln!(
             "{name}  {}  [{:.1}ms]",
             render_fields(fields),
@@ -157,13 +159,13 @@ impl RingSink {
 
     /// Drain and return all buffered records, oldest first.
     pub fn take(&self) -> Vec<SpanRecord> {
-        let mut records = self.records.lock().unwrap_or_else(|p| p.into_inner());
+        let mut records = crate::sync::lock(&self.records);
         records.drain(..).collect()
     }
 
     /// Number of buffered records.
     pub fn len(&self) -> usize {
-        self.records.lock().unwrap_or_else(|p| p.into_inner()).len()
+        crate::sync::lock(&self.records).len()
     }
 
     /// True when no records are buffered.
@@ -172,7 +174,7 @@ impl RingSink {
     }
 
     fn push(&self, record: SpanRecord) {
-        let mut records = self.records.lock().unwrap_or_else(|p| p.into_inner());
+        let mut records = crate::sync::lock(&self.records);
         if records.len() == self.capacity {
             records.pop_front();
         }

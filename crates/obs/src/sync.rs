@@ -1,0 +1,43 @@
+//! Poison-tolerant locking — the one sanctioned way to take a mutex.
+//!
+//! A poisoned `Mutex` only means some other thread panicked while
+//! holding the guard; it says nothing about the integrity of the data
+//! behind it. Every structure this workspace guards with a mutex
+//! (metric registries, trace sinks, shard send-slots, write-ahead
+//! journals) is kept valid across arbitrary unwind points, and the
+//! serving stack's whole job is to keep working after a worker panic —
+//! so propagating poison as a second panic would turn one contained
+//! failure into a cascade. [`lock`] recovers the guard instead.
+//!
+//! `adamove-lint` (rule `panic-path`) keeps ad-hoc `.lock().unwrap()`
+//! out of the panic-free serving modules; this helper is the shared
+//! replacement.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `m`, recovering the guard from a poisoned mutex instead of
+/// panicking (see the [module docs](self) for why that is sound here).
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first lock cannot be poisoned");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) = 8;
+        assert_eq!(*lock(&m), 8);
+    }
+}

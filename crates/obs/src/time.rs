@@ -1,0 +1,70 @@
+//! Wall-clock discipline: the sanctioned monotonic-time seam.
+//!
+//! Scattered `Instant::now()` reads are how wall-clock nondeterminism
+//! leaks into adaptation and evaluation code — exactly the paths whose
+//! outputs the testkit pins with golden traces. `adamove-lint` (rule
+//! `instant-now`) therefore bans direct `Instant::now()` outside the
+//! observability and bench layers; code that times itself *for
+//! telemetry* uses a [`Stopwatch`] instead. The type is a thin wrapper,
+//! but the indirection keeps every wall-clock read attributable: a
+//! `Stopwatch` can only measure a duration, never inject "the current
+//! time" into data that should be a pure function of its inputs.
+
+use std::time::{Duration, Instant};
+
+/// A running monotonic stopwatch, started at construction.
+///
+/// ```
+/// let sw = adamove_obs::Stopwatch::start();
+/// let _elapsed_ns: u64 = sw.elapsed_ns(); // feed a latency histogram
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` — the unit latency
+    /// histograms record (`*_latency_ns`).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn elapsed_duration_and_ns_agree() {
+        let sw = Stopwatch::start();
+        while sw.elapsed_ns() < 2_000_000 {
+            std::hint::spin_loop();
+        }
+        assert!(sw.elapsed() >= Duration::from_millis(2));
+        assert!(sw.elapsed_ns() >= 2_000_000);
+    }
+}

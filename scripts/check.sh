@@ -32,4 +32,7 @@ if ! git diff --quiet HEAD -- crates/testkit/tests/golden 2>/dev/null; then
 fi
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Repo-specific invariants clippy cannot see (determinism, panic-free
+# serving files, metric naming, suppression hygiene): see crates/lint.
+cargo run -q -p adamove-lint
 echo "check.sh: all gates green"

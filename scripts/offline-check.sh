@@ -49,6 +49,9 @@ if [ "${1:-}" = "full" ]; then
     fi
     "$self" fmt --check
     "$self" clippy --workspace --all-targets -- -D warnings
+    # Repo-specific invariants clippy cannot see (determinism, panic-free
+    # serving files, metric naming, suppression hygiene): see crates/lint.
+    "$self" run -q -p adamove-lint
     echo "offline-check.sh: all offline gates green"
     exit 0
 fi
