@@ -2,7 +2,7 @@
 
 use crate::param::{Gradients, ParamId, ParamStore};
 use adamove_tensor::matrix::softmax_inplace;
-use adamove_tensor::Matrix;
+use adamove_tensor::{Device, Matrix};
 
 /// Handle to a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,15 +102,30 @@ struct Node {
 pub struct Graph<'p> {
     params: &'p ParamStore,
     nodes: Vec<Node>,
+    device: &'static dyn Device,
 }
 
 impl<'p> Graph<'p> {
-    /// Start a new tape over `params`.
+    /// Start a new tape over `params` on the default CPU backend.
     pub fn new(params: &'p ParamStore) -> Self {
+        Self::with_device(params, adamove_tensor::cpu())
+    }
+
+    /// Start a new tape over `params` whose matrix products run on
+    /// `device`. Backends are pinned bit-identical to the reference
+    /// kernels (see [`adamove_tensor::device`]), so the choice affects
+    /// speed, never values.
+    pub fn with_device(params: &'p ParamStore, device: &'static dyn Device) -> Self {
         Self {
             params,
             nodes: Vec::with_capacity(256),
+            device,
         }
+    }
+
+    /// The compute backend this tape's matrix products run on.
+    pub fn device(&self) -> &'static dyn Device {
+        self.device
     }
 
     /// The parameter store this graph reads from.
@@ -191,15 +206,12 @@ impl<'p> Graph<'p> {
     pub fn linear(&mut self, w: ParamId, b: Option<ParamId>, x: Var) -> Var {
         let wm = self.params.value(w);
         let xv = self.value(x);
-        let mut out = xv
-            .matmul(wm)
+        // One fused device pass: `x @ W + b` with the bias added after the
+        // full reduction, bit-identical to matmul-then-broadcast.
+        let out = self
+            .device
+            .gemm(xv, wm, b.map(|bid| self.params.value(bid)))
             .unwrap_or_else(|e| panic!("linear `{}`: {e}", self.params.param(w).name));
-        if let Some(bid) = b {
-            let bias = self.params.value(bid);
-            out = out
-                .add_row_broadcast(bias)
-                .unwrap_or_else(|e| panic!("linear bias `{}`: {e}", self.params.param(bid).name));
-        }
         self.push(out, Op::Linear { w, b, x })
     }
 
@@ -237,19 +249,28 @@ impl<'p> Graph<'p> {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b)).expect("matmul");
+        let v = self
+            .device
+            .matmul(self.value(a), self.value(b))
+            .expect("matmul");
         self.push(v, Op::MatMul(a, b))
     }
 
     /// `a @ b^T`.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_nt(self.value(b)).expect("matmul_nt");
+        let v = self
+            .device
+            .matmul_nt(self.value(a), self.value(b))
+            .expect("matmul_nt");
         self.push(v, Op::MatMulNT(a, b))
     }
 
     /// `a^T @ b`.
     pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_tn(self.value(b)).expect("matmul_tn");
+        let v = self
+            .device
+            .matmul_tn(self.value(a), self.value(b))
+            .expect("matmul_tn");
         self.push(v, Op::MatMulTN(a, b))
     }
 
@@ -494,11 +515,15 @@ impl<'p> Graph<'p> {
                     let xv = self.value(*x);
                     let wm = self.params.value(*w);
                     // dW += x^T g ; db += column sums of g ; dx = g W^T
-                    param_grads.accumulate(*w, &xv.matmul_tn(&g).expect("linear dW"));
+                    param_grads.accumulate(*w, &self.device.matmul_tn(xv, &g).expect("linear dW"));
                     if let Some(bid) = b {
                         param_grads.accumulate(*bid, &g.sum_rows());
                     }
-                    accumulate(&mut node_grads, *x, g.matmul_nt(wm).expect("linear dx"));
+                    accumulate(
+                        &mut node_grads,
+                        *x,
+                        self.device.matmul_nt(&g, wm).expect("linear dx"),
+                    );
                 }
                 Op::Add(a, b) => {
                     accumulate(&mut node_grads, *a, g.clone());
@@ -518,22 +543,40 @@ impl<'p> Graph<'p> {
                 Op::AddScalar(a) => accumulate(&mut node_grads, *a, g),
                 Op::MatMul(a, b) => {
                     // dA = g B^T ; dB = A^T g
-                    let da = g.matmul_nt(self.value(*b)).expect("matmul dA");
-                    let db = self.value(*a).matmul_tn(&g).expect("matmul dB");
+                    let da = self
+                        .device
+                        .matmul_nt(&g, self.value(*b))
+                        .expect("matmul dA");
+                    let db = self
+                        .device
+                        .matmul_tn(self.value(*a), &g)
+                        .expect("matmul dB");
                     accumulate(&mut node_grads, *a, da);
                     accumulate(&mut node_grads, *b, db);
                 }
                 Op::MatMulNT(a, b) => {
                     // y = A B^T : dA = g B ; dB = g^T A
-                    let da = g.matmul(self.value(*b)).expect("matmul_nt dA");
-                    let db = g.matmul_tn(self.value(*a)).expect("matmul_nt dB");
+                    let da = self
+                        .device
+                        .matmul(&g, self.value(*b))
+                        .expect("matmul_nt dA");
+                    let db = self
+                        .device
+                        .matmul_tn(&g, self.value(*a))
+                        .expect("matmul_nt dB");
                     accumulate(&mut node_grads, *a, da);
                     accumulate(&mut node_grads, *b, db);
                 }
                 Op::MatMulTN(a, b) => {
                     // y = A^T B : dA = B g^T ; dB = A g
-                    let da = self.value(*b).matmul_nt(&g).expect("matmul_tn dA");
-                    let db = self.value(*a).matmul(&g).expect("matmul_tn dB");
+                    let da = self
+                        .device
+                        .matmul_nt(self.value(*b), &g)
+                        .expect("matmul_tn dA");
+                    let db = self
+                        .device
+                        .matmul(self.value(*a), &g)
+                        .expect("matmul_tn dB");
                     accumulate(&mut node_grads, *a, da);
                     accumulate(&mut node_grads, *b, db);
                 }

@@ -8,20 +8,22 @@
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin table2_comparison
 //!         [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick]
-//!         [--threads N] [--metrics path.json]`
+//!         [--threads N] [--batch N] [--metrics path.json]`
 //!
 //! Serving telemetry (per-phase latency percentiles, throughput, thread
 //! count) is exported through the obs registry to `--metrics`, defaulting
 //! to `BENCH_serving.json` at the workspace root.
 //!
 //! Evaluation fans out over `--threads` workers (default: available
-//! parallelism). Metrics are bit-identical at any thread count; when
-//! `--threads > 1` this binary runs `adamove-testkit`'s differential
-//! oracle on the AdaMove evaluation — sequential vs parallel metrics and
+//! parallelism), each fusing up to `--batch` same-length samples into one
+//! device-level forward. Metrics are bit-identical at any thread count and
+//! batch size; when `--threads > 1` or `--batch > 1` this binary runs
+//! `adamove-testkit`'s differential oracles on the AdaMove evaluation —
+//! sequential vs parallel and per-sample vs batched, metrics and
 //! per-sample ranks — as a self-check.
 
 use adamove::{
-    evaluate_fn_par, evaluate_par, EncoderKind, EvalOutcome, InferenceMode, Metrics, PttaConfig,
+    evaluate_batched, evaluate_fn_par, EncoderKind, EvalOutcome, InferenceMode, Metrics, PttaConfig,
 };
 use adamove_autograd::ParamStore;
 use adamove_baselines::heuristic::HeuristicWeights;
@@ -29,7 +31,7 @@ use adamove_baselines::{DeepMove, HeuristicMob, MarkovBaseline, PopularityBaseli
 use adamove_bench::harness::{prepare_city, sample_caps, train_adamove, ExperimentArgs};
 use adamove_bench::report::{metrics_row, render_table, write_json, write_serving_metrics};
 use adamove_mobility::CityPreset;
-use adamove_testkit::check_parallel_equivalence;
+use adamove_testkit::{check_batched_equivalence, check_parallel_equivalence};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -200,12 +202,13 @@ fn main() {
         eprintln!("training AdaMove (LightMob + contrastive)...");
         let adamove = train_adamove(&city, EncoderKind::Lstm, &args, None);
         let ptta_mode = InferenceMode::Ptta(PttaConfig::default());
-        let ada_out = evaluate_par(
+        let ada_out = evaluate_batched(
             &adamove.model,
             &adamove.store,
             &city.test,
             &ptta_mode,
             args.threads,
+            args.batch,
         );
         if args.threads > 1 {
             // Self-check via the shared testkit oracle: full coverage,
@@ -223,6 +226,23 @@ fn main() {
             eprintln!(
                 "threads={}: metrics and per-sample ranks bit-identical to sequential run",
                 args.threads
+            );
+        }
+        if args.batch > 1 {
+            // Same contract for the batched device path: fusing samples
+            // into one forward may change only wall-clock, never a bit.
+            check_batched_equivalence(
+                &adamove.model,
+                &adamove.store,
+                &city.test,
+                &ptta_mode,
+                args.threads,
+                args.batch,
+            )
+            .unwrap_or_else(|e| panic!("batched self-check failed: {e}"));
+            eprintln!(
+                "batch={}: metrics and per-sample ranks bit-identical to per-sample run",
+                args.batch
             );
         }
         methods.push(MethodResult {
@@ -265,9 +285,10 @@ fn main() {
             (ours / best_baseline.max(1e-9) - 1.0) * 100.0
         );
         println!(
-            "AdaMove eval ({} thread{}): {}\n",
+            "AdaMove eval ({} thread{}, batch {}): {}\n",
             args.threads,
             if args.threads == 1 { "" } else { "s" },
+            args.batch,
             ada_out.latency.row()
         );
 

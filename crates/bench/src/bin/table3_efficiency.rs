@@ -9,18 +9,23 @@
 //!
 //! Usage: `cargo run --release -p adamove-bench --bin table3_efficiency
 //!         [--scale small|paper] [--seed N] [--city ...] [--quick] [--threads N]
-//!         [--metrics path.json]`
+//!         [--batch N] [--metrics path.json]`
 //!
-//! Per-sample latencies measure compute cost and are thread-independent;
-//! the throughput / p50 / p99 lines reflect the `--threads` fan-out.
+//! AdaMove evaluates through the batched device path (`--batch` same-length
+//! samples fused per forward; bit-identical to per-sample by the testkit
+//! oracles), DeepTTA through the per-sample path — so the Table III
+//! latency gap reflects both the architectural saving (no history encode)
+//! and the serving-path batching AdaMove's recent-only design enables.
+//! Per-sample latencies measure compute cost; the throughput / p50 / p99
+//! lines reflect the `--threads` fan-out and `--batch` fusion.
 //! Serving telemetry (per-phase latency percentiles, throughput, thread
 //! count) is exported through the obs registry to `--metrics`, defaulting
 //! to `BENCH_serving.json` at the workspace root.
 
 use adamove::{
-    evaluate_fn_par, evaluate_par, shard_of, AdaMoveConfig, Disturbance, EncoderKind, EngineConfig,
-    EvalOutcome, FaultAction, InferenceMode, LightMob, Metrics, Ptta, PttaConfig, RecoveryConfig,
-    RequestKind, ShardedEngine,
+    evaluate_batched, evaluate_fn_par, shard_of, AdaMoveConfig, Disturbance, EncoderKind,
+    EngineConfig, EvalOutcome, FaultAction, InferenceMode, LightMob, Metrics, Ptta, PttaConfig,
+    RecoveryConfig, RequestKind, ShardedEngine,
 };
 use adamove_autograd::ParamStore;
 use adamove_baselines::DeepMove;
@@ -151,12 +156,13 @@ fn main() {
         // AdaMove: LightMob + PTTA (recent-only inference).
         eprintln!("training AdaMove...");
         let ada = train_adamove(&city, EncoderKind::Lstm, &args, None);
-        let ada_out = evaluate_par(
+        let ada_out = evaluate_batched(
             &ada.model,
             &ada.store,
             &city.test,
             &InferenceMode::Ptta(PttaConfig::default()),
             args.threads,
+            args.batch,
         );
 
         // DeepTTA: DeepMove + PTTA (history encoded per test sample).
@@ -219,8 +225,9 @@ fn main() {
             dt_out.latency.row()
         );
         println!(
-            "AdaMove serving ({} threads): {}\n",
+            "AdaMove serving ({} threads, batch {}): {}\n",
             args.threads,
+            args.batch,
             ada_out.latency.row()
         );
 

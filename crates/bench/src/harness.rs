@@ -32,6 +32,14 @@ pub struct ExperimentArgs {
     /// flat-JSON exposition) is written. Binaries that emit telemetry
     /// default to `BENCH_serving.json` at the workspace root.
     pub metrics: Option<PathBuf>,
+    /// `--batch N` caps how many same-length samples each evaluation
+    /// worker fuses into one device-level forward (default 32; 1 disables
+    /// batching). 32 keeps a sub-batch's activations inside L1/L2 on the
+    /// measured hardware; larger batches start evicting the weight slab.
+    /// Like `--threads`, this changes only wall-clock: the batched path is
+    /// pinned bit-identical to per-sample evaluation by the
+    /// `adamove-testkit` differential oracles.
+    pub batch: usize,
 }
 
 impl ExperimentArgs {
@@ -44,6 +52,7 @@ impl ExperimentArgs {
             quick: false,
             threads: adamove::available_threads(),
             metrics: None,
+            batch: 32,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -88,7 +97,15 @@ impl ExperimentArgs {
                         args.get(i).expect("--metrics takes a file path"),
                     ));
                 }
-                other => panic!("unknown argument {other}; usage: [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick] [--threads N] [--metrics path.json]"),
+                "--batch" => {
+                    i += 1;
+                    out.batch = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .expect("--batch takes a positive integer");
+                }
+                other => panic!("unknown argument {other}; usage: [--scale small|paper] [--seed N] [--city nyc|tky|lymob] [--quick] [--threads N] [--batch N] [--metrics path.json]"),
             }
             i += 1;
         }

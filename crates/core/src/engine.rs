@@ -128,6 +128,12 @@ pub struct EngineConfig {
     /// degradation, PTTA breaker). `None` (the default) keeps the
     /// original fail-stop semantics: a dead shard stays dead.
     pub recovery: Option<RecoveryConfig>,
+    /// Maximum consecutive predicts a shard worker drains from its queue
+    /// into one batched forward pass (`1`, the default, keeps the
+    /// per-request path). Batching changes throughput only — each reply
+    /// carries bit-identical scores to an unbatched predict, and replies
+    /// still arrive in request order.
+    pub batch_max: usize,
 }
 
 impl Default for EngineConfig {
@@ -142,6 +148,7 @@ impl Default for EngineConfig {
             ptta: PttaConfig::default(),
             shutdown_deadline: Duration::from_secs(60),
             recovery: None,
+            batch_max: 1,
         }
     }
 }
@@ -518,6 +525,7 @@ struct WorkerContext {
     ptta: PttaConfig,
     context_sessions: usize,
     session_hours: i64,
+    batch_max: usize,
     disturbance: Option<Arc<dyn Disturbance>>,
     seq: Arc<AtomicU64>,
     degraded: Arc<AtomicBool>,
@@ -569,6 +577,7 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
         ptta,
         context_sessions,
         session_hours,
+        batch_max,
         disturbance,
         seq,
         degraded,
@@ -606,15 +615,27 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
         obs.users.set(sp.active_users() as f64);
     }
     let mut since_checkpoint: usize = 0;
+    // A request drained ahead of its turn by predict batching, with its
+    // already-consulted disturbance action. Processed before the channel
+    // is read again, so queue order is preserved.
+    let mut lookahead: Option<(Request, FaultAction, u64)> = None;
     // Ends when every sender is dropped (engine shutdown).
-    while let Ok(req) = rx.recv() {
-        obs.queue_depth.dec();
-        let kind = req.kind();
-        let s = seq.fetch_add(1, Ordering::Relaxed);
-        let action = disturbance
-            .as_deref()
-            .map(|d| d.action(shard, s, kind))
-            .unwrap_or(FaultAction::None);
+    loop {
+        let (req, action, s) = match lookahead.take() {
+            Some(pending) => pending,
+            None => {
+                let Ok(req) = rx.recv() else { break };
+                obs.queue_depth.dec();
+                let kind = req.kind();
+                let s = seq.fetch_add(1, Ordering::Relaxed);
+                let action = disturbance
+                    .as_deref()
+                    .map(|d| d.action(shard, s, kind))
+                    .unwrap_or(FaultAction::None);
+                (req, action, s)
+            }
+        };
+        let mut handled: usize = 1;
         match action {
             FaultAction::None => {}
             FaultAction::PanicShard => {
@@ -643,20 +664,52 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
                 obs.users.set(sp.active_users() as f64);
             }
             Request::Predict { user, now, reply } => {
-                let t0 = Instant::now();
-                let mut prediction = sp.predict(user, now);
-                if prediction.is_none() && degraded.load(Ordering::Relaxed) {
-                    if let Some(rec) = &recovery {
-                        prediction = Some(prior_prediction(&rec.prior));
-                        rec.degraded_predictions.inc();
+                // Drain consecutive predicts already waiting in the queue
+                // into one batched forward pass. A non-predict (or a
+                // disturbed request) ends the batch and is carried into
+                // the next iteration — queue order is never reordered.
+                let mut queries = vec![(user, now)];
+                let mut replies = vec![reply];
+                while queries.len() < batch_max {
+                    let Ok(next) = rx.try_recv() else { break };
+                    obs.queue_depth.dec();
+                    let kind = next.kind();
+                    let s = seq.fetch_add(1, Ordering::Relaxed);
+                    let next_action = disturbance
+                        .as_deref()
+                        .map(|d| d.action(shard, s, kind))
+                        .unwrap_or(FaultAction::None);
+                    match (next, next_action) {
+                        (Request::Predict { user, now, reply }, FaultAction::None) => {
+                            queries.push((user, now));
+                            replies.push(reply);
+                        }
+                        (other, other_action) => {
+                            lookahead = Some((other, other_action, s));
+                            break;
+                        }
                     }
                 }
-                obs.predict_latency.record(t0.elapsed().as_nanos() as u64);
-                obs.predicts.inc();
+                handled = queries.len();
+                let t0 = Instant::now();
+                let predictions = sp.predict_batch(&queries);
+                // Per-request latency is the batch's wall-clock split
+                // evenly; a batch of one reduces to the old timing.
+                let per_request_ns = t0.elapsed().as_nanos() as u64 / handled as u64;
                 obs.users.set(sp.active_users() as f64);
-                // A dropped reply receiver only means the caller gave up
-                // waiting; not fatal.
-                let _ = reply.send(prediction);
+                for (mut prediction, reply) in predictions.into_iter().zip(replies) {
+                    if prediction.is_none() && degraded.load(Ordering::Relaxed) {
+                        if let Some(rec) = &recovery {
+                            prediction = Some(prior_prediction(&rec.prior));
+                            rec.degraded_predictions.inc();
+                        }
+                    }
+                    obs.predict_latency.record(per_request_ns);
+                    obs.predicts.inc();
+                    // A dropped reply receiver only means the caller gave
+                    // up waiting; not fatal.
+                    let _ = reply.send(prediction);
+                }
             }
             Request::Flush(done) => {
                 obs.flushes.inc();
@@ -665,7 +718,7 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
         }
         if let Some(rec) = &recovery {
             if rec.checkpoint_interval > 0 {
-                since_checkpoint += 1;
+                since_checkpoint += handled;
                 if since_checkpoint >= rec.checkpoint_interval {
                     since_checkpoint = 0;
                     rec.checkpoints.save(
@@ -701,6 +754,7 @@ struct EngineInner {
     ptta: PttaConfig,
     context_sessions: usize,
     session_hours: i64,
+    batch_max: usize,
     disturbance: Option<Arc<dyn Disturbance>>,
     slots: Vec<ShardSlot>,
     shard_obs: Vec<ShardObs>,
@@ -758,6 +812,7 @@ impl EngineInner {
             ptta: self.ptta.clone(),
             context_sessions: self.context_sessions,
             session_hours: self.session_hours,
+            batch_max: self.batch_max,
             disturbance: self.disturbance.clone(),
             seq: Arc::clone(&self.slots[shard].seq),
             degraded: Arc::clone(&self.slots[shard].degraded),
@@ -954,6 +1009,7 @@ impl ShardedEngine {
             ptta: config.ptta.clone(),
             context_sessions: config.context_sessions,
             session_hours: config.session_hours,
+            batch_max: config.batch_max.max(1),
             disturbance,
             slots,
             shard_obs,
@@ -1282,6 +1338,71 @@ impl ShardedEngine {
         self.try_predict(user, now).expect("engine shard died")
     }
 
+    /// Predict for many `(user, now)` queries at once. Every query is
+    /// enqueued on its owning shard *before* any reply is awaited, so a
+    /// shard configured with [`EngineConfig::batch_max`] `> 1` sees the
+    /// whole backlog and drains it in batched forward passes —
+    /// sequential [`ShardedEngine::predict`] calls keep each shard's
+    /// queue depth at one, which never batches.
+    ///
+    /// Results come back in query order; entry `i` is exactly what
+    /// [`ShardedEngine::try_predict`] would return for `queries[i]`
+    /// (bit-identical scores, same retry/heal behaviour on shard
+    /// failure).
+    pub fn predict_many(
+        &self,
+        queries: &[(UserId, Timestamp)],
+    ) -> Vec<Result<Option<StreamPrediction>, EngineError>> {
+        let pending: Vec<_> = queries
+            .iter()
+            .map(|&(user, now)| {
+                let shard = self.shard_of(user);
+                match self.send_predict(shard, user, now) {
+                    Ok(rx) => (shard, Ok(rx)),
+                    Err(err) => (shard, Err(err)),
+                }
+            })
+            .collect();
+        pending
+            .into_iter()
+            .zip(queries)
+            .map(|((shard, sent), &(user, now))| match sent {
+                Ok(rx) => match rx.recv() {
+                    Ok(prediction) => Ok(prediction),
+                    Err(_) => {
+                        self.inner.shard_down_errors.inc();
+                        self.retry_predict(shard, user, now, EngineError::ShardDown { shard })
+                    }
+                },
+                Err(err) => self.retry_predict(shard, user, now, err),
+            })
+            .collect()
+    }
+
+    /// Retry tail shared by [`ShardedEngine::predict_many`]: heal the
+    /// shard between attempts like [`ShardedEngine::try_predict`] does,
+    /// starting from an already-failed first attempt.
+    fn retry_predict(
+        &self,
+        shard: usize,
+        user: UserId,
+        now: Timestamp,
+        first_err: EngineError,
+    ) -> Result<Option<StreamPrediction>, EngineError> {
+        let mut attempt = 0u32;
+        let mut err = first_err;
+        loop {
+            if !self.backoff_and_heal(shard, attempt) {
+                return Err(err);
+            }
+            attempt += 1;
+            match self.predict_once(shard, user, now, None) {
+                Ok(p) => return Ok(p),
+                Err(e) => err = e,
+            }
+        }
+    }
+
     /// Barrier: returns once every *live* shard has drained all requests
     /// enqueued before this call. Dead shards are skipped — a flush never
     /// hangs on a casualty.
@@ -1562,6 +1683,56 @@ mod tests {
         assert_eq!(report.degraded_predictions, 0);
         assert!(report.requests_per_sec() > 0.0);
         assert!(!report.row().is_empty());
+    }
+
+    #[test]
+    fn batched_engine_matches_unbatched_predictions() {
+        let (store, m) = model(8, 6);
+        let mk = |batch_max: usize| {
+            ShardedEngine::new(
+                Arc::clone(&m),
+                Arc::clone(&store),
+                EngineConfig {
+                    shards: 2,
+                    context_sessions: 2,
+                    session_hours: 24,
+                    batch_max,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let batched = mk(8);
+        let unbatched = mk(1);
+        for step in 0..10i64 {
+            for u in 0..6u32 {
+                let p = pt((u * 2 + step as u32) % 8, step);
+                batched.observe(UserId(u), p);
+                unbatched.observe(UserId(u), p);
+            }
+        }
+        // Drain the observes so the queues hold only the predict burst —
+        // the drain then sees consecutive predicts and batches them.
+        batched.flush();
+        unbatched.flush();
+        let now = Timestamp::from_hours(11);
+        let queries: Vec<(UserId, Timestamp)> = (0..6u32).map(|u| (UserId(u), now)).collect();
+        let many = batched.predict_many(&queries);
+        for (i, &(u, t)) in queries.iter().enumerate() {
+            let a = many[i]
+                .as_ref()
+                .expect("shard alive")
+                .as_ref()
+                .expect("live window");
+            let b = unbatched.predict(u, t).expect("live window");
+            assert_eq!(a.scores, b.scores, "user {}", u.0);
+            assert_eq!(a.top, b.top, "user {}", u.0);
+            assert_eq!(a.window_len, b.window_len, "user {}", u.0);
+            assert_eq!(a.quality, PredictionQuality::Adapted);
+        }
+        let report = batched.shutdown();
+        assert_eq!(report.predictions, 6);
+        assert!(report.healthy());
+        unbatched.shutdown();
     }
 
     #[test]

@@ -49,9 +49,10 @@ impl LatencyProfile {
 
     /// Build from an observability histogram of per-sample latencies in
     /// nanoseconds (see [`adamove_obs::Histogram`]) and the run's total
-    /// wall-clock time. The sample count is exact; percentiles are the
-    /// histogram's bucket upper bounds (±30% resolution), which keeps the
-    /// hot path free of per-sample `Vec` pushes.
+    /// wall-clock time. The sample count is exact; percentiles
+    /// interpolate on rank within the holding bucket (see
+    /// [`adamove_obs::HistogramSnapshot::percentile`]), which keeps the
+    /// hot path free of per-sample `Vec` pushes at bucket resolution.
     pub fn from_histogram(hist: &adamove_obs::HistogramSnapshot, total: Duration) -> Self {
         if hist.count == 0 {
             return Self::empty();
@@ -72,10 +73,19 @@ impl LatencyProfile {
     /// Build from raw per-sample latencies (nanoseconds) and the run's
     /// total wall-clock time. Percentiles use the nearest-rank method.
     pub fn from_nanos(mut latencies: Vec<u64>, total: Duration) -> Self {
+        latencies.sort_unstable();
+        Self::from_sorted(&latencies, total)
+    }
+
+    /// [`LatencyProfile::from_nanos`] for latencies already sorted
+    /// ascending — borrows the buffer instead of consuming it, so callers
+    /// that keep the raw latencies around (see
+    /// [`EvalOutcome::latencies_ns`]) don't pay a copy.
+    pub fn from_sorted(latencies: &[u64], total: Duration) -> Self {
         if latencies.is_empty() {
             return Self::empty();
         }
-        latencies.sort_unstable();
+        debug_assert!(latencies.is_sorted());
         let n = latencies.len();
         let pick = |q: f64| -> f64 {
             let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
@@ -122,9 +132,9 @@ pub struct EvalOutcome {
     pub total_time: Duration,
     /// Per-sample latency percentiles and wall-clock throughput.
     pub latency: LatencyProfile,
-    /// Raw per-sample latencies in nanoseconds (unsorted, submission
-    /// order per chunk) — lets callers feed an [`adamove_obs::Histogram`]
-    /// or recompute percentiles at other quantiles.
+    /// Raw per-sample latencies in nanoseconds, sorted ascending — lets
+    /// callers feed an [`adamove_obs::Histogram`] or recompute percentiles
+    /// at other quantiles.
     pub latencies_ns: Vec<u64>,
 }
 
@@ -145,17 +155,20 @@ fn score_chunk(
 }
 
 /// Assemble an outcome from an accumulator and its per-sample timings.
-fn outcome(acc: &MetricAccumulator, latencies: Vec<u64>, total_time: Duration) -> EvalOutcome {
+fn outcome(acc: &MetricAccumulator, mut latencies: Vec<u64>, total_time: Duration) -> EvalOutcome {
     let avg_latency_us = if latencies.is_empty() {
         0.0
     } else {
         latencies.iter().sum::<u64>() as f64 / 1_000.0 / latencies.len() as f64
     };
+    // Sort once; the profile borrows the buffer and the outcome then takes
+    // ownership of it — no copy of the latency vector is made.
+    latencies.sort_unstable();
     EvalOutcome {
         metrics: acc.finish(),
         avg_latency_us,
         total_time,
-        latency: LatencyProfile::from_nanos(latencies.clone(), total_time),
+        latency: LatencyProfile::from_sorted(&latencies, total_time),
         latencies_ns: latencies,
     }
 }
@@ -284,6 +297,102 @@ pub fn evaluate_par(
     }
 }
 
+/// Score one chunk with a batched scorer: samples are bucketed by
+/// `recent.len()` (the batched encoder wants one shared sequence length),
+/// scored in sub-batches of at most `batch`, and observed sub-batch by
+/// sub-batch while the score vectors are still cache-hot.
+///
+/// Observation order does not matter for bit-identity: the accumulator is
+/// an exact integer rank histogram (see [`MetricAccumulator::merge`]), so
+/// bucketed order produces the same metrics as the per-sample path's
+/// original order — and skipping the reorder avoids buffering every score
+/// vector (`chunk x num_locations` floats) for a second, cache-cold pass.
+///
+/// Per-sample latency inside a sub-batch is the batch's wall-clock divided
+/// evenly — individual samples are not timed separately (that is the point
+/// of batching).
+fn score_chunk_batched(
+    chunk: &[Sample],
+    batch: usize,
+    score_batch: impl Fn(&[&Sample]) -> Vec<Vec<f32>>,
+) -> (MetricAccumulator, Vec<u64>) {
+    let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, s) in chunk.iter().enumerate() {
+        buckets.entry(s.recent.len()).or_default().push(i);
+    }
+    let mut acc = MetricAccumulator::new();
+    let mut latencies = vec![0u64; chunk.len()];
+    for idxs in buckets.values() {
+        for sub in idxs.chunks(batch) {
+            let refs: Vec<&Sample> = sub.iter().map(|&i| &chunk[i]).collect();
+            let t0 = Stopwatch::start();
+            let out = score_batch(&refs);
+            let per_sample_ns = t0.elapsed_ns() / sub.len() as u64;
+            for (&i, sc) in sub.iter().zip(out) {
+                acc.observe(&sc, chunk[i].target.index());
+                latencies[i] = per_sample_ns;
+            }
+        }
+    }
+    (acc, latencies)
+}
+
+/// Batched [`evaluate_par`]: drains `samples` through the model's
+/// `forward_batch` paths, up to `batch` samples per forward pass, with up
+/// to `threads` workers over contiguous chunks.
+///
+/// The batched kernels are pinned bit-identical per sample to the
+/// per-sample path (see `adamove_tensor::device`), and each chunk observes
+/// its samples in original order, so **metrics are bit-identical to
+/// [`evaluate_par`]** for any `batch`/`threads` combination — the testkit
+/// differential oracles enforce this. Only the latency accounting differs:
+/// a sub-batch's wall-clock is split evenly across its samples.
+///
+/// `batch <= 1` falls back to [`evaluate_par`] exactly; `T3a` is stateful
+/// across the stream and always runs sequentially, unbatched.
+pub fn evaluate_batched(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    mode: &InferenceMode,
+    threads: usize,
+    batch: usize,
+) -> EvalOutcome {
+    if batch <= 1 || matches!(mode, InferenceMode::T3a(_)) {
+        return evaluate_par(model, store, samples, mode, threads);
+    }
+    let start = Stopwatch::start();
+    let parts = match mode {
+        InferenceMode::Frozen => par_map_chunks(samples, threads, |chunk| {
+            score_chunk_batched(chunk, batch, |refs| {
+                let items: Vec<(&[adamove_mobility::Point], adamove_mobility::UserId)> =
+                    refs.iter().map(|s| (s.recent.as_slice(), s.user)).collect();
+                model.predict_scores_batch(store, &items)
+            })
+        }),
+        InferenceMode::Ptta(cfg) => {
+            let ptta = Ptta::new(cfg.clone());
+            par_map_chunks(samples, threads, |chunk| {
+                score_chunk_batched(chunk, batch, |refs| {
+                    ptta.predict_scores_batch(model, store, refs)
+                })
+            })
+        }
+        // Unreachable: T3a took the fallback return above. An empty part
+        // list (empty outcome) keeps this arm panic-free regardless.
+        InferenceMode::T3a(_) => Vec::new(),
+    };
+    let total_time = start.elapsed();
+    let mut acc = MetricAccumulator::new();
+    let mut latencies = Vec::with_capacity(samples.len());
+    for (part, lat) in parts {
+        acc.merge(&part);
+        latencies.extend(lat);
+    }
+    outcome(&acc, latencies, total_time)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +479,32 @@ mod tests {
     }
 
     #[test]
+    fn batched_evaluation_is_bit_identical_to_per_sample() {
+        let (store, m) = model();
+        // Mixed sequence lengths force the length-bucketing path.
+        let mut s = samples(23);
+        for (i, smp) in s.iter_mut().enumerate() {
+            smp.recent.truncate(1 + (i % 3));
+        }
+        for mode in [
+            InferenceMode::Frozen,
+            InferenceMode::Ptta(PttaConfig::default()),
+        ] {
+            let seq = evaluate_par(&m, &store, &s, &mode, 1);
+            for (threads, batch) in [(1, 4), (2, 7), (3, 64), (2, 1)] {
+                let out = evaluate_batched(&m, &store, &s, &mode, threads, batch);
+                assert_eq!(out.metrics, seq.metrics, "threads={threads} batch={batch}");
+            }
+        }
+        // T3a is stream-stateful: the batched entry point falls back to
+        // the sequential path and must match it exactly.
+        let mode = InferenceMode::T3a(T3aConfig::default());
+        let a = evaluate_par(&m, &store, &s, &mode, 1);
+        let b = evaluate_batched(&m, &store, &s, &mode, 4, 8);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
     fn t3a_ignores_thread_count_and_stays_sequential() {
         // T3A's adapter state depends on stream order; the parallel entry
         // point must produce the same (sequential) result for any budget.
@@ -413,7 +548,8 @@ mod tests {
         }
         let p = LatencyProfile::from_histogram(&h.snapshot(), Duration::from_secs(1));
         assert_eq!(p.samples, 100);
-        // Percentiles are bucket upper bounds: at or above the exact value.
+        // Rank interpolation within the holding bucket: at bucket
+        // resolution, never below the bucket's lower bound.
         assert!(p.p50_us >= 50.0);
         assert!(p.p99_us >= p.p50_us);
         assert!((p.throughput - 100.0).abs() < 1e-9);

@@ -86,8 +86,8 @@ pub use engine::{
     RequestKind, ShardSnapshot, ShardedEngine, ShutdownError,
 };
 pub use eval::{
-    evaluate, evaluate_by, evaluate_by_par, evaluate_fn, evaluate_fn_par, evaluate_par,
-    EvalOutcome, InferenceMode, LatencyProfile,
+    evaluate, evaluate_batched, evaluate_by, evaluate_by_par, evaluate_fn, evaluate_fn_par,
+    evaluate_par, EvalOutcome, InferenceMode, LatencyProfile,
 };
 pub use kb::{HeapTopM, LinearTopM, TopM};
 pub use lightmob::LightMob;

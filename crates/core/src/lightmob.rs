@@ -213,6 +213,157 @@ impl LightMob {
         let h = self.encode_all(&mut g, points, user);
         g.value(h).clone()
     }
+
+    // ---- batched inference (`forward_batch` paths) ------------------------
+    //
+    // All entry points below take same-length sequences (callers bucket by
+    // length) and run them through the encoder in one weight pass per op:
+    // each weight matrix streams through cache once per *batch* instead of
+    // once per sample. The device kernels accumulate every output row
+    // independently in the same reduction order as the per-sample path, so
+    // sample `s` of any batched result is bit-identical to the per-sample
+    // entry point on that sample — the testkit differential oracles pin
+    // this.
+
+    /// Batched [`LightMob::predict_scores`]: frozen next-location logits
+    /// for `items` (same-length `(points, user)` pairs), one `L`-vector
+    /// per item.
+    pub fn predict_scores_batch(
+        &self,
+        store: &ParamStore,
+        items: &[(&[Point], UserId)],
+    ) -> Vec<Vec<f32>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new(store);
+        let last = match self.encode_batch(&mut g, items) {
+            BatchHiddens::Steps(steps) => *steps.last().expect("non-empty sequence"),
+            BatchHiddens::Stacked(h) => {
+                let seq_len = items[0].0.len();
+                let rows: Vec<Var> = (0..items.len())
+                    .map(|s| g.row(h, s * seq_len + seq_len - 1))
+                    .collect();
+                if rows.len() == 1 {
+                    rows[0]
+                } else {
+                    g.concat_rows(&rows)
+                }
+            }
+        };
+        let logits = self.logits(&mut g, last);
+        let lv = g.value(logits);
+        (0..items.len()).map(|s| lv.row(s).to_vec()).collect()
+    }
+
+    /// Batched [`LightMob::prefix_hidden_states`]: one `seq_len x hidden`
+    /// pattern matrix per item (all items share `seq_len`).
+    pub fn prefix_hidden_states_batch(
+        &self,
+        store: &ParamStore,
+        items: &[(&[Point], UserId)],
+    ) -> Vec<Matrix> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let seq_len = items[0].0.len();
+        let hidden = self.config.hidden;
+        let mut g = Graph::new(store);
+        match self.encode_batch(&mut g, items) {
+            BatchHiddens::Steps(steps) => (0..items.len())
+                .map(|s| {
+                    let mut m = Matrix::zeros(seq_len, hidden);
+                    for (t, &step) in steps.iter().enumerate() {
+                        m.row_mut(t).copy_from_slice(g.value(step).row(s));
+                    }
+                    m
+                })
+                .collect(),
+            BatchHiddens::Stacked(h) => {
+                let hv = g.value(h);
+                (0..items.len())
+                    .map(|s| {
+                        let mut m = Matrix::zeros(seq_len, hidden);
+                        for t in 0..seq_len {
+                            m.row_mut(t).copy_from_slice(hv.row(s * seq_len + t));
+                        }
+                        m
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Run the encoder over a batch of same-length sequences.
+    ///
+    /// Recurrent encoders step time-major (`steps[t]` is `batch x hidden`,
+    /// row `s` = item `s`); the Transformer works on the sample-major
+    /// stacking (`(batch * seq_len) x hidden`).
+    fn encode_batch(&self, g: &mut Graph, items: &[(&[Point], UserId)]) -> BatchHiddens {
+        let seq_len = items[0].0.len();
+        assert!(seq_len > 0, "LightMob::encode_batch: empty sequence");
+        assert!(
+            items.iter().all(|(pts, _)| pts.len() == seq_len),
+            "LightMob::encode_batch: items must share one sequence length"
+        );
+        match &self.encoder {
+            EncoderImpl::Recurrent(rec) => {
+                let steps: Vec<Var> = (0..seq_len)
+                    .map(|t| {
+                        let locs: Vec<u32> = items.iter().map(|(pts, _)| pts[t].loc.0).collect();
+                        let times: Vec<u32> = items
+                            .iter()
+                            .map(|(pts, _)| time_code(pts[t].time))
+                            .collect();
+                        let users: Vec<u32> = items.iter().map(|(_, u)| u.0).collect();
+                        let le = self.loc_emb.forward(g, &locs);
+                        let te = self.time_emb.forward(g, &times);
+                        let ue = self.user_emb.forward(g, &users);
+                        g.concat_cols(&[le, te, ue])
+                    })
+                    .collect();
+                BatchHiddens::Steps(rec.encode_steps(g, &steps))
+            }
+            EncoderImpl::Transformer { input_proj, layers } => {
+                let locs: Vec<u32> = items
+                    .iter()
+                    .flat_map(|(pts, _)| pts.iter().map(|p| p.loc.0))
+                    .collect();
+                let times: Vec<u32> = items
+                    .iter()
+                    .flat_map(|(pts, _)| pts.iter().map(|p| time_code(p.time)))
+                    .collect();
+                let users: Vec<u32> = items
+                    .iter()
+                    .flat_map(|(_, u)| std::iter::repeat_n(u.0, seq_len))
+                    .collect();
+                let le = self.loc_emb.forward(g, &locs);
+                let te = self.time_emb.forward(g, &times);
+                let ue = self.user_emb.forward(g, &users);
+                let x = g.concat_cols(&[le, te, ue]);
+                let projected = input_proj.forward(g, x);
+                // Tile the per-sample positional encoding over the batch.
+                let pe = positional_encoding(seq_len, self.config.hidden);
+                let pe_tiled =
+                    Matrix::from_fn(items.len() * seq_len, self.config.hidden, |r, c| {
+                        pe.get(r % seq_len, c)
+                    });
+                let pe_var = g.constant(pe_tiled);
+                let mut h = g.add(projected, pe_var);
+                for layer in layers {
+                    h = layer.forward_causal_batch(g, h, items.len(), seq_len);
+                }
+                BatchHiddens::Stacked(h)
+            }
+        }
+    }
+}
+
+/// Batched encoder output: per-step `batch x hidden` vars (recurrent) or
+/// one sample-major `(batch * seq_len) x hidden` var (Transformer).
+enum BatchHiddens {
+    Steps(Vec<Var>),
+    Stacked(Var),
 }
 
 #[cfg(test)]
@@ -316,6 +467,53 @@ mod tests {
         let (store, model) = build(EncoderKind::Lstm);
         let mut g = Graph::new(&store);
         model.embed(&mut g, &[], UserId(0));
+    }
+
+    #[test]
+    fn batched_paths_are_bit_identical_to_per_sample() {
+        // The whole batching contract: row `s` of any batched entry point
+        // must carry the exact bits the per-sample path produces.
+        for kind in [
+            EncoderKind::Rnn,
+            EncoderKind::Gru,
+            EncoderKind::Lstm,
+            EncoderKind::Transformer,
+        ] {
+            let (store, model) = build(kind);
+            let seqs: Vec<Vec<Point>> = (0..3)
+                .map(|s| {
+                    (0..4)
+                        .map(|i| {
+                            Point::new(
+                                ((s * 3 + i * 2) % 5) as u32,
+                                Timestamp::from_hours((s * 7 + i * 5) as i64),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let items: Vec<(&[Point], UserId)> = seqs
+                .iter()
+                .enumerate()
+                .map(|(s, pts)| (pts.as_slice(), UserId((s % 4) as u32)))
+                .collect();
+            let scores = model.predict_scores_batch(&store, &items);
+            let patterns = model.prefix_hidden_states_batch(&store, &items);
+            for (s, (pts, user)) in items.iter().enumerate() {
+                let solo = model.predict_scores(&store, pts, *user);
+                let bits = |xs: &[f32]| xs.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&solo), bits(&scores[s]), "{kind:?} scores, sample {s}");
+                let solo_h = model.prefix_hidden_states(&store, pts, *user);
+                assert_eq!(
+                    bits(solo_h.as_slice()),
+                    bits(patterns[s].as_slice()),
+                    "{kind:?} patterns, sample {s}"
+                );
+            }
+            // A batch of one exercises the single-row concat short-cut.
+            let one = model.predict_scores_batch(&store, &items[..1]);
+            assert_eq!(one[0], scores[0], "{kind:?} batch of one");
+        }
     }
 
     #[test]

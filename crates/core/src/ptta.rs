@@ -42,6 +42,14 @@ pub trait TtaModel {
     /// `N x D` matrix; row `k` is the classifier input for the prefix
     /// `recent[0..=k]` of `sample`.
     fn patterns(&self, store: &ParamStore, sample: &Sample) -> Matrix;
+    /// Pattern matrices for a batch of samples, in order. Row `s` of the
+    /// result must be bit-identical to `patterns(store, samples[s])` —
+    /// implementations may only batch work that preserves per-sample
+    /// reduction order (see `adamove_tensor::device`). The default is the
+    /// per-sample loop.
+    fn patterns_batch(&self, store: &ParamStore, samples: &[&Sample]) -> Vec<Matrix> {
+        samples.iter().map(|s| self.patterns(store, s)).collect()
+    }
     /// The classification weight `Θ ∈ R^{D x L}`.
     fn theta_param(&self) -> ParamId;
     /// The classification bias, if any (`1 x L`; frozen by PTTA).
@@ -51,6 +59,27 @@ pub trait TtaModel {
 impl TtaModel for LightMob {
     fn patterns(&self, store: &ParamStore, sample: &Sample) -> Matrix {
         self.prefix_hidden_states(store, &sample.recent, sample.user)
+    }
+
+    fn patterns_batch(&self, store: &ParamStore, samples: &[&Sample]) -> Vec<Matrix> {
+        // The batched encoder wants one shared sequence length, so bucket
+        // by `recent.len()` and scatter results back into input order.
+        let mut buckets: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, s) in samples.iter().enumerate() {
+            buckets.entry(s.recent.len()).or_default().push(i);
+        }
+        let mut out = vec![Matrix::zeros(0, 0); samples.len()];
+        for idxs in buckets.into_values() {
+            let items: Vec<(&[adamove_mobility::Point], adamove_mobility::UserId)> = idxs
+                .iter()
+                .map(|&i| (samples[i].recent.as_slice(), samples[i].user))
+                .collect();
+            let hiddens = self.prefix_hidden_states_batch(store, &items);
+            for (i, m) in idxs.into_iter().zip(hiddens) {
+                out[i] = m;
+            }
+        }
+        out
     }
 
     fn theta_param(&self) -> ParamId {
@@ -216,14 +245,10 @@ impl Ptta {
         // encodes recent[0..=k]; the pattern for prefix length k+1 is
         // labelled with recent[k+1].loc.
         let hiddens = model.patterns(store, sample);
-        let n = hiddens.rows();
-        let h_test = hiddens.row(n - 1);
-
         let theta = store.value(model.theta_param()); // D x L
-        let num_locations = theta.cols();
 
         // Base scores: h_test Θ (+ bias).
-        let h_row = Matrix::stack_rows(&[h_test]);
+        let h_row = Matrix::stack_rows(&[hiddens.row(hiddens.rows() - 1)]);
         let mut scores = h_row
             .matmul(theta)
             // lint:allow(panic-path): hidden width == Θ rows is a model-construction invariant, not a runtime condition
@@ -234,6 +259,64 @@ impl Ptta {
                 *s += b;
             }
         }
+        self.adapt_scores(sample, &hiddens, theta, scores, t0)
+    }
+
+    /// Batched [`Ptta::predict_scores`]: Algorithm 1 for several samples in
+    /// one pass. Pattern generation goes through
+    /// [`TtaModel::patterns_batch`] and the base scores through one stacked
+    /// `gemm`, so every weight matrix streams through cache once per batch;
+    /// the adaptation steps (2–3) stay per sample. Entry `s` is
+    /// bit-identical to `predict_scores(model, store, samples[s])`.
+    ///
+    /// When obs is attached, `ptta_adapt_latency_ns` covers each sample's
+    /// own adaptation step; the shared pattern-generation pass is not
+    /// attributed to individual samples.
+    pub fn predict_scores_batch<M: TtaModel>(
+        &self,
+        model: &M,
+        store: &ParamStore,
+        samples: &[&Sample],
+    ) -> Vec<Vec<f32>> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let patterns = model.patterns_batch(store, samples);
+        let theta = store.value(model.theta_param());
+        let h_tests: Vec<&[f32]> = patterns.iter().map(|m| m.row(m.rows() - 1)).collect();
+        let stacked = Matrix::stack_rows(&h_tests);
+        let bias = model.bias_param().map(|b| store.value(b));
+        // One (B x D) @ (D x L) pass with the bias fused at the tile store
+        // — bit-identical per row to the per-sample matmul-plus-bias.
+        let base = adamove_tensor::cpu()
+            .gemm(&stacked, theta, bias)
+            // lint:allow(panic-path): hidden width == Θ rows is a model-construction invariant, not a runtime condition
+            .expect("ptta: hidden/theta shape mismatch");
+        samples
+            .iter()
+            .zip(&patterns)
+            .enumerate()
+            .map(|(s, (sample, hiddens))| {
+                let t0 = self.obs.as_ref().map(|_| Stopwatch::start());
+                self.adapt_scores(sample, hiddens, theta, base.row(s).to_vec(), t0)
+            })
+            .collect()
+    }
+
+    /// Steps 2–3 of Algorithm 1 on precomputed patterns and base scores —
+    /// the shared tail of [`Ptta::predict_scores`] and
+    /// [`Ptta::predict_scores_batch`].
+    fn adapt_scores(
+        &self,
+        sample: &Sample,
+        hiddens: &Matrix,
+        theta: &Matrix,
+        mut scores: Vec<f32>,
+        t0: Option<Stopwatch>,
+    ) -> Vec<f32> {
+        let n = hiddens.rows();
+        let h_test = hiddens.row(n - 1);
+        let num_locations = theta.cols();
         if n < 2 {
             // No proper prefixes -> no patterns -> unadapted prediction.
             if let Some(obs) = &self.obs {
@@ -531,6 +614,30 @@ mod tests {
         let (peaked, peaked_conf) = score_drift_signal(&[10.0, 0.0, 0.0, 0.0]);
         assert!(peaked < uniform);
         assert!(peaked_conf > 9_000);
+    }
+
+    #[test]
+    fn batched_predict_scores_is_bit_identical_to_per_sample() {
+        let (store, m) = model();
+        // Mixed lengths (including a single-point fallback sample) force
+        // the length-bucketing path in `patterns_batch`.
+        let samples = [
+            sample(&[1, 2, 1, 2, 3], 4),
+            sample(&[3], 5),
+            sample(&[7, 7, 7, 7, 7], 7),
+            sample(&[2, 1, 3, 1, 2], 4),
+            sample(&[1, 2, 3], 4),
+        ];
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let ptta = Ptta::default();
+        let batched = ptta.predict_scores_batch(&m, &store, &refs);
+        assert_eq!(batched.len(), samples.len());
+        for (i, s) in samples.iter().enumerate() {
+            let solo = ptta.predict_scores(&m, &store, s);
+            let bits = |xs: &[f32]| xs.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&solo), bits(&batched[i]), "sample {i}");
+        }
+        assert!(ptta.predict_scores_batch(&m, &store, &[]).is_empty());
     }
 
     #[test]

@@ -328,6 +328,78 @@ impl<'m> StreamingPredictor<'m> {
         })
     }
 
+    /// Batched [`StreamingPredictor::predict`]: answer several queries in
+    /// one adaptation pass over the model's `forward_batch` paths. Entry
+    /// `i` is bit-identical to calling `predict(queries[i].0,
+    /// queries[i].1)` in sequence — window ageing runs in query order and
+    /// the batched scorer is pinned to the per-sample path.
+    ///
+    /// Falls back to the sequential path when a circuit breaker is
+    /// attached: the breaker consumes each prediction's drift signal in
+    /// stream order, which is incompatible with scoring ahead of it.
+    pub fn predict_batch(
+        &mut self,
+        queries: &[(UserId, Timestamp)],
+    ) -> Vec<Option<StreamPrediction>> {
+        if self.breaker.is_some() {
+            return queries.iter().map(|&(u, t)| self.predict(u, t)).collect();
+        }
+        // Window prep is stateful (eviction), so it runs sequentially in
+        // query order; only the scoring is batched.
+        let mut samples: Vec<Option<Sample>> = Vec::with_capacity(queries.len());
+        for &(user, now) in queries {
+            let Some(window) = self.windows.get_mut(&user) else {
+                if let Some(o) = &self.obs {
+                    o.predict_empty.inc();
+                }
+                samples.push(None);
+                continue;
+            };
+            let evicted = window.evict_before(now);
+            if evicted > 0 {
+                if let Some(o) = &self.obs {
+                    o.window_evictions.add(evicted as u64);
+                }
+            }
+            if window.is_empty() {
+                if let Some(o) = &self.obs {
+                    o.predict_empty.inc();
+                }
+                samples.push(None);
+                continue;
+            }
+            samples.push(Some(Sample {
+                user,
+                recent: window.points().to_vec(),
+                history: vec![],
+                target: LocationId(0),
+                target_time: now,
+            }));
+        }
+        let live: Vec<&Sample> = samples.iter().flatten().collect();
+        let mut scored = self
+            .ptta
+            .predict_scores_batch(self.model, self.store, &live)
+            .into_iter();
+        samples
+            .iter()
+            .map(|slot| {
+                let sample = slot.as_ref()?;
+                let scores = scored.next()?;
+                let top = LocationId(adamove_tensor::matrix::argmax(&scores) as u32);
+                if let Some(o) = &self.obs {
+                    o.predict_hits.inc();
+                }
+                Some(StreamPrediction {
+                    window_len: sample.recent.len(),
+                    scores,
+                    top,
+                    quality: PredictionQuality::Adapted,
+                })
+            })
+            .collect()
+    }
+
     /// Score one sample, routing through the circuit breaker when one is
     /// attached. Serving frozen means scoring with the unadapted model —
     /// exactly the frozen Θ baseline, since PTTA never mutates the store.
@@ -451,6 +523,46 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn window_rejects_zero_config() {
         RecentWindow::new(0, 24);
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_predictions() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 6, 3, &mut rng);
+        let feed = |sp: &mut StreamingPredictor| {
+            sp.observe(UserId(0), pt(1, 0));
+            sp.observe(UserId(0), pt(2, 2));
+            sp.observe(UserId(0), pt(4, 3));
+            sp.observe(UserId(1), pt(3, 1));
+            sp.observe(UserId(2), pt(5, 40));
+        };
+        let queries = [
+            (UserId(0), Timestamp::from_hours(4)),
+            (UserId(7), Timestamp::from_hours(4)), // unknown user
+            (UserId(1), Timestamp::from_hours(4)),
+            (UserId(2), Timestamp::from_hours(500)), // fully aged window
+            (UserId(0), Timestamp::from_hours(5)),   // repeat user
+        ];
+        let mut a = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        feed(&mut a);
+        let batched = a.predict_batch(&queries);
+        let mut b = StreamingPredictor::new(&model, &store, PttaConfig::default(), 2, 24);
+        feed(&mut b);
+        let sequential: Vec<_> = queries.iter().map(|&(u, t)| b.predict(u, t)).collect();
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (x, y)) in batched.iter().zip(&sequential).enumerate() {
+            match (x, y) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.scores, y.scores, "query {i}");
+                    assert_eq!(x.top, y.top, "query {i}");
+                    assert_eq!(x.window_len, y.window_len, "query {i}");
+                    assert_eq!(x.quality, y.quality, "query {i}");
+                }
+                _ => panic!("query {i}: presence mismatch"),
+            }
+        }
     }
 
     #[test]

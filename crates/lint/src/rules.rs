@@ -69,6 +69,10 @@ const PANIC_FREE_FILES: &[&str] = &[
     "crates/core/src/streaming.rs",
     "crates/core/src/recovery.rs",
     "crates/core/src/ptta.rs",
+    // The batched forward path runs inside shard workers, so the device
+    // kernels and the batch-capable layers are serving-path too.
+    "crates/tensor/src/device.rs",
+    "crates/nn/src/layers.rs",
 ];
 
 const PANIC_PATTERNS: &[&str] = &[

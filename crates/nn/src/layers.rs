@@ -100,9 +100,10 @@ impl Embedding {
 /// State threading through an LSTM: `(hidden, cell)`.
 #[derive(Debug, Clone, Copy)]
 pub struct LstmState {
-    /// Hidden state `1 x hidden`.
+    /// Hidden state `batch x hidden` (one row per sequence; `1 x hidden`
+    /// on the per-sample path).
     pub h: Var,
-    /// Cell state `1 x hidden`.
+    /// Cell state `batch x hidden`.
     pub c: Var,
 }
 
@@ -259,15 +260,24 @@ impl LstmCell {
         }
     }
 
-    /// Zero initial state.
+    /// Zero initial state for a single sequence.
     pub fn zero_state(&self, g: &mut Graph) -> LstmState {
+        self.zero_state_batch(g, 1)
+    }
+
+    /// Zero initial state for `batch` sequences stepped together (one row
+    /// per sequence).
+    pub fn zero_state_batch(&self, g: &mut Graph, batch: usize) -> LstmState {
         LstmState {
-            h: g.constant(Matrix::zeros(1, self.hidden)),
-            c: g.constant(Matrix::zeros(1, self.hidden)),
+            h: g.constant(Matrix::zeros(batch, self.hidden)),
+            c: g.constant(Matrix::zeros(batch, self.hidden)),
         }
     }
 
-    /// One step; `x` is `1 x input`.
+    /// One step; `x` is `batch x input` and `state` holds matching
+    /// `batch x hidden` rows (`batch = 1` for the per-sample path). Every
+    /// op in the cell is row-wise, so row `s` of a batched step is
+    /// bit-identical to stepping sample `s` alone.
     pub fn step(&self, g: &mut Graph, x: Var, state: LstmState) -> LstmState {
         let gx = g.linear(self.w, Some(self.b), x);
         let gh = g.linear(self.u, None, state.h);
@@ -360,6 +370,46 @@ impl Recurrent {
         let last = g.value(all).rows() - 1;
         g.row(all, last)
     }
+
+    /// Batched stepping — the `forward_batch` path: `steps[t]` holds time
+    /// step `t` of every sequence as a `batch x input` var (row `s` =
+    /// sequence `s`), and the result is one `batch x hidden` var per step.
+    ///
+    /// All sequences must share the same length (callers bucket by length).
+    /// Row `s` of every output is bit-identical to running
+    /// [`Recurrent::encode_all`] on sequence `s` alone: the cells are
+    /// row-wise and the device kernels accumulate each output row
+    /// independently in the same `k` order, so batching amortises the
+    /// weight-matrix passes without changing a single bit.
+    pub fn encode_steps(&self, g: &mut Graph, steps: &[Var]) -> Vec<Var> {
+        assert!(!steps.is_empty(), "Recurrent::encode_steps: empty sequence");
+        let batch = g.value(steps[0]).rows();
+        let mut outputs = Vec::with_capacity(steps.len());
+        match self {
+            Recurrent::Rnn(cell) => {
+                let mut h = g.constant(Matrix::zeros(batch, cell.hidden()));
+                for &x in steps {
+                    h = cell.step(g, x, h);
+                    outputs.push(h);
+                }
+            }
+            Recurrent::Gru(cell) => {
+                let mut h = g.constant(Matrix::zeros(batch, cell.hidden()));
+                for &x in steps {
+                    h = cell.step(g, x, h);
+                    outputs.push(h);
+                }
+            }
+            Recurrent::Lstm(cell) => {
+                let mut state = cell.zero_state_batch(g, batch);
+                for &x in steps {
+                    state = cell.step(g, x, state);
+                    outputs.push(state.h);
+                }
+            }
+        }
+        outputs
+    }
 }
 
 /// Scaled dot-product multi-head attention.
@@ -441,6 +491,55 @@ impl MultiHeadAttention {
             g.concat_cols(&head_outs)
         };
         self.wo.forward(g, concat)
+    }
+
+    /// Batched causal self-attention — the `forward_batch` path. `x` is
+    /// `batch` same-length sequences stacked sample-major into
+    /// `(batch * seq_len) x dim`; the result has the same layout.
+    ///
+    /// The Q/K/V and output projections run as single whole-batch weight
+    /// passes (that is the speedup: each weight matrix streams once per
+    /// batch instead of once per sample), while the attention scores stay
+    /// per-sample blocks — which both avoids the O((batch*seq_len)^2)
+    /// score matrix and keeps every sample's rows bit-identical to
+    /// [`MultiHeadAttention::forward_masked`] on that sample alone.
+    pub fn forward_causal_batch(&self, g: &mut Graph, x: Var, batch: usize, seq_len: usize) -> Var {
+        debug_assert_eq!(g.value(x).rows(), batch * seq_len);
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let v = self.wv.forward(g, x);
+        let dk = self.dim / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mask = g.constant(causal_mask(seq_len));
+
+        let mut sample_outs = Vec::with_capacity(batch);
+        for s in 0..batch {
+            let qs = g.slice_rows(q, s * seq_len, seq_len);
+            let ks = g.slice_rows(k, s * seq_len, seq_len);
+            let vs = g.slice_rows(v, s * seq_len, seq_len);
+            let mut head_outs = Vec::with_capacity(self.heads);
+            for h in 0..self.heads {
+                let qh = g.slice_cols(qs, h * dk, dk);
+                let kh = g.slice_cols(ks, h * dk, dk);
+                let vh = g.slice_cols(vs, h * dk, dk);
+                let scores = g.matmul_nt(qh, kh);
+                let scaled = g.scale(scores, scale);
+                let masked = g.add(scaled, mask);
+                let attn = g.softmax_rows(masked);
+                head_outs.push(g.matmul(attn, vh));
+            }
+            sample_outs.push(if head_outs.len() == 1 {
+                head_outs[0]
+            } else {
+                g.concat_cols(&head_outs)
+            });
+        }
+        let stacked = if sample_outs.len() == 1 {
+            sample_outs[0]
+        } else {
+            g.concat_rows(&sample_outs)
+        };
+        self.wo.forward(g, stacked)
     }
 
     /// Model width.
@@ -525,6 +624,23 @@ impl TransformerEncoderLayer {
         let n = g.value(x).rows();
         let mask = causal_mask(n);
         self.forward_masked(g, x, Some(&mask))
+    }
+
+    /// Batched causal pass over `batch` same-length sequences stacked
+    /// sample-major into `(batch * seq_len) x dim`. Norms, FFN and
+    /// residuals are row-wise and the attention is per-sample blocks
+    /// (see [`MultiHeadAttention::forward_causal_batch`]), so each
+    /// sample's rows are bit-identical to
+    /// [`TransformerEncoderLayer::forward_causal`] on that sample alone.
+    pub fn forward_causal_batch(&self, g: &mut Graph, x: Var, batch: usize, seq_len: usize) -> Var {
+        let n1 = self.norm1.forward(g, x);
+        let a = self.attn.forward_causal_batch(g, n1, batch, seq_len);
+        let x2 = g.add(x, a);
+        let n2 = self.norm2.forward(g, x2);
+        let f1 = self.ff1.forward(g, n2);
+        let r = g.relu(f1);
+        let f2 = self.ff2.forward(g, r);
+        g.add(x2, f2)
     }
 
     fn forward_masked(&self, g: &mut Graph, x: Var, mask: Option<&Matrix>) -> Var {
@@ -866,5 +982,98 @@ mod causal_tests {
         let op2 = layer.forward(&mut g2, xp2);
         let row_prefix = g2.value(op2).row(1).to_vec();
         assert_ne!(row_full, row_prefix);
+    }
+
+    fn row_bits(row: &[f32]) -> Vec<u32> {
+        row.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn encode_steps_is_bit_identical_to_per_sample_encoding() {
+        // The batching contract: row `s` of every batched step must equal
+        // the per-sample encoding of sequence `s` bit for bit, for every
+        // cell kind.
+        let (batch, seq, input, hidden) = (3usize, 4usize, 6usize, 5usize);
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let encoders = [
+            Recurrent::Rnn(RnnCell::new(&mut store, "rnn", input, hidden, &mut rng)),
+            Recurrent::Gru(GruCell::new(&mut store, "gru", input, hidden, &mut rng)),
+            Recurrent::Lstm(LstmCell::new(&mut store, "lstm", input, hidden, &mut rng)),
+        ];
+        let xs: Vec<Matrix> = (0..batch)
+            .map(|s| {
+                Matrix::from_fn(seq, input, |r, c| {
+                    ((s * 31 + r * 7 + c) as f32 * 0.37).sin()
+                })
+            })
+            .collect();
+        for enc in &encoders {
+            let mut per_sample = Vec::with_capacity(batch);
+            for x in &xs {
+                let mut g = Graph::new(&store);
+                let xv = g.constant(x.clone());
+                let all = enc.encode_all(&mut g, xv);
+                per_sample.push(g.value(all).clone());
+            }
+            let mut g = Graph::new(&store);
+            let steps: Vec<Var> = (0..seq)
+                .map(|t| {
+                    let m = Matrix::from_fn(batch, input, |s, c| xs[s].get(t, c));
+                    g.constant(m)
+                })
+                .collect();
+            let outs = enc.encode_steps(&mut g, &steps);
+            assert_eq!(outs.len(), seq);
+            for (t, out) in outs.iter().enumerate() {
+                let val = g.value(*out);
+                assert_eq!(val.shape(), (batch, hidden));
+                for (s, reference) in per_sample.iter().enumerate() {
+                    assert_eq!(
+                        row_bits(val.row(s)),
+                        row_bits(reference.row(t)),
+                        "t={t} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_causal_batch_is_bit_identical_to_per_sample() {
+        let (batch, seq, dim, heads, ff) = (3usize, 4usize, 8usize, 2usize, 16usize);
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let layer = TransformerEncoderLayer::new(&mut store, "enc", dim, heads, ff, &mut rng);
+        let xs: Vec<Matrix> = (0..batch)
+            .map(|s| init::normal(seq, dim, 1.0, &mut rng).scale(0.5 + s as f32 * 0.1))
+            .collect();
+        let mut per_sample = Vec::with_capacity(batch);
+        for x in &xs {
+            let mut g = Graph::new(&store);
+            let xv = g.constant(x.clone());
+            let out = layer.forward_causal(&mut g, xv);
+            per_sample.push(g.value(out).clone());
+        }
+        // Sample-major stacking: rows s*seq .. (s+1)*seq belong to sample s.
+        let stacked = Matrix::from_fn(batch * seq, dim, |r, c| xs[r / seq].get(r % seq, c));
+        let mut g = Graph::new(&store);
+        let xv = g.constant(stacked);
+        let out = layer.forward_causal_batch(&mut g, xv, batch, seq);
+        let val = g.value(out);
+        assert_eq!(val.shape(), (batch * seq, dim));
+        for (s, reference) in per_sample.iter().enumerate() {
+            for t in 0..seq {
+                assert_eq!(
+                    row_bits(val.row(s * seq + t)),
+                    row_bits(reference.row(t)),
+                    "s={s} t={t}"
+                );
+            }
+        }
     }
 }

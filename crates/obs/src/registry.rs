@@ -226,21 +226,32 @@ impl HistogramSnapshot {
         Self::default()
     }
 
-    /// The `q`-quantile (`0 < q <= 1`) by nearest rank, reported as the
-    /// upper bound of the bucket holding that rank — an upper estimate
-    /// with the bucket's ±30% resolution. Overflow values saturate to the
-    /// largest bound; an empty histogram reports 0.
+    /// The `q`-quantile (`0 < q <= 1`) by nearest rank, interpolated
+    /// linearly on rank position between the holding bucket's lower and
+    /// upper bound (the Prometheus `histogram_quantile` convention).
+    /// Reporting the raw upper bound instead would pin every quantile of a
+    /// narrow distribution to the same bucket edge — e.g. a stream of
+    /// ~0.9 ms latencies showing `p95 = p99 = 20 ms`. Overflow values
+    /// saturate to the largest bound; an empty histogram reports 0.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
+        let mut before = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return BUCKET_BOUNDS[i.min(BUCKET_BOUNDS.len() - 1)] as f64;
+            if before + c >= rank {
+                if i >= BUCKET_BOUNDS.len() {
+                    // Overflow bucket: no finite upper bound to
+                    // interpolate toward.
+                    return *BUCKET_BOUNDS.last().expect("non-empty bounds") as f64;
+                }
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS[i - 1] } as f64;
+                let upper = BUCKET_BOUNDS[i] as f64;
+                let into = (rank - before) as f64 / c as f64;
+                return lower + into * (upper - lower);
             }
+            before += c;
         }
         *BUCKET_BOUNDS.last().expect("non-empty bounds") as f64
     }
@@ -478,11 +489,35 @@ mod tests {
         // 3 lands in the (2, 5] bucket; overflow goes to the last bucket.
         assert_eq!(s.counts[BUCKET_BOUNDS.partition_point(|&b| b < 3)], 2);
         assert_eq!(s.counts[NUM_BUCKETS - 1], 1);
-        // p50: rank 3 of 6 → the value 3 → bucket bound 5.
+        // p50: rank 3 of 6 → the (2, 5] bucket, whose two entries are both
+        // at or below rank 3 → interpolation reaches the upper bound.
         assert_eq!(s.percentile(0.50), 5.0);
         // Overflow saturates to the largest bound.
         assert_eq!(s.percentile(1.0), *BUCKET_BOUNDS.last().unwrap() as f64);
         assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // Uniform 1..=100: rank maps linearly into each bucket, so
+        // interpolation recovers the exact quantile. Rank 50 sits in the
+        // (20, 50] bucket as its 30th of 30 entries: 20 + 30/30 * 30 = 50.
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().percentile(0.50), 50.0);
+
+        // A narrow distribution no longer collapses every quantile onto
+        // one bucket edge: the old bound-only readout reported p95 = p99
+        // = 2_000_000 here.
+        let n = Histogram::new();
+        for i in 0..1000u64 {
+            n.record(900_000 + i * 200); // ~0.9-1.1 ms latencies
+        }
+        let s = n.snapshot();
+        assert!(s.percentile(0.95) < s.percentile(0.99));
+        assert!(s.percentile(0.99) < 2_000_000.0);
     }
 
     #[test]

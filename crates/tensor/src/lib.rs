@@ -7,20 +7,25 @@
 //! initialisers, and the vector statistics the PTTA module is built on
 //! (cosine similarity, entropy, top-k selection).
 //!
-//! Everything is plain safe Rust. The GEMM uses an `i-k-j` loop order so the
-//! inner loop streams both operands contiguously, which is the standard
-//! cache-friendly formulation for row-major data.
+//! Everything is plain safe Rust. The reference GEMM on [`Matrix`] uses an
+//! `i-k-j` loop order so the inner loop streams both operands contiguously;
+//! the [`device`] module layers a [`Device`] abstraction on top, seeded by a
+//! cache-blocked [`CpuDevice`] whose register-tiled kernels are pinned
+//! bit-identical to the reference (see that module's bit-comparability
+//! contract).
 //!
 //! [`det`] provides backend-independent deterministic randomness
 //! ([`DetRng`], [`mix64`]) for anything whose output is snapshotted —
 //! golden traces, shard assignment, reproducible shuffles.
 
 pub mod det;
+pub mod device;
 pub mod error;
 pub mod init;
 pub mod matrix;
 pub mod stats;
 
 pub use det::{mix64, DetRng};
+pub use device::{cpu, CpuDevice, Device};
 pub use error::{ShapeError, TensorResult};
 pub use matrix::Matrix;

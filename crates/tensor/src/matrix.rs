@@ -182,10 +182,10 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
+            // No zero-coefficient skip: `0.0 * NaN` must stay NaN and
+            // `0.0 * inf` must stay NaN, or this disagrees with
+            // `matmul_nt` on non-finite inputs.
             for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
                 let b_row = rhs.row(k);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a_ik * b;
@@ -205,10 +205,9 @@ impl Matrix {
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = rhs.row(k);
+            // As in `matmul`: zero coefficients still multiply, so
+            // non-finite values in `rhs` propagate.
             for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
                 let out_row = out.row_mut(i);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a_ki * b;
@@ -566,6 +565,41 @@ mod tests {
         let b = m(4, 3, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
         let expected = a.matmul(&b.transpose()).unwrap();
         assert_eq!(a.matmul_nt(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn matmul_variants_agree_on_non_finite_inputs() {
+        // Zero coefficients must still multiply: `0.0 * NaN` is NaN and
+        // `0.0 * inf` is NaN, so a zero-skip fast path would silently
+        // drop non-finite contributions and make the three product
+        // variants disagree. NaN sign/payload is unspecified (LLVM may
+        // pick either operand's), so NaN matches any NaN; everything
+        // else — including -0.0 vs 0.0 and the sign of infinities —
+        // must agree bit for bit.
+        fn same(a: &Matrix, b: &Matrix) -> bool {
+            a.shape() == b.shape()
+                && a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| (x.is_nan() && y.is_nan()) || x.to_bits() == y.to_bits())
+        }
+        let a = m(
+            2,
+            3,
+            &[0.0, 1.0, -0.0, 2.0, 0.0, -3.0], // zeros in every position a skip would take
+        );
+        let b = m(
+            3,
+            2,
+            &[f32::NAN, 1.0, f32::INFINITY, -0.0, f32::NEG_INFINITY, 5.0],
+        );
+        let plain = a.matmul(&b).unwrap();
+        assert!(
+            plain.as_slice().iter().any(|v| v.is_nan()),
+            "NaN contributions must propagate through zero coefficients"
+        );
+        assert!(same(&a.matmul_nt(&b.transpose()).unwrap(), &plain));
+        assert!(same(&a.transpose().matmul_tn(&b).unwrap(), &plain));
     }
 
     #[test]

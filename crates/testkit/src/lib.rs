@@ -45,7 +45,8 @@ pub use golden::{
     METRIC_TOLERANCE,
 };
 pub use oracle::{
-    check_engine_matches_streaming, check_parallel_equivalence, oracle_thread_counts, sample_ranks,
+    batched_sample_ranks, check_batched_equivalence, check_engine_matches_streaming,
+    check_parallel_equivalence, oracle_batch_sizes, oracle_thread_counts, sample_ranks,
     top1_agreement, workload_from_dataset, StreamEvent,
 };
 pub use reinit::deterministic_reinit;

@@ -6,8 +6,8 @@
 //! bench harness's self-check) print the diagnosis and keep going.
 
 use adamove::{
-    available_threads, evaluate, evaluate_par, par_map, EngineConfig, InferenceMode, LightMob,
-    Ptta, ShardedEngine, StreamingPredictor, T3a,
+    available_threads, evaluate, evaluate_batched, evaluate_par, par_map, EngineConfig,
+    InferenceMode, LightMob, Ptta, ShardedEngine, StreamingPredictor, T3a,
 };
 use adamove_autograd::ParamStore;
 use adamove_mobility::types::HOUR;
@@ -99,6 +99,112 @@ pub fn check_parallel_equivalence(
             "rank diverges at {threads} threads: sample {i} (user {}) sequential rank {} vs \
              parallel rank {}",
             samples[i].user.0, seq_ranks[i], par_ranks[i]
+        ));
+    }
+    Ok(())
+}
+
+/// Batch sizes the batched-equivalence oracle sweeps for a workload of
+/// `n` samples: the degenerate batch of one (the per-sample fallback), a
+/// small odd size that never divides the workload evenly, a large
+/// power of two, and the whole workload in one forward pass.
+pub fn oracle_batch_sizes(n: usize) -> Vec<usize> {
+    let mut sizes = vec![1, 7, 64, n.max(1)];
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// Per-sample target ranks (1-based) computed through the *batched*
+/// scoring entry points, `batch` samples per forward pass. T3A has no
+/// batched path and falls back to the sequential ranks.
+pub fn batched_sample_ranks(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    mode: &InferenceMode,
+    batch: usize,
+) -> Vec<usize> {
+    let batch = batch.max(1);
+    match mode {
+        InferenceMode::Frozen => {
+            // The frozen batched entry point wants one shared sequence
+            // length per call: bucket, score, scatter back.
+            let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for (i, s) in samples.iter().enumerate() {
+                buckets.entry(s.recent.len()).or_default().push(i);
+            }
+            let mut ranks = vec![0usize; samples.len()];
+            for idxs in buckets.values() {
+                for sub in idxs.chunks(batch) {
+                    let items: Vec<(&[Point], UserId)> = sub
+                        .iter()
+                        .map(|&i| (samples[i].recent.as_slice(), samples[i].user))
+                        .collect();
+                    let scores = model.predict_scores_batch(store, &items);
+                    for (&i, sc) in sub.iter().zip(scores) {
+                        ranks[i] = rank_of(&sc, samples[i].target.index());
+                    }
+                }
+            }
+            ranks
+        }
+        InferenceMode::Ptta(cfg) => {
+            let ptta = Ptta::new(cfg.clone());
+            let mut ranks = Vec::with_capacity(samples.len());
+            for chunk in samples.chunks(batch) {
+                let refs: Vec<&Sample> = chunk.iter().collect();
+                let scores = ptta.predict_scores_batch(model, store, &refs);
+                for (s, sc) in chunk.iter().zip(scores) {
+                    ranks.push(rank_of(&sc, s.target.index()));
+                }
+            }
+            ranks
+        }
+        InferenceMode::T3a(_) => sample_ranks(model, store, samples, mode, 1),
+    }
+}
+
+/// Differential oracle: [`evaluate_batched`] must reproduce [`evaluate`]
+/// exactly — aggregate metrics bit-for-bit *and* every per-sample rank —
+/// at the given `(threads, batch)` point. The batched kernels reassociate
+/// nothing per sample (see `adamove_tensor::device`), so this holds with
+/// strict equality, not tolerances. `Err` carries the first divergence.
+pub fn check_batched_equivalence(
+    model: &LightMob,
+    store: &ParamStore,
+    samples: &[Sample],
+    mode: &InferenceMode,
+    threads: usize,
+    batch: usize,
+) -> Result<(), String> {
+    let seq = evaluate(model, store, samples, mode);
+    if seq.metrics.count != samples.len() {
+        return Err(format!(
+            "sequential evaluation covered {} of {} samples — a shared-path coverage bug the \
+             two-sided comparison below cannot see",
+            seq.metrics.count,
+            samples.len()
+        ));
+    }
+    let batched = evaluate_batched(model, store, samples, mode, threads, batch);
+    if batched.metrics != seq.metrics {
+        return Err(format!(
+            "metrics diverge at {threads} threads, batch {batch}: sequential {} vs batched {}",
+            seq.metrics.row(),
+            batched.metrics.row()
+        ));
+    }
+    let seq_ranks = sample_ranks(model, store, samples, mode, 1);
+    let batched_ranks = batched_sample_ranks(model, store, samples, mode, batch);
+    if let Some(i) = (0..samples.len()).find(|&i| seq_ranks[i] != batched_ranks[i]) {
+        return Err(format!(
+            "rank diverges at batch {batch}: sample {i} (user {}, {} points) sequential rank {} \
+             vs batched rank {}",
+            samples[i].user.0,
+            samples[i].recent.len(),
+            seq_ranks[i],
+            batched_ranks[i]
         ));
     }
     Ok(())

@@ -1,0 +1,99 @@
+//! Differential oracle: batched evaluation must equal per-sample
+//! evaluation — aggregate metrics bit-for-bit and every per-sample rank —
+//! for every encoder, inference mode, batch size and thread count swept.
+//!
+//! This is the contract that makes the cache-blocked, batched device
+//! kernels (see `adamove_tensor::device`) safe to serve from: batching
+//! may only change throughput, never a single score bit.
+
+use adamove::{AdaMoveConfig, EncoderKind, InferenceMode, LightMob, PttaConfig, T3aConfig};
+use adamove_autograd::ParamStore;
+use adamove_mobility::ministream::{mini_preprocess_config, nyc_mini};
+use adamove_mobility::{make_samples, preprocess, Sample, SampleConfig, Split};
+use adamove_testkit::{
+    check_batched_equivalence, deterministic_reinit, oracle_batch_sizes, oracle_thread_counts,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministically re-initialized (untrained) model over the given
+/// universe — the oracle compares two code paths on the *same* weights,
+/// so training would only add cost, not coverage.
+fn reinit_model(
+    kind: EncoderKind,
+    locations: u32,
+    users: u32,
+    seed: u64,
+) -> (ParamStore, LightMob) {
+    let mut store = ParamStore::new();
+    let mut throwaway = StdRng::seed_from_u64(0);
+    let cfg = AdaMoveConfig {
+        encoder: kind,
+        ..AdaMoveConfig::tiny()
+    };
+    let model = LightMob::new(&mut store, cfg, locations, users, &mut throwaway);
+    deterministic_reinit(&mut store, seed);
+    (store, model)
+}
+
+fn mini_test_samples(cap: usize) -> (u32, u32, Vec<Sample>) {
+    let cfg = nyc_mini();
+    let processed = preprocess(&cfg.generate(), &mini_preprocess_config());
+    let mut samples = make_samples(&processed, Split::Test, &SampleConfig::eval(2));
+    samples.truncate(cap);
+    assert!(samples.len() >= 50, "workload too small: {}", samples.len());
+    (
+        processed.num_locations,
+        processed.num_users() as u32,
+        samples,
+    )
+}
+
+#[test]
+fn evaluate_batched_matches_evaluate_on_metrics_and_ranks() {
+    let (locations, users, samples) = mini_test_samples(120);
+    let (store, model) = reinit_model(EncoderKind::Lstm, locations, users, 3);
+    for mode in [
+        InferenceMode::Frozen,
+        InferenceMode::Ptta(PttaConfig::default()),
+    ] {
+        for threads in oracle_thread_counts() {
+            for batch in oracle_batch_sizes(samples.len()) {
+                check_batched_equivalence(&model, &store, &samples, &mode, threads, batch)
+                    .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_encoder_kind_batches_bit_identically() {
+    // The full sweep above is expensive; per-encoder coverage uses one
+    // representative (threads, batch) point with both ragged and whole
+    // batch sizes.
+    let (locations, users, mut samples) = mini_test_samples(80);
+    samples.truncate(60);
+    for kind in [
+        EncoderKind::Rnn,
+        EncoderKind::Gru,
+        EncoderKind::Lstm,
+        EncoderKind::Transformer,
+    ] {
+        let (store, model) = reinit_model(kind, locations, users, 5);
+        let mode = InferenceMode::Ptta(PttaConfig::default());
+        for batch in [7, samples.len()] {
+            check_batched_equivalence(&model, &store, &samples, &mode, 2, batch)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn t3a_mode_falls_back_to_sequential_evaluation() {
+    let (locations, users, mut samples) = mini_test_samples(60);
+    samples.truncate(50);
+    let (store, model) = reinit_model(EncoderKind::Gru, locations, users, 7);
+    let mode = InferenceMode::T3a(T3aConfig::default());
+    check_batched_equivalence(&model, &store, &samples, &mode, 4, 16)
+        .unwrap_or_else(|e| panic!("{e}"));
+}

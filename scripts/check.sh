@@ -17,6 +17,10 @@ cargo test -q --workspace
 # by name so a failure in the differential oracles, golden traces, or
 # fault-injection suites is unmistakable in CI logs.
 cargo test -q -p adamove-testkit
+# Batched == per-sample: the differential oracle over the forward_batch
+# paths (metrics and per-sample ranks bit-identical across batch sizes
+# and thread counts) — the contract the batched serving path relies on.
+cargo test -q -p adamove-testkit --test batched_equivalence
 # Observability smoke: registry laws (concurrency, percentile bounds,
 # merge == sequential) plus the end-to-end path — engine under load →
 # snapshot → flat-JSON export → parse → required keys present.

@@ -36,6 +36,10 @@ if [ "${1:-}" = "full" ]; then
         --skip ptta::tests::repeated_visits_reinforce_the_revisited_location \
         --skip serialize::tests::
     "$self" test -q -p adamove-testkit
+    # Batched == per-sample: the differential oracle over the
+    # forward_batch paths (metrics and ranks bit-identical across batch
+    # sizes and thread counts).
+    "$self" test -q -p adamove-testkit --test batched_equivalence
     # Observability smoke: registry laws plus the end-to-end path —
     # engine under load → snapshot → flat-JSON export → parse → keys.
     "$self" test -q -p adamove-obs
