@@ -1,0 +1,504 @@
+//! Open-loop load generator for the `adamove-serve` TCP front-end.
+//!
+//! Simulates a city of distinct users issuing check-ins and next-location
+//! queries with Poisson arrivals modulated by a diurnal curve, over real
+//! loopback TCP connections. *Open-loop* means arrivals are scheduled by
+//! the clock, not by completions: each request's latency is measured from
+//! its **scheduled** arrival time, so server-side queueing shows up as
+//! tail latency instead of silently slowing the offered rate
+//! (coordinated omission).
+//!
+//! The run gates on the serving SLO, not throughput alone: it exits
+//! nonzero when predict p99 exceeds `--slo-p99-ms`, when sustained
+//! predict throughput falls below `--min-predict-rate`, or when any
+//! *unexpected* error comes back (typed `Shed`/`Busy` replies are
+//! expected under overload and are reported as shed-rate instead).
+//! Results land in `BENCH_serving.json` as `loadgen_*` fields, merged
+//! alongside the server's own `serve_*` counters without disturbing the
+//! other bench families.
+//!
+//! ```text
+//! cargo run --release -p adamove-bench --bin loadgen -- --quick
+//! cargo run --release -p adamove-bench --bin loadgen -- \
+//!     --rate 4000 --duration-secs 30 --users 1000000 --connections 8
+//! ```
+//!
+//! By default the generator starts an in-process server on a free
+//! loopback port (so CI needs no orchestration); `--addr` targets an
+//! already-running `adamove_serve` daemon instead.
+
+use adamove::{AdaMoveConfig, EngineConfig, LightMob, RecoveryConfig, ShardedEngine};
+use adamove_autograd::ParamStore;
+use adamove_bench::report::merge_serving_metrics;
+use adamove_obs::{labeled, Registry};
+use adamove_serve::{serve, AdmissionConfig, Client, ClientError, ErrorCode, ServeConfig};
+use adamove_tensor::det::DetRng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "loadgen — open-loop load generator for adamove-serve
+
+USAGE:
+    loadgen [OPTIONS]
+
+OPTIONS:
+    --rate <R>             offered arrivals/sec across all connections (default 4000)
+    --duration-secs <S>    measured run length (default 15)
+    --users <N>            distinct user-id space (default 1000000)
+    --hot-users <N>        hot-set size receiving 90% of traffic (default 10000)
+    --connections <C>      client connections = sender threads (default 4)
+    --shards <N>           engine shards for the in-process server (default 2)
+    --locations <N>        location-id space (default 200)
+    --predict-frac <F>     fraction of arrivals that are predicts (default 0.7)
+    --seed <N>             workload seed (default 42)
+    --addr <ADDR>          target an external server instead of in-process
+    --slo-p99-ms <MS>      predict p99 SLO gate (default 10)
+    --min-predict-rate <R> sustained predicts/sec gate (default 2000)
+    --metrics <PATH>       merge results into PATH (default BENCH_serving.json)
+    --no-metrics           skip the BENCH_serving.json merge
+    --quick                CI smoke: 3s run, 3500/s, 100k users, gates on
+    -h, --help             print this help
+";
+
+struct Args {
+    rate: f64,
+    duration_secs: f64,
+    users: u32,
+    hot_users: u32,
+    connections: usize,
+    shards: usize,
+    locations: u32,
+    predict_frac: f64,
+    seed: u64,
+    addr: Option<String>,
+    slo_p99_ms: f64,
+    min_predict_rate: f64,
+    metrics: Option<String>,
+    write_metrics: bool,
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rate: 4000.0,
+        duration_secs: 15.0,
+        users: 1_000_000,
+        hot_users: 10_000,
+        connections: 4,
+        shards: 2,
+        locations: 200,
+        predict_frac: 0.7,
+        seed: 42,
+        addr: None,
+        slo_p99_ms: 10.0,
+        min_predict_rate: 2000.0,
+        metrics: None,
+        write_metrics: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--rate" => args.rate = parse_num(&value("--rate"), "--rate"),
+            "--duration-secs" => {
+                args.duration_secs = parse_num(&value("--duration-secs"), "--duration-secs")
+            }
+            "--users" => args.users = parse_num(&value("--users"), "--users"),
+            "--hot-users" => args.hot_users = parse_num(&value("--hot-users"), "--hot-users"),
+            "--connections" => {
+                args.connections = parse_num(&value("--connections"), "--connections")
+            }
+            "--shards" => args.shards = parse_num(&value("--shards"), "--shards"),
+            "--locations" => args.locations = parse_num(&value("--locations"), "--locations"),
+            "--predict-frac" => {
+                args.predict_frac = parse_num(&value("--predict-frac"), "--predict-frac")
+            }
+            "--seed" => args.seed = parse_num(&value("--seed"), "--seed"),
+            "--addr" => args.addr = Some(value("--addr")),
+            "--slo-p99-ms" => args.slo_p99_ms = parse_num(&value("--slo-p99-ms"), "--slo-p99-ms"),
+            "--min-predict-rate" => {
+                args.min_predict_rate =
+                    parse_num(&value("--min-predict-rate"), "--min-predict-rate")
+            }
+            "--metrics" => args.metrics = Some(value("--metrics")),
+            "--no-metrics" => args.write_metrics = false,
+            "--quick" => {
+                args.rate = 3500.0;
+                args.duration_secs = 3.0;
+                args.users = 100_000;
+                args.hot_users = 2_000;
+                args.connections = 4;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Diurnal modulation of the base rate at relative time `frac ∈ [0,1]`:
+/// one "day" spanning the run, trough 0.6× at the edges, peak 1.4× at
+/// midday, mean 1.0 (∫ 0.6 + 0.8·sin² = 1.0), so `--rate` stays the
+/// average offered rate.
+fn diurnal(frac: f64) -> f64 {
+    let s = (std::f64::consts::PI * frac).sin();
+    0.6 + 0.8 * s * s
+}
+
+/// Exponential inter-arrival sample at `rate` (events/sec), in seconds.
+fn exp_sample(rng: &mut DetRng, rate: f64) -> f64 {
+    // next_f64 ∈ [0,1); flip to (0,1] so ln never sees zero.
+    let u = 1.0 - rng.next_f64();
+    -u.ln() / rate
+}
+
+#[derive(Default)]
+struct SenderStats {
+    predicts_ok: u64,
+    predicts_no_window: u64,
+    observes_ok: u64,
+    sheds: u64,
+    unexpected_errors: u64,
+    unexpected_sample: Option<String>,
+    /// (latency_ns, was_predict) per completed request.
+    latencies: Vec<(u64, bool)>,
+}
+
+struct Workload {
+    users: u32,
+    hot_users: u32,
+    locations: u32,
+    predict_frac: f64,
+    rate_per_conn: f64,
+    duration: Duration,
+}
+
+/// One open-loop sender: schedules arrivals on the wall clock and pushes
+/// them down a single connection, measuring from the scheduled instant.
+fn sender(addr: &str, wl: &Workload, mut rng: DetRng, start: Instant) -> SenderStats {
+    let mut stats = SenderStats::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            stats.unexpected_errors += 1;
+            stats.unexpected_sample = Some(format!("connect: {e}"));
+            return stats;
+        }
+    };
+    let _ = client.set_timeout(Some(Duration::from_secs(10)));
+    let mut scheduled = 0.0f64; // seconds since start
+                                // Virtual mobility clock: hours advance with event count so windows
+                                // stay live (the engine evicts stale sessions by query time).
+    let mut virtual_secs: i64 = 0;
+    loop {
+        let frac = (scheduled / wl.duration.as_secs_f64()).min(1.0);
+        scheduled += exp_sample(&mut rng, wl.rate_per_conn * diurnal(frac));
+        if scheduled >= wl.duration.as_secs_f64() {
+            return stats;
+        }
+        let scheduled_at = start + Duration::from_secs_f64(scheduled);
+        if let Some(wait) = scheduled_at.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        // 90% of traffic on the hot set, the rest across the full space.
+        let user = if rng.chance(0.9) {
+            rng.below(wl.hot_users as usize) as u32
+        } else {
+            wl.hot_users + rng.below((wl.users - wl.hot_users) as usize) as u32
+        };
+        virtual_secs += 360; // ~10 events/virtual-hour keeps windows live
+        let is_predict = rng.chance(wl.predict_frac);
+        let sent = Instant::now();
+        let outcome = if is_predict {
+            client.predict(user, virtual_secs, false).map(|r| match r {
+                Some(_) => stats.predicts_ok += 1,
+                None => stats.predicts_no_window += 1,
+            })
+        } else {
+            let loc = rng.below(wl.locations as usize) as u32;
+            client
+                .observe(user, loc, virtual_secs)
+                .map(|()| stats.observes_ok += 1)
+        };
+        match outcome {
+            Ok(()) => {
+                // Latency from the *scheduled* arrival: sender-side slip
+                // (a late wakeup or a previous slow reply) counts too.
+                let lat = Instant::now().duration_since(scheduled_at.min(sent));
+                stats.latencies.push((lat.as_nanos() as u64, is_predict));
+            }
+            Err(ClientError::Server {
+                code: ErrorCode::Shed | ErrorCode::Busy,
+                ..
+            }) => {
+                stats.sheds += 1;
+            }
+            Err(e) => {
+                stats.unexpected_errors += 1;
+                if stats.unexpected_sample.is_none() {
+                    stats.unexpected_sample = Some(e.to_string());
+                }
+                // Transport errors end this connection's usefulness.
+                if matches!(e, ClientError::Io(_) | ClientError::Protocol(_)) {
+                    return stats;
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // In-process server unless --addr points elsewhere.
+    let mut in_process = None;
+    let addr = match &args.addr {
+        Some(a) => a.clone(),
+        None => {
+            let mut rng = StdRng::seed_from_u64(args.seed);
+            let mut store = ParamStore::new();
+            let model = LightMob::new(
+                &mut store,
+                AdaMoveConfig::tiny(),
+                args.locations,
+                args.users,
+                &mut rng,
+            );
+            let engine = Arc::new(ShardedEngine::new(
+                Arc::new(model),
+                Arc::new(store),
+                EngineConfig {
+                    shards: args.shards,
+                    recovery: Some(RecoveryConfig {
+                        supervise_interval: Some(Duration::from_millis(20)),
+                        ..RecoveryConfig::default()
+                    }),
+                    ..EngineConfig::default()
+                },
+            ));
+            let handle = serve(
+                engine,
+                ServeConfig {
+                    workers: args.connections.max(1),
+                    admission: Some(AdmissionConfig::default()),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("failed to start in-process server");
+            let addr = handle.addr().to_string();
+            in_process = Some(handle);
+            addr
+        }
+    };
+    println!(
+        "loadgen: {} arrivals/s ({}% predicts) for {}s → {} | {} users ({} hot) over {} connections",
+        args.rate,
+        (args.predict_frac * 100.0) as u32,
+        args.duration_secs,
+        addr,
+        args.users,
+        args.hot_users,
+        args.connections,
+    );
+
+    let wl = Workload {
+        users: args.users,
+        hot_users: args.hot_users.min(args.users),
+        locations: args.locations,
+        predict_frac: args.predict_frac,
+        rate_per_conn: args.rate / args.connections.max(1) as f64,
+        duration: Duration::from_secs_f64(args.duration_secs),
+    };
+    let wl = Arc::new(wl);
+    let start = Instant::now();
+    let mut senders = Vec::new();
+    let mut seed_rng = DetRng::new(args.seed);
+    for c in 0..args.connections.max(1) {
+        let wl = Arc::clone(&wl);
+        let addr = addr.clone();
+        let rng = seed_rng.fork(c as u64);
+        senders.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-{c}"))
+                .spawn(move || sender(&addr, &wl, rng, start))
+                .expect("spawn sender"),
+        );
+    }
+    let mut total = SenderStats::default();
+    for s in senders {
+        let stats = s.join().expect("sender panicked");
+        total.predicts_ok += stats.predicts_ok;
+        total.predicts_no_window += stats.predicts_no_window;
+        total.observes_ok += stats.observes_ok;
+        total.sheds += stats.sheds;
+        total.unexpected_errors += stats.unexpected_errors;
+        if total.unexpected_sample.is_none() {
+            total.unexpected_sample = stats.unexpected_sample;
+        }
+        total.latencies.extend(stats.latencies);
+    }
+    let elapsed = start.elapsed().as_secs_f64().min(args.duration_secs);
+
+    // Shed-rate from the server's own counters when we ran it in-process
+    // (ground truth); otherwise from client-observed shed replies.
+    let mut serve_shed = total.sheds as f64;
+    let mut serve_accepted = 0.0f64;
+    if let Some(handle) = &in_process {
+        let snap = handle.registry().snapshot();
+        serve_shed = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve_shed_total"))
+            .map(|(_, v)| *v as f64)
+            .sum();
+        serve_accepted = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve_accepted_total"))
+            .map(|(_, v)| *v as f64)
+            .sum();
+    }
+    let attempts = serve_accepted + serve_shed;
+    let shed_rate = if attempts > 0.0 {
+        serve_shed / attempts
+    } else {
+        0.0
+    };
+
+    // Percentiles over exact recorded latencies (not bucketed).
+    let mut predict_ns: Vec<u64> = total
+        .latencies
+        .iter()
+        .filter(|(_, p)| *p)
+        .map(|(ns, _)| *ns)
+        .collect();
+    predict_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if predict_ns.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * predict_ns.len() as f64).ceil() as usize).clamp(1, predict_ns.len());
+        predict_ns[rank - 1] as f64
+    };
+    let predicts = total.predicts_ok + total.predicts_no_window;
+    let predict_rate = predicts as f64 / elapsed;
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+
+    println!(
+        "\ncompleted: {} predicts ({} with windows) + {} observes in {elapsed:.2}s",
+        predicts, total.predicts_ok, total.observes_ok
+    );
+    println!(
+        "predict throughput {predict_rate:.0}/s | latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        p50 / 1e6,
+        p95 / 1e6,
+        p99 / 1e6
+    );
+    println!(
+        "shed rate {:.4} ({} shed / {} admission decisions) | unexpected errors {}",
+        shed_rate, serve_shed as u64, attempts as u64, total.unexpected_errors
+    );
+    if let Some(sample) = &total.unexpected_sample {
+        println!("  first unexpected error: {sample}");
+    }
+
+    if args.write_metrics {
+        let registry = Registry::new();
+        let g = |name: &str, v: f64| registry.gauge(name).set(v);
+        g("loadgen_offered_rate", args.rate);
+        g("loadgen_predict_rate", predict_rate);
+        g("loadgen_shed_rate", shed_rate);
+        g("loadgen_users", args.users as f64);
+        g("loadgen_connections", args.connections as f64);
+        g("loadgen_duration_secs", elapsed);
+        g(
+            &labeled("loadgen_predict_latency_ms", &[("q", "p50")]),
+            p50 / 1e6,
+        );
+        g(
+            &labeled("loadgen_predict_latency_ms", &[("q", "p95")]),
+            p95 / 1e6,
+        );
+        g(
+            &labeled("loadgen_predict_latency_ms", &[("q", "p99")]),
+            p99 / 1e6,
+        );
+        registry.counter("loadgen_predicts_total").add(predicts);
+        registry
+            .counter("loadgen_observes_total")
+            .add(total.observes_ok);
+        registry
+            .counter("loadgen_sheds_total")
+            .add(serve_shed as u64);
+        registry
+            .counter("loadgen_unexpected_errors_total")
+            .add(total.unexpected_errors);
+        // Carry the server's serve_* counters alongside when in-process.
+        if let Some(handle) = &in_process {
+            let snap = handle.registry().snapshot();
+            for (k, v) in &snap.counters {
+                if k.starts_with("serve_") {
+                    registry.counter(k).add(*v);
+                }
+            }
+        }
+        let path = args.metrics.as_ref().map(std::path::Path::new);
+        merge_serving_metrics(&registry, &["loadgen_", "serve_"], path);
+    }
+
+    if let Some(handle) = in_process {
+        let engine = handle.stop();
+        if let Some(engine) = Arc::into_inner(engine) {
+            drop(engine.shutdown());
+        }
+    }
+
+    // SLO gate.
+    let mut failures = Vec::new();
+    if p99 / 1e6 > args.slo_p99_ms {
+        failures.push(format!(
+            "predict p99 {:.3} ms exceeds SLO {:.1} ms",
+            p99 / 1e6,
+            args.slo_p99_ms
+        ));
+    }
+    if predict_rate < args.min_predict_rate {
+        failures.push(format!(
+            "predict throughput {predict_rate:.0}/s below gate {:.0}/s",
+            args.min_predict_rate
+        ));
+    }
+    if total.unexpected_errors > 0 {
+        failures.push(format!("{} unexpected errors", total.unexpected_errors));
+    }
+    if failures.is_empty() {
+        println!(
+            "\nSLO gate: PASS (p99 ≤ {} ms, ≥ {:.0} predicts/s, 0 unexpected errors)",
+            args.slo_p99_ms, args.min_predict_rate
+        );
+    } else {
+        for f in &failures {
+            eprintln!("SLO gate FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

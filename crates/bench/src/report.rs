@@ -118,6 +118,52 @@ pub fn write_serving_metrics(
     }
 }
 
+/// Merge `registry`'s flat-JSON exposition into an existing
+/// `BENCH_serving.json`-style file instead of overwriting it: fields
+/// whose key starts with any of `strip_prefixes` are dropped from the
+/// existing file first (they belong to the caller and are being
+/// refreshed), every other field is preserved, and the union is written
+/// back sorted. Uses the testkit flat-JSON codec rather than
+/// `serde_json` so the merge also works under the offline dev stubs.
+/// `path = None` defaults to `BENCH_serving.json` at the workspace root.
+pub fn merge_serving_metrics(registry: &Registry, strip_prefixes: &[&str], path: Option<&Path>) {
+    use adamove_testkit::json::{parse_flat, write_flat, Value};
+    use std::collections::BTreeMap;
+
+    let path = path
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| repo_root().join("BENCH_serving.json"));
+    let mut fields: BTreeMap<String, Value> = match std::fs::read_to_string(&path) {
+        Ok(text) => match parse_flat(&text) {
+            Ok(existing) => existing
+                .into_iter()
+                .filter(|(k, _)| !strip_prefixes.iter().any(|p| k.starts_with(p)))
+                .collect(),
+            Err(e) => {
+                // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
+                eprintln!(
+                    "warning: {} unparseable ({e}), rewriting fresh",
+                    path.display()
+                );
+                BTreeMap::new()
+            }
+        },
+        Err(_) => BTreeMap::new(),
+    };
+    let fresh = to_flat_json(&registry.snapshot());
+    match parse_flat(&fresh) {
+        Ok(new_fields) => fields.extend(new_fields),
+        // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
+        Err(e) => eprintln!("warning: could not re-parse fresh exposition: {e}"),
+    }
+    match std::fs::write(&path, write_flat(&fields)) {
+        // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
+        Ok(()) => println!("[serving metrics merged into {}]", path.display()),
+        // lint:allow(print): CLI-facing bench harness output, reached only from the bench bin targets
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Write an experiment's JSON record to `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));

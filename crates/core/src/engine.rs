@@ -1107,6 +1107,26 @@ impl ShardedEngine {
         self.inner.slots.len()
     }
 
+    /// Live handle on `shard`'s queue-depth gauge (the same cell the
+    /// worker updates, not a copy). Serving front-ends poll this for
+    /// admission control; returns `None` for an out-of-range shard.
+    pub fn shard_queue_depth(&self, shard: usize) -> Option<Gauge> {
+        self.inner
+            .shard_obs
+            .get(shard)
+            .map(|o| o.queue_depth.clone())
+    }
+
+    /// Live handle on `shard`'s predict-latency histogram. Admission
+    /// controllers diff successive snapshots of this to compute windowed
+    /// tail percentiles; returns `None` for an out-of-range shard.
+    pub fn shard_predict_latency(&self, shard: usize) -> Option<Histogram> {
+        self.inner
+            .shard_obs
+            .get(shard)
+            .map(|o| o.predict_latency.clone())
+    }
+
     /// The shard that owns `user`.
     pub fn shard_of(&self, user: UserId) -> usize {
         shard_of(user, self.inner.slots.len())

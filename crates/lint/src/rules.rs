@@ -73,6 +73,12 @@ const PANIC_FREE_FILES: &[&str] = &[
     // kernels and the batch-capable layers are serving-path too.
     "crates/tensor/src/device.rs",
     "crates/nn/src/layers.rs",
+    // The socket front-end sits on the same hot path: a panic in the
+    // codec, the connection loop, or admission control kills a worker
+    // carrying many connections.
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/admission.rs",
 ];
 
 const PANIC_PATTERNS: &[&str] = &[

@@ -1,0 +1,343 @@
+//! Admission control: per-shard load shedding with hysteresis, driven by
+//! the engine's own `adamove-obs` signals.
+//!
+//! Two signals feed the policy, both already maintained by the engine:
+//!
+//! - **queue depth** — the `engine_queue_depth{shard=..}` gauge, an
+//!   instantaneous backlog reading;
+//! - **windowed predict p99** — successive snapshots of
+//!   `engine_predict_latency_ns{shard=..}` are differenced
+//!   ([`window_delta`]) so the percentile reflects the *last tick*, not
+//!   the run so far. A cumulative p99 never recovers after one bad burst,
+//!   which would turn a transient overload into a permanent shed.
+//!
+//! The controller is deliberately split from signal collection:
+//! [`AdmissionController::ingest`] takes plain readings, so tests drive
+//! synthetic depth/latency sequences through the exact policy the server
+//! runs (the server's ticker thread is just a loop of reads + `ingest`).
+//!
+//! **Hysteresis.** A shard *enters* shedding when `depth >= queue_high`
+//! or the windowed p99 (with at least `min_window_samples` behind it)
+//! reaches `p99_high_ns`; it *exits* only when `depth <= queue_low` and
+//! the p99 signal has fallen to `p99_low_ns` or gone quiet. The gap
+//! between the high and low water marks is what prevents shed-flapping
+//! when load sits exactly at a single threshold.
+
+use adamove_obs::{labeled, Counter, Gauge, HistogramSnapshot, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Thresholds for the per-shard shed policy. Defaults are sized for the
+/// engine's observed single-core latency profile (predict p99 ≈ 2.7 ms
+/// unloaded): shedding engages well before the 10 ms serving SLO.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Enter shedding when a shard's queue depth reaches this.
+    pub queue_high: usize,
+    /// Exit shedding requires depth at or below this.
+    pub queue_low: usize,
+    /// Enter shedding when the windowed predict p99 reaches this (ns).
+    pub p99_high_ns: u64,
+    /// Exit shedding requires the windowed p99 at or below this (ns).
+    pub p99_low_ns: u64,
+    /// Ignore the latency signal until a window holds this many samples
+    /// (a 1-sample "window" says nothing about the tail).
+    pub min_window_samples: u64,
+    /// Retry-After hint carried on shed replies, milliseconds.
+    pub retry_after_ms: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            queue_high: 256,
+            queue_low: 64,
+            p99_high_ns: 8_000_000,
+            p99_low_ns: 4_000_000,
+            min_window_samples: 32,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Outcome of an admission check for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Forward the request to the engine.
+    Accept,
+    /// Reject with a typed `Shed` error carrying this back-off hint.
+    Shed {
+        /// Milliseconds the client should wait before retrying.
+        retry_after_ms: u32,
+    },
+}
+
+struct ShardState {
+    shedding: AtomicBool,
+    accepted: Counter,
+    shed: Counter,
+    transitions: Counter,
+    shedding_gauge: Gauge,
+}
+
+/// Per-shard shed policy with obs-visible decisions. Shared by reference
+/// between the server's connection workers (calling [`decide`]) and its
+/// signal ticker (calling [`ingest`]); all state is atomic.
+///
+/// [`decide`]: AdmissionController::decide
+/// [`ingest`]: AdmissionController::ingest
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    shards: Vec<ShardState>,
+}
+
+impl AdmissionController {
+    /// A controller for `shards` shards, registering
+    /// `serve_accepted_total{shard=..}`, `serve_shed_total{shard=..}`,
+    /// `serve_shed_transitions_total{shard=..}` and the
+    /// `serve_shedding{shard=..}` gauge in `registry`.
+    pub fn new(shards: usize, config: AdmissionConfig, registry: &Registry) -> Self {
+        let shards = (0..shards)
+            .map(|i| {
+                let s = i.to_string();
+                let l = |name: &str| labeled(name, &[("shard", &s)]);
+                ShardState {
+                    shedding: AtomicBool::new(false),
+                    accepted: registry.counter(&l("serve_accepted_total")),
+                    shed: registry.counter(&l("serve_shed_total")),
+                    transitions: registry.counter(&l("serve_shed_transitions_total")),
+                    shedding_gauge: registry.gauge(&l("serve_shedding")),
+                }
+            })
+            .collect();
+        Self { config, shards }
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Feed one reading for `shard`: instantaneous queue depth plus the
+    /// latency histogram delta for the tick window. Applies the
+    /// hysteresis rule and returns whether the shard is now shedding.
+    /// Out-of-range shards are ignored (returns false).
+    pub fn ingest(&self, shard: usize, queue_depth: usize, window: &HistogramSnapshot) -> bool {
+        let Some(state) = self.shards.get(shard) else {
+            return false;
+        };
+        let cfg = &self.config;
+        let latency_speaks = window.count >= cfg.min_window_samples;
+        let p99 = window.percentile(0.99);
+        let now_shedding = if state.shedding.load(Ordering::Relaxed) {
+            // Exit only below BOTH low water marks (quiet latency counts
+            // as recovered — an idle shard records no samples at all).
+            let depth_ok = queue_depth <= cfg.queue_low;
+            let latency_ok = !latency_speaks || p99 <= cfg.p99_low_ns as f64;
+            !(depth_ok && latency_ok)
+        } else {
+            queue_depth >= cfg.queue_high || (latency_speaks && p99 >= cfg.p99_high_ns as f64)
+        };
+        let was = state.shedding.swap(now_shedding, Ordering::Relaxed);
+        if was != now_shedding {
+            state.transitions.inc();
+            state
+                .shedding_gauge
+                .set(if now_shedding { 1.0 } else { 0.0 });
+        }
+        now_shedding
+    }
+
+    /// Admission check for one request bound for `shard`. Counts the
+    /// decision in the `serve_accepted_total` / `serve_shed_total`
+    /// family. Out-of-range shards accept (the engine will fail the
+    /// request with its own typed error).
+    pub fn decide(&self, shard: usize) -> Decision {
+        let Some(state) = self.shards.get(shard) else {
+            return Decision::Accept;
+        };
+        if state.shedding.load(Ordering::Relaxed) {
+            state.shed.inc();
+            Decision::Shed {
+                retry_after_ms: self.config.retry_after_ms,
+            }
+        } else {
+            state.accepted.inc();
+            Decision::Accept
+        }
+    }
+
+    /// Whether `shard` is currently shedding (no counter side effects).
+    pub fn is_shedding(&self, shard: usize) -> bool {
+        self.shards
+            .get(shard)
+            .is_some_and(|s| s.shedding.load(Ordering::Relaxed))
+    }
+}
+
+/// The histogram delta `current − last`: what was recorded between two
+/// cumulative snapshots. Saturating per bucket, so a restarted or
+/// swapped histogram degrades to "treat current as the whole window"
+/// rather than wrapping.
+pub fn window_delta(current: &HistogramSnapshot, last: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::empty();
+    for (o, (c, l)) in out
+        .counts
+        .iter_mut()
+        .zip(current.counts.iter().zip(last.counts.iter()))
+    {
+        *o = c.saturating_sub(*l);
+    }
+    out.sum = current.sum.saturating_sub(last.sum);
+    out.count = current.count.saturating_sub(last.count);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+
+    /// A window whose every sample is ~`ns`, `n` samples deep.
+    fn window_at(ns: u64, n: u64) -> HistogramSnapshot {
+        let h = adamove_obs::Histogram::new();
+        for _ in 0..n {
+            h.record(ns);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn depth_hysteresis_no_flapping_at_threshold() {
+        let reg = Registry::new();
+        let cfg = AdmissionConfig::default();
+        let ctl = AdmissionController::new(1, cfg.clone(), &reg);
+
+        // Sitting exactly at queue_high - 1 never sheds.
+        for _ in 0..10 {
+            assert!(!ctl.ingest(0, cfg.queue_high - 1, &quiet()));
+        }
+        // Crossing the high water mark sheds...
+        assert!(ctl.ingest(0, cfg.queue_high, &quiet()));
+        // ...and dropping just under it does NOT recover: the exit bar
+        // is the low water mark. This asymmetry is the hysteresis.
+        for _ in 0..10 {
+            assert!(ctl.ingest(0, cfg.queue_high - 1, &quiet()));
+            assert!(ctl.ingest(0, cfg.queue_low + 1, &quiet()));
+        }
+        assert!(!ctl.ingest(0, cfg.queue_low, &quiet()));
+        // Exactly one enter + one exit transition despite 20+ readings
+        // straddling the high mark.
+        assert_eq!(
+            reg.counter(&labeled("serve_shed_transitions_total", &[("shard", "0")]))
+                .get(),
+            2
+        );
+    }
+
+    #[test]
+    fn latency_signal_sheds_and_recovers() {
+        let reg = Registry::new();
+        let cfg = AdmissionConfig::default();
+        let ctl = AdmissionController::new(1, cfg.clone(), &reg);
+
+        // Sparse window: latency says nothing, no shed.
+        let sparse = window_at(cfg.p99_high_ns * 2, cfg.min_window_samples - 1);
+        assert!(!ctl.ingest(0, 0, &sparse));
+        // Deep slow window: shed.
+        let slow = window_at(cfg.p99_high_ns * 2, cfg.min_window_samples);
+        assert!(ctl.ingest(0, 0, &slow));
+        // Still slow-ish (between low and high): stay shedding.
+        let mid = window_at(
+            (cfg.p99_low_ns + cfg.p99_high_ns) / 2,
+            cfg.min_window_samples,
+        );
+        assert!(ctl.ingest(0, 0, &mid));
+        // Fast window: recover. (1-2-5 buckets: pick a value whose
+        // bucket upper bound is still <= p99_low so the interpolated
+        // percentile cannot exceed the low mark.)
+        let fast = window_at(900_000, cfg.min_window_samples);
+        assert!(!ctl.ingest(0, 0, &fast));
+        // Idle shard (empty window) also counts as recovered.
+        assert!(ctl.ingest(0, 0, &slow));
+        assert!(!ctl.ingest(0, 0, &quiet()));
+    }
+
+    #[test]
+    fn decide_counts_accepts_and_sheds_exactly() {
+        let reg = Registry::new();
+        let cfg = AdmissionConfig {
+            retry_after_ms: 75,
+            ..AdmissionConfig::default()
+        };
+        let ctl = AdmissionController::new(2, cfg.clone(), &reg);
+
+        // Shard 1 shedding, shard 0 healthy.
+        ctl.ingest(1, cfg.queue_high, &quiet());
+        let mut accepts = 0u64;
+        let mut sheds = 0u64;
+        for i in 0..10 {
+            match ctl.decide(i % 2) {
+                Decision::Accept => accepts += 1,
+                Decision::Shed { retry_after_ms } => {
+                    assert_eq!(retry_after_ms, 75);
+                    sheds += 1;
+                }
+            }
+        }
+        assert_eq!((accepts, sheds), (5, 5));
+        let c = |name: &str, shard: &str| reg.counter(&labeled(name, &[("shard", shard)])).get();
+        assert_eq!(c("serve_accepted_total", "0"), 5);
+        assert_eq!(c("serve_shed_total", "0"), 0);
+        assert_eq!(c("serve_accepted_total", "1"), 0);
+        assert_eq!(c("serve_shed_total", "1"), 5);
+        assert_eq!(
+            reg.gauge(&labeled("serve_shedding", &[("shard", "1")]))
+                .get(),
+            1.0
+        );
+
+        // Recovery flips the gauge back and re-admits.
+        ctl.ingest(1, 0, &quiet());
+        assert_eq!(ctl.decide(1), Decision::Accept);
+        assert_eq!(
+            reg.gauge(&labeled("serve_shedding", &[("shard", "1")]))
+                .get(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn window_delta_isolates_the_tick() {
+        let h = adamove_obs::Histogram::new();
+        // One catastrophic burst...
+        for _ in 0..1000 {
+            h.record(50_000_000);
+        }
+        let after_burst = h.snapshot();
+        // ...then a healthy tick.
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        let now = h.snapshot();
+        // Cumulative p99 is still catastrophic; the windowed p99 is not.
+        assert!(now.percentile(0.99) > 10_000_000.0);
+        let window = window_delta(&now, &after_burst);
+        assert_eq!(window.count, 100);
+        assert!(window.percentile(0.99) <= 2_000_000.0);
+        // Saturation: a reset histogram behaves as "whole window".
+        let reset = window_delta(&after_burst, &now);
+        assert_eq!(reset.count, 0);
+    }
+
+    #[test]
+    fn out_of_range_shard_is_inert() {
+        let reg = Registry::new();
+        let ctl = AdmissionController::new(1, AdmissionConfig::default(), &reg);
+        assert!(!ctl.ingest(7, usize::MAX, &quiet()));
+        assert_eq!(ctl.decide(7), Decision::Accept);
+        assert!(!ctl.is_shedding(7));
+    }
+}

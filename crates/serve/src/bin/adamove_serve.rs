@@ -1,0 +1,180 @@
+//! Standalone AdaMove serving daemon: bootstrap a model, start the
+//! sharded engine behind the TCP front-end, and print the bound address.
+//!
+//! The model is randomly initialised (seeded) — this binary exists to
+//! stand up a real serving endpoint for load generators, protocol
+//! clients, and ops experiments, where serving behaviour (latency,
+//! shedding, recovery) is the subject, not predictive accuracy. Swap in
+//! a trained checkpoint by embedding the serve crate as a library.
+//!
+//! ```text
+//! cargo run --release -p adamove-serve --bin adamove_serve -- \
+//!     --addr 127.0.0.1:7070 --shards 4 --users 1000000
+//! ```
+
+use adamove::{AdaMoveConfig, EngineConfig, LightMob, RecoveryConfig, ShardedEngine};
+use adamove_autograd::ParamStore;
+use adamove_serve::{serve, AdmissionConfig, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "adamove_serve — AdaMove TCP serving daemon
+
+USAGE:
+    adamove_serve [OPTIONS]
+
+OPTIONS:
+    --addr <ADDR>        bind address (default 127.0.0.1:0 = free port)
+    --shards <N>         engine shards (default: available cores)
+    --workers <N>        connection worker threads (default: available cores)
+    --users <N>          user-id space size (default 1000000)
+    --locations <N>      location-id space size (default 200)
+    --seed <N>           model init seed (default 7)
+    --max-conns <N>      open-connection cap (default 1024)
+    --duration-secs <N>  exit after N seconds (default: run forever)
+    --no-admission       disable load shedding
+    --no-recovery        disable the self-healing layer
+    -h, --help           print this help
+";
+
+struct Args {
+    addr: String,
+    shards: usize,
+    workers: usize,
+    users: u32,
+    locations: u32,
+    seed: u64,
+    max_conns: usize,
+    duration_secs: Option<u64>,
+    admission: bool,
+    recovery: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 0,
+        workers: 0,
+        users: 1_000_000,
+        locations: 200,
+        seed: 7,
+        max_conns: 1024,
+        duration_secs: None,
+        admission: true,
+        recovery: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--shards" => args.shards = parse_num(&value("--shards"), "--shards"),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--users" => args.users = parse_num(&value("--users"), "--users"),
+            "--locations" => args.locations = parse_num(&value("--locations"), "--locations"),
+            "--seed" => args.seed = parse_num(&value("--seed"), "--seed"),
+            "--max-conns" => args.max_conns = parse_num(&value("--max-conns"), "--max-conns"),
+            "--duration-secs" => {
+                args.duration_secs = Some(parse_num(&value("--duration-secs"), "--duration-secs"))
+            }
+            "--no-admission" => args.admission = false,
+            "--no-recovery" => args.recovery = false,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let shards = if args.shards == 0 {
+        adamove::available_threads()
+    } else {
+        args.shards
+    };
+
+    // Seeded random init: serving behaviour is the subject here, and a
+    // tiny embedding profile keeps 1M users ~16 MB of parameters.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        args.locations,
+        args.users,
+        &mut rng,
+    );
+    let engine = Arc::new(ShardedEngine::new(
+        Arc::new(model),
+        Arc::new(store),
+        EngineConfig {
+            shards,
+            recovery: if args.recovery {
+                Some(RecoveryConfig {
+                    supervise_interval: Some(Duration::from_millis(20)),
+                    ..RecoveryConfig::default()
+                })
+            } else {
+                None
+            },
+            ..EngineConfig::default()
+        },
+    ));
+
+    let handle = serve(
+        engine,
+        ServeConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            max_connections: args.max_conns,
+            admission: args.admission.then(AdmissionConfig::default),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("failed to bind server");
+    println!(
+        "adamove_serve listening on {} ({} shards, {} users, {} locations, admission {}, recovery {})",
+        handle.addr(),
+        shards,
+        args.users,
+        args.locations,
+        if args.admission { "on" } else { "off" },
+        if args.recovery { "on" } else { "off" },
+    );
+
+    match args.duration_secs {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let engine = handle.stop();
+    if let Some(engine) = Arc::into_inner(engine) {
+        let report = engine.shutdown();
+        println!(
+            "served {} predictions across {} shards",
+            report.predictions, shards
+        );
+    }
+}

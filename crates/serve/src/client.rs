@@ -1,0 +1,201 @@
+//! A small blocking client for the serve protocol: one request in
+//! flight per call, replies matched by arrival order (the protocol is
+//! strictly request/reply per connection, like the engine's own
+//! per-user FIFO).
+//!
+//! This is the reference implementation the loadgen binary, the
+//! differential-oracle tests, and the example all drive; it reuses the
+//! exact codec the server runs, so a client-side decode of a
+//! `Prediction` frame is bit-identical to the engine's reply.
+
+use crate::protocol::{self, DecodeError, ErrorCode, Frame, Quality};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a request can come back as, beyond transport failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, EOF mid-frame).
+    Io(io::Error),
+    /// The server's bytes did not decode (protocol bug or corruption).
+    Protocol(DecodeError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The typed error code.
+        code: ErrorCode,
+        /// Back-off hint in milliseconds (0 = none given).
+        retry_after_ms: u32,
+        /// Server-provided context.
+        message: String,
+    },
+    /// The server answered with a frame that does not fit the request
+    /// (e.g. `ObserveOk` for a predict).
+    UnexpectedReply(Frame),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            } => write!(
+                f,
+                "server error [{code}] retry-after {retry_after_ms}ms: {message}"
+            ),
+            ClientError::UnexpectedReply(frame) => {
+                write!(f, "unexpected reply frame 0x{:02x}", frame.type_byte())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A prediction as decoded off the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePrediction {
+    /// How the scores were produced.
+    pub quality: Quality,
+    /// Argmax location id.
+    pub top: u32,
+    /// Window points behind the adaptation.
+    pub window_len: u32,
+    /// Dense scores; empty unless the request asked for them.
+    pub scores: Vec<f32>,
+}
+
+/// One blocking connection to an `adamove-serve` server.
+pub struct Client {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    max_payload: u32,
+}
+
+impl Client {
+    /// Connect with the default payload cap and no socket timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            inbuf: Vec::with_capacity(1024),
+            max_payload: protocol::DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Bound every read/write on the connection (per syscall).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one frame and block for the next reply frame.
+    pub fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Send a frame without waiting (for pipelining; pair with
+    /// [`Client::recv`] in order).
+    pub fn send(&mut self, request: &Frame) -> Result<(), ClientError> {
+        let bytes = protocol::encode_to_vec(request);
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Block for the next frame from the server.
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            match protocol::decode(&self.inbuf, self.max_payload) {
+                Ok(Some((frame, consumed))) => {
+                    self.inbuf.drain(..consumed);
+                    return Ok(frame);
+                }
+                Ok(None) => {
+                    let mut chunk = [0u8; 4096];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+                    }
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => return Err(ClientError::Protocol(e)),
+            }
+        }
+    }
+
+    fn expect_ok(reply: Frame) -> Result<Frame, ClientError> {
+        match reply {
+            Frame::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            }),
+            other => Ok(other),
+        }
+    }
+
+    /// Deliver a check-in.
+    pub fn observe(&mut self, user: u32, loc: u32, time: i64) -> Result<(), ClientError> {
+        let reply = Self::expect_ok(self.roundtrip(&Frame::Observe { user, loc, time })?)?;
+        match reply {
+            Frame::ObserveOk => Ok(()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Predict `user`'s next location. `Ok(None)` when the user has no
+    /// live window.
+    pub fn predict(
+        &mut self,
+        user: u32,
+        now: i64,
+        want_scores: bool,
+    ) -> Result<Option<WirePrediction>, ClientError> {
+        let reply = Self::expect_ok(self.roundtrip(&Frame::Predict {
+            user,
+            now,
+            want_scores,
+        })?)?;
+        match reply {
+            Frame::Prediction {
+                quality,
+                top,
+                window_len,
+                scores,
+            } => Ok(Some(WirePrediction {
+                quality,
+                top,
+                window_len,
+                scores,
+            })),
+            Frame::NoWindow => Ok(None),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Fetch the server's metric registry as flat JSON.
+    pub fn snapshot(&mut self) -> Result<String, ClientError> {
+        let reply = Self::expect_ok(self.roundtrip(&Frame::Snapshot)?)?;
+        match reply {
+            Frame::SnapshotReply { json } => Ok(json),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `adamove-serve` — the zero-dependency network front door for the
+//! AdaMove sharded engine.
+//!
+//! Three pieces, composed by [`serve`]:
+//!
+//! - [`protocol`] — a length-prefixed binary wire format (OBSERVE /
+//!   PREDICT / SNAPSHOT requests, typed error replies, versioned
+//!   header) with a total, panic-free codec;
+//! - [`admission`] — per-shard load shedding with hysteresis, driven by
+//!   the engine's own queue-depth gauges and (windowed) predict-latency
+//!   histograms, with shed decisions exported as `serve_*_total`
+//!   metrics and Retry-After hints on shed replies;
+//! - [`server`] — a thread-per-core TCP server: one acceptor, N
+//!   workers owning disjoint connection sets, an admission ticker.
+//!
+//! [`client`] is the matching blocking client used by the `loadgen`
+//! bench binary, the testkit serving suites, and the examples.
+//!
+//! Everything here is plain `std` (TCP + threads + the workspace's own
+//! crates) — no async runtime, no serialization framework.
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{window_delta, AdmissionConfig, AdmissionController, Decision};
+pub use client::{Client, ClientError, WirePrediction};
+pub use protocol::{
+    decode, encode, encode_to_vec, DecodeError, ErrorCode, Frame, Quality, DEFAULT_MAX_PAYLOAD,
+    HEADER_LEN, MAGIC, VERSION,
+};
+pub use server::{serve, ServeConfig, ServerHandle};

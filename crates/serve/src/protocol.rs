@@ -1,0 +1,743 @@
+//! The `adamove-serve` wire protocol: a small length-prefixed binary
+//! framing with a versioned header and typed error replies.
+//!
+//! Every frame is `header ‖ payload`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic      0xAD 0xA7
+//! 2       1     version    currently 1
+//! 3       1     frame type (see the constants on [`Frame`])
+//! 4       4     payload length, u32 little-endian
+//! 8       n     payload (layout per frame type)
+//! ```
+//!
+//! All integers are little-endian; scores travel as raw `f32` bits, so a
+//! prediction decoded on the client is **bit-identical** to the engine's
+//! reply — the property the testkit's loopback differential oracle pins.
+//!
+//! Decoding is *total*: every byte sequence either yields a frame, asks
+//! for more bytes ([`decode`] returns `Ok(None)`), or produces a typed
+//! [`DecodeError`] that the server answers with an [`Frame::Error`] reply
+//! before closing the connection. No input may panic — this module is on
+//! the `adamove-lint` panic-free list.
+
+use adamove::PredictionQuality;
+use std::fmt;
+
+/// Protocol magic, first two bytes of every frame.
+pub const MAGIC: [u8; 2] = [0xAD, 0xA7];
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Default cap on payload length; longer frames are rejected with
+/// [`ErrorCode::Oversized`] without buffering the body.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Frame type bytes. Requests are `0x0x`, replies `0x8x`, errors `0xE0`.
+pub mod frame_type {
+    /// Check-in delivery (request).
+    pub const OBSERVE: u8 = 0x01;
+    /// Blocking prediction (request).
+    pub const PREDICT: u8 = 0x02;
+    /// Metrics snapshot (request).
+    pub const SNAPSHOT: u8 = 0x03;
+    /// Observe accepted (reply).
+    pub const OBSERVE_OK: u8 = 0x81;
+    /// Prediction result (reply).
+    pub const PREDICTION: u8 = 0x82;
+    /// Predict for a user with no live window (reply).
+    pub const NO_WINDOW: u8 = 0x83;
+    /// Metrics snapshot body (reply).
+    pub const SNAPSHOT_REPLY: u8 = 0x84;
+    /// Typed failure (reply).
+    pub const ERROR: u8 = 0xE0;
+}
+
+/// How a prediction's scores were produced, as a wire byte. Mirrors
+/// [`PredictionQuality`] exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Full PTTA adaptation (the normal path).
+    Adapted,
+    /// Circuit breaker open: frozen Θ classifier scores.
+    Frozen,
+    /// State lost with a shard: population-prior scores.
+    Degraded,
+}
+
+impl Quality {
+    fn to_byte(self) -> u8 {
+        match self {
+            Quality::Adapted => 0,
+            Quality::Frozen => 1,
+            Quality::Degraded => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Quality::Adapted),
+            1 => Some(Quality::Frozen),
+            2 => Some(Quality::Degraded),
+            _ => None,
+        }
+    }
+}
+
+impl From<PredictionQuality> for Quality {
+    fn from(q: PredictionQuality) -> Self {
+        match q {
+            PredictionQuality::Adapted => Quality::Adapted,
+            PredictionQuality::Frozen => Quality::Frozen,
+            PredictionQuality::Degraded => Quality::Degraded,
+        }
+    }
+}
+
+/// Typed failure codes carried by [`Frame::Error`] replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Frame could not be parsed (bad magic / garbled payload). The
+    /// server closes the connection after replying — the byte stream can
+    /// no longer be re-synchronised.
+    Malformed,
+    /// Header carried an unsupported protocol version.
+    BadVersion,
+    /// Header carried an unknown frame type.
+    UnknownFrame,
+    /// Payload length exceeded the server's cap.
+    Oversized,
+    /// Admission control shed the request; retry after the carried hint.
+    Shed,
+    /// The owning shard is down and retries were exhausted.
+    ShardDown,
+    /// The owning shard did not reply within the server's bound.
+    Timeout,
+    /// The server is at its connection cap; retry after the hint.
+    Busy,
+    /// A reply-type frame arrived where a request was expected.
+    Unexpected,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::BadVersion => 2,
+            ErrorCode::UnknownFrame => 3,
+            ErrorCode::Oversized => 4,
+            ErrorCode::Shed => 5,
+            ErrorCode::ShardDown => 6,
+            ErrorCode::Timeout => 7,
+            ErrorCode::Busy => 8,
+            ErrorCode::Unexpected => 9,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::BadVersion),
+            3 => Some(ErrorCode::UnknownFrame),
+            4 => Some(ErrorCode::Oversized),
+            5 => Some(ErrorCode::Shed),
+            6 => Some(ErrorCode::ShardDown),
+            7 => Some(ErrorCode::Timeout),
+            8 => Some(ErrorCode::Busy),
+            9 => Some(ErrorCode::Unexpected),
+            _ => None,
+        }
+    }
+
+    /// Whether the client may retry the request on the same connection
+    /// (load-shed / transient) rather than treating it as fatal.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Shed | ErrorCode::ShardDown | ErrorCode::Timeout | ErrorCode::Busy
+        )
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::UnknownFrame => "unknown-frame",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Shed => "shed",
+            ErrorCode::ShardDown => "shard-down",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Unexpected => "unexpected",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One protocol frame — requests and replies share the enum so both ends
+/// of the connection use the same codec (and the roundtrip property test
+/// covers every variant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Deliver a check-in: `user` visited location `loc` at `time`
+    /// (seconds since the epoch, the engine's [`Timestamp`] convention).
+    ///
+    /// [`Timestamp`]: adamove_mobility::Timestamp
+    Observe {
+        /// User id.
+        user: u32,
+        /// Visited location id.
+        loc: u32,
+        /// Visit time, seconds.
+        time: i64,
+    },
+    /// Request a prediction of `user`'s next location as of `now`.
+    Predict {
+        /// User id.
+        user: u32,
+        /// Query time, seconds.
+        now: i64,
+        /// When true the reply carries the dense score vector; when
+        /// false only top-1 and window length (smaller reply, the
+        /// loadgen default).
+        want_scores: bool,
+    },
+    /// Request the server's metric registry as flat JSON.
+    Snapshot,
+    /// Observe accepted and enqueued on the owning shard.
+    ObserveOk,
+    /// Prediction result.
+    Prediction {
+        /// How the scores were produced.
+        quality: Quality,
+        /// Argmax location.
+        top: u32,
+        /// Number of window points the adaptation used.
+        window_len: u32,
+        /// Dense per-location scores; empty when the request set
+        /// `want_scores = false`. Raw f32 bits — bit-exact roundtrip.
+        scores: Vec<f32>,
+    },
+    /// The user has no live window at the query time.
+    NoWindow,
+    /// Metrics snapshot body (flat JSON).
+    SnapshotReply {
+        /// The exposition, UTF-8.
+        json: String,
+    },
+    /// Typed failure.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Hint: milliseconds to back off before retrying (0 = no
+        /// hint). Set on `Shed` and `Busy` replies.
+        retry_after_ms: u32,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// The frame's wire type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Observe { .. } => frame_type::OBSERVE,
+            Frame::Predict { .. } => frame_type::PREDICT,
+            Frame::Snapshot => frame_type::SNAPSHOT,
+            Frame::ObserveOk => frame_type::OBSERVE_OK,
+            Frame::Prediction { .. } => frame_type::PREDICTION,
+            Frame::NoWindow => frame_type::NO_WINDOW,
+            Frame::SnapshotReply { .. } => frame_type::SNAPSHOT_REPLY,
+            Frame::Error { .. } => frame_type::ERROR,
+        }
+    }
+
+    /// True for the request variants a server accepts.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Frame::Observe { .. } | Frame::Predict { .. } | Frame::Snapshot
+        )
+    }
+}
+
+/// A frame that could not be decoded. `Incomplete` is *not* represented
+/// here — [`decode`] signals it with `Ok(None)` so "wait for more bytes"
+/// never takes the error path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame type byte.
+    UnknownType(u8),
+    /// Declared payload length exceeds the decoder's cap.
+    Oversized {
+        /// Declared length.
+        len: u32,
+        /// The cap in force.
+        max: u32,
+    },
+    /// Payload bytes inconsistent with the frame type's layout.
+    BadPayload {
+        /// The offending frame type byte.
+        frame: u8,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl DecodeError {
+    /// The [`ErrorCode`] a server reply should carry for this failure.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            DecodeError::BadMagic(_) => ErrorCode::Malformed,
+            DecodeError::BadVersion(_) => ErrorCode::BadVersion,
+            DecodeError::UnknownType(_) => ErrorCode::UnknownFrame,
+            DecodeError::Oversized { .. } => ErrorCode::Oversized,
+            DecodeError::BadPayload { .. } => ErrorCode::Malformed,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            DecodeError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            DecodeError::BadPayload { frame, reason } => {
+                write!(f, "bad payload for frame 0x{frame:02x}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `frame` to `out` in wire format. Infallible: every [`Frame`]
+/// value has exactly one encoding. Payloads that would overflow the
+/// `u32` length field are truncated at the string/score level before
+/// encoding is attempted (in practice only `SnapshotReply`/`Error`
+/// messages could approach it; both are producer-bounded well below).
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    let header_at = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.type_byte());
+    put_u32(out, 0); // patched below
+    let payload_at = out.len();
+    match frame {
+        Frame::Observe { user, loc, time } => {
+            put_u32(out, *user);
+            put_u32(out, *loc);
+            put_i64(out, *time);
+        }
+        Frame::Predict {
+            user,
+            now,
+            want_scores,
+        } => {
+            put_u32(out, *user);
+            put_i64(out, *now);
+            out.push(u8::from(*want_scores));
+        }
+        Frame::Snapshot | Frame::ObserveOk | Frame::NoWindow => {}
+        Frame::Prediction {
+            quality,
+            top,
+            window_len,
+            scores,
+        } => {
+            out.push(quality.to_byte());
+            put_u32(out, *top);
+            put_u32(out, *window_len);
+            let n = u32::try_from(scores.len()).unwrap_or(u32::MAX);
+            put_u32(out, n);
+            for s in scores.iter().take(n as usize) {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        Frame::SnapshotReply { json } => {
+            out.extend_from_slice(json.as_bytes());
+        }
+        Frame::Error {
+            code,
+            retry_after_ms,
+            message,
+        } => {
+            out.push(code.to_byte());
+            put_u32(out, *retry_after_ms);
+            let msg = message.as_bytes();
+            let n = u16::try_from(msg.len()).unwrap_or(u16::MAX);
+            put_u16(out, n);
+            out.extend_from_slice(&msg[..n as usize]);
+        }
+    }
+    let payload_len = (out.len() - payload_at) as u32;
+    out[header_at + 4..header_at + 8].copy_from_slice(&payload_len.to_le_bytes());
+}
+
+/// Convenience: encode into a fresh buffer.
+pub fn encode_to_vec(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 16);
+    encode(frame, &mut out);
+    out
+}
+
+fn get_u16(b: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_le_bytes(b.get(at..at + 2)?.try_into().ok()?))
+}
+
+fn get_u32(b: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn get_i64(b: &[u8], at: usize) -> Option<i64> {
+    Some(i64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?))
+}
+
+fn bad(frame: u8, reason: &'static str) -> DecodeError {
+    DecodeError::BadPayload { frame, reason }
+}
+
+fn decode_payload(ty: u8, p: &[u8]) -> Result<Frame, DecodeError> {
+    match ty {
+        frame_type::OBSERVE => {
+            if p.len() != 16 {
+                return Err(bad(ty, "observe payload must be 16 bytes"));
+            }
+            Ok(Frame::Observe {
+                user: get_u32(p, 0).ok_or_else(|| bad(ty, "short user"))?,
+                loc: get_u32(p, 4).ok_or_else(|| bad(ty, "short loc"))?,
+                time: get_i64(p, 8).ok_or_else(|| bad(ty, "short time"))?,
+            })
+        }
+        frame_type::PREDICT => {
+            if p.len() != 13 {
+                return Err(bad(ty, "predict payload must be 13 bytes"));
+            }
+            let flags = p[12];
+            if flags > 1 {
+                return Err(bad(ty, "unknown predict flags"));
+            }
+            Ok(Frame::Predict {
+                user: get_u32(p, 0).ok_or_else(|| bad(ty, "short user"))?,
+                now: get_i64(p, 4).ok_or_else(|| bad(ty, "short now"))?,
+                want_scores: flags == 1,
+            })
+        }
+        frame_type::SNAPSHOT => {
+            if !p.is_empty() {
+                return Err(bad(ty, "snapshot carries no payload"));
+            }
+            Ok(Frame::Snapshot)
+        }
+        frame_type::OBSERVE_OK => {
+            if !p.is_empty() {
+                return Err(bad(ty, "observe-ok carries no payload"));
+            }
+            Ok(Frame::ObserveOk)
+        }
+        frame_type::NO_WINDOW => {
+            if !p.is_empty() {
+                return Err(bad(ty, "no-window carries no payload"));
+            }
+            Ok(Frame::NoWindow)
+        }
+        frame_type::PREDICTION => {
+            if p.len() < 13 {
+                return Err(bad(ty, "prediction payload shorter than fixed part"));
+            }
+            let quality = Quality::from_byte(p[0]).ok_or_else(|| bad(ty, "unknown quality"))?;
+            let top = get_u32(p, 1).ok_or_else(|| bad(ty, "short top"))?;
+            let window_len = get_u32(p, 5).ok_or_else(|| bad(ty, "short window"))?;
+            let n = get_u32(p, 9).ok_or_else(|| bad(ty, "short count"))? as usize;
+            let Some(expect) = n.checked_mul(4).and_then(|b| b.checked_add(13)) else {
+                return Err(bad(ty, "score count overflows"));
+            };
+            if p.len() != expect {
+                return Err(bad(ty, "score bytes disagree with count"));
+            }
+            let mut scores = Vec::with_capacity(n);
+            for i in 0..n {
+                let at = 13 + i * 4;
+                let Some(bytes) = p.get(at..at + 4).and_then(|b| <[u8; 4]>::try_from(b).ok())
+                else {
+                    return Err(bad(ty, "short score"));
+                };
+                scores.push(f32::from_le_bytes(bytes));
+            }
+            Ok(Frame::Prediction {
+                quality,
+                top,
+                window_len,
+                scores,
+            })
+        }
+        frame_type::SNAPSHOT_REPLY => match std::str::from_utf8(p) {
+            Ok(s) => Ok(Frame::SnapshotReply {
+                json: s.to_string(),
+            }),
+            Err(_) => Err(bad(ty, "snapshot body is not UTF-8")),
+        },
+        frame_type::ERROR => {
+            if p.len() < 7 {
+                return Err(bad(ty, "error payload shorter than fixed part"));
+            }
+            let code = ErrorCode::from_byte(p[0]).ok_or_else(|| bad(ty, "unknown error code"))?;
+            let retry_after_ms = get_u32(p, 1).ok_or_else(|| bad(ty, "short retry hint"))?;
+            let n = get_u16(p, 5).ok_or_else(|| bad(ty, "short message length"))? as usize;
+            if p.len() != 7 + n {
+                return Err(bad(ty, "message bytes disagree with length"));
+            }
+            let message = match std::str::from_utf8(&p[7..]) {
+                Ok(s) => s.to_string(),
+                Err(_) => return Err(bad(ty, "message is not UTF-8")),
+            };
+            Ok(Frame::Error {
+                code,
+                retry_after_ms,
+                message,
+            })
+        }
+        other => Err(DecodeError::UnknownType(other)),
+    }
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// - `Ok(Some((frame, consumed)))` — a complete frame; drop `consumed`
+///   bytes from the buffer before the next call.
+/// - `Ok(None)` — the buffer holds a valid prefix of a frame; read more.
+/// - `Err(e)` — the stream is not a valid frame sequence. Header-level
+///   errors (magic/version/type/length cap) are detected *before* the
+///   payload arrives, so an attacker cannot make the server buffer an
+///   oversized body by declaring a huge length.
+pub fn decode(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>, DecodeError> {
+    if buf.len() < 2 {
+        // Even a magic check needs two bytes; but reject a wrong first
+        // byte immediately so garbage fails fast.
+        if buf.first().is_some_and(|&b| b != MAGIC[0]) {
+            return Err(DecodeError::BadMagic([buf[0], 0]));
+        }
+        return Ok(None);
+    }
+    if buf[0] != MAGIC[0] || buf[1] != MAGIC[1] {
+        return Err(DecodeError::BadMagic([buf[0], buf[1]]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let version = buf[2];
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let ty = buf[3];
+    let known = matches!(
+        ty,
+        frame_type::OBSERVE
+            | frame_type::PREDICT
+            | frame_type::SNAPSHOT
+            | frame_type::OBSERVE_OK
+            | frame_type::PREDICTION
+            | frame_type::NO_WINDOW
+            | frame_type::SNAPSHOT_REPLY
+            | frame_type::ERROR
+    );
+    if !known {
+        return Err(DecodeError::UnknownType(ty));
+    }
+    let len = get_u32(buf, 4).unwrap_or(0);
+    if len > max_payload {
+        return Err(DecodeError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame = decode_payload(ty, &buf[HEADER_LEN..total])?;
+    Ok(Some((frame, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = encode_to_vec(&f);
+        let (back, consumed) = decode(&bytes, DEFAULT_MAX_PAYLOAD)
+            .expect("decodes")
+            .expect("complete");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(Frame::Observe {
+            user: 7,
+            loc: 42,
+            time: -3600,
+        });
+        roundtrip(Frame::Predict {
+            user: u32::MAX,
+            now: i64::MIN,
+            want_scores: true,
+        });
+        roundtrip(Frame::Snapshot);
+        roundtrip(Frame::ObserveOk);
+        roundtrip(Frame::Prediction {
+            quality: Quality::Degraded,
+            top: 3,
+            window_len: 9,
+            scores: vec![0.0, -0.0, f32::NEG_INFINITY, 1.5e-39, 42.25],
+        });
+        roundtrip(Frame::NoWindow);
+        roundtrip(Frame::SnapshotReply {
+            json: "{\n  \"x\": 1\n}\n".into(),
+        });
+        roundtrip(Frame::Error {
+            code: ErrorCode::Shed,
+            retry_after_ms: 50,
+            message: "shard 3 overloaded".into(),
+        });
+    }
+
+    #[test]
+    fn nan_scores_roundtrip_bit_exact() {
+        let weird = f32::from_bits(0x7fc0_1234); // a quiet NaN payload
+        let f = Frame::Prediction {
+            quality: Quality::Adapted,
+            top: 0,
+            window_len: 1,
+            scores: vec![weird],
+        };
+        let bytes = encode_to_vec(&f);
+        let (back, _) = decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+        match back {
+            Frame::Prediction { scores, .. } => {
+                assert_eq!(scores[0].to_bits(), weird.to_bits());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_prefixes_ask_for_more() {
+        let bytes = encode_to_vec(&Frame::Observe {
+            user: 1,
+            loc: 2,
+            time: 3,
+        });
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD);
+            assert_eq!(r, Ok(None), "prefix of length {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_fails_with_typed_errors() {
+        assert_eq!(
+            decode(b"GET / HTTP/1.1\r\n", DEFAULT_MAX_PAYLOAD),
+            Err(DecodeError::BadMagic([b'G', b'E']))
+        );
+        // A single wrong byte is enough to fail fast (second byte
+        // unknown, reported as 0).
+        assert_eq!(
+            decode(b"G", DEFAULT_MAX_PAYLOAD),
+            Err(DecodeError::BadMagic([b'G', 0]))
+        );
+        let mut v = encode_to_vec(&Frame::Snapshot);
+        v[2] = 9;
+        assert_eq!(
+            decode(&v, DEFAULT_MAX_PAYLOAD),
+            Err(DecodeError::BadVersion(9))
+        );
+        let mut v = encode_to_vec(&Frame::Snapshot);
+        v[3] = 0x7f;
+        assert_eq!(
+            decode(&v, DEFAULT_MAX_PAYLOAD),
+            Err(DecodeError::UnknownType(0x7f))
+        );
+        // Declared length over the cap fails before the body arrives.
+        let mut v = encode_to_vec(&Frame::Snapshot);
+        v[4..8].copy_from_slice(&(DEFAULT_MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode(&v, DEFAULT_MAX_PAYLOAD),
+            Err(DecodeError::Oversized { .. })
+        ));
+        // Truncated-then-padded payload: length right, content wrong.
+        let mut v = encode_to_vec(&Frame::Observe {
+            user: 1,
+            loc: 2,
+            time: 3,
+        });
+        v[4..8].copy_from_slice(&4u32.to_le_bytes());
+        v.truncate(HEADER_LEN + 4);
+        assert!(matches!(
+            decode(&v, DEFAULT_MAX_PAYLOAD),
+            Err(DecodeError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn pipelined_frames_decode_one_at_a_time() {
+        let mut stream = Vec::new();
+        encode(&Frame::ObserveOk, &mut stream);
+        encode(&Frame::NoWindow, &mut stream);
+        let (first, used) = decode(&stream, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+        assert_eq!(first, Frame::ObserveOk);
+        let (second, used2) = decode(&stream[used..], DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second, Frame::NoWindow);
+        assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_classify() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::BadVersion,
+            ErrorCode::UnknownFrame,
+            ErrorCode::Oversized,
+            ErrorCode::Shed,
+            ErrorCode::ShardDown,
+            ErrorCode::Timeout,
+            ErrorCode::Busy,
+            ErrorCode::Unexpected,
+        ] {
+            assert_eq!(ErrorCode::from_byte(code.to_byte()), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert!(ErrorCode::Shed.retryable());
+        assert!(!ErrorCode::Malformed.retryable());
+    }
+}

@@ -1,0 +1,580 @@
+//! The thread-per-core TCP server: nonblocking accept loop, worker
+//! threads owning disjoint connection sets, and an admission ticker
+//! feeding engine signals into the shed policy.
+//!
+//! Concurrency model: one acceptor thread hands fresh sockets to `N`
+//! worker threads round-robin over plain mpsc channels. Each worker owns
+//! its connections outright — no shared connection state, no locks on
+//! the request path — and pumps them in a loop: flush pending writes,
+//! read, decode, handle. Engine calls block the worker briefly (predict
+//! is ~100 µs–3 ms); with connections spread across workers this bounds
+//! head-of-line blocking to one worker's share, which is the same
+//! trade the engine's own per-shard FIFO makes.
+//!
+//! Fault transparency: engine calls go through the recovery layer's
+//! transparent retry/heal, so a shard dying mid-connection surfaces as a
+//! normal (possibly `Degraded`-quality) reply, not a dropped socket. The
+//! only conditions that close a connection are client EOF, socket
+//! errors, and malformed frames (after a typed error reply — a garbled
+//! byte stream cannot be re-synchronised).
+//!
+//! This file is on the `adamove-lint` panic-free list.
+
+use crate::admission::{window_delta, AdmissionConfig, AdmissionController, Decision};
+use crate::protocol::{self, ErrorCode, Frame};
+use adamove::{EngineError, ShardedEngine};
+use adamove_mobility::{LocationId, Point, Timestamp, UserId};
+use adamove_obs::{to_flat_json, Counter, Gauge, Histogram, Registry, Stopwatch};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; `"127.0.0.1:0"` (the default) picks a free
+    /// loopback port, reported by [`ServerHandle::addr`].
+    pub addr: String,
+    /// Connection worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Open-connection cap; further accepts get a `Busy` reply and an
+    /// immediate close.
+    pub max_connections: usize,
+    /// Per-frame payload cap forwarded to the protocol decoder.
+    pub max_payload: u32,
+    /// Shed policy; `None` disables admission control (every request is
+    /// forwarded to the engine).
+    pub admission: Option<AdmissionConfig>,
+    /// Cadence of the admission ticker sampling engine signals.
+    pub tick_interval: Duration,
+    /// Sleep when a worker/acceptor finds no work (bounds idle spin).
+    pub idle_sleep: Duration,
+    /// Bound on each engine predict; `None` blocks until the shard
+    /// replies (the recovery layer still bounds shard-death waits).
+    pub predict_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            max_connections: 1024,
+            max_payload: protocol::DEFAULT_MAX_PAYLOAD,
+            admission: Some(AdmissionConfig::default()),
+            tick_interval: Duration::from_millis(20),
+            idle_sleep: Duration::from_micros(200),
+            predict_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Request-path metrics, registered in the engine's registry so one
+/// SNAPSHOT frame (or one export) covers both layers.
+#[derive(Clone)]
+struct ServeObs {
+    connections: Counter,
+    conn_rejected: Counter,
+    connections_open: Gauge,
+    frames: Counter,
+    observes: Counter,
+    predicts: Counter,
+    snapshots: Counter,
+    malformed: Counter,
+    errors: Counter,
+    request_latency: Histogram,
+}
+
+impl ServeObs {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            connections: registry.counter("serve_connections_total"),
+            conn_rejected: registry.counter("serve_conn_rejected_total"),
+            connections_open: registry.gauge("serve_connections_open"),
+            frames: registry.counter("serve_frames_total"),
+            observes: registry.counter("serve_observes_total"),
+            predicts: registry.counter("serve_predicts_total"),
+            snapshots: registry.counter("serve_snapshots_total"),
+            malformed: registry.counter("serve_malformed_total"),
+            errors: registry.counter("serve_errors_total"),
+            request_latency: registry.histogram("serve_request_latency_ns"),
+        }
+    }
+}
+
+/// A running server. Dropping the handle WITHOUT calling
+/// [`ServerHandle::stop`] leaves the threads running for the process
+/// lifetime; `stop` is the orderly path.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    engine: Arc<ShardedEngine>,
+    registry: Arc<Registry>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared metric registry (engine + serve families).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> Arc<ShardedEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Stop accepting, drain worker loops, join all server threads, and
+    /// hand back the engine (call `shutdown()` on it — via
+    /// `Arc::into_inner` — for the final [`adamove::EngineReport`]).
+    /// Open connections are closed; in-flight requests finish first
+    /// because workers drain their pump loop before exiting.
+    pub fn stop(mut self) -> Arc<ShardedEngine> {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.engine
+    }
+}
+
+/// Start serving `engine` per `config`. The server registers its
+/// `serve_*` metrics in the engine's registry and spawns
+/// `1 + workers (+ 1 admission ticker)` threads.
+pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::clone(engine.registry());
+    let obs = ServeObs::new(&registry);
+    let admission = config
+        .admission
+        .clone()
+        .map(|cfg| Arc::new(AdmissionController::new(engine.shards(), cfg, &registry)));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let open = Arc::new(AtomicUsize::new(0));
+    let workers = if config.workers == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.workers
+    };
+
+    let mut threads = Vec::with_capacity(workers + 2);
+    let mut senders = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        senders.push(tx);
+        let ctx = WorkerCtx {
+            engine: Arc::clone(&engine),
+            registry: Arc::clone(&registry),
+            obs: obs.clone(),
+            admission: admission.clone(),
+            stop: Arc::clone(&stop),
+            open: Arc::clone(&open),
+            max_payload: config.max_payload,
+            predict_timeout: config.predict_timeout,
+            idle_sleep: config.idle_sleep,
+        };
+        threads.push(
+            thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn(move || worker_loop(rx, ctx))?,
+        );
+    }
+
+    {
+        let stop = Arc::clone(&stop);
+        let open = Arc::clone(&open);
+        let obs = obs.clone();
+        let max_connections = config.max_connections;
+        let idle_sleep = config.idle_sleep;
+        threads.push(
+            thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        senders,
+                        stop,
+                        open,
+                        obs,
+                        max_connections,
+                        idle_sleep,
+                    )
+                })?,
+        );
+    }
+
+    if let Some(ctl) = admission {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let tick = config.tick_interval;
+        threads.push(
+            thread::Builder::new()
+                .name("serve-admission".to_string())
+                .spawn(move || admission_tick_loop(engine, ctl, stop, tick))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        engine,
+        registry,
+        threads,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    senders: Vec<mpsc::Sender<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    open: Arc<AtomicUsize>,
+    obs: ServeObs,
+    max_connections: usize,
+    idle_sleep: Duration,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if open.load(Ordering::Acquire) >= max_connections {
+                    obs.conn_rejected.inc();
+                    reject_busy(stream);
+                    continue;
+                }
+                obs.connections.inc();
+                open.fetch_add(1, Ordering::AcqRel);
+                obs.connections_open.inc();
+                if senders.is_empty() || senders[next % senders.len()].send(stream).is_err() {
+                    // Worker gone (only during shutdown races): undo.
+                    open.fetch_sub(1, Ordering::AcqRel);
+                    obs.connections_open.dec();
+                }
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(idle_sleep),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(idle_sleep),
+        }
+    }
+}
+
+/// Best-effort Busy reply on a connection we will not keep: briefly
+/// blocking so the frame actually leaves, then closed by drop.
+fn reject_busy(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let frame = Frame::Error {
+        code: ErrorCode::Busy,
+        retry_after_ms: 100,
+        message: "connection limit reached".to_string(),
+    };
+    let _ = stream.write_all(&protocol::encode_to_vec(&frame));
+}
+
+fn admission_tick_loop(
+    engine: Arc<ShardedEngine>,
+    ctl: Arc<AdmissionController>,
+    stop: Arc<AtomicBool>,
+    tick: Duration,
+) {
+    let shards = engine.shards();
+    let mut last: Vec<adamove_obs::HistogramSnapshot> = (0..shards)
+        .map(|s| {
+            engine
+                .shard_predict_latency(s)
+                .map_or_else(adamove_obs::HistogramSnapshot::empty, |h| h.snapshot())
+        })
+        .collect();
+    while !stop.load(Ordering::Acquire) {
+        for (shard, last_snap) in last.iter_mut().enumerate() {
+            let depth = engine
+                .shard_queue_depth(shard)
+                .map_or(0.0, |g| g.get())
+                .max(0.0) as usize;
+            let current = engine
+                .shard_predict_latency(shard)
+                .map_or_else(adamove_obs::HistogramSnapshot::empty, |h| h.snapshot());
+            let window = window_delta(&current, last_snap);
+            *last_snap = current;
+            ctl.ingest(shard, depth, &window);
+        }
+        thread::sleep(tick);
+    }
+}
+
+struct WorkerCtx {
+    engine: Arc<ShardedEngine>,
+    registry: Arc<Registry>,
+    obs: ServeObs,
+    admission: Option<Arc<AdmissionController>>,
+    stop: Arc<AtomicBool>,
+    open: Arc<AtomicUsize>,
+    max_payload: u32,
+    predict_timeout: Option<Duration>,
+    idle_sleep: Duration,
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Flush `outbuf`, then close (set on malformed input / EOF).
+    close_after_flush: bool,
+}
+
+enum Pump {
+    /// Made progress (read bytes, wrote bytes, or handled a frame).
+    Busy,
+    /// Nothing to do right now.
+    Idle,
+    /// Connection finished or failed; remove it.
+    Closed,
+}
+
+fn worker_loop(incoming: mpsc::Receiver<TcpStream>, ctx: WorkerCtx) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        // Adopt newly accepted sockets.
+        loop {
+            match incoming.try_recv() {
+                Ok(stream) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        conns.push(Conn {
+                            stream,
+                            inbuf: Vec::with_capacity(1024),
+                            outbuf: Vec::new(),
+                            close_after_flush: false,
+                        });
+                    } else {
+                        ctx.open.fetch_sub(1, Ordering::AcqRel);
+                        ctx.obs.connections_open.dec();
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            }
+        }
+        if ctx.stop.load(Ordering::Acquire) {
+            // Orderly exit: flush what we can once, then drop sockets.
+            for conn in &mut conns {
+                let _ = flush_out(conn);
+            }
+            for _ in conns.drain(..) {
+                ctx.open.fetch_sub(1, Ordering::AcqRel);
+                ctx.obs.connections_open.dec();
+            }
+            return;
+        }
+        let mut any_busy = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match pump(&mut conns[i], &ctx) {
+                Pump::Busy => {
+                    any_busy = true;
+                    i += 1;
+                }
+                Pump::Idle => i += 1,
+                Pump::Closed => {
+                    conns.swap_remove(i);
+                    ctx.open.fetch_sub(1, Ordering::AcqRel);
+                    ctx.obs.connections_open.dec();
+                }
+            }
+        }
+        if !any_busy {
+            thread::sleep(ctx.idle_sleep);
+        }
+    }
+}
+
+/// Write as much of `outbuf` as the socket accepts. `Ok(true)` when the
+/// buffer drained fully.
+fn flush_out(conn: &mut Conn) -> io::Result<bool> {
+    while !conn.outbuf.is_empty() {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                conn.outbuf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn pump(conn: &mut Conn, ctx: &WorkerCtx) -> Pump {
+    // 1. Drain pending writes first — replies already computed.
+    let drained = match flush_out(conn) {
+        Ok(d) => d,
+        Err(_) => return Pump::Closed,
+    };
+    if conn.close_after_flush {
+        return if drained { Pump::Closed } else { Pump::Busy };
+    }
+
+    // 2. Read whatever the socket has.
+    let mut chunk = [0u8; 4096];
+    let mut read_any = false;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer EOF: serve out buffered requests, then close.
+                conn.close_after_flush = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                read_any = true;
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Pump::Closed,
+        }
+    }
+
+    // 3. Decode and serve every complete frame in the buffer.
+    let mut handled_any = false;
+    loop {
+        match protocol::decode(&conn.inbuf, ctx.max_payload) {
+            Ok(Some((frame, consumed))) => {
+                conn.inbuf.drain(..consumed);
+                handled_any = true;
+                ctx.obs.frames.inc();
+                let clock = Stopwatch::start();
+                let reply = handle_frame(frame, ctx);
+                ctx.obs.request_latency.record(clock.elapsed_ns());
+                if matches!(reply, Frame::Error { .. }) {
+                    ctx.obs.errors.inc();
+                }
+                protocol::encode(&reply, &mut conn.outbuf);
+            }
+            Ok(None) => break,
+            Err(err) => {
+                // Typed error, then close: the stream cannot be re-synced.
+                ctx.obs.malformed.inc();
+                ctx.obs.errors.inc();
+                let reply = Frame::Error {
+                    code: err.error_code(),
+                    retry_after_ms: 0,
+                    message: err.to_string(),
+                };
+                protocol::encode(&reply, &mut conn.outbuf);
+                conn.inbuf.clear();
+                conn.close_after_flush = true;
+                handled_any = true;
+                break;
+            }
+        }
+    }
+    if handled_any {
+        match flush_out(conn) {
+            Ok(true) if conn.close_after_flush => return Pump::Closed,
+            Ok(_) => {}
+            Err(_) => return Pump::Closed,
+        }
+    }
+    if read_any || handled_any {
+        Pump::Busy
+    } else if conn.close_after_flush && conn.outbuf.is_empty() {
+        Pump::Closed
+    } else {
+        Pump::Idle
+    }
+}
+
+fn engine_error_reply(err: EngineError) -> Frame {
+    let code = match err {
+        EngineError::ShardDown { .. } => ErrorCode::ShardDown,
+        EngineError::Timeout { .. } => ErrorCode::Timeout,
+    };
+    Frame::Error {
+        code,
+        retry_after_ms: 100,
+        message: err.to_string(),
+    }
+}
+
+fn handle_frame(frame: Frame, ctx: &WorkerCtx) -> Frame {
+    match frame {
+        Frame::Observe { user, loc, time } => {
+            ctx.obs.observes.inc();
+            let user = UserId(user);
+            if let Some(ctl) = &ctx.admission {
+                if let Decision::Shed { retry_after_ms } = ctl.decide(ctx.engine.shard_of(user)) {
+                    return Frame::Error {
+                        code: ErrorCode::Shed,
+                        retry_after_ms,
+                        message: "overloaded, observe shed".to_string(),
+                    };
+                }
+            }
+            let point = Point {
+                loc: LocationId(loc),
+                time: Timestamp(time),
+            };
+            match ctx.engine.try_observe(user, point) {
+                Ok(()) => Frame::ObserveOk,
+                Err(err) => engine_error_reply(err),
+            }
+        }
+        Frame::Predict {
+            user,
+            now,
+            want_scores,
+        } => {
+            ctx.obs.predicts.inc();
+            let user = UserId(user);
+            if let Some(ctl) = &ctx.admission {
+                if let Decision::Shed { retry_after_ms } = ctl.decide(ctx.engine.shard_of(user)) {
+                    return Frame::Error {
+                        code: ErrorCode::Shed,
+                        retry_after_ms,
+                        message: "overloaded, predict shed".to_string(),
+                    };
+                }
+            }
+            let now = Timestamp(now);
+            let result = match ctx.predict_timeout {
+                Some(t) => ctx.engine.predict_timeout(user, now, t),
+                None => ctx.engine.try_predict(user, now),
+            };
+            match result {
+                Ok(Some(p)) => Frame::Prediction {
+                    quality: p.quality.into(),
+                    top: p.top.0,
+                    window_len: p.window_len as u32,
+                    scores: if want_scores { p.scores } else { Vec::new() },
+                },
+                Ok(None) => Frame::NoWindow,
+                Err(err) => engine_error_reply(err),
+            }
+        }
+        Frame::Snapshot => {
+            ctx.obs.snapshots.inc();
+            Frame::SnapshotReply {
+                json: to_flat_json(&ctx.registry.snapshot()),
+            }
+        }
+        other => Frame::Error {
+            code: ErrorCode::Unexpected,
+            retry_after_ms: 0,
+            message: format!("reply frame 0x{:02x} sent as a request", other.type_byte()),
+        },
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end differential oracle for the serving front-end: a seeded
+//! mini-city stream served over loopback TCP must be observationally
+//! identical to the same stream driven directly through
+//! [`ShardedEngine`] — bit-identical scores, same top-1 / window lengths
+//! / `Some`-`None` outcomes, and equal engine-side counters.
+//!
+//! This extends the engine == streaming-predictor oracle family one
+//! layer up: protocol framing, the connection state machine, and the
+//! client/server byte path are all inside the compared loop, so any
+//! f32 mangling or frame reordering in the serve crate breaks bit
+//! equality here.
+
+use adamove::{AdaMoveConfig, EngineConfig, LightMob, PttaConfig, ShardedEngine};
+use adamove_autograd::ParamStore;
+use adamove_mobility::ministream::lymob_mini;
+use adamove_mobility::UserId;
+use adamove_serve::{serve, Client, Quality, ServeConfig, WirePrediction};
+use adamove_testkit::{deterministic_reinit, workload_from_dataset, StreamEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn reinit_model(num_locations: u32, num_users: u32, seed: u64) -> (ParamStore, LightMob) {
+    let mut store = ParamStore::new();
+    let mut throwaway = StdRng::seed_from_u64(0);
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        num_locations,
+        num_users,
+        &mut throwaway,
+    );
+    deterministic_reinit(&mut store, seed);
+    (store, model)
+}
+
+fn engine_config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        context_sessions: 2,
+        session_hours: 24,
+        ptta: PttaConfig::default(),
+        ..EngineConfig::default()
+    }
+}
+
+/// Deterministic engine-side counters and user gauges from a registry
+/// snapshot — everything whose value is a function of the request
+/// sequence alone. Latency histograms are excluded by construction
+/// (wall-clock), but their `count` is restored via the counters they
+/// shadow (`engine_predicts_total` etc. already pin request counts).
+fn deterministic_state(registry: &adamove_obs::Registry) -> BTreeMap<String, String> {
+    let snap = registry.snapshot();
+    let mut out = BTreeMap::new();
+    for (k, v) in &snap.counters {
+        if k.starts_with("engine_") || k.starts_with("stream_") || k.starts_with("ptta_") {
+            out.insert(k.clone(), v.to_string());
+        }
+    }
+    for (k, v) in &snap.gauges {
+        if k.starts_with("engine_users") || k.starts_with("engine_queue_depth") {
+            out.insert(k.clone(), format!("{v}"));
+        }
+    }
+    for (k, h) in &snap.histograms {
+        if k.starts_with("engine_") || k.starts_with("ptta_") {
+            out.insert(format!("{k}#count"), h.count.to_string());
+        }
+    }
+    out
+}
+
+/// Round-robin the workload directly through an engine (the reference).
+fn run_direct(
+    model: &Arc<LightMob>,
+    store: &Arc<ParamStore>,
+    shards: usize,
+    workload: &[(UserId, Vec<StreamEvent>)],
+) -> (Vec<Vec<Option<WirePrediction>>>, BTreeMap<String, String>) {
+    let engine = ShardedEngine::new(Arc::clone(model), Arc::clone(store), engine_config(shards));
+    let mut preds: Vec<Vec<Option<WirePrediction>>> = vec![Vec::new(); workload.len()];
+    let max_len = workload.iter().map(|(_, ev)| ev.len()).max().unwrap_or(0);
+    for step in 0..max_len {
+        for (ui, (user, events)) in workload.iter().enumerate() {
+            match events.get(step) {
+                Some(StreamEvent::Observe(p)) => {
+                    engine.try_observe(*user, *p).expect("direct observe")
+                }
+                Some(StreamEvent::Predict(now)) => {
+                    let pred = engine.try_predict(*user, *now).expect("direct predict");
+                    preds[ui].push(pred.map(|p| WirePrediction {
+                        quality: p.quality.into(),
+                        top: p.top.0,
+                        window_len: p.window_len as u32,
+                        scores: p.scores,
+                    }));
+                }
+                None => {}
+            }
+        }
+    }
+    engine.flush();
+    let state = deterministic_state(engine.registry());
+    let report = engine.shutdown();
+    assert!(report.healthy(), "direct engine unhealthy");
+    (preds, state)
+}
+
+/// The same round-robin, but over loopback TCP through the server.
+fn run_served(
+    model: &Arc<LightMob>,
+    store: &Arc<ParamStore>,
+    shards: usize,
+    workload: &[(UserId, Vec<StreamEvent>)],
+) -> (Vec<Vec<Option<WirePrediction>>>, BTreeMap<String, String>) {
+    let engine = Arc::new(ShardedEngine::new(
+        Arc::clone(model),
+        Arc::clone(store),
+        engine_config(shards),
+    ));
+    // No admission control: the oracle compares request-for-request, so
+    // nothing may be shed. (Admission behaviour has its own tests.)
+    let handle = serve(
+        engine,
+        ServeConfig {
+            workers: 2,
+            admission: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut preds: Vec<Vec<Option<WirePrediction>>> = vec![Vec::new(); workload.len()];
+    let max_len = workload.iter().map(|(_, ev)| ev.len()).max().unwrap_or(0);
+    for step in 0..max_len {
+        for (ui, (user, events)) in workload.iter().enumerate() {
+            match events.get(step) {
+                Some(StreamEvent::Observe(p)) => client
+                    .observe(user.0, p.loc.0, p.time.0)
+                    .expect("served observe"),
+                Some(StreamEvent::Predict(now)) => {
+                    preds[ui].push(client.predict(user.0, now.0, true).expect("served predict"));
+                }
+                None => {}
+            }
+        }
+    }
+    let engine = handle.stop();
+    engine.flush();
+    let state = deterministic_state(engine.registry());
+    let engine = Arc::into_inner(engine).expect("sole engine ref");
+    let report = engine.shutdown();
+    assert!(report.healthy(), "served engine unhealthy");
+    (preds, state)
+}
+
+#[test]
+fn loopback_serving_is_bit_identical_to_direct_engine() {
+    let cfg = lymob_mini();
+    let dataset = cfg.generate();
+    let (store, model) = reinit_model(cfg.locations, cfg.users as u32, 9);
+    let (model, store) = (Arc::new(model), Arc::new(store));
+    let workload = workload_from_dataset(&dataset, 4, 40);
+    assert!(workload.len() >= 8, "workload too small");
+
+    for shards in [1usize, 4] {
+        let (direct, direct_state) = run_direct(&model, &store, shards, &workload);
+        let (served, served_state) = run_served(&model, &store, shards, &workload);
+
+        let mut compared = 0usize;
+        for (ui, (user, _)) in workload.iter().enumerate() {
+            assert_eq!(
+                direct[ui].len(),
+                served[ui].len(),
+                "shards={shards} user {}: prediction count",
+                user.0
+            );
+            for (k, (d, s)) in direct[ui].iter().zip(&served[ui]).enumerate() {
+                match (d, s) {
+                    (None, None) => {}
+                    (Some(d), Some(s)) => {
+                        assert_eq!(
+                            d.scores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                            s.scores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                            "shards={shards} user {} prediction {k}: scores",
+                            user.0
+                        );
+                        assert_eq!(d.top, s.top, "shards={shards} user {} pred {k}", user.0);
+                        assert_eq!(
+                            d.window_len, s.window_len,
+                            "shards={shards} user {} pred {k}",
+                            user.0
+                        );
+                        assert_eq!(d.quality, Quality::Adapted);
+                        assert_eq!(s.quality, Quality::Adapted);
+                    }
+                    (d, s) => panic!(
+                        "shards={shards} user {} prediction {k}: direct {} vs served {}",
+                        user.0,
+                        if d.is_some() { "Some" } else { "None" },
+                        if s.is_some() { "Some" } else { "None" }
+                    ),
+                }
+                compared += 1;
+            }
+        }
+        assert!(
+            compared >= 50,
+            "shards={shards}: only {compared} predictions"
+        );
+        assert_eq!(
+            direct_state, served_state,
+            "shards={shards}: engine-side deterministic metrics diverged"
+        );
+    }
+}

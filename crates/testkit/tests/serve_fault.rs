@@ -1,0 +1,257 @@
+//! Socket-layer fault injection: a [`FaultPlan`] kills a shard while a
+//! client is streaming over loopback TCP. With checkpointing on, the
+//! connected client must observe *nothing* — every reply `Ok`, healed
+//! predictions bit-identical to a never-crashed run. With checkpointing
+//! off, the client gets typed `Degraded`-quality replies instead of
+//! errors. In both runs the connection is never dropped, and the
+//! engine/serve counters are pinned to ground truth so the wire path
+//! provably neither invents nor swallows failures.
+
+use adamove::{
+    shard_of, AdaMoveConfig, EngineConfig, LightMob, PttaConfig, RecoveryConfig, RetryPolicy,
+    ShardedEngine,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use adamove_serve::{serve, Quality, ServeConfig};
+use adamove_testkit::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const LOCATIONS: u32 = 8;
+const USERS: u32 = 12;
+const SHARDS: usize = 2;
+
+fn model() -> (Arc<ParamStore>, Arc<LightMob>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    (Arc::new(store), Arc::new(model))
+}
+
+fn config(recovery: RecoveryConfig) -> EngineConfig {
+    EngineConfig {
+        shards: SHARDS,
+        context_sessions: 2,
+        session_hours: 24,
+        ptta: PttaConfig::default(),
+        recovery: Some(recovery),
+        ..EngineConfig::default()
+    }
+}
+
+fn pt(loc: u32, hour: i64) -> Point {
+    Point::new(loc, Timestamp::from_hours(hour))
+}
+
+fn counter(engine: &ShardedEngine, name: &str) -> u64 {
+    engine
+        .registry()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        // Admission is off: these tests pin exact reply sequences, and
+        // nothing here should ever be shed.
+        admission: None,
+        ..ServeConfig::default()
+    }
+}
+
+/// A shard dies mid-connection while checkpointing is on: the client
+/// sees only transparent retries — every reply `Ok`, post-heal
+/// predictions bit-identical to a direct engine that never crashed —
+/// and the respawn is visible *only* in the counters.
+#[test]
+fn shard_death_mid_connection_is_invisible_to_the_client() {
+    let (store, m) = model();
+    let recovery = RecoveryConfig {
+        checkpoint_interval: 6,
+        journal_capacity: 4096,
+        retry: RetryPolicy::default(),
+        breaker: None,
+        supervise_interval: None,
+    };
+    let victim = shard_of(UserId(0), SHARDS);
+
+    // Reference: same model, same traffic, no faults, no sockets.
+    let golden = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(recovery.clone()));
+
+    // Served engine: the victim shard panics processing its 11th request,
+    // mid-stream and past the first checkpoint.
+    let engine = Arc::new(ShardedEngine::with_disturbance(
+        Arc::clone(&m),
+        Arc::clone(&store),
+        config(recovery),
+        Some(Arc::new(FaultPlan::new(17).panic_at(victim, 10))),
+    ));
+    let handle = serve(engine, serve_config()).expect("server start");
+    let mut client = adamove_serve::Client::connect(handle.addr()).expect("connect");
+
+    let mut observes = 0u64;
+    for step in 0..16i64 {
+        for u in 0..USERS {
+            let p = pt((u + step as u32) % LOCATIONS, step);
+            golden.observe(UserId(u), p);
+            client
+                .observe(u, p.loc.0, p.time.0)
+                .expect("observe must survive the shard kill transparently");
+            observes += 1;
+        }
+    }
+    let now = Timestamp::from_hours(17);
+    for u in 0..USERS {
+        let reference = golden.predict(UserId(u), now).expect("golden window");
+        let healed = client
+            .predict(u, now.0, true)
+            .expect("predict must survive the shard kill transparently")
+            .expect("healed window");
+        assert_eq!(
+            healed
+                .scores
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            reference
+                .scores
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            "user {u}: healed wire scores must be bit-identical"
+        );
+        assert_eq!(healed.top, reference.top.0, "user {u}");
+        assert_eq!(healed.window_len, reference.window_len as u32, "user {u}");
+        assert_eq!(healed.quality, Quality::Adapted, "user {u}");
+    }
+    golden.shutdown();
+
+    // The connection is still alive after everything above.
+    client.observe(0, 1, now.0).expect("connection still alive");
+    drop(client);
+
+    let engine = handle.stop();
+    // Ground truth: exactly one respawn, zero degradation, and the wire
+    // layer surfaced zero errors while carrying the full request stream.
+    assert_eq!(counter(&engine, "engine_respawns_total"), 1);
+    assert_eq!(counter(&engine, "engine_degraded_predictions_total"), 0);
+    assert!(counter(&engine, "engine_replayed_observes_total") > 0);
+    assert_eq!(counter(&engine, "serve_errors_total"), 0);
+    assert_eq!(counter(&engine, "serve_malformed_total"), 0);
+    assert_eq!(counter(&engine, "serve_conn_rejected_total"), 0);
+    assert_eq!(counter(&engine, "serve_connections_total"), 1);
+    assert_eq!(counter(&engine, "serve_observes_total"), observes + 1);
+    assert_eq!(counter(&engine, "serve_predicts_total"), u64::from(USERS));
+
+    let engine = Arc::into_inner(engine).expect("sole engine ref");
+    let report = engine.shutdown();
+    assert!(report.healthy(), "healed shard is not a casualty");
+    assert_eq!(report.respawns, 1);
+}
+
+/// The same kill with checkpointing disabled: the respawned shard cannot
+/// replay, so connected clients get `Degraded`-quality replies for the
+/// victim shard's users — typed on the wire, never an error frame, never
+/// a dropped connection — and the degraded counter matches exactly.
+#[test]
+fn checkpointless_death_degrades_on_the_wire_without_dropping_the_connection() {
+    let (store, m) = model();
+    let victim = shard_of(UserId(0), SHARDS);
+    let victim_users: Vec<u32> = (0..USERS)
+        .filter(|&u| shard_of(UserId(u), SHARDS) == victim)
+        .collect();
+    // Kill the victim on its *last* observe so no later observe rebuilds
+    // a window before the predicts arrive (mirrors the direct-engine
+    // degradation test — the only schedule where degradation is visible).
+    let kill_seq = victim_users.len() as u64 * 10 - 1;
+
+    let engine = Arc::new(ShardedEngine::with_disturbance(
+        Arc::clone(&m),
+        Arc::clone(&store),
+        config(RecoveryConfig {
+            checkpoint_interval: 0,
+            journal_capacity: 64,
+            ..RecoveryConfig::default()
+        }),
+        Some(Arc::new(FaultPlan::new(3).panic_at(victim, kill_seq))),
+    ));
+    let handle = serve(engine, serve_config()).expect("server start");
+    let mut client = adamove_serve::Client::connect(handle.addr()).expect("connect");
+
+    // Skewed traffic gives the population prior a clear winner (loc 7).
+    for step in 0..10i64 {
+        for u in 0..USERS {
+            let loc = if step % 2 == 0 { 7 } else { u % 4 };
+            let p = pt(loc, step);
+            client
+                .observe(u, p.loc.0, p.time.0)
+                .expect("observe must never error");
+        }
+    }
+    let now = Timestamp::from_hours(11);
+    let mut degraded = 0u64;
+    for u in 0..USERS {
+        let p = client
+            .predict(u, now.0, false)
+            .expect("degradation must be a typed reply, not an error frame")
+            .expect("degradation must never lose a user");
+        if shard_of(UserId(u), SHARDS) == victim {
+            assert_eq!(p.quality, Quality::Degraded, "user {u}");
+            assert_eq!(p.top, 7, "population-prior winner");
+            assert_eq!(p.window_len, 0, "no per-user state survives");
+            degraded += 1;
+        } else {
+            assert_eq!(p.quality, Quality::Adapted, "user {u}");
+        }
+    }
+    assert_eq!(degraded, victim_users.len() as u64);
+
+    // Fresh observes over the same (never-dropped) connection rebuild
+    // real windows: the shard heals naturally under live traffic.
+    for step in 11..14i64 {
+        for u in 0..USERS {
+            client
+                .observe(
+                    u,
+                    (u + step as u32) % LOCATIONS,
+                    Timestamp::from_hours(step).0,
+                )
+                .expect("post-degradation observe");
+        }
+    }
+    for u in 0..USERS {
+        let p = client
+            .predict(u, Timestamp::from_hours(15).0, false)
+            .expect("rebuilt predict")
+            .expect("rebuilt window");
+        assert_eq!(p.quality, Quality::Adapted, "user {u}");
+    }
+    drop(client);
+
+    let engine = handle.stop();
+    assert_eq!(counter(&engine, "engine_respawns_total"), 1);
+    assert_eq!(
+        counter(&engine, "engine_degraded_predictions_total"),
+        degraded,
+        "counter must match the observed degraded wire replies exactly"
+    );
+    assert_eq!(counter(&engine, "serve_errors_total"), 0);
+    assert_eq!(counter(&engine, "serve_connections_total"), 1);
+
+    let engine = Arc::into_inner(engine).expect("sole engine ref");
+    let report = engine.shutdown();
+    assert_eq!(report.degraded_predictions, degraded as usize);
+    assert!(report.healthy());
+}

@@ -1,0 +1,431 @@
+//! Wire-protocol acceptance: the codec round-trips every frame type
+//! under property testing, and a live server answers a malformed-frame
+//! corpus with typed errors — never a panic, never a leaked connection
+//! slot.
+//!
+//! The malformed corpus drives raw bytes (not the [`Client`]) at a
+//! server with a deliberately tiny connection cap, so slot leakage shows
+//! up immediately: if an abused connection's slot were not reclaimed,
+//! the follow-up well-formed connection could never be admitted.
+
+use adamove::{AdaMoveConfig, EngineConfig, LightMob, ShardedEngine};
+use adamove_autograd::ParamStore;
+use adamove_serve::{
+    decode, encode_to_vec, serve, Client, ErrorCode, Frame, Quality, ServeConfig, ServerHandle,
+    DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Property: encode → decode is the identity for every frame type.
+// ---------------------------------------------------------------------
+
+/// Build one frame from a discriminant plus generic raw material — keeps
+/// the strategy to plain ranges/vecs so it runs under both real proptest
+/// and the offline stub.
+fn build_frame(kind: usize, a: u32, b: i64, flag: bool, scores: &[u32], text: &str) -> Frame {
+    match kind {
+        0 => Frame::Observe {
+            user: a,
+            loc: a.wrapping_mul(31),
+            time: b,
+        },
+        1 => Frame::Predict {
+            user: a,
+            now: b,
+            want_scores: flag,
+        },
+        2 => Frame::Snapshot,
+        3 => Frame::ObserveOk,
+        4 => Frame::Prediction {
+            quality: match a % 3 {
+                0 => Quality::Adapted,
+                1 => Quality::Frozen,
+                _ => Quality::Degraded,
+            },
+            top: a,
+            window_len: a.wrapping_add(7),
+            // Raw u32 bits -> f32: covers NaNs, infinities, subnormals.
+            scores: scores.iter().map(|&bits| f32::from_bits(bits)).collect(),
+        },
+        5 => Frame::NoWindow,
+        6 => Frame::SnapshotReply {
+            json: text.to_string(),
+        },
+        _ => Frame::Error {
+            code: match a % 9 {
+                0 => ErrorCode::Malformed,
+                1 => ErrorCode::BadVersion,
+                2 => ErrorCode::UnknownFrame,
+                3 => ErrorCode::Oversized,
+                4 => ErrorCode::Shed,
+                5 => ErrorCode::ShardDown,
+                6 => ErrorCode::Timeout,
+                7 => ErrorCode::Busy,
+                _ => ErrorCode::Unexpected,
+            },
+            retry_after_ms: a,
+            message: text.to_string(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrip_identity(
+        kind in 0usize..8,
+        a in 0u32..u32::MAX,
+        b in i64::MIN..i64::MAX,
+        flag in proptest::bool::ANY,
+        scores in proptest::collection::vec(0u32..u32::MAX, 0..24),
+        text_bytes in proptest::collection::vec(0u32..128, 0..48),
+    ) {
+        let text: String = text_bytes
+            .iter()
+            .filter_map(|&c| char::from_u32(c))
+            .collect();
+        let frame = build_frame(kind, a, b, flag, &scores, &text);
+        let bytes = encode_to_vec(&frame);
+        let decoded = decode(&bytes, DEFAULT_MAX_PAYLOAD);
+        prop_assert!(
+            matches!(decoded, Ok(Some(_))),
+            "frame did not decode: {:?}",
+            decoded
+        );
+        let Ok(Some((back, consumed))) = decoded else {
+            unreachable!()
+        };
+        prop_assert_eq!(consumed, bytes.len());
+        // Score vectors may hold NaN (PartialEq-false); compare bits.
+        match (&back, &frame) {
+            (
+                Frame::Prediction { scores: s1, quality: q1, top: t1, window_len: w1 },
+                Frame::Prediction { scores: s2, quality: q2, top: t2, window_len: w2 },
+            ) => {
+                prop_assert_eq!(q1, q2);
+                prop_assert_eq!(t1, t2);
+                prop_assert_eq!(w1, w2);
+                let b1: Vec<u32> = s1.iter().map(|f| f.to_bits()).collect();
+                let b2: Vec<u32> = s2.iter().map(|f| f.to_bits()).collect();
+                prop_assert_eq!(b1, b2);
+            }
+            _ => prop_assert_eq!(&back, &frame),
+        }
+    }
+
+    /// Every prefix of a valid frame asks for more bytes rather than
+    /// erroring or mis-decoding.
+    #[test]
+    fn prefixes_never_error(
+        kind in 0usize..8,
+        a in 0u32..u32::MAX,
+        b in i64::MIN..i64::MAX,
+    ) {
+        let frame = build_frame(kind, a, b, true, &[1, 2, 3], "x");
+        let bytes = encode_to_vec(&frame);
+        for cut in 2..bytes.len() {
+            prop_assert_eq!(decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD), Ok(None));
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder: it yields a frame,
+    /// asks for more, or fails with a typed error.
+    #[test]
+    fn decoder_is_total_on_garbage(
+        bytes in proptest::collection::vec(0u32..256, 0..64),
+    ) {
+        let buf: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let _ = decode(&buf, DEFAULT_MAX_PAYLOAD);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live-server malformed corpus.
+// ---------------------------------------------------------------------
+
+fn tiny_server(max_connections: usize) -> ServerHandle {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 8, 12, &mut rng);
+    let engine = Arc::new(ShardedEngine::new(
+        Arc::new(model),
+        Arc::new(store),
+        EngineConfig {
+            shards: 1,
+            context_sessions: 2,
+            session_hours: 24,
+            ..EngineConfig::default()
+        },
+    ));
+    serve(
+        engine,
+        ServeConfig {
+            max_connections,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start")
+}
+
+fn shutdown(handle: ServerHandle) {
+    let engine = handle.stop();
+    if let Some(engine) = Arc::into_inner(engine) {
+        drop(engine.shutdown());
+    }
+}
+
+/// Read one frame from a raw socket (blocking, bounded).
+fn read_frame(stream: &mut TcpStream) -> Result<Frame, String> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        match decode(&buf, DEFAULT_MAX_PAYLOAD) {
+            Ok(Some((frame, _))) => return Ok(frame),
+            Ok(None) => {}
+            Err(e) => return Err(format!("protocol: {e}")),
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("eof".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Read until EOF, asserting the server closed the connection.
+fn expect_eof(stream: &mut TcpStream) {
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(_) => {}
+            // A reset also proves the server dropped the connection.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Poll (no sleeps in tests) until `accepted` connections have been
+/// admitted by the acceptor AND every open slot has drained. Requiring
+/// the cumulative counter closes a race: a stream the client already
+/// dropped can still sit unaccepted in the kernel backlog, where it
+/// holds no slot yet — gauge 0 alone would declare victory early and a
+/// follow-up connect could then race it for the free slots.
+fn wait_drained(handle: &ServerHandle, accepted: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = handle.registry().snapshot();
+        let total = snap
+            .counters
+            .get("serve_connections_total")
+            .copied()
+            .unwrap_or(0);
+        let open = snap
+            .gauges
+            .get("serve_connections_open")
+            .copied()
+            .unwrap_or(0.0);
+        if total >= accepted && open <= 0.0 {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection slots not reclaimed: {total}/{accepted} accepted, {open} open"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Each corpus entry: a byte payload and the typed error it must earn.
+fn malformed_corpus() -> Vec<(Vec<u8>, ErrorCode)> {
+    let valid = encode_to_vec(&Frame::Snapshot);
+    let bad_version = {
+        let mut v = valid.clone();
+        v[2] = 0x63;
+        v
+    };
+    let unknown_type = {
+        let mut v = valid.clone();
+        v[3] = 0x44;
+        v
+    };
+    let oversized = {
+        let mut v = valid.clone();
+        v[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        v
+    };
+    let bad_payload = {
+        // Observe frame whose declared length disagrees with the layout.
+        let mut v = encode_to_vec(&Frame::Observe {
+            user: 1,
+            loc: 2,
+            time: 3,
+        });
+        v[4..8].copy_from_slice(&6u32.to_le_bytes());
+        v.truncate(HEADER_LEN + 6);
+        v
+    };
+    let reply_as_request = encode_to_vec(&Frame::ObserveOk);
+    vec![
+        (
+            b"GET / HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+            ErrorCode::Malformed,
+        ),
+        (bad_version, ErrorCode::BadVersion),
+        (unknown_type, ErrorCode::UnknownFrame),
+        (oversized, ErrorCode::Oversized),
+        (bad_payload, ErrorCode::Malformed),
+        (reply_as_request, ErrorCode::Unexpected),
+    ]
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_slots_are_reclaimed() {
+    // Cap of 2 slots: any leak across the corpus would wedge admission.
+    let handle = tiny_server(2);
+    let addr = handle.addr();
+
+    for (round, (bytes, expect)) in malformed_corpus().into_iter().enumerate() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&bytes).expect("write corpus");
+        let frame =
+            read_frame(&mut stream).unwrap_or_else(|e| panic!("round {round}: no reply ({e})"));
+        match frame {
+            Frame::Error { code, .. } => {
+                assert_eq!(code, expect, "round {round}");
+            }
+            other => panic!("round {round}: expected error, got {other:?}"),
+        }
+        // `Unexpected` (a well-formed but wrong-direction frame) keeps
+        // the connection; everything malformed closes it.
+        if expect != ErrorCode::Unexpected {
+            expect_eof(&mut stream);
+        }
+        drop(stream);
+        wait_drained(&handle, round as u64 + 1);
+    }
+
+    // Mid-frame disconnect: a partial header then a hangup must also
+    // free the slot without a reply. One at a time — with a cap of 2,
+    // a burst of already-dropped connections could legitimately earn
+    // Busy rejections before the workers reap them, and this test pins
+    // the rejection counter to zero.
+    for i in 0..4u64 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&[0xAD]).expect("write partial");
+        drop(stream);
+        wait_drained(&handle, 7 + i);
+    }
+
+    // After the whole corpus the server still serves: both remaining
+    // slots admit fresh well-formed clients concurrently.
+    let mut a = Client::connect(addr).expect("client a");
+    let mut b = Client::connect(addr).expect("client b");
+    a.observe(1, 3, 3_600).expect("observe after corpus");
+    b.observe(2, 4, 3_600).expect("observe after corpus");
+    assert!(a.predict(9, 7_200, false).expect("predict").is_none());
+
+    let snap = handle.registry().snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("serve_malformed_total"), 5);
+    // 5 malformed + 1 unexpected-frame reply.
+    assert_eq!(counter("serve_errors_total"), 6);
+    assert_eq!(counter("serve_conn_rejected_total"), 0);
+
+    drop((a, b));
+    shutdown(handle);
+}
+
+#[test]
+fn connection_cap_rejects_with_busy_and_recovers() {
+    let handle = tiny_server(1);
+    let addr = handle.addr();
+
+    let mut first = Client::connect(addr).expect("first");
+    first.observe(1, 2, 3_600).expect("observe");
+
+    // Second connection while the slot is held: typed Busy with a
+    // retry hint, then the server closes it.
+    let mut stream = TcpStream::connect(addr).expect("second connect");
+    match read_frame(&mut stream) {
+        Ok(Frame::Error {
+            code,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(code, ErrorCode::Busy);
+            assert!(retry_after_ms > 0, "busy replies carry a retry hint");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    expect_eof(&mut stream);
+
+    // Releasing the first slot re-admits new clients.
+    drop(first);
+    wait_drained(&handle, 1);
+    let mut again = Client::connect(addr).expect("after release");
+    again.observe(3, 1, 3_600).expect("observe after release");
+
+    let snap = handle.registry().snapshot();
+    assert_eq!(
+        snap.counters.get("serve_conn_rejected_total").copied(),
+        Some(1)
+    );
+    drop(again);
+    shutdown(handle);
+}
+
+#[test]
+fn pipelined_requests_reply_in_order() {
+    let handle = tiny_server(4);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    // Send a burst without reading, then drain: replies must arrive in
+    // request order (observe-ok, observe-ok, prediction-or-nowindow).
+    client
+        .send(&Frame::Observe {
+            user: 1,
+            loc: 2,
+            time: 3_600,
+        })
+        .expect("send");
+    client
+        .send(&Frame::Observe {
+            user: 1,
+            loc: 3,
+            time: 7_200,
+        })
+        .expect("send");
+    client
+        .send(&Frame::Predict {
+            user: 1,
+            now: 10_800,
+            want_scores: true,
+        })
+        .expect("send");
+    assert_eq!(client.recv().expect("r1"), Frame::ObserveOk);
+    assert_eq!(client.recv().expect("r2"), Frame::ObserveOk);
+    match client.recv().expect("r3") {
+        Frame::Prediction { scores, .. } => assert!(!scores.is_empty()),
+        Frame::NoWindow => panic!("two observes in-session must build a window"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // SNAPSHOT over the same pipe returns parseable flat JSON.
+    let json = client.snapshot().expect("snapshot");
+    let fields = adamove_testkit::json::parse_flat(&json).expect("snapshot parses");
+    assert!(fields.contains_key("serve_frames_total"));
+    drop(client);
+    shutdown(handle);
+}

@@ -34,6 +34,15 @@ if ! git diff --quiet HEAD -- crates/testkit/tests/golden 2>/dev/null; then
     git --no-pager diff --stat HEAD -- crates/testkit/tests/golden >&2
     exit 1
 fi
+# Serving smoke: a 3-second open-loop load test against the socket
+# front-end, gating on its SLOs (sustained predict rate, predict p99,
+# zero unexpected wire errors). --no-metrics keeps the committed
+# BENCH_serving.json out of CI's hands. One retry: on a 1-CPU runner a
+# single ~100 ms preemption of the sender (e.g. residual compile/cache
+# activity) can poison the 3-second tail; a persistent SLO breach still
+# fails both attempts.
+cargo run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics ||
+    cargo run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Repo-specific invariants clippy cannot see (determinism, panic-free

@@ -51,6 +51,11 @@ if [ "${1:-}" = "full" ]; then
         git --no-pager diff --stat HEAD -- crates/testkit/tests/golden >&2
         exit 1
     fi
+    # Serving SLO smoke: open-loop load against the socket front-end,
+    # gating on predict rate / p99 / zero unexpected errors. One retry
+    # absorbs one-off tail poisoning on a 1-CPU box (see check.sh).
+    "$self" run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics ||
+        "$self" run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics
     "$self" fmt --check
     "$self" clippy --workspace --all-targets -- -D warnings
     # Repo-specific invariants clippy cannot see (determinism, panic-free
