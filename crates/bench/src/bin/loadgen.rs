@@ -358,24 +358,40 @@ fn main() {
     }
     let elapsed = start.elapsed().as_secs_f64().min(args.duration_secs);
 
-    // Shed-rate from the server's own counters when we ran it in-process
-    // (ground truth); otherwise from client-observed shed replies.
-    let mut serve_shed = total.sheds as f64;
-    let mut serve_accepted = 0.0f64;
+    // Server-side ground truth: the in-process registry when we own the
+    // server, otherwise scraped over the wire with a SNAPSHOT frame so
+    // `--addr` runs persist the same shed/transition counters.
+    let mut serve_fields: Vec<(String, f64)> = Vec::new();
     if let Some(handle) = &in_process {
         let snap = handle.registry().snapshot();
-        serve_shed = snap
-            .counters
+        serve_fields.extend(
+            snap.counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("serve_"))
+                .map(|(k, v)| (k.clone(), *v as f64)),
+        );
+    } else if let Ok(json) = Client::connect(addr.as_str()).and_then(|mut c| c.snapshot()) {
+        if let Ok(fields) = adamove_testkit::json::parse_flat(&json) {
+            serve_fields.extend(fields.into_iter().filter_map(|(k, v)| {
+                (k.starts_with("serve_") && k.contains("_total"))
+                    .then(|| v.as_num(&k).ok().map(|n| (k, n)))
+                    .flatten()
+            }));
+        }
+    }
+    let sum_of = |prefix: &str| -> f64 {
+        serve_fields
             .iter()
-            .filter(|(k, _)| k.starts_with("serve_shed_total"))
-            .map(|(_, v)| *v as f64)
-            .sum();
-        serve_accepted = snap
-            .counters
-            .iter()
-            .filter(|(k, _)| k.starts_with("serve_accepted_total"))
-            .map(|(_, v)| *v as f64)
-            .sum();
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let mut serve_shed = sum_of("serve_shed_total");
+    let serve_accepted = sum_of("serve_accepted_total");
+    let serve_transitions = sum_of("serve_shed_transitions_total");
+    if serve_fields.is_empty() {
+        // No server-side view at all: fall back to client-observed sheds.
+        serve_shed = total.sheds as f64;
     }
     let attempts = serve_accepted + serve_shed;
     let shed_rate = if attempts > 0.0 {
@@ -414,8 +430,9 @@ fn main() {
         p99 / 1e6
     );
     println!(
-        "shed rate {:.4} ({} shed / {} admission decisions) | unexpected errors {}",
-        shed_rate, serve_shed as u64, attempts as u64, total.unexpected_errors
+        "shed rate {:.4} ({} shed / {} admission decisions, {} shed transitions) | unexpected errors {}",
+        shed_rate, serve_shed as u64, attempts as u64, serve_transitions as u64,
+        total.unexpected_errors
     );
     if let Some(sample) = &total.unexpected_sample {
         println!("  first unexpected error: {sample}");
@@ -452,15 +469,17 @@ fn main() {
         registry
             .counter("loadgen_unexpected_errors_total")
             .add(total.unexpected_errors);
-        // Carry the server's serve_* counters alongside when in-process.
-        if let Some(handle) = &in_process {
-            let snap = handle.registry().snapshot();
-            for (k, v) in &snap.counters {
-                if k.starts_with("serve_") {
-                    registry.counter(k).add(*v);
-                }
-            }
+        // Carry the server's own counters alongside (per-shard labeled
+        // keys plus unlabeled cross-shard aggregates), so the persisted
+        // file answers "did the server shed, and how often did the
+        // policy flip" without a live registry.
+        for (k, v) in &serve_fields {
+            registry.counter(k).add(*v as u64);
         }
+        registry.counter("serve_shed_total").add(serve_shed as u64);
+        registry
+            .counter("serve_shed_transitions_total")
+            .add(serve_transitions as u64);
         let path = args.metrics.as_ref().map(std::path::Path::new);
         merge_serving_metrics(&registry, &["loadgen_", "serve_"], path);
     }

@@ -71,7 +71,10 @@
 //!
 //! Every engine owns an [`adamove_obs::Registry`]: per-shard counters
 //! (`engine_observes_total{shard="i"}`, predicts, flushes, dropped
-//! observes), a predict-latency histogram, queue-depth and live-user
+//! observes), a predict-latency histogram, per-stage latency histograms
+//! (`engine_stage_latency_ns{shard="i",stage="queue_wait"|"forward"|`
+//! `"adapt"|"journal"}` — the engine's slice of the request-stage
+//! taxonomy, see [`adamove_obs::Stage`]), queue-depth and live-user
 //! gauges, plus engine-level fault counters (`engine_shard_down_total`,
 //! `engine_timeout_total`). With recovery enabled the registry also
 //! carries `engine_respawns_total`, `engine_replayed_observes_total`,
@@ -84,8 +87,10 @@
 //! respawns) is visible before shutdown; the final [`EngineReport`] is
 //! rebuilt from the same registry. Pass a sink-equipped [`Tracer`] via
 //! [`ShardedEngine::with_observability`] to also get span events
-//! (`shard_panic`, `shard_respawn`, `shard_checkpoint`); the default
-//! no-op tracer costs one branch.
+//! (`shard_panic`, `shard_respawn`, `shard_checkpoint`, and — for
+//! requests that carry a [`TraceContext`] through
+//! [`ShardedEngine::predict_traced`] — `shard_predict` with the request
+//! id and per-stage timings); the default no-op tracer costs one branch.
 
 use crate::eval::LatencyProfile;
 use crate::lightmob::LightMob;
@@ -99,7 +104,8 @@ use crate::streaming::{PredictionQuality, StreamObs, StreamPrediction, Streaming
 use adamove_autograd::ParamStore;
 use adamove_mobility::{LocationId, Point, Timestamp, UserId};
 use adamove_obs::{
-    event, labeled, lock, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Tracer,
+    event, labeled, lock, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Stage, Stopwatch,
+    TraceContext, Tracer,
 };
 use adamove_tensor::det::mix64;
 use std::fmt;
@@ -332,6 +338,23 @@ impl EngineReport {
     }
 }
 
+/// Engine-side per-stage breakdown of one predict request: where the
+/// time went between enqueue and reply. Returned alongside the
+/// prediction by [`ShardedEngine::predict_traced`] and recorded into the
+/// per-shard `engine_stage_latency_ns{stage="..."}` histograms. Forward
+/// and adapt are the batch's wall clock split evenly across its
+/// requests, with the adapt share attributed by diffing the PTTA
+/// adapt-latency total across the batched forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStages {
+    /// Time waited in the shard's request queue, nanoseconds.
+    pub queue_ns: u64,
+    /// Share of the batched device forward pass, minus adaptation.
+    pub forward_ns: u64,
+    /// Share of PTTA test-time adaptation within the forward pass.
+    pub adapt_ns: u64,
+}
+
 enum Request {
     /// An observed check-in. The `u64` is its write-ahead journal id
     /// (0 when the recovery layer is off), used by the worker to track
@@ -340,7 +363,12 @@ enum Request {
     Predict {
         user: UserId,
         now: Timestamp,
-        reply: mpsc::Sender<Option<StreamPrediction>>,
+        /// Trace identity carried from the serving front-end (`None`
+        /// for untraced callers — the common case, which pays nothing).
+        ctx: Option<TraceContext>,
+        /// Started at enqueue; read at drain for the queue-wait stage.
+        enqueued: Stopwatch,
+        reply: mpsc::Sender<(Option<StreamPrediction>, EngineStages)>,
     },
     Flush(mpsc::Sender<()>),
 }
@@ -364,6 +392,10 @@ struct ShardObs {
     flushes: Counter,
     dropped_observes: Counter,
     predict_latency: Histogram,
+    stage_queue_wait: Histogram,
+    stage_forward: Histogram,
+    stage_adapt: Histogram,
+    stage_journal: Histogram,
     queue_depth: Gauge,
     users: Gauge,
 }
@@ -372,12 +404,28 @@ impl ShardObs {
     fn register(registry: &Registry, shard: usize) -> Self {
         let s = shard.to_string();
         let l = |name: &str| labeled(name, &[("shard", &s)]);
+        // One metric name, one `stage` label per taxonomy entry — the
+        // same vocabulary the serve layer uses for its wire-side stages.
+        let stage = |st: Stage| {
+            labeled(
+                "engine_stage_latency_ns",
+                &[("shard", &s), ("stage", st.name())],
+            )
+        };
+        let queue_wait_name = stage(Stage::QueueWait);
+        let forward_name = stage(Stage::Forward);
+        let adapt_name = stage(Stage::Adapt);
+        let journal_name = stage(Stage::Journal);
         Self {
             observes: registry.counter(&l("engine_observes_total")),
             predicts: registry.counter(&l("engine_predicts_total")),
             flushes: registry.counter(&l("engine_flushes_total")),
             dropped_observes: registry.counter(&l("engine_dropped_observes_total")),
             predict_latency: registry.histogram(&l("engine_predict_latency_ns")),
+            stage_queue_wait: registry.histogram(&queue_wait_name),
+            stage_forward: registry.histogram(&forward_name),
+            stage_adapt: registry.histogram(&adapt_name),
+            stage_journal: registry.histogram(&journal_name),
             queue_depth: registry.gauge(&l("engine_queue_depth")),
             users: registry.gauge(&l("engine_users")),
         }
@@ -663,12 +711,19 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
                 obs.observes.inc();
                 obs.users.set(sp.active_users() as f64);
             }
-            Request::Predict { user, now, reply } => {
+            Request::Predict {
+                user,
+                now,
+                ctx,
+                enqueued,
+                reply,
+            } => {
                 // Drain consecutive predicts already waiting in the queue
                 // into one batched forward pass. A non-predict (or a
                 // disturbed request) ends the batch and is carried into
                 // the next iteration — queue order is never reordered.
                 let mut queries = vec![(user, now)];
+                let mut metas = vec![(ctx, enqueued)];
                 let mut replies = vec![reply];
                 while queries.len() < batch_max {
                     let Ok(next) = rx.try_recv() else { break };
@@ -680,8 +735,18 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
                         .map(|d| d.action(shard, s, kind))
                         .unwrap_or(FaultAction::None);
                     match (next, next_action) {
-                        (Request::Predict { user, now, reply }, FaultAction::None) => {
+                        (
+                            Request::Predict {
+                                user,
+                                now,
+                                ctx,
+                                enqueued,
+                                reply,
+                            },
+                            FaultAction::None,
+                        ) => {
                             queries.push((user, now));
+                            metas.push((ctx, enqueued));
                             replies.push(reply);
                         }
                         (other, other_action) => {
@@ -691,24 +756,52 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
                     }
                 }
                 handled = queries.len();
+                // Queue wait ends where the batch begins.
+                let queue_waits: Vec<u64> = metas.iter().map(|(_, e)| e.elapsed_ns()).collect();
+                let adapt0 = sp.adapt_ns_total();
                 let t0 = Instant::now();
                 let predictions = sp.predict_batch(&queries);
                 // Per-request latency is the batch's wall-clock split
-                // evenly; a batch of one reduces to the old timing.
+                // evenly; a batch of one reduces to the old timing. The
+                // adapt share comes from the PTTA adapt-latency total
+                // diffed across the batch; forward is the remainder.
                 let per_request_ns = t0.elapsed().as_nanos() as u64 / handled as u64;
+                let adapt_ns = sp.adapt_ns_total().saturating_sub(adapt0) / handled as u64;
+                let forward_ns = per_request_ns.saturating_sub(adapt_ns);
                 obs.users.set(sp.active_users() as f64);
-                for (mut prediction, reply) in predictions.into_iter().zip(replies) {
+                for (i, (mut prediction, reply)) in predictions.into_iter().zip(replies).enumerate()
+                {
                     if prediction.is_none() && degraded.load(Ordering::Relaxed) {
                         if let Some(rec) = &recovery {
                             prediction = Some(prior_prediction(&rec.prior));
                             rec.degraded_predictions.inc();
                         }
                     }
+                    let stages = EngineStages {
+                        queue_ns: queue_waits.get(i).copied().unwrap_or(0),
+                        forward_ns,
+                        adapt_ns,
+                    };
                     obs.predict_latency.record(per_request_ns);
+                    obs.stage_queue_wait.record(stages.queue_ns);
+                    obs.stage_forward.record(stages.forward_ns);
+                    obs.stage_adapt.record(stages.adapt_ns);
                     obs.predicts.inc();
+                    if let Some(ctx) = metas.get(i).and_then(|(c, _)| *c) {
+                        event!(
+                            tracer,
+                            "shard_predict",
+                            request_id = ctx.request_id,
+                            parent_id = ctx.parent_id,
+                            shard = shard,
+                            queue_ns = stages.queue_ns,
+                            forward_ns = stages.forward_ns,
+                            adapt_ns = stages.adapt_ns
+                        );
+                    }
                     // A dropped reply receiver only means the caller gave
                     // up waiting; not fatal.
-                    let _ = reply.send(prediction);
+                    let _ = reply.send((prediction, stages));
                 }
             }
             Request::Flush(done) => {
@@ -1190,7 +1283,9 @@ impl ShardedEngine {
         };
         let id = match &inner.recovery {
             Some(rec) => {
+                let t0 = Stopwatch::start();
                 let (id, overflowed) = lock(&rec.journals[shard]).append(user, point);
+                inner.shard_obs[shard].stage_journal.record(t0.elapsed_ns());
                 if overflowed {
                     rec.journal_overflows.inc();
                 }
@@ -1222,7 +1317,8 @@ impl ShardedEngine {
         shard: usize,
         user: UserId,
         now: Timestamp,
-    ) -> Result<mpsc::Receiver<Option<StreamPrediction>>, EngineError> {
+        ctx: Option<TraceContext>,
+    ) -> Result<mpsc::Receiver<(Option<StreamPrediction>, EngineStages)>, EngineError> {
         let inner = &self.inner;
         let guard = lock(&inner.slots[shard].link);
         let Some(link) = guard.as_ref() else {
@@ -1232,7 +1328,13 @@ impl ShardedEngine {
         let (reply, rx) = mpsc::channel();
         inner.shard_obs[shard].queue_depth.inc();
         link.sender
-            .send(Request::Predict { user, now, reply })
+            .send(Request::Predict {
+                user,
+                now,
+                ctx,
+                enqueued: Stopwatch::start(),
+                reply,
+            })
             .map_err(|_| {
                 inner.shard_obs[shard].queue_depth.dec();
                 inner.shard_down_errors.inc();
@@ -1249,9 +1351,10 @@ impl ShardedEngine {
         user: UserId,
         now: Timestamp,
         timeout: Option<Duration>,
-    ) -> Result<Option<StreamPrediction>, EngineError> {
+        ctx: Option<TraceContext>,
+    ) -> Result<(Option<StreamPrediction>, EngineStages), EngineError> {
         let inner = &self.inner;
-        let rx = self.send_predict(shard, user, now)?;
+        let rx = self.send_predict(shard, user, now, ctx)?;
         match timeout {
             None => rx.recv().map_err(|_| {
                 inner.shard_down_errors.inc();
@@ -1312,19 +1415,7 @@ impl ShardedEngine {
         user: UserId,
         now: Timestamp,
     ) -> Result<Option<StreamPrediction>, EngineError> {
-        let shard = self.shard_of(user);
-        let mut attempt = 0u32;
-        loop {
-            match self.predict_once(shard, user, now, None) {
-                Ok(p) => return Ok(p),
-                Err(err) => {
-                    if !self.backoff_and_heal(shard, attempt) {
-                        return Err(err);
-                    }
-                    attempt += 1;
-                }
-            }
-        }
+        self.predict_traced(user, now, None, None).map(|(p, _)| p)
     }
 
     /// [`ShardedEngine::try_predict`] with a bounded wait: a shard that is
@@ -1337,11 +1428,31 @@ impl ShardedEngine {
         now: Timestamp,
         timeout: Duration,
     ) -> Result<Option<StreamPrediction>, EngineError> {
+        self.predict_traced(user, now, Some(timeout), None)
+            .map(|(p, _)| p)
+    }
+
+    /// The traced predict path: [`ShardedEngine::try_predict`] /
+    /// [`ShardedEngine::predict_timeout`] (per `timeout`), plus a trace
+    /// context threaded into the shard worker — which emits a
+    /// `shard_predict` span event carrying the request id when the
+    /// engine's tracer has a sink — and the engine-side
+    /// [`EngineStages`] breakdown returned with the prediction. Passing
+    /// `ctx = None` is exactly the untraced path: the prediction is
+    /// bit-identical either way, and an attached context changes no
+    /// engine decision, only what is recorded about it.
+    pub fn predict_traced(
+        &self,
+        user: UserId,
+        now: Timestamp,
+        timeout: Option<Duration>,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Option<StreamPrediction>, EngineStages), EngineError> {
         let shard = self.shard_of(user);
         let mut attempt = 0u32;
         loop {
-            match self.predict_once(shard, user, now, Some(timeout)) {
-                Ok(p) => return Ok(p),
+            match self.predict_once(shard, user, now, timeout, ctx) {
+                Ok(r) => return Ok(r),
                 Err(err) => {
                     if !self.backoff_and_heal(shard, attempt) {
                         return Err(err);
@@ -1377,7 +1488,7 @@ impl ShardedEngine {
             .iter()
             .map(|&(user, now)| {
                 let shard = self.shard_of(user);
-                match self.send_predict(shard, user, now) {
+                match self.send_predict(shard, user, now, None) {
                     Ok(rx) => (shard, Ok(rx)),
                     Err(err) => (shard, Err(err)),
                 }
@@ -1388,7 +1499,7 @@ impl ShardedEngine {
             .zip(queries)
             .map(|((shard, sent), &(user, now))| match sent {
                 Ok(rx) => match rx.recv() {
-                    Ok(prediction) => Ok(prediction),
+                    Ok((prediction, _)) => Ok(prediction),
                     Err(_) => {
                         self.inner.shard_down_errors.inc();
                         self.retry_predict(shard, user, now, EngineError::ShardDown { shard })
@@ -1416,8 +1527,8 @@ impl ShardedEngine {
                 return Err(err);
             }
             attempt += 1;
-            match self.predict_once(shard, user, now, None) {
-                Ok(p) => return Ok(p),
+            match self.predict_once(shard, user, now, None, None) {
+                Ok((p, _)) => return Ok(p),
                 Err(e) => err = e,
             }
         }

@@ -82,8 +82,8 @@ pub use adamove_obs as obs;
 pub use config::{AdaMoveConfig, EncoderKind};
 pub use distill::{distill, DistillConfig};
 pub use engine::{
-    shard_of, Disturbance, EngineConfig, EngineError, EngineReport, EngineSnapshot, FaultAction,
-    RequestKind, ShardSnapshot, ShardedEngine, ShutdownError,
+    shard_of, Disturbance, EngineConfig, EngineError, EngineReport, EngineSnapshot, EngineStages,
+    FaultAction, RequestKind, ShardSnapshot, ShardedEngine, ShutdownError,
 };
 pub use eval::{
     evaluate, evaluate_batched, evaluate_by, evaluate_by_par, evaluate_fn, evaluate_fn_par,

@@ -228,6 +228,15 @@ impl Ptta {
         self.obs = Some(obs);
     }
 
+    /// Cumulative nanoseconds spent inside per-sample adaptation so far
+    /// (one relaxed load on the attached `ptta_adapt_latency_ns`
+    /// histogram; 0 without obs). Diffing this across a batched forward
+    /// pass attributes the batch's wall time between the device forward
+    /// and the adaptation — the engine's forward/adapt stage split.
+    pub fn adapt_ns_total(&self) -> u64 {
+        self.obs.as_ref().map_or(0, |o| o.adapt_latency_ns.sum())
+    }
+
     /// Algorithm 1 end to end: adapted next-location scores for `sample`.
     ///
     /// Returns a dense `L`-vector of scores (higher = better). The model's

@@ -206,6 +206,16 @@ impl<'m> StreamingPredictor<'m> {
         self.ptta.set_obs(obs);
     }
 
+    /// Cumulative nanoseconds spent in PTTA adaptation so far (see
+    /// [`Ptta::adapt_ns_total`]; 0 until
+    /// [`set_ptta_obs`](StreamingPredictor::set_ptta_obs) attaches
+    /// metrics). The engine diffs this across a
+    /// [`predict_batch`](StreamingPredictor::predict_batch) call to
+    /// split the batch's wall time into forward vs adapt stages.
+    pub fn adapt_ns_total(&self) -> u64 {
+        self.ptta.adapt_ns_total()
+    }
+
     /// Attach a per-user PTTA circuit breaker: predictions whose adapted
     /// entropy spikes past the breaker's threshold for long enough are
     /// rolled back to the frozen Θ classifier (tagged

@@ -5,9 +5,9 @@
 //! three scopes:
 //!
 //! - **library scope** (`entropy`, `instant-now`, `panic-path`,
-//!   `metric-name`, `print`, `unsorted-export`): non-test library code
-//!   only — integration tests, benches, examples, bin targets, and
-//!   `#[cfg(test)]` regions are exempt.
+//!   `metric-name`, `print`, `trace-context`, `unsorted-export`):
+//!   non-test library code only — integration tests, benches, examples,
+//!   bin targets, and `#[cfg(test)]` regions are exempt.
 //! - **test scope** (`sleep-in-test`): the exact inverse — fires only in
 //!   test code, where wall-clock sleeps breed flakes.
 //! - **everywhere** (`tab`, `trailing-ws`, `file-length`): hygiene.
@@ -40,6 +40,7 @@ pub const RULE_IDS: &[&str] = &[
     "metric-name",
     "print",
     "sleep-in-test",
+    "trace-context",
     "unsorted-export",
     "tab",
     "trailing-ws",
@@ -79,6 +80,10 @@ const PANIC_FREE_FILES: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/admission.rs",
+    // The tracing primitives run inside every request (the flight
+    // recorder's is_slow/record path) and the ticker thread.
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/window.rs",
 ];
 
 const PANIC_PATTERNS: &[&str] = &[
@@ -279,6 +284,32 @@ pub fn check_file(rel: &str, content: &str) -> Vec<Violation> {
                     ),
                 );
                 break; // one finding per line; longest pattern wins
+            }
+        }
+
+        // -- trace-context ---------------------------------------------
+        // TraceContext is Copy and rides the call path by value: a
+        // reference invites accidental sharing/mutation across requests,
+        // and a global would let one request's identity leak into
+        // another's spans.
+        if code.contains("TraceContext") {
+            if code.contains("&TraceContext") || code.contains("&mut TraceContext") {
+                push(
+                    &mut raw,
+                    "trace-context",
+                    "TraceContext is Copy and must be passed by value; take `TraceContext`, not a reference".to_string(),
+                );
+            }
+            let trimmed = code.trim_start();
+            if trimmed.starts_with("static ")
+                || code.contains("static mut ")
+                || code.contains("thread_local")
+            {
+                push(
+                    &mut raw,
+                    "trace-context",
+                    "TraceContext must never be stored in a global/static; thread it through call arguments".to_string(),
+                );
             }
         }
 

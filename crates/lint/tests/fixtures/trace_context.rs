@@ -1,0 +1,27 @@
+//! Fixture for the trace-context rule: by-value only, never global.
+use adamove_obs::TraceContext;
+
+pub fn by_ref(ctx: &TraceContext) -> u64 {
+    ctx.request_id
+}
+
+pub static mut LAST_CTX: Option<TraceContext> = None;
+
+pub fn by_value(ctx: TraceContext) -> u64 {
+    // A doc or comment mention of &TraceContext stays quiet.
+    ctx.request_id
+}
+
+// lint:allow(trace-context): fixture justification
+pub fn suppressed(ctx: &mut TraceContext) {
+    ctx.parent_id = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub fn test_only(ctx: &TraceContext) -> u64 {
+        ctx.parent_id
+    }
+}

@@ -80,6 +80,19 @@ fn sleep_fires_in_test_code_only() {
 }
 
 #[test]
+fn trace_context_fires_on_refs_and_globals_only() {
+    let src = include_str!("fixtures/trace_context.rs");
+    let v = check_file("crates/serve/src/fixture.rs", src);
+    // Line 4: by-reference parameter. Line 8: static storage. The
+    // by-value fn, comment mention, suppressed &mut, and cfg(test)
+    // region all stay quiet.
+    assert_eq!(fire_lines(&v, "trace-context"), vec![4, 8]);
+    // Test scope is exempt (library-scope rule).
+    let v_test = check_file("crates/serve/tests/fixture.rs", src);
+    assert!(fire_lines(&v_test, "trace-context").is_empty());
+}
+
+#[test]
 fn unsorted_export_fires_on_export_paths_only() {
     let src = include_str!("fixtures/export.rs");
     let v = check_file("crates/obs/src/export.rs", src);

@@ -34,6 +34,8 @@ pub mod registry;
 pub mod span;
 pub mod sync;
 pub mod time;
+pub mod trace;
+pub mod window;
 
 pub use export::{to_flat_json, to_prometheus};
 pub use registry::{
@@ -43,3 +45,7 @@ pub use registry::{
 pub use span::{FieldValue, RingSink, Span, SpanRecord, StderrSink, TraceSink, Tracer};
 pub use sync::lock;
 pub use time::Stopwatch;
+pub use trace::{
+    AnomalyKind, FlightRecord, FlightRecorder, Stage, StageTimings, TraceContext, NUM_STAGES,
+};
+pub use window::{window_delta, WindowedHistogram};

@@ -185,6 +185,15 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded values so far (one relaxed load). Cheaper
+    /// than a full [`snapshot`](Histogram::snapshot) when only the
+    /// running total is needed, e.g. to attribute a batch's adaptation
+    /// time by diffing the sum across the batch.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
     /// Freeze the current contents. Concurrent recording is allowed; the
     /// snapshot is a consistent-enough view for monitoring (bucket totals
     /// may trail `count` by in-flight records).

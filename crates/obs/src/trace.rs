@@ -1,0 +1,519 @@
+//! Request tracing primitives: the [`TraceContext`] carried end-to-end
+//! through the serving stack, the per-request [`Stage`] latency
+//! taxonomy, and the [`FlightRecorder`] — an always-on bounded ring
+//! that tail-samples complete span trees for *anomalous* requests only.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The happy path pays (almost) nothing.** A non-anomalous request
+//!    touches the recorder exactly once: one relaxed atomic load plus a
+//!    compare ([`FlightRecorder::is_slow`]). No slot is claimed, no
+//!    lock is taken, nothing allocates. The `overhead` test in this
+//!    crate pins this the same way it pins the disabled-`event!` cost.
+//! 2. **Recording never blocks.** Anomalous requests claim a slot with
+//!    one atomic `fetch_add` (distinct writers get distinct slots) and
+//!    take that slot's own mutex with `try_lock` — uncontended except
+//!    when the ring wraps onto a slot mid-dump, in which case the
+//!    record is *dropped and counted* ([`FlightRecorder::dropped`])
+//!    rather than waited for. The workspace forbids `unsafe`, so this
+//!    is the honest shape of "lock-free enough": the hot path has no
+//!    critical section and the cold path cannot stall a worker.
+//! 3. **Context is a value.** [`TraceContext`] is 16 bytes and `Copy`;
+//!    it is passed by value and never parked in a global (`adamove-lint`
+//!    rule `trace-context` enforces both), so request identity flows
+//!    only along the request's own call path.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::span::{FieldValue, TraceSink};
+use crate::sync::lock;
+
+/// Identity of one request's trace: a request id plus the id of the
+/// causal parent (0 = no parent). Minted by the serving front-end and
+/// carried by value through protocol → server → engine → predictor, so
+/// every span in the request's life shares one id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// This request's id (unique per server process; never 0 for a
+    /// minted context).
+    pub request_id: u64,
+    /// The id of the request or span that caused this one; 0 for roots.
+    pub parent_id: u64,
+}
+
+impl TraceContext {
+    /// A root context with no parent.
+    pub fn root(request_id: u64) -> Self {
+        Self {
+            request_id,
+            parent_id: 0,
+        }
+    }
+
+    /// A child of `self` with its own id — `self.request_id` becomes
+    /// the child's parent. Takes and returns by value ([`TraceContext`]
+    /// is 16 bytes of `Copy`).
+    pub fn child(self, request_id: u64) -> Self {
+        Self {
+            request_id,
+            parent_id: self.request_id,
+        }
+    }
+
+    /// True when this context has no causal parent.
+    pub fn is_root(self) -> bool {
+        self.parent_id == 0
+    }
+}
+
+/// Number of stages in the per-request latency taxonomy.
+pub const NUM_STAGES: usize = 7;
+
+/// Where a request's time can go, end to end: the wire stages measured
+/// by the serve worker (decode / admission / encode), and the engine
+/// stages measured inside the shard (queue-wait / device forward /
+/// adaptation / journal append). One enum so serve and engine histograms
+/// share one `stage="..."` label vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Wire-format decode of the request frame.
+    Decode = 0,
+    /// Admission-control decision.
+    Admission = 1,
+    /// Waiting in the shard's request queue.
+    QueueWait = 2,
+    /// Share of the batched device forward pass (minus adaptation).
+    Forward = 3,
+    /// Share of PTTA test-time adaptation within the forward pass.
+    Adapt = 4,
+    /// Write-ahead journal append (observes only).
+    Journal = 5,
+    /// Wire-format encode of the reply frame.
+    Encode = 6,
+}
+
+impl Stage {
+    /// Every stage, in taxonomy order.
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::Decode,
+        Stage::Admission,
+        Stage::QueueWait,
+        Stage::Forward,
+        Stage::Adapt,
+        Stage::Journal,
+        Stage::Encode,
+    ];
+
+    /// The stage's `stage="..."` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::Admission => "admission",
+            Stage::QueueWait => "queue_wait",
+            Stage::Forward => "forward",
+            Stage::Adapt => "adapt",
+            Stage::Journal => "journal",
+            Stage::Encode => "encode",
+        }
+    }
+}
+
+/// Per-stage nanosecond timings for one request — the flattened span
+/// tree under the request's root span. Sixteen `u64`s on the stack;
+/// no allocation on the request path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    ns: [u64; NUM_STAGES],
+}
+
+impl StageTimings {
+    /// All-zero timings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite `stage`'s timing.
+    #[inline]
+    pub fn set(&mut self, stage: Stage, ns: u64) {
+        self.ns[stage as usize] = ns;
+    }
+
+    /// Add to `stage`'s timing (saturating).
+    #[inline]
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        let slot = &mut self.ns[stage as usize];
+        *slot = slot.saturating_add(ns);
+    }
+
+    /// `stage`'s timing in nanoseconds.
+    #[inline]
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.ns[stage as usize]
+    }
+
+    /// Sum over all stages (saturating). For a well-formed span tree
+    /// this is bounded by the enclosing request span's total.
+    pub fn sum(&self) -> u64 {
+        self.ns.iter().fold(0u64, |acc, &v| acc.saturating_add(v))
+    }
+
+    /// The stages with a non-zero timing, in taxonomy order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Stage, u64)> + '_ {
+        Stage::ALL
+            .iter()
+            .map(|&s| (s, self.get(s)))
+            .filter(|&(_, ns)| ns > 0)
+    }
+}
+
+/// Why a request (or engine event) was captured by the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Total latency exceeded the windowed p99 gate.
+    SlowRequest,
+    /// Admission control shed the request.
+    Shed,
+    /// The server refused at its connection/backlog cap.
+    Busy,
+    /// Reply carried `Degraded` quality (state lost with a shard).
+    Degraded,
+    /// Reply carried `Frozen` quality (adaptation breaker open).
+    BreakerOpen,
+    /// Any other typed error reply (shard down, timeout, unexpected).
+    Error,
+    /// The recovery layer respawned a shard worker.
+    ShardRespawn,
+    /// A shard worker panicked (injected or real).
+    ShardPanic,
+}
+
+impl AnomalyKind {
+    /// Stable wire/JSON name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyKind::SlowRequest => "slow_request",
+            AnomalyKind::Shed => "shed",
+            AnomalyKind::Busy => "busy",
+            AnomalyKind::Degraded => "degraded",
+            AnomalyKind::BreakerOpen => "breaker_open",
+            AnomalyKind::Error => "error",
+            AnomalyKind::ShardRespawn => "shard_respawn",
+            AnomalyKind::ShardPanic => "shard_panic",
+        }
+    }
+}
+
+/// One captured anomaly: the request's identity, why it was captured,
+/// and its complete span tree (root total + per-stage breakdown).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// The request's trace context (zeroed for engine-level events that
+    /// have no originating request).
+    pub ctx: TraceContext,
+    /// Why this record exists.
+    pub kind: AnomalyKind,
+    /// The operation: `"predict"`, `"observe"`, `"snapshot"`, or
+    /// `"event"` for engine-level captures.
+    pub op: &'static str,
+    /// The engine shard involved (`u64::MAX` when not applicable).
+    pub shard: u64,
+    /// The enclosing request span's total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage breakdown; each stage is a child span of the root.
+    pub stages: StageTimings,
+}
+
+impl FlightRecord {
+    /// A record for an engine-level event (respawn, panic) with no
+    /// originating request span.
+    pub fn event(kind: AnomalyKind, request_id: u64, shard: u64) -> Self {
+        Self {
+            ctx: TraceContext::root(request_id),
+            kind,
+            op: "event",
+            shard,
+            total_ns: 0,
+            stages: StageTimings::new(),
+        }
+    }
+}
+
+/// Bounded tail-sampling ring for anomalous requests. Always armed;
+/// see the [module docs](self) for the hot-path cost model. Also a
+/// [`TraceSink`], so wiring it as an engine tracer captures shard
+/// respawns and panics alongside request-level anomalies.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<(u64, FlightRecord)>>>,
+    /// Total records ever pushed; `fetch_add` on it claims a slot.
+    cursor: AtomicU64,
+    /// Records abandoned because the claimed slot was contended.
+    dropped: AtomicU64,
+    /// Latency gate in ns; `u64::MAX` until a window publishes a p99.
+    slow_gate_ns: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring retaining the `capacity` most recent records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slow_gate_ns: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Maximum retained records.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (retained or since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped because their slot was contended at push time.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publish the windowed-p99 latency gate (the ticker calls this
+    /// each window; requests slower than the gate are anomalous).
+    pub fn set_slow_gate_ns(&self, ns: u64) {
+        self.slow_gate_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The latency gate in force (`u64::MAX` = not yet published).
+    pub fn slow_gate_ns(&self) -> u64 {
+        self.slow_gate_ns.load(Ordering::Relaxed)
+    }
+
+    /// The whole hot-path cost for a non-anomalous request: one relaxed
+    /// load and a compare. Pinned by the crate's overhead test.
+    #[inline]
+    pub fn is_slow(&self, total_ns: u64) -> bool {
+        total_ns > self.slow_gate_ns.load(Ordering::Relaxed)
+    }
+
+    /// Push one record (anomalous requests only — callers gate on
+    /// [`is_slow`](FlightRecorder::is_slow) / reply outcome). Claims a
+    /// slot with one `fetch_add`; if that slot's lock is contended the
+    /// record is dropped and counted instead of blocking.
+    pub fn record(&self, record: FlightRecord) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq % self.slots.len() as u64) as usize;
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => *slot = Some((seq, record)),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn dump(&self) -> Vec<FlightRecord> {
+        let mut tagged: Vec<(u64, FlightRecord)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| lock(slot).clone())
+            .collect();
+        tagged.sort_by_key(|(seq, _)| *seq);
+        tagged.into_iter().map(|(_, rec)| rec).collect()
+    }
+
+    /// Render the ring as one flat JSON object (the same serde-free
+    /// shape the registry exporters and the testkit's `parse_flat`
+    /// speak): recorder totals plus, per retained record `i`,
+    /// `flight_*{rec="i"}` fields and one
+    /// `flight_stage_ns{rec="i",stage="..."}` field per non-zero stage.
+    pub fn to_flat_json(&self) -> String {
+        let records = self.dump();
+        let mut fields: Vec<(String, String)> = vec![
+            ("flight_capacity".to_string(), self.capacity().to_string()),
+            (
+                "flight_recorded_total".to_string(),
+                self.recorded().to_string(),
+            ),
+            (
+                "flight_dropped_total".to_string(),
+                self.dropped().to_string(),
+            ),
+        ];
+        for (i, rec) in records.iter().enumerate() {
+            let mut field = |name: &str, value: String| {
+                fields.push((format!("{name}{{rec=\"{i}\"}}"), value));
+            };
+            field("flight_request_id", rec.ctx.request_id.to_string());
+            field("flight_parent_id", rec.ctx.parent_id.to_string());
+            field("flight_kind", format!("\"{}\"", rec.kind.name()));
+            field("flight_op", format!("\"{}\"", rec.op));
+            field("flight_shard", rec.shard.to_string());
+            field("flight_total_ns", rec.total_ns.to_string());
+            for (stage, ns) in rec.stages.nonzero() {
+                fields.push((
+                    format!("flight_stage_ns{{rec=\"{i}\",stage=\"{}\"}}", stage.name()),
+                    ns.to_string(),
+                ));
+            }
+        }
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{\n");
+        let last = fields.len().saturating_sub(1);
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let _ = write!(out, "  \"{}\": {v}", escape(k));
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn field_u64(fields: &[(&'static str, FieldValue)], key: &str) -> u64 {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::U64(u) => Some(*u),
+            FieldValue::I64(i) => u64::try_from(*i).ok(),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Engine events become flight records: a tracer wired to the recorder
+/// captures shard respawns and panics in the same ring as request-level
+/// anomalies. Other event names and span closes are ignored.
+impl TraceSink for FlightRecorder {
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let kind = match name {
+            "shard_respawn" => AnomalyKind::ShardRespawn,
+            "shard_panic" => AnomalyKind::ShardPanic,
+            _ => return,
+        };
+        self.record(FlightRecord::event(
+            kind,
+            field_u64(fields, "request_id"),
+            field_u64(fields, "shard"),
+        ));
+    }
+
+    fn span_close(
+        &self,
+        _name: &'static str,
+        _fields: &[(&'static str, FieldValue)],
+        _elapsed: std::time::Duration,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+    use std::sync::Arc;
+
+    fn request(id: u64, kind: AnomalyKind, total_ns: u64) -> FlightRecord {
+        let mut stages = StageTimings::new();
+        stages.set(Stage::Decode, 10);
+        stages.set(Stage::Forward, total_ns / 2);
+        FlightRecord {
+            ctx: TraceContext::root(id),
+            kind,
+            op: "predict",
+            shard: 3,
+            total_ns,
+            stages,
+        }
+    }
+
+    #[test]
+    fn trace_context_parents_chain_by_value() {
+        let root = TraceContext::root(7);
+        assert!(root.is_root());
+        let child = root.child(8);
+        assert_eq!(child.request_id, 8);
+        assert_eq!(child.parent_id, 7);
+        assert!(!child.is_root());
+    }
+
+    #[test]
+    fn stage_timings_sum_and_nonzero() {
+        let mut t = StageTimings::new();
+        assert_eq!(t.sum(), 0);
+        t.set(Stage::QueueWait, 5);
+        t.add(Stage::QueueWait, 10);
+        t.set(Stage::Encode, u64::MAX);
+        assert_eq!(t.get(Stage::QueueWait), 15);
+        assert_eq!(t.sum(), u64::MAX); // saturates
+        let nz: Vec<_> = t.nonzero().collect();
+        assert_eq!(nz[0], (Stage::QueueWait, 15));
+        assert_eq!(nz[1], (Stage::Encode, u64::MAX));
+        assert_eq!(Stage::ALL.len(), NUM_STAGES);
+    }
+
+    #[test]
+    fn ring_retains_newest_records_in_order() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record(request(i, AnomalyKind::Shed, 100));
+        }
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.dropped(), 0);
+        let dump = rec.dump();
+        let ids: Vec<u64> = dump.iter().map(|r| r.ctx.request_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn slow_gate_defaults_shut_and_opens_on_publish() {
+        let rec = FlightRecorder::new(4);
+        // Until a window publishes a p99, nothing counts as slow.
+        assert!(!rec.is_slow(u64::MAX - 1));
+        rec.set_slow_gate_ns(1_000);
+        assert_eq!(rec.slow_gate_ns(), 1_000);
+        assert!(rec.is_slow(1_001));
+        assert!(!rec.is_slow(1_000));
+    }
+
+    #[test]
+    fn flat_json_dump_parses_and_carries_span_trees() {
+        let rec = FlightRecorder::new(4);
+        rec.record(request(11, AnomalyKind::Degraded, 9_000));
+        rec.record(FlightRecord::event(AnomalyKind::ShardRespawn, 0, 2));
+        let json = rec.to_flat_json();
+        assert!(json.contains("\"flight_capacity\": 4"));
+        assert!(json.contains("\"flight_recorded_total\": 2"));
+        assert!(json.contains("\"flight_request_id{rec=\\\"0\\\"}\": 11"));
+        assert!(json.contains("\"flight_kind{rec=\\\"0\\\"}\": \"degraded\""));
+        assert!(json.contains("\"flight_stage_ns{rec=\\\"0\\\",stage=\\\"forward\\\"}\": 4500"));
+        assert!(json.contains("\"flight_kind{rec=\\\"1\\\"}\": \"shard_respawn\""));
+        assert!(json.contains("\"flight_shard{rec=\\\"1\\\"}\": 2"));
+        // Valid flat JSON: balanced braces, one field per line, no
+        // trailing comma before the close.
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn tracer_events_land_in_the_ring() {
+        let rec = Arc::new(FlightRecorder::new(8));
+        let tracer = Tracer::with_sink(Arc::clone(&rec) as Arc<dyn TraceSink>);
+        crate::event!(tracer, "shard_respawn", shard = 5u64, degraded = 1u64);
+        crate::event!(tracer, "shard_checkpoint", shard = 5u64); // ignored
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].kind, AnomalyKind::ShardRespawn);
+        assert_eq!(dump[0].shard, 5);
+        assert_eq!(dump[0].op, "event");
+    }
+}

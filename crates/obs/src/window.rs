@@ -1,0 +1,249 @@
+//! Windowed histogram views: a ring of fixed-width delta windows over a
+//! cumulative [`Histogram`].
+//!
+//! A cumulative histogram never forgets: one catastrophic burst keeps
+//! its p99 catastrophic for the rest of the run, which turns transient
+//! overload into permanent policy (admission control shedding forever,
+//! anomaly gates that never re-arm). The fix is *windowing* — diff
+//! successive snapshots so each window holds only what was recorded
+//! between two ticks. This module promotes that logic (previously
+//! hand-rolled inside `adamove-serve`'s admission ticker) into a
+//! reusable primitive with explicit merge laws:
+//!
+//! - **delta law** — [`window_delta`]`(current, last)` is exact
+//!   bucket-wise subtraction, so `last.merge(&delta) == current`;
+//! - **partition law** — merging every window rolled since construction
+//!   equals the cumulative delta over the same interval, for any tick
+//!   placement (windows partition the record stream);
+//! - **ring law** — at most `capacity` windows are retained, oldest
+//!   dropped first, so [`merged`] is a bounded trailing view.
+//!
+//! Recording stays lock-free (it goes straight to the shared
+//! [`Histogram`] cells); only [`roll`] — called by a single ticker
+//! thread at window cadence — takes the internal mutex.
+//!
+//! [`merged`]: WindowedHistogram::merged
+//! [`roll`]: WindowedHistogram::roll
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::registry::{Histogram, HistogramSnapshot};
+use crate::sync::lock;
+
+/// The histogram delta `current − last`: what was recorded between two
+/// cumulative snapshots. Saturating per bucket, so a restarted or
+/// swapped histogram degrades to "treat current as the whole window"
+/// rather than wrapping.
+pub fn window_delta(current: &HistogramSnapshot, last: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::empty();
+    for (o, (c, l)) in out
+        .counts
+        .iter_mut()
+        .zip(current.counts.iter().zip(last.counts.iter()))
+    {
+        *o = c.saturating_sub(*l);
+    }
+    out.sum = current.sum.saturating_sub(last.sum);
+    out.count = current.count.saturating_sub(last.count);
+    out
+}
+
+#[derive(Debug)]
+struct WindowState {
+    /// Cumulative snapshot at the last roll (or at construction).
+    last: HistogramSnapshot,
+    /// Rolled delta windows, oldest first.
+    ring: VecDeque<HistogramSnapshot>,
+}
+
+/// A cumulative [`Histogram`] plus a bounded ring of per-tick delta
+/// windows. Construct with [`new`] (own histogram) or [`around`] (wrap
+/// an already-registered histogram, e.g. a shard's predict-latency
+/// cells); call [`roll`] once per tick to cut a window.
+///
+/// [`new`]: WindowedHistogram::new
+/// [`around`]: WindowedHistogram::around
+/// [`roll`]: WindowedHistogram::roll
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    source: Histogram,
+    capacity: usize,
+    state: Mutex<WindowState>,
+}
+
+impl WindowedHistogram {
+    /// A windowed view over a fresh histogram, retaining at most
+    /// `capacity` rolled windows (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self::around(Histogram::new(), capacity)
+    }
+
+    /// A windowed view over an existing histogram (sharing its cells).
+    /// Values recorded before this call belong to no window: the first
+    /// [`roll`](WindowedHistogram::roll) diffs against the snapshot
+    /// taken here, exactly like the admission ticker it replaces.
+    pub fn around(source: Histogram, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let last = source.snapshot();
+        Self {
+            source,
+            capacity,
+            state: Mutex::new(WindowState {
+                last,
+                ring: VecDeque::with_capacity(capacity),
+            }),
+        }
+    }
+
+    /// Record one value into the underlying histogram (lock-free).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.source.record(value);
+    }
+
+    /// A shared handle on the underlying cumulative histogram.
+    pub fn source(&self) -> Histogram {
+        self.source.clone()
+    }
+
+    /// Cut a window: the delta since the previous roll (or since
+    /// construction), pushed into the ring — dropping the oldest window
+    /// beyond capacity — and returned.
+    pub fn roll(&self) -> HistogramSnapshot {
+        let current = self.source.snapshot();
+        let mut state = lock(&self.state);
+        let window = window_delta(&current, &state.last);
+        state.last = current;
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(window.clone());
+        window
+    }
+
+    /// The most recently rolled window (empty before the first roll).
+    pub fn window(&self) -> HistogramSnapshot {
+        lock(&self.state)
+            .ring
+            .back()
+            .cloned()
+            .unwrap_or_else(HistogramSnapshot::empty)
+    }
+
+    /// Every retained window merged into one snapshot — the trailing
+    /// `capacity × tick` view.
+    pub fn merged(&self) -> HistogramSnapshot {
+        let state = lock(&self.state);
+        let mut out = HistogramSnapshot::empty();
+        for w in &state.ring {
+            out.merge(w);
+        }
+        out
+    }
+
+    /// The cumulative snapshot of the underlying histogram (everything
+    /// ever recorded, windowed or not).
+    pub fn cumulative(&self) -> HistogramSnapshot {
+        self.source.snapshot()
+    }
+
+    /// Number of windows currently retained.
+    pub fn windows(&self) -> usize {
+        lock(&self.state).ring.len()
+    }
+
+    /// Maximum number of retained windows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_law_merges_back_to_current() {
+        let h = Histogram::new();
+        for v in [10u64, 500, 2_000_000] {
+            h.record(v);
+        }
+        let last = h.snapshot();
+        for v in [70u64, 9_999] {
+            h.record(v);
+        }
+        let current = h.snapshot();
+        let delta = window_delta(&current, &last);
+        assert_eq!(delta.count, 2);
+        let mut rebuilt = last.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, current);
+    }
+
+    #[test]
+    fn rolled_windows_partition_the_record_stream() {
+        let wh = WindowedHistogram::new(8);
+        let batches: &[&[u64]] = &[&[100, 200], &[], &[5_000_000], &[1, 1, 1]];
+        let mut windows = Vec::new();
+        for batch in batches {
+            for &v in *batch {
+                wh.record(v);
+            }
+            windows.push(wh.roll());
+        }
+        // Each window holds exactly its batch...
+        for (w, batch) in windows.iter().zip(batches) {
+            assert_eq!(w.count, batch.len() as u64);
+            assert_eq!(w.sum, batch.iter().sum::<u64>());
+        }
+        // ...and merging them all reproduces the cumulative histogram
+        // exactly, for this (and any) tick placement.
+        assert_eq!(wh.merged(), wh.cumulative());
+        assert_eq!(wh.windows(), batches.len());
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let wh = WindowedHistogram::new(2);
+        assert_eq!(wh.capacity(), 2);
+        for v in [10u64, 20, 30] {
+            wh.record(v);
+            wh.roll();
+        }
+        // Three rolls, capacity two: the window holding 10 is gone.
+        assert_eq!(wh.windows(), 2);
+        let merged = wh.merged();
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.sum, 50);
+        // The cumulative view still remembers everything.
+        assert_eq!(wh.cumulative().count, 3);
+        // The latest window holds only the last batch.
+        assert_eq!(wh.window().sum, 30);
+    }
+
+    #[test]
+    fn around_shares_cells_and_skips_history() {
+        let h = Histogram::new();
+        h.record(1_000_000); // before wrapping: belongs to no window
+        let wh = WindowedHistogram::around(h.clone(), 4);
+        h.record(42); // recorded via the *source* handle
+        let w = wh.roll();
+        assert_eq!(w.count, 1);
+        assert_eq!(w.sum, 42);
+        assert_eq!(wh.cumulative().count, 2);
+        // The source() handle is the same cells.
+        wh.source().record(7);
+        assert_eq!(h.snapshot().count, 3);
+    }
+
+    #[test]
+    fn empty_roll_and_zero_capacity_are_safe() {
+        let wh = WindowedHistogram::new(0); // clamped to 1
+        assert_eq!(wh.capacity(), 1);
+        assert_eq!(wh.window(), HistogramSnapshot::empty());
+        let w = wh.roll();
+        assert_eq!(w, HistogramSnapshot::empty());
+        assert_eq!(wh.merged(), HistogramSnapshot::empty());
+    }
+}

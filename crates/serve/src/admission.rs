@@ -7,9 +7,13 @@
 //!   instantaneous backlog reading;
 //! - **windowed predict p99** — successive snapshots of
 //!   `engine_predict_latency_ns{shard=..}` are differenced
-//!   ([`window_delta`]) so the percentile reflects the *last tick*, not
-//!   the run so far. A cumulative p99 never recovers after one bad burst,
-//!   which would turn a transient overload into a permanent shed.
+//!   ([`window_delta`], now provided by
+//!   [`adamove_obs::window`](adamove_obs::window) and re-exported here
+//!   for compatibility; the server's ticker uses the full
+//!   [`WindowedHistogram`](adamove_obs::WindowedHistogram) ring) so the
+//!   percentile reflects the *last tick*, not the run so far. A
+//!   cumulative p99 never recovers after one bad burst, which would turn
+//!   a transient overload into a permanent shed.
 //!
 //! The controller is deliberately split from signal collection:
 //! [`AdmissionController::ingest`] takes plain readings, so tests drive
@@ -25,6 +29,8 @@
 
 use adamove_obs::{labeled, Counter, Gauge, HistogramSnapshot, Registry};
 use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use adamove_obs::window_delta;
 
 /// Thresholds for the per-shard shed policy. Defaults are sized for the
 /// engine's observed single-core latency profile (predict p99 ≈ 2.7 ms
@@ -172,24 +178,6 @@ impl AdmissionController {
             .get(shard)
             .is_some_and(|s| s.shedding.load(Ordering::Relaxed))
     }
-}
-
-/// The histogram delta `current − last`: what was recorded between two
-/// cumulative snapshots. Saturating per bucket, so a restarted or
-/// swapped histogram degrades to "treat current as the whole window"
-/// rather than wrapping.
-pub fn window_delta(current: &HistogramSnapshot, last: &HistogramSnapshot) -> HistogramSnapshot {
-    let mut out = HistogramSnapshot::empty();
-    for (o, (c, l)) in out
-        .counts
-        .iter_mut()
-        .zip(current.counts.iter().zip(last.counts.iter()))
-    {
-        *o = c.saturating_sub(*l);
-    }
-    out.sum = current.sum.saturating_sub(last.sum);
-    out.count = current.count.saturating_sub(last.count);
-    out
 }
 
 #[cfg(test)]

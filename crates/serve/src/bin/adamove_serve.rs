@@ -12,6 +12,7 @@
 //!     --addr 127.0.0.1:7070 --shards 4 --users 1000000
 //! ```
 
+use adamove::obs::{FlightRecorder, Registry, Tracer};
 use adamove::{AdaMoveConfig, EngineConfig, LightMob, RecoveryConfig, ShardedEngine};
 use adamove_autograd::ParamStore;
 use adamove_serve::{serve, AdmissionConfig, ServeConfig};
@@ -34,6 +35,7 @@ OPTIONS:
     --seed <N>           model init seed (default 7)
     --max-conns <N>      open-connection cap (default 1024)
     --duration-secs <N>  exit after N seconds (default: run forever)
+    --flight-capacity <N>  flight-recorder ring capacity (default 64)
     --no-admission       disable load shedding
     --no-recovery        disable the self-healing layer
     -h, --help           print this help
@@ -48,6 +50,7 @@ struct Args {
     seed: u64,
     max_conns: usize,
     duration_secs: Option<u64>,
+    flight_capacity: usize,
     admission: bool,
     recovery: bool,
 }
@@ -62,6 +65,7 @@ fn parse_args() -> Args {
         seed: 7,
         max_conns: 1024,
         duration_secs: None,
+        flight_capacity: 64,
         admission: true,
         recovery: true,
     };
@@ -83,6 +87,9 @@ fn parse_args() -> Args {
             "--max-conns" => args.max_conns = parse_num(&value("--max-conns"), "--max-conns"),
             "--duration-secs" => {
                 args.duration_secs = Some(parse_num(&value("--duration-secs"), "--duration-secs"))
+            }
+            "--flight-capacity" => {
+                args.flight_capacity = parse_num(&value("--flight-capacity"), "--flight-capacity")
             }
             "--no-admission" => args.admission = false,
             "--no-recovery" => args.recovery = false,
@@ -125,7 +132,11 @@ fn main() {
         args.users,
         &mut rng,
     );
-    let engine = Arc::new(ShardedEngine::new(
+    // One flight-recorder ring shared by the server (request anomalies)
+    // and the engine's tracer (shard panic/respawn events), so a DIAG
+    // dump tells the whole story under one set of request ids.
+    let recorder = Arc::new(FlightRecorder::new(args.flight_capacity));
+    let engine = Arc::new(ShardedEngine::with_observability(
         Arc::new(model),
         Arc::new(store),
         EngineConfig {
@@ -140,6 +151,9 @@ fn main() {
             },
             ..EngineConfig::default()
         },
+        None,
+        Arc::new(Registry::new()),
+        Tracer::with_sink(Arc::clone(&recorder) as _),
     ));
 
     let handle = serve(
@@ -149,6 +163,8 @@ fn main() {
             workers: args.workers,
             max_connections: args.max_conns,
             admission: args.admission.then(AdmissionConfig::default),
+            flight_capacity: args.flight_capacity,
+            flight_recorder: Some(Arc::clone(&recorder)),
             ..ServeConfig::default()
         },
     )
@@ -170,6 +186,9 @@ fn main() {
         },
     }
     let engine = handle.stop();
+    // Final flight dump on stdout: the same flat JSON a DIAG frame
+    // fetches over the wire, for post-mortems after the socket is gone.
+    println!("{}", recorder.to_flat_json());
     if let Some(engine) = Arc::into_inner(engine) {
         let report = engine.shutdown();
         println!(

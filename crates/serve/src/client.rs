@@ -9,6 +9,7 @@
 //! `Prediction` frame is bit-identical to the engine's reply.
 
 use crate::protocol::{self, DecodeError, ErrorCode, Frame, Quality};
+use adamove_obs::TraceContext;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -115,6 +116,50 @@ impl Client {
         Ok(())
     }
 
+    /// Send one frame carrying a client-minted [`TraceContext`] and block
+    /// for the reply, which echoes the context back (`None` only if the
+    /// server predates the trace extension). Replies to traced requests
+    /// are byte-identical to untraced ones apart from the trace header —
+    /// same scores, same quality, same error codes.
+    pub fn roundtrip_traced(
+        &mut self,
+        request: &Frame,
+        trace: TraceContext,
+    ) -> Result<(Frame, Option<TraceContext>), ClientError> {
+        self.send_traced(request, trace)?;
+        self.recv_traced()
+    }
+
+    /// Send a frame with a trace header without waiting (pair with
+    /// [`Client::recv_traced`] in order).
+    pub fn send_traced(&mut self, request: &Frame, trace: TraceContext) -> Result<(), ClientError> {
+        let mut bytes = Vec::new();
+        protocol::encode_traced(request, Some(trace), &mut bytes);
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Block for the next frame, keeping any echoed trace context.
+    pub fn recv_traced(&mut self) -> Result<(Frame, Option<TraceContext>), ClientError> {
+        loop {
+            match protocol::decode_traced(&self.inbuf, self.max_payload) {
+                Ok(Some((frame, trace, consumed))) => {
+                    self.inbuf.drain(..consumed);
+                    return Ok((frame, trace));
+                }
+                Ok(None) => {
+                    let mut chunk = [0u8; 4096];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+                    }
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => return Err(ClientError::Protocol(e)),
+            }
+        }
+    }
+
     /// Block for the next frame from the server.
     pub fn recv(&mut self) -> Result<Frame, ClientError> {
         loop {
@@ -195,6 +240,16 @@ impl Client {
         let reply = Self::expect_ok(self.roundtrip(&Frame::Snapshot)?)?;
         match reply {
             Frame::SnapshotReply { json } => Ok(json),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Fetch the server's flight-recorder dump (the tail-sampled
+    /// anomalous-request ring) as flat JSON.
+    pub fn diag(&mut self) -> Result<String, ClientError> {
+        let reply = Self::expect_ok(self.roundtrip(&Frame::Diag)?)?;
+        match reply {
+            Frame::DiagReply { json } => Ok(json),
             other => Err(ClientError::UnexpectedReply(other)),
         }
     }

@@ -4,14 +4,19 @@
 //! Three pieces, composed by [`serve`]:
 //!
 //! - [`protocol`] — a length-prefixed binary wire format (OBSERVE /
-//!   PREDICT / SNAPSHOT requests, typed error replies, versioned
-//!   header) with a total, panic-free codec;
+//!   PREDICT / SNAPSHOT / DIAG requests, typed error replies, versioned
+//!   header, optional per-frame trace-context extension) with a total,
+//!   panic-free codec;
 //! - [`admission`] — per-shard load shedding with hysteresis, driven by
-//!   the engine's own queue-depth gauges and (windowed) predict-latency
-//!   histograms, with shed decisions exported as `serve_*_total`
-//!   metrics and Retry-After hints on shed replies;
+//!   the engine's own queue-depth gauges and windowed predict-latency
+//!   histograms (`adamove_obs::WindowedHistogram`), with shed decisions
+//!   exported as `serve_*_total` metrics and Retry-After hints on shed
+//!   replies;
 //! - [`server`] — a thread-per-core TCP server: one acceptor, N
-//!   workers owning disjoint connection sets, an admission ticker.
+//!   workers owning disjoint connection sets, one ticker feeding both
+//!   admission and the always-on flight recorder's slow gate. Anomalous
+//!   requests are tail-sampled into the recorder and dumpable with a
+//!   DIAG frame.
 //!
 //! [`client`] is the matching blocking client used by the `loadgen`
 //! bench binary, the testkit serving suites, and the examples.
@@ -27,7 +32,7 @@ pub mod server;
 pub use admission::{window_delta, AdmissionConfig, AdmissionController, Decision};
 pub use client::{Client, ClientError, WirePrediction};
 pub use protocol::{
-    decode, encode, encode_to_vec, DecodeError, ErrorCode, Frame, Quality, DEFAULT_MAX_PAYLOAD,
-    HEADER_LEN, MAGIC, VERSION,
+    decode, decode_traced, encode, encode_to_vec, encode_traced, DecodeError, ErrorCode, Frame,
+    Quality, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, TRACE_FLAG, TRACE_PREFIX_LEN, VERSION,
 };
 pub use server::{serve, ServeConfig, ServerHandle};

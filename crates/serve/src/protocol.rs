@@ -21,8 +21,21 @@
 //! [`DecodeError`] that the server answers with an [`Frame::Error`] reply
 //! before closing the connection. No input may panic — this module is on
 //! the `adamove-lint` panic-free list.
+//!
+//! # Trace extension
+//!
+//! Any frame may carry a [`TraceContext`] as an *optional header
+//! extension*: setting [`TRACE_FLAG`] in the type byte prefixes the
+//! payload with 16 bytes — `request_id: u64` then `parent_id: u64`,
+//! little-endian — before the type's normal layout. [`encode_traced`] /
+//! [`decode_traced`] speak the extension; the plain [`encode`] /
+//! [`decode`] delegate to them (never emitting the flag, surfacing a
+//! traced frame's body while dropping its context), so untraced peers
+//! and traced peers interoperate on the same port. A reply carries a
+//! context iff the request did — the server echoes the request id back.
 
 use adamove::PredictionQuality;
+use adamove_obs::TraceContext;
 use std::fmt;
 
 /// Protocol magic, first two bytes of every frame.
@@ -38,7 +51,17 @@ pub const HEADER_LEN: usize = 8;
 /// [`ErrorCode::Oversized`] without buffering the body.
 pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
 
-/// Frame type bytes. Requests are `0x0x`, replies `0x8x`, errors `0xE0`.
+/// Type-byte flag marking the trace header extension: the payload is
+/// prefixed with a 16-byte [`TraceContext`] (`request_id: u64` then
+/// `parent_id: u64`, little-endian). No base frame type uses this bit,
+/// so `ty & !TRACE_FLAG` recovers the frame type exactly.
+pub const TRACE_FLAG: u8 = 0x10;
+
+/// Byte length of the trace header extension.
+pub const TRACE_PREFIX_LEN: usize = 16;
+
+/// Frame type bytes. Requests are `0x0x`, replies `0x8x`, errors `0xE0`;
+/// bit `0x10` is reserved for [`TRACE_FLAG`] and never part of a type.
 pub mod frame_type {
     /// Check-in delivery (request).
     pub const OBSERVE: u8 = 0x01;
@@ -46,6 +69,8 @@ pub mod frame_type {
     pub const PREDICT: u8 = 0x02;
     /// Metrics snapshot (request).
     pub const SNAPSHOT: u8 = 0x03;
+    /// Flight-recorder dump (request).
+    pub const DIAG: u8 = 0x04;
     /// Observe accepted (reply).
     pub const OBSERVE_OK: u8 = 0x81;
     /// Prediction result (reply).
@@ -54,6 +79,8 @@ pub mod frame_type {
     pub const NO_WINDOW: u8 = 0x83;
     /// Metrics snapshot body (reply).
     pub const SNAPSHOT_REPLY: u8 = 0x84;
+    /// Flight-recorder dump body (reply).
+    pub const DIAG_REPLY: u8 = 0x85;
     /// Typed failure (reply).
     pub const ERROR: u8 = 0xE0;
 }
@@ -211,6 +238,8 @@ pub enum Frame {
     },
     /// Request the server's metric registry as flat JSON.
     Snapshot,
+    /// Request the server's flight-recorder ring as flat JSON.
+    Diag,
     /// Observe accepted and enqueued on the owning shard.
     ObserveOk,
     /// Prediction result.
@@ -232,6 +261,11 @@ pub enum Frame {
         /// The exposition, UTF-8.
         json: String,
     },
+    /// Flight-recorder dump body (flat JSON).
+    DiagReply {
+        /// The dump, UTF-8.
+        json: String,
+    },
     /// Typed failure.
     Error {
         /// What went wrong.
@@ -251,10 +285,12 @@ impl Frame {
             Frame::Observe { .. } => frame_type::OBSERVE,
             Frame::Predict { .. } => frame_type::PREDICT,
             Frame::Snapshot => frame_type::SNAPSHOT,
+            Frame::Diag => frame_type::DIAG,
             Frame::ObserveOk => frame_type::OBSERVE_OK,
             Frame::Prediction { .. } => frame_type::PREDICTION,
             Frame::NoWindow => frame_type::NO_WINDOW,
             Frame::SnapshotReply { .. } => frame_type::SNAPSHOT_REPLY,
+            Frame::DiagReply { .. } => frame_type::DIAG_REPLY,
             Frame::Error { .. } => frame_type::ERROR,
         }
     }
@@ -263,7 +299,7 @@ impl Frame {
     pub fn is_request(&self) -> bool {
         matches!(
             self,
-            Frame::Observe { .. } | Frame::Predict { .. } | Frame::Snapshot
+            Frame::Observe { .. } | Frame::Predict { .. } | Frame::Snapshot | Frame::Diag
         )
     }
 }
@@ -338,18 +374,38 @@ fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Append `frame` to `out` in wire format. Infallible: every [`Frame`]
 /// value has exactly one encoding. Payloads that would overflow the
 /// `u32` length field are truncated at the string/score level before
 /// encoding is attempted (in practice only `SnapshotReply`/`Error`
 /// messages could approach it; both are producer-bounded well below).
 pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    encode_traced(frame, None, out);
+}
+
+/// [`encode`] with the trace header extension: when `trace` is `Some`,
+/// the type byte carries [`TRACE_FLAG`] and the payload is prefixed with
+/// the context. `encode_traced(f, None, out)` is byte-identical to
+/// `encode(f, out)`.
+pub fn encode_traced(frame: &Frame, trace: Option<TraceContext>, out: &mut Vec<u8>) {
     let header_at = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(frame.type_byte());
+    let mut ty = frame.type_byte();
+    if trace.is_some() {
+        ty |= TRACE_FLAG;
+    }
+    out.push(ty);
     put_u32(out, 0); // patched below
     let payload_at = out.len();
+    if let Some(ctx) = trace {
+        put_u64(out, ctx.request_id);
+        put_u64(out, ctx.parent_id);
+    }
     match frame {
         Frame::Observe { user, loc, time } => {
             put_u32(out, *user);
@@ -365,7 +421,7 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             put_i64(out, *now);
             out.push(u8::from(*want_scores));
         }
-        Frame::Snapshot | Frame::ObserveOk | Frame::NoWindow => {}
+        Frame::Snapshot | Frame::Diag | Frame::ObserveOk | Frame::NoWindow => {}
         Frame::Prediction {
             quality,
             top,
@@ -381,7 +437,7 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
                 out.extend_from_slice(&s.to_le_bytes());
             }
         }
-        Frame::SnapshotReply { json } => {
+        Frame::SnapshotReply { json } | Frame::DiagReply { json } => {
             out.extend_from_slice(json.as_bytes());
         }
         Frame::Error {
@@ -420,6 +476,10 @@ fn get_i64(b: &[u8], at: usize) -> Option<i64> {
     Some(i64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?))
 }
 
+fn get_u64(b: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?))
+}
+
 fn bad(frame: u8, reason: &'static str) -> DecodeError {
     DecodeError::BadPayload { frame, reason }
 }
@@ -455,6 +515,12 @@ fn decode_payload(ty: u8, p: &[u8]) -> Result<Frame, DecodeError> {
                 return Err(bad(ty, "snapshot carries no payload"));
             }
             Ok(Frame::Snapshot)
+        }
+        frame_type::DIAG => {
+            if !p.is_empty() {
+                return Err(bad(ty, "diag carries no payload"));
+            }
+            Ok(Frame::Diag)
         }
         frame_type::OBSERVE_OK => {
             if !p.is_empty() {
@@ -504,6 +570,12 @@ fn decode_payload(ty: u8, p: &[u8]) -> Result<Frame, DecodeError> {
             }),
             Err(_) => Err(bad(ty, "snapshot body is not UTF-8")),
         },
+        frame_type::DIAG_REPLY => match std::str::from_utf8(p) {
+            Ok(s) => Ok(Frame::DiagReply {
+                json: s.to_string(),
+            }),
+            Err(_) => Err(bad(ty, "diag body is not UTF-8")),
+        },
         frame_type::ERROR => {
             if p.len() < 7 {
                 return Err(bad(ty, "error payload shorter than fixed part"));
@@ -538,6 +610,16 @@ fn decode_payload(ty: u8, p: &[u8]) -> Result<Frame, DecodeError> {
 ///   payload arrives, so an attacker cannot make the server buffer an
 ///   oversized body by declaring a huge length.
 pub fn decode(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>, DecodeError> {
+    Ok(decode_traced(buf, max_payload)?.map(|(frame, _, consumed)| (frame, consumed)))
+}
+
+/// [`decode`] with the trace header extension surfaced: when the frame's
+/// type byte carries [`TRACE_FLAG`], the 16-byte context prefix is
+/// stripped from the payload and returned alongside the frame.
+pub fn decode_traced(
+    buf: &[u8],
+    max_payload: u32,
+) -> Result<Option<(Frame, Option<TraceContext>, usize)>, DecodeError> {
     if buf.len() < 2 {
         // Even a magic check needs two bytes; but reject a wrong first
         // byte immediately so garbage fails fast.
@@ -556,20 +638,26 @@ pub fn decode(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>, De
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let ty = buf[3];
+    let raw_ty = buf[3];
+    let traced = raw_ty & TRACE_FLAG != 0;
+    let ty = raw_ty & !TRACE_FLAG;
     let known = matches!(
         ty,
         frame_type::OBSERVE
             | frame_type::PREDICT
             | frame_type::SNAPSHOT
+            | frame_type::DIAG
             | frame_type::OBSERVE_OK
             | frame_type::PREDICTION
             | frame_type::NO_WINDOW
             | frame_type::SNAPSHOT_REPLY
+            | frame_type::DIAG_REPLY
             | frame_type::ERROR
     );
     if !known {
-        return Err(DecodeError::UnknownType(ty));
+        // Report the byte as received: an unknown traced type is just as
+        // unknown with the flag stripped, and the raw value aids debugging.
+        return Err(DecodeError::UnknownType(raw_ty));
     }
     let len = get_u32(buf, 4).unwrap_or(0);
     if len > max_payload {
@@ -582,8 +670,22 @@ pub fn decode(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>, De
     if buf.len() < total {
         return Ok(None);
     }
-    let frame = decode_payload(ty, &buf[HEADER_LEN..total])?;
-    Ok(Some((frame, total)))
+    let mut payload = &buf[HEADER_LEN..total];
+    let trace = if traced {
+        if payload.len() < TRACE_PREFIX_LEN {
+            return Err(bad(raw_ty, "traced payload shorter than trace prefix"));
+        }
+        let ctx = TraceContext {
+            request_id: get_u64(payload, 0).unwrap_or(0),
+            parent_id: get_u64(payload, 8).unwrap_or(0),
+        };
+        payload = &payload[TRACE_PREFIX_LEN..];
+        Some(ctx)
+    } else {
+        None
+    };
+    let frame = decode_payload(ty, payload)?;
+    Ok(Some((frame, trace, total)))
 }
 
 #[cfg(test)]
@@ -623,11 +725,90 @@ mod tests {
         roundtrip(Frame::SnapshotReply {
             json: "{\n  \"x\": 1\n}\n".into(),
         });
+        roundtrip(Frame::Diag);
+        roundtrip(Frame::DiagReply {
+            json: "{\n  \"flight_capacity\": 64\n}\n".into(),
+        });
         roundtrip(Frame::Error {
             code: ErrorCode::Shed,
             retry_after_ms: 50,
             message: "shard 3 overloaded".into(),
         });
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_with_context() {
+        let ctx = TraceContext {
+            request_id: 0xDEAD_BEEF_0042,
+            parent_id: 7,
+        };
+        for f in [
+            Frame::Predict {
+                user: 3,
+                now: 1_700_000_000,
+                want_scores: false,
+            },
+            Frame::Observe {
+                user: 1,
+                loc: 2,
+                time: 3,
+            },
+            Frame::Snapshot,
+            Frame::Prediction {
+                quality: Quality::Adapted,
+                top: 5,
+                window_len: 2,
+                scores: vec![1.25, -0.5],
+            },
+            Frame::Error {
+                code: ErrorCode::Shed,
+                retry_after_ms: 50,
+                message: "overload".into(),
+            },
+        ] {
+            let mut bytes = Vec::new();
+            encode_traced(&f, Some(ctx), &mut bytes);
+            assert_eq!(bytes[3] & TRACE_FLAG, TRACE_FLAG);
+            let (back, trace, consumed) = decode_traced(&bytes, DEFAULT_MAX_PAYLOAD)
+                .expect("decodes")
+                .expect("complete");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(back, f);
+            assert_eq!(trace, Some(ctx));
+            // The plain decoder accepts the same bytes, dropping context.
+            let (plain, plain_used) = decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+            assert_eq!(plain, f);
+            assert_eq!(plain_used, consumed);
+        }
+    }
+
+    #[test]
+    fn untraced_encoding_is_unchanged_by_the_traced_codec() {
+        let f = Frame::Predict {
+            user: 9,
+            now: 42,
+            want_scores: true,
+        };
+        let plain = encode_to_vec(&f);
+        let mut via_traced = Vec::new();
+        encode_traced(&f, None, &mut via_traced);
+        assert_eq!(plain, via_traced);
+        let (back, trace, _) = decode_traced(&plain, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+        assert_eq!(back, f);
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn short_trace_prefix_is_a_typed_error() {
+        let mut bytes = Vec::new();
+        encode_traced(&Frame::Snapshot, Some(TraceContext::root(1)), &mut bytes);
+        // Shrink the payload below the 16-byte trace prefix.
+        bytes[4..8].copy_from_slice(&8u32.to_le_bytes());
+        bytes.truncate(HEADER_LEN + 8);
+        assert!(matches!(
+            decode_traced(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(DecodeError::BadPayload { .. })
+        ));
     }
 
     #[test]

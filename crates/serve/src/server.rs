@@ -18,19 +18,48 @@
 //! errors, and malformed frames (after a typed error reply — a garbled
 //! byte stream cannot be re-synchronised).
 //!
+//! # Tracing and the flight recorder
+//!
+//! Every request gets a [`TraceContext`]: either the one the client put
+//! on the wire (the protocol's trace header extension — the reply then
+//! echoes it) or one minted here from a process-wide counter. The
+//! context rides *by value* through the engine's traced predict path, so
+//! the serve-side stage timings (decode, admission, encode) and the
+//! engine-side ones (queue-wait, forward, adapt) land under one request
+//! id. Anomalous requests — shed, busy, degraded, breaker-frozen, typed
+//! errors, or slower than the windowed p99 gate — are tail-sampled into
+//! the always-on [`FlightRecorder`], dumpable over the wire with a DIAG
+//! frame. A healthy request's recorder cost is one relaxed load and a
+//! compare; tracing changes *nothing* about the reply bytes unless the
+//! client opted in by sending a traced frame.
+//!
 //! This file is on the `adamove-lint` panic-free list.
 
-use crate::admission::{window_delta, AdmissionConfig, AdmissionController, Decision};
-use crate::protocol::{self, ErrorCode, Frame};
+use crate::admission::{AdmissionConfig, AdmissionController, Decision};
+use crate::protocol::{self, ErrorCode, Frame, Quality};
 use adamove::{EngineError, ShardedEngine};
 use adamove_mobility::{LocationId, Point, Timestamp, UserId};
-use adamove_obs::{to_flat_json, Counter, Gauge, Histogram, Registry, Stopwatch};
+use adamove_obs::{
+    labeled, to_flat_json, AnomalyKind, Counter, FlightRecord, FlightRecorder, Gauge, Histogram,
+    Registry, Stage, StageTimings, Stopwatch, TraceContext, WindowedHistogram,
+};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
+
+/// Trailing windows retained for the flight recorder's slow gate: with
+/// the default 20 ms tick this is a ~320 ms sliding view of
+/// `serve_request_latency_ns`.
+const SLOW_GATE_WINDOWS: usize = 16;
+
+/// The slow gate stays shut (`u64::MAX`) until the trailing windows hold
+/// at least this many requests — a p99 over a handful of samples is
+/// noise, and an over-eager gate would flood the ring with healthy
+/// requests.
+const SLOW_GATE_MIN_SAMPLES: u64 = 64;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -55,6 +84,13 @@ pub struct ServeConfig {
     /// Bound on each engine predict; `None` blocks until the shard
     /// replies (the recovery layer still bounds shard-death waits).
     pub predict_timeout: Option<Duration>,
+    /// Flight-recorder ring capacity (records retained) when the server
+    /// creates its own recorder. At least 1 — the recorder is always on.
+    pub flight_capacity: usize,
+    /// Share an existing recorder instead of creating one — e.g. the
+    /// daemon wires the same ring into the engine's tracer so shard
+    /// respawns and panics land next to request anomalies.
+    pub flight_recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +104,8 @@ impl Default for ServeConfig {
             tick_interval: Duration::from_millis(20),
             idle_sleep: Duration::from_micros(200),
             predict_timeout: Some(Duration::from_secs(5)),
+            flight_capacity: 64,
+            flight_recorder: None,
         }
     }
 }
@@ -83,13 +121,24 @@ struct ServeObs {
     observes: Counter,
     predicts: Counter,
     snapshots: Counter,
+    diags: Counter,
     malformed: Counter,
     errors: Counter,
     request_latency: Histogram,
+    stage_decode: Histogram,
+    stage_admission: Histogram,
+    stage_encode: Histogram,
 }
 
 impl ServeObs {
     fn new(registry: &Registry) -> Self {
+        // The serve layer's slice of the request-stage taxonomy; the
+        // engine records the queue_wait/forward/adapt/journal stages
+        // into its own per-shard family.
+        let stage = |st: Stage| labeled("serve_stage_latency_ns", &[("stage", st.name())]);
+        let decode_name = stage(Stage::Decode);
+        let admission_name = stage(Stage::Admission);
+        let encode_name = stage(Stage::Encode);
         Self {
             connections: registry.counter("serve_connections_total"),
             conn_rejected: registry.counter("serve_conn_rejected_total"),
@@ -98,9 +147,13 @@ impl ServeObs {
             observes: registry.counter("serve_observes_total"),
             predicts: registry.counter("serve_predicts_total"),
             snapshots: registry.counter("serve_snapshots_total"),
+            diags: registry.counter("serve_diags_total"),
             malformed: registry.counter("serve_malformed_total"),
             errors: registry.counter("serve_errors_total"),
             request_latency: registry.histogram("serve_request_latency_ns"),
+            stage_decode: registry.histogram(&decode_name),
+            stage_admission: registry.histogram(&admission_name),
+            stage_encode: registry.histogram(&encode_name),
         }
     }
 }
@@ -113,6 +166,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     engine: Arc<ShardedEngine>,
     registry: Arc<Registry>,
+    recorder: Arc<FlightRecorder>,
     threads: Vec<thread::JoinHandle<()>>,
 }
 
@@ -132,6 +186,12 @@ impl ServerHandle {
         Arc::clone(&self.engine)
     }
 
+    /// The always-on flight recorder (anomalous-request ring). The same
+    /// dump a DIAG frame fetches over the wire, readable in-process.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
+    }
+
     /// Stop accepting, drain worker loops, join all server threads, and
     /// hand back the engine (call `shutdown()` on it — via
     /// `Arc::into_inner` — for the final [`adamove::EngineReport`]).
@@ -148,7 +208,7 @@ impl ServerHandle {
 
 /// Start serving `engine` per `config`. The server registers its
 /// `serve_*` metrics in the engine's registry and spawns
-/// `1 + workers (+ 1 admission ticker)` threads.
+/// `1 + workers + 1 ticker` threads.
 pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -159,9 +219,14 @@ pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<Serv
         .admission
         .clone()
         .map(|cfg| Arc::new(AdmissionController::new(engine.shards(), cfg, &registry)));
+    let recorder = config
+        .flight_recorder
+        .clone()
+        .unwrap_or_else(|| Arc::new(FlightRecorder::new(config.flight_capacity)));
 
     let stop = Arc::new(AtomicBool::new(false));
     let open = Arc::new(AtomicUsize::new(0));
+    let request_ids = Arc::new(AtomicU64::new(1));
     let workers = if config.workers == 0 {
         thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -178,6 +243,8 @@ pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<Serv
             registry: Arc::clone(&registry),
             obs: obs.clone(),
             admission: admission.clone(),
+            recorder: Arc::clone(&recorder),
+            request_ids: Arc::clone(&request_ids),
             stop: Arc::clone(&stop),
             open: Arc::clone(&open),
             max_payload: config.max_payload,
@@ -214,14 +281,19 @@ pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<Serv
         );
     }
 
-    if let Some(ctl) = admission {
+    {
+        // Always spawned: even without admission control the ticker
+        // maintains the flight recorder's windowed-p99 slow gate.
         let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
         let tick = config.tick_interval;
+        let ctl = admission;
+        let recorder = Arc::clone(&recorder);
+        let request_latency = obs.request_latency.clone();
         threads.push(
             thread::Builder::new()
-                .name("serve-admission".to_string())
-                .spawn(move || admission_tick_loop(engine, ctl, stop, tick))?,
+                .name("serve-ticker".to_string())
+                .spawn(move || tick_loop(engine, ctl, recorder, request_latency, stop, tick))?,
         );
     }
 
@@ -230,6 +302,7 @@ pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<Serv
         stop,
         engine,
         registry,
+        recorder,
         threads,
     })
 }
@@ -282,34 +355,51 @@ fn reject_busy(stream: TcpStream) {
     let _ = stream.write_all(&protocol::encode_to_vec(&frame));
 }
 
-fn admission_tick_loop(
+/// The server's one periodic thread: per tick it cuts a delta window on
+/// each shard's predict-latency histogram for the admission controller
+/// (the [`WindowedHistogram`] promotion of the old hand-rolled snapshot
+/// diffing), and rolls the request-latency window ring whose merged
+/// trailing p99 arms the flight recorder's slow gate.
+fn tick_loop(
     engine: Arc<ShardedEngine>,
-    ctl: Arc<AdmissionController>,
+    ctl: Option<Arc<AdmissionController>>,
+    recorder: Arc<FlightRecorder>,
+    request_latency: Histogram,
     stop: Arc<AtomicBool>,
     tick: Duration,
 ) {
     let shards = engine.shards();
-    let mut last: Vec<adamove_obs::HistogramSnapshot> = (0..shards)
+    let shard_windows: Vec<WindowedHistogram> = (0..shards)
         .map(|s| {
-            engine
-                .shard_predict_latency(s)
-                .map_or_else(adamove_obs::HistogramSnapshot::empty, |h| h.snapshot())
+            let source = engine.shard_predict_latency(s).unwrap_or_default();
+            WindowedHistogram::around(source, 1)
         })
         .collect();
+    let gate_window = WindowedHistogram::around(request_latency, SLOW_GATE_WINDOWS);
     while !stop.load(Ordering::Acquire) {
-        for (shard, last_snap) in last.iter_mut().enumerate() {
-            let depth = engine
-                .shard_queue_depth(shard)
-                .map_or(0.0, |g| g.get())
-                .max(0.0) as usize;
-            let current = engine
-                .shard_predict_latency(shard)
-                .map_or_else(adamove_obs::HistogramSnapshot::empty, |h| h.snapshot());
-            let window = window_delta(&current, last_snap);
-            *last_snap = current;
-            ctl.ingest(shard, depth, &window);
+        if let Some(ctl) = &ctl {
+            for (shard, wh) in shard_windows.iter().enumerate() {
+                let depth = engine
+                    .shard_queue_depth(shard)
+                    .map_or(0.0, |g| g.get())
+                    .max(0.0) as usize;
+                let window = wh.roll();
+                ctl.ingest(shard, depth, &window);
+            }
         }
-        thread::sleep(tick);
+        gate_window.roll();
+        let trailing = gate_window.merged();
+        if trailing.count >= SLOW_GATE_MIN_SAMPLES {
+            recorder.set_slow_gate_ns(trailing.percentile(0.99) as u64);
+        }
+        // Sleep in short slices so stop() never has to wait out a long
+        // tick before it can join this thread.
+        let mut remaining = tick;
+        while !stop.load(Ordering::Acquire) && remaining > Duration::ZERO {
+            let slice = remaining.min(Duration::from_millis(20));
+            thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
     }
 }
 
@@ -318,6 +408,8 @@ struct WorkerCtx {
     registry: Arc<Registry>,
     obs: ServeObs,
     admission: Option<Arc<AdmissionController>>,
+    recorder: Arc<FlightRecorder>,
+    request_ids: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     open: Arc<AtomicUsize>,
     max_payload: u32,
@@ -451,18 +543,45 @@ fn pump(conn: &mut Conn, ctx: &WorkerCtx) -> Pump {
     // 3. Decode and serve every complete frame in the buffer.
     let mut handled_any = false;
     loop {
-        match protocol::decode(&conn.inbuf, ctx.max_payload) {
-            Ok(Some((frame, consumed))) => {
+        let clock = Stopwatch::start();
+        match protocol::decode_traced(&conn.inbuf, ctx.max_payload) {
+            Ok(Some((frame, wire_ctx, consumed))) => {
+                let decode_ns = clock.elapsed_ns();
                 conn.inbuf.drain(..consumed);
                 handled_any = true;
                 ctx.obs.frames.inc();
-                let clock = Stopwatch::start();
-                let reply = handle_frame(frame, ctx);
-                ctx.obs.request_latency.record(clock.elapsed_ns());
-                if matches!(reply, Frame::Error { .. }) {
+                // A client-supplied context is echoed; otherwise the
+                // server mints a root id so engine spans and flight
+                // records still correlate. Only client-traced requests
+                // get the trace prefix on the reply — untraced wire
+                // bytes are identical to the pre-trace protocol.
+                let traced = wire_ctx.is_some();
+                let trace = wire_ctx.unwrap_or_else(|| {
+                    TraceContext::root(ctx.request_ids.fetch_add(1, Ordering::Relaxed))
+                });
+                let mut outcome = handle_frame(frame, trace, ctx);
+                outcome.stages.set(Stage::Decode, decode_ns);
+                ctx.obs.stage_decode.record(decode_ns);
+                if matches!(outcome.reply, Frame::Error { .. }) {
                     ctx.obs.errors.inc();
                 }
-                protocol::encode(&reply, &mut conn.outbuf);
+                let encode_clock = Stopwatch::start();
+                protocol::encode_traced(&outcome.reply, traced.then_some(trace), &mut conn.outbuf);
+                let encode_ns = encode_clock.elapsed_ns();
+                outcome.stages.set(Stage::Encode, encode_ns);
+                ctx.obs.stage_encode.record(encode_ns);
+                let total_ns = clock.elapsed_ns();
+                ctx.obs.request_latency.record(total_ns);
+                if let Some(kind) = classify(&outcome.reply, total_ns, &ctx.recorder) {
+                    ctx.recorder.record(FlightRecord {
+                        ctx: trace,
+                        kind,
+                        op: outcome.op,
+                        shard: outcome.shard,
+                        total_ns,
+                        stages: outcome.stages,
+                    });
+                }
             }
             Ok(None) => break,
             Err(err) => {
@@ -475,6 +594,12 @@ fn pump(conn: &mut Conn, ctx: &WorkerCtx) -> Pump {
                     message: err.to_string(),
                 };
                 protocol::encode(&reply, &mut conn.outbuf);
+                let trace = TraceContext::root(ctx.request_ids.fetch_add(1, Ordering::Relaxed));
+                let mut record =
+                    FlightRecord::event(AnomalyKind::Error, trace.request_id, u64::MAX);
+                record.op = "malformed";
+                record.total_ns = clock.elapsed_ns();
+                ctx.recorder.record(record);
                 conn.inbuf.clear();
                 conn.close_after_flush = true;
                 handled_any = true;
@@ -510,28 +635,85 @@ fn engine_error_reply(err: EngineError) -> Frame {
     }
 }
 
-fn handle_frame(frame: Frame, ctx: &WorkerCtx) -> Frame {
+/// What handling one request produced: the reply frame plus the
+/// trace-facing metadata (per-stage timings, the operation label, and
+/// the shard it hashed to — `u64::MAX` for shard-less ops).
+struct RequestOutcome {
+    reply: Frame,
+    stages: StageTimings,
+    op: &'static str,
+    shard: u64,
+}
+
+impl RequestOutcome {
+    fn new(reply: Frame, op: &'static str) -> Self {
+        Self {
+            reply,
+            stages: StageTimings::default(),
+            op,
+            shard: u64::MAX,
+        }
+    }
+}
+
+/// Tail-sampling policy: which finished requests enter the flight
+/// recorder. Anomalies by reply (shed / busy / typed error, degraded or
+/// breaker-frozen prediction) always qualify; healthy replies qualify
+/// only when slower than the recorder's windowed-p99 gate.
+fn classify(reply: &Frame, total_ns: u64, recorder: &FlightRecorder) -> Option<AnomalyKind> {
+    match reply {
+        Frame::Error {
+            code: ErrorCode::Shed,
+            ..
+        } => Some(AnomalyKind::Shed),
+        Frame::Error {
+            code: ErrorCode::Busy,
+            ..
+        } => Some(AnomalyKind::Busy),
+        Frame::Error { .. } => Some(AnomalyKind::Error),
+        Frame::Prediction {
+            quality: Quality::Degraded,
+            ..
+        } => Some(AnomalyKind::Degraded),
+        Frame::Prediction {
+            quality: Quality::Frozen,
+            ..
+        } => Some(AnomalyKind::BreakerOpen),
+        _ if recorder.is_slow(total_ns) => Some(AnomalyKind::SlowRequest),
+        _ => None,
+    }
+}
+
+/// Serve one decoded request frame. `trace` rides by value into the
+/// engine's traced predict path so engine-side stage timings join this
+/// request's span.
+fn handle_frame(frame: Frame, trace: TraceContext, ctx: &WorkerCtx) -> RequestOutcome {
     match frame {
         Frame::Observe { user, loc, time } => {
             ctx.obs.observes.inc();
             let user = UserId(user);
-            if let Some(ctl) = &ctx.admission {
-                if let Decision::Shed { retry_after_ms } = ctl.decide(ctx.engine.shard_of(user)) {
-                    return Frame::Error {
-                        code: ErrorCode::Shed,
-                        retry_after_ms,
-                        message: "overloaded, observe shed".to_string(),
+            let shard = ctx.engine.shard_of(user) as u64;
+            let mut out = match admission_gate(ctx, user, "overloaded, observe shed") {
+                Err(shed) => shed,
+                Ok(admission_ns) => {
+                    let point = Point {
+                        loc: LocationId(loc),
+                        time: Timestamp(time),
                     };
+                    let clock = Stopwatch::start();
+                    let reply = match ctx.engine.try_observe(user, point) {
+                        Ok(()) => Frame::ObserveOk,
+                        Err(err) => engine_error_reply(err),
+                    };
+                    let mut o = RequestOutcome::new(reply, "observe");
+                    o.stages.set(Stage::Admission, admission_ns);
+                    o.stages.set(Stage::Journal, clock.elapsed_ns());
+                    o
                 }
-            }
-            let point = Point {
-                loc: LocationId(loc),
-                time: Timestamp(time),
             };
-            match ctx.engine.try_observe(user, point) {
-                Ok(()) => Frame::ObserveOk,
-                Err(err) => engine_error_reply(err),
-            }
+            out.op = "observe";
+            out.shard = shard;
+            out
         }
         Frame::Predict {
             user,
@@ -540,41 +722,99 @@ fn handle_frame(frame: Frame, ctx: &WorkerCtx) -> Frame {
         } => {
             ctx.obs.predicts.inc();
             let user = UserId(user);
-            if let Some(ctl) = &ctx.admission {
-                if let Decision::Shed { retry_after_ms } = ctl.decide(ctx.engine.shard_of(user)) {
-                    return Frame::Error {
-                        code: ErrorCode::Shed,
-                        retry_after_ms,
-                        message: "overloaded, predict shed".to_string(),
+            let shard = ctx.engine.shard_of(user) as u64;
+            let mut out = match admission_gate(ctx, user, "overloaded, predict shed") {
+                Err(shed) => shed,
+                Ok(admission_ns) => {
+                    let now = Timestamp(now);
+                    let result =
+                        ctx.engine
+                            .predict_traced(user, now, ctx.predict_timeout, Some(trace));
+                    let mut o = match result {
+                        Ok((Some(p), stages)) => {
+                            let reply = Frame::Prediction {
+                                quality: p.quality.into(),
+                                top: p.top.0,
+                                window_len: p.window_len as u32,
+                                scores: if want_scores { p.scores } else { Vec::new() },
+                            };
+                            let mut o = RequestOutcome::new(reply, "predict");
+                            o.stages.set(Stage::QueueWait, stages.queue_ns);
+                            o.stages.set(Stage::Forward, stages.forward_ns);
+                            o.stages.set(Stage::Adapt, stages.adapt_ns);
+                            o
+                        }
+                        Ok((None, stages)) => {
+                            let mut o = RequestOutcome::new(Frame::NoWindow, "predict");
+                            o.stages.set(Stage::QueueWait, stages.queue_ns);
+                            o.stages.set(Stage::Forward, stages.forward_ns);
+                            o
+                        }
+                        Err(err) => RequestOutcome::new(engine_error_reply(err), "predict"),
                     };
+                    o.stages.set(Stage::Admission, admission_ns);
+                    o
                 }
-            }
-            let now = Timestamp(now);
-            let result = match ctx.predict_timeout {
-                Some(t) => ctx.engine.predict_timeout(user, now, t),
-                None => ctx.engine.try_predict(user, now),
             };
-            match result {
-                Ok(Some(p)) => Frame::Prediction {
-                    quality: p.quality.into(),
-                    top: p.top.0,
-                    window_len: p.window_len as u32,
-                    scores: if want_scores { p.scores } else { Vec::new() },
-                },
-                Ok(None) => Frame::NoWindow,
-                Err(err) => engine_error_reply(err),
-            }
+            out.op = "predict";
+            out.shard = shard;
+            out
         }
         Frame::Snapshot => {
             ctx.obs.snapshots.inc();
-            Frame::SnapshotReply {
-                json: to_flat_json(&ctx.registry.snapshot()),
-            }
+            RequestOutcome::new(
+                Frame::SnapshotReply {
+                    json: to_flat_json(&ctx.registry.snapshot()),
+                },
+                "snapshot",
+            )
         }
-        other => Frame::Error {
-            code: ErrorCode::Unexpected,
-            retry_after_ms: 0,
-            message: format!("reply frame 0x{:02x} sent as a request", other.type_byte()),
-        },
+        Frame::Diag => {
+            ctx.obs.diags.inc();
+            RequestOutcome::new(
+                Frame::DiagReply {
+                    json: ctx.recorder.to_flat_json(),
+                },
+                "diag",
+            )
+        }
+        other => RequestOutcome::new(
+            Frame::Error {
+                code: ErrorCode::Unexpected,
+                retry_after_ms: 0,
+                message: format!("reply frame 0x{:02x} sent as a request", other.type_byte()),
+            },
+            "unexpected",
+        ),
+    }
+}
+
+/// Run the admission decision for `user`'s shard, timing it into the
+/// `admission` stage histogram. `Ok` carries the stage nanoseconds of an
+/// accepted request; `Err` is the full shed outcome.
+fn admission_gate(ctx: &WorkerCtx, user: UserId, message: &str) -> Result<u64, RequestOutcome> {
+    let Some(ctl) = ctx.admission.as_ref() else {
+        return Ok(0);
+    };
+    let clock = Stopwatch::start();
+    let decision = ctl.decide(ctx.engine.shard_of(user));
+    let admission_ns = clock.elapsed_ns();
+    ctx.obs.stage_admission.record(admission_ns);
+    match decision {
+        Decision::Shed { retry_after_ms } => {
+            // op stays the request operation; the anomaly kind (not the
+            // op) is what marks the record as a shed.
+            let mut out = RequestOutcome::new(
+                Frame::Error {
+                    code: ErrorCode::Shed,
+                    retry_after_ms,
+                    message: message.to_string(),
+                },
+                "predict",
+            );
+            out.stages.set(Stage::Admission, admission_ns);
+            Err(out)
+        }
+        Decision::Accept => Ok(admission_ns),
     }
 }

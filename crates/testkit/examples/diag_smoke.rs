@@ -1,0 +1,142 @@
+//! CI smoke for the DIAG wire path: stand up a real loopback server,
+//! force one deterministic anomaly of each reachable class (a shed via a
+//! zero-threshold admission policy, then a typed error via a
+//! reply-type-as-request frame), and verify the flight-recorder dump
+//! fetched over the wire parses as flat JSON and carries those records.
+//!
+//! ```text
+//! cargo run --release -p adamove-testkit --example diag_smoke
+//! ```
+//!
+//! Exits nonzero (via panic) on any failed expectation, so the gate
+//! scripts can call it directly.
+
+use adamove::obs::TraceContext;
+use adamove::{AdaMoveConfig, EngineConfig, LightMob, ShardedEngine};
+use adamove_autograd::ParamStore;
+use adamove_serve::{serve, AdmissionConfig, Client, ErrorCode, Frame, ServeConfig};
+use adamove_testkit::json::{parse_flat, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(&mut store, AdaMoveConfig::tiny(), 16, 8, &mut rng);
+    let engine = Arc::new(ShardedEngine::new(
+        Arc::new(model),
+        Arc::new(store),
+        EngineConfig {
+            shards: 2,
+            ..EngineConfig::default()
+        },
+    ));
+    let handle = serve(
+        engine,
+        ServeConfig {
+            workers: 1,
+            // queue_high 0: the first tick flips every shard to shedding;
+            // the hour-long tick keeps it there for the whole smoke.
+            admission: Some(AdmissionConfig {
+                queue_high: 0,
+                ..AdmissionConfig::default()
+            }),
+            tick_interval: Duration::from_secs(3600),
+            flight_capacity: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Wait for the shed policy to engage.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let snap = client.snapshot().expect("snapshot");
+        let fields = parse_flat(&snap).expect("snapshot parses");
+        let shedding: f64 = fields
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve_shedding"))
+            .filter_map(|(k, v)| v.as_num(k).ok())
+            .sum();
+        if shedding >= 2.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "admission never started shedding"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // One traced predict: deterministically shed, id 42 must be ringed.
+    let ctx = TraceContext::root(42);
+    let (reply, echoed) = client
+        .roundtrip_traced(
+            &Frame::Predict {
+                user: 0,
+                now: 3600,
+                want_scores: false,
+            },
+            ctx,
+        )
+        .expect("traced predict");
+    assert_eq!(echoed, Some(ctx), "trace context must echo");
+    assert!(
+        matches!(
+            reply,
+            Frame::Error {
+                code: ErrorCode::Shed,
+                ..
+            }
+        ),
+        "zero-threshold admission must shed, got {reply:?}"
+    );
+
+    // A reply-type frame sent as a request: typed Unexpected error, also
+    // an anomaly the recorder must capture.
+    let err = client
+        .roundtrip(&Frame::ObserveOk)
+        .expect("unexpected-frame roundtrip");
+    assert!(
+        matches!(
+            err,
+            Frame::Error {
+                code: ErrorCode::Unexpected,
+                ..
+            }
+        ),
+        "reply-as-request must get a typed error, got {err:?}"
+    );
+
+    let dump = client.diag().expect("DIAG over the wire");
+    let fields = parse_flat(&dump).expect("flight dump must parse as flat JSON");
+    let recorded = fields
+        .get("flight_recorded_total")
+        .and_then(|v| v.as_num("flight_recorded_total").ok())
+        .expect("dump carries flight_recorded_total");
+    assert!(
+        recorded >= 2.0,
+        "expected >= 2 flight records, got {recorded}"
+    );
+    let shed_with_id_42 = fields.iter().any(|(k, v)| {
+        k.starts_with("flight_request_id") && matches!(v, Value::Num(n) if *n == 42.0)
+    });
+    assert!(shed_with_id_42, "shed request id 42 missing from DIAG dump");
+    let has_shed_kind = fields
+        .iter()
+        .any(|(k, v)| k.starts_with("flight_kind") && matches!(v, Value::Str(s) if s == "shed"));
+    assert!(has_shed_kind, "no record tagged shed in DIAG dump");
+
+    drop(client);
+    let engine = handle.stop();
+    if let Some(engine) = Arc::into_inner(engine) {
+        drop(engine.shutdown());
+    }
+    println!(
+        "diag_smoke: OK ({} flight records, shed id 42 present, dump parseable)",
+        recorded
+    );
+}

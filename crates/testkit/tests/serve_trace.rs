@@ -1,0 +1,418 @@
+//! End-to-end tracing and flight-recorder guarantees over real loopback
+//! TCP:
+//!
+//! 1. **Tracing is free-of-behavior**: driving one server traced and an
+//!    identical twin untraced yields bit-identical replies (scores,
+//!    quality, window lengths) and identical serve counters — the trace
+//!    header changes the wire framing, never the answer.
+//! 2. **The flight recorder is ground truth for anomalies**: with a
+//!    `FaultPlan` shard kill producing `Degraded` replies, and with
+//!    admission control shedding, every anomalous request's client-minted
+//!    trace id appears in the DIAG dump exactly once, with per-stage
+//!    timings that stay within the enclosing span.
+
+use adamove::obs::TraceContext;
+use adamove::{
+    shard_of, AdaMoveConfig, EngineConfig, LightMob, PttaConfig, RecoveryConfig, ShardedEngine,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Timestamp, UserId};
+use adamove_serve::{serve, AdmissionConfig, Client, ErrorCode, Frame, Quality, ServeConfig};
+use adamove_testkit::json::{parse_flat, Value};
+use adamove_testkit::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LOCATIONS: u32 = 8;
+const USERS: u32 = 12;
+const SHARDS: usize = 2;
+
+fn model(seed: u64) -> (Arc<ParamStore>, Arc<LightMob>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    (Arc::new(store), Arc::new(model))
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        shards: SHARDS,
+        context_sessions: 2,
+        session_hours: 24,
+        ptta: PttaConfig::default(),
+        recovery: None,
+        ..EngineConfig::default()
+    }
+}
+
+fn counter(snapshot: &adamove::obs::RegistrySnapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+/// All flat-JSON numbers under `name{rec="..."}` keyed by record index.
+fn per_record(fields: &BTreeMap<String, Value>, name: &str) -> BTreeMap<usize, f64> {
+    let prefix = format!("{name}{{rec=\"");
+    fields
+        .iter()
+        .filter_map(|(k, v)| {
+            let rest = k.strip_prefix(&prefix)?;
+            let idx: usize = rest.strip_suffix("\"}")?.parse().ok()?;
+            Some((idx, v.as_num(k).ok()?))
+        })
+        .collect()
+}
+
+/// Two identical servers, one driven with client-minted trace contexts,
+/// one without: every reply must be bit-identical and every trace
+/// context must come back verbatim.
+#[test]
+fn traced_replies_are_bit_identical_to_untraced() {
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let (store, m) = model(11);
+        let engine = Arc::new(ShardedEngine::new(m, store, engine_config()));
+        handles.push(
+            serve(
+                engine,
+                ServeConfig {
+                    workers: 1,
+                    admission: None,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("server start"),
+        );
+    }
+    let mut untraced = Client::connect(handles[0].addr()).expect("connect untraced");
+    let mut traced = Client::connect(handles[1].addr()).expect("connect traced");
+    let mut next_id = 100u64;
+    let mut mint = || {
+        next_id += 1;
+        TraceContext::root(next_id)
+    };
+
+    // Identical observe streams; the traced one asserts the echo.
+    for step in 0..12i64 {
+        for u in 0..USERS {
+            let frame = Frame::Observe {
+                user: u,
+                loc: (u + step as u32) % LOCATIONS,
+                time: Timestamp::from_hours(step).0,
+            };
+            untraced
+                .observe(
+                    u,
+                    (u + step as u32) % LOCATIONS,
+                    Timestamp::from_hours(step).0,
+                )
+                .expect("untraced observe");
+            let ctx = mint();
+            let (reply, echoed) = traced
+                .roundtrip_traced(&frame, ctx)
+                .expect("traced observe");
+            assert_eq!(reply, Frame::ObserveOk);
+            assert_eq!(echoed, Some(ctx), "reply must echo the request context");
+        }
+    }
+
+    let now = Timestamp::from_hours(13);
+    for u in 0..USERS {
+        let plain = untraced
+            .predict(u, now.0, true)
+            .expect("untraced predict")
+            .expect("untraced window");
+        let ctx = mint();
+        let (reply, echoed) = traced
+            .roundtrip_traced(
+                &Frame::Predict {
+                    user: u,
+                    now: now.0,
+                    want_scores: true,
+                },
+                ctx,
+            )
+            .expect("traced predict");
+        assert_eq!(echoed, Some(ctx), "user {u}: echo");
+        let Frame::Prediction {
+            quality,
+            top,
+            window_len,
+            scores,
+        } = reply
+        else {
+            panic!("user {u}: traced predict reply was {reply:?}");
+        };
+        assert_eq!(quality, plain.quality, "user {u}");
+        assert_eq!(top, plain.top, "user {u}");
+        assert_eq!(window_len, plain.window_len, "user {u}");
+        assert_eq!(
+            scores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            plain.scores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "user {u}: traced scores must be bit-identical to untraced"
+        );
+    }
+    drop((untraced, traced));
+
+    // Same counters on both sides: tracing changed nothing the server
+    // could measure except the wire framing.
+    let snaps: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            let engine = h.stop();
+            let snap = engine.registry().snapshot();
+            if let Some(engine) = Arc::into_inner(engine) {
+                drop(engine.shutdown());
+            }
+            snap
+        })
+        .collect();
+    for name in [
+        "serve_predicts_total",
+        "serve_observes_total",
+        "serve_errors_total",
+        "serve_malformed_total",
+    ] {
+        assert_eq!(
+            counter(&snaps[0], name),
+            counter(&snaps[1], name),
+            "{name} must match between untraced and traced runs"
+        );
+    }
+}
+
+/// A checkpointless shard kill produces `Degraded` replies; every one of
+/// their client-minted trace ids must appear in the DIAG dump exactly
+/// once, tagged `degraded`, with stage timings inside the span total.
+#[test]
+fn degraded_replies_land_in_the_diag_dump_exactly_once() {
+    let (store, m) = model(11);
+    let victim = shard_of(UserId(0), SHARDS);
+    let victim_users: Vec<u32> = (0..USERS)
+        .filter(|&u| shard_of(UserId(u), SHARDS) == victim)
+        .collect();
+    // Kill on the victim's last observe so no later observe rebuilds a
+    // window before the predicts arrive (same schedule as serve_fault).
+    let kill_seq = victim_users.len() as u64 * 10 - 1;
+    let engine = Arc::new(ShardedEngine::with_disturbance(
+        m,
+        store,
+        EngineConfig {
+            recovery: Some(RecoveryConfig {
+                checkpoint_interval: 0,
+                journal_capacity: 64,
+                ..RecoveryConfig::default()
+            }),
+            ..engine_config()
+        },
+        Some(Arc::new(FaultPlan::new(3).panic_at(victim, kill_seq))),
+    ));
+    let handle = serve(
+        engine,
+        ServeConfig {
+            workers: 1,
+            admission: None,
+            flight_capacity: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for step in 0..10i64 {
+        for u in 0..USERS {
+            let loc = if step % 2 == 0 { 7 } else { u % 4 };
+            client
+                .observe(u, loc, Timestamp::from_hours(step).0)
+                .expect("observe");
+        }
+    }
+    let now = Timestamp::from_hours(11);
+    let mut degraded_ids = Vec::new();
+    for u in 0..USERS {
+        let ctx = TraceContext::root(1000 + u64::from(u));
+        let (reply, echoed) = client
+            .roundtrip_traced(
+                &Frame::Predict {
+                    user: u,
+                    now: now.0,
+                    want_scores: false,
+                },
+                ctx,
+            )
+            .expect("traced predict");
+        assert_eq!(echoed, Some(ctx), "user {u}: echo");
+        let Frame::Prediction { quality, .. } = reply else {
+            panic!("user {u}: predict reply was {reply:?}");
+        };
+        if quality == Quality::Degraded {
+            degraded_ids.push(ctx.request_id);
+        }
+    }
+    assert_eq!(
+        degraded_ids.len(),
+        victim_users.len(),
+        "every victim-shard user must degrade"
+    );
+
+    let dump = client.diag().expect("DIAG over the wire");
+    let fields = parse_flat(&dump).expect("flight dump must be parseable flat JSON");
+    let ids = per_record(&fields, "flight_request_id");
+    let kinds: BTreeMap<usize, String> = fields
+        .iter()
+        .filter_map(|(k, v)| {
+            let idx: usize = k
+                .strip_prefix("flight_kind{rec=\"")?
+                .strip_suffix("\"}")?
+                .parse()
+                .ok()?;
+            match v {
+                Value::Str(s) => Some((idx, s.clone())),
+                Value::Num(_) => None,
+            }
+        })
+        .collect();
+    let totals = per_record(&fields, "flight_total_ns");
+    for want in &degraded_ids {
+        let matching: Vec<usize> = ids
+            .iter()
+            .filter(|(_, id)| **id == *want as f64)
+            .map(|(idx, _)| *idx)
+            .collect();
+        assert_eq!(
+            matching.len(),
+            1,
+            "request id {want} must appear in the DIAG dump exactly once"
+        );
+        let rec = matching[0];
+        assert_eq!(kinds.get(&rec).map(String::as_str), Some("degraded"));
+        // Per-stage timings must nest inside the enclosing span: the sum
+        // of every recorded stage cannot exceed the request total.
+        let total = totals.get(&rec).copied().unwrap_or(0.0);
+        let stage_prefix = format!("flight_stage_ns{{rec=\"{rec}\",");
+        let stage_sum: f64 = fields
+            .iter()
+            .filter(|(k, _)| k.starts_with(&stage_prefix))
+            .filter_map(|(k, v)| v.as_num(k).ok())
+            .sum();
+        assert!(stage_sum > 0.0, "record {rec}: span tree must have stages");
+        assert!(
+            stage_sum <= total,
+            "record {rec}: stage sum {stage_sum} exceeds span total {total}"
+        );
+    }
+    drop(client);
+    let engine = handle.stop();
+    if let Some(engine) = Arc::into_inner(engine) {
+        drop(engine.shutdown());
+    }
+}
+
+/// With admission forced into shedding, every shed request's trace id
+/// lands in the DIAG dump exactly once, tagged `shed`, carrying the
+/// admission stage.
+#[test]
+fn shed_requests_land_in_the_diag_dump_exactly_once() {
+    let (store, m) = model(11);
+    let engine = Arc::new(ShardedEngine::new(m, store, engine_config()));
+    let handle = serve(
+        engine,
+        ServeConfig {
+            workers: 1,
+            // queue_high 0 sheds unconditionally at the first tick; the
+            // long tick interval keeps the policy from re-evaluating
+            // (and un-shedding an idle queue) during the test.
+            admission: Some(AdmissionConfig {
+                queue_high: 0,
+                ..AdmissionConfig::default()
+            }),
+            tick_interval: Duration::from_secs(3600),
+            flight_capacity: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Wait for the first tick to flip the policy to shedding.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let snap = client.snapshot().expect("snapshot");
+        let fields = parse_flat(&snap).expect("snapshot parses");
+        let shedding: f64 = fields
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve_shedding"))
+            .filter_map(|(k, v)| v.as_num(k).ok())
+            .sum();
+        if shedding >= SHARDS as f64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "admission never started shedding"
+        );
+        // lint:allow(sleep-in-test): bounded backoff inside a deadline poll for the shed flip
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut shed_ids = Vec::new();
+    for u in 0..USERS {
+        let ctx = TraceContext::root(2000 + u64::from(u));
+        let (reply, echoed) = client
+            .roundtrip_traced(
+                &Frame::Predict {
+                    user: u,
+                    now: Timestamp::from_hours(1).0,
+                    want_scores: false,
+                },
+                ctx,
+            )
+            .expect("traced predict under shed");
+        assert_eq!(echoed, Some(ctx), "user {u}: echo");
+        let Frame::Error { code, .. } = reply else {
+            panic!("user {u}: expected a shed error, got {reply:?}");
+        };
+        assert_eq!(code, ErrorCode::Shed, "user {u}");
+        shed_ids.push(ctx.request_id);
+    }
+
+    let dump = client.diag().expect("DIAG over the wire");
+    let fields = parse_flat(&dump).expect("flight dump parses");
+    let ids = per_record(&fields, "flight_request_id");
+    for want in &shed_ids {
+        let matching: Vec<usize> = ids
+            .iter()
+            .filter(|(_, id)| **id == *want as f64)
+            .map(|(idx, _)| *idx)
+            .collect();
+        assert_eq!(
+            matching.len(),
+            1,
+            "shed request id {want} must appear in the DIAG dump exactly once"
+        );
+        let rec = matching[0];
+        let kind = fields.get(&format!("flight_kind{{rec=\"{rec}\"}}"));
+        assert!(
+            matches!(kind, Some(Value::Str(s)) if s == "shed"),
+            "record {rec}: kind must be shed, got {kind:?}"
+        );
+        let op = fields.get(&format!("flight_op{{rec=\"{rec}\"}}"));
+        assert!(
+            matches!(op, Some(Value::Str(s)) if s == "predict"),
+            "record {rec}: op must name the shed operation, got {op:?}"
+        );
+    }
+    drop(client);
+    let engine = handle.stop();
+    if let Some(engine) = Arc::into_inner(engine) {
+        drop(engine.shutdown());
+    }
+}

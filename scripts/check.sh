@@ -43,6 +43,10 @@ fi
 # fails both attempts.
 cargo run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics ||
     cargo run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics
+# DIAG smoke: force a deterministic shed + typed error over loopback and
+# verify the flight-recorder dump fetched with a DIAG frame parses and
+# carries those anomalies (request ids, kinds).
+cargo run -q --release -p adamove-testkit --example diag_smoke
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Repo-specific invariants clippy cannot see (determinism, panic-free

@@ -56,6 +56,10 @@ if [ "${1:-}" = "full" ]; then
     # absorbs one-off tail poisoning on a 1-CPU box (see check.sh).
     "$self" run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics ||
         "$self" run -q --release -p adamove-bench --bin loadgen -- --quick --no-metrics
+    # DIAG smoke: deterministic shed + typed error over loopback; the
+    # flight-recorder dump fetched with a DIAG frame must parse and
+    # carry those anomalies (see check.sh).
+    "$self" run -q --release -p adamove-testkit --example diag_smoke
     "$self" fmt --check
     "$self" clippy --workspace --all-targets -- -D warnings
     # Repo-specific invariants clippy cannot see (determinism, panic-free
