@@ -23,9 +23,9 @@
 //! to `BENCH_serving.json` at the workspace root.
 
 use adamove::{
-    evaluate_batched, evaluate_fn_par, shard_of, AdaMoveConfig, Disturbance, EncoderKind,
-    EngineConfig, EvalOutcome, FaultAction, InferenceMode, LightMob, Metrics, Ptta, PttaConfig,
-    RecoveryConfig, RequestKind, ShardedEngine,
+    evaluate_batched, evaluate_fn_par, shard_of, AdaMoveConfig, Disturbance, DurabilityConfig,
+    EncoderKind, EngineConfig, EvalOutcome, FaultAction, InferenceMode, LightMob, Metrics, Ptta,
+    PttaConfig, RecoveryConfig, RequestKind, ShardedEngine,
 };
 use adamove_autograd::ParamStore;
 use adamove_baselines::DeepMove;
@@ -143,6 +143,73 @@ fn recovery_drill(threads: usize) -> Vec<(&'static str, f64)> {
     ]
 }
 
+/// Restart drill: write a durable journal under load (batched fsync, the
+/// production default), "crash" without a checkpoint, then time how long
+/// the cold start takes to replay the whole stream back into memory.
+/// `bench_restart_restore_ms` is the wall-clock cost of the second
+/// engine's construction-plus-replay-barrier; `bench_replayed_records`
+/// confirms every pre-crash observe came back through the journal.
+fn restart_drill(threads: usize) -> Vec<(&'static str, f64)> {
+    const LOCATIONS: u32 = 200;
+    const USERS: u32 = 64;
+    const STEPS: usize = 2_000;
+    let dir = std::env::temp_dir().join(format!("adamove-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let shards = threads.max(1);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    let (model, store) = (Arc::new(model), Arc::new(store));
+    let config = || EngineConfig {
+        shards,
+        context_sessions: 5,
+        session_hours: 72,
+        ptta: PttaConfig::default(),
+        recovery: Some(RecoveryConfig {
+            // No durable checkpoint fits under STEPS: the restore below
+            // measures pure journal replay, the worst cold-start case.
+            checkpoint_interval: 10 * STEPS,
+            durability: Some(DurabilityConfig::new(dir.clone())),
+            ..RecoveryConfig::default()
+        }),
+        ..EngineConfig::default()
+    };
+
+    {
+        let engine = ShardedEngine::new(Arc::clone(&model), Arc::clone(&store), config());
+        for i in 0..STEPS {
+            let user = UserId(rng.gen_range(0..USERS));
+            let point = Point::new(rng.gen_range(0..LOCATIONS), Timestamp::from_hours(i as i64));
+            engine.observe(user, point);
+        }
+        // Crash, not drain: shutdown without checkpoint_all leaves the
+        // whole stream in the journal.
+        engine.shutdown();
+    }
+
+    let started = Instant::now();
+    let restored = ShardedEngine::new(Arc::clone(&model), Arc::clone(&store), config());
+    restored.flush();
+    let restore_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let replayed = restored.snapshot().replayed_observes;
+    restored.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "Restart drill ({shards} shards): replayed {replayed} record(s) in {restore_ms:.1} ms"
+    );
+    assert_eq!(replayed, STEPS, "restart drill must replay every observe");
+    vec![
+        ("bench_restart_restore_ms", restore_ms),
+        ("bench_replayed_records", replayed as f64),
+    ]
+}
+
 fn main() {
     let args = ExperimentArgs::parse();
     let (max_train, max_test) = sample_caps(args.scale);
@@ -245,7 +312,8 @@ fn main() {
     }
 
     write_json("table3_efficiency", &results);
-    let extras = recovery_drill(args.threads);
+    let mut extras = recovery_drill(args.threads);
+    extras.extend(restart_drill(args.threads));
     let phases: Vec<(String, &EvalOutcome)> = serving.iter().map(|(n, o)| (n.clone(), o)).collect();
     write_serving_metrics(args.threads, &phases, &extras, args.metrics.as_deref());
 }

@@ -1,0 +1,1471 @@
+//! Durable crash-safe fleet state (S26).
+//!
+//! PR 4's recovery layer keeps `CheckpointStore` + `Journal` in RAM, so a
+//! process crash discards every adapted Θ column and history window. This
+//! module puts a durability layer underneath it:
+//!
+//! * a checksummed, length-prefixed **segment format** for the write-ahead
+//!   journal — CRC32 per record, sequence-numbered, torn-write tolerant:
+//!   a short or corrupt *final* record is cleanly discarded on replay,
+//!   while mid-file corruption yields a typed [`SegmentError`] and the
+//!   whole segment is quarantined (renamed aside), never a panic;
+//! * **atomic checkpoint snapshots** — write to a temp file, fsync, rename
+//!   into place, fsync the parent directory — with rotation and journal
+//!   pruning keyed to the last durable checkpoint sequence;
+//! * a [`DurableStore`] that [`crate::ShardedEngine`] threads through as
+//!   opt-in `RecoveryConfig::durability`, with per-record or
+//!   interval-batched fsync ([`SyncPolicy`]).
+//!
+//! All filesystem access goes through the object-safe [`Fs`] trait so the
+//! testkit can interpose a deterministic fault-injecting filesystem
+//! (torn writes, bit flips, short reads, ENOSPC) without touching real
+//! disks. Production uses [`RealFs`].
+//!
+//! ## On-disk layout (all integers little-endian)
+//!
+//! ```text
+//! <root>/shard-<i>/seg-<first_seq:020>.log      journal segment
+//! <root>/shard-<i>/ckpt-<last_seen:020>.ckpt    checkpoint snapshot
+//! <root>/shard-<i>/<name>.quarantine            corrupt file, set aside
+//!
+//! segment  := header record*
+//! header   := magic:u32 "AMSG" | version:u32 | first_seq:u64        (16 B)
+//! record   := len:u32 (=24) | crc32:u32 (payload) | payload         (32 B)
+//! payload  := seq:u64 | user:u32 | loc:u32 | time:i64               (24 B)
+//!
+//! checkpoint := magic:u32 "AMCK" | version:u32 | last_seen:u64
+//!             | user_count:u32
+//!             | { user:u32 | point_count:u32 | { loc:u32 | time:i64 }* }*
+//!             | crc32:u32 (over all preceding bytes)
+//! ```
+//!
+//! Persistence failures (ENOSPC, permission errors) are counted in
+//! `recovery_persist_errors_total` and surfaced to the caller, but the
+//! engine keeps serving: availability wins over durability, and the
+//! recovery contract already tolerates an incomplete journal (degraded
+//! replay) — losing the disk mid-flight degrades to exactly the
+//! in-memory-only behaviour this module was added to improve on.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use adamove_mobility::{LocationId, Point, Timestamp, UserId};
+use adamove_obs::{lock, Counter, Histogram, Registry, Stopwatch};
+
+use crate::recovery::{JournalEntry, ShardCheckpoint};
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, table-driven, zero-dep)
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `bytes` — the checksum used by both segment records
+/// and checkpoint files.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Wire constants
+// ---------------------------------------------------------------------
+
+/// Segment file magic: `"AMSG"` as a little-endian u32.
+pub const SEGMENT_MAGIC: u32 = u32::from_le_bytes(*b"AMSG");
+/// Checkpoint file magic: `"AMCK"` as a little-endian u32.
+pub const CHECKPOINT_MAGIC: u32 = u32::from_le_bytes(*b"AMCK");
+/// Current on-disk format version for both file kinds.
+pub const FORMAT_VERSION: u32 = 1;
+/// Segment header size: magic + version + first_seq.
+pub const SEGMENT_HEADER_LEN: usize = 16;
+/// Fixed payload size of one journal record.
+pub const RECORD_PAYLOAD_LEN: usize = 24;
+/// Fixed total size of one framed journal record.
+pub const RECORD_LEN: usize = 8 + RECORD_PAYLOAD_LEN;
+
+fn u32_at(b: &[u8], o: usize) -> u32 {
+    let mut x = [0u8; 4];
+    x.copy_from_slice(&b[o..o + 4]);
+    u32::from_le_bytes(x)
+}
+
+fn u64_at(b: &[u8], o: usize) -> u64 {
+    let mut x = [0u8; 8];
+    x.copy_from_slice(&b[o..o + 8]);
+    u64::from_le_bytes(x)
+}
+
+fn i64_at(b: &[u8], o: usize) -> i64 {
+    u64_at(b, o) as i64
+}
+
+// ---------------------------------------------------------------------
+// Typed corruption errors
+// ---------------------------------------------------------------------
+
+/// Typed decode failure for a segment or checkpoint file.
+///
+/// Every variant means *mid-file* (non-tail) corruption: the file cannot
+/// be trusted and is quarantined by the recovery scan. A short or corrupt
+/// final record is **not** an error — it is truncated as a torn tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The file does not start with the expected magic number.
+    BadMagic {
+        /// The magic value actually found.
+        found: u32,
+    },
+    /// The file magic is valid but the format version is unknown.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// A non-final record declares an impossible payload length.
+    BadLength {
+        /// Byte offset of the record frame.
+        offset: usize,
+        /// The length value actually found.
+        len: u32,
+    },
+    /// A non-final record's payload does not match its stored CRC32.
+    ChecksumMismatch {
+        /// Byte offset of the record frame.
+        offset: usize,
+        /// The CRC stored in the frame.
+        stored: u32,
+        /// The CRC computed over the payload.
+        computed: u32,
+    },
+    /// A non-final record's sequence number breaks the contiguous run.
+    SequenceGap {
+        /// Byte offset of the record frame.
+        offset: usize,
+        /// The sequence number that was expected.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+    },
+    /// A checkpoint file is shorter than its encoded contents require.
+    Truncated {
+        /// Minimum byte count the contents require.
+        expected: usize,
+        /// Byte count actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::BadMagic { found } => {
+                write!(f, "bad magic 0x{found:08x}")
+            }
+            SegmentError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            SegmentError::BadLength { offset, len } => {
+                write!(f, "bad record length {len} at offset {offset}")
+            }
+            SegmentError::ChecksumMismatch {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch at offset {offset}: stored 0x{stored:08x}, computed 0x{computed:08x}"
+            ),
+            SegmentError::SequenceGap {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "sequence gap at offset {offset}: expected {expected}, found {found}"
+            ),
+            SegmentError::Truncated { expected, found } => {
+                write!(f, "truncated: need at least {expected} bytes, have {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+// ---------------------------------------------------------------------
+// Record / segment codec
+// ---------------------------------------------------------------------
+
+/// Encode the 16-byte segment header for a segment whose first record
+/// carries `first_seq`.
+pub fn encode_segment_header(first_seq: u64) -> [u8; SEGMENT_HEADER_LEN] {
+    let mut out = [0u8; SEGMENT_HEADER_LEN];
+    out[0..4].copy_from_slice(&SEGMENT_MAGIC.to_le_bytes());
+    out[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out[8..16].copy_from_slice(&first_seq.to_le_bytes());
+    out
+}
+
+/// Encode one journal entry as a framed, checksummed 32-byte record.
+pub fn encode_record(entry: &JournalEntry) -> [u8; RECORD_LEN] {
+    let mut payload = [0u8; RECORD_PAYLOAD_LEN];
+    payload[0..8].copy_from_slice(&entry.id.to_le_bytes());
+    payload[8..12].copy_from_slice(&entry.user.0.to_le_bytes());
+    payload[12..16].copy_from_slice(&entry.point.loc.0.to_le_bytes());
+    payload[16..24].copy_from_slice(&entry.point.time.0.to_le_bytes());
+    let mut out = [0u8; RECORD_LEN];
+    out[0..4].copy_from_slice(&(RECORD_PAYLOAD_LEN as u32).to_le_bytes());
+    out[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+    out[8..].copy_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> JournalEntry {
+    JournalEntry {
+        id: u64_at(payload, 0),
+        user: UserId(u32_at(payload, 8)),
+        point: Point {
+            loc: LocationId(u32_at(payload, 12)),
+            time: Timestamp(i64_at(payload, 16)),
+        },
+    }
+}
+
+/// Result of scanning one segment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// First sequence number declared by the header (0 if the header
+    /// itself was torn).
+    pub first_seq: u64,
+    /// Contiguously-sequenced, checksum-valid records.
+    pub entries: Vec<JournalEntry>,
+    /// Bytes discarded from the tail as a torn write (0 = clean file).
+    pub torn_bytes: usize,
+}
+
+/// Scan a segment file, applying the torn-tail truncation rule.
+///
+/// Returns `Ok` with the valid prefix of records when the file is clean
+/// or only its *final* record is short/corrupt (the torn tail is
+/// discarded and reported via [`SegmentScan::torn_bytes`]). Returns a
+/// typed [`SegmentError`] when any *non-final* byte range is corrupt —
+/// the caller must quarantine the segment, because records after the
+/// corruption cannot be trusted to be the ones that were acknowledged.
+pub fn scan_segment(bytes: &[u8]) -> Result<SegmentScan, SegmentError> {
+    if bytes.len() >= 4 {
+        let magic = u32_at(bytes, 0);
+        if magic != SEGMENT_MAGIC {
+            return Err(SegmentError::BadMagic { found: magic });
+        }
+    }
+    if bytes.len() >= 8 {
+        let version = u32_at(bytes, 4);
+        if version != FORMAT_VERSION {
+            return Err(SegmentError::UnsupportedVersion { found: version });
+        }
+    }
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        // Torn header: the create+header write never completed. No record
+        // can have been acknowledged from this segment.
+        return Ok(SegmentScan {
+            first_seq: 0,
+            entries: Vec::new(),
+            torn_bytes: bytes.len(),
+        });
+    }
+    let first_seq = u64_at(bytes, 8);
+    let mut entries = Vec::new();
+    let mut expected = first_seq;
+    let mut o = SEGMENT_HEADER_LEN;
+    loop {
+        let rem = bytes.len() - o;
+        if rem == 0 {
+            return Ok(SegmentScan {
+                first_seq,
+                entries,
+                torn_bytes: 0,
+            });
+        }
+        if rem < RECORD_LEN {
+            // Partial final frame: torn tail, discard.
+            return Ok(SegmentScan {
+                first_seq,
+                entries,
+                torn_bytes: rem,
+            });
+        }
+        let is_final = rem == RECORD_LEN;
+        let torn = |entries: Vec<JournalEntry>| {
+            Ok(SegmentScan {
+                first_seq,
+                entries,
+                torn_bytes: rem,
+            })
+        };
+        let len = u32_at(bytes, o);
+        if len as usize != RECORD_PAYLOAD_LEN {
+            return if is_final {
+                torn(entries)
+            } else {
+                Err(SegmentError::BadLength { offset: o, len })
+            };
+        }
+        let stored = u32_at(bytes, o + 4);
+        let payload = &bytes[o + 8..o + RECORD_LEN];
+        let computed = crc32(payload);
+        if stored != computed {
+            return if is_final {
+                torn(entries)
+            } else {
+                Err(SegmentError::ChecksumMismatch {
+                    offset: o,
+                    stored,
+                    computed,
+                })
+            };
+        }
+        let entry = decode_payload(payload);
+        if entry.id != expected {
+            return if is_final {
+                torn(entries)
+            } else {
+                Err(SegmentError::SequenceGap {
+                    offset: o,
+                    expected,
+                    found: entry.id,
+                })
+            };
+        }
+        entries.push(entry);
+        expected += 1;
+        o += RECORD_LEN;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint codec
+// ---------------------------------------------------------------------
+
+/// Encode a shard checkpoint into its atomic on-disk representation
+/// (magic, version, last_seen, per-user windows, trailing CRC32).
+pub fn encode_checkpoint(cp: &ShardCheckpoint) -> Vec<u8> {
+    let points: usize = cp.users.iter().map(|(_, w)| w.len()).sum();
+    let mut out = Vec::with_capacity(20 + cp.users.len() * 8 + points * 12 + 4);
+    out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&cp.last_seen.to_le_bytes());
+    out.extend_from_slice(&(cp.users.len() as u32).to_le_bytes());
+    for (user, window) in &cp.users {
+        out.extend_from_slice(&user.0.to_le_bytes());
+        out.extend_from_slice(&(window.len() as u32).to_le_bytes());
+        for p in window {
+            out.extend_from_slice(&p.loc.0.to_le_bytes());
+            out.extend_from_slice(&p.time.0.to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode an atomic checkpoint file, verifying magic, version, byte
+/// bounds and the trailing CRC32 before trusting any field.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<ShardCheckpoint, SegmentError> {
+    if bytes.len() < 24 {
+        return Err(SegmentError::Truncated {
+            expected: 24,
+            found: bytes.len(),
+        });
+    }
+    let magic = u32_at(bytes, 0);
+    if magic != CHECKPOINT_MAGIC {
+        return Err(SegmentError::BadMagic { found: magic });
+    }
+    let version = u32_at(bytes, 4);
+    if version != FORMAT_VERSION {
+        return Err(SegmentError::UnsupportedVersion { found: version });
+    }
+    let body_len = bytes.len() - 4;
+    let stored = u32_at(bytes, body_len);
+    let computed = crc32(&bytes[..body_len]);
+    if stored != computed {
+        return Err(SegmentError::ChecksumMismatch {
+            offset: body_len,
+            stored,
+            computed,
+        });
+    }
+    let last_seen = u64_at(bytes, 8);
+    let user_count = u32_at(bytes, 16) as usize;
+    let mut users = Vec::with_capacity(user_count.min(1 << 16));
+    let mut o = 20;
+    for _ in 0..user_count {
+        if o + 8 > body_len {
+            return Err(SegmentError::Truncated {
+                expected: o + 8 + 4,
+                found: bytes.len(),
+            });
+        }
+        let user = UserId(u32_at(bytes, o));
+        let point_count = u32_at(bytes, o + 4) as usize;
+        o += 8;
+        let need = point_count.saturating_mul(12);
+        if o + need > body_len {
+            return Err(SegmentError::Truncated {
+                expected: o + need + 4,
+                found: bytes.len(),
+            });
+        }
+        let mut window = Vec::with_capacity(point_count);
+        for _ in 0..point_count {
+            window.push(Point {
+                loc: LocationId(u32_at(bytes, o)),
+                time: Timestamp(i64_at(bytes, o + 4)),
+            });
+            o += 12;
+        }
+        users.push((user, window));
+    }
+    if o != body_len {
+        return Err(SegmentError::Truncated {
+            expected: o + 4,
+            found: bytes.len(),
+        });
+    }
+    Ok(ShardCheckpoint { last_seen, users })
+}
+
+// ---------------------------------------------------------------------
+// Filesystem seam
+// ---------------------------------------------------------------------
+
+/// An open file handle created through [`Fs::create`].
+pub trait FsFile: Send {
+    /// Append `buf` in full (write_all semantics).
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush buffered data (and size metadata) to stable storage — fsync.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// Object-safe filesystem abstraction used by the durability layer.
+///
+/// Production uses [`RealFs`]; the testkit interposes a deterministic
+/// fault-injecting implementation to exercise torn writes, bit flips,
+/// short reads and ENOSPC without real disk faults.
+pub trait Fs: fmt::Debug + Send + Sync {
+    /// Create (or truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn FsFile>>;
+    /// Read an entire file into memory.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// List the entries of a directory (full paths, any order).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Fsync a directory so renames/creates within it are durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The standard-library backed [`Fs`] used in production.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+struct RealFile(std::fs::File);
+
+impl FsFile for RealFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Fs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn FsFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut f = std::fs::File::open(path)?;
+        let mut out = Vec::new();
+        f.read_to_end(&mut out)?;
+        Ok(out)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // On unix a directory can be opened read-only and fsync'd to make
+        // renames within it durable. Where that is unsupported, treat the
+        // rename itself as the durability point.
+        match std::fs::File::open(path) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// When appended journal records are fsync'd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync after every record: an acknowledged observe is durable, at
+    /// the cost of one fsync per write.
+    PerRecord,
+    /// Fsync once every `records` appends: bounded loss window (at most
+    /// `records - 1` acknowledged observes) for near-zero overhead.
+    Batched {
+        /// Appends between fsyncs (clamped to at least 1).
+        records: usize,
+    },
+}
+
+impl SyncPolicy {
+    /// Parse a CLI spelling: `per-record` or `batched:<N>`.
+    pub fn parse(s: &str) -> Option<SyncPolicy> {
+        if s == "per-record" {
+            return Some(SyncPolicy::PerRecord);
+        }
+        let n = s.strip_prefix("batched:")?.parse::<usize>().ok()?;
+        if n == 0 {
+            return None;
+        }
+        Some(SyncPolicy::Batched { records: n })
+    }
+}
+
+/// Opt-in durability settings carried in
+/// [`crate::RecoveryConfig::durability`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root state directory; each shard gets `<dir>/shard-<i>/`.
+    pub dir: PathBuf,
+    /// Fsync cadence for journal appends.
+    pub sync: SyncPolicy,
+    /// Records per segment before it is sealed and a new one started.
+    pub segment_max_records: usize,
+    /// Durable checkpoint snapshots retained per shard (newest first).
+    pub keep_checkpoints: usize,
+    /// Filesystem implementation (production: [`RealFs`]).
+    pub fs: Arc<dyn Fs>,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with production defaults: batched fsync
+    /// every 64 records, 4096-record segments, 2 retained checkpoints.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            sync: SyncPolicy::Batched { records: 64 },
+            segment_max_records: 4096,
+            keep_checkpoints: 2,
+            fs: Arc::new(RealFs),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// Durability metrics, registered once per engine.
+#[derive(Debug, Clone)]
+pub struct DurabilityObs {
+    /// `recovery_fsync_latency_ns` — latency of each fsync call.
+    pub fsync_latency: Histogram,
+    /// `recovery_segments_sealed_total` — segments closed at max size.
+    pub segments_sealed: Counter,
+    /// `recovery_records_persisted_total` — journal records appended.
+    pub records_persisted: Counter,
+    /// `recovery_corrupt_records_total` — torn tails discarded plus
+    /// segments rejected with a typed error during recovery.
+    pub corrupt_records: Counter,
+    /// `recovery_quarantined_segments_total` — segments renamed aside.
+    pub quarantined_segments: Counter,
+    /// `recovery_quarantined_checkpoints_total` — checkpoints renamed aside.
+    pub quarantined_checkpoints: Counter,
+    /// `recovery_checkpoints_persisted_total` — atomic snapshots written.
+    pub checkpoints_persisted: Counter,
+    /// `recovery_persist_errors_total` — I/O failures while persisting;
+    /// the engine keeps serving but durability is degraded.
+    pub persist_errors: Counter,
+}
+
+impl DurabilityObs {
+    /// Register all durability metrics on `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        DurabilityObs {
+            fsync_latency: registry.histogram("recovery_fsync_latency_ns"),
+            segments_sealed: registry.counter("recovery_segments_sealed_total"),
+            records_persisted: registry.counter("recovery_records_persisted_total"),
+            corrupt_records: registry.counter("recovery_corrupt_records_total"),
+            quarantined_segments: registry.counter("recovery_quarantined_segments_total"),
+            quarantined_checkpoints: registry.counter("recovery_quarantined_checkpoints_total"),
+            checkpoints_persisted: registry.counter("recovery_checkpoints_persisted_total"),
+            persist_errors: registry.counter("recovery_persist_errors_total"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DurableStore
+// ---------------------------------------------------------------------
+
+/// State recovered for one shard during cold start.
+#[derive(Debug, Clone)]
+pub struct RecoveredShard {
+    /// Newest valid durable checkpoint, if any.
+    pub checkpoint: Option<ShardCheckpoint>,
+    /// Contiguous journal suffix after the checkpoint, oldest first.
+    pub entries: Vec<JournalEntry>,
+    /// Next journal sequence number to assign (never reuses a sequence
+    /// that may exist on disk, even inside quarantined segments).
+    pub next_seq: u64,
+    /// True when `checkpoint` + `entries` reconstruct the pre-crash
+    /// engine exactly; false when corruption or loss left a gap.
+    pub complete: bool,
+    /// Segments and checkpoints quarantined during this recovery.
+    pub quarantined: usize,
+}
+
+impl RecoveredShard {
+    fn empty() -> Self {
+        RecoveredShard {
+            checkpoint: None,
+            entries: Vec::new(),
+            next_seq: 1,
+            complete: true,
+            quarantined: 0,
+        }
+    }
+
+    /// True when there is anything at all to restore.
+    pub fn has_state(&self) -> bool {
+        self.checkpoint.is_some() || !self.entries.is_empty() || !self.complete
+    }
+}
+
+struct SegmentWriter {
+    file: Box<dyn FsFile>,
+    path: PathBuf,
+    first_seq: u64,
+    last_seq: u64,
+    records: usize,
+}
+
+struct ShardDisk {
+    dir: PathBuf,
+    writer: Option<SegmentWriter>,
+    /// Sealed segments still on disk: (first_seq, last_seq, path).
+    sealed: Vec<(u64, u64, PathBuf)>,
+    /// Durable checkpoints on disk: (last_seen, path), oldest first.
+    ckpts: Vec<(u64, PathBuf)>,
+    next_seq: u64,
+    unsynced: usize,
+}
+
+/// Per-engine durable store: one journal + checkpoint directory per
+/// shard, all access serialized by a per-shard mutex.
+pub struct DurableStore {
+    cfg: DurabilityConfig,
+    obs: DurabilityObs,
+    shards: Vec<Mutex<ShardDisk>>,
+}
+
+impl fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.cfg.dir)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+fn seg_name(first_seq: u64) -> String {
+    format!("seg-{first_seq:020}.log")
+}
+
+fn ckpt_name(last_seen: u64) -> String {
+    format!("ckpt-{last_seen:020}.ckpt")
+}
+
+fn parse_numbered(path: &Path, prefix: &str, suffix: &str) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    digits.parse::<u64>().ok()
+}
+
+/// Rename a corrupt file aside as `<name>.quarantine`, best effort.
+fn quarantine_file(fs: &dyn Fs, path: &Path, obs: &DurabilityObs) {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return;
+    };
+    let target = path.with_file_name(format!("{name}.quarantine"));
+    if fs.rename(path, &target).is_err() {
+        obs.persist_errors.inc();
+    }
+}
+
+impl DurableStore {
+    /// Open (or create) the state directory, recovering every shard.
+    ///
+    /// Infallible by design: any I/O failure during recovery is counted
+    /// in `recovery_persist_errors_total` and the affected shard comes up
+    /// with whatever prefix of its state could be trusted (possibly
+    /// nothing, flagged incomplete).
+    pub fn open(
+        cfg: DurabilityConfig,
+        shards: usize,
+        registry: &Registry,
+    ) -> (Arc<Self>, Vec<RecoveredShard>) {
+        let obs = DurabilityObs::register(registry);
+        let mut disks = Vec::with_capacity(shards);
+        let mut recovered = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let dir = cfg.dir.join(format!("shard-{shard}"));
+            let (disk, rec) = recover_shard(&cfg, &obs, dir);
+            disks.push(Mutex::new(disk));
+            recovered.push(rec);
+        }
+        (
+            Arc::new(DurableStore {
+                cfg,
+                obs,
+                shards: disks,
+            }),
+            recovered,
+        )
+    }
+
+    /// Durability metrics handle.
+    pub fn obs(&self) -> &DurabilityObs {
+        &self.obs
+    }
+
+    /// Append one journal record for `shard`, fsyncing per the
+    /// configured [`SyncPolicy`]. On error the current segment is
+    /// abandoned (a fresh one starts at the next append) and the failure
+    /// is counted; the caller should keep serving.
+    pub fn append(&self, shard: usize, entry: &JournalEntry) -> io::Result<()> {
+        let Some(slot) = self.shards.get(shard) else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "no such shard"));
+        };
+        let mut d = lock(slot);
+        let res = append_inner(&self.cfg, &self.obs, &mut d, entry);
+        // Advance even on failure so a later retry never reuses the id of
+        // a record that may be partially on disk.
+        d.next_seq = d.next_seq.max(entry.id.saturating_add(1));
+        if res.is_err() {
+            d.writer = None;
+            d.unsynced = 0;
+            self.obs.persist_errors.inc();
+        }
+        res
+    }
+
+    /// Atomically persist a checkpoint for `shard`, rotate old
+    /// snapshots, and prune journal segments fully covered by it.
+    pub fn write_checkpoint(&self, shard: usize, cp: &ShardCheckpoint) -> io::Result<()> {
+        let Some(slot) = self.shards.get(shard) else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "no such shard"));
+        };
+        let mut d = lock(slot);
+        let res = checkpoint_inner(&self.cfg, &self.obs, &mut d, cp);
+        if res.is_err() {
+            self.obs.persist_errors.inc();
+        }
+        res
+    }
+
+    /// Fsync any batched-but-unsynced journal tail for every shard.
+    pub fn sync_all(&self) -> io::Result<()> {
+        let mut first_err = None;
+        for slot in &self.shards {
+            let mut d = lock(slot);
+            if d.unsynced > 0 {
+                if let Some(w) = d.writer.as_mut() {
+                    let sw = Stopwatch::start();
+                    match w.file.sync() {
+                        Ok(()) => {
+                            self.obs.fsync_latency.record(sw.elapsed_ns());
+                            d.unsynced = 0;
+                        }
+                        Err(e) => {
+                            self.obs.persist_errors.inc();
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+fn recover_shard(
+    cfg: &DurabilityConfig,
+    obs: &DurabilityObs,
+    dir: PathBuf,
+) -> (ShardDisk, RecoveredShard) {
+    let fs = cfg.fs.as_ref();
+    let mut disk = ShardDisk {
+        dir: dir.clone(),
+        writer: None,
+        sealed: Vec::new(),
+        ckpts: Vec::new(),
+        next_seq: 1,
+        unsynced: 0,
+    };
+    let mut rec = RecoveredShard::empty();
+    if fs.create_dir_all(&dir).is_err() {
+        obs.persist_errors.inc();
+        return (disk, rec);
+    }
+    let listing = match fs.list_dir(&dir) {
+        Ok(l) => l,
+        Err(_) => {
+            obs.persist_errors.inc();
+            return (disk, rec);
+        }
+    };
+    let mut ckpt_files: Vec<(u64, PathBuf)> = Vec::new();
+    let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
+    for path in listing {
+        if let Some(n) = parse_numbered(&path, "ckpt-", ".ckpt") {
+            ckpt_files.push((n, path));
+        } else if let Some(n) = parse_numbered(&path, "seg-", ".log") {
+            seg_files.push((n, path));
+        } else if path.extension().is_some_and(|e| e == "tmp") {
+            // A checkpoint temp file that never got renamed: stale, drop.
+            let _ = fs.remove_file(&path);
+        }
+    }
+    // Newest valid checkpoint wins; corrupt newer ones are quarantined.
+    ckpt_files.sort_by_key(|f| std::cmp::Reverse(f.0));
+    let mut surviving_ckpts: Vec<(u64, PathBuf)> = Vec::new();
+    for (n, path) in ckpt_files {
+        if rec.checkpoint.is_some() {
+            // Older than the chosen snapshot: keep for rotation to prune.
+            surviving_ckpts.push((n, path));
+            continue;
+        }
+        match fs.read(&path) {
+            Ok(bytes) => match decode_checkpoint(&bytes) {
+                Ok(cp) => {
+                    rec.checkpoint = Some(cp);
+                    surviving_ckpts.push((n, path));
+                }
+                Err(_) => {
+                    obs.corrupt_records.inc();
+                    obs.quarantined_checkpoints.inc();
+                    quarantine_file(fs, &path, obs);
+                    rec.quarantined += 1;
+                }
+            },
+            Err(_) => {
+                obs.persist_errors.inc();
+                obs.quarantined_checkpoints.inc();
+                quarantine_file(fs, &path, obs);
+                rec.quarantined += 1;
+            }
+        }
+    }
+    surviving_ckpts.sort_by_key(|(n, _)| *n);
+    disk.ckpts = surviving_ckpts;
+
+    let base = rec.checkpoint.as_ref().map_or(0, |c| c.last_seen);
+    let mut max_seen = base;
+    let mut lost = false;
+    seg_files.sort_by_key(|(n, _)| *n);
+    for (name_seq, path) in seg_files {
+        match fs.read(&path) {
+            Ok(bytes) => {
+                // Upper bound on sequences that may live in this file,
+                // trusted even when the scan fails: never reuse them.
+                let slots = (bytes.len().saturating_sub(SEGMENT_HEADER_LEN) / RECORD_LEN) as u64;
+                match scan_segment(&bytes) {
+                    Ok(scan) => {
+                        if scan.torn_bytes > 0 {
+                            obs.corrupt_records.inc();
+                        }
+                        if let Some(last) = scan.entries.last() {
+                            max_seen = max_seen.max(last.id);
+                            disk.sealed.push((scan.first_seq, last.id, path));
+                        } else {
+                            // Header-only (or torn-header) file: worthless,
+                            // drop it rather than carry it forward.
+                            let _ = fs.remove_file(&path);
+                        }
+                        rec.entries.extend(scan.entries);
+                    }
+                    Err(_) => {
+                        obs.corrupt_records.inc();
+                        obs.quarantined_segments.inc();
+                        quarantine_file(fs, &path, obs);
+                        rec.quarantined += 1;
+                        max_seen = max_seen.max(name_seq.saturating_add(slots));
+                        lost = true;
+                    }
+                }
+            }
+            Err(_) => {
+                obs.persist_errors.inc();
+                obs.quarantined_segments.inc();
+                quarantine_file(fs, &path, obs);
+                rec.quarantined += 1;
+                max_seen = max_seen.max(name_seq);
+                lost = true;
+            }
+        }
+    }
+    // Keep only the contiguous run base+1, base+2, ... — anything after a
+    // gap cannot be replayed faithfully (the gap holds acknowledged
+    // records we no longer have).
+    let mut kept: Vec<JournalEntry> = Vec::with_capacity(rec.entries.len());
+    let mut expected = base.saturating_add(1);
+    for e in rec.entries.drain(..) {
+        if e.id <= base {
+            continue;
+        }
+        if e.id == expected {
+            kept.push(e);
+            expected += 1;
+        } else {
+            lost = true;
+            break;
+        }
+    }
+    rec.entries = kept;
+    rec.next_seq = max_seen.saturating_add(1);
+    rec.complete = !lost && base + rec.entries.len() as u64 == rec.next_seq - 1;
+    disk.next_seq = rec.next_seq;
+    (disk, rec)
+}
+
+fn append_inner(
+    cfg: &DurabilityConfig,
+    obs: &DurabilityObs,
+    d: &mut ShardDisk,
+    entry: &JournalEntry,
+) -> io::Result<()> {
+    if d.writer.is_none() {
+        let path = d.dir.join(seg_name(entry.id));
+        let mut file = cfg.fs.create(&path)?;
+        file.append(&encode_segment_header(entry.id))?;
+        // Make the new segment's directory entry durable so an acked
+        // record can't vanish with its whole file.
+        cfg.fs.sync_dir(&d.dir)?;
+        d.writer = Some(SegmentWriter {
+            file,
+            path,
+            first_seq: entry.id,
+            last_seq: entry.id,
+            records: 0,
+        });
+        d.unsynced = 0;
+    }
+    let Some(w) = d.writer.as_mut() else {
+        return Err(io::Error::other("segment writer unavailable"));
+    };
+    w.file.append(&encode_record(entry))?;
+    w.last_seq = entry.id;
+    w.records += 1;
+    obs.records_persisted.inc();
+    d.unsynced += 1;
+    let need_sync = match cfg.sync {
+        SyncPolicy::PerRecord => true,
+        SyncPolicy::Batched { records } => d.unsynced >= records.max(1),
+    };
+    let seal = w.records >= cfg.segment_max_records.max(1);
+    if need_sync || seal {
+        let sw = Stopwatch::start();
+        w.file.sync()?;
+        obs.fsync_latency.record(sw.elapsed_ns());
+        d.unsynced = 0;
+    }
+    if seal {
+        d.sealed.push((w.first_seq, w.last_seq, w.path.clone()));
+        d.writer = None;
+        obs.segments_sealed.inc();
+    }
+    Ok(())
+}
+
+fn checkpoint_inner(
+    cfg: &DurabilityConfig,
+    obs: &DurabilityObs,
+    d: &mut ShardDisk,
+    cp: &ShardCheckpoint,
+) -> io::Result<()> {
+    let bytes = encode_checkpoint(cp);
+    let tmp = d.dir.join("ckpt.tmp");
+    {
+        let mut f = cfg.fs.create(&tmp)?;
+        f.append(&bytes)?;
+        let sw = Stopwatch::start();
+        f.sync()?;
+        obs.fsync_latency.record(sw.elapsed_ns());
+    }
+    let final_path = d.dir.join(ckpt_name(cp.last_seen));
+    cfg.fs.rename(&tmp, &final_path)?;
+    cfg.fs.sync_dir(&d.dir)?;
+    obs.checkpoints_persisted.inc();
+    if !d.ckpts.iter().any(|(n, _)| *n == cp.last_seen) {
+        d.ckpts.push((cp.last_seen, final_path));
+        d.ckpts.sort_by_key(|(n, _)| *n);
+    }
+    while d.ckpts.len() > cfg.keep_checkpoints.max(1) {
+        let (_, old) = d.ckpts.remove(0);
+        if cfg.fs.remove_file(&old).is_err() {
+            obs.persist_errors.inc();
+        }
+    }
+    // Prune journal segments fully covered by the durable snapshot. The
+    // active segment counts too: if its newest record is covered, drop it
+    // so a clean drain leaves an empty journal behind.
+    if d.writer
+        .as_ref()
+        .is_some_and(|w| w.last_seq <= cp.last_seen)
+    {
+        if let Some(w) = d.writer.take() {
+            let _ = cfg.fs.remove_file(&w.path);
+            d.unsynced = 0;
+        }
+    }
+    let fs = cfg.fs.as_ref();
+    d.sealed.retain(|(_, last, path)| {
+        if *last <= cp.last_seen {
+            let _ = fs.remove_file(path);
+            false
+        } else {
+            true
+        }
+    });
+    Ok(())
+}
+
+/// Restore helper shared by the engine's cold start and the tests:
+/// clamp recovered entries to the in-memory journal capacity, returning
+/// `(entries, dropped_through)` where older overflowed entries raise
+/// `dropped_through` exactly like live [`crate::Journal`] eviction.
+pub fn clamp_to_capacity(
+    entries: Vec<JournalEntry>,
+    capacity: usize,
+    mut dropped_through: u64,
+) -> (Vec<JournalEntry>, u64) {
+    let capacity = capacity.max(1);
+    let mut deque: VecDeque<JournalEntry> = VecDeque::with_capacity(capacity.min(entries.len()));
+    for e in entries {
+        if deque.len() == capacity {
+            if let Some(front) = deque.pop_front() {
+                dropped_through = dropped_through.max(front.id);
+            }
+        }
+        deque.push_back(e);
+    }
+    (deque.into_iter().collect(), dropped_through)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, user: u32, loc: u32, hour: i64) -> JournalEntry {
+        JournalEntry {
+            id,
+            user: UserId(user),
+            point: Point::new(loc, Timestamp::from_hours(hour)),
+        }
+    }
+
+    fn segment_bytes(first: u64, n: u64) -> Vec<u8> {
+        let mut out = encode_segment_header(first).to_vec();
+        for i in 0..n {
+            let id = first + i;
+            out.extend_from_slice(&encode_record(&entry(id, id as u32, 7, id as i64)));
+        }
+        out
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let e = entry(42, 7, 99, 12);
+        let bytes = encode_record(&e);
+        assert_eq!(bytes.len(), RECORD_LEN);
+        assert_eq!(decode_payload(&bytes[8..]), e);
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let bytes = segment_bytes(10, 5);
+        let scan = scan_segment(&bytes).expect("clean");
+        assert_eq!(scan.first_seq, 10);
+        assert_eq!(scan.entries.len(), 5);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.entries[0].id, 10);
+        assert_eq!(scan.entries[4].id, 14);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_error() {
+        let bytes = segment_bytes(1, 3);
+        // Cut anywhere inside the final record: valid prefix survives.
+        for cut in 1..RECORD_LEN {
+            let truncated = &bytes[..bytes.len() - cut];
+            let scan = scan_segment(truncated).expect("torn tail is ok");
+            assert_eq!(scan.entries.len(), 2, "cut={cut}");
+            assert_eq!(scan.torn_bytes, RECORD_LEN - cut);
+        }
+    }
+
+    #[test]
+    fn torn_header_yields_empty_scan() {
+        let bytes = segment_bytes(5, 2);
+        for cut in [0usize, 1, 3, 4, 7, 8, 15] {
+            let scan = scan_segment(&bytes[..cut]).expect("torn header");
+            assert!(scan.entries.is_empty(), "cut={cut}");
+            assert_eq!(scan.torn_bytes, cut);
+        }
+    }
+
+    #[test]
+    fn corrupt_final_record_is_truncated() {
+        let mut bytes = segment_bytes(1, 3);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // flip a bit inside the final payload
+        let scan = scan_segment(&bytes).expect("corrupt tail is ok");
+        assert_eq!(scan.entries.len(), 2);
+        assert_eq!(scan.torn_bytes, RECORD_LEN);
+    }
+
+    #[test]
+    fn mid_file_bit_flip_is_checksum_mismatch() {
+        let mut bytes = segment_bytes(1, 4);
+        // Flip a payload bit of the second record (offsets 16+32..16+64).
+        bytes[SEGMENT_HEADER_LEN + RECORD_LEN + 12] ^= 0x01;
+        match scan_segment(&bytes) {
+            Err(SegmentError::ChecksumMismatch { offset, .. }) => {
+                assert_eq!(offset, SEGMENT_HEADER_LEN + RECORD_LEN);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_file_bad_length_is_typed() {
+        let mut bytes = segment_bytes(1, 3);
+        bytes[SEGMENT_HEADER_LEN] = 0xFF; // len field of record 1
+        match scan_segment(&bytes) {
+            Err(SegmentError::BadLength { offset, .. }) => {
+                assert_eq!(offset, SEGMENT_HEADER_LEN);
+            }
+            other => panic!("expected bad length, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_gap_is_typed() {
+        let mut bytes = encode_segment_header(1).to_vec();
+        bytes.extend_from_slice(&encode_record(&entry(1, 1, 1, 1)));
+        bytes.extend_from_slice(&encode_record(&entry(3, 3, 3, 3))); // gap!
+        bytes.extend_from_slice(&encode_record(&entry(4, 4, 4, 4)));
+        match scan_segment(&bytes) {
+            Err(SegmentError::SequenceGap {
+                expected, found, ..
+            }) => {
+                assert_eq!((expected, found), (2, 3));
+            }
+            other => panic!("expected sequence gap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        assert!(matches!(
+            scan_segment(b"garbage bytes here"),
+            Err(SegmentError::BadMagic { .. })
+        ));
+        let mut bytes = segment_bytes(1, 1);
+        bytes[4] = 9;
+        assert!(matches!(
+            scan_segment(&bytes),
+            Err(SegmentError::UnsupportedVersion { found: 9 })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let cp = ShardCheckpoint {
+            last_seen: 1234,
+            users: vec![
+                (UserId(1), vec![Point::new(5, Timestamp::from_hours(2))]),
+                (
+                    UserId(9),
+                    vec![
+                        Point::new(8, Timestamp::from_hours(3)),
+                        Point::new(2, Timestamp::from_hours(4)),
+                    ],
+                ),
+            ],
+        };
+        let bytes = encode_checkpoint(&cp);
+        let back = decode_checkpoint(&bytes).expect("round trip");
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn checkpoint_corruption_is_typed_never_panics() {
+        let cp = ShardCheckpoint {
+            last_seen: 7,
+            users: vec![(UserId(3), vec![Point::new(1, Timestamp::from_hours(1))])],
+        };
+        let bytes = encode_checkpoint(&cp);
+        // Truncation at every length is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Any single bit flip is caught by magic/version/CRC checks.
+        for byte in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[byte] ^= 0x10;
+            assert!(decode_checkpoint(&m).is_err(), "byte={byte}");
+        }
+    }
+
+    fn temp_store(tag: &str, sync: SyncPolicy) -> (DurabilityConfig, Registry) {
+        let dir =
+            std::env::temp_dir().join(format!("adamove-durability-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = DurabilityConfig::new(dir);
+        cfg.sync = sync;
+        (cfg, Registry::new())
+    }
+
+    #[test]
+    fn store_append_recover_round_trip() {
+        let (cfg, registry) = temp_store("round", SyncPolicy::PerRecord);
+        let dir = cfg.dir.clone();
+        {
+            let (store, recovered) = DurableStore::open(cfg.clone(), 2, &registry);
+            assert!(recovered.iter().all(|r| r.complete && !r.has_state()));
+            for id in 1..=10u64 {
+                store
+                    .append(0, &entry(id, id as u32, 3, id as i64))
+                    .expect("append");
+            }
+            store.append(1, &entry(1, 99, 4, 5)).expect("append");
+        }
+        let registry2 = Registry::new();
+        let (_store, recovered) = DurableStore::open(cfg, 2, &registry2);
+        assert_eq!(recovered[0].entries.len(), 10);
+        assert!(recovered[0].complete);
+        assert_eq!(recovered[0].next_seq, 11);
+        assert_eq!(recovered[1].entries.len(), 1);
+        assert_eq!(recovered[1].entries[0].user, UserId(99));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_checkpoint_prunes_and_rotates() {
+        let (mut cfg, registry) = temp_store("prune", SyncPolicy::PerRecord);
+        cfg.keep_checkpoints = 1;
+        cfg.segment_max_records = 4;
+        let dir = cfg.dir.clone();
+        {
+            let (store, _) = DurableStore::open(cfg.clone(), 1, &registry);
+            for id in 1..=10u64 {
+                store.append(0, &entry(id, 1, 2, 3)).expect("append");
+            }
+            let cp = ShardCheckpoint {
+                last_seen: 6,
+                users: vec![(UserId(1), vec![Point::new(2, Timestamp::from_hours(3))])],
+            };
+            store.write_checkpoint(0, &cp).expect("checkpoint");
+            let cp2 = ShardCheckpoint {
+                last_seen: 10,
+                users: vec![(UserId(1), vec![Point::new(2, Timestamp::from_hours(3))])],
+            };
+            store.write_checkpoint(0, &cp2).expect("checkpoint 2");
+        }
+        // Rotation kept only the newest snapshot; pruning removed every
+        // segment (all records covered by last_seen = 10).
+        let names: Vec<String> = std::fs::read_dir(dir.join("shard-0"))
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.starts_with("seg-")),
+            "journal not pruned: {names:?}"
+        );
+        assert_eq!(
+            names.iter().filter(|n| n.starts_with("ckpt-")).count(),
+            1,
+            "rotation failed: {names:?}"
+        );
+        let registry2 = Registry::new();
+        let (_s, recovered) = DurableStore::open(cfg, 1, &registry2);
+        assert!(recovered[0].complete);
+        assert!(recovered[0].entries.is_empty());
+        assert_eq!(recovered[0].next_seq, 11);
+        assert_eq!(
+            recovered[0].checkpoint.as_ref().map(|c| c.last_seen),
+            Some(10)
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quarantined_segment_marks_incomplete() {
+        let (mut cfg, registry) = temp_store("quarantine", SyncPolicy::PerRecord);
+        cfg.segment_max_records = 3;
+        let dir = cfg.dir.clone();
+        {
+            let (store, _) = DurableStore::open(cfg.clone(), 1, &registry);
+            for id in 1..=9u64 {
+                store.append(0, &entry(id, 1, 2, 3)).expect("append");
+            }
+        }
+        // Corrupt a middle record of the SECOND segment (seqs 4..6).
+        let victim = dir.join("shard-0").join(seg_name(4));
+        let mut bytes = std::fs::read(&victim).expect("read victim");
+        bytes[SEGMENT_HEADER_LEN + 10] ^= 0x08;
+        std::fs::write(&victim, &bytes).expect("write victim");
+
+        let registry2 = Registry::new();
+        let (store, recovered) = DurableStore::open(cfg, 1, &registry2);
+        let r = &recovered[0];
+        // Records 1..=3 survive; the gap at 4 cuts off 7..=9 as well.
+        assert_eq!(r.entries.len(), 3);
+        assert!(!r.complete);
+        assert_eq!(r.quarantined, 1);
+        assert_eq!(r.next_seq, 10, "sequences after the gap are never reused");
+        assert_eq!(store.obs().quarantined_segments.get(), 1);
+        assert!(dir
+            .join("shard-0")
+            .join(format!("{}.quarantine", seg_name(4)))
+            .exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_on_disk_recovers_prefix() {
+        let (cfg, registry) = temp_store("torn", SyncPolicy::PerRecord);
+        let dir = cfg.dir.clone();
+        {
+            let (store, _) = DurableStore::open(cfg.clone(), 1, &registry);
+            for id in 1..=5u64 {
+                store.append(0, &entry(id, 1, 2, 3)).expect("append");
+            }
+        }
+        let victim = dir.join("shard-0").join(seg_name(1));
+        let bytes = std::fs::read(&victim).expect("read");
+        std::fs::write(&victim, &bytes[..bytes.len() - 11]).expect("truncate");
+
+        let registry2 = Registry::new();
+        let (store, recovered) = DurableStore::open(cfg, 1, &registry2);
+        // The torn final record was never fully on disk, so it cannot have
+        // been fsync-acknowledged: the 4-record prefix is complete.
+        assert_eq!(recovered[0].entries.len(), 4);
+        assert!(recovered[0].complete);
+        assert_eq!(recovered[0].next_seq, 5);
+        assert_eq!(store.obs().corrupt_records.get(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batched_sync_policy_batches() {
+        let (cfg, registry) = temp_store("batched", SyncPolicy::Batched { records: 8 });
+        let dir = cfg.dir.clone();
+        let (store, _) = DurableStore::open(cfg, 1, &registry);
+        for id in 1..=20u64 {
+            store.append(0, &entry(id, 1, 2, 3)).expect("append");
+        }
+        // 20 appends at batch=8 → 2 interval fsyncs; +1 from sync_all.
+        let before = store.obs().fsync_latency.snapshot().count;
+        assert_eq!(before, 2);
+        store.sync_all().expect("sync_all");
+        assert_eq!(store.obs().fsync_latency.snapshot().count, 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sync_policy_parse() {
+        assert_eq!(SyncPolicy::parse("per-record"), Some(SyncPolicy::PerRecord));
+        assert_eq!(
+            SyncPolicy::parse("batched:32"),
+            Some(SyncPolicy::Batched { records: 32 })
+        );
+        assert_eq!(SyncPolicy::parse("batched:0"), None);
+        assert_eq!(SyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn clamp_to_capacity_evicts_oldest() {
+        let entries: Vec<JournalEntry> = (1..=10).map(|id| entry(id, 1, 1, 1)).collect();
+        let (kept, dropped) = clamp_to_capacity(entries, 4, 0);
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept[0].id, 7);
+        assert_eq!(dropped, 6);
+        let (kept, dropped) = clamp_to_capacity(vec![entry(3, 1, 1, 1)], 4, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(dropped, 2);
+    }
+}

@@ -92,6 +92,7 @@
 //! [`ShardedEngine::predict_traced`] — `shard_predict` with the request
 //! id and per-stage timings); the default no-op tracer costs one branch.
 
+use crate::durability::{clamp_to_capacity, DurableStore};
 use crate::eval::LatencyProfile;
 use crate::lightmob::LightMob;
 use crate::parallel::available_threads;
@@ -223,6 +224,9 @@ pub enum RequestKind {
     Predict,
     /// A flush barrier token.
     Flush,
+    /// An explicit checkpoint barrier token
+    /// ([`ShardedEngine::checkpoint_all`]).
+    Checkpoint,
 }
 
 /// What an injected disturbance does to one request.
@@ -371,6 +375,10 @@ enum Request {
         reply: mpsc::Sender<(Option<StreamPrediction>, EngineStages)>,
     },
     Flush(mpsc::Sender<()>),
+    /// Take a checkpoint now, regardless of the interval — the graceful
+    /// drain path. Doubles as a barrier: the ack is sent after the
+    /// checkpoint is durable (when durability is configured).
+    Checkpoint(mpsc::Sender<()>),
 }
 
 impl Request {
@@ -379,6 +387,7 @@ impl Request {
             Request::Observe(..) => RequestKind::Observe,
             Request::Predict { .. } => RequestKind::Predict,
             Request::Flush(..) => RequestKind::Flush,
+            Request::Checkpoint(..) => RequestKind::Checkpoint,
         }
     }
 }
@@ -398,6 +407,12 @@ struct ShardObs {
     stage_journal: Histogram,
     queue_depth: Gauge,
     users: Gauge,
+    /// 0/1: set on the first journal overflow since the last checkpoint
+    /// (exact replay lost), cleared when a checkpoint covers the live
+    /// state again. The 0→1 transition also emits a `journal_overflow`
+    /// trace event so the flight recorder captures the first
+    /// lost-durability moment.
+    journal_overflow: Gauge,
 }
 
 impl ShardObs {
@@ -428,6 +443,7 @@ impl ShardObs {
             stage_journal: registry.histogram(&journal_name),
             queue_depth: registry.gauge(&l("engine_queue_depth")),
             users: registry.gauge(&l("engine_users")),
+            journal_overflow: registry.gauge(&l("engine_journal_overflow")),
         }
     }
 }
@@ -540,6 +556,9 @@ struct RecoveryRuntime {
     config: RecoveryConfig,
     checkpoints: Arc<CheckpointStore>,
     journals: Vec<Arc<Mutex<Journal>>>,
+    /// Disk mirror of the journal + checkpoints, present only when
+    /// [`RecoveryConfig::durability`] is set.
+    durable: Option<Arc<DurableStore>>,
     prior: Arc<PopulationPrior>,
     breaker_obs: Option<BreakerObs>,
     respawns: Counter,
@@ -556,6 +575,7 @@ struct WorkerRecovery {
     checkpoint_interval: usize,
     checkpoints: Arc<CheckpointStore>,
     journal: Arc<Mutex<Journal>>,
+    durable: Option<Arc<DurableStore>>,
     prior: Arc<PopulationPrior>,
     breaker: Option<(BreakerConfig, BreakerObs)>,
     replayed_observes: Counter,
@@ -684,6 +704,9 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
             }
         };
         let mut handled: usize = 1;
+        // Set by an explicit `Request::Checkpoint`; acked after the
+        // checkpoint block below has run.
+        let mut checkpoint_done: Option<mpsc::Sender<()>> = None;
         match action {
             FaultAction::None => {}
             FaultAction::PanicShard => {
@@ -808,32 +831,46 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
                 obs.flushes.inc();
                 let _ = done.send(());
             }
+            Request::Checkpoint(done) => {
+                checkpoint_done = Some(done);
+            }
         }
         if let Some(rec) = &recovery {
             if rec.checkpoint_interval > 0 {
                 since_checkpoint += handled;
-                if since_checkpoint >= rec.checkpoint_interval {
-                    since_checkpoint = 0;
-                    rec.checkpoints.save(
-                        shard,
-                        ShardCheckpoint {
-                            last_seen,
-                            users: sp.export_windows(),
-                        },
-                    );
-                    lock(&rec.journal).prune_through(last_seen);
-                    rec.checkpoints_taken.inc();
-                    // A fresh checkpoint covers the live state, so future
-                    // recoveries are exact again.
-                    degraded.store(false, Ordering::Relaxed);
-                    event!(
-                        tracer,
-                        "shard_checkpoint",
-                        shard = shard,
-                        journal_pos = last_seen
-                    );
-                }
             }
+            let due = rec.checkpoint_interval > 0 && since_checkpoint >= rec.checkpoint_interval;
+            // An explicit checkpoint request fires regardless of the
+            // interval — the drain path must not depend on traffic volume.
+            if due || checkpoint_done.is_some() {
+                since_checkpoint = 0;
+                let cp = ShardCheckpoint {
+                    last_seen,
+                    users: sp.export_windows(),
+                };
+                if let Some(durable) = &rec.durable {
+                    // Persist failures are counted by the store; the
+                    // in-memory checkpoint still advances so serving
+                    // keeps its RAM-only recovery semantics.
+                    let _ = durable.write_checkpoint(shard, &cp);
+                }
+                rec.checkpoints.save(shard, cp);
+                lock(&rec.journal).prune_through(last_seen);
+                rec.checkpoints_taken.inc();
+                // A fresh checkpoint covers the live state, so future
+                // recoveries are exact again.
+                degraded.store(false, Ordering::Relaxed);
+                obs.journal_overflow.set(0.0);
+                event!(
+                    tracer,
+                    "shard_checkpoint",
+                    shard = shard,
+                    journal_pos = last_seen
+                );
+            }
+        }
+        if let Some(done) = checkpoint_done {
+            let _ = done.send(());
         }
     }
     // Receiver gone = the engine was dropped without a shutdown; losing
@@ -884,6 +921,7 @@ impl EngineInner {
             checkpoint_interval: r.config.checkpoint_interval,
             checkpoints: Arc::clone(&r.checkpoints),
             journal: Arc::clone(&r.journals[shard]),
+            durable: r.durable.clone(),
             prior: Arc::clone(&r.prior),
             // `breaker_obs` is registered whenever a breaker is
             // configured (see `with_observability`), so the `and_then`
@@ -1068,32 +1106,85 @@ impl ShardedEngine {
         }
         let shard_down_errors = registry.counter("engine_shard_down_total");
         let timeout_errors = registry.counter("engine_timeout_total");
-        let recovery = config.recovery.clone().map(|rc| RecoveryRuntime {
-            checkpoints: Arc::new(CheckpointStore::new(shards)),
-            journals: (0..shards)
+        // Cold-start restore: with durability configured, recover each
+        // shard's newest valid checkpoint + contiguous journal suffix
+        // from disk before any worker spawns, so the engine comes up
+        // bit-identical to the pre-crash state (or degraded when loss or
+        // corruption left a gap).
+        let mut restore_plans: Vec<Option<RestorePlan>> = (0..shards).map(|_| None).collect();
+        let mut degraded_init = vec![false; shards];
+        let recovery = config.recovery.clone().map(|rc| {
+            let checkpoints = Arc::new(CheckpointStore::new(shards));
+            let mut journals: Vec<Arc<Mutex<Journal>>> = (0..shards)
                 .map(|_| Arc::new(Mutex::new(Journal::new(rc.journal_capacity))))
-                .collect(),
-            prior: Arc::new(PopulationPrior::new(model.num_locations as usize)),
-            breaker_obs: rc
-                .breaker
-                .as_ref()
-                .map(|_| BreakerObs::register(&registry, &[])),
-            respawns: registry.counter("engine_respawns_total"),
-            replayed_observes: registry.counter("engine_replayed_observes_total"),
-            degraded_predictions: registry.counter("engine_degraded_predictions_total"),
-            degraded_recoveries: registry.counter("engine_degraded_recoveries_total"),
-            checkpoints_taken: registry.counter("engine_checkpoints_total"),
-            journal_overflows: registry.counter("engine_journal_overflows_total"),
-            retries: registry.counter("engine_retries_total"),
-            config: rc,
+                .collect();
+            let durable = rc.durability.clone().map(|dc| {
+                let (store, recovered) = DurableStore::open(dc, shards, &registry);
+                for (shard, r) in recovered.into_iter().enumerate() {
+                    if !r.has_state() {
+                        continue;
+                    }
+                    let base = r.checkpoint.as_ref().map_or(0, |c| c.last_seen);
+                    // Seed the in-memory mirrors exactly as live traffic
+                    // would have left them: entries past capacity raise
+                    // `dropped_through`, an incomplete recovery poisons
+                    // `complete_after` so later heals degrade too.
+                    let dropped_through = if r.complete { 0 } else { r.next_seq - 1 };
+                    // The worker replays the FULL disk suffix (exactness),
+                    // while the in-memory journal mirror keeps only the
+                    // newest `journal_capacity` entries — the same state a
+                    // live engine would hold after those appends.
+                    let entries = r.entries;
+                    let (tail, dropped_through) =
+                        clamp_to_capacity(entries.clone(), rc.journal_capacity, dropped_through);
+                    journals[shard] = Arc::new(Mutex::new(Journal::restore(
+                        rc.journal_capacity,
+                        tail,
+                        r.next_seq,
+                        dropped_through,
+                    )));
+                    let windows = r
+                        .checkpoint
+                        .map(|c| {
+                            checkpoints.save(shard, c.clone());
+                            c.users
+                        })
+                        .unwrap_or_default();
+                    degraded_init[shard] = !r.complete;
+                    restore_plans[shard] = Some(RestorePlan {
+                        windows,
+                        journal: entries,
+                        last_seen: base,
+                    });
+                }
+                store
+            });
+            RecoveryRuntime {
+                checkpoints,
+                journals,
+                durable,
+                prior: Arc::new(PopulationPrior::new(model.num_locations as usize)),
+                breaker_obs: rc
+                    .breaker
+                    .as_ref()
+                    .map(|_| BreakerObs::register(&registry, &[])),
+                respawns: registry.counter("engine_respawns_total"),
+                replayed_observes: registry.counter("engine_replayed_observes_total"),
+                degraded_predictions: registry.counter("engine_degraded_predictions_total"),
+                degraded_recoveries: registry.counter("engine_degraded_recoveries_total"),
+                checkpoints_taken: registry.counter("engine_checkpoints_total"),
+                journal_overflows: registry.counter("engine_journal_overflows_total"),
+                retries: registry.counter("engine_retries_total"),
+                config: rc,
+            }
         });
         let supervise_interval = recovery.as_ref().and_then(|r| r.config.supervise_interval);
         let (stats_tx, stats_rx) = mpsc::channel::<(usize, usize)>();
         let slots: Vec<ShardSlot> = (0..shards)
-            .map(|_| ShardSlot {
+            .map(|s| ShardSlot {
                 link: Mutex::new(None),
                 seq: Arc::new(AtomicU64::new(0)),
-                degraded: Arc::new(AtomicBool::new(false)),
+                degraded: Arc::new(AtomicBool::new(degraded_init[s])),
             })
             .collect();
         let inner = Arc::new(EngineInner {
@@ -1119,9 +1210,9 @@ impl ShardedEngine {
             shutdown_deadline: config.shutdown_deadline,
             stopping: AtomicBool::new(false),
         });
-        for shard in 0..shards {
+        for (shard, plan) in restore_plans.into_iter().enumerate() {
             let link = inner
-                .spawn_link(shard, None)
+                .spawn_link(shard, plan)
                 // lint:allow(panic-path): stats_tx is Some until shutdown(), which cannot run mid-construction
                 .expect("stats sender is live during construction");
             *lock(&inner.slots[shard].link) = Some(link);
@@ -1288,6 +1379,21 @@ impl ShardedEngine {
                 inner.shard_obs[shard].stage_journal.record(t0.elapsed_ns());
                 if overflowed {
                     rec.journal_overflows.inc();
+                    let gauge = &inner.shard_obs[shard].journal_overflow;
+                    // The 0→1 transition is the first lost-durability
+                    // moment since the last checkpoint — worth a flight-
+                    // recorder entry, not just a counter tick. Serialized
+                    // by the send lock we hold, so it fires exactly once
+                    // per overflow episode.
+                    if gauge.get() == 0.0 {
+                        gauge.set(1.0);
+                        event!(
+                            inner.tracer,
+                            "journal_overflow",
+                            shard = shard,
+                            journal_pos = id
+                        );
+                    }
                 }
                 id
             }
@@ -1298,6 +1404,16 @@ impl ShardedEngine {
             Ok(()) => {
                 if let Some(rec) = &inner.recovery {
                     rec.prior.record(point.loc);
+                    if let Some(durable) = &rec.durable {
+                        // Disk append strictly AFTER a successful send,
+                        // still under the send lock: disk order equals
+                        // queue order, and a failed send never leaves a
+                        // stale record behind (the in-memory retract
+                        // below has no on-disk counterpart by design).
+                        // Persist errors are counted by the store; the
+                        // engine keeps serving with degraded durability.
+                        let _ = durable.append(shard, &JournalEntry { id, user, point });
+                    }
                 }
                 Ok(())
             }
@@ -1561,6 +1677,48 @@ impl ShardedEngine {
             // A shard that dies mid-flush drops the token; don't hang.
             let _ = rx.recv();
         }
+    }
+
+    /// Checkpoint every live shard now, regardless of the checkpoint
+    /// interval, and wait for completion — the graceful-drain path. With
+    /// durability configured the returned count means that many shards
+    /// have an on-disk snapshot covering all processed traffic (their
+    /// journals pruned to empty), so a subsequent cold start replays
+    /// nothing. Returns the number of shards that acknowledged; without
+    /// the recovery layer the tokens are processed as no-ops.
+    pub fn checkpoint_all(&self) -> usize {
+        let inner = &self.inner;
+        let receivers: Vec<mpsc::Receiver<()>> = inner
+            .slots
+            .iter()
+            .zip(&inner.shard_obs)
+            .filter_map(|(slot, obs)| {
+                let guard = lock(&slot.link);
+                let link = guard.as_ref()?;
+                let (done, rx) = mpsc::channel();
+                obs.queue_depth.inc();
+                match link.sender.send(Request::Checkpoint(done)) {
+                    Ok(()) => Some(rx),
+                    Err(_) => {
+                        obs.queue_depth.dec();
+                        None
+                    }
+                }
+            })
+            .collect();
+        let mut acked = 0;
+        for rx in receivers {
+            // A shard that dies mid-checkpoint drops the token; don't hang.
+            if rx.recv().is_ok() {
+                acked += 1;
+            }
+        }
+        // Any batched-but-unsynced journal tail (observes after the
+        // checkpoint barrier entered the queue) still reaches the disk.
+        if let Some(durable) = inner.recovery.as_ref().and_then(|r| r.durable.as_ref()) {
+            let _ = durable.sync_all();
+        }
+        acked
     }
 
     /// Stop all shards and collect their statistics. Pending requests are
@@ -2122,6 +2280,7 @@ mod tests {
             retry: RetryPolicy::default(),
             breaker: None,
             supervise_interval: None,
+            durability: None,
         };
         let config = |recovery| EngineConfig {
             shards: 2,
@@ -2187,6 +2346,7 @@ mod tests {
             retry: RetryPolicy::default(),
             breaker: None,
             supervise_interval: None,
+            durability: None,
         };
         let victim = shard_of(UserId(0), 2);
         // Kill the victim while it processes its *last* observe, so no

@@ -30,7 +30,11 @@
 //! - [`recovery`] — the self-healing layer behind
 //!   [`EngineConfig::recovery`](engine::EngineConfig::recovery): checkpoint
 //!   store, write-ahead journal, retry policy, population prior for
-//!   degraded serving, and the per-user PTTA circuit breaker.
+//!   degraded serving, and the per-user PTTA circuit breaker;
+//! - [`durability`] — the opt-in crash-safe persistence layer under
+//!   recovery: CRC32-framed journal segments with torn-write-tolerant
+//!   tail truncation, atomic checkpoint snapshots with rotation, and
+//!   cold-start restore that is bit-identical to the pre-crash engine.
 
 //! # Example
 //!
@@ -65,6 +69,7 @@
 
 pub mod config;
 pub mod distill;
+pub mod durability;
 pub mod engine;
 pub mod eval;
 pub mod history;
@@ -81,6 +86,10 @@ pub mod train;
 pub use adamove_obs as obs;
 pub use config::{AdaMoveConfig, EncoderKind};
 pub use distill::{distill, DistillConfig};
+pub use durability::{
+    scan_segment, DurabilityConfig, DurabilityObs, DurableStore, Fs, FsFile, RealFs,
+    RecoveredShard, SegmentError, SegmentScan, SyncPolicy,
+};
 pub use engine::{
     shard_of, Disturbance, EngineConfig, EngineError, EngineReport, EngineSnapshot, EngineStages,
     FaultAction, RequestKind, ShardSnapshot, ShardedEngine, ShutdownError,

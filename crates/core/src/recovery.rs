@@ -118,6 +118,11 @@ pub struct RecoveryConfig {
     /// dead shards even without traffic. `None` heals lazily, on the
     /// first request that finds the shard dead.
     pub supervise_interval: Option<Duration>,
+    /// Opt-in crash-safe persistence: when set, the journal and
+    /// checkpoints are mirrored to disk (see [`crate::durability`]) and
+    /// the engine cold-starts from the newest durable state. `None`
+    /// keeps the original RAM-only recovery semantics.
+    pub durability: Option<crate::durability::DurabilityConfig>,
 }
 
 impl Default for RecoveryConfig {
@@ -128,13 +133,14 @@ impl Default for RecoveryConfig {
             retry: RetryPolicy::default(),
             breaker: None,
             supervise_interval: None,
+            durability: None,
         }
     }
 }
 
 /// One shard's snapshot: the per-user sliding windows as of journal
 /// position `last_seen`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardCheckpoint {
     /// Highest journal id covered by this checkpoint; replay resumes
     /// with ids strictly greater.
@@ -213,6 +219,38 @@ impl Journal {
             capacity: capacity.max(1),
             next_id: 1,
             dropped_through: 0,
+        }
+    }
+
+    /// Rebuild a journal from durable state at cold start. `entries`
+    /// must be id-ascending; entries beyond `capacity` are evicted
+    /// oldest-first exactly as live appends would have done, raising
+    /// `dropped_through`. `next_id` is clamped so no recovered (or
+    /// possibly-on-disk) id is ever reissued.
+    pub fn restore(
+        capacity: usize,
+        entries: Vec<JournalEntry>,
+        next_id: u64,
+        dropped_through: u64,
+    ) -> Self {
+        let capacity = capacity.max(1);
+        let mut dropped_through = dropped_through;
+        let mut deque: VecDeque<JournalEntry> =
+            VecDeque::with_capacity(capacity.min(entries.len()));
+        for e in entries {
+            if deque.len() == capacity {
+                if let Some(evicted) = deque.pop_front() {
+                    dropped_through = dropped_through.max(evicted.id);
+                }
+            }
+            deque.push_back(e);
+        }
+        let floor = deque.back().map_or(0, |e| e.id).saturating_add(1);
+        Self {
+            entries: deque,
+            capacity,
+            next_id: next_id.max(floor).max(1),
+            dropped_through,
         }
     }
 

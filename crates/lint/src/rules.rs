@@ -5,9 +5,10 @@
 //! three scopes:
 //!
 //! - **library scope** (`entropy`, `instant-now`, `panic-path`,
-//!   `metric-name`, `print`, `trace-context`, `unsorted-export`):
-//!   non-test library code only — integration tests, benches, examples,
-//!   bin targets, and `#[cfg(test)]` regions are exempt.
+//!   `fs-unwrap`, `metric-name`, `print`, `trace-context`,
+//!   `unsorted-export`): non-test library code only — integration
+//!   tests, benches, examples, bin targets, and `#[cfg(test)]` regions
+//!   are exempt.
 //! - **test scope** (`sleep-in-test`): the exact inverse — fires only in
 //!   test code, where wall-clock sleeps breed flakes.
 //! - **everywhere** (`tab`, `trailing-ws`, `file-length`): hygiene.
@@ -37,6 +38,7 @@ pub const RULE_IDS: &[&str] = &[
     "entropy",
     "instant-now",
     "panic-path",
+    "fs-unwrap",
     "metric-name",
     "print",
     "sleep-in-test",
@@ -84,6 +86,13 @@ const PANIC_FREE_FILES: &[&str] = &[
     // recorder's is_slow/record path) and the ticker thread.
     "crates/obs/src/trace.rs",
     "crates/obs/src/window.rs",
+    // Persistence runs on the observe hot path (per-record appends) and
+    // at cold start; a panic there turns a disk fault into an outage
+    // instead of a typed SegmentError + quarantine.
+    "crates/core/src/durability.rs",
+    // The fault-injection Fs wrapper is swapped in underneath the same
+    // store, so it must uphold the same no-panic contract.
+    "crates/testkit/src/faultfs.rs",
 ];
 
 const PANIC_PATTERNS: &[&str] = &[
@@ -93,6 +102,25 @@ const PANIC_PATTERNS: &[&str] = &[
     "unreachable!",
     "todo!",
     "unimplemented!",
+];
+
+/// Tokens that mark a line as producing a filesystem `io::Result`. A
+/// bare `.unwrap()` on the same line turns a recoverable disk fault
+/// (full volume, yanked mount, permission change) into a panic, so
+/// library code must propagate or handle it; only tests may assume a
+/// healthy disk.
+const FS_RESULT_MARKERS: &[&str] = &[
+    "std::fs",
+    "fs::",
+    "File::",
+    "OpenOptions",
+    ".sync_all(",
+    ".sync_data(",
+    "create_dir",
+    "read_dir",
+    "remove_file(",
+    "rename(",
+    "set_len(",
 ];
 
 /// Ordered longest-first: `eprintln!` contains `println!` as a
@@ -240,6 +268,20 @@ pub fn check_file(rel: &str, content: &str) -> Vec<Violation> {
                         format!("`{}` in a panic-free serving file; return a typed error or document the invariant with a suppression", pat.trim_end_matches('(')),
                     );
                 }
+            }
+        }
+
+        // -- fs-unwrap -------------------------------------------------
+        // Narrower than panic-path (only `.unwrap()`, only fs lines)
+        // but workspace-wide: every crate's library code must treat a
+        // filesystem error as a value, not an invariant.
+        if code.contains(".unwrap()") {
+            if let Some(marker) = FS_RESULT_MARKERS.iter().find(|m| code.contains(*m)) {
+                push(
+                    &mut raw,
+                    "fs-unwrap",
+                    format!("bare `unwrap()` on a filesystem result (`{marker}`); propagate the io::Error or handle the fault"),
+                );
             }
         }
 

@@ -1,0 +1,30 @@
+//! Planted `fs-unwrap` violations; checked under a plain library path.
+
+pub fn bad_read(path: &std::path::Path) -> String {
+    std::fs::read_to_string(path).unwrap() // line 4: fires
+}
+
+pub fn bad_sync(file: &std::fs::File) {
+    file.sync_all().unwrap(); // line 8: fires
+}
+
+pub fn non_fs_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // no fs marker: must not fire
+}
+
+pub fn handled_read(path: &std::path::Path) -> std::io::Result<String> {
+    std::fs::read_to_string(path) // propagated: must not fire
+}
+
+pub fn suppressed(path: &std::path::Path) -> Vec<u8> {
+    std::fs::read(path).unwrap() // lint:allow(fs-unwrap): fixture — path is a build-time constant checked in CI
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_assume_a_healthy_disk() {
+        let dir = std::env::temp_dir();
+        std::fs::read_dir(dir).unwrap(); // cfg(test): must not fire
+    }
+}

@@ -48,6 +48,19 @@ fn panic_path_fires_only_in_panic_free_files() {
 }
 
 #[test]
+fn fs_unwrap_fires_on_fs_lines_outside_tests() {
+    let src = include_str!("fixtures/fs_unwrap.rs");
+    let v = check_file("crates/core/src/fixture.rs", src);
+    assert_eq!(fire_lines(&v, "fs-unwrap"), vec![4, 8]);
+    // The non-fs unwrap, the propagated Result, the suppressed read,
+    // and the cfg(test) region all stay quiet.
+    assert!(v.iter().all(|f| f.rule == "fs-unwrap"), "{v:?}");
+    // Test targets are exempt wholesale (library-scope rule).
+    let v_test = check_file("crates/core/tests/fixture.rs", src);
+    assert!(fire_lines(&v_test, "fs-unwrap").is_empty());
+}
+
+#[test]
 fn metric_name_checks_literal_names_only() {
     let v = check_file(
         "crates/core/src/fixture.rs",

@@ -187,6 +187,10 @@ pub enum AnomalyKind {
     ShardRespawn,
     /// A shard worker panicked (injected or real).
     ShardPanic,
+    /// A shard's write-ahead journal overflowed past the last checkpoint
+    /// — the first lost-durability moment (exact replay impossible until
+    /// the next checkpoint).
+    JournalOverflow,
 }
 
 impl AnomalyKind {
@@ -201,6 +205,7 @@ impl AnomalyKind {
             AnomalyKind::Error => "error",
             AnomalyKind::ShardRespawn => "shard_respawn",
             AnomalyKind::ShardPanic => "shard_panic",
+            AnomalyKind::JournalOverflow => "journal_overflow",
         }
     }
 }
@@ -397,6 +402,7 @@ impl TraceSink for FlightRecorder {
         let kind = match name {
             "shard_respawn" => AnomalyKind::ShardRespawn,
             "shard_panic" => AnomalyKind::ShardPanic,
+            "journal_overflow" => AnomalyKind::JournalOverflow,
             _ => return,
         };
         self.record(FlightRecord::event(

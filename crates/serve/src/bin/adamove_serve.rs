@@ -13,12 +13,17 @@
 //! ```
 
 use adamove::obs::{FlightRecorder, Registry, Tracer};
-use adamove::{AdaMoveConfig, EngineConfig, LightMob, RecoveryConfig, ShardedEngine};
+use adamove::{
+    AdaMoveConfig, DurabilityConfig, EngineConfig, LightMob, RecoveryConfig, ShardedEngine,
+    SyncPolicy,
+};
 use adamove_autograd::ParamStore;
 use adamove_serve::{serve, AdmissionConfig, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 const USAGE: &str = "adamove_serve — AdaMove TCP serving daemon
@@ -38,7 +43,18 @@ OPTIONS:
     --flight-capacity <N>  flight-recorder ring capacity (default 64)
     --no-admission       disable load shedding
     --no-recovery        disable the self-healing layer
+    --state-dir <DIR>    durable state directory: restore on start,
+                         persist journal/checkpoints while serving
+    --sync <POLICY>      fsync policy for --state-dir:
+                         per-record | batched:<N> (default batched:64)
+    --checkpoint-interval <N>  checkpoint every N observes per shard
+                         (default: RecoveryConfig default)
     -h, --help           print this help
+
+Writing a line containing exactly `drain` to stdin checkpoints every
+shard to --state-dir and exits cleanly (the workspace forbids unsafe
+code, so POSIX signal handlers are unavailable; stdin is the portable
+drain channel). EOF on stdin does NOT drain.
 ";
 
 struct Args {
@@ -53,6 +69,9 @@ struct Args {
     flight_capacity: usize,
     admission: bool,
     recovery: bool,
+    state_dir: Option<PathBuf>,
+    sync: SyncPolicy,
+    checkpoint_interval: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +87,9 @@ fn parse_args() -> Args {
         flight_capacity: 64,
         admission: true,
         recovery: true,
+        state_dir: None,
+        sync: SyncPolicy::Batched { records: 64 },
+        checkpoint_interval: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -93,6 +115,20 @@ fn parse_args() -> Args {
             }
             "--no-admission" => args.admission = false,
             "--no-recovery" => args.recovery = false,
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir"))),
+            "--sync" => {
+                let raw = value("--sync");
+                args.sync = SyncPolicy::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("bad value {raw:?} for --sync\n\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--checkpoint-interval" => {
+                args.checkpoint_interval = Some(parse_num(
+                    &value("--checkpoint-interval"),
+                    "--checkpoint-interval",
+                ))
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -136,25 +172,47 @@ fn main() {
     // and the engine's tracer (shard panic/respawn events), so a DIAG
     // dump tells the whole story under one set of request ids.
     let recorder = Arc::new(FlightRecorder::new(args.flight_capacity));
+    let durable = args.state_dir.is_some();
+    let recovery = if args.recovery || durable {
+        let mut rc = RecoveryConfig {
+            supervise_interval: Some(Duration::from_millis(20)),
+            ..RecoveryConfig::default()
+        };
+        if let Some(dir) = &args.state_dir {
+            rc.durability = Some(DurabilityConfig {
+                sync: args.sync,
+                ..DurabilityConfig::new(dir.clone())
+            });
+        }
+        if let Some(interval) = args.checkpoint_interval {
+            rc.checkpoint_interval = interval;
+        }
+        Some(rc)
+    } else {
+        None
+    };
     let engine = Arc::new(ShardedEngine::with_observability(
         Arc::new(model),
         Arc::new(store),
         EngineConfig {
             shards,
-            recovery: if args.recovery {
-                Some(RecoveryConfig {
-                    supervise_interval: Some(Duration::from_millis(20)),
-                    ..RecoveryConfig::default()
-                })
-            } else {
-                None
-            },
+            recovery,
             ..EngineConfig::default()
         },
         None,
         Arc::new(Registry::new()),
         Tracer::with_sink(Arc::clone(&recorder) as _),
     ));
+    if durable {
+        // Replay runs on the worker threads before they take requests;
+        // the flush barrier makes the replayed count below exact.
+        engine.flush();
+        let snap = engine.snapshot();
+        println!(
+            "adamove_serve restored {} replayed observe(s) from state dir",
+            snap.replayed_observes
+        );
+    }
 
     let handle = serve(
         engine,
@@ -179,13 +237,43 @@ fn main() {
         if args.recovery { "on" } else { "off" },
     );
 
-    match args.duration_secs {
-        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
-        None => loop {
-            std::thread::sleep(Duration::from_secs(3600));
-        },
-    }
+    // Drain watcher: a line containing exactly `drain` on stdin begins a
+    // graceful checkpoint-and-exit. The sender clone held by main keeps
+    // the channel open, so stdin EOF (watcher thread exiting) is NOT a
+    // drain — recv below keeps blocking until duration expiry.
+    let (drain_tx, drain_rx) = mpsc::channel::<()>();
+    let _keep_open = drain_tx.clone();
+    std::thread::Builder::new()
+        .name("drain-watcher".to_string())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if line.trim() == "drain" {
+                    let _ = drain_tx.send(());
+                    break;
+                }
+            }
+        })
+        .expect("failed to spawn drain watcher");
+
+    let drained = match args.duration_secs {
+        Some(secs) => drain_rx.recv_timeout(Duration::from_secs(secs)).is_ok(),
+        None => drain_rx.recv().is_ok(),
+    };
     let engine = handle.stop();
+    if durable {
+        let shards_done = engine.checkpoint_all();
+        println!(
+            "adamove_serve {}: checkpointed {} shard(s) to state dir",
+            if drained {
+                "drained"
+            } else {
+                "duration expired"
+            },
+            shards_done
+        );
+    }
     // Final flight dump on stdout: the same flat JSON a DIAG frame
     // fetches over the wire, for post-mortems after the socket is gone.
     println!("{}", recorder.to_flat_json());

@@ -116,6 +116,7 @@ impl Default for ServeConfig {
 struct ServeObs {
     connections: Counter,
     conn_rejected: Counter,
+    reject_write_errors: Counter,
     connections_open: Gauge,
     frames: Counter,
     observes: Counter,
@@ -142,6 +143,7 @@ impl ServeObs {
         Self {
             connections: registry.counter("serve_connections_total"),
             conn_rejected: registry.counter("serve_conn_rejected_total"),
+            reject_write_errors: registry.counter("serve_reject_write_errors_total"),
             connections_open: registry.gauge("serve_connections_open"),
             frames: registry.counter("serve_frames_total"),
             observes: registry.counter("serve_observes_total"),
@@ -261,23 +263,17 @@ pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<Serv
     {
         let stop = Arc::clone(&stop);
         let open = Arc::clone(&open);
-        let obs = obs.clone();
-        let max_connections = config.max_connections;
+        let gate = AcceptGate {
+            obs: obs.clone(),
+            recorder: Arc::clone(&recorder),
+            request_ids: Arc::clone(&request_ids),
+            max_connections: config.max_connections,
+        };
         let idle_sleep = config.idle_sleep;
         threads.push(
             thread::Builder::new()
                 .name("serve-acceptor".to_string())
-                .spawn(move || {
-                    accept_loop(
-                        listener,
-                        senders,
-                        stop,
-                        open,
-                        obs,
-                        max_connections,
-                        idle_sleep,
-                    )
-                })?,
+                .spawn(move || accept_loop(listener, senders, stop, open, gate, idle_sleep))?,
         );
     }
 
@@ -307,22 +303,32 @@ pub fn serve(engine: Arc<ShardedEngine>, config: ServeConfig) -> io::Result<Serv
     })
 }
 
+/// The acceptor's admission decision in one bundle: the connection cap
+/// plus everything needed to refuse a peer accountably (counters and
+/// the flight-recorder identity channel).
+struct AcceptGate {
+    obs: ServeObs,
+    recorder: Arc<FlightRecorder>,
+    request_ids: Arc<AtomicU64>,
+    max_connections: usize,
+}
+
 fn accept_loop(
     listener: TcpListener,
     senders: Vec<mpsc::Sender<TcpStream>>,
     stop: Arc<AtomicBool>,
     open: Arc<AtomicUsize>,
-    obs: ServeObs,
-    max_connections: usize,
+    gate: AcceptGate,
     idle_sleep: Duration,
 ) {
+    let obs = &gate.obs;
     let mut next = 0usize;
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if open.load(Ordering::Acquire) >= max_connections {
+                if open.load(Ordering::Acquire) >= gate.max_connections {
                     obs.conn_rejected.inc();
-                    reject_busy(stream);
+                    reject_busy(stream, obs, &gate.recorder, &gate.request_ids);
                     continue;
                 }
                 obs.connections.inc();
@@ -344,15 +350,41 @@ fn accept_loop(
 
 /// Best-effort Busy reply on a connection we will not keep: briefly
 /// blocking so the frame actually leaves, then closed by drop.
-fn reject_busy(stream: TcpStream) {
+///
+/// The acceptor thread is the one resource a stalled peer must never
+/// pin: if the write timeout cannot be armed, the reply is skipped
+/// outright (an untimed `write_all` to a non-reading client would
+/// wedge accepts fleet-wide), and a timed-out or failed reply is
+/// counted and flight-recorded rather than silently dropped.
+fn reject_busy(
+    stream: TcpStream,
+    obs: &ServeObs,
+    recorder: &FlightRecorder,
+    request_ids: &AtomicU64,
+) {
     let mut stream = stream;
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let note = |op: &'static str| {
+        obs.reject_write_errors.inc();
+        let id = request_ids.fetch_add(1, Ordering::Relaxed);
+        let mut record = FlightRecord::event(AnomalyKind::Busy, id, u64::MAX);
+        record.op = op;
+        recorder.record(record);
+    };
+    if stream
+        .set_write_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        note("reject_timeout_unarmed");
+        return;
+    }
     let frame = Frame::Error {
         code: ErrorCode::Busy,
         retry_after_ms: 100,
         message: "connection limit reached".to_string(),
     };
-    let _ = stream.write_all(&protocol::encode_to_vec(&frame));
+    if stream.write_all(&protocol::encode_to_vec(&frame)).is_err() {
+        note("reject_write_failed");
+    }
 }
 
 /// The server's one periodic thread: per tick it cuts a delta window on

@@ -1,0 +1,235 @@
+//! Restart drill against the real `adamove_serve` binary: SIGKILL the
+//! daemon mid-load, restart it from `--state-dir`, and the replies must
+//! be bit-identical to a run that never crashed; drain it gracefully
+//! (the stdin `drain` line) and the restart replays zero records. This
+//! is the whole durability promise exercised over a real socket, a real
+//! process boundary, and a real kill -9.
+
+use adamove_serve::{Client, Quality};
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const USERS: u32 = 16;
+const LOCATIONS: u32 = 8;
+const STEPS: i64 = 12;
+const CRASH_AT: i64 = 6;
+
+struct Daemon {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: SocketAddr,
+    restored: Option<u64>,
+}
+
+impl Daemon {
+    /// Start the real binary and wait for its listening line. With a
+    /// state dir, also capture the "restored N replayed observe(s)"
+    /// line the daemon prints before it binds.
+    fn start(state_dir: &PathBuf) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_adamove_serve"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--shards",
+                "2",
+                "--workers",
+                "1",
+                "--users",
+                &USERS.to_string(),
+                "--locations",
+                &LOCATIONS.to_string(),
+                "--sync",
+                "per-record",
+                // Far beyond the workload: a restart must rebuild from
+                // the journal alone unless the daemon drained.
+                "--checkpoint-interval",
+                "100000",
+                "--no-admission",
+                "--state-dir",
+            ])
+            .arg(state_dir)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn adamove_serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut restored = None;
+        let addr = loop {
+            let mut line = String::new();
+            if stdout.read_line(&mut line).expect("daemon stdout") == 0 {
+                panic!("daemon exited before listening");
+            }
+            if let Some(rest) = line.split("restored ").nth(1) {
+                restored = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|n| n.parse::<u64>().ok());
+            }
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                let addr = rest.split_whitespace().next().expect("addr token");
+                break addr.parse().expect("listening addr");
+            }
+        };
+        Daemon {
+            child,
+            stdout,
+            addr,
+            restored,
+        }
+    }
+
+    /// kill -9: no drain, no checkpoint, no goodbye.
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL daemon");
+        let _ = self.child.wait();
+    }
+
+    /// Graceful drain via the stdin channel; waits for a clean exit and
+    /// returns the drain confirmation line.
+    fn drain(mut self) -> String {
+        let mut stdin = self.child.stdin.take().expect("child stdin");
+        stdin.write_all(b"drain\n").expect("write drain");
+        stdin.flush().expect("flush drain");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let status = loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                break status;
+            }
+            assert!(Instant::now() < deadline, "daemon did not drain in time");
+            // lint:allow(sleep-in-test): bounded backoff inside a deadline poll for the child's exit
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(status.success(), "drained daemon exited with {status}");
+        let mut out = String::new();
+        let mut line = String::new();
+        while self.stdout.read_line(&mut line).unwrap_or(0) > 0 {
+            out.push_str(&line);
+            line.clear();
+        }
+        out
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "adamove-restart-drill-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn observe_steps(client: &mut Client, steps: std::ops::Range<i64>) {
+    for step in steps {
+        for u in 0..USERS {
+            client
+                .observe(u, (u + step as u32) % LOCATIONS, step * 3600)
+                .expect("observe");
+        }
+    }
+}
+
+/// Full prediction state per user, scores included — the wire-level
+/// fingerprint two runs must agree on bit for bit.
+fn fingerprint(client: &mut Client) -> Vec<(Quality, u32, u32, Vec<f32>)> {
+    (0..USERS)
+        .map(|u| {
+            let p = client
+                .predict(u, STEPS * 3600, true)
+                .expect("predict")
+                .expect("live window");
+            (p.quality, p.top, p.window_len, p.scores)
+        })
+        .collect()
+}
+
+#[test]
+fn sigkill_restart_is_bit_identical_to_the_golden_run() {
+    // Golden: same binary, same seed, never interrupted.
+    let golden_dir = temp_dir("golden");
+    let golden = Daemon::start(&golden_dir);
+    let mut client = Client::connect(golden.addr).expect("connect golden");
+    observe_steps(&mut client, 0..STEPS);
+    let expected = fingerprint(&mut client);
+    drop(client);
+    golden.sigkill();
+
+    // Crash run: half the load, kill -9, restart from the state dir,
+    // the other half.
+    let crash_dir = temp_dir("crash");
+    let first = Daemon::start(&crash_dir);
+    assert_eq!(first.restored, Some(0), "fresh state dir replays nothing");
+    let mut client = Client::connect(first.addr).expect("connect");
+    observe_steps(&mut client, 0..CRASH_AT);
+    drop(client);
+    first.sigkill();
+
+    let second = Daemon::start(&crash_dir);
+    assert_eq!(
+        second.restored,
+        Some((CRASH_AT as u64) * USERS as u64),
+        "every pre-crash observe must be replayed"
+    );
+    let mut client = Client::connect(second.addr).expect("reconnect");
+    observe_steps(&mut client, CRASH_AT..STEPS);
+    let actual = fingerprint(&mut client);
+    assert_eq!(actual, expected, "post-restart replies differ from golden");
+
+    // The registry agrees with the printed replay count.
+    let snapshot = client.snapshot().expect("snapshot");
+    assert!(
+        snapshot.contains("\"engine_replayed_observes_total\": 96")
+            || snapshot.contains("\"engine_replayed_observes_total\":96"),
+        "snapshot should carry the replay counter: {snapshot}"
+    );
+    drop(client);
+    second.sigkill();
+    let _ = std::fs::remove_dir_all(golden_dir);
+    let _ = std::fs::remove_dir_all(crash_dir);
+}
+
+#[test]
+fn graceful_drain_then_restart_replays_nothing() {
+    let golden_dir = temp_dir("drain-golden");
+    let golden = Daemon::start(&golden_dir);
+    let mut client = Client::connect(golden.addr).expect("connect golden");
+    observe_steps(&mut client, 0..STEPS);
+    let expected = fingerprint(&mut client);
+    drop(client);
+    golden.sigkill();
+
+    let dir = temp_dir("drain");
+    let first = Daemon::start(&dir);
+    let mut client = Client::connect(first.addr).expect("connect");
+    observe_steps(&mut client, 0..STEPS);
+    drop(client);
+    let tail = first.drain();
+    assert!(
+        tail.contains("drained") && tail.contains("checkpointed 2 shard(s)"),
+        "drain confirmation missing from: {tail}"
+    );
+
+    let second = Daemon::start(&dir);
+    assert_eq!(
+        second.restored,
+        Some(0),
+        "a drained daemon restores from checkpoints alone"
+    );
+    let mut client = Client::connect(second.addr).expect("reconnect");
+    let actual = fingerprint(&mut client);
+    assert_eq!(actual, expected, "post-drain replies differ from golden");
+    drop(client);
+    second.sigkill();
+    let _ = std::fs::remove_dir_all(golden_dir);
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,226 @@
+//! Deterministic disk-fault injection for the durability layer.
+//!
+//! [`FaultFs`] wraps the production [`RealFs`] behind the same
+//! [`Fs`]/[`FsFile`] seam [`DurableStore`](adamove::DurableStore) writes
+//! through, and injects faults at **op indices**: the Nth append (across
+//! every file the store opens) can tear mid-record, flip a bit, or fail
+//! with ENOSPC; the Nth read can come back short. Indices are plain
+//! counters, so a fault plan replays bit-identically run after run —
+//! every corruption mode in the chaos suite has a pinned typed outcome
+//! instead of a flaky race against real disk failures.
+//!
+//! Plans are either explicit ([`FaultFs::fault_append`] /
+//! [`FaultFs::fault_read`]) for pinned-outcome tests, or derived from a
+//! seed ([`FaultFs::seeded`]) for corpus-style sweeps where the assertion
+//! is "typed errors and quarantines, never a panic".
+
+use adamove::{Fs, FsFile, RealFs};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One injected disk fault, consumed by the op it is registered against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The append keeps only the first `keep` bytes on disk, then errors
+    /// — the on-disk image is exactly what a power cut mid-write leaves.
+    TornWrite {
+        /// Bytes that reach the file before the "crash".
+        keep: usize,
+    },
+    /// The append (or read) silently flips bit `bit` (mod payload bits)
+    /// and reports success — corruption only the CRC can catch.
+    BitFlip {
+        /// Which bit to flip, wrapped to the buffer length.
+        bit: usize,
+    },
+    /// The read returns only the first `keep` bytes of the file.
+    ShortRead {
+        /// Bytes returned; the rest of the file is invisible.
+        keep: usize,
+    },
+    /// The append fails up front with an ENOSPC-style error; no bytes
+    /// reach the file.
+    Enospc,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    appends: AtomicU64,
+    reads: AtomicU64,
+    on_append: Mutex<HashMap<u64, DiskFault>>,
+    on_read: Mutex<HashMap<u64, DiskFault>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fault-injecting [`Fs`] for [`DurabilityConfig::fs`](adamove::DurabilityConfig).
+///
+/// Clone-cheap (shared state behind an `Arc`): keep one handle in the
+/// test for registration/inspection and hand a clone to the store.
+#[derive(Debug, Clone, Default)]
+pub struct FaultFs {
+    inner: RealFs,
+    state: Arc<State>,
+}
+
+impl FaultFs {
+    /// A transparent pass-through until faults are registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Derive a fault plan from `seed`: roughly one op in `period` is
+    /// faulted (kind and parameters drawn from the seed) over the first
+    /// `horizon` appends and reads. Same seed, same plan — a failing
+    /// sweep reproduces from its seed alone.
+    pub fn seeded(seed: u64, horizon: u64, period: u64) -> Self {
+        let fs = Self::new();
+        let period = period.max(1);
+        let mut s = seed | 1;
+        let mut next = move || {
+            // SplitMix64: cheap, deterministic, and independent of the
+            // workspace's (stubbed-in-offline-dev) `rand` crate.
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for idx in 0..horizon {
+            let r = next();
+            if r % period != 0 {
+                continue;
+            }
+            match (r >> 8) % 4 {
+                0 => fs.fault_append(
+                    idx,
+                    DiskFault::TornWrite {
+                        keep: (r >> 16) as usize % 32,
+                    },
+                ),
+                1 => fs.fault_append(
+                    idx,
+                    DiskFault::BitFlip {
+                        bit: (r >> 16) as usize,
+                    },
+                ),
+                2 => fs.fault_append(idx, DiskFault::Enospc),
+                _ => fs.fault_read(
+                    idx,
+                    DiskFault::ShortRead {
+                        keep: (r >> 16) as usize % 64,
+                    },
+                ),
+            }
+        }
+        fs
+    }
+
+    /// Inject `fault` at append index `idx` (0-based, counted across all
+    /// files). One-shot: consumed when hit.
+    pub fn fault_append(&self, idx: u64, fault: DiskFault) {
+        lock(&self.state.on_append).insert(idx, fault);
+    }
+
+    /// Inject `fault` at read index `idx` (0-based, counted across all
+    /// files). One-shot: consumed when hit.
+    pub fn fault_read(&self, idx: u64, fault: DiskFault) {
+        lock(&self.state.on_read).insert(idx, fault);
+    }
+
+    /// Appends observed so far (fault indices are relative to this).
+    pub fn appends(&self) -> u64 {
+        self.state.appends.load(Ordering::SeqCst)
+    }
+
+    /// Reads observed so far (fault indices are relative to this).
+    pub fn reads(&self) -> u64 {
+        self.state.reads.load(Ordering::SeqCst)
+    }
+}
+
+struct FaultFile {
+    inner: Box<dyn FsFile>,
+    state: Arc<State>,
+}
+
+impl FsFile for FaultFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let idx = self.state.appends.fetch_add(1, Ordering::SeqCst);
+        match lock(&self.state.on_append).remove(&idx) {
+            None | Some(DiskFault::ShortRead { .. }) => self.inner.append(buf),
+            Some(DiskFault::Enospc) => {
+                Err(io::Error::other("injected ENOSPC: no space left on device"))
+            }
+            Some(DiskFault::TornWrite { keep }) => {
+                let keep = keep.min(buf.len());
+                self.inner.append(&buf[..keep])?;
+                let _ = self.inner.sync();
+                Err(io::Error::other(
+                    "injected torn write: power cut mid-append",
+                ))
+            }
+            Some(DiskFault::BitFlip { bit }) => {
+                let mut corrupt = buf.to_vec();
+                flip(&mut corrupt, bit);
+                self.inner.append(&corrupt)
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+fn flip(bytes: &mut [u8], bit: usize) {
+    if !bytes.is_empty() {
+        let b = bit % (bytes.len() * 8);
+        bytes[b / 8] ^= 1 << (b % 8);
+    }
+}
+
+impl Fs for FaultFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn FsFile>> {
+        Ok(Box::new(FaultFile {
+            inner: self.inner.create(path)?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let idx = self.state.reads.fetch_add(1, Ordering::SeqCst);
+        let mut out = self.inner.read(path)?;
+        match lock(&self.state.on_read).remove(&idx) {
+            Some(DiskFault::ShortRead { keep }) => out.truncate(keep),
+            Some(DiskFault::BitFlip { bit }) => flip(&mut out, bit),
+            _ => {}
+        }
+        Ok(out)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.inner.sync_dir(path)
+    }
+}

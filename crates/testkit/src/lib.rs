@@ -22,6 +22,10 @@
 //!   [`FaultPlan`] plugged into the engine's [`Disturbance`](adamove::Disturbance)
 //!   seam (worker panics, delayed replies, dropped observes), with suites
 //!   asserting graceful degradation and typed errors, never hangs;
+//! - [`faultfs`] — **disk-fault chaos**: a deterministic [`FaultFs`]
+//!   behind the durability layer's [`Fs`](adamove::Fs) seam, injecting
+//!   torn writes, bit flips, short reads and ENOSPC at seeded op
+//!   indices so every corruption mode has a pinned typed outcome;
 //! - [`reinit`] — backend-independent weight re-initialization, so model
 //!   parameters (normally drawn from the pluggable external `rand`) become
 //!   a pure function of a seed;
@@ -34,12 +38,14 @@
 //! `cargo test -p adamove-testkit -- --ignored regen` (see `golden`).
 
 pub mod fault;
+pub mod faultfs;
 pub mod golden;
 pub mod json;
 pub mod oracle;
 pub mod reinit;
 
 pub use fault::FaultPlan;
+pub use faultfs::{DiskFault, FaultFs};
 pub use golden::{
     compare_against_golden, golden_path, run_golden_pipeline, GoldenRecord, GOLDEN_CITIES,
     METRIC_TOLERANCE,

@@ -1,0 +1,227 @@
+//! Cold-start restore acceptance: an engine rebuilt from its
+//! `--state-dir` must be **bit-identical** to one that never went down.
+//! Three paths: pure journal replay (crash before any checkpoint),
+//! checkpoint + journal suffix (crash mid-stream), and graceful drain
+//! (`checkpoint_all`, after which restart replays nothing).
+
+use adamove::{
+    AdaMoveConfig, DurabilityConfig, EngineConfig, LightMob, PredictionQuality, PttaConfig,
+    RecoveryConfig, ShardedEngine, SyncPolicy,
+};
+use adamove_autograd::ParamStore;
+use adamove_mobility::{Point, Timestamp, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const LOCATIONS: u32 = 8;
+const USERS: u32 = 12;
+const SHARDS: usize = 3;
+
+fn model() -> (Arc<ParamStore>, Arc<LightMob>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let model = LightMob::new(
+        &mut store,
+        AdaMoveConfig::tiny(),
+        LOCATIONS,
+        USERS,
+        &mut rng,
+    );
+    (Arc::new(store), Arc::new(model))
+}
+
+fn pt(loc: u32, hour: i64) -> Point {
+    Point::new(loc, Timestamp::from_hours(hour))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adamove-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(checkpoint_interval: usize, dir: Option<&PathBuf>) -> EngineConfig {
+    EngineConfig {
+        shards: SHARDS,
+        context_sessions: 2,
+        session_hours: 24,
+        ptta: PttaConfig::default(),
+        recovery: Some(RecoveryConfig {
+            checkpoint_interval,
+            durability: dir.map(|d| DurabilityConfig {
+                sync: SyncPolicy::PerRecord,
+                ..DurabilityConfig::new(d.clone())
+            }),
+            ..RecoveryConfig::default()
+        }),
+        ..EngineConfig::default()
+    }
+}
+
+fn drive(engine: &ShardedEngine, steps: std::ops::Range<i64>) {
+    for step in steps {
+        for u in 0..USERS {
+            engine.observe(UserId(u), pt((u + step as u32) % LOCATIONS, step));
+        }
+    }
+}
+
+fn counter(engine: &ShardedEngine, name: &str) -> u64 {
+    engine
+        .registry()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Every prediction (scores, top, window length, quality) must match the
+/// golden engine bit for bit.
+fn assert_bit_identical(restored: &ShardedEngine, golden: &ShardedEngine, now: Timestamp) {
+    for u in 0..USERS {
+        let reference = golden.predict(UserId(u), now).expect("golden window");
+        let replayed = restored.predict(UserId(u), now).expect("restored window");
+        assert_eq!(replayed.scores, reference.scores, "user {u}");
+        assert_eq!(replayed.top, reference.top, "user {u}");
+        assert_eq!(replayed.window_len, reference.window_len, "user {u}");
+        assert_eq!(replayed.quality, PredictionQuality::Adapted, "user {u}");
+    }
+}
+
+/// Crash with no checkpoint ever written: the whole stream comes back
+/// from journal replay alone.
+#[test]
+fn crash_restart_replays_the_journal_bit_identically() {
+    let dir = temp_dir("journal-only");
+    let (store, m) = model();
+    let golden = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(10_000, None));
+    drive(&golden, 0..16);
+
+    // "Crash": the engine goes down without checkpoint_all — disk holds
+    // only what the per-observe appends wrote. checkpoint_interval is
+    // high enough that no durable checkpoint exists at all.
+    {
+        let crashed = ShardedEngine::new(
+            Arc::clone(&m),
+            Arc::clone(&store),
+            config(10_000, Some(&dir)),
+        );
+        drive(&crashed, 0..16);
+        crashed.shutdown();
+    }
+
+    let restored = ShardedEngine::new(
+        Arc::clone(&m),
+        Arc::clone(&store),
+        config(10_000, Some(&dir)),
+    );
+    restored.flush();
+    assert_eq!(
+        counter(&restored, "engine_replayed_observes_total"),
+        16 * USERS as u64,
+        "every observe must come back through replay"
+    );
+    assert_bit_identical(&restored, &golden, Timestamp::from_hours(17));
+    let snap = restored.snapshot();
+    assert!(snap.shards.iter().all(|s| s.alive && !s.degraded));
+    restored.shutdown();
+    golden.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Crash mid-stream with periodic durable checkpoints: restore loads the
+/// newest checkpoint and replays only the suffix.
+#[test]
+fn crash_restart_restores_checkpoint_plus_suffix() {
+    let dir = temp_dir("ckpt-suffix");
+    let (store, m) = model();
+    let golden = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(7, None));
+    drive(&golden, 0..16);
+
+    {
+        let crashed = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(7, Some(&dir)));
+        drive(&crashed, 0..16);
+        crashed.shutdown();
+    }
+
+    let restored = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(7, Some(&dir)));
+    restored.flush();
+    let replayed = counter(&restored, "engine_replayed_observes_total");
+    assert!(
+        replayed > 0 && replayed < 16 * USERS as u64,
+        "checkpoints must shorten replay (got {replayed})"
+    );
+    assert_bit_identical(&restored, &golden, Timestamp::from_hours(17));
+    restored.shutdown();
+    golden.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Graceful drain: `checkpoint_all` makes every shard durable, so the
+/// restart replays zero records and still matches the golden run.
+#[test]
+fn graceful_drain_restart_replays_nothing() {
+    let dir = temp_dir("drain");
+    let (store, m) = model();
+    let golden = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(10_000, None));
+    drive(&golden, 0..16);
+
+    {
+        let drained = ShardedEngine::new(
+            Arc::clone(&m),
+            Arc::clone(&store),
+            config(10_000, Some(&dir)),
+        );
+        drive(&drained, 0..16);
+        assert_eq!(drained.checkpoint_all(), SHARDS);
+        drained.shutdown();
+    }
+
+    let restored = ShardedEngine::new(
+        Arc::clone(&m),
+        Arc::clone(&store),
+        config(10_000, Some(&dir)),
+    );
+    restored.flush();
+    assert_eq!(
+        counter(&restored, "engine_replayed_observes_total"),
+        0,
+        "a drained engine restores from checkpoints alone"
+    );
+    assert_bit_identical(&restored, &golden, Timestamp::from_hours(17));
+    restored.shutdown();
+    golden.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Restart-of-a-restart: durability survives its own recovery path (the
+/// restored engine keeps appending and can itself be restored).
+#[test]
+fn second_generation_restart_still_matches() {
+    let dir = temp_dir("gen2");
+    let (store, m) = model();
+    let golden = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(6, None));
+    drive(&golden, 0..8);
+    drive(&golden, 8..16);
+
+    {
+        let gen0 = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(6, Some(&dir)));
+        drive(&gen0, 0..8);
+        gen0.shutdown();
+    }
+    {
+        let gen1 = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(6, Some(&dir)));
+        gen1.flush();
+        drive(&gen1, 8..16);
+        gen1.shutdown();
+    }
+    let gen2 = ShardedEngine::new(Arc::clone(&m), Arc::clone(&store), config(6, Some(&dir)));
+    gen2.flush();
+    assert_bit_identical(&gen2, &golden, Timestamp::from_hours(17));
+    gen2.shutdown();
+    golden.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}

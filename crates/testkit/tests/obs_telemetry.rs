@@ -254,3 +254,68 @@ fn export_of_loaded_engine_parses_with_required_keys() {
     assert_eq!(report.observed, 16);
     assert_eq!(report.predictions, 8);
 }
+
+/// The first lost-durability moment is a flight-recorder event, not just
+/// a counter: when a shard's journal wraps past the last checkpoint, the
+/// `engine_journal_overflow` gauge transitions 0→1 exactly once and the
+/// tracer emits one `journal_overflow` anomaly the recorder captures —
+/// repeat overflows while already lossy stay silent.
+#[test]
+fn journal_overflow_transition_lands_in_the_flight_recorder_once() {
+    use adamove::RecoveryConfig;
+    use adamove_obs::{AnomalyKind, FlightRecorder, Registry, Tracer};
+
+    let (store, model) = model();
+    let recorder = Arc::new(FlightRecorder::new(16));
+    // checkpoint_interval 0: nothing ever prunes the journal, so a tiny
+    // capacity provably overflows partway through the stream.
+    let engine = ShardedEngine::with_observability(
+        model,
+        store,
+        EngineConfig {
+            shards: 2,
+            context_sessions: 2,
+            session_hours: 24,
+            ptta: PttaConfig::default(),
+            recovery: Some(RecoveryConfig {
+                checkpoint_interval: 0,
+                journal_capacity: 4,
+                ..RecoveryConfig::default()
+            }),
+            ..EngineConfig::default()
+        },
+        None,
+        Arc::new(Registry::new()),
+        Tracer::with_sink(Arc::clone(&recorder) as _),
+    );
+    let user = user_on_shard(&engine, 0);
+    // 12 observes on one shard against capacity 4: overflowing from the
+    // 5th observe onward, i.e. many lossy appends but ONE transition.
+    for step in 0..12i64 {
+        engine.observe(user, pt(step as u32 % LOCATIONS, step));
+    }
+    engine.flush();
+
+    let json = to_flat_json(&engine.registry().snapshot());
+    let fields = parse_flat(&json).expect("export parses");
+    let shard = engine.shard_of(user);
+    let gauge = fields
+        .get(&format!("engine_journal_overflow{{shard=\"{shard}\"}}"))
+        .expect("overflow gauge registered")
+        .as_num("gauge")
+        .unwrap();
+    assert_eq!(gauge, 1.0, "gauge latches at 1 while replay is lossy");
+
+    let overflows: Vec<_> = recorder
+        .dump()
+        .into_iter()
+        .filter(|r| r.kind == AnomalyKind::JournalOverflow)
+        .collect();
+    assert_eq!(
+        overflows.len(),
+        1,
+        "exactly one transition event despite repeated lossy appends"
+    );
+    assert_eq!(overflows[0].shard, shard as u64);
+    engine.shutdown();
+}

@@ -72,6 +72,7 @@ fn journal_replay_is_bit_identical_to_the_no_fault_run() {
         retry: RetryPolicy::default(),
         breaker: None,
         supervise_interval: None,
+        durability: None,
     };
     const SHARDS: usize = 3;
     let victim = shard_of(UserId(0), SHARDS);

@@ -84,6 +84,7 @@ fn shard_death_mid_connection_is_invisible_to_the_client() {
         retry: RetryPolicy::default(),
         breaker: None,
         supervise_interval: None,
+        durability: None,
     };
     let victim = shard_of(UserId(0), SHARDS);
 

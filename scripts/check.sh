@@ -26,6 +26,12 @@ cargo test -q -p adamove-testkit --test batched_equivalence
 # snapshot → flat-JSON export → parse → required keys present.
 cargo test -q -p adamove-obs
 cargo test -q -p adamove-testkit --test obs_telemetry
+# Restart drill: SIGKILL the real adamove_serve binary mid-load, restart
+# it from --state-dir, and require bit-identical replies versus a
+# never-crashed golden run (plus the graceful-drain / zero-replay path).
+# Runs in the workspace pass too; named here so a durability regression
+# is unmistakable in CI logs.
+cargo test -q -p adamove-serve --test restart_drill
 # Golden drift: the comparison tests fail on numerical drift; this guard
 # additionally catches a regenerated-but-uncommitted baseline (new,
 # not-yet-tracked baselines are fine mid-PR).

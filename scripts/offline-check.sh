@@ -44,6 +44,10 @@ if [ "${1:-}" = "full" ]; then
     # engine under load → snapshot → flat-JSON export → parse → keys.
     "$self" test -q -p adamove-obs
     "$self" test -q -p adamove-testkit --test obs_telemetry
+    # Restart drill: SIGKILL the real daemon mid-load, restart from
+    # --state-dir, require bit-identical replies versus a never-crashed
+    # golden run (see check.sh).
+    "$self" test -q -p adamove-serve --test restart_drill
     # Golden drift: regenerated-but-uncommitted changes to checked-in
     # baselines (new, not-yet-tracked baselines are fine mid-PR).
     if ! git diff --quiet HEAD -- crates/testkit/tests/golden 2>/dev/null; then
