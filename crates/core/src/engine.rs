@@ -109,8 +109,9 @@ use adamove_obs::{
     TraceContext, Tracer,
 };
 use adamove_tensor::det::mix64;
+use adamove_verify::sync::{AtomicBool, AtomicU64, Mutex as SlotMutex};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -545,7 +546,7 @@ struct ShardLink {
 /// appends happen under it, so journal-id order equals queue order. `seq`
 /// and `degraded` are shared across worker incarnations.
 struct ShardSlot {
-    link: Mutex<Option<ShardLink>>,
+    link: SlotMutex<Option<ShardLink>>,
     seq: Arc<AtomicU64>,
     degraded: Arc<AtomicBool>,
 }
@@ -859,6 +860,8 @@ fn run_worker(ctx: WorkerContext, rx: mpsc::Receiver<Request>, restore: Option<R
                 rec.checkpoints_taken.inc();
                 // A fresh checkpoint covers the live state, so future
                 // recoveries are exact again.
+                // ordering: advisory health flag — readers only sample it
+                // for reporting; no data is guarded by it.
                 degraded.store(false, Ordering::Relaxed);
                 obs.journal_overflow.set(0.0);
                 event!(
@@ -962,13 +965,16 @@ impl EngineInner {
     /// shutting down, or when the shard is alive (or its slot was already
     /// emptied by shutdown).
     fn heal_shard(&self, shard: usize) -> bool {
+        // ordering: pairs with the Release store in shutdown_timeout();
+        // a true read also sees every write made before shutdown began,
+        // so healing never resurrects a worker into torn-down state.
         if self.stopping.load(Ordering::Acquire) {
             return false;
         }
         let Some(recovery) = &self.recovery else {
             return false;
         };
-        let mut guard = lock(&self.slots[shard].link);
+        let mut guard = self.slots[shard].link.lock();
         let dead = guard.as_ref().is_some_and(|l| l.handle.is_finished());
         if !dead {
             return false;
@@ -1004,7 +1010,7 @@ impl EngineInner {
         };
         self.slots[shard]
             .degraded
-            .store(degraded, Ordering::Relaxed);
+            .store(degraded, Ordering::Relaxed); // ordering: advisory health flag; readers only sample it
         if degraded {
             recovery.degraded_recoveries.inc();
         }
@@ -1038,6 +1044,8 @@ fn supervise(inner: Weak<EngineInner>, interval: Duration) {
             let Some(engine) = inner.upgrade() else {
                 return;
             };
+            // ordering: pairs with the Release store in
+            // shutdown_timeout(); see heal_shard.
             if engine.stopping.load(Ordering::Acquire) {
                 return;
             }
@@ -1182,7 +1190,7 @@ impl ShardedEngine {
         let (stats_tx, stats_rx) = mpsc::channel::<(usize, usize)>();
         let slots: Vec<ShardSlot> = (0..shards)
             .map(|s| ShardSlot {
-                link: Mutex::new(None),
+                link: SlotMutex::new(None),
                 seq: Arc::new(AtomicU64::new(0)),
                 degraded: Arc::new(AtomicBool::new(degraded_init[s])),
             })
@@ -1215,7 +1223,7 @@ impl ShardedEngine {
                 .spawn_link(shard, plan)
                 // lint:allow(panic-path): stats_tx is Some until shutdown(), which cannot run mid-construction
                 .expect("stats sender is live during construction");
-            *lock(&inner.slots[shard].link) = Some(link);
+            *inner.slots[shard].link.lock() = Some(link);
         }
         let supervisor = supervise_interval.map(|interval| {
             let weak = Arc::downgrade(&inner);
@@ -1261,7 +1269,9 @@ impl ShardedEngine {
                 queue_depth: obs.queue_depth.get().max(0.0) as usize,
                 users: obs.users.get() as usize,
                 predict_latency: obs.predict_latency.snapshot(),
-                alive: lock(&inner.slots[i].link)
+                alive: inner.slots[i]
+                    .link
+                    .lock()
                     .as_ref()
                     .is_some_and(|l| !l.handle.is_finished()),
                 degraded: inner.slots[i].degraded.load(Ordering::Relaxed),
@@ -1284,6 +1294,33 @@ impl ShardedEngine {
             degraded_predictions,
             elapsed: inner.started.elapsed(),
         }
+    }
+
+    /// Deterministically retire one shard: take its link, drop the
+    /// request sender, and join the worker. Dropping the sender first
+    /// ends a healthy worker's recv loop (it drains its queue, then
+    /// exits), so the join can never deadlock on a still-serving
+    /// worker; on a shard whose worker already died this is the
+    /// race-free way to await the corpse instead of polling
+    /// [`ShardedEngine::snapshot`] for `alive` to flip.
+    ///
+    /// Returns `None` when the slot was already empty (the shard died
+    /// and was never respawned, or was already retired); otherwise
+    /// `Some(true)` when the worker had panicked and `Some(false)` for
+    /// a clean exit. The slot is left empty: the shard stops serving
+    /// (callers see [`EngineError::ShardDown`]), `snapshot()` reports
+    /// it not alive, and `shutdown*` counts it in
+    /// [`EngineReport::failed_shards`] — retirement is a deliberate
+    /// decommission, not a heal.
+    pub fn retire_shard(&self, shard: usize) -> Option<bool> {
+        let slot = self.inner.slots.get(shard)?;
+        // Take the link under the slot lock, join outside it so a
+        // draining worker never stalls concurrent senders to other
+        // shards (or a racing heal, which sees an empty slot and
+        // no-ops).
+        let ShardLink { sender, handle } = slot.link.lock().take()?;
+        drop(sender);
+        Some(handle.join().is_err())
     }
 
     /// Number of worker shards.
@@ -1342,6 +1379,8 @@ impl ShardedEngine {
     /// before surfacing the error.
     fn backoff_and_heal(&self, shard: usize, attempt: u32) -> bool {
         let inner = &self.inner;
+        // ordering: pairs with the Release store in shutdown_timeout();
+        // see heal_shard.
         if inner.stopping.load(Ordering::Acquire) {
             return false;
         }
@@ -1367,7 +1406,7 @@ impl ShardedEngine {
     /// without duplication.
     fn observe_once(&self, shard: usize, user: UserId, point: Point) -> Result<(), EngineError> {
         let inner = &self.inner;
-        let guard = lock(&inner.slots[shard].link);
+        let guard = inner.slots[shard].link.lock();
         let Some(link) = guard.as_ref() else {
             inner.shard_down_errors.inc();
             return Err(EngineError::ShardDown { shard });
@@ -1436,7 +1475,7 @@ impl ShardedEngine {
         ctx: Option<TraceContext>,
     ) -> Result<mpsc::Receiver<(Option<StreamPrediction>, EngineStages)>, EngineError> {
         let inner = &self.inner;
-        let guard = lock(&inner.slots[shard].link);
+        let guard = inner.slots[shard].link.lock();
         let Some(link) = guard.as_ref() else {
             inner.shard_down_errors.inc();
             return Err(EngineError::ShardDown { shard });
@@ -1660,7 +1699,7 @@ impl ShardedEngine {
             .iter()
             .zip(&inner.shard_obs)
             .filter_map(|(slot, obs)| {
-                let guard = lock(&slot.link);
+                let guard = slot.link.lock();
                 let link = guard.as_ref()?;
                 let (done, rx) = mpsc::channel();
                 obs.queue_depth.inc();
@@ -1693,7 +1732,7 @@ impl ShardedEngine {
             .iter()
             .zip(&inner.shard_obs)
             .filter_map(|(slot, obs)| {
-                let guard = lock(&slot.link);
+                let guard = slot.link.lock();
                 let link = guard.as_ref()?;
                 let (done, rx) = mpsc::channel();
                 obs.queue_depth.inc();
@@ -1744,6 +1783,9 @@ impl ShardedEngine {
     /// detached; they exit on their own once they finish draining).
     pub fn shutdown_timeout(mut self, timeout: Duration) -> Result<EngineReport, ShutdownError> {
         let inner = Arc::clone(&self.inner);
+        // ordering: publishes shutdown intent; the Acquire loads in
+        // heal_shard, the supervisor tick, and backoff_and_heal see
+        // every write sequenced before this store once they observe it.
         inner.stopping.store(true, Ordering::Release);
         if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
@@ -1757,7 +1799,7 @@ impl ShardedEngine {
         // respawned (its corpse was already joined by `heal_shard`).
         let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(shards);
         for slot in &inner.slots {
-            match lock(&slot.link).take() {
+            match slot.link.lock().take() {
                 Some(ShardLink { sender, handle }) => {
                     drop(sender);
                     handles.push(Some(handle));
@@ -2095,6 +2137,52 @@ mod tests {
             .expect("healthy engine must drain in time");
         assert!(report.healthy());
         assert_eq!(report.observed, 2);
+    }
+
+    #[test]
+    fn retire_shard_joins_the_worker_and_decommissions_the_slot() {
+        let (store, m) = model(4, 2);
+        let engine = ShardedEngine::new(
+            m,
+            store,
+            EngineConfig {
+                shards: 2,
+                context_sessions: 2,
+                session_hours: 24,
+                ptta: PttaConfig::default(),
+                ..EngineConfig::default()
+            },
+        );
+        let on_shard = |s: usize| {
+            (0..8)
+                .map(UserId)
+                .find(|u| engine.shard_of(*u) == s)
+                .expect("8 users cover 2 shards")
+        };
+        let (u0, u1) = (on_shard(0), on_shard(1));
+        engine.observe(u0, pt(1, 0));
+        engine.observe(u1, pt(2, 0));
+
+        // A healthy worker drains its queue and exits cleanly.
+        assert_eq!(engine.retire_shard(0), Some(false));
+        // The slot is empty now: not alive, no longer serving, and a
+        // second retire finds nothing to join.
+        assert!(!engine.snapshot().shards[0].alive);
+        assert!(matches!(
+            engine.try_observe(u0, pt(3, 1)),
+            Err(EngineError::ShardDown { shard: 0 })
+        ));
+        assert_eq!(engine.retire_shard(0), None);
+        assert_eq!(engine.retire_shard(99), None);
+
+        // The other shard is untouched, and shutdown reports the
+        // retired shard as failed (deliberate decommission).
+        assert!(engine.try_observe(u1, pt(3, 1)).is_ok());
+        let report = engine
+            .shutdown_timeout(Duration::from_secs(10))
+            .expect("drains in time");
+        assert_eq!(report.failed_shards, vec![0]);
+        assert_eq!(report.observed, 3, "shard 0's pre-retire work is kept");
     }
 
     #[test]

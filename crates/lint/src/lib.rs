@@ -15,6 +15,8 @@
 //! | `print` | library code | no `println!` / `eprintln!` — output goes through the Tracer/sink seam |
 //! | `sleep-in-test` | test code | no `thread::sleep` — poll deadlines instead of breeding flakes |
 //! | `unsorted-export` | export/golden paths | no `HashMap`/`HashSet` where iteration order reaches golden files |
+//! | `lock-order` | engine/recovery/durability/registry/span | lock acquisition orders form one acyclic global graph — no lock-inversion deadlocks |
+//! | `atomics-ordering` | library code | every non-`Relaxed` `Ordering::` use (and `Relaxed` stores to control cells) carries an `// ordering:` justification |
 //! | `tab`, `trailing-ws`, `file-length` | everywhere | hygiene |
 //!
 //! ## Suppressions
@@ -31,10 +33,12 @@
 //! `unused-suppression`. Doc comments and string literals never declare
 //! suppressions, so this paragraph does not suppress anything.
 
+pub mod locks;
 pub mod rules;
 pub mod scan;
 pub mod walk;
 
+pub use locks::{extract_lock_sequences, lock_order_violations, FnLocks, LOCK_ORDER_FILES};
 pub use rules::{check_file, FileClass, Violation, RULE_IDS};
 pub use scan::ScannedFile;
 pub use walk::{find_workspace_root, lint_workspace, LintReport};

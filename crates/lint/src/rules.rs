@@ -6,12 +6,16 @@
 //!
 //! - **library scope** (`entropy`, `instant-now`, `panic-path`,
 //!   `fs-unwrap`, `metric-name`, `print`, `trace-context`,
-//!   `unsorted-export`): non-test library code only — integration
-//!   tests, benches, examples, bin targets, and `#[cfg(test)]` regions
-//!   are exempt.
+//!   `unsorted-export`, `atomics-ordering`): non-test library code
+//!   only — integration tests, benches, examples, bin targets, and
+//!   `#[cfg(test)]` regions are exempt.
 //! - **test scope** (`sleep-in-test`): the exact inverse — fires only in
 //!   test code, where wall-clock sleeps breed flakes.
 //! - **everywhere** (`tab`, `trailing-ws`, `file-length`): hygiene.
+//! - **cross-file** (`lock-order`): lives in [`crate::locks`] — the
+//!   acquisition-order graph spans files, so the workspace driver runs
+//!   it globally and routes findings back through each file's
+//!   suppressions here.
 //!
 //! Two meta findings keep the suppression mechanism honest:
 //! `bad-suppression` (unknown rule or missing reason) and
@@ -44,9 +48,21 @@ pub const RULE_IDS: &[&str] = &[
     "sleep-in-test",
     "trace-context",
     "unsorted-export",
+    "lock-order",
+    "atomics-ordering",
     "tab",
     "trailing-ws",
     "file-length",
+];
+
+/// Non-`Relaxed` atomic orderings: each use is a claim about inter-
+/// thread visibility that the type system cannot check, so each must
+/// carry an `// ordering:` comment saying what it pairs with.
+const STRONG_ORDERINGS: &[&str] = &[
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
 ];
 
 /// Ambient-entropy patterns banned from deterministic library code.
@@ -188,8 +204,23 @@ fn path_allowed_instant(rel: &str) -> bool {
 /// The sanctioned poisoned-lock idiom `.unwrap_or_else(|p| p.into_inner())`
 /// never matches the `.unwrap()` pattern (the parenthesis pair is what
 /// makes the call panicking), so it needs no special case.
+///
+/// Standalone convenience over [`collect_raw`] + the file-local slice
+/// of the [`lock-order`](crate::locks) pass + [`apply_suppressions`];
+/// the workspace driver composes the same pieces itself so the
+/// lock-order graph can span files.
 pub fn check_file(rel: &str, content: &str) -> Vec<Violation> {
     let scanned = ScannedFile::scan(content);
+    let mut raw = collect_raw(rel, &scanned);
+    if crate::locks::LOCK_ORDER_FILES.contains(&rel) {
+        let fns = crate::locks::extract_lock_sequences(rel, &scanned);
+        raw.extend(crate::locks::lock_order_violations(&fns));
+    }
+    apply_suppressions(rel, &scanned, raw)
+}
+
+/// All per-file findings, before suppression filtering.
+pub(crate) fn collect_raw(rel: &str, scanned: &ScannedFile) -> Vec<Violation> {
     let class = FileClass::classify(rel);
     let mut raw: Vec<Violation> = Vec::new();
 
@@ -363,6 +394,49 @@ pub fn check_file(rel: &str, content: &str) -> Vec<Violation> {
                 "hash-ordered collection in an export/golden path; use BTreeMap/BTreeSet or sort before emitting".to_string(),
             );
         }
+
+        // -- atomics-ordering ------------------------------------------
+        // Every non-Relaxed ordering is a visibility claim: the code
+        // must say which store/load it pairs with and what becomes
+        // visible, in an `// ordering:` comment on the same line or in
+        // the contiguous comment block above. A Relaxed *store* to a
+        // cell another thread reads for control decisions is the one
+        // place Relaxed itself needs defending, so it carries the same
+        // obligation; Relaxed loads and RMWs (counters) are
+        // self-evidently order-free.
+        let trimmed_code = code.trim_start();
+        let is_use = trimmed_code.starts_with("use ") || trimmed_code.starts_with("pub use ");
+        if !is_use {
+            let block_justified = || {
+                scanned.lines[..idx]
+                    .iter()
+                    .rev()
+                    .take_while(|l| l.raw.trim_start().starts_with("//"))
+                    .any(|l| l.raw.trim_start().starts_with("// ordering:"))
+            };
+            let justified = line.raw.contains("// ordering:") || block_justified();
+            if let Some(strong) = STRONG_ORDERINGS.iter().find(|p| code.contains(**p)) {
+                if !justified {
+                    push(
+                        &mut raw,
+                        "atomics-ordering",
+                        format!(
+                            "`{strong}` without a justification; add `// ordering: <what \
+                             this synchronizes with>` on this line or the line above"
+                        ),
+                    );
+                }
+            } else if code.contains(".store(") && code.contains("Ordering::Relaxed") && !justified {
+                push(
+                    &mut raw,
+                    "atomics-ordering",
+                    "Relaxed store: if another thread reads this cell for a control \
+                     decision, say why Relaxed suffices with `// ordering: ...`; \
+                     otherwise say it is single-owner state"
+                        .to_string(),
+                );
+            }
+        }
     }
 
     // -- file-length (anchored to line 1 so a suppression there can
@@ -379,12 +453,16 @@ pub fn check_file(rel: &str, content: &str) -> Vec<Violation> {
         });
     }
 
-    apply_suppressions(rel, &scanned, raw)
+    raw
 }
 
 /// Filter findings through the file's suppressions, emitting
 /// `bad-suppression` / `unused-suppression` meta findings.
-fn apply_suppressions(rel: &str, scanned: &ScannedFile, raw: Vec<Violation>) -> Vec<Violation> {
+pub(crate) fn apply_suppressions(
+    rel: &str,
+    scanned: &ScannedFile,
+    raw: Vec<Violation>,
+) -> Vec<Violation> {
     let mut out: Vec<Violation> = Vec::new();
     let mut used = vec![false; scanned.suppressions.len()];
 

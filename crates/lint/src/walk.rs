@@ -3,7 +3,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{check_file, Violation};
+use crate::locks;
+use crate::rules::{apply_suppressions, collect_raw, Violation};
+use crate::scan::ScannedFile;
 
 /// Directories under the workspace root that contain lintable sources.
 const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
@@ -83,7 +85,12 @@ pub fn lint_workspace(root: &Path) -> LintReport {
         files.push(build_rs);
     }
 
+    // Pass 1: scan every file and collect its per-file raw findings,
+    // keeping the scans so suppressions can be applied after the
+    // cross-file lock-order pass has contributed its findings.
     let mut report = LintReport::default();
+    let mut scanned_files: Vec<(String, ScannedFile, Vec<Violation>)> = Vec::new();
+    let mut lock_fns: Vec<locks::FnLocks> = Vec::new();
     for path in files {
         let rel = match path.strip_prefix(root) {
             Ok(r) => r.to_string_lossy().replace('\\', "/"),
@@ -94,7 +101,27 @@ pub fn lint_workspace(root: &Path) -> LintReport {
             Err(_) => continue, // non-UTF-8 or unreadable: not lintable source
         };
         report.files += 1;
-        report.violations.extend(check_file(&rel, &content));
+        let scanned = ScannedFile::scan(&content);
+        let raw = collect_raw(&rel, &scanned);
+        if locks::LOCK_ORDER_FILES.contains(&rel.as_str()) {
+            lock_fns.extend(locks::extract_lock_sequences(&rel, &scanned));
+        }
+        scanned_files.push((rel, scanned, raw));
+    }
+
+    // Pass 2: fold every function's acquisition sequence into one
+    // graph; a cycle between files lands the finding in each owning
+    // file's raw set, where its suppressions apply as usual.
+    for v in locks::lock_order_violations(&lock_fns) {
+        if let Some((_, _, raw)) = scanned_files.iter_mut().find(|(rel, _, _)| *rel == v.file) {
+            raw.push(v);
+        }
+    }
+
+    for (rel, scanned, raw) in scanned_files {
+        report
+            .violations
+            .extend(apply_suppressions(&rel, &scanned, raw));
     }
     report
         .violations

@@ -1,0 +1,46 @@
+//! atomics-ordering fixture: strong orderings and Relaxed control
+//! stores must carry `// ordering:` justifications.
+use std::sync::atomic::Ordering;
+
+fn unjustified_acquire(&self) -> bool {
+    self.stopping.load(Ordering::Acquire)
+}
+
+fn justified_release(&self) {
+    self.stopping.store(true, Ordering::Release); // ordering: publishes queue writes to workers
+}
+
+fn justified_above(&self) -> u64 {
+    // ordering: pairs with the Release store in shutdown()
+    self.cursor.load(Ordering::Acquire)
+}
+
+fn unjustified_relaxed_store(&self) {
+    self.degraded.store(true, Ordering::Relaxed);
+}
+
+fn relaxed_loads_are_free(&self) -> u64 {
+    self.seq.fetch_add(1, Ordering::Relaxed) + self.seq.load(Ordering::Relaxed)
+}
+
+fn justified_relaxed_store(&self) {
+    self.counter.store(0, Ordering::Relaxed); // ordering: single-owner reset, readers only sample
+}
+
+fn suppressed_seqcst(&self) {
+    // lint:allow(atomics-ordering): fixture — migrating legacy code, tracked separately
+    self.legacy.store(1, Ordering::SeqCst);
+}
+
+// A doc comment mentioning Ordering::SeqCst never fires, and neither
+// does a string: "Ordering::AcqRel".
+fn mentions_only(&self) -> &str {
+    "uses Ordering::AcqRel in prose"
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_are_exempt() {
+        x.store(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,34 @@
+//! lock-order fixture: `take_both` nests alpha before beta, while
+//! `take_reversed` nests beta before alpha — a textbook inversion. The
+//! suppressed pair (gamma/delta) shows a documented benign cycle.
+
+fn take_both(&self) {
+    let a = lock(&self.alpha);
+    let b = self.slots[shard].beta.lock();
+    drop((a, b));
+}
+
+fn take_reversed(&self) {
+    let b = lock(&self.beta);
+    let a = self.alpha.try_lock();
+    drop((b, a));
+}
+
+fn documented_pair(&self) {
+    let g = lock(&self.gamma);
+    // lint:allow(lock-order): fixture — ordered by the shard token, invisible to the scanner
+    let d = lock(&self.delta);
+    drop((g, d));
+}
+
+fn documented_reversed(&self) {
+    let d = lock(&self.delta);
+    // lint:allow(lock-order): fixture — ordered by the shard token, invisible to the scanner
+    let g = lock(&self.gamma);
+    drop((d, g));
+}
+
+fn single_lock_is_fine(&self) {
+    let j = self.journals[shard].lock();
+    drop(j);
+}

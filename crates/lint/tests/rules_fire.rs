@@ -115,6 +115,68 @@ fn unsorted_export_fires_on_export_paths_only() {
 }
 
 #[test]
+fn lock_order_flags_inversions_and_honors_suppressions() {
+    let src = include_str!("fixtures/lock_order.rs");
+    // engine.rs participates in the lock-order graph; a single file
+    // holding both orders is a complete cycle.
+    let v = check_file("crates/core/src/engine.rs", src);
+    // Line 7: beta acquired while alpha held; line 13: the inversion.
+    // The gamma/delta pair is suppressed at both edge sites.
+    assert_eq!(fire_lines(&v, "lock-order"), vec![7, 13]);
+    assert!(
+        fire_lines(&v, "unused-suppression").is_empty(),
+        "both suppressions cover real cycle edges: {v:?}"
+    );
+    let msg = &v.iter().find(|f| f.rule == "lock-order").unwrap().message;
+    assert!(msg.contains("pick one global order"), "{msg}");
+    // Files outside the lock-order set never run the pass (their
+    // suppressions go unused, which is flagged as usual).
+    let elsewhere = check_file("crates/core/src/model.rs", src);
+    assert!(fire_lines(&elsewhere, "lock-order").is_empty());
+}
+
+#[test]
+fn lock_order_cycles_span_files() {
+    use adamove_lint::{extract_lock_sequences, lock_order_violations, ScannedFile};
+    let engine = "fn send(&self) {\n    let l = lock(&self.link);\n    \
+                  let j = self.journals[shard].lock();\n    drop((l, j));\n}\n";
+    let recovery = "fn replay(&self) {\n    let j = lock(&rec.journals[shard]);\n    \
+                    let l = self.slots[shard].link.lock();\n    drop((j, l));\n}\n";
+    let mut fns = extract_lock_sequences("crates/core/src/engine.rs", &ScannedFile::scan(engine));
+    fns.extend(extract_lock_sequences(
+        "crates/core/src/recovery.rs",
+        &ScannedFile::scan(recovery),
+    ));
+    let v = lock_order_violations(&fns);
+    assert_eq!(v.len(), 2, "one finding per edge of the cycle: {v:?}");
+    let files: Vec<&str> = v.iter().map(|x| x.file.as_str()).collect();
+    assert!(files.contains(&"crates/core/src/engine.rs"));
+    assert!(files.contains(&"crates/core/src/recovery.rs"));
+    // Each finding cites the counter-acquisition site in the other file.
+    let engine_finding = v.iter().find(|x| x.file.ends_with("engine.rs")).unwrap();
+    assert!(
+        engine_finding.message.contains("recovery.rs:3"),
+        "{}",
+        engine_finding.message
+    );
+}
+
+#[test]
+fn atomics_ordering_requires_justifications() {
+    let src = include_str!("fixtures/atomics_ordering.rs");
+    let v = check_file("crates/core/src/fixture.rs", src);
+    // Line 6: bare Acquire. Line 19: bare Relaxed store. Same-line and
+    // preceding-line `// ordering:` comments, Relaxed loads/RMWs, the
+    // suppressed SeqCst, comment/string mentions, and the cfg(test)
+    // region all stay quiet.
+    assert_eq!(fire_lines(&v, "atomics-ordering"), vec![6, 19]);
+    assert!(v.iter().all(|f| f.rule == "atomics-ordering"), "{v:?}");
+    // Test targets are exempt wholesale (library-scope rule).
+    let v_test = check_file("crates/core/tests/fixture.rs", src);
+    assert!(fire_lines(&v_test, "atomics-ordering").is_empty());
+}
+
+#[test]
 fn hygiene_fires_everywhere_including_tests() {
     let src = include_str!("fixtures/hygiene.rs");
     let v = check_file("crates/core/tests/fixture.rs", src);

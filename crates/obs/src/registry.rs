@@ -14,9 +14,10 @@
 //!
 //! [`merge`]: RegistrySnapshot::merge
 
+use adamove_verify::sync::{AtomicU64, Mutex};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Upper bounds (inclusive) of the histogram buckets: a 1–2–5 series per
 /// decade from 1 to 5·10¹¹. With nanosecond values that spans 1 ns to
@@ -105,6 +106,8 @@ impl Gauge {
     /// Overwrite the value.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: lone value cell — readers sample whichever bits are
+        // newest; nothing else is published through this store.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -348,13 +351,13 @@ impl Registry {
     }
 
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
-        let mut metrics = crate::sync::lock(&self.metrics);
+        let mut metrics = self.metrics.lock();
         metrics.entry(name.to_string()).or_insert_with(make).clone()
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        crate::sync::lock(&self.metrics).len()
+        self.metrics.lock().len()
     }
 
     /// True when nothing is registered.
@@ -364,7 +367,7 @@ impl Registry {
 
     /// Freeze every registered metric into a [`RegistrySnapshot`].
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let metrics = crate::sync::lock(&self.metrics);
+        let metrics = self.metrics.lock();
         let mut snap = RegistrySnapshot::default();
         for (name, metric) in metrics.iter() {
             match metric {

@@ -23,12 +23,11 @@
 //!    rule `trace-context` enforces both), so request identity flows
 //!    only along the request's own call path.
 
+use adamove_verify::sync::{AtomicU64, Mutex};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::Ordering;
 
 use crate::span::{FieldValue, TraceSink};
-use crate::sync::lock;
 
 /// Identity of one request's trace: a request id plus the id of the
 /// causal parent (0 = no parent). Minted by the serving front-end and
@@ -290,6 +289,9 @@ impl FlightRecorder {
     /// Publish the windowed-p99 latency gate (the ticker calls this
     /// each window; requests slower than the gate are anomalous).
     pub fn set_slow_gate_ns(&self, ns: u64) {
+        // ordering: is_slow reads this for a control decision, but a
+        // stale gate only misclassifies a borderline request for one
+        // window — no data is guarded, so Relaxed suffices.
         self.slow_gate_ns.store(ns, Ordering::Relaxed);
     }
 
@@ -325,7 +327,7 @@ impl FlightRecorder {
         let mut tagged: Vec<(u64, FlightRecord)> = self
             .slots
             .iter()
-            .filter_map(|slot| lock(slot).clone())
+            .filter_map(|slot| slot.lock().clone())
             .collect();
         tagged.sort_by_key(|(seq, _)| *seq);
         tagged.into_iter().map(|(_, rec)| rec).collect()

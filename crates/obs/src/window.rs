@@ -25,11 +25,10 @@
 //! [`merged`]: WindowedHistogram::merged
 //! [`roll`]: WindowedHistogram::roll
 
+use adamove_verify::sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 use crate::registry::{Histogram, HistogramSnapshot};
-use crate::sync::lock;
 
 /// The histogram delta `current − last`: what was recorded between two
 /// cumulative snapshots. Saturating per bucket, so a restarted or
@@ -112,7 +111,7 @@ impl WindowedHistogram {
     /// beyond capacity — and returned.
     pub fn roll(&self) -> HistogramSnapshot {
         let current = self.source.snapshot();
-        let mut state = lock(&self.state);
+        let mut state = self.state.lock();
         let window = window_delta(&current, &state.last);
         state.last = current;
         if state.ring.len() == self.capacity {
@@ -124,7 +123,8 @@ impl WindowedHistogram {
 
     /// The most recently rolled window (empty before the first roll).
     pub fn window(&self) -> HistogramSnapshot {
-        lock(&self.state)
+        self.state
+            .lock()
             .ring
             .back()
             .cloned()
@@ -134,7 +134,7 @@ impl WindowedHistogram {
     /// Every retained window merged into one snapshot — the trailing
     /// `capacity × tick` view.
     pub fn merged(&self) -> HistogramSnapshot {
-        let state = lock(&self.state);
+        let state = self.state.lock();
         let mut out = HistogramSnapshot::empty();
         for w in &state.ring {
             out.merge(w);
@@ -150,7 +150,7 @@ impl WindowedHistogram {
 
     /// Number of windows currently retained.
     pub fn windows(&self) -> usize {
-        lock(&self.state).ring.len()
+        self.state.lock().ring.len()
     }
 
     /// Maximum number of retained windows.

@@ -115,3 +115,53 @@ fn flight_recorder_off_path_is_a_load_and_compare() {
         armed - baseline
     );
 }
+
+/// The adamove-verify sync shims this crate is built on must compile
+/// to the bare std operations in production (the cfg-off passthrough
+/// path): a shimmed relaxed `fetch_add` costs the same as a raw
+/// `std::sync::atomic` one, and a shimmed uncontended lock the same as
+/// a raw `std::sync::Mutex` lock. Anything above noise here means the
+/// wrappers stopped inlining.
+#[test]
+#[ignore = "manual measurement: cargo test --release -- --ignored --nocapture"]
+fn verify_shims_are_zero_overhead_in_production() {
+    let raw_cell = std::sync::atomic::AtomicU64::new(0);
+    let raw_atomic = measure("std fetch_add", |i| {
+        black_box(i.wrapping_mul(0x9E3779B97F4A7C15));
+        raw_cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    let shim_cell = adamove_verify::sync::AtomicU64::new(0);
+    let shim_atomic = measure("shim fetch_add", |i| {
+        black_box(i.wrapping_mul(0x9E3779B97F4A7C15));
+        shim_cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    let raw_mutex = std::sync::Mutex::new(0u64);
+    let raw_lock = measure("std mutex lock", |i| {
+        black_box(i.wrapping_mul(0x9E3779B97F4A7C15));
+        *raw_mutex.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+    });
+
+    let shim_mutex = adamove_verify::sync::Mutex::new(0u64);
+    let shim_lock = measure("shim mutex lock", |i| {
+        black_box(i.wrapping_mul(0x9E3779B97F4A7C15));
+        *shim_mutex.lock() += 1;
+    });
+
+    println!(
+        "shim overhead: atomic {:+.2} ns/op, mutex {:+.2} ns/op",
+        shim_atomic - raw_atomic,
+        shim_lock - raw_lock
+    );
+    assert!(
+        shim_atomic - raw_atomic < 5.0,
+        "shimmed fetch_add costs {:.2} ns/op over std — passthrough stopped inlining",
+        shim_atomic - raw_atomic
+    );
+    assert!(
+        shim_lock - raw_lock < 5.0,
+        "shimmed lock costs {:.2} ns/op over std — passthrough stopped inlining",
+        shim_lock - raw_lock
+    );
+}

@@ -1,0 +1,137 @@
+//! Seeded property suite for the windowed-histogram delta arithmetic —
+//! the sequential laws the model checker's concurrent models
+//! (`crates/verify/tests/models_obs.rs`) build on:
+//!
+//! 1. **Delta law**: `last.merge(window_delta(current, last)) == current`
+//!    for any two cumulative snapshots of one stream.
+//! 2. **Partition law**: rolling after every chunk partitions the
+//!    stream — with enough capacity, `merged() == cumulative()`.
+//! 3. **Ring law**: beyond capacity the oldest windows fall off, so
+//!    `merged()` may undercount but never overcounts, and the retained
+//!    windows are exactly the newest rolls.
+
+use adamove_obs::{window_delta, HistogramSnapshot, WindowedHistogram};
+use proptest::prelude::*;
+
+/// Deterministic value stream without external RNG deps: an LCG over
+/// the histogram's dynamic range (1ns .. ~0.5s).
+fn stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            1 + (state >> 16) % 500_000_000
+        })
+        .collect()
+}
+
+/// Chunk boundaries from raw cut points: 0 and n included, sorted.
+fn bounds(cuts: &[usize], n: usize) -> Vec<usize> {
+    let mut b: Vec<usize> = cuts.iter().map(|c| c % (n + 1)).collect();
+    b.push(0);
+    b.push(n);
+    b.sort_unstable();
+    b
+}
+
+fn assert_snapshots_equal(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(&a.counts[..], &b.counts[..]);
+    assert_eq!(a.sum, b.sum);
+    assert_eq!(a.count, b.count);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delta law: cut any stream anywhere; the snapshot before the cut
+    /// plus the delta across it reconstructs the snapshot after.
+    #[test]
+    fn delta_plus_last_reconstructs_current(
+        n in 1usize..200,
+        seed in 0u64..1000,
+        cut in 0usize..200,
+    ) {
+        let values = stream(n, seed);
+        let cut = cut % (n + 1);
+        let w = WindowedHistogram::new(4);
+        for &v in &values[..cut] {
+            w.record(v);
+        }
+        let last = w.cumulative();
+        for &v in &values[cut..] {
+            w.record(v);
+        }
+        let current = w.cumulative();
+        let delta = window_delta(&current, &last);
+        let mut rebuilt = last.clone();
+        rebuilt.merge(&delta);
+        assert_snapshots_equal(&rebuilt, &current);
+    }
+
+    /// Partition law: roll after every chunk; with capacity for every
+    /// window, the merged ring equals the cumulative stream exactly —
+    /// no record double-counted or dropped by the delta arithmetic.
+    #[test]
+    fn rolls_partition_the_stream(
+        n in 1usize..200,
+        seed in 0u64..1000,
+        cuts in proptest::collection::vec(0usize..200, 0..7),
+    ) {
+        let values = stream(n, seed);
+        let b = bounds(&cuts, n);
+        // Capacity covers every chunk (one roll per boundary window).
+        let w = WindowedHistogram::new(b.len());
+        let mut returned = HistogramSnapshot::empty();
+        for pair in b.windows(2) {
+            for &v in &values[pair[0]..pair[1]] {
+                w.record(v);
+            }
+            returned.merge(&w.roll());
+        }
+        assert_snapshots_equal(&w.merged(), &w.cumulative());
+        // The windows *returned* by roll() partition the stream too.
+        assert_snapshots_equal(&returned, &w.cumulative());
+    }
+
+    /// Ring law: with a small capacity the ring keeps only the newest
+    /// windows — merged() never overcounts the cumulative stream, the
+    /// ring never exceeds capacity, and merging the evicted windows
+    /// back in restores the partition exactly.
+    #[test]
+    fn bounded_ring_never_overcounts(
+        n in 1usize..200,
+        seed in 0u64..1000,
+        cuts in proptest::collection::vec(0usize..200, 0..7),
+        capacity in 1usize..4,
+    ) {
+        let values = stream(n, seed);
+        let b = bounds(&cuts, n);
+        let w = WindowedHistogram::new(capacity);
+        let mut rolled: Vec<HistogramSnapshot> = Vec::new();
+        for pair in b.windows(2) {
+            for &v in &values[pair[0]..pair[1]] {
+                w.record(v);
+            }
+            rolled.push(w.roll());
+            prop_assert!(w.windows() <= w.capacity());
+        }
+        let merged = w.merged();
+        let cumulative = w.cumulative();
+        prop_assert!(merged.count <= cumulative.count);
+        prop_assert!(merged.sum <= cumulative.sum);
+        for (m, c) in merged.counts.iter().zip(cumulative.counts.iter()) {
+            prop_assert!(m <= c, "ring overcounts a bucket");
+        }
+        // Evicted windows + retained ring == the whole stream.
+        let evicted = rolled.len().saturating_sub(w.windows());
+        let mut total = merged;
+        for win in &rolled[..evicted] {
+            total.merge(win);
+        }
+        assert_snapshots_equal(&total, &cumulative);
+    }
+}

@@ -200,6 +200,8 @@ impl ServerHandle {
     /// Open connections are closed; in-flight requests finish first
     /// because workers drain their pump loop before exiting.
     pub fn stop(mut self) -> Arc<ShardedEngine> {
+        // ordering: publishes the stop intent; the Acquire loads in the
+        // acceptor, workers and ticker see every write made before it.
         self.stop.store(true, Ordering::Release);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -323,19 +325,25 @@ fn accept_loop(
 ) {
     let obs = &gate.obs;
     let mut next = 0usize;
+    // ordering: pairs with the Release store in stop().
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // ordering: pairs with the AcqRel claims/releases below
+                // and in the workers — the count never misses a slot
+                // another thread already claimed or freed.
                 if open.load(Ordering::Acquire) >= gate.max_connections {
                     obs.conn_rejected.inc();
                     reject_busy(stream, obs, &gate.recorder, &gate.request_ids);
                     continue;
                 }
                 obs.connections.inc();
+                // ordering: AcqRel slot claim — see the admission load.
                 open.fetch_add(1, Ordering::AcqRel);
                 obs.connections_open.inc();
                 if senders.is_empty() || senders[next % senders.len()].send(stream).is_err() {
                     // Worker gone (only during shutdown races): undo.
+                    // ordering: AcqRel slot release — see the admission load.
                     open.fetch_sub(1, Ordering::AcqRel);
                     obs.connections_open.dec();
                 }
@@ -408,6 +416,7 @@ fn tick_loop(
         })
         .collect();
     let gate_window = WindowedHistogram::around(request_latency, SLOW_GATE_WINDOWS);
+    // ordering: pairs with the Release store in stop().
     while !stop.load(Ordering::Acquire) {
         if let Some(ctl) = &ctl {
             for (shard, wh) in shard_windows.iter().enumerate() {
@@ -427,6 +436,7 @@ fn tick_loop(
         // Sleep in short slices so stop() never has to wait out a long
         // tick before it can join this thread.
         let mut remaining = tick;
+        // ordering: pairs with the Release store in stop().
         while !stop.load(Ordering::Acquire) && remaining > Duration::ZERO {
             let slice = remaining.min(Duration::from_millis(20));
             thread::sleep(slice);
@@ -481,6 +491,8 @@ fn worker_loop(incoming: mpsc::Receiver<TcpStream>, ctx: WorkerCtx) {
                             close_after_flush: false,
                         });
                     } else {
+                        // ordering: AcqRel slot release — see the
+                        // acceptor's admission load.
                         ctx.open.fetch_sub(1, Ordering::AcqRel);
                         ctx.obs.connections_open.dec();
                     }
@@ -489,12 +501,15 @@ fn worker_loop(incoming: mpsc::Receiver<TcpStream>, ctx: WorkerCtx) {
                 Err(mpsc::TryRecvError::Disconnected) => break,
             }
         }
+        // ordering: pairs with the Release store in stop().
         if ctx.stop.load(Ordering::Acquire) {
             // Orderly exit: flush what we can once, then drop sockets.
             for conn in &mut conns {
                 let _ = flush_out(conn);
             }
             for _ in conns.drain(..) {
+                // ordering: AcqRel slot release — see the acceptor's
+                // admission load.
                 ctx.open.fetch_sub(1, Ordering::AcqRel);
                 ctx.obs.connections_open.dec();
             }
@@ -511,6 +526,8 @@ fn worker_loop(incoming: mpsc::Receiver<TcpStream>, ctx: WorkerCtx) {
                 Pump::Idle => i += 1,
                 Pump::Closed => {
                     conns.swap_remove(i);
+                    // ordering: AcqRel slot release — see the acceptor's
+                    // admission load.
                     ctx.open.fetch_sub(1, Ordering::AcqRel);
                     ctx.obs.connections_open.dec();
                 }

@@ -135,11 +135,14 @@ impl FaultFs {
 
     /// Appends observed so far (fault indices are relative to this).
     pub fn appends(&self) -> u64 {
+        // ordering: SeqCst keeps one total order over index claims, so
+        // a fault armed at `appends()` hits exactly the next append.
         self.state.appends.load(Ordering::SeqCst)
     }
 
     /// Reads observed so far (fault indices are relative to this).
     pub fn reads(&self) -> u64 {
+        // ordering: SeqCst — same total-order contract as appends().
         self.state.reads.load(Ordering::SeqCst)
     }
 }
@@ -151,6 +154,7 @@ struct FaultFile {
 
 impl FsFile for FaultFile {
     fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        // ordering: SeqCst index claim — see appends().
         let idx = self.state.appends.fetch_add(1, Ordering::SeqCst);
         match lock(&self.state.on_append).remove(&idx) {
             None | Some(DiskFault::ShortRead { .. }) => self.inner.append(buf),
@@ -194,6 +198,7 @@ impl Fs for FaultFs {
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        // ordering: SeqCst index claim — see reads().
         let idx = self.state.reads.fetch_add(1, Ordering::SeqCst);
         let mut out = self.inner.read(path)?;
         match lock(&self.state.on_read).remove(&idx) {

@@ -92,16 +92,13 @@ fn shard_down_counter_matches_typed_errors() {
     // The engine-level snapshot agrees and marks the shard dead; the
     // panicked shard died before processing anything. The caller sees
     // ShardDown at channel disconnect, while the worker thread may
-    // still be unwinding — poll (bounded) until the corpse is joinable
-    // rather than racing it.
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while engine.snapshot().shards[DEAD].alive {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "shard {DEAD} never finished dying"
-        );
-        std::thread::yield_now();
-    }
+    // still be unwinding — retire_shard joins the corpse as an explicit
+    // handshake instead of polling `alive` until it flips.
+    assert_eq!(
+        engine.retire_shard(DEAD),
+        Some(true),
+        "the injected panic must show up as a panicked join"
+    );
     let view = engine.snapshot();
     assert_eq!(view.shard_down_errors, 2);
     assert!(!view.shards[DEAD].alive);

@@ -1,0 +1,245 @@
+//! Exhaustive schedule exploration: stateless DFS with replay.
+//!
+//! Each execution replays a prefix of scheduling choices, then takes
+//! the first fresh branch at every new decision point and records the
+//! remaining alternatives. Backtracking pops exhausted decision points
+//! and advances the deepest one with alternatives left — classic
+//! stateless model checking. Two reductions keep the space tractable:
+//!
+//! * **Sleep sets (DPOR-lite):** siblings already explored from a state
+//!   are put to sleep when the state is revisited and only woken by a
+//!   conflicting operation; an execution whose every enabled thread is
+//!   asleep is a pure commutation of one already explored and is pruned.
+//! * **Preemption bounding (CHESS-style):** optionally cap the number
+//!   of *involuntary* switches (away from a thread that could keep
+//!   running); most concurrency bugs need very few preemptions.
+//!
+//! Everything is deterministic: thread ids are assigned in spawn order,
+//! candidates are tried in tid order, and a reported failing schedule
+//! replays the identical execution via [`Checker::replay`].
+
+use crate::sched::{spawn_root, ExecResult, Scheduler};
+use std::sync::Arc;
+
+/// A failing execution: the exact schedule (thread id granted at each
+/// scheduling decision, replayable with [`Checker::replay`]), the
+/// failure message, and the human-readable op trace.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub schedule: Vec<usize>,
+    pub message: String,
+    pub trace: Vec<String>,
+}
+
+impl Failure {
+    /// Multi-line report: message, replay schedule, and op trace.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "model failure: {}\nreplay schedule ({} decisions): {:?}\ntrace:\n",
+            self.message,
+            self.schedule.len(),
+            self.schedule
+        );
+        for line in &self.trace {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Result of checking a model.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every schedule passed. `schedules` counts executions run;
+    /// `pruned` of those were cut short by the sleep-set reduction
+    /// (pure commutations of schedules already explored).
+    Pass {
+        schedules: usize,
+        pruned: usize,
+    },
+    Fail(Failure),
+}
+
+impl Outcome {
+    /// Panic with the rendered failure unless the model passed;
+    /// returns the number of schedules explored.
+    pub fn assert_pass(&self) -> usize {
+        match self {
+            Outcome::Pass { schedules, .. } => *schedules,
+            Outcome::Fail(f) => panic!("{}", f.render()),
+        }
+    }
+
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            Outcome::Fail(f) => Some(f),
+            Outcome::Pass { .. } => None,
+        }
+    }
+}
+
+struct DecisionNode {
+    /// Branches taken from this state so far; the last one is the
+    /// current path, the earlier ones seed the sleep set on replay.
+    explored: Vec<usize>,
+    /// Branches not yet taken.
+    pending: Vec<usize>,
+}
+
+/// The model checker. Build one, tune bounds, then [`Checker::check`] a
+/// model closure — typically via the [`model`] convenience wrapper.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    preemption_bound: Option<usize>,
+    max_schedules: usize,
+    max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            preemption_bound: None,
+            max_schedules: 500_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Checker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap involuntary context switches per execution (None = unbounded
+    /// = fully exhaustive). Bugs overwhelmingly need ≤2 preemptions;
+    /// bounding keeps bigger models tractable.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Abort (panic) if exploration exceeds this many executions — the
+    /// model should be shrunk or preemption-bounded instead.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Per-execution step cap; exceeding it is reported as a failure
+    /// (livelock or unbounded model).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    fn run_once(
+        &self,
+        f: &Arc<dyn Fn() + Send + Sync>,
+        schedule: Vec<usize>,
+        seeds: Vec<Vec<usize>>,
+    ) -> ExecResult {
+        let sched = Arc::new(Scheduler::new(
+            schedule,
+            seeds,
+            self.preemption_bound,
+            self.max_steps,
+        ));
+        let root = spawn_root(&sched, f.clone());
+        sched.kick();
+        sched.wait_done();
+        // The root thread unwinds with a quiet token on aborted
+        // executions; either way it has passed the token before `done`.
+        let _ = root.join();
+        sched.take_result()
+    }
+
+    /// Exhaustively explore `f` (modulo the configured bounds).
+    pub fn check<F>(&self, f: F) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut stack: Vec<DecisionNode> = Vec::new();
+        let mut schedules = 0usize;
+        let mut pruned = 0usize;
+        loop {
+            let schedule: Vec<usize> = stack
+                .iter()
+                .map(|d| *d.explored.last().expect("non-empty explored"))
+                .collect();
+            let seeds: Vec<Vec<usize>> = stack
+                .iter()
+                .map(|d| d.explored[..d.explored.len() - 1].to_vec())
+                .collect();
+            let res = self.run_once(&f, schedule, seeds);
+            schedules += 1;
+            pruned += usize::from(res.pruned);
+            if let Some(message) = res.failure {
+                return Outcome::Fail(Failure {
+                    schedule: res.choices,
+                    message,
+                    trace: res.trace,
+                });
+            }
+            assert!(
+                schedules < self.max_schedules,
+                "explored {schedules} schedules without exhausting the model — \
+                 shrink it or set a preemption bound"
+            );
+            for d in res.fresh {
+                stack.push(DecisionNode {
+                    explored: vec![d.chosen],
+                    pending: d.alternatives,
+                });
+            }
+            // Backtrack to the deepest decision with untried branches.
+            loop {
+                match stack.last_mut() {
+                    None => return Outcome::Pass { schedules, pruned },
+                    Some(top) if !top.pending.is_empty() => {
+                        let next = top.pending.remove(0);
+                        top.explored.push(next);
+                        break;
+                    }
+                    Some(_) => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-run one exact schedule (e.g. from [`Failure::schedule`]) and
+    /// report its outcome. Deterministic: the same schedule always
+    /// reproduces the same execution.
+    pub fn replay<F>(&self, f: F, schedule: &[usize]) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let seeds = vec![Vec::new(); schedule.len()];
+        let res = self.run_once(&f, schedule.to_vec(), seeds);
+        match res.failure {
+            Some(message) => Outcome::Fail(Failure {
+                schedule: res.choices,
+                message,
+                trace: res.trace,
+            }),
+            None => Outcome::Pass {
+                schedules: 1,
+                pruned: usize::from(res.pruned),
+            },
+        }
+    }
+}
+
+/// Check `f` under the default (fully exhaustive) checker and panic
+/// with a rendered replayable failure if any schedule breaks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::new().check(f).assert_pass();
+}

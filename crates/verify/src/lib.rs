@@ -1,0 +1,74 @@
+//! `adamove-verify`: deterministic concurrency model checking for the
+//! hand-rolled lock-free structures in this workspace.
+//!
+//! The crate has two faces, switched by the custom `--cfg adamove_verify`
+//! flag (registered as a known cfg in the workspace lints):
+//!
+//! * **Production (cfg off, the default):** [`sync`] exposes newtype
+//!   wrappers over `std::sync::atomic::{AtomicU64, AtomicUsize,
+//!   AtomicBool}` and `std::sync::Mutex` whose every method is an
+//!   `#[inline]` passthrough. `adamove-obs` and the engine slot structs
+//!   build on these wrappers, and release binaries compile them down to
+//!   the bare std types — pinned by the `--ignored` overhead test in
+//!   `crates/obs/tests/overhead.rs`.
+//!
+//! * **Model checking (`RUSTFLAGS="--cfg adamove_verify"`):** the same
+//!   wrappers route every load/store/rmw/lock/try_lock through a
+//!   cooperative [`sched`]uler that serializes the model's threads and
+//!   lets the [`explore`] driver enumerate interleavings exhaustively —
+//!   a mini-loom: DFS over schedules with optional preemption bounding
+//!   (CHESS-style) and a sleep-set reduction (DPOR-lite). A failing
+//!   invariant is reported as the exact schedule (a `Vec<usize>` of
+//!   thread ids, one per scheduling decision) plus a human-readable op
+//!   trace, and [`Checker::replay`] re-runs that schedule verbatim.
+//!
+//! What the checker does and does not prove: threads are interleaved at
+//! every shim operation, so all *schedule*-dependent behaviours of the
+//! modelled code are enumerated — lost updates, torn snapshots,
+//! try_lock contention windows, deadlocks. Each execution is sequentially
+//! consistent, so weak-memory reorderings are *not* explored; the
+//! `atomics-ordering` lint rule (every non-`Relaxed` ordering carries a
+//! `// ordering:` justification) and the best-effort TSan job cover that
+//! axis instead. See DESIGN.md § "Memory-ordering contract".
+//!
+//! Code outside an active model (production binaries with the cfg off,
+//! or any thread that isn't registered with a running scheduler even
+//! with the cfg on) always takes the passthrough path, so the whole
+//! workspace can be built and tested under `--cfg adamove_verify`
+//! without behavioural change outside the model tests.
+
+pub mod sync;
+
+#[cfg(adamove_verify)]
+pub mod sched;
+
+#[cfg(adamove_verify)]
+pub mod explore;
+
+#[cfg(adamove_verify)]
+pub mod thread;
+
+#[cfg(adamove_verify)]
+pub use explore::{Checker, Failure, Outcome};
+
+/// Assert a model invariant.
+///
+/// Inside a model this unwinds with a quiet payload (no panic-hook
+/// backtrace spew) that the checker records as the model failure for the
+/// current schedule; outside a model it behaves like `assert!`.
+#[cfg(adamove_verify)]
+pub fn require(cond: bool, msg: &str) {
+    if !cond {
+        if sched::in_model() {
+            std::panic::resume_unwind(Box::new(sched::ModelFailure(msg.to_string())));
+        }
+        panic!("requirement failed: {msg}");
+    }
+}
+
+/// Production build: a plain assertion, kept so model helpers shared
+/// with non-model tests compile under both cfgs.
+#[cfg(not(adamove_verify))]
+pub fn require(cond: bool, msg: &str) {
+    assert!(cond, "requirement failed: {msg}");
+}

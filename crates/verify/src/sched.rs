@@ -1,0 +1,651 @@
+//! The cooperative scheduler behind the model-checking build.
+//!
+//! One *execution* runs the model closure and every thread it spawns on
+//! real OS threads, but strictly serialized: exactly one model thread
+//! holds the "token" (is `current`) at any instant. Every shim
+//! operation is a *yield point* — the thread parks with its pending op,
+//! the scheduler picks the next thread to grant (following the replay
+//! schedule, then fresh DFS choices), and only the granted thread
+//! proceeds to perform the underlying std operation. Mutual exclusion,
+//! try_lock contention, joins, deadlocks and livelocks are all resolved
+//! scheduler-side, so every scheduling decision is explicit, recorded,
+//! and replayable.
+//!
+//! No `unsafe` anywhere (the workspace forbids it): parking is a plain
+//! `Mutex<State>` + `Condvar`, and aborting an execution unwinds parked
+//! threads via `resume_unwind` with a private [`AbortToken`] payload so
+//! guards drop and the OS threads exit cleanly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Payload of a failed [`crate::require`]: recorded as the model
+/// failure for the current schedule, without panic-hook noise.
+pub struct ModelFailure(pub String);
+
+/// Payload used to unwind parked threads when an execution aborts
+/// (failure elsewhere, deadlock, or sleep-set prune). Never a failure
+/// by itself.
+pub struct AbortToken;
+
+/// What a pending operation does, for enabledness and conflict checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Thread created, waiting to run its closure for the first time.
+    Start,
+    /// Atomic load.
+    Read,
+    /// Atomic store or read-modify-write.
+    Write,
+    /// Blocking mutex acquisition: enabled only while the object is
+    /// free; the grant records ownership.
+    Lock,
+    /// Non-blocking acquisition: always enabled; the grant resolves to
+    /// acquired-or-contended without ever blocking.
+    TryLock,
+    /// Mutex release (guard drop). A scheduling point so other threads
+    /// can be granted *inside* the critical section and observe the
+    /// held lock (try_lock contention, lock blocking).
+    Unlock,
+    /// Join on the thread with this tid: enabled once it finished.
+    Join(usize),
+}
+
+/// A pending shim operation: the unit the explorer interleaves.
+#[derive(Clone, Copy, Debug)]
+pub struct Op {
+    pub obj: u64,
+    pub kind: OpKind,
+    pub label: &'static str,
+}
+
+/// Two ops *conflict* when their order can change an outcome — used to
+/// wake sleep-set members (DPOR-lite): a sleeping thread stays asleep
+/// until someone executes an op dependent on its pending one.
+fn conflicts(a: &Op, b: &Op) -> bool {
+    match (a.kind, b.kind) {
+        (OpKind::Start | OpKind::Join(_), _) | (_, OpKind::Start | OpKind::Join(_)) => false,
+        (OpKind::Read, OpKind::Read) => false,
+        _ => a.obj == b.obj,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TState {
+    Parked(Op),
+    Running,
+    Finished,
+}
+
+/// One fresh (beyond the replay prefix) scheduling decision: the branch
+/// taken and the enabled-and-awake alternatives left for the DFS.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    pub chosen: usize,
+    pub alternatives: Vec<usize>,
+}
+
+pub(crate) struct State {
+    threads: Vec<TState>,
+    current: Option<usize>,
+    /// Mutex object id -> owning tid.
+    held: HashMap<u64, usize>,
+    /// Sleep set: tids that must not be scheduled until a conflicting
+    /// op executes (they were already explored from this state).
+    sleeping: Vec<usize>,
+    next_object: u64,
+    /// Replay prefix: choices to repeat, and per-step sleep-set seeds
+    /// (the siblings already explored from that state).
+    schedule: Vec<usize>,
+    sleep_seeds: Vec<Vec<usize>>,
+    step: usize,
+    /// Every choice made this execution (prefix + fresh), for reports.
+    choices: Vec<usize>,
+    fresh: Vec<Decision>,
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+    max_steps: usize,
+    trace: Vec<String>,
+    failure: Option<String>,
+    abort: bool,
+    pruned: bool,
+    done: bool,
+    finished: usize,
+    /// Per-tid result slot for a granted TryLock.
+    try_results: Vec<Option<bool>>,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// Everything `explore` needs from a completed execution.
+pub(crate) struct ExecResult {
+    pub failure: Option<String>,
+    pub pruned: bool,
+    pub trace: Vec<String>,
+    pub fresh: Vec<Decision>,
+    pub choices: Vec<usize>,
+}
+
+#[derive(Clone)]
+pub(crate) struct Cx {
+    sched: Arc<Scheduler>,
+    tid: usize,
+}
+
+thread_local! {
+    static CX: RefCell<Option<Cx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_cx() -> Option<Cx> {
+    CX.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread belongs to an active model execution.
+pub fn in_model() -> bool {
+    current_cx().is_some()
+}
+
+fn lock_state(sched: &Scheduler) -> MutexGuard<'_, State> {
+    sched.state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn abort_unwind() -> ! {
+    resume_unwind(Box::new(AbortToken))
+}
+
+fn describe(op: &Op, try_result: Option<bool>) -> String {
+    match op.kind {
+        OpKind::Start => "start".to_string(),
+        OpKind::Join(t) => format!("join(t{t})"),
+        OpKind::Read => format!("{}#{}.load", op.label, op.obj),
+        OpKind::Write => format!("{}#{}.write", op.label, op.obj),
+        OpKind::Lock => format!("{}#{}.lock", op.label, op.obj),
+        OpKind::Unlock => format!("{}#{}.unlock", op.label, op.obj),
+        OpKind::TryLock => format!(
+            "{}#{}.try_lock -> {}",
+            op.label,
+            op.obj,
+            if try_result == Some(true) {
+                "acquired"
+            } else {
+                "contended"
+            }
+        ),
+    }
+}
+
+impl Scheduler {
+    pub(crate) fn new(
+        schedule: Vec<usize>,
+        sleep_seeds: Vec<Vec<usize>>,
+        preemption_bound: Option<usize>,
+        max_steps: usize,
+    ) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: vec![TState::Parked(Op {
+                    obj: 0,
+                    kind: OpKind::Start,
+                    label: "root",
+                })],
+                current: None,
+                held: HashMap::new(),
+                sleeping: Vec::new(),
+                next_object: 0,
+                schedule,
+                sleep_seeds,
+                step: 0,
+                choices: Vec::new(),
+                fresh: Vec::new(),
+                preemption_bound,
+                preemptions: 0,
+                max_steps,
+                trace: Vec::new(),
+                failure: None,
+                abort: false,
+                pruned: false,
+                done: false,
+                finished: 0,
+                try_results: vec![None],
+            }),
+            cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn enabled(&self, st: &State, tid: usize) -> bool {
+        match &st.threads[tid] {
+            TState::Parked(op) => match op.kind {
+                OpKind::Lock => !st.held.contains_key(&op.obj),
+                OpKind::Join(target) => matches!(st.threads[target], TState::Finished),
+                _ => true,
+            },
+            _ => false,
+        }
+    }
+
+    fn fail(&self, st: &mut State, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Pick and grant the next thread. Caller holds the state lock and
+    /// has already parked (or finished) the yielding thread.
+    /// `yielder` is `Some` when a still-live thread is passing the
+    /// token (used for preemption accounting); finishing or blocked
+    /// threads pass `None` / are not enabled, making the switch free.
+    fn choose_next(&self, st: &mut State, yielder: Option<usize>) {
+        st.current = None;
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        if st.finished == st.threads.len() {
+            st.done = true;
+            self.done_cv.notify_all();
+            return;
+        }
+        if st.step >= st.max_steps {
+            self.fail(
+                st,
+                format!(
+                    "step cap {} exceeded — livelock or unbounded model",
+                    st.max_steps
+                ),
+            );
+            return;
+        }
+        // Seed the sleep set when replaying a decision point: siblings
+        // already explored from this state must not be re-scheduled
+        // until a conflicting op wakes them.
+        if st.step < st.schedule.len() {
+            for t in st.sleep_seeds[st.step].clone() {
+                if matches!(st.threads[t], TState::Parked(_)) && !st.sleeping.contains(&t) {
+                    st.sleeping.push(t);
+                }
+            }
+        }
+        let enabled: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| self.enabled(st, t))
+            .collect();
+        if enabled.is_empty() {
+            let parked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    TState::Parked(op) => Some(format!("t{t} waiting on {}", describe(op, None))),
+                    _ => None,
+                })
+                .collect();
+            self.fail(st, format!("deadlock: {}", parked.join("; ")));
+            return;
+        }
+        let awake: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !st.sleeping.contains(t))
+            .collect();
+        if awake.is_empty() {
+            // Every enabled thread is asleep: this execution is a
+            // reordering of one already explored — prune quietly.
+            st.pruned = true;
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        let mut candidates = awake;
+        if let (Some(bound), Some(y)) = (st.preemption_bound, yielder) {
+            // Switching away from a thread that could keep running is a
+            // preemption; once the budget is spent, stay on it.
+            if st.preemptions >= bound && candidates.contains(&y) {
+                candidates = vec![y];
+            }
+        }
+        let chosen = if st.step < st.schedule.len() {
+            let c = st.schedule[st.step];
+            if !enabled.contains(&c) {
+                self.fail(
+                    st,
+                    format!(
+                        "replay schedule chose t{c} at step {} but it is not enabled",
+                        st.step
+                    ),
+                );
+                return;
+            }
+            st.sleeping.retain(|&t| t != c);
+            c
+        } else {
+            let c = candidates[0];
+            st.fresh.push(Decision {
+                chosen: c,
+                alternatives: candidates[1..].to_vec(),
+            });
+            c
+        };
+        if let Some(y) = yielder {
+            if chosen != y && enabled.contains(&y) {
+                st.preemptions += 1;
+            }
+        }
+        st.step += 1;
+        st.choices.push(chosen);
+
+        let op = match &st.threads[chosen] {
+            TState::Parked(op) => *op,
+            other => unreachable!("granted thread t{chosen} not parked: {other:?}"),
+        };
+        // Wake sleepers whose pending op depends on the one about to run.
+        let woken: Vec<usize> = st
+            .sleeping
+            .iter()
+            .copied()
+            .filter(|&t| match &st.threads[t] {
+                TState::Parked(p) => conflicts(&op, p),
+                _ => true,
+            })
+            .collect();
+        st.sleeping.retain(|t| !woken.contains(t));
+
+        let mut try_result = None;
+        match op.kind {
+            OpKind::Lock => {
+                st.held.insert(op.obj, chosen);
+            }
+            OpKind::Unlock => {
+                st.held.remove(&op.obj);
+            }
+            OpKind::TryLock => {
+                let acquired = !st.held.contains_key(&op.obj);
+                if acquired {
+                    st.held.insert(op.obj, chosen);
+                }
+                try_result = Some(acquired);
+                st.try_results[chosen] = try_result;
+            }
+            _ => {}
+        }
+        st.trace
+            .push(format!("t{chosen}: {}", describe(&op, try_result)));
+        st.current = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Grant the very first thread (the model closure, tid 0).
+    pub(crate) fn kick(&self) {
+        let mut st = lock_state(self);
+        self.choose_next(&mut st, None);
+    }
+
+    pub(crate) fn wait_done(&self) {
+        let mut st = lock_state(self);
+        while !st.done {
+            st = self.done_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    pub(crate) fn take_result(&self) -> ExecResult {
+        let mut st = lock_state(self);
+        ExecResult {
+            failure: st.failure.take(),
+            pruned: st.pruned,
+            trace: std::mem::take(&mut st.trace),
+            fresh: std::mem::take(&mut st.fresh),
+            choices: std::mem::take(&mut st.choices),
+        }
+    }
+
+    fn finished(&self, tid: usize, failure: Option<String>) {
+        let mut st = lock_state(self);
+        let was_current = st.current == Some(tid);
+        st.threads[tid] = TState::Finished;
+        st.finished += 1;
+        st.try_results[tid] = None;
+        if let Some(msg) = failure {
+            if !st.abort {
+                self.fail(&mut st, msg);
+            }
+        }
+        // A finish can enable joins; any sleeper pending one must wake.
+        let wake: Vec<usize> = st
+            .sleeping
+            .iter()
+            .copied()
+            .filter(|&t| {
+                matches!(&st.threads[t], TState::Parked(op) if matches!(op.kind, OpKind::Join(_)))
+            })
+            .collect();
+        st.sleeping.retain(|t| !wake.contains(t));
+        if st.finished == st.threads.len() {
+            st.done = true;
+            self.done_cv.notify_all();
+            self.cv.notify_all();
+        } else if was_current && !st.abort {
+            self.choose_next(&mut st, None);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+}
+
+impl Cx {
+    /// Park at a yield point with `op` pending; return once granted.
+    pub(crate) fn do_yield(&self, op: Op) {
+        let mut st = lock_state(&self.sched);
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st.threads[self.tid] = TState::Parked(op);
+        self.sched.choose_next(&mut st, Some(self.tid));
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.current == Some(self.tid) {
+                st.threads[self.tid] = TState::Running;
+                return;
+            }
+            st = self.sched.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn register_object(&self) -> u64 {
+        let mut st = lock_state(&self.sched);
+        st.next_object += 1;
+        st.next_object
+    }
+}
+
+fn obj_id(cx: &Cx, obj: &OnceLock<u64>) -> u64 {
+    *obj.get_or_init(|| cx.register_object())
+}
+
+/// Atomic-op yield point (no-op outside a model).
+pub(crate) fn yield_op(obj: &OnceLock<u64>, label: &'static str, kind: OpKind) {
+    if let Some(cx) = current_cx() {
+        let id = obj_id(&cx, obj);
+        cx.do_yield(Op {
+            obj: id,
+            kind,
+            label,
+        });
+    }
+}
+
+/// Blocking-lock yield point. Returns the object id when the
+/// acquisition was scheduler-routed (the guard must release it).
+pub(crate) fn lock_op(obj: &OnceLock<u64>, label: &'static str) -> Option<u64> {
+    current_cx().map(|cx| {
+        let id = obj_id(&cx, obj);
+        cx.do_yield(Op {
+            obj: id,
+            kind: OpKind::Lock,
+            label,
+        });
+        id
+    })
+}
+
+pub(crate) enum TryLockOutcome {
+    /// No active model on this thread: fall back to the std try_lock.
+    Passthrough,
+    Acquired(u64),
+    Contended,
+}
+
+/// Non-blocking-lock yield point: the grant resolves contention.
+pub(crate) fn try_lock_op(obj: &OnceLock<u64>, label: &'static str) -> TryLockOutcome {
+    let Some(cx) = current_cx() else {
+        return TryLockOutcome::Passthrough;
+    };
+    let id = obj_id(&cx, obj);
+    cx.do_yield(Op {
+        obj: id,
+        kind: OpKind::TryLock,
+        label,
+    });
+    let mut st = lock_state(&cx.sched);
+    let acquired = st.try_results[cx.tid].take().unwrap_or(false);
+    drop(st);
+    if acquired {
+        TryLockOutcome::Acquired(id)
+    } else {
+        TryLockOutcome::Contended
+    }
+}
+
+/// Release scheduler-side mutex ownership (guard drop). A yield point,
+/// so contenders can be scheduled while the lock is held — except
+/// during unwinding, where a fresh panic from a `Drop` would abort the
+/// process; an aborting execution just releases ownership silently.
+pub(crate) fn unlock_op(id: u64) {
+    let Some(cx) = current_cx() else { return };
+    if std::thread::panicking() {
+        let mut st = lock_state(&cx.sched);
+        st.held.remove(&id);
+        return;
+    }
+    cx.do_yield(Op {
+        obj: id,
+        kind: OpKind::Unlock,
+        label: "Mutex",
+    });
+}
+
+fn classify_panic(p: &(dyn std::any::Any + Send)) -> Option<String> {
+    if p.downcast_ref::<AbortToken>().is_some() {
+        return None;
+    }
+    if let Some(f) = p.downcast_ref::<ModelFailure>() {
+        return Some(f.0.clone());
+    }
+    if let Some(s) = p.downcast_ref::<String>() {
+        return Some(format!("panic: {s}"));
+    }
+    if let Some(s) = p.downcast_ref::<&str>() {
+        return Some(format!("panic: {s}"));
+    }
+    Some("panic with non-string payload".to_string())
+}
+
+/// Run `body` as model thread `tid` on the current OS thread: install
+/// the thread-local context, wait for the first grant, run, then pass
+/// the token on. Returns the closure result, re-raising panics so a
+/// std `JoinHandle::join` sees them.
+fn run_model_thread<T>(sched: Arc<Scheduler>, tid: usize, body: impl FnOnce() -> T) -> T {
+    CX.with(|c| {
+        *c.borrow_mut() = Some(Cx {
+            sched: sched.clone(),
+            tid,
+        })
+    });
+    // Wait to be started.
+    {
+        let mut st = lock_state(&sched);
+        loop {
+            if st.abort {
+                st.threads[tid] = TState::Finished;
+                st.finished += 1;
+                if st.finished == st.threads.len() {
+                    st.done = true;
+                    sched.done_cv.notify_all();
+                }
+                drop(st);
+                CX.with(|c| *c.borrow_mut() = None);
+                abort_unwind();
+            }
+            if st.current == Some(tid) {
+                st.threads[tid] = TState::Running;
+                break;
+            }
+            st = sched.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(body));
+    let failure = result
+        .as_ref()
+        .err()
+        .and_then(|p| classify_panic(p.as_ref()));
+    sched.finished(tid, failure);
+    CX.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => v,
+        Err(p) => resume_unwind(p),
+    }
+}
+
+/// Spawn the model closure as tid 0. Used by the explorer.
+pub(crate) fn spawn_root(
+    sched: &Arc<Scheduler>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> std::thread::JoinHandle<()> {
+    let sched = sched.clone();
+    std::thread::spawn(move || run_model_thread(sched.clone(), 0, move || f()))
+}
+
+/// Spawn a new model thread from inside a model (the `thread::spawn`
+/// shim). Registers the tid with the scheduler; the OS thread parks
+/// until first granted.
+pub(crate) fn spawn_in_model<F, T>(cx: &Cx, f: F) -> (std::thread::JoinHandle<T>, usize)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = {
+        let mut st = lock_state(&cx.sched);
+        let tid = st.threads.len();
+        st.threads.push(TState::Parked(Op {
+            obj: tid as u64,
+            kind: OpKind::Start,
+            label: "spawn",
+        }));
+        st.try_results.push(None);
+        tid
+    };
+    let sched = cx.sched.clone();
+    let handle = std::thread::spawn(move || run_model_thread(sched.clone(), tid, f));
+    (handle, tid)
+}
+
+/// Join yield point for the `thread::spawn` shim's handle.
+pub(crate) fn join_op(tid: usize) {
+    if let Some(cx) = current_cx() {
+        cx.do_yield(Op {
+            obj: tid as u64,
+            kind: OpKind::Join(tid),
+            label: "thread",
+        });
+    }
+}

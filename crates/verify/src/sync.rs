@@ -1,0 +1,351 @@
+//! Drop-in sync shims: `std::sync` types in production, scheduler-routed
+//! operations under `--cfg adamove_verify`.
+//!
+//! The API is the intersection of what the workspace's lock-free hot
+//! path actually uses, plus the repo's sanctioned locking idiom baked
+//! in: [`Mutex::lock`] recovers from poison (a panicking holder must
+//! never wedge metrics/serving, see `adamove_obs::sync::lock`), and
+//! [`Mutex::try_lock`] reports contention as [`WouldBlock`] without
+//! ever blocking.
+//!
+//! Constructors are `const fn` under both cfgs so shimmed types can sit
+//! anywhere the std types could.
+
+pub use std::sync::atomic::Ordering;
+
+/// `try_lock` would have blocked: the lock is held by another thread.
+/// (Poisoned-but-free locks are recovered, matching [`Mutex::lock`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WouldBlock;
+
+#[cfg(not(adamove_verify))]
+mod imp {
+    use super::WouldBlock;
+    use std::sync::atomic::Ordering;
+
+    macro_rules! passthrough_atomic {
+        ($name:ident, $std:ty, $val:ty) => {
+            /// Production passthrough: compiles to the bare std atomic.
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$name);
+
+            impl $name {
+                #[inline]
+                pub const fn new(v: $val) -> Self {
+                    Self(<$std>::new(v))
+                }
+                #[inline]
+                pub fn load(&self, o: Ordering) -> $val {
+                    self.0.load(o)
+                }
+                #[inline]
+                pub fn store(&self, v: $val, o: Ordering) {
+                    self.0.store(v, o)
+                }
+                #[inline]
+                pub fn swap(&self, v: $val, o: Ordering) -> $val {
+                    self.0.swap(v, o)
+                }
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    cur: $val,
+                    new: $val,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$val, $val> {
+                    self.0.compare_exchange(cur, new, ok, err)
+                }
+                #[inline]
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $val,
+                    new: $val,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$val, $val> {
+                    self.0.compare_exchange_weak(cur, new, ok, err)
+                }
+            }
+        };
+    }
+
+    passthrough_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    passthrough_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    passthrough_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    macro_rules! passthrough_fetch_arith {
+        ($name:ident, $val:ty) => {
+            impl $name {
+                #[inline]
+                pub fn fetch_add(&self, v: $val, o: Ordering) -> $val {
+                    self.0.fetch_add(v, o)
+                }
+                #[inline]
+                pub fn fetch_sub(&self, v: $val, o: Ordering) -> $val {
+                    self.0.fetch_sub(v, o)
+                }
+            }
+        };
+    }
+
+    passthrough_fetch_arith!(AtomicU64, u64);
+    passthrough_fetch_arith!(AtomicUsize, usize);
+
+    /// Production passthrough mutex with the repo's poison-recovery
+    /// idiom built into [`Mutex::lock`].
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        #[inline]
+        pub const fn new(t: T) -> Self {
+            Self(std::sync::Mutex::new(t))
+        }
+
+        /// Lock, recovering from poison: the data is plain counters and
+        /// ring buffers that stay internally consistent even if a
+        /// holder panicked mid-update.
+        #[inline]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(self.0.lock().unwrap_or_else(|p| p.into_inner()))
+        }
+
+        /// Try to lock without blocking. Contention (the only condition
+        /// the flight-recorder hot path cares about) is [`WouldBlock`];
+        /// a poisoned-but-free lock is recovered like [`Mutex::lock`].
+        #[inline]
+        pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, WouldBlock> {
+            match self.0.try_lock() {
+                Ok(g) => Ok(MutexGuard(g)),
+                Err(std::sync::TryLockError::Poisoned(p)) => Ok(MutexGuard(p.into_inner())),
+                Err(std::sync::TryLockError::WouldBlock) => Err(WouldBlock),
+            }
+        }
+
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+        }
+
+        #[inline]
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+
+    pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+}
+
+#[cfg(adamove_verify)]
+mod imp {
+    use super::WouldBlock;
+    use crate::sched::{self, OpKind};
+    use std::sync::atomic::Ordering;
+    use std::sync::OnceLock;
+
+    // Object ids are assigned lazily on first *scheduled* operation, so
+    // constructors stay `const fn`. First-touch order is serialized by
+    // the scheduler, hence deterministic per schedule; ids only feed
+    // equality checks (conflict detection) and trace labels, so label
+    // drift across schedules cannot perturb exploration order.
+
+    macro_rules! model_atomic {
+        ($name:ident, $val:ty, $label:literal) => {
+            /// Model-checking build: every operation is a scheduler
+            /// yield point when a model is active, a std passthrough
+            /// otherwise.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$name,
+                obj: OnceLock<u64>,
+            }
+
+            impl $name {
+                pub const fn new(v: $val) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$name::new(v),
+                        obj: OnceLock::new(),
+                    }
+                }
+
+                fn yield_for(&self, kind: OpKind) {
+                    sched::yield_op(&self.obj, $label, kind);
+                }
+
+                pub fn load(&self, o: Ordering) -> $val {
+                    self.yield_for(OpKind::Read);
+                    self.inner.load(o)
+                }
+
+                pub fn store(&self, v: $val, o: Ordering) {
+                    self.yield_for(OpKind::Write);
+                    self.inner.store(v, o)
+                }
+
+                pub fn swap(&self, v: $val, o: Ordering) -> $val {
+                    self.yield_for(OpKind::Write);
+                    self.inner.swap(v, o)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    cur: $val,
+                    new: $val,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$val, $val> {
+                    self.yield_for(OpKind::Write);
+                    self.inner.compare_exchange(cur, new, ok, err)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $val,
+                    new: $val,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$val, $val> {
+                    self.yield_for(OpKind::Write);
+                    self.inner.compare_exchange_weak(cur, new, ok, err)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicU64, u64, "AtomicU64");
+    model_atomic!(AtomicUsize, usize, "AtomicUsize");
+    model_atomic!(AtomicBool, bool, "AtomicBool");
+
+    macro_rules! model_fetch_arith {
+        ($name:ident, $val:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $val, o: Ordering) -> $val {
+                    self.yield_for(OpKind::Write);
+                    self.inner.fetch_add(v, o)
+                }
+                pub fn fetch_sub(&self, v: $val, o: Ordering) -> $val {
+                    self.yield_for(OpKind::Write);
+                    self.inner.fetch_sub(v, o)
+                }
+            }
+        };
+    }
+
+    model_fetch_arith!(AtomicU64, u64);
+    model_fetch_arith!(AtomicUsize, usize);
+
+    /// Model-checking mutex: mutual exclusion is enforced by the
+    /// scheduler (a granted `Lock` op marks the object held until the
+    /// guard drops), and the inner std mutex is only ever acquired
+    /// after the grant, so it never contends.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+        obj: OnceLock<u64>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(t: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(t),
+                obj: OnceLock::new(),
+            }
+        }
+
+        fn guard(&self, routed: Option<u64>) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(|p| p.into_inner()),
+                routed,
+            }
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let routed = sched::lock_op(&self.obj, "Mutex");
+            self.guard(routed)
+        }
+
+        pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, WouldBlock> {
+            match sched::try_lock_op(&self.obj, "Mutex") {
+                sched::TryLockOutcome::Passthrough => match self.inner.try_lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: g,
+                        routed: None,
+                    }),
+                    Err(std::sync::TryLockError::Poisoned(p)) => Ok(MutexGuard {
+                        inner: p.into_inner(),
+                        routed: None,
+                    }),
+                    Err(std::sync::TryLockError::WouldBlock) => Err(WouldBlock),
+                },
+                sched::TryLockOutcome::Acquired(id) => Ok(self.guard(Some(id))),
+                sched::TryLockOutcome::Contended => Err(WouldBlock),
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+
+    pub struct MutexGuard<'a, T> {
+        inner: std::sync::MutexGuard<'a, T>,
+        /// `Some(object id)` when the acquisition went through an
+        /// active scheduler; the drop releases scheduler-side ownership.
+        routed: Option<u64>,
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(id) = self.routed {
+                sched::unlock_op(id);
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+}
+
+pub use imp::{AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard};

@@ -1,0 +1,45 @@
+//! `std::thread`-shaped spawn/join for model closures.
+//!
+//! Inside a model, `spawn` registers the new thread with the active
+//! scheduler (it parks until first granted) and `join` is a scheduling
+//! point enabled once the target finished. Outside a model both
+//! delegate to `std::thread`, so helpers shared with ordinary tests
+//! behave normally.
+
+use crate::sched;
+
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Like `std::thread::JoinHandle::join`: `Err` carries the panic
+    /// payload of the joined thread.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.tid {
+            sched::join_op(tid);
+        }
+        self.inner.join()
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current_cx() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            tid: None,
+        },
+        Some(cx) => {
+            let (inner, tid) = sched::spawn_in_model(&cx, f);
+            JoinHandle {
+                inner,
+                tid: Some(tid),
+            }
+        }
+    }
+}

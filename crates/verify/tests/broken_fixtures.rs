@@ -1,0 +1,196 @@
+//! Deliberately-broken fixture models: each removes one real guard
+//! from a modelled invariant, and the checker must find a failing
+//! schedule, report it deterministically, and replay it exactly.
+//! This is the checker's own acceptance test — a model checker that
+//! cannot find planted bugs proves nothing by passing.
+#![cfg(adamove_verify)]
+
+use adamove_verify::sync::{AtomicU64, Mutex, Ordering};
+use adamove_verify::{require, thread, Checker, Failure};
+use std::sync::Arc;
+
+/// Explore twice and replay once; the failure must be found, be
+/// identical across explorations (deterministic DFS), and reproduce
+/// under replay of the reported schedule.
+fn assert_deterministic_failure<F, M>(mk: M, expect_msg: &str) -> Failure
+where
+    F: Fn() + Send + Sync + 'static,
+    M: Fn() -> F,
+{
+    let first = Checker::new().check(mk());
+    let failure = first
+        .failure()
+        .unwrap_or_else(|| panic!("planted bug not found (wanted {expect_msg:?})"))
+        .clone();
+    assert!(
+        failure.message.contains(expect_msg),
+        "wrong failure: {}",
+        failure.message
+    );
+    let second = Checker::new().check(mk());
+    assert_eq!(
+        second.failure().expect("found again").schedule,
+        failure.schedule,
+        "exploration must be deterministic across runs"
+    );
+    let replayed = Checker::new().replay(mk(), &failure.schedule);
+    let re = replayed.failure().expect("replay reproduces the failure");
+    assert_eq!(re.message, failure.message);
+    assert!(!failure.trace.is_empty(), "failure carries an op trace");
+    failure
+}
+
+/// Histogram losslessness with the guard removed: a load+store
+/// read-modify-write instead of `fetch_add` (the bug the real
+/// `Histogram::record` avoids). Some schedule loses an increment.
+#[test]
+fn broken_histogram_increment_loses_updates() {
+    let f = assert_deterministic_failure(
+        || {
+            || {
+                let count = Arc::new(AtomicU64::new(0));
+                let c2 = count.clone();
+                let t = thread::spawn(move || {
+                    let v = c2.load(Ordering::Relaxed);
+                    c2.store(v + 1, Ordering::Relaxed);
+                });
+                let v = count.load(Ordering::Relaxed);
+                count.store(v + 1, Ordering::Relaxed);
+                t.join().unwrap();
+                require(count.load(Ordering::Relaxed) == 2, "an increment was lost");
+            }
+        },
+        "an increment was lost",
+    );
+    // The failing schedule must actually interleave the two threads.
+    assert!(f.schedule.len() > 3, "schedule: {:?}", f.schedule);
+}
+
+/// Journal order == queue order with the guard removed: the append
+/// happens *outside* the send lock (the bug `observe_once` avoids by
+/// appending under the slot mutex). Some schedule swaps the orders.
+#[test]
+fn broken_journal_append_outside_lock_diverges() {
+    assert_deterministic_failure(
+        || {
+            || {
+                let journal = Arc::new(Mutex::new(Vec::<u64>::new()));
+                let queue = Arc::new(Mutex::new(Vec::<u64>::new()));
+                let send_lock = Arc::new(Mutex::new(()));
+                let observe = |user: u64| {
+                    let journal = journal.clone();
+                    let queue = queue.clone();
+                    let send_lock = send_lock.clone();
+                    move || {
+                        // BUG: journal append outside the send lock.
+                        let id = {
+                            let mut j = journal.lock();
+                            let id = j.len() as u64;
+                            j.push(user);
+                            id
+                        };
+                        let guard = send_lock.lock();
+                        queue.lock().push(id);
+                        drop(guard);
+                    }
+                };
+                let t1 = thread::spawn(observe(10));
+                let t2 = thread::spawn(observe(20));
+                t1.join().unwrap();
+                t2.join().unwrap();
+                let q = queue.lock().clone();
+                require(q == vec![0, 1], "journal/queue order diverged");
+            }
+        },
+        "journal/queue order diverged",
+    );
+}
+
+/// Seq handshake with the guard removed: the respawned incarnation
+/// resets `seq` to zero instead of sharing the slot's cell, so the
+/// `KillAt` fault fires twice (every schedule, but the checker proves
+/// the *existence* deterministically).
+#[test]
+fn broken_seq_reset_fires_fault_twice() {
+    assert_deterministic_failure(
+        || {
+            || {
+                let kill_at = 1u64;
+                let run = |seq: Arc<AtomicU64>, requests: u64| {
+                    move || {
+                        let mut fired = 0u64;
+                        for _ in 0..requests {
+                            let s = seq.fetch_add(1, Ordering::Relaxed);
+                            if s == kill_at {
+                                fired += 1;
+                                break;
+                            }
+                        }
+                        fired
+                    }
+                };
+                let seq1 = Arc::new(AtomicU64::new(0));
+                let w1 = thread::spawn(run(seq1, 3));
+                let fired1 = w1.join().unwrap();
+                // BUG: fresh seq for the respawn instead of the shared
+                // slot cell — numbering restarts at zero.
+                let seq2 = Arc::new(AtomicU64::new(0));
+                let w2 = thread::spawn(run(seq2, 3));
+                let fired2 = w2.join().unwrap();
+                require(fired1 + fired2 <= 1, "fault fired more than once");
+            }
+        },
+        "fault fired more than once",
+    );
+}
+
+/// Windowed-histogram partition law with the guard removed: the roll
+/// reads the cumulative snapshot *after* updating `last` from a second
+/// read (double-read instead of the single snapshot `roll()` takes), so
+/// a record landing between the reads is dropped from every window.
+#[test]
+fn broken_double_read_roll_drops_records() {
+    assert_deterministic_failure(
+        || {
+            || {
+                // Distilled single-bucket windowed view.
+                let cell = Arc::new(AtomicU64::new(0));
+                let last = Arc::new(Mutex::new(0u64));
+                let windows = Arc::new(Mutex::new(Vec::<u64>::new()));
+
+                let recorder = {
+                    let cell = cell.clone();
+                    thread::spawn(move || {
+                        cell.fetch_add(1, Ordering::Relaxed);
+                    })
+                };
+                // BUG: reads the source twice; `roll()` snapshots once.
+                let delta = {
+                    let mut l = last.lock();
+                    let first = cell.load(Ordering::Relaxed);
+                    let again = cell.load(Ordering::Relaxed);
+                    let delta = first.saturating_sub(*l);
+                    *l = again; // a record between the reads vanishes
+                    delta
+                };
+                windows.lock().push(delta);
+                recorder.join().unwrap();
+                // Final roll after join, correct single-read form.
+                let delta = {
+                    let mut l = last.lock();
+                    let cur = cell.load(Ordering::Relaxed);
+                    let d = cur.saturating_sub(*l);
+                    *l = cur;
+                    d
+                };
+                windows.lock().push(delta);
+                let merged: u64 = windows.lock().iter().sum();
+                require(
+                    merged == cell.load(Ordering::Relaxed),
+                    "windows no longer partition the stream",
+                );
+            }
+        },
+        "windows no longer partition the stream",
+    );
+}

@@ -1,0 +1,137 @@
+//! Distilled models of the two engine-slot concurrency contracts
+//! (`crates/core/src/engine.rs`), built directly on the shim types the
+//! real slot structs use. Only meaningful under `--cfg adamove_verify`.
+//!
+//! 1. **Seq-counter crash-detection handshake.** A shard's `seq` cell
+//!    is shared across worker incarnations (it lives in the `ShardSlot`,
+//!    not the worker): every request claims a sequence number with one
+//!    `fetch_add`, deterministic fault schedules are keyed on those
+//!    numbers, and a respawned worker continues the numbering — so a
+//!    `KillAt(k)` disturbance fires exactly once per shard, ever.
+//!
+//! 2. **Journal order == queue order.** `observe_once` appends to the
+//!    journal *under the slot's send lock*, then enqueues before
+//!    releasing it, so journal ids and queue order agree — the replay
+//!    invariant every recovery test leans on.
+#![cfg(adamove_verify)]
+
+use adamove_verify::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
+use adamove_verify::{require, thread, Checker};
+use std::sync::Arc;
+
+/// The slot state shared across incarnations, as in `ShardSlot`.
+struct Slot {
+    seq: Arc<AtomicU64>,
+    degraded: Arc<AtomicBool>,
+}
+
+/// One worker incarnation: claim sequence numbers, die at the faulted
+/// one (marking the shard degraded, as a panicked worker's state loss
+/// does). Returns how many faults fired in this incarnation.
+fn incarnation(slot: &Slot, requests: u64, kill_at: u64) -> u64 {
+    for _ in 0..requests {
+        let s = slot.seq.fetch_add(1, Ordering::Relaxed);
+        if s == kill_at {
+            slot.degraded.store(true, Ordering::Relaxed);
+            return 1;
+        }
+    }
+    0
+}
+
+/// The handshake: worker dies at seq 1; the supervisor joins the
+/// corpse (the `handle.is_finished()` + join path of `heal_shard`) and
+/// respawns sharing the same cells. A concurrent metrics reader sees
+/// seq strictly monotone. The fault fires exactly once across both
+/// incarnations because numbering never restarts.
+#[test]
+fn seq_handshake_fault_fires_exactly_once() {
+    Checker::new()
+        .check(|| {
+            let slot = Arc::new(Slot {
+                seq: Arc::new(AtomicU64::new(0)),
+                degraded: Arc::new(AtomicBool::new(false)),
+            });
+            let kill_at = 1;
+
+            // A metrics/snapshot thread racing both incarnations: seq
+            // reads must be monotone (fetch_add only ever goes up).
+            let seq_reader = slot.seq.clone();
+            let reader = thread::spawn(move || {
+                let a = seq_reader.load(Ordering::Relaxed);
+                let b = seq_reader.load(Ordering::Relaxed);
+                require(a <= b, "seq monotone under concurrent observes");
+            });
+
+            let s1 = slot.clone();
+            let w1 = thread::spawn(move || incarnation(&s1, 3, kill_at));
+            let fired1 = w1.join().unwrap();
+            require(fired1 == 1, "incarnation 1 reaches the faulted seq");
+            require(
+                slot.degraded.load(Ordering::Relaxed),
+                "death marked the shard degraded",
+            );
+
+            // Respawn: same cells, numbering continues (heal_shard).
+            slot.degraded.store(false, Ordering::Relaxed);
+            let s2 = slot.clone();
+            let w2 = thread::spawn(move || incarnation(&s2, 2, kill_at));
+            let fired2 = w2.join().unwrap();
+            require(fired2 == 0, "respawn never replays a claimed seq");
+
+            reader.join().unwrap();
+            require(
+                slot.seq.load(Ordering::Relaxed) == 4,
+                "2 requests before death + 2 after, no number reused",
+            );
+            require(
+                !slot.degraded.load(Ordering::Relaxed),
+                "healed shard serves non-degraded",
+            );
+        })
+        .assert_pass();
+}
+
+/// Journal-append-under-send-lock: two producers observe concurrently;
+/// each appends to the journal and pushes to the queue inside one send
+/// lock critical section. Journal order must equal queue order for
+/// every interleaving — this is what makes replay deterministic.
+#[test]
+fn journal_order_equals_queue_order() {
+    let explored = Checker::new()
+        .check(|| {
+            // journal: append returns the next id. queue: the mpsc
+            // channel stand-in. send_lock: the slot `link` mutex.
+            let journal = Arc::new(Mutex::new(Vec::<u64>::new()));
+            let queue = Arc::new(Mutex::new(Vec::<u64>::new()));
+            let send_lock = Arc::new(Mutex::new(()));
+
+            let observe = |user: u64| {
+                let journal = journal.clone();
+                let queue = queue.clone();
+                let send_lock = send_lock.clone();
+                move || {
+                    let guard = send_lock.lock();
+                    let id = {
+                        let mut j = journal.lock();
+                        let id = j.len() as u64;
+                        j.push(user);
+                        id
+                    };
+                    queue.lock().push(id);
+                    drop(guard);
+                }
+            };
+
+            let t1 = thread::spawn(observe(10));
+            let t2 = thread::spawn(observe(20));
+            t1.join().unwrap();
+            t2.join().unwrap();
+
+            let q = queue.lock().clone();
+            require(q == vec![0, 1], "queue order equals journal id order");
+            require(journal.lock().len() == 2, "both observes journaled");
+        })
+        .assert_pass();
+    assert!(explored > 1, "both producer orders explored ({explored})");
+}

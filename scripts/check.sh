@@ -32,6 +32,14 @@ cargo test -q -p adamove-testkit --test obs_telemetry
 # Runs in the workspace pass too; named here so a durability regression
 # is unmistakable in CI logs.
 cargo test -q -p adamove-serve --test restart_drill
+# Concurrency verification: the crates/verify model suites. The plain
+# build runs the ported hot-path models on real threads (smoke); the
+# `--cfg adamove_verify` build swaps the sync shims for the mini-loom
+# model checker and exhaustively explores every interleaving. A separate
+# target dir because RUSTFLAGS changes every crate's fingerprint.
+cargo test -q -p adamove-verify
+RUSTFLAGS="--cfg adamove_verify" CARGO_TARGET_DIR="$PWD/target-verify" \
+    cargo test -q -p adamove-verify
 # Golden drift: the comparison tests fail on numerical drift; this guard
 # additionally catches a regenerated-but-uncommitted baseline (new,
 # not-yet-tracked baselines are fine mid-PR).

@@ -48,6 +48,13 @@ if [ "${1:-}" = "full" ]; then
     # --state-dir, require bit-identical replies versus a never-crashed
     # golden run (see check.sh).
     "$self" test -q -p adamove-serve --test restart_drill
+    # Concurrency verification: the crates/verify model suites — plain
+    # build (real threads, smoke) and the exhaustive `--cfg adamove_verify`
+    # build, which swaps in the mini-loom model-checker shims. Separate
+    # target dir: RUSTFLAGS changes every crate's fingerprint (see check.sh).
+    "$self" test -q -p adamove-verify
+    RUSTFLAGS="--cfg adamove_verify" CARGO_TARGET_DIR="$PWD/target-verify" \
+        "$self" test -q -p adamove-verify
     # Golden drift: regenerated-but-uncommitted changes to checked-in
     # baselines (new, not-yet-tracked baselines are fine mid-PR).
     if ! git diff --quiet HEAD -- crates/testkit/tests/golden 2>/dev/null; then
@@ -105,4 +112,7 @@ mkdir -p .cargo
     done
 } > "$CONFIG"
 
-CARGO_TARGET_DIR="$PWD/target-offline" CARGO_NET_OFFLINE=true cargo "$@"
+# CARGO_TARGET_DIR is overridable so flag-changing runs (e.g. the
+# `--cfg adamove_verify` model-checking build, which sets RUSTFLAGS and
+# target-verify/) don't thrash the plain offline build's fingerprints.
+CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-$PWD/target-offline}" CARGO_NET_OFFLINE=true cargo "$@"

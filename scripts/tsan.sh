@@ -28,10 +28,14 @@ rustup component list --toolchain nightly 2>/dev/null \
 host=$(rustc -vV | sed -n 's/^host: //p')
 [ -n "$host" ] || skip "could not determine host target triple"
 
-echo "tsan.sh: running ThreadSanitizer on $host (engine/recovery/streaming + obs)"
+echo "tsan.sh: running ThreadSanitizer on $host (engine/recovery/streaming + obs + verify shims)"
 export RUSTFLAGS="-Zsanitizer=thread"
 export RUSTDOCFLAGS="-Zsanitizer=thread"
 export CARGO_TARGET_DIR="$PWD/target-tsan"
+# Fail on the first report instead of printing and continuing, and keep
+# both stacks when a (potential) deadlock is flagged. Callers can still
+# append their own options via the environment.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
 # TSan throws false positives on some std initialisation paths unless
 # std itself is instrumented, hence -Zbuild-std (needs rust-src, and
 # typically network for the std deps — another reason this is
@@ -41,4 +45,11 @@ run() {
 }
 run -p adamove-obs
 run -p adamove --lib -- engine:: recovery:: streaming::
+# Engine + registry wired together across threads (fault counters vs
+# typed errors, retire_shard handshake).
+run -p adamove-testkit --test obs_telemetry
+# Without --cfg adamove_verify the shims are the real std/atomic
+# primitives, so the model suites run their ported algorithms on real
+# threads — exactly the build TSan should see.
+run -p adamove-verify
 echo "tsan.sh: ThreadSanitizer pass green"
